@@ -1,0 +1,129 @@
+// AB2 — Ablation: cooling-capacity staging parameters (paper §9:
+// "the higher PUE experienced on the high-magnitude falling edges
+// revealed potential parameter tunings ... to the control system that
+// stages and de-stages cooling capacity"). Sweep the de-staging time
+// constant and measure summer mean PUE and the post-falling-edge PUE
+// overshoot; also measure the power->cooling response lag directly with
+// cross-correlation (stats::estimate_lag).
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/snapshots.hpp"
+#include "stats/xcorr.hpp"
+#include "util/csv.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+struct Outcome {
+  double tau_down_s = 0.0;
+  double mean_pue = 0.0;
+  double fall_overshoot = 0.0;  ///< mean PUE excess 0-3 min after falls
+  double lag_s = 0.0;           ///< measured power->tons response lag
+};
+
+Outcome run_with_tau(core::Simulation& sim, const ts::Frame& cluster,
+                     double tau_down) {
+  facility::CepOptions options;
+  options.cooling.stage_down_tau_s = tau_down;
+  options.cooling.pump_power_w *= sim.scale().fraction();
+  options.cooling.loop_w_per_c *= sim.scale().fraction();
+  const ts::Frame cep = facility::simulate_cep(cluster, options);
+
+  Outcome o;
+  o.tau_down_s = tau_down;
+  const ts::Series& pue = cep.at("pue");
+  const ts::Series& power = cluster.at("input_power_w");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pue.size(); ++i) acc += pue[i];
+  o.mean_pue = acc / static_cast<double>(pue.size());
+
+  // Falling-edge PUE overshoot.
+  core::SnapshotOptions snap;
+  snap.edges.per_node_threshold_w = 100.0;
+  const auto falls = core::collect_edge_sets(
+      power, static_cast<double>(sim.scale().nodes), /*rising=*/false, snap);
+  double overshoot = 0.0;
+  std::size_t n = 0;
+  for (const auto& set : falls) {
+    const auto band = core::superimpose_column(pue, set, snap);
+    // Compare PUE in the 3 minutes after the fall vs 1 minute before.
+    double after = 0.0;
+    for (std::size_t i = 7; i < 25; ++i) after += band.mean[i];
+    after /= 18.0;
+    overshoot += (after - band.mean[0]) * static_cast<double>(set.at.size());
+    n += set.at.size();
+  }
+  if (n > 0) o.fall_overshoot = overshoot / static_cast<double>(n);
+
+  // Direct lag measurement power -> total tons.
+  std::vector<double> tons(cluster.rows());
+  for (std::size_t i = 0; i < tons.size(); ++i) {
+    tons[i] = cep.at("tower_tons")[i] + cep.at("chiller_tons")[i];
+  }
+  const auto lag =
+      stats::estimate_lag(power.values(), tons, 30);  // +/- 300 s
+  o.lag_s = static_cast<double>(lag.lag) * static_cast<double>(cluster.dt());
+  return o;
+}
+
+void print_artifact() {
+  bench::print_header(
+      "AB2  Cooling staging ablation (paper Section 9)",
+      "slower de-staging wastes cooling after falling edges (PUE "
+      "overshoot); the plant responds ~1 minute behind the load");
+
+  core::SimulationConfig config = bench::standard_config(
+      machine::SummitSpec::kNodes, 2 * util::kWeek, 210 * util::kDay);
+  core::Simulation sim(config);
+  const ts::Frame cluster =
+      sim.cluster_frame(config.range, {.dt = 10, .subsamples = 1});
+
+  util::TextTable t({"tau_down (s)", "summer mean PUE",
+                     "falling-edge PUE overshoot", "measured lag (s)"});
+  util::CsvWriter csv("ab_cooling_staging.csv",
+                      {"tau_down_s", "mean_pue", "fall_overshoot", "lag_s"});
+  for (double tau : {55.0, 170.0, 400.0, 900.0}) {
+    const Outcome o = run_with_tau(sim, cluster, tau);
+    t.add_row({util::fmt_double(o.tau_down_s, 0),
+               util::fmt_double(o.mean_pue, 4),
+               util::fmt_double(o.fall_overshoot, 4),
+               util::fmt_double(o.lag_s, 0)});
+    csv.add_row({o.tau_down_s, o.mean_pue, o.fall_overshoot, o.lag_s});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("[shape] summer mean PUE grows monotonically with the "
+              "de-staging tau (capacity lingers after load drops — the "
+              "paper's falling-edge inefficiency); the measured "
+              "power->cooling lag sits near the ~60 s return-sensor delay "
+              "and stretches as staging slows.\n\n");
+}
+
+void BM_lag_estimation(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<double> x(5000);
+  std::vector<double> y(5000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(static_cast<double>(i) * 0.02) + 0.2 * rng.normal();
+  }
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = (i >= 6 ? x[i - 6] : 0.0) + 0.2 * rng.normal();
+  }
+  for (auto _ : state) {
+    auto lag = stats::estimate_lag(x, y, 30);
+    benchmark::DoNotOptimize(lag.lag);
+  }
+}
+BENCHMARK(BM_lag_estimation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// AB4 — Ablation: in-band vs out-of-band telemetry collection (paper §2:
+// "no impact occurs on HPC applications due to the method's out-of-band
+// nature"). The counterfactual: an in-band daemon sampling the same 100
+// metrics at 1 Hz steals compute time, and for bulk-synchronous codes the
+// per-node noise is amplified with scale. This bench quantifies the
+// application slowdown and the year's lost node-hours the out-of-band
+// path avoids.
+
+#include "bench_common.hpp"
+#include "telemetry/inband.hpp"
+#include "util/csv.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+void print_artifact() {
+  bench::print_header(
+      "AB4  In-band vs out-of-band collection (paper Section 2)",
+      "out-of-band: zero application impact; in-band sampling costs grow "
+      "with rate and are amplified at scale for synchronous codes");
+
+  util::TextTable t({"sampling", "1-node job", "64-node job",
+                     "4608-node job", "lost node-hours/yr (full scale)"});
+  util::CsvWriter csv("ab_inband.csv",
+                      {"sample_hz", "slowdown_4608", "lost_node_hours"});
+  const int metrics = 100;
+  for (double hz : {0.0, 0.1, 1.0, 10.0, 100.0}) {
+    const double s1 = telemetry::inband_slowdown(hz, metrics, 1);
+    const double s64 = telemetry::inband_slowdown(hz, metrics, 64);
+    const double s4608 = telemetry::inband_slowdown(hz, metrics, 4608);
+    const double lost = telemetry::inband_lost_node_hours_per_year(
+        hz, metrics, machine::SummitSpec::kNodes, 0.85, 64.0);
+    t.add_row({hz == 0.0 ? "out-of-band (any rate)"
+                         : util::fmt_double(hz, 1) + " Hz in-band",
+               util::fmt_double(100.0 * s1, 3) + "%",
+               util::fmt_double(100.0 * s64, 3) + "%",
+               util::fmt_double(100.0 * s4608, 3) + "%",
+               util::fmt_double(lost, 0)});
+    csv.add_row({hz, s4608, lost});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "[shape] the paper's 1 Hz x 100 metrics regime costs ~1-3%% of a "
+      "leadership job in-band — half a million node-hours a year at "
+      "Summit's scale — and exactly zero out-of-band.\n\n");
+}
+
+void BM_slowdown_model(benchmark::State& state) {
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int n = 1; n <= 4608; n *= 2) {
+      acc += telemetry::inband_slowdown(1.0, 100, n);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_slowdown_model);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// AB1 — Ablation: power-aware scheduling (paper §8 conclusion).
+// The paper argues that "aggressive power and energy aware application
+// optimizations and scheduling policies can have impact even on HPC
+// deployments like Summit that impose no power constraints". This
+// ablation quantifies the trade: sweep a cluster power budget in the
+// EASY-backfill scheduler and measure peak power committed, realized
+// peak, utilization, and queue wait against the uncapped baseline.
+
+#include "bench_common.hpp"
+#include "power/cluster.hpp"
+#include "power/power_aware_scheduler.hpp"
+#include "util/csv.hpp"
+#include "util/text_table.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+struct Outcome {
+  double cap_mw = 0.0;
+  double realized_peak_mw = 0.0;
+  double committed_peak_mw = 0.0;
+  double utilization = 0.0;
+  double mean_wait_min = 0.0;
+  std::size_t power_blocked = 0;
+  std::size_t unscheduled = 0;
+};
+
+Outcome run_with_cap(double cap_w) {
+  workload::WorkloadConfig cfg;
+  cfg.scale = machine::MachineScale::full();
+  cfg.seed = 2020;
+  workload::JobGenerator gen(cfg);
+  const util::TimeRange range = {0, 2 * util::kWeek};
+  auto jobs = gen.generate(range);
+
+  power::PowerAwareScheduler scheduler(cfg.scale,
+                                       {.cluster_cap_w = cap_w});
+  const auto stats = scheduler.run(jobs, range.end);
+  const auto frame = power::cluster_power_frame(jobs, cfg.scale, range,
+                                                {.dt = 60, .subsamples = 2});
+  double peak = 0.0;
+  const auto& p = frame.at("input_power_w");
+  for (std::size_t i = 0; i < p.size(); ++i) peak = std::max(peak, p[i]);
+
+  Outcome o;
+  o.cap_mw = cap_w / 1e6;
+  o.realized_peak_mw = peak / 1e6;
+  o.committed_peak_mw = stats.peak_committed_w / 1e6;
+  o.utilization = stats.base.utilization;
+  o.mean_wait_min = stats.base.mean_wait_s / 60.0;
+  o.power_blocked = stats.power_blocked;
+  o.unscheduled = stats.base.unscheduled;
+  return o;
+}
+
+void print_artifact() {
+  bench::print_header(
+      "AB1  Power-aware scheduling ablation (paper Section 8)",
+      "peak shaving via a scheduler power budget; cost in wait time and "
+      "utilization should stay modest until the cap bites into the mean");
+
+  util::TextTable t({"cap (MW)", "committed peak", "realized peak",
+                     "utilization", "mean wait (min)", "power-blocked",
+                     "unscheduled"});
+  util::CsvWriter csv("ab_power_cap.csv",
+                      {"cap_mw", "realized_peak_mw", "committed_peak_mw",
+                       "utilization", "mean_wait_min"});
+  for (double cap_mw : {0.0, 11.0, 10.0, 9.0, 8.0, 7.0}) {
+    const Outcome o = run_with_cap(cap_mw * 1e6);
+    t.add_row({cap_mw > 0.0 ? util::fmt_double(cap_mw, 0) : "none",
+               util::fmt_double(o.committed_peak_mw, 2),
+               util::fmt_double(o.realized_peak_mw, 2),
+               util::fmt_double(100.0 * o.utilization, 1) + "%",
+               util::fmt_double(o.mean_wait_min, 1),
+               std::to_string(o.power_blocked),
+               std::to_string(o.unscheduled)});
+    csv.add_row({o.cap_mw, o.realized_peak_mw, o.committed_peak_mw,
+                 o.utilization, o.mean_wait_min});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "[shape] realized peak tracks the cap almost exactly (predictable "
+      "facility load, the paper's stated opportunity); the cost shows up "
+      "as blocked starts, lower utilization and starved leadership jobs "
+      "(unscheduled column), not as mean wait — small jobs keep "
+      "flowing.\n\n");
+}
+
+void BM_power_aware_schedule(benchmark::State& state) {
+  workload::WorkloadConfig cfg;
+  cfg.scale = machine::MachineScale::full();
+  cfg.seed = 2020;
+  workload::JobGenerator gen(cfg);
+  const auto base_jobs = gen.generate({0, 2 * util::kDay});
+  for (auto _ : state) {
+    auto jobs = base_jobs;
+    power::PowerAwareScheduler scheduler(cfg.scale,
+                                         {.cluster_cap_w = 9e6});
+    auto stats = scheduler.run(jobs, 2 * util::kDay);
+    benchmark::DoNotOptimize(stats.base.scheduled);
+  }
+}
+BENCHMARK(BM_power_aware_schedule);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

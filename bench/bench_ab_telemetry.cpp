@@ -1,0 +1,165 @@
+// AB3 — Ablation: telemetry design choices (paper §3). Two studies:
+//  (a) Coarsening window: the paper chose 10 s windows with
+//      count/min/max/mean/std to avoid information loss. Sweep the
+//      window and measure edge-detection fidelity against a 10 s
+//      reference — too coarse and fast edges vanish.
+//  (b) Codec stages: raw records vs delta+varint vs the full
+//      delta+varint+RLE codec, on a realistic archived stream.
+
+#include "bench_common.hpp"
+#include "core/edges.hpp"
+#include "power/job_power.hpp"
+#include "telemetry/codec.hpp"
+#include "ts/series.hpp"
+#include "util/csv.hpp"
+#include "util/text_table.hpp"
+#include "util/varint.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+// --- (a) coarsening-window sweep ----------------------------------------
+
+void window_study(core::Simulation& sim) {
+  // Jobs with edges at the 10 s reference resolution.
+  std::vector<const workload::Job*> swingy;
+  for (const auto& j : sim.jobs()) {
+    if (j.start < 0) continue;
+    const auto s = power::job_power_series(j, 10);
+    if (!core::detect_edges(s, static_cast<double>(j.node_count)).empty()) {
+      swingy.push_back(&j);
+    }
+  }
+  std::printf("reference: %zu jobs with >=1 edge at 10 s windows\n\n",
+              swingy.size());
+
+  util::TextTable t({"window (s)", "jobs still detected", "recall"});
+  util::CsvWriter csv("ab_telemetry_window.csv", {"window_s", "recall"});
+  for (util::TimeSec window : {10, 30, 60, 120, 300}) {
+    std::size_t detected = 0;
+    for (const workload::Job* j : swingy) {
+      const auto s = power::job_power_series(*j, window);
+      if (!core::detect_edges(s, static_cast<double>(j->node_count))
+               .empty()) {
+        ++detected;
+      }
+    }
+    const double recall = swingy.empty()
+                              ? 0.0
+                              : static_cast<double>(detected) /
+                                    static_cast<double>(swingy.size());
+    t.add_row({std::to_string(window), std::to_string(detected),
+               util::fmt_double(100.0 * recall, 1) + "%"});
+    csv.add_row({static_cast<double>(window), recall});
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("[shape] recall degrades with the window: the 10 s choice "
+              "preserves the fast edges that 60 s+ windows average away\n\n");
+}
+
+// --- (b) codec-stage comparison ------------------------------------------
+
+std::vector<telemetry::MetricEvent> realistic_stream() {
+  // A smooth power channel plus a quantized temperature channel, per the
+  // telemetry common case.
+  util::Rng rng(99);
+  std::vector<telemetry::MetricEvent> events;
+  std::int32_t power = 1500;
+  std::int32_t temp = 35;
+  for (int t = 0; t < 30000; ++t) {
+    power += static_cast<std::int32_t>(rng.uniform_index(9)) - 4;
+    events.push_back({telemetry::metric_id(0, 0), t, power});
+    if (rng.chance(0.08)) {  // temperature changes rarely (quantized)
+      temp += rng.chance(0.5) ? 1 : -1;
+      events.push_back({telemetry::metric_id(0, 9), t, temp});
+    }
+  }
+  return events;
+}
+
+std::size_t encode_delta_varint_only(
+    const std::vector<telemetry::MetricEvent>& events) {
+  // Delta+zigzag+varint per field, no per-metric runs, no RLE.
+  std::vector<std::uint8_t> out;
+  telemetry::MetricEvent prev{0, 0, 0};
+  for (const auto& ev : events) {
+    util::varint_encode(util::zigzag_encode(
+                            static_cast<std::int64_t>(ev.id) - prev.id),
+                        out);
+    util::varint_encode(util::zigzag_encode(ev.t - prev.t), out);
+    util::varint_encode(util::zigzag_encode(
+                            static_cast<std::int64_t>(ev.value) - prev.value),
+                        out);
+    prev = ev;
+  }
+  return out.size();
+}
+
+void codec_study() {
+  const auto events = realistic_stream();
+  const std::size_t raw = events.size() * 16;
+  const std::size_t delta = encode_delta_varint_only(events);
+  const auto full = telemetry::encode_events(events);
+
+  util::TextTable t({"stage", "bytes", "ratio vs raw", "bytes/event"});
+  auto row = [&](const char* name, std::size_t bytes) {
+    t.add_row({name, std::to_string(bytes),
+               util::fmt_double(static_cast<double>(raw) /
+                                    static_cast<double>(bytes),
+                                2) + "x",
+               util::fmt_double(static_cast<double>(bytes) /
+                                    static_cast<double>(events.size()),
+                                2)});
+  };
+  row("raw (id,t,value) records", raw);
+  row("delta + zigzag + varint", delta);
+  row("full codec (+ per-metric runs + dt RLE)", full.bytes.size());
+  std::printf("%s", t.str().c_str());
+  std::printf("[shape] each stage tightens the stream; the full codec "
+              "approaches ~2-3 bytes/event, the regime behind the paper's "
+              "460k metrics/s -> ~1 MB/s claim\n\n");
+}
+
+void print_artifact() {
+  bench::print_header(
+      "AB3  Telemetry design ablations (paper Section 3)",
+      "10 s coarsening preserves edge fidelity; staged lossless "
+      "compression reaches ~2-3 bytes/event");
+  core::SimulationConfig config =
+      bench::standard_config(1024, util::kWeek);
+  core::Simulation sim(config);
+  window_study(sim);
+  codec_study();
+}
+
+void BM_codec_full(benchmark::State& state) {
+  static const auto events = realistic_stream();
+  for (auto _ : state) {
+    auto block = telemetry::encode_events(events);
+    benchmark::DoNotOptimize(block.bytes.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_codec_full);
+
+void BM_codec_delta_only(benchmark::State& state) {
+  static const auto events = realistic_stream();
+  for (auto _ : state) {
+    auto bytes = encode_delta_varint_only(events);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_codec_delta_only);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,47 @@
+#pragma once
+
+// Shared harness glue for the figure/table benches: every bench binary
+// first *regenerates its artifact* (prints the same rows/series the paper
+// reports, plus a CSV dump next to the binary), then runs google-benchmark
+// timings of the kernels involved. EXPERIMENTS.md records paper-vs-
+// measured for each artifact.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/simulation.hpp"
+
+namespace exawatt::bench {
+
+/// Environment knob: EXAWATT_BENCH_SCALE=full promotes benches from their
+/// fast default scale to the paper's 4,626-node machine where supported.
+inline bool full_scale_requested() {
+  const char* env = std::getenv("EXAWATT_BENCH_SCALE");
+  return env != nullptr && std::string(env) == "full";
+}
+
+/// Standard simulation used by most figure benches: a multi-week window
+/// at a configurable machine scale, seeded for exact reproducibility.
+inline core::SimulationConfig standard_config(int nodes,
+                                              util::TimeSec duration,
+                                              util::TimeSec start = 0) {
+  core::SimulationConfig config;
+  config.scale = nodes >= machine::SummitSpec::kNodes
+                     ? machine::MachineScale::full()
+                     : machine::MachineScale::small(nodes);
+  config.seed = 2020;
+  config.range = {start, start + duration};
+  return config;
+}
+
+inline void print_header(const char* artifact, const char* claim) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", artifact);
+  std::printf("paper: %s\n", claim);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace exawatt::bench

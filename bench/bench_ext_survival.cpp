@@ -1,0 +1,86 @@
+// EXT2 — Extension: GPU survival analysis (the Titan-lineage methodology
+// behind the paper's reliability section; Ostrouchov et al., SC'20).
+// Kaplan-Meier curves of time-to-first-hardware-failure for the fleet's
+// GPUs, split by the defect pool and by slot; log-rank test between the
+// weak pool and the healthy population.
+
+#include "bench_common.hpp"
+#include "core/gpu_survival.hpp"
+#include "util/csv.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+void print_artifact() {
+  bench::print_header(
+      "EXT2  GPU survival analysis (Ostrouchov et al. methodology)",
+      "weak-pool GPUs fail decisively earlier (log-rank p ~ 0); healthy "
+      "fleet survival stays near 1 over the year");
+
+  core::SimulationConfig config =
+      bench::standard_config(machine::SummitSpec::kNodes, util::kYear);
+  core::Simulation sim(config);
+  const auto study = core::gpu_survival_study(
+      sim.failure_log(), sim.failure_generator().defect_pool(),
+      config.scale.nodes, config.range);
+
+  const stats::KaplanMeier km_all(study.all);
+  const stats::KaplanMeier km_weak(study.weak_pool);
+  const stats::KaplanMeier km_healthy(study.healthy);
+
+  util::TextTable t({"population", "GPUs", "hw failures", "S(90 days)",
+                     "S(1 year)"});
+  auto row = [&](const char* name, const stats::KaplanMeier& km) {
+    t.add_row({name, std::to_string(km.n()),
+               std::to_string(km.total_events()),
+               util::fmt_double(km(90.0 * util::kDay), 4),
+               util::fmt_double(km(366.0 * util::kDay), 4)});
+  };
+  row("all GPUs", km_all);
+  row("weak-pool nodes", km_weak);
+  row("healthy nodes", km_healthy);
+  std::printf("%s\n", t.str().c_str());
+  std::printf("log-rank weak vs healthy: chi2 = %.1f, p = %.2e\n\n",
+              study.weak_vs_healthy.chi_square,
+              study.weak_vs_healthy.p_value);
+
+  util::TextTable slot_t({"slot", "hw failures", "S(1 year)"});
+  util::CsvWriter csv("ext_survival.csv", {"slot", "events", "s_year"});
+  for (std::size_t s = 0; s < 6; ++s) {
+    const stats::KaplanMeier km(study.by_slot[s]);
+    slot_t.add_row({std::to_string(s), std::to_string(km.total_events()),
+                    util::fmt_double(km(366.0 * util::kDay), 5)});
+    csv.add_row({static_cast<double>(s),
+                 static_cast<double>(km.total_events()),
+                 km(366.0 * util::kDay)});
+  }
+  std::printf("%s", slot_t.str().c_str());
+  std::printf("[shape] slot-0 survival lowest (elevated exposure, Figure "
+              "16); the fleet outside the weak pool survives the year with "
+              "S ~ 1\n\n");
+}
+
+void BM_kaplan_meier(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<stats::SurvivalObservation> obs;
+  for (int i = 0; i < 30000; ++i) {
+    const double t = rng.exponential(1.0 / 1000.0);
+    obs.push_back({std::min(t, 2000.0), t < 2000.0});
+  }
+  for (auto _ : state) {
+    stats::KaplanMeier km(obs);
+    benchmark::DoNotOptimize(km.median());
+  }
+}
+BENCHMARK(BM_kaplan_meier);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

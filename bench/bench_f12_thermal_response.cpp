@@ -1,0 +1,147 @@
+// F12 — Component temperatures and cooling-system response around summer
+// edges (paper Fig. 12): cluster power/PUE, GPU mean/max and CPU mean/max
+// temperatures, MTW supply/return, and tower vs chiller tons, aligned at
+// 4 MW / 7 MW rising and 7 MW falling edges. Shape targets: GPU temps
+// tightly track power (max keeps rising after the edge); CPU temps stay
+// comparatively flat; tons/return-temperature respond with ~1 min delay;
+// attenuation on falling edges is slower than the rise response.
+
+#include "bench_common.hpp"
+#include "core/snapshots.hpp"
+#include "core/thermal_response.hpp"
+#include "util/csv.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+core::SnapshotOptions snapshot_options() {
+  core::SnapshotOptions opts;
+  opts.edges.per_node_threshold_w = 100.0;
+  opts.after_s = 240;
+  return opts;
+}
+
+void summarize_set(const char* label, const core::EdgeSnapshotSet& set,
+                   const ts::Series& power, const ts::Frame& cep,
+                   const ts::Frame& temps, util::CsvWriter& csv) {
+  const auto opts = snapshot_options();
+  const auto bp = core::superimpose_column(power, set, opts);
+  const auto gpu_mean =
+      core::superimpose_column(temps.at("gpu_mean_c"), set, opts);
+  const auto gpu_max =
+      core::superimpose_column(temps.at("gpu_max_c"), set, opts);
+  const auto cpu_mean =
+      core::superimpose_column(temps.at("cpu_mean_c"), set, opts);
+  const auto ret =
+      core::superimpose_column(cep.at("mtw_return_c"), set, opts);
+  const auto tower = core::superimpose_column(cep.at("tower_tons"), set, opts);
+  const auto chiller =
+      core::superimpose_column(cep.at("chiller_tons"), set, opts);
+
+  std::printf("%s (%zu snapshots)\n", label, set.at.size());
+  util::TextTable t({"signal", "-60s", "edge", "+60s", "+120s", "+240s"});
+  auto row = [&](const char* name, const stats::SnapshotBand& b, double scale,
+                 int precision) {
+    const std::size_t e = 6;
+    t.add_row({name, util::fmt_double(b.mean[e - 6] * scale, precision),
+               util::fmt_double(b.mean[e] * scale, precision),
+               util::fmt_double(b.mean[e + 6] * scale, precision),
+               util::fmt_double(b.mean[e + 12] * scale, precision),
+               util::fmt_double(b.mean[e + 24] * scale, precision)});
+  };
+  row("power (MW)", bp, 1e-6, 2);
+  row("GPU mean (C)", gpu_mean, 1.0, 1);
+  row("GPU max (C)", gpu_max, 1.0, 1);
+  row("CPU mean (C)", cpu_mean, 1.0, 1);
+  row("MTW return (C)", ret, 1.0, 1);
+  row("tower (tons)", tower, 1.0, 0);
+  row("chiller (tons)", chiller, 1.0, 0);
+  std::printf("%s\n", t.str().c_str());
+
+  for (std::size_t i = 0; i < bp.mean.size(); ++i) {
+    csv.add_row({static_cast<double>(set.amplitude_mw),
+                 set.rising ? 1.0 : 0.0,
+                 static_cast<double>(static_cast<int>(i * 10) - 60),
+                 bp.mean[i] / 1e6, gpu_mean.mean[i], gpu_max.mean[i],
+                 cpu_mean.mean[i], ret.mean[i], tower.mean[i],
+                 chiller.mean[i]});
+  }
+}
+
+void print_artifact() {
+  bench::print_header(
+      "F12  Thermal & cooling response at edges (Figure 12)",
+      "GPU temps track power (max keeps rising); CPU temps ~flat; ~1 min "
+      "cooling-response delay; falling edges attenuate slower");
+
+  core::SimulationConfig config = bench::standard_config(
+      machine::SummitSpec::kNodes, 10 * util::kWeek, 205 * util::kDay);
+  core::Simulation sim(config);
+  const ts::Frame cluster =
+      sim.cluster_frame(config.range, {.dt = 10, .subsamples = 1});
+  const ts::Frame cep = sim.cep_frame(cluster);
+  const ts::Frame temps =
+      core::cluster_thermal_frame(cluster, cep, config.scale.nodes);
+  const ts::Series& power = cluster.at("input_power_w");
+  const double nodes = config.scale.nodes;
+
+  util::CsvWriter csv("f12_thermal_response.csv",
+                      {"mw_class", "rising", "offset_s", "power_mw",
+                       "gpu_mean_c", "gpu_max_c", "cpu_mean_c",
+                       "mtw_return_c", "tower_tons", "chiller_tons"});
+
+  const auto rising =
+      core::collect_edge_sets(power, nodes, true, snapshot_options());
+  const auto falling =
+      core::collect_edge_sets(power, nodes, false, snapshot_options());
+
+  auto find_set = [](const std::vector<core::EdgeSnapshotSet>& sets,
+                     int min_mw) -> const core::EdgeSnapshotSet* {
+    const core::EdgeSnapshotSet* best = nullptr;
+    for (const auto& s : sets) {
+      if (s.amplitude_mw >= min_mw &&
+          (best == nullptr || s.amplitude_mw < best->amplitude_mw)) {
+        best = &s;
+      }
+    }
+    return best;
+  };
+
+  if (const auto* s = find_set(rising, 4)) {
+    summarize_set("4 MW rising edges", *s, power, cep, temps, csv);
+  }
+  if (const auto* s = find_set(rising, 6)) {
+    summarize_set("large (6+ MW) rising edges", *s, power, cep, temps, csv);
+  }
+  if (const auto* s = find_set(falling, 4)) {
+    summarize_set("large falling edges", *s, power, cep, temps, csv);
+  }
+  std::printf("[shape] compare tower tons at edge vs +60s (the ~1 min lag), "
+              "and falling-edge attenuation vs the rise.\n\n");
+}
+
+void BM_thermal_frame_week(benchmark::State& state) {
+  static core::SimulationConfig config = bench::standard_config(
+      machine::SummitSpec::kNodes, util::kWeek, 205 * util::kDay);
+  static core::Simulation sim(config);
+  static const ts::Frame cluster =
+      sim.cluster_frame(config.range, {.dt = 10, .subsamples = 1});
+  static const ts::Frame cep = sim.cep_frame(cluster);
+  for (auto _ : state) {
+    auto temps =
+        core::cluster_thermal_frame(cluster, cep, config.scale.nodes);
+    benchmark::DoNotOptimize(temps.rows());
+  }
+}
+BENCHMARK(BM_thermal_frame_week);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// F16 — Failure counts per GPU slot placement (paper Fig. 16): for page
+// retirement events, double-bit errors, microcontroller warnings and
+// fallen-off-the-bus, count failures by the offending GPU's slot (0-5).
+// Shape targets: slot 0 elevated (single-GPU jobs); NOT an increasing
+// ramp along the coolant order (the "second-hand water" hypothesis is
+// rejected); DBE/page-retirement bump at slot 4; off-the-bus elevated on
+// the socket-1 slots.
+
+#include "bench_common.hpp"
+#include "core/failure_analysis.hpp"
+#include "util/csv.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+void print_artifact() {
+  bench::print_header(
+      "F16  Failure counts per GPU slot (Figure 16)",
+      "slot 0 elevated; no coolant-order ramp; slot-4 bump for DBE & page "
+      "retirement events; off-the-bus high on socket-1 slots");
+
+  core::SimulationConfig config =
+      bench::standard_config(machine::SummitSpec::kNodes, util::kYear);
+  core::Simulation sim(config);
+  const auto& log = sim.failure_log();
+
+  const failures::XidType kTypes[] = {
+      failures::XidType::kPageRetirementEvent,
+      failures::XidType::kDoubleBitError,
+      failures::XidType::kMicrocontrollerWarning,
+      failures::XidType::kFallenOffBus,
+  };
+  util::TextTable t({"type", "slot0", "slot1", "slot2", "slot3", "slot4",
+                     "slot5"});
+  util::CsvWriter csv("f16_slot_placement.csv",
+                      {"type", "slot", "count"});
+  for (const auto type : kTypes) {
+    const auto slots = core::slot_placement(log, type);
+    std::vector<std::string> row = {failures::xid_name(type)};
+    for (std::size_t s = 0; s < 6; ++s) {
+      row.push_back(std::to_string(slots[s]));
+      csv.add_row({static_cast<double>(type), static_cast<double>(s),
+                   static_cast<double>(slots[s])});
+    }
+    t.add_row(std::move(row));
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  // Coolant-order check across ALL types: would failures rise from
+  // position 0 to 2 within a socket if pre-warmed water mattered?
+  std::array<std::uint64_t, 3> by_position{};
+  for (const auto& ev : log) {
+    ++by_position[static_cast<std::size_t>(ev.slot % 3)];
+  }
+  std::printf("[shape] all-type counts by coolant position 0/1/2: "
+              "%llu / %llu / %llu (paper: close to the REVERSE of the "
+              "overheating hypothesis)\n\n",
+              static_cast<unsigned long long>(by_position[0]),
+              static_cast<unsigned long long>(by_position[1]),
+              static_cast<unsigned long long>(by_position[2]));
+
+  // Figure 14's complementary spatial calculation: row / column / height
+  // distributions over the healthy fleet stay flat (no environmental
+  // structure), once the defect-heavy nodes are excluded.
+  const machine::Topology topo(config.scale);
+  const auto spatial = core::spatial_breakdown(log, topo);
+  std::printf("spatial peak/mean ratios (healthy fleet): row %.2f, column "
+              "%.2f, height %.2f (flat ~1.0; environmental problems would "
+              "spike one axis)\n\n",
+              spatial.row_peak_ratio, spatial.column_peak_ratio,
+              spatial.height_peak_ratio);
+}
+
+void BM_slot_placement(benchmark::State& state) {
+  static core::SimulationConfig config =
+      bench::standard_config(machine::SummitSpec::kNodes, 8 * util::kWeek);
+  static core::Simulation sim(config);
+  static const auto& log = sim.failure_log();
+  for (auto _ : state) {
+    auto slots =
+        core::slot_placement(log, failures::XidType::kDoubleBitError);
+    benchmark::DoNotOptimize(slots[0]);
+  }
+}
+BENCHMARK(BM_slot_placement);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// F17 — GPU power/temperature variability during a full-scale exemplar
+// job (paper Fig. 17): a ~4,608-node, ~21-minute BerkeleyGW-like run.
+// Shape targets: idle <-> peak transitions in under half a minute;
+// near-linear monotonic power-temperature relation per instant; a narrow
+// non-outlier power spread (~62 W) against a wide temperature spread
+// (~15.8 C) — manufacturing + placement variability; the vast majority
+// of GPUs below 60 C; even spatial heat distribution at peak with mild
+// locality.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "core/variability.hpp"
+#include "util/csv.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+void print_artifact() {
+  bench::print_header(
+      "F17  Exemplar full-scale job variability (Figure 17)",
+      "power spread ~62 W vs temp spread ~15.8 C; near-linear power-temp; "
+      "<60 C for the vast majority; even cabinet heatmap at peak");
+
+  core::SimulationConfig config =
+      bench::standard_config(machine::SummitSpec::kNodes, 6 * util::kWeek);
+  core::Simulation sim(config);
+  const workload::Job* exemplar = core::select_exemplar(
+      sim.jobs(), static_cast<int>(0.9 * machine::SummitSpec::kMaxJobNodes));
+  if (exemplar == nullptr) {
+    std::printf("no exemplar job found in the window; widen the range\n");
+    return;
+  }
+  std::printf("exemplar: job %llu, %d nodes, %.1f minutes, app #%u\n\n",
+              static_cast<unsigned long long>(exemplar->id),
+              exemplar->node_count,
+              static_cast<double>(exemplar->end - exemplar->start) / 60.0,
+              exemplar->app);
+
+  const power::FleetVariability fleet(config.scale, 11);
+  const thermal::FleetThermal thermals(config.scale, 12);
+  const auto study =
+      core::variability_study(*exemplar, fleet, thermals, 20.0, 6);
+
+  util::TextTable t({"instant", "gpuP med (W)", "gpuP spread (W)",
+                     "gpuT med (C)", "gpuT spread (C)", "corr(P,T)"});
+  util::CsvWriter csv("f17_variability.csv",
+                      {"instant", "power_med_w", "power_spread_w",
+                       "temp_med_c", "temp_spread_c", "corr"});
+  for (std::size_t s = 0; s < study.snapshots.size(); ++s) {
+    const auto& snap = study.snapshots[s];
+    t.add_row({std::to_string(s),
+               util::fmt_double(snap.gpu_power_w.median, 0),
+               util::fmt_double(snap.power_spread_w, 1),
+               util::fmt_double(snap.gpu_temp_c.median, 1),
+               util::fmt_double(snap.temp_spread_c, 1),
+               util::fmt_double(snap.power_temp_corr, 3)});
+    csv.add_row({static_cast<double>(s), snap.gpu_power_w.median,
+                 snap.power_spread_w, snap.gpu_temp_c.median,
+                 snap.temp_spread_c, snap.power_temp_corr});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("max GPU temp over the job: %.1f C; readings below 60 C: "
+              "%.2f%% (paper: vast majority)\n\n",
+              study.max_temp_c, 100.0 * study.share_below_60c);
+
+  // Spatial view at the mid-job instant: cabinet heatmap statistics.
+  const auto& mid = study.snapshots[study.snapshots.size() / 2];
+  std::vector<double> means;
+  for (double m : mid.cabinet_mean_c) {
+    if (!std::isnan(m)) means.push_back(m);
+  }
+  if (!means.empty()) {
+    const auto bp = stats::boxplot(means);
+    std::printf("cabinet mean-temp distribution at peak: median %.1f C, "
+                "IQR %.2f C across %zu cabinets (paper: 'quite even')\n\n",
+                bp.median, bp.iqr(), means.size());
+  }
+
+  // Figure 17 bottom rows: the floor heatmap ('.' = no job nodes).
+  std::printf("floor heatmap of cabinet mean GPU temp (mid-job instant):\n%s\n",
+              core::floor_heatmap(thermals.topology(), mid.cabinet_mean_c)
+                  .c_str());
+}
+
+void BM_variability_snapshot(benchmark::State& state) {
+  static core::SimulationConfig config =
+      bench::standard_config(machine::SummitSpec::kNodes, 2 * util::kWeek);
+  static core::Simulation sim(config);
+  static const workload::Job* big = core::select_exemplar(
+      sim.jobs(), 2000, 5.0, 120.0);
+  static const power::FleetVariability fleet(config.scale, 11);
+  static const thermal::FleetThermal thermals(config.scale, 12);
+  if (big == nullptr) {
+    state.SkipWithError("no exemplar");
+    return;
+  }
+  for (auto _ : state) {
+    auto study = core::variability_study(*big, fleet, thermals, 20.0, 1);
+    benchmark::DoNotOptimize(study.max_temp_c);
+  }
+}
+BENCHMARK(BM_variability_snapshot);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

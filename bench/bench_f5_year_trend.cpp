@@ -1,0 +1,107 @@
+// F5 — Summit power and energy trends over the year (paper Fig. 5):
+// weekly boxplots of cluster power and PUE, the seasonal PUE split
+// (winter ~1.11, summer ~1.22, Feb maintenance ~1.3), the 2.5 MW idle
+// floor and ~13 MW peak envelope, and chilled water active ~20% of year.
+
+#include "bench_common.hpp"
+#include "core/pue_analysis.hpp"
+#include "util/csv.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+void print_artifact() {
+  bench::print_header(
+      "F5  Year 2020 power/energy/PUE trends (Figure 5)",
+      "avg power 5-6 MW; idle 2.5 MW; peak 13 MW envelope; PUE 1.11 avg, "
+      "1.22 summer, 1.3 Feb maintenance; chillers ~20% of the year");
+
+  // Job counts do not scale with machine size, so the full machine is no
+  // more expensive than a reduced one: run the paper's real scale.
+  core::SimulationConfig config =
+      bench::standard_config(machine::SummitSpec::kNodes, util::kYear);
+  core::Simulation sim(config);
+
+  const ts::Frame cluster =
+      sim.cluster_frame(config.range, {.dt = 600, .subsamples = 3});
+  const ts::Frame cep = sim.cep_frame(cluster);
+  const core::YearTrend trend = core::year_trend(cluster, cep);
+
+  std::printf("jobs: %zu submitted, %zu scheduled, utilization %.1f%%\n\n",
+              sim.jobs().size(), sim.scheduler_stats().scheduled,
+              100.0 * sim.scheduler_stats().utilization);
+
+  util::TextTable t({"week", "power med (MW)", "p10-p90 box", "max (MW)",
+                     "PUE med", "chiller share"});
+  for (std::size_t w = 0; w < trend.weeks.size(); w += 4) {
+    const auto& s = trend.weeks[w];
+    t.add_row({std::to_string(s.week), util::fmt_double(s.power_mw.median, 2),
+               util::fmt_double(s.power_mw.q1, 2) + "-" +
+                   util::fmt_double(s.power_mw.q3, 2),
+               util::fmt_double(s.max_power_mw, 2),
+               util::fmt_double(s.pue.median, 3),
+               util::fmt_double(100.0 * s.chiller_share, 0) + "%"});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  util::TextTable h({"headline", "measured", "paper"});
+  h.add_row({"mean power", util::fmt_double(trend.mean_power_mw, 2) + " MW",
+             "5-6 MW"});
+  h.add_row({"mean PUE", util::fmt_double(trend.mean_pue, 3), "1.11"});
+  h.add_row({"winter mean PUE", util::fmt_double(trend.winter_mean_pue, 3),
+             "~1.11"});
+  h.add_row({"summer mean PUE", util::fmt_double(trend.summer_mean_pue, 3),
+             "~1.22"});
+  h.add_row({"max PUE (Feb maint.)", util::fmt_double(trend.max_pue, 2),
+             "~1.3"});
+  h.add_row({"chiller-active weeks",
+             util::fmt_double(100.0 * trend.chiller_weeks_fraction, 0) + "%",
+             "~20-30% of the year"});
+  std::printf("%s\n", h.str().c_str());
+
+  util::CsvWriter csv("f5_year_trend.csv",
+                      {"week", "power_q1_mw", "power_med_mw", "power_q3_mw",
+                       "power_max_mw", "pue_med", "chiller_share"});
+  for (const auto& s : trend.weeks) {
+    csv.add_row({static_cast<double>(s.week), s.power_mw.q1, s.power_mw.median,
+                 s.power_mw.q3, s.max_power_mw, s.pue.median,
+                 s.chiller_share});
+  }
+}
+
+void BM_cluster_year_frame(benchmark::State& state) {
+  static core::SimulationConfig config =
+      bench::standard_config(machine::SummitSpec::kNodes, util::kYear);
+  static core::Simulation sim(config);
+  (void)sim.jobs();
+  for (auto _ : state) {
+    auto frame = sim.cluster_frame({0, 4 * util::kWeek},
+                                   {.dt = 600, .subsamples = 3});
+    benchmark::DoNotOptimize(frame.rows());
+  }
+}
+BENCHMARK(BM_cluster_year_frame);
+
+void BM_cep_simulation(benchmark::State& state) {
+  static core::SimulationConfig config =
+      bench::standard_config(machine::SummitSpec::kNodes, util::kYear);
+  static core::Simulation sim(config);
+  static const ts::Frame cluster =
+      sim.cluster_frame({0, 8 * util::kWeek}, {.dt = 600, .subsamples = 1});
+  for (auto _ : state) {
+    auto cep = sim.cep_frame(cluster);
+    benchmark::DoNotOptimize(cep.rows());
+  }
+}
+BENCHMARK(BM_cep_simulation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// F7 — Cumulative distribution functions of class-1/2 job features
+// (paper Fig. 7): node count, wall time, mean power, max power, and
+// (max - mean) power, with the 80th-percentile markers. Shape targets:
+// class-1 mode at ~4096 nodes (>60% above 4000); class-2 mass at
+// 1000/1024 with 80% below ~1500 nodes; class 2 runs longer (80% up to
+// ~3 h vs ~43 min); max power 80th pct ~6.6 MW (c1) / ~1.6 MW (c2) with
+// maxima ~10.7 / ~5.6 MW; class 1 shows larger max-mean variation.
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "core/job_features.hpp"
+#include "util/csv.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+void print_artifact() {
+  bench::print_header(
+      "F7  Job feature CDFs, classes 1-2 (Figure 7)",
+      "c1: 60%+ jobs >4000 nodes, mode 4096, 80% < 43 min, maxP80 6.6 MW, "
+      "max 10.7 MW; c2: mode 1000/1024, 80% < 1500 nodes / ~3 h, maxP80 "
+      "1.6 MW, max 5.6 MW");
+
+  core::SimulationConfig config =
+      bench::standard_config(machine::SummitSpec::kNodes, 13 * util::kWeek);
+  core::Simulation sim(config);
+  const auto all = core::summarize_jobs(sim.jobs());
+
+  util::CsvWriter csv("f7_job_cdfs.csv", {"class", "feature", "x", "cdf"});
+  const struct {
+    core::JobFeature f;
+    const char* name;
+    double scale;
+    const char* unit;
+  } kFeatures[] = {
+      {core::JobFeature::kNodeCount, "nodes", 1.0, ""},
+      {core::JobFeature::kWalltimeHours, "walltime", 1.0, "h"},
+      {core::JobFeature::kMeanPowerW, "mean power", 1e-6, "MW"},
+      {core::JobFeature::kMaxPowerW, "max power", 1e-6, "MW"},
+      {core::JobFeature::kMaxMinusMeanW, "max-mean", 1e-6, "MW"},
+  };
+
+  for (int cls : {1, 2}) {
+    const auto jobs = core::by_class(all, cls);
+    std::printf("Class %d (%zu jobs)\n", cls, jobs.size());
+    util::TextTable t({"feature", "p50", "p80 (red line)", "max"});
+    for (const auto& feat : kFeatures) {
+      const core::FeatureCdf c = core::feature_cdf(jobs, feat.f);
+      t.add_row({feat.name,
+                 util::fmt_double(c.cdf.percentile(0.5) * feat.scale, 2) +
+                     feat.unit,
+                 util::fmt_double(c.p80 * feat.scale, 2) + feat.unit,
+                 util::fmt_double(c.max * feat.scale, 2) + feat.unit});
+      for (const auto& p : c.cdf.grid(60)) {
+        csv.add_row({static_cast<double>(cls), 0.0, p.x * feat.scale, p.f});
+      }
+    }
+    std::printf("%s\n", t.str().c_str());
+
+    // Node-count mode (the paper's 4096 / 1000-1024 spikes).
+    const auto nodes = core::feature(jobs, core::JobFeature::kNodeCount);
+    std::map<int, std::size_t> counts;
+    for (double n : nodes) ++counts[static_cast<int>(n)];
+    int mode = 0;
+    std::size_t best = 0;
+    for (const auto& [n, c] : counts) {
+      if (c > best) {
+        best = c;
+        mode = n;
+      }
+    }
+    std::printf("  node-count mode: %d (%zu jobs, %.0f%% of class)\n\n", mode,
+                best, 100.0 * static_cast<double>(best) /
+                          static_cast<double>(jobs.size()));
+  }
+}
+
+void BM_feature_cdf(benchmark::State& state) {
+  static core::SimulationConfig config =
+      bench::standard_config(machine::SummitSpec::kNodes, 2 * util::kWeek);
+  static core::Simulation sim(config);
+  static const auto all = core::summarize_jobs(sim.jobs());
+  for (auto _ : state) {
+    auto c = core::feature_cdf(all, core::JobFeature::kMaxPowerW);
+    benchmark::DoNotOptimize(c.p80);
+  }
+}
+BENCHMARK(BM_feature_cdf);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

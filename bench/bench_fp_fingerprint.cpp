@@ -1,0 +1,72 @@
+// FP — Job power-profile fingerprinting (paper §9, future work): vector
+// fingerprints of job power behaviour clustered with k-means into user/
+// app "power portraits". Validation: clusters should align with the
+// ground-truth application archetypes that generated the jobs, and the
+// elbow of the inertia curve should sit near the archetype count.
+
+#include "bench_common.hpp"
+#include "core/fingerprint.hpp"
+#include "core/job_features.hpp"
+#include "util/csv.hpp"
+#include "util/text_table.hpp"
+#include "workload/app_model.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+void print_artifact() {
+  bench::print_header(
+      "FP  Job power fingerprinting + clustering (paper Section 9)",
+      "fingerprints cluster into app/user power portraits usable for "
+      "predictive power analytics");
+
+  core::SimulationConfig config =
+      bench::standard_config(machine::SummitSpec::kNodes, 4 * util::kWeek);
+  core::Simulation sim(config);
+  const auto summaries = core::summarize_jobs(sim.jobs());
+  std::vector<core::Fingerprint> prints;
+  prints.reserve(summaries.size());
+  for (const auto& s : summaries) prints.push_back(core::fingerprint_of(s));
+  std::printf("fingerprints: %zu jobs, %zu archetypes in catalog\n\n",
+              prints.size(), workload::app_catalog().size());
+
+  util::TextTable t({"k", "inertia", "app purity"});
+  util::CsvWriter csv("fp_fingerprint.csv", {"k", "inertia", "purity"});
+  for (std::size_t k : {2, 4, 8, 12, 14, 20, 28}) {
+    const auto c = core::cluster_fingerprints(prints, k);
+    t.add_row({std::to_string(k), util::fmt_double(c.inertia, 0),
+               util::fmt_double(100.0 * c.app_purity, 1) + "%"});
+    csv.add_row({static_cast<double>(k), c.inertia, c.app_purity});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("[shape] purity rises toward k ~ archetype count and "
+              "saturates; inertia elbow in the same region.\n\n");
+}
+
+void BM_kmeans(benchmark::State& state) {
+  static core::SimulationConfig config =
+      bench::standard_config(machine::SummitSpec::kNodes, util::kWeek);
+  static core::Simulation sim(config);
+  static const auto prints = [] {
+    std::vector<core::Fingerprint> p;
+    for (const auto& s : core::summarize_jobs(sim.jobs())) {
+      p.push_back(core::fingerprint_of(s));
+    }
+    return p;
+  }();
+  for (auto _ : state) {
+    auto c = core::cluster_fingerprints(prints, 12);
+    benchmark::DoNotOptimize(c.inertia);
+  }
+}
+BENCHMARK(BM_kmeans);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

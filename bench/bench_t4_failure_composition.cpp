@@ -1,0 +1,94 @@
+// T4 — GPU failure composition (paper Table 4): counts per XID type and
+// the maximum share a single node contributes. Shape targets: the rank
+// order (memory page faults >> graphics engine exceptions >> stopped
+// processing >> NVLink >> ...); one node carrying ~97% of NVLink errors;
+// driver-error-handling exceptions all on one node; application-
+// attributable types dominating the total (~96%).
+
+#include "bench_common.hpp"
+#include "core/failure_analysis.hpp"
+#include "util/csv.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+void print_artifact() {
+  bench::print_header(
+      "T4  GPU failure composition (Table 4)",
+      "251,859 errors in 2020; page faults 186,496 (0.6% top node); NVLink "
+      "8,736 (96.9% one node); driver-error-handling 21 (100% one node)");
+
+  core::SimulationConfig config =
+      bench::standard_config(machine::SummitSpec::kNodes, util::kYear);
+  core::Simulation sim(config);
+  const auto& log = sim.failure_log();
+  const auto composition =
+      core::failure_composition(log, config.scale.nodes);
+
+  std::uint64_t total = 0;
+  std::uint64_t app_total = 0;
+  for (const auto& row : composition) {
+    total += row.count;
+    if (failures::xid_is_application(row.type)) app_total += row.count;
+  }
+  std::printf("total events: %llu (paper: 251,859); application-"
+              "attributable: %.1f%%\n\n",
+              static_cast<unsigned long long>(total),
+              100.0 * static_cast<double>(app_total) /
+                  static_cast<double>(total));
+
+  util::TextTable t({"GPU error", "count", "paper count", "max/node share",
+                     "paper share"});
+  const auto& profiles = failures::xid_profiles();
+  util::CsvWriter csv("t4_failure_composition.csv",
+                      {"type", "count", "max_per_node", "share"});
+  for (const auto& row : composition) {
+    const auto& profile = profiles[static_cast<std::size_t>(row.type)];
+    t.add_row({failures::xid_name(row.type), std::to_string(row.count),
+               util::fmt_double(profile.annual_count, 0),
+               util::fmt_double(100.0 * row.max_per_node_share, 1) + "%",
+               util::fmt_double(100.0 * profile.top_node_share, 1) + "%"});
+    csv.add_row({static_cast<double>(row.type),
+                 static_cast<double>(row.count),
+                 static_cast<double>(row.max_per_node),
+                 row.max_per_node_share});
+  }
+  std::printf("%s\n", t.str().c_str());
+}
+
+void BM_failure_generation(benchmark::State& state) {
+  static core::SimulationConfig config =
+      bench::standard_config(machine::SummitSpec::kNodes, 4 * util::kWeek);
+  static core::Simulation sim(config);
+  (void)sim.jobs();
+  for (auto _ : state) {
+    failures::FailureGenerator gen(config.scale, sim.projects(),
+                                   config.failures);
+    auto log = gen.generate(sim.jobs());
+    benchmark::DoNotOptimize(log.size());
+  }
+}
+BENCHMARK(BM_failure_generation);
+
+void BM_composition(benchmark::State& state) {
+  static core::SimulationConfig config =
+      bench::standard_config(machine::SummitSpec::kNodes, 8 * util::kWeek);
+  static core::Simulation sim(config);
+  static const auto& log = sim.failure_log();
+  for (auto _ : state) {
+    auto c = core::failure_composition(log, config.scale.nodes);
+    benchmark::DoNotOptimize(c.size());
+  }
+}
+BENCHMARK(BM_composition);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// The telemetry system's day job (paper §2): the near-real-time panel
+// facility engineers watch — histogram summaries of every GPU/CPU core
+// temperature, cross-checked against MTW supply/return and the staged
+// cooling capacity. This example replays one simulated hour and prints
+// the panel as the cluster load moves.
+
+#include <cstdio>
+
+#include "core/dashboard.hpp"
+#include "core/simulation.hpp"
+#include "facility/weather.hpp"
+#include "workload/allocation_index.hpp"
+
+int main() {
+  using namespace exawatt;
+
+  core::SimulationConfig config;
+  config.scale = machine::MachineScale::small(512);
+  config.seed = 8;
+  config.range = {0, util::kDay};
+  core::Simulation sim(config);
+
+  const util::TimeRange hour = {10 * util::kHour, 11 * util::kHour};
+  const workload::AllocationIndex alloc(sim.jobs(), hour,
+                                        config.scale.nodes);
+  const power::FleetVariability fleet(config.scale, 11);
+  const thermal::FleetThermal thermals(config.scale, 12);
+  const core::FacilityDashboard dashboard(alloc, fleet, thermals,
+                                          config.scale.nodes);
+
+  // Drive the cooling plant along the cluster power for realistic MTW
+  // state behind each panel refresh.
+  const ts::Frame cluster = sim.cluster_frame(hour, {.dt = 10});
+  facility::Weather weather(3);
+  facility::CoolingParams cp;
+  cp.pump_power_w *= config.scale.fraction();
+  cp.loop_w_per_c *= config.scale.fraction();
+  facility::CoolingPlant plant(cp);
+  plant.reset(cluster.at("input_power_w")[0], weather.wet_bulb_c(hour.begin));
+
+  for (std::size_t i = 0; i < cluster.rows(); ++i) {
+    const util::TimeSec t = cluster.time_at(i);
+    plant.step(10, cluster.at("input_power_w")[i], weather.wet_bulb_c(t));
+    // Refresh the panel every 20 minutes of simulated time.
+    if (i % 120 == 0) {
+      const auto snap = dashboard.snapshot(t, plant.state());
+      std::printf("%s\n", snap.render().c_str());
+    }
+  }
+
+  std::printf("The histogram head-room below the 73 C warning band is what\n"
+              "lets operators run medium-temperature water all year.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Power steering: the extension loop the paper's conclusion sketches.
+// Train power portraits on past jobs (§9), then schedule the next wave
+// under a cluster power budget with the power-aware scheduler (§8),
+// and compare what the data center sees vs the uncapped baseline.
+
+#include <cstdio>
+
+#include "core/job_features.hpp"
+#include "core/prediction.hpp"
+#include "core/report.hpp"
+#include "core/simulation.hpp"
+#include "power/cluster.hpp"
+#include "power/power_aware_scheduler.hpp"
+#include "util/text_table.hpp"
+#include "workload/generator.hpp"
+
+int main() {
+  using namespace exawatt;
+
+  const auto scale = machine::MachineScale::small(1024);
+
+  // --- 1. Learn portraits from a week of history ------------------------
+  core::SimulationConfig history_config;
+  history_config.scale = scale;
+  history_config.seed = 1;
+  history_config.range = {0, util::kWeek};
+  core::Simulation history(history_config);
+  const auto summaries = core::summarize_jobs(history.jobs());
+  const core::PowerPredictor predictor(summaries);
+  std::printf("trained %zu power portraits from %zu historical jobs\n",
+              predictor.portraits(), summaries.size());
+
+  // --- 2. Predict the next wave's hottest submissions -------------------
+  workload::WorkloadConfig next_config;
+  next_config.scale = scale;
+  next_config.seed = 2;
+  workload::JobGenerator gen(next_config);
+  auto wave = gen.generate({0, 2 * util::kDay});
+  std::printf("next wave: %zu submissions over two days\n\n", wave.size());
+
+  util::TextTable preview({"job", "class", "nodes", "predicted mean",
+                           "predicted max", "uncertainty"});
+  std::size_t shown = 0;
+  for (const auto& j : wave) {
+    if (j.sched_class > 2 || shown >= 6) continue;
+    const auto p = predictor.predict(j.project, j.sched_class, j.node_count);
+    preview.add_row({std::to_string(j.id), std::to_string(j.sched_class),
+                     std::to_string(j.node_count),
+                     util::fmt_si(p.mean_power_w, "W"),
+                     util::fmt_si(p.max_power_w, "W"),
+                     util::fmt_double(100.0 * p.uncertainty, 0) + "%"});
+    ++shown;
+  }
+  std::printf("predicted leadership-job power (before they run):\n%s\n",
+              preview.str().c_str());
+
+  // --- 3. Schedule under a budget vs uncapped ---------------------------
+  auto uncapped = wave;
+  auto capped = wave;
+  power::PowerAwareScheduler baseline(scale, {.cluster_cap_w = 0.0});
+  // Budget: ~80% of the machine's realistic peak at this scale.
+  const double cap_w = 0.8 * 2.35e3 * static_cast<double>(scale.nodes);
+  power::PowerAwareScheduler steering(scale, {.cluster_cap_w = cap_w});
+  const auto sa = baseline.run(uncapped, 2 * util::kDay);
+  const auto sb = steering.run(capped, 2 * util::kDay);
+
+  auto describe = [&](const char* name,
+                      const std::vector<workload::Job>& jobs,
+                      const power::PowerAwareStats& stats) {
+    const auto frame = power::cluster_power_frame(
+        jobs, scale, {0, 2 * util::kDay}, {.dt = 300, .subsamples = 2});
+    const auto& p = frame.at("input_power_w");
+    double peak = 0.0;
+    double mean = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      peak = std::max(peak, p[i]);
+      mean += p[i];
+    }
+    mean /= static_cast<double>(p.size());
+    std::printf("%s: peak %s, mean %s, utilization %.1f%%, blocked %zu\n",
+                name, util::fmt_si(peak, "W").c_str(),
+                util::fmt_si(mean, "W").c_str(),
+                100.0 * stats.base.utilization, stats.power_blocked);
+    std::printf("  power profile: %s\n",
+                core::sparkline(p, 64).c_str());
+  };
+  describe("baseline (no cap)", uncapped, sa);
+  describe("power steering   ", capped, sb);
+  std::printf("\nThe capped run shaves the peaks the facility must size its\n"
+              "cooling for — the opportunity the paper's conclusion calls\n"
+              "out — while small jobs keep flowing.\n");
+  return 0;
+}

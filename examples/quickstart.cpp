@@ -1,0 +1,62 @@
+// Quickstart: build a small Summit-like machine, simulate a day of
+// operation, and print the cluster's power/PUE summary.
+//
+// This touches the three layers a downstream user cares about:
+//   1. workload synthesis + scheduling      (core::Simulation)
+//   2. cluster power + facility response    (cluster_frame / cep_frame)
+//   3. analysis                             (core::year_trend et al.)
+
+#include <cstdio>
+
+#include "core/pue_analysis.hpp"
+#include "core/simulation.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace exawatt;
+
+  // A 1/9-scale machine keeps the example instant; drop this line (or use
+  // MachineScale::full()) for the real 4,626-node configuration.
+  core::SimulationConfig config;
+  config.scale = machine::MachineScale::small(512);
+  config.seed = 2020;
+  config.range = {0, 2 * util::kDay};
+
+  core::Simulation sim(config);
+  const auto& jobs = sim.jobs();
+  const auto& stats = sim.scheduler_stats();
+
+  std::printf("Simulated %zu job submissions on %d nodes\n", jobs.size(),
+              config.scale.nodes);
+  std::printf("  scheduled: %zu  backfilled: %zu  utilization: %.1f%%\n",
+              stats.scheduled, stats.backfilled, 100.0 * stats.utilization);
+
+  // Cluster power at 60 s resolution for the first simulated day.
+  const ts::Frame cluster =
+      sim.cluster_frame({0, util::kDay}, {.dt = 60, .subsamples = 2});
+  const ts::Frame cep = sim.cep_frame(cluster);
+
+  const ts::Series& power = cluster.at("input_power_w");
+  double peak = 0.0;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    peak = peak > power[i] ? peak : power[i];
+    mean += power[i];
+  }
+  mean /= static_cast<double>(power.size());
+
+  const ts::Series& pue = cep.at("pue");
+  double pue_mean = 0.0;
+  for (std::size_t i = 0; i < pue.size(); ++i) pue_mean += pue[i];
+  pue_mean /= static_cast<double>(pue.size());
+
+  util::TextTable table({"metric", "value"});
+  table.add_row({"mean cluster power", util::fmt_si(mean, "W")});
+  table.add_row({"peak cluster power", util::fmt_si(peak, "W")});
+  table.add_row({"mean PUE", util::fmt_double(pue_mean, 3)});
+  table.add_row({"MTW supply (last)",
+                 util::fmt_double(cep.at("mtw_supply_c")[pue.size() - 1], 1) +
+                     " C"});
+  std::printf("\nDay-one operations summary\n%s\n", table.str().c_str());
+  return 0;
+}

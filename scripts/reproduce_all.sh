@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, test, validate, regenerate every paper
+# artifact and ablation. Outputs land in test_output.txt /
+# bench_output.txt at the repository root and one CSV per figure in the
+# working directory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+./build/tools/exawatt_validate
+
+for b in build/bench/*; do
+  [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,98 @@
+#include "core/dashboard.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "power/job_power.hpp"
+#include "util/check.hpp"
+#include "util/text_table.hpp"
+
+namespace exawatt::core {
+
+using machine::SummitSpec;
+
+FacilityDashboard::FacilityDashboard(const workload::AllocationIndex& alloc,
+                                     const power::FleetVariability& fleet,
+                                     const thermal::FleetThermal& thermals,
+                                     int machine_nodes, int sample_stride)
+    : alloc_(&alloc),
+      fleet_(&fleet),
+      thermals_(&thermals),
+      machine_nodes_(machine_nodes),
+      stride_(sample_stride) {
+  EXA_CHECK(machine_nodes_ > 0, "dashboard needs a machine");
+  EXA_CHECK(stride_ >= 1, "sample stride must be >= 1");
+}
+
+DashboardSnapshot FacilityDashboard::snapshot(
+    util::TimeSec t, const facility::CoolingState& cooling) const {
+  DashboardSnapshot snap;
+  snap.t = t;
+  snap.cooling = cooling;
+  const double warn_c = thermals_->params().throttle_onset_c - 10.0;
+
+  double power_acc = 0.0;
+  for (machine::NodeId n = 0; n < machine_nodes_; n += stride_) {
+    ++snap.sampled_nodes;
+    int rank = 0;
+    const workload::Job* job = alloc_->job_at(n, t, &rank);
+    const power::NodeComponentPower p =
+        job != nullptr ? power::node_power_detail(*job, rank, t, *fleet_)
+                       : power::idle_node_power(n, *fleet_);
+    if (job != nullptr) ++snap.busy_nodes;
+    power_acc += p.input_w;
+    const auto temps =
+        thermals_->steady_temps(n, p, cooling.mtw_supply_c);
+    for (double c : temps.gpu_c) {
+      snap.gpu_core_c.add(c);
+      if (c >= warn_c) ++snap.thermal_warnings;
+    }
+    for (double c : temps.cpu_c) snap.cpu_core_c.add(c);
+  }
+  // Scale the sampled power back to the machine.
+  snap.cluster_power_w =
+      power_acc * static_cast<double>(machine_nodes_) /
+      std::max(1, snap.sampled_nodes);
+  return snap;
+}
+
+std::string DashboardSnapshot::render() const {
+  std::ostringstream os;
+  os << "=== facility dashboard @ " << util::format_time(t) << " ===\n";
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "power %7.2f MW | busy %d/%d nodes | PUE %.3f | warnings %d\n",
+                cluster_power_w / 1e6, busy_nodes, sampled_nodes, cooling.pue,
+                thermal_warnings);
+  os << line;
+  std::snprintf(line, sizeof line,
+                "MTW supply %.1f C  return %.1f C | towers %.0f tons  "
+                "chillers %.0f tons\n",
+                cooling.mtw_supply_c, cooling.mtw_return_c,
+                cooling.tower_tons, cooling.chiller_tons);
+  os << line;
+
+  auto histogram_rows = [&](const char* title, const stats::Histogram& h) {
+    os << title << '\n';
+    std::uint64_t peak = 0;
+    for (std::size_t b = 0; b < h.bins(); ++b) {
+      peak = std::max(peak, h.count(b));
+    }
+    for (std::size_t b = 0; b < h.bins(); ++b) {
+      if (h.count(b) == 0) continue;
+      std::snprintf(line, sizeof line, "  %4.0f-%-4.0f C %8llu %s\n",
+                    h.lo() + static_cast<double>(b) * h.bin_width(),
+                    h.lo() + static_cast<double>(b + 1) * h.bin_width(),
+                    static_cast<unsigned long long>(h.count(b)),
+                    util::fmt_bar(static_cast<double>(h.count(b)),
+                                  static_cast<double>(peak), 32)
+                        .c_str());
+      os << line;
+    }
+  };
+  histogram_rows("GPU core temperature distribution:", gpu_core_c);
+  histogram_rows("CPU core temperature distribution:", cpu_core_c);
+  return os.str();
+}
+
+}  // namespace exawatt::core

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "facility/cooling.hpp"
+#include "power/component.hpp"
+#include "stats/histogram.hpp"
+#include "thermal/node_thermal.hpp"
+#include "workload/allocation_index.hpp"
+
+namespace exawatt::core {
+
+/// The telemetry system's primary *operational* product (paper §2):
+/// a near-real-time summary that facility engineers cross-check against
+/// MTW supply/return and flow — the histogram-based component-wise
+/// temperature distribution of all 27,756 GPUs and 9,252 CPUs, plus the
+/// cluster power level and cooling state.
+struct DashboardSnapshot {
+  util::TimeSec t = 0;
+  stats::Histogram gpu_core_c{10.0, 90.0, 16};
+  stats::Histogram cpu_core_c{10.0, 90.0, 16};
+  double cluster_power_w = 0.0;
+  int busy_nodes = 0;
+  int sampled_nodes = 0;
+  /// GPUs within the warning band below the throttle onset.
+  int thermal_warnings = 0;
+  facility::CoolingState cooling;
+
+  /// Render the engineer-facing panel (histograms as bars, cooling row).
+  [[nodiscard]] std::string render() const;
+};
+
+/// Builds snapshots from the simulation state. `sample_stride` subsamples
+/// nodes (1 = every node) so full-scale snapshots stay interactive.
+class FacilityDashboard {
+ public:
+  FacilityDashboard(const workload::AllocationIndex& alloc,
+                    const power::FleetVariability& fleet,
+                    const thermal::FleetThermal& thermals, int machine_nodes,
+                    int sample_stride = 1);
+
+  /// Snapshot at time t, given the current cooling state (from
+  /// facility::CoolingPlant or a cep frame row).
+  [[nodiscard]] DashboardSnapshot snapshot(
+      util::TimeSec t, const facility::CoolingState& cooling) const;
+
+ private:
+  const workload::AllocationIndex* alloc_;
+  const power::FleetVariability* fleet_;
+  const thermal::FleetThermal* thermals_;
+  int machine_nodes_;
+  int stride_;
+};
+
+}  // namespace exawatt::core

@@ -1,0 +1,82 @@
+#include "core/edges.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace exawatt::core {
+
+std::vector<Edge> detect_edges(const ts::Series& power, double node_count,
+                               EdgeOptions options) {
+  EXA_CHECK(node_count > 0.0, "edge detection needs a node count");
+  EXA_CHECK(options.return_fraction > 0.0 && options.return_fraction <= 1.0,
+            "return fraction must be in (0, 1]");
+  std::vector<Edge> edges;
+  if (power.size() < 2) return edges;
+  const double threshold = options.per_node_threshold_w * node_count;
+
+  std::size_t i = 0;
+  while (i + 1 < power.size()) {
+    const double step = power[i + 1] - power[i];
+    if (std::fabs(step) < threshold) {
+      ++i;
+      continue;
+    }
+    // Merge consecutive steps of the same sign into one edge.
+    const bool rising = step > 0.0;
+    Edge e;
+    e.rising = rising;
+    e.start = power.time_at(i);
+    e.initial_w = power[i];
+    std::size_t j = i + 1;
+    while (j + 1 < power.size()) {
+      const double next = power[j + 1] - power[j];
+      if (rising ? next > 0.0 : next < 0.0) {
+        ++j;
+      } else {
+        break;
+      }
+    }
+    // Track the excursion to its extremum, then find the 80% return.
+    double peak = power[j];
+    std::size_t peak_idx = j;
+    std::size_t k = j;
+    bool returned = false;
+    for (; k < power.size(); ++k) {
+      if (rising ? power[k] > peak : power[k] < peak) {
+        peak = power[k];
+        peak_idx = k;
+      }
+      const double excursion = peak - e.initial_w;
+      const double given_back = peak - power[k];
+      if (std::fabs(excursion) > 0.0 &&
+          (rising ? given_back >= options.return_fraction * excursion
+                  : given_back <= options.return_fraction * excursion)) {
+        returned = true;
+        break;
+      }
+    }
+    e.peak_w = peak;
+    e.amplitude_w = std::fabs(power[j] - e.initial_w);
+    e.returned = returned;
+    const std::size_t end_idx = returned ? k : power.size() - 1;
+    e.duration_s = power.time_at(end_idx) - e.start;
+    edges.push_back(e);
+    i = std::max(j, peak_idx);
+    ++i;
+  }
+  return edges;
+}
+
+JobEdgeStats job_edge_stats(const ts::Series& power, double node_count,
+                            EdgeOptions options) {
+  JobEdgeStats stats;
+  for (const Edge& e : detect_edges(power, node_count, options)) {
+    ++stats.edges;
+    stats.durations_min.push_back(static_cast<double>(e.duration_s) / 60.0);
+  }
+  return stats;
+}
+
+}  // namespace exawatt::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "ts/series.hpp"
+
+namespace exawatt::core {
+
+/// A detected power edge (paper §4.2): a swing whose per-10-second step
+/// exceeds the per-node threshold times the job's (or system's) node
+/// count. Consecutive same-sign steps merge into one edge.
+struct Edge {
+  bool rising = true;
+  util::TimeSec start = 0;      ///< time of the first step of the edge
+  double amplitude_w = 0.0;     ///< total power change across the edge
+  double initial_w = 0.0;       ///< power level before the edge
+  double peak_w = 0.0;          ///< extremum reached after the edge
+  util::TimeSec duration_s = 0; ///< start -> 80% return toward initial
+  bool returned = false;        ///< false when the series ended first
+};
+
+struct EdgeOptions {
+  /// The paper's rule: 868 W averaged across the job's nodes per step
+  /// (4 MW at the full 4,608-node system scale).
+  double per_node_threshold_w = 868.0;
+  /// Fraction of the excursion that must be given back for the edge to
+  /// count as "returned" (duration endpoint).
+  double return_fraction = 0.8;
+};
+
+/// Detect rising and falling edges in a power series normalized by
+/// `node_count` (the job's size, or the full machine for cluster series).
+[[nodiscard]] std::vector<Edge> detect_edges(const ts::Series& power,
+                                             double node_count,
+                                             EdgeOptions options = {});
+
+/// Figure 10 upper row inputs: per-job edge count and all edge durations.
+struct JobEdgeStats {
+  std::size_t edges = 0;
+  std::vector<double> durations_min;
+};
+[[nodiscard]] JobEdgeStats job_edge_stats(const ts::Series& power,
+                                          double node_count,
+                                          EdgeOptions options = {});
+
+}  // namespace exawatt::core

@@ -1,0 +1,208 @@
+#include "core/failure_analysis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+
+namespace exawatt::core {
+
+using failures::kXidTypeCount;
+using failures::XidType;
+
+std::vector<FailureComposition> failure_composition(
+    const std::vector<failures::GpuFailureEvent>& log, int machine_nodes) {
+  EXA_CHECK(machine_nodes > 0, "need machine node count");
+  std::vector<std::vector<std::uint64_t>> per_node(
+      kXidTypeCount,
+      std::vector<std::uint64_t>(static_cast<std::size_t>(machine_nodes), 0));
+  std::vector<std::uint64_t> totals(kXidTypeCount, 0);
+  for (const auto& ev : log) {
+    const auto t = static_cast<std::size_t>(ev.type);
+    if (ev.node >= 0 && ev.node < machine_nodes) {
+      ++per_node[t][static_cast<std::size_t>(ev.node)];
+    }
+    ++totals[t];
+  }
+  std::vector<FailureComposition> out;
+  for (std::size_t t = 0; t < kXidTypeCount; ++t) {
+    FailureComposition c;
+    c.type = static_cast<XidType>(t);
+    c.count = totals[t];
+    c.max_per_node =
+        *std::max_element(per_node[t].begin(), per_node[t].end());
+    c.max_per_node_share =
+        c.count > 0 ? static_cast<double>(c.max_per_node) /
+                          static_cast<double>(c.count)
+                    : 0.0;
+    out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FailureComposition& a, const FailureComposition& b) {
+              return a.count > b.count;
+            });
+  return out;
+}
+
+FailureCorrelation failure_correlation(
+    const std::vector<failures::GpuFailureEvent>& log, int machine_nodes,
+    double alpha) {
+  EXA_CHECK(machine_nodes > 0, "need machine node count");
+  std::vector<std::vector<double>> counts(
+      kXidTypeCount,
+      std::vector<double>(static_cast<std::size_t>(machine_nodes), 0.0));
+  for (const auto& ev : log) {
+    if (ev.node >= 0 && ev.node < machine_nodes) {
+      counts[static_cast<std::size_t>(ev.type)]
+            [static_cast<std::size_t>(ev.node)] += 1.0;
+    }
+  }
+  stats::CorrelationMatrix matrix(counts, alpha);
+  return {std::move(counts), std::move(matrix)};
+}
+
+std::vector<ProjectFailureRate> project_failure_rates(
+    const std::vector<failures::GpuFailureEvent>& log,
+    const std::vector<workload::Job>& jobs,
+    const std::vector<workload::Project>& projects, bool hardware_only,
+    std::size_t top_k) {
+  std::unordered_map<std::uint32_t, ProjectFailureRate> by_project;
+  for (const auto& job : jobs) {
+    if (job.start < 0) continue;
+    auto& p = by_project[job.project];
+    p.project = job.project;
+    if (job.project < projects.size()) {
+      p.domain = projects[job.project].domain;
+    }
+    p.node_hours += job.node_hours();
+  }
+  for (const auto& ev : log) {
+    if (hardware_only && failures::xid_is_application(ev.type)) continue;
+    auto it = by_project.find(ev.project);
+    if (it == by_project.end()) continue;
+    if (it->second.by_type.empty()) {
+      it->second.by_type.assign(kXidTypeCount, 0);
+    }
+    ++it->second.by_type[static_cast<std::size_t>(ev.type)];
+  }
+  std::vector<ProjectFailureRate> out;
+  out.reserve(by_project.size());
+  for (auto& [id, p] : by_project) {
+    if (p.by_type.empty()) p.by_type.assign(kXidTypeCount, 0);
+    std::uint64_t total = 0;
+    for (auto c : p.by_type) total += c;
+    if (p.node_hours > 1.0) {
+      p.failures_per_node_hour = static_cast<double>(total) / p.node_hours;
+    }
+    out.push_back(std::move(p));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProjectFailureRate& a, const ProjectFailureRate& b) {
+              return a.failures_per_node_hour > b.failures_per_node_hour;
+            });
+  if (out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+std::vector<ThermalExtremity> thermal_extremity(
+    const std::vector<failures::GpuFailureEvent>& log,
+    machine::NodeId exclude_node) {
+  std::vector<ThermalExtremity> out(kXidTypeCount);
+  for (std::size_t t = 0; t < kXidTypeCount; ++t) {
+    out[t].type = static_cast<XidType>(t);
+  }
+  for (const auto& ev : log) {
+    if (exclude_node >= 0 && ev.node == exclude_node) continue;
+    auto& e = out[static_cast<std::size_t>(ev.type)];
+    e.z_scores.push_back(ev.z_score);
+    e.temps_c.push_back(ev.temp_c);
+  }
+  for (auto& e : out) {
+    if (e.z_scores.size() >= 3) {
+      e.z_skewness = stats::skewness(e.z_scores);
+    }
+    if (!e.temps_c.empty()) {
+      e.max_temp_c = stats::max_value(e.temps_c);
+      std::size_t hot = 0;
+      for (double c : e.temps_c) {
+        if (c >= 60.0) ++hot;
+      }
+      e.share_above_60c =
+          static_cast<double>(hot) / static_cast<double>(e.temps_c.size());
+    }
+  }
+  return out;
+}
+
+std::array<std::uint64_t, 6> slot_placement(
+    const std::vector<failures::GpuFailureEvent>& log,
+    failures::XidType type) {
+  std::array<std::uint64_t, 6> slots{};
+  for (const auto& ev : log) {
+    if (ev.type == type && ev.slot >= 0 && ev.slot < 6) {
+      ++slots[static_cast<std::size_t>(ev.slot)];
+    }
+  }
+  return slots;
+}
+
+SpatialBreakdown spatial_breakdown(
+    const std::vector<failures::GpuFailureEvent>& log,
+    const machine::Topology& topo, bool exclude_defect_heavy_nodes) {
+  SpatialBreakdown out;
+  out.by_row.assign(static_cast<std::size_t>(topo.rows()), 0);
+  out.by_column.assign(static_cast<std::size_t>(topo.columns()), 0);
+  out.by_height.assign(
+      static_cast<std::size_t>(topo.scale().nodes_per_cabinet), 0);
+
+  // Defect-heavy nodes (top 0.2% of per-node counts) are excluded so the
+  // spatial view reflects the healthy fleet, as the paper's narrative
+  // separates chip defects from environmental structure.
+  std::vector<std::uint64_t> per_node(
+      static_cast<std::size_t>(topo.nodes()), 0);
+  for (const auto& ev : log) {
+    if (ev.node >= 0 && ev.node < topo.nodes()) {
+      ++per_node[static_cast<std::size_t>(ev.node)];
+    }
+  }
+  std::uint64_t cutoff = ~0ULL;
+  if (exclude_defect_heavy_nodes) {
+    std::vector<std::uint64_t> sorted = per_node;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(
+        0.998 * static_cast<double>(sorted.size()));
+    cutoff = std::max<std::uint64_t>(sorted[std::min(idx, sorted.size() - 1)],
+                                     1);
+  }
+
+  for (const auto& ev : log) {
+    if (ev.node < 0 || ev.node >= topo.nodes()) continue;
+    if (per_node[static_cast<std::size_t>(ev.node)] > cutoff) continue;
+    const machine::FloorPosition pos = topo.position_of(ev.node);
+    ++out.by_row[static_cast<std::size_t>(pos.row)];
+    ++out.by_column[static_cast<std::size_t>(pos.column)];
+    ++out.by_height[static_cast<std::size_t>(pos.height)];
+  }
+
+  auto peak_ratio = [](const std::vector<std::uint64_t>& v) {
+    std::uint64_t peak = 0;
+    std::uint64_t total = 0;
+    std::size_t nonzero_bins = 0;
+    for (std::uint64_t c : v) {
+      peak = std::max(peak, c);
+      total += c;
+      ++nonzero_bins;
+    }
+    if (total == 0 || nonzero_bins == 0) return 0.0;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(nonzero_bins);
+    return mean > 0.0 ? static_cast<double>(peak) / mean : 0.0;
+  };
+  out.row_peak_ratio = peak_ratio(out.by_row);
+  out.column_peak_ratio = peak_ratio(out.by_column);
+  out.height_peak_ratio = peak_ratio(out.by_height);
+  return out;
+}
+
+}  // namespace exawatt::core

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "failures/generator.hpp"
+#include "stats/correlation.hpp"
+#include "workload/domain.hpp"
+#include "workload/job.hpp"
+
+namespace exawatt::core {
+
+/// Table 4: composition of the failure log by type.
+struct FailureComposition {
+  failures::XidType type;
+  std::uint64_t count = 0;
+  std::uint64_t max_per_node = 0;
+  double max_per_node_share = 0.0;
+};
+[[nodiscard]] std::vector<FailureComposition> failure_composition(
+    const std::vector<failures::GpuFailureEvent>& log, int machine_nodes);
+
+/// Figure 13: per-node count vectors per type and their Pearson
+/// correlation with Bonferroni-corrected significance.
+struct FailureCorrelation {
+  std::vector<std::vector<double>> per_node_counts;  ///< [type][node]
+  stats::CorrelationMatrix matrix;
+};
+[[nodiscard]] FailureCorrelation failure_correlation(
+    const std::vector<failures::GpuFailureEvent>& log, int machine_nodes,
+    double alpha = 0.05);
+
+/// Figure 14: failures per node-hour by project (all types, and the
+/// hardware-only subset), top-k ranking.
+struct ProjectFailureRate {
+  std::uint32_t project = 0;
+  std::size_t domain = 0;
+  double node_hours = 0.0;
+  double failures_per_node_hour = 0.0;
+  std::vector<std::uint64_t> by_type;  ///< kXidTypeCount entries
+};
+[[nodiscard]] std::vector<ProjectFailureRate> project_failure_rates(
+    const std::vector<failures::GpuFailureEvent>& log,
+    const std::vector<workload::Job>& jobs,
+    const std::vector<workload::Project>& projects, bool hardware_only,
+    std::size_t top_k = 15);
+
+/// Figure 15: thermal extremity (z-score) and absolute temperature
+/// distributions per type.
+struct ThermalExtremity {
+  failures::XidType type;
+  std::vector<double> z_scores;
+  std::vector<double> temps_c;
+  double z_skewness = 0.0;
+  double max_temp_c = 0.0;
+  double share_above_60c = 0.0;
+};
+/// `exclude_node` removes a super-offender (the paper drops the node with
+/// 97% of NVLink errors before this analysis); pass -1 to keep all.
+[[nodiscard]] std::vector<ThermalExtremity> thermal_extremity(
+    const std::vector<failures::GpuFailureEvent>& log,
+    machine::NodeId exclude_node = -1);
+
+/// Figure 16: counts per GPU slot (0..5) for a set of types.
+[[nodiscard]] std::array<std::uint64_t, 6> slot_placement(
+    const std::vector<failures::GpuFailureEvent>& log, failures::XidType type);
+
+/// Figure 14's complementary calculation: failure distribution over the
+/// three physical coordinates — floor row, cabinet column within the
+/// row, and node height within the cabinet. The paper finds these flat
+/// apart from the defect nodes; strong structure would indicate an
+/// environmental (cooling/power-feed) problem.
+struct SpatialBreakdown {
+  std::vector<std::uint64_t> by_row;
+  std::vector<std::uint64_t> by_column;
+  std::vector<std::uint64_t> by_height;
+  /// Max/mean ratio per coordinate (1.0 = perfectly flat).
+  double row_peak_ratio = 0.0;
+  double column_peak_ratio = 0.0;
+  double height_peak_ratio = 0.0;
+};
+[[nodiscard]] SpatialBreakdown spatial_breakdown(
+    const std::vector<failures::GpuFailureEvent>& log,
+    const machine::Topology& topo, bool exclude_defect_heavy_nodes = true);
+
+}  // namespace exawatt::core

@@ -1,0 +1,166 @@
+#include "core/fingerprint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace exawatt::core {
+
+Fingerprint fingerprint_of(const power::JobPowerSummary& s) {
+  Fingerprint f;
+  f.job = s.id;
+  f.app = s.app;
+  const double mean_w = std::max(s.mean_power_w, 1.0);
+  const double max_w = std::max(s.max_power_w, 1.0);
+  const double cpu = std::max(s.mean_cpu_node_w, 1.0);
+  const double gpu = std::max(s.mean_gpu_node_w, 1.0);
+  f.v = {std::log(mean_w),
+         std::log(max_w),
+         max_w / mean_w,
+         std::log(gpu / cpu),
+         std::log(std::max(1, s.node_count)),
+         std::log(std::max(s.runtime_s, 1.0)),
+         (s.max_power_w - s.mean_power_w) / mean_w};
+  return f;
+}
+
+namespace {
+using Vec = std::array<double, Fingerprint::kDims>;
+
+double dist2(const Vec& a, const Vec& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+}  // namespace
+
+Clustering cluster_fingerprints(const std::vector<Fingerprint>& prints,
+                                std::size_t k, std::uint64_t seed,
+                                int max_iters) {
+  EXA_CHECK(k >= 1, "k must be at least 1");
+  EXA_CHECK(prints.size() >= k, "need at least k fingerprints");
+  const std::size_t n = prints.size();
+  constexpr std::size_t D = Fingerprint::kDims;
+
+  // Standardize features (zero mean, unit variance).
+  Vec mean{};
+  Vec std{};
+  for (const auto& p : prints) {
+    for (std::size_t d = 0; d < D; ++d) mean[d] += p.v[d];
+  }
+  for (std::size_t d = 0; d < D; ++d) mean[d] /= static_cast<double>(n);
+  for (const auto& p : prints) {
+    for (std::size_t d = 0; d < D; ++d) {
+      std[d] += (p.v[d] - mean[d]) * (p.v[d] - mean[d]);
+    }
+  }
+  for (std::size_t d = 0; d < D; ++d) {
+    std[d] = std::sqrt(std[d] / static_cast<double>(n));
+    if (std[d] <= 0.0) std[d] = 1.0;
+  }
+  std::vector<Vec> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < D; ++d) {
+      x[i][d] = (prints[i].v[d] - mean[d]) / std[d];
+    }
+  }
+
+  // k-means++ initialization.
+  util::Rng rng(seed);
+  Clustering out;
+  out.k = k;
+  out.centroids.clear();
+  out.centroids.push_back(x[rng.uniform_index(n)]);
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  while (out.centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], dist2(x[i], out.centroids.back()));
+      total += d2[i];
+    }
+    double r = rng.uniform() * total;
+    std::size_t pick = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (r < d2[i]) {
+        pick = i;
+        break;
+      }
+      r -= d2[i];
+    }
+    out.centroids.push_back(x[pick]);
+  }
+
+  // Lloyd iterations.
+  out.assignment.assign(n, 0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = dist2(x[i], out.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (out.assignment[i] != best) {
+        out.assignment[i] = best;
+        changed = true;
+      }
+    }
+    std::vector<Vec> sums(k, Vec{});
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(out.assignment[i]);
+      for (std::size_t d = 0; d < D; ++d) sums[c][d] += x[i][d];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep the old centroid
+      for (std::size_t d = 0; d < D; ++d) {
+        out.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed) break;
+  }
+
+  out.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.inertia +=
+        dist2(x[i], out.centroids[static_cast<std::size_t>(out.assignment[i])]);
+  }
+
+  // Purity against ground-truth archetypes.
+  std::vector<std::map<std::uint16_t, std::size_t>> votes(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++votes[static_cast<std::size_t>(out.assignment[i])][prints[i].app];
+  }
+  std::vector<std::uint16_t> majority(k, 0);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::size_t best = 0;
+    for (const auto& [app, cnt] : votes[c]) {
+      if (cnt > best) {
+        best = cnt;
+        majority[c] = app;
+      }
+    }
+  }
+  std::size_t pure = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (majority[static_cast<std::size_t>(out.assignment[i])] ==
+        prints[i].app) {
+      ++pure;
+    }
+  }
+  out.app_purity = static_cast<double>(pure) / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace exawatt::core

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "power/job_power.hpp"
+#include "util/rng.hpp"
+
+namespace exawatt::core {
+
+/// Job power-profile fingerprinting (paper §9 future work): a compact
+/// vector describing a job's power behaviour, clustered with k-means to
+/// build per-user/per-app "power portraits" for predictive scheduling.
+struct Fingerprint {
+  workload::JobId job = 0;
+  std::uint16_t app = 0;  ///< ground-truth archetype (for validation)
+  /// Feature vector: log-mean power, log-max power, max/mean ratio,
+  /// CPU/GPU balance, log node count, log runtime, relative swing.
+  static constexpr std::size_t kDims = 7;
+  std::array<double, kDims> v = {};
+};
+
+/// Build a fingerprint from a job summary.
+[[nodiscard]] Fingerprint fingerprint_of(const power::JobPowerSummary& s);
+
+/// k-means over standardized fingerprints (deterministic k-means++ seed).
+struct Clustering {
+  std::size_t k = 0;
+  std::vector<int> assignment;                 ///< per fingerprint
+  std::vector<std::array<double, Fingerprint::kDims>> centroids;
+  double inertia = 0.0;  ///< sum of squared distances to centroids
+  /// Purity against the ground-truth app labels: fraction of jobs whose
+  /// cluster's majority app matches their own.
+  double app_purity = 0.0;
+};
+[[nodiscard]] Clustering cluster_fingerprints(
+    const std::vector<Fingerprint>& prints, std::size_t k,
+    std::uint64_t seed = 17, int max_iters = 50);
+
+}  // namespace exawatt::core

@@ -1,0 +1,64 @@
+#include "core/gpu_survival.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace exawatt::core {
+
+GpuSurvivalStudy gpu_survival_study(
+    const std::vector<failures::GpuFailureEvent>& log,
+    const std::vector<machine::NodeId>& weak_nodes, int machine_nodes,
+    util::TimeRange window) {
+  EXA_CHECK(machine_nodes > 0, "need a machine");
+  EXA_CHECK(window.duration() > 0, "need a non-empty window");
+  constexpr int kSlots = machine::SummitSpec::kGpusPerNode;
+
+  // First hardware-failure time per GPU; infinity = no failure observed.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> first_failure(
+      static_cast<std::size_t>(machine_nodes) * kSlots, inf);
+  for (const auto& ev : log) {
+    if (failures::xid_is_application(ev.type)) continue;
+    if (ev.node < 0 || ev.node >= machine_nodes) continue;
+    if (!window.contains(ev.time)) continue;
+    auto& slot = first_failure[static_cast<std::size_t>(ev.node) * kSlots +
+                               static_cast<std::size_t>(ev.slot)];
+    slot = std::min(slot, static_cast<double>(ev.time - window.begin));
+  }
+
+  std::vector<bool> weak(static_cast<std::size_t>(machine_nodes), false);
+  for (machine::NodeId n : weak_nodes) {
+    if (n >= 0 && n < machine_nodes) weak[static_cast<std::size_t>(n)] = true;
+  }
+
+  GpuSurvivalStudy study;
+  const auto horizon = static_cast<double>(window.duration());
+  for (machine::NodeId n = 0; n < machine_nodes; ++n) {
+    for (int s = 0; s < kSlots; ++s) {
+      const double t =
+          first_failure[static_cast<std::size_t>(n) * kSlots +
+                        static_cast<std::size_t>(s)];
+      stats::SurvivalObservation obs;
+      if (t < inf) {
+        obs.time = t;
+        obs.event = true;
+      } else {
+        obs.time = horizon;
+        obs.event = false;  // right-censored: survived the window
+      }
+      study.all.push_back(obs);
+      study.by_slot[static_cast<std::size_t>(s)].push_back(obs);
+      (weak[static_cast<std::size_t>(n)] ? study.weak_pool : study.healthy)
+          .push_back(obs);
+    }
+  }
+  if (!study.weak_pool.empty() && !study.healthy.empty()) {
+    study.weak_vs_healthy =
+        stats::log_rank_test(study.weak_pool, study.healthy);
+  }
+  return study;
+}
+
+}  // namespace exawatt::core

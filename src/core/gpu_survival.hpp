@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "failures/generator.hpp"
+#include "stats/survival.hpp"
+
+namespace exawatt::core {
+
+/// GPU lifetime study in the style of Ostrouchov et al. (the Titan
+/// predecessor analysis the paper builds on): per-GPU time to first
+/// hardware failure, right-censored at the observation window end.
+struct GpuSurvivalStudy {
+  /// Observations for every GPU in the machine (node x slot), hardware
+  /// failure types only.
+  std::vector<stats::SurvivalObservation> all;
+  /// Split: GPUs on the known weak-node pool vs the rest.
+  std::vector<stats::SurvivalObservation> weak_pool;
+  std::vector<stats::SurvivalObservation> healthy;
+  /// Per-slot observations (0..5).
+  std::array<std::vector<stats::SurvivalObservation>, 6> by_slot;
+  /// Log-rank: weak pool vs healthy (expected: decisively different).
+  stats::LogRankResult weak_vs_healthy;
+};
+
+[[nodiscard]] GpuSurvivalStudy gpu_survival_study(
+    const std::vector<failures::GpuFailureEvent>& log,
+    const std::vector<machine::NodeId>& weak_nodes, int machine_nodes,
+    util::TimeRange window);
+
+}  // namespace exawatt::core

@@ -1,0 +1,62 @@
+#include "core/job_features.hpp"
+
+#include "util/parallel.hpp"
+
+namespace exawatt::core {
+
+std::vector<power::JobPowerSummary> summarize_jobs(
+    const std::vector<workload::Job>& jobs, util::TimeSec dt) {
+  std::vector<std::size_t> sched;
+  sched.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].start >= 0 && jobs[i].end > jobs[i].start) sched.push_back(i);
+  }
+  return util::parallel_map(sched.size(), [&](std::size_t k) {
+    return power::summarize_job(jobs[sched[k]], dt);
+  });
+}
+
+std::vector<power::JobPowerSummary> by_class(
+    const std::vector<power::JobPowerSummary>& all, int sched_class) {
+  std::vector<power::JobPowerSummary> out;
+  for (const auto& j : all) {
+    if (j.sched_class == sched_class) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<double> feature(const std::vector<power::JobPowerSummary>& jobs,
+                            JobFeature f) {
+  std::vector<double> out;
+  out.reserve(jobs.size());
+  for (const auto& j : jobs) {
+    switch (f) {
+      case JobFeature::kNodeCount: out.push_back(j.node_count); break;
+      case JobFeature::kWalltimeHours: out.push_back(j.runtime_s / 3600.0); break;
+      case JobFeature::kMeanPowerW: out.push_back(j.mean_power_w); break;
+      case JobFeature::kMaxPowerW: out.push_back(j.max_power_w); break;
+      case JobFeature::kMaxMinusMeanW:
+        out.push_back(j.max_power_w - j.mean_power_w);
+        break;
+      case JobFeature::kEnergyJ: out.push_back(j.energy_j); break;
+      case JobFeature::kMeanCpuNodeW: out.push_back(j.mean_cpu_node_w); break;
+      case JobFeature::kMaxCpuNodeW: out.push_back(j.max_cpu_node_w); break;
+      case JobFeature::kMeanGpuNodeW: out.push_back(j.mean_gpu_node_w); break;
+      case JobFeature::kMaxGpuNodeW: out.push_back(j.max_gpu_node_w); break;
+    }
+  }
+  return out;
+}
+
+FeatureCdf feature_cdf(const std::vector<power::JobPowerSummary>& jobs,
+                       JobFeature f) {
+  const std::vector<double> values = feature(jobs, f);
+  FeatureCdf out{f, stats::Ecdf(values), 0.0, 0.0};
+  if (!values.empty()) {
+    out.p80 = out.cdf.percentile(0.8);
+    out.max = out.cdf.sorted().back();
+  }
+  return out;
+}
+
+}  // namespace exawatt::core

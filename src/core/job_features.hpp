@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "power/job_power.hpp"
+#include "stats/ecdf.hpp"
+
+namespace exawatt::core {
+
+/// Summarize every scheduled job in parallel (paper Datasets 5-7).
+[[nodiscard]] std::vector<power::JobPowerSummary> summarize_jobs(
+    const std::vector<workload::Job>& jobs, util::TimeSec dt = 0);
+
+/// Filter helpers.
+[[nodiscard]] std::vector<power::JobPowerSummary> by_class(
+    const std::vector<power::JobPowerSummary>& all, int sched_class);
+
+/// Extract one scalar feature across summaries.
+enum class JobFeature {
+  kNodeCount,
+  kWalltimeHours,
+  kMeanPowerW,
+  kMaxPowerW,
+  kMaxMinusMeanW,
+  kEnergyJ,
+  kMeanCpuNodeW,
+  kMaxCpuNodeW,
+  kMeanGpuNodeW,
+  kMaxGpuNodeW,
+};
+[[nodiscard]] std::vector<double> feature(
+    const std::vector<power::JobPowerSummary>& jobs, JobFeature f);
+
+/// Figure 7 row: the CDF of one feature for one class with the paper's
+/// 80th-percentile marker.
+struct FeatureCdf {
+  JobFeature what;
+  stats::Ecdf cdf;
+  double p80 = 0.0;
+  double max = 0.0;
+};
+[[nodiscard]] FeatureCdf feature_cdf(
+    const std::vector<power::JobPowerSummary>& jobs, JobFeature f);
+
+}  // namespace exawatt::core

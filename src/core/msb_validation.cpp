@@ -1,0 +1,132 @@
+#include "core/msb_validation.hpp"
+
+#include <algorithm>
+
+#include "power/job_power.hpp"
+#include "stats/correlation.hpp"
+#include "util/check.hpp"
+#include "util/welford.hpp"
+
+namespace exawatt::core {
+
+namespace {
+
+/// Nodes of one job that fall under one MSB, and the sum of their sensor
+/// calibration factors (so the summation path applies per-node bias
+/// without a per-node time loop).
+struct JobMsbSlice {
+  double node_count = 0.0;
+  double factor_sum = 0.0;
+};
+
+JobMsbSlice slice_job(const workload::Job& job, const machine::Topology& topo,
+                      const facility::MsbModel& msb, machine::MsbId m) {
+  JobMsbSlice s;
+  for (const auto& r : job.nodes) {
+    for (int i = 0; i < r.count; ++i) {
+      const machine::NodeId n = r.first + i;
+      if (topo.msb_of(n) == m) {
+        s.node_count += 1.0;
+        s.factor_sum += msb.node_sensor_factor(n);
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+MsbValidationResult validate_msbs(const std::vector<workload::Job>& jobs,
+                                  const machine::Topology& topo,
+                                  const facility::MsbModel& msb,
+                                  util::TimeRange window, util::TimeSec dt) {
+  EXA_CHECK(dt > 0, "validation dt must be positive");
+  EXA_CHECK(window.duration() >= dt, "validation window too small");
+  const auto n_windows = static_cast<std::size_t>(window.duration() / dt);
+  const int n_msbs = topo.msbs();
+
+  // Idle baseline per MSB: node counts and factor sums over all nodes.
+  std::vector<double> msb_nodes(static_cast<std::size_t>(n_msbs), 0.0);
+  std::vector<double> msb_factors(static_cast<std::size_t>(n_msbs), 0.0);
+  for (machine::NodeId n = 0; n < topo.nodes(); ++n) {
+    const auto m = static_cast<std::size_t>(topo.msb_of(n));
+    msb_nodes[m] += 1.0;
+    msb_factors[m] += msb.node_sensor_factor(n);
+  }
+
+  const double idle_w = power::node_input_power_w({});
+
+  // true_w[m][w] and biased_w[m][w]: start from the idle baseline.
+  std::vector<std::vector<double>> true_w(
+      static_cast<std::size_t>(n_msbs), std::vector<double>(n_windows));
+  std::vector<std::vector<double>> biased_w = true_w;
+  for (int m = 0; m < n_msbs; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    std::fill(true_w[mi].begin(), true_w[mi].end(), msb_nodes[mi] * idle_w);
+    std::fill(biased_w[mi].begin(), biased_w[mi].end(),
+              msb_factors[mi] * idle_w);
+  }
+
+  for (const auto& job : jobs) {
+    if (job.start < 0) continue;
+    const util::TimeRange overlap = window.clamp(job.interval());
+    if (overlap.duration() <= 0) continue;
+    std::vector<JobMsbSlice> slices;
+    slices.reserve(static_cast<std::size_t>(n_msbs));
+    for (int m = 0; m < n_msbs; ++m) {
+      slices.push_back(slice_job(job, topo, msb, m));
+    }
+    for (util::TimeSec t = overlap.begin; t < overlap.end; t += dt) {
+      const auto w = static_cast<std::size_t>((t - window.begin) / dt);
+      if (w >= n_windows) break;
+      const double p = power::job_node_input_w(job, std::min(t + dt / 2,
+                                                             overlap.end - 1));
+      for (int m = 0; m < n_msbs; ++m) {
+        const auto mi = static_cast<std::size_t>(m);
+        if (slices[mi].node_count <= 0.0) continue;
+        true_w[mi][w] += slices[mi].node_count * (p - idle_w);
+        biased_w[mi][w] += slices[mi].factor_sum * (p - idle_w);
+      }
+    }
+  }
+
+  MsbValidationResult result;
+  util::Welford overall_diff;
+  double total_meter = 0.0;
+  for (int m = 0; m < n_msbs; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    MsbComparison cmp;
+    cmp.msb = m;
+    std::vector<double> meter(n_windows);
+    for (std::size_t w = 0; w < n_windows; ++w) {
+      meter[w] = msb.meter_reading(
+          m, true_w[mi][w],
+          window.begin + dt * static_cast<util::TimeSec>(w));
+    }
+    util::Welford diff;
+    util::Welford meter_level;
+    for (std::size_t w = 0; w < n_windows; ++w) {
+      diff.add(meter[w] - biased_w[mi][w]);
+      meter_level.add(meter[w]);
+    }
+    cmp.mean_diff_w = diff.mean();
+    cmp.std_diff_w = diff.stddev();
+    cmp.relative_diff =
+        meter_level.mean() > 0.0 ? std::fabs(diff.mean()) / meter_level.mean()
+                                 : 0.0;
+    cmp.phase_correlation = stats::pearson(meter, biased_w[mi]);
+    cmp.meter_w = ts::Series(window.begin, dt, std::move(meter));
+    cmp.summation_w = ts::Series(window.begin, dt, std::move(biased_w[mi]));
+    overall_diff.add(cmp.mean_diff_w);
+    total_meter += meter_level.mean();
+    result.per_msb.push_back(std::move(cmp));
+  }
+  result.overall_mean_diff_w = overall_diff.mean();
+  result.overall_relative =
+      total_meter > 0.0
+          ? std::fabs(overall_diff.mean()) * n_msbs / total_meter
+          : 0.0;
+  return result;
+}
+
+}  // namespace exawatt::core

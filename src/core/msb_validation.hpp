@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "facility/msb.hpp"
+#include "stats/descriptive.hpp"
+#include "ts/series.hpp"
+#include "workload/job.hpp"
+
+namespace exawatt::core {
+
+/// Figure 4 reproduction: compare each main switchboard's revenue meter
+/// against the summation of the per-node telemetry sensors under it.
+struct MsbComparison {
+  machine::MsbId msb = 0;
+  ts::Series meter_w;       ///< 10 s mean of the MSB meter
+  ts::Series summation_w;   ///< sum of per-node sensor 10 s means
+  double mean_diff_w = 0.0; ///< mean of (meter - summation)
+  double std_diff_w = 0.0;
+  double relative_diff = 0.0;  ///< |mean diff| / mean meter power
+  double phase_correlation = 0.0;  ///< Pearson r of the two series
+};
+
+struct MsbValidationResult {
+  std::vector<MsbComparison> per_msb;
+  double overall_mean_diff_w = 0.0;  ///< across all MSBs (paper: -129 kW)
+  double overall_relative = 0.0;     ///< paper: ~11%
+};
+
+/// Build the comparison over a window from the scheduled jobs. Uses the
+/// job-centric roll-up per MSB (node ranges intersected with MSB blocks)
+/// so full-scale day windows stay cheap.
+[[nodiscard]] MsbValidationResult validate_msbs(
+    const std::vector<workload::Job>& jobs, const machine::Topology& topo,
+    const facility::MsbModel& msb, util::TimeRange window,
+    util::TimeSec dt = 10);
+
+}  // namespace exawatt::core

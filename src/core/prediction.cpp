@@ -1,0 +1,126 @@
+#include "core/prediction.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/welford.hpp"
+
+namespace exawatt::core {
+
+namespace {
+struct Acc {
+  util::Welford mean_node;
+  util::Welford max_node;
+};
+
+PowerPredictor::Prediction scale_portrait(double mean_node_w,
+                                          double max_node_w, int node_count) {
+  PowerPredictor::Prediction p;
+  p.mean_power_w = mean_node_w * static_cast<double>(node_count);
+  p.max_power_w = max_node_w * static_cast<double>(node_count);
+  return p;
+}
+}  // namespace
+
+PowerPredictor::PowerPredictor(
+    const std::vector<power::JobPowerSummary>& history) {
+  EXA_CHECK(!history.empty(), "predictor needs training history");
+  std::map<Key, Acc> acc;
+  std::map<int, Acc> class_acc;
+  Acc global;
+  for (const auto& s : history) {
+    if (s.node_count <= 0 || s.mean_power_w <= 0.0) continue;
+    const double mean_node = s.mean_power_w / s.node_count;
+    const double max_node = s.max_power_w / s.node_count;
+    auto& a = acc[{s.project, s.sched_class}];
+    a.mean_node.add(mean_node);
+    a.max_node.add(max_node);
+    auto& c = class_acc[s.sched_class];
+    c.mean_node.add(mean_node);
+    c.max_node.add(max_node);
+    global.mean_node.add(mean_node);
+    global.max_node.add(max_node);
+  }
+  auto finish = [](const Acc& a) {
+    Portrait p;
+    p.jobs = static_cast<int>(a.mean_node.count());
+    p.mean_node_w = a.mean_node.mean();
+    p.max_node_w = a.max_node.mean();
+    const double sample_rel =
+        p.mean_node_w > 0.0 ? a.mean_node.sample_stddev() / p.mean_node_w
+                            : 1.0;
+    // Shrink toward a wide prior so thin portraits stay honest about
+    // their uncertainty (the paper's "default measure of uncertainty ...
+    // would converge" as the portrait deepens).
+    constexpr double kPriorRelSigma = 0.5;
+    constexpr double kPriorWeight = 4.0;
+    const auto n = static_cast<double>(p.jobs);
+    p.rel_sigma = std::sqrt((sample_rel * sample_rel * n +
+                             kPriorRelSigma * kPriorRelSigma * kPriorWeight) /
+                            (n + kPriorWeight));
+    return p;
+  };
+  for (const auto& [key, a] : acc) portraits_[key] = finish(a);
+  for (const auto& [cls, a] : class_acc) class_fallback_[cls] = finish(a);
+  global_ = finish(global);
+}
+
+PowerPredictor::Prediction PowerPredictor::predict(std::uint32_t project,
+                                                   int sched_class,
+                                                   int node_count) const {
+  EXA_CHECK(node_count > 0, "prediction needs a node count");
+  const auto it = portraits_.find({project, sched_class});
+  if (it != portraits_.end() && it->second.jobs >= 3) {
+    Prediction p = scale_portrait(it->second.mean_node_w,
+                                  it->second.max_node_w, node_count);
+    p.uncertainty = it->second.rel_sigma;
+    p.portrait_jobs = it->second.jobs;
+    p.from_portrait = true;
+    return p;
+  }
+  const auto cls = class_fallback_.find(sched_class);
+  const Portrait& fb =
+      cls != class_fallback_.end() ? cls->second : global_;
+  Prediction p = scale_portrait(fb.mean_node_w, fb.max_node_w, node_count);
+  // A default (wide) uncertainty for cold projects, as the paper sketches.
+  p.uncertainty = std::max(fb.rel_sigma, 0.5);
+  p.portrait_jobs = fb.jobs;
+  p.from_portrait = false;
+  return p;
+}
+
+PowerPredictor::Evaluation PowerPredictor::evaluate(
+    const std::vector<power::JobPowerSummary>& test) const {
+  Evaluation e;
+  double ape_mean = 0.0;
+  double ape_max = 0.0;
+  double base_mean = 0.0;
+  double base_max = 0.0;
+  for (const auto& s : test) {
+    if (s.node_count <= 0 || s.mean_power_w <= 0.0 || s.max_power_w <= 0.0) {
+      continue;
+    }
+    const Prediction p = predict(s.project, s.sched_class, s.node_count);
+    ape_mean += std::fabs(p.mean_power_w - s.mean_power_w) / s.mean_power_w;
+    ape_max += std::fabs(p.max_power_w - s.max_power_w) / s.max_power_w;
+    // Baseline: the per-class portrait regardless of project.
+    const auto cls = class_fallback_.find(s.sched_class);
+    const Portrait& fb =
+        cls != class_fallback_.end() ? cls->second : global_;
+    const Prediction b =
+        scale_portrait(fb.mean_node_w, fb.max_node_w, s.node_count);
+    base_mean += std::fabs(b.mean_power_w - s.mean_power_w) / s.mean_power_w;
+    base_max += std::fabs(b.max_power_w - s.max_power_w) / s.max_power_w;
+    ++e.jobs;
+  }
+  if (e.jobs > 0) {
+    const auto n = static_cast<double>(e.jobs);
+    e.mape_mean = ape_mean / n;
+    e.mape_max = ape_max / n;
+    e.baseline_mape_mean = base_mean / n;
+    e.baseline_mape_max = base_max / n;
+  }
+  return e;
+}
+
+}  // namespace exawatt::core

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "power/job_power.hpp"
+
+namespace exawatt::core {
+
+/// Queued-job power prediction from historical power portraits — the
+/// paper's §9 proposal: "queued jobs will assume the average power
+/// portrait of the user given job size, job launch arguments, and
+/// project ID", with an uncertainty that is wide for cold projects and
+/// narrow for well-known ones.
+///
+/// Portraits are keyed by (project, scheduling class) and store per-node
+/// power statistics, so predictions transfer across job sizes. Lookups
+/// fall back portrait -> per-class -> global.
+class PowerPredictor {
+ public:
+  explicit PowerPredictor(
+      const std::vector<power::JobPowerSummary>& history);
+
+  struct Prediction {
+    double mean_power_w = 0.0;   ///< predicted total mean input power
+    double max_power_w = 0.0;    ///< predicted total peak input power
+    double uncertainty = 1.0;    ///< relative sigma of the portrait used
+    int portrait_jobs = 0;       ///< history size behind the prediction
+    bool from_portrait = false;  ///< false when a fallback was used
+  };
+
+  [[nodiscard]] Prediction predict(std::uint32_t project, int sched_class,
+                                   int node_count) const;
+
+  /// Out-of-sample evaluation: mean absolute percentage error of this
+  /// predictor vs the naive per-class baseline, on a disjoint test set.
+  struct Evaluation {
+    double mape_mean = 0.0;
+    double mape_max = 0.0;
+    double baseline_mape_mean = 0.0;
+    double baseline_mape_max = 0.0;
+    std::size_t jobs = 0;
+  };
+  [[nodiscard]] Evaluation evaluate(
+      const std::vector<power::JobPowerSummary>& test) const;
+
+  [[nodiscard]] std::size_t portraits() const { return portraits_.size(); }
+
+ private:
+  struct Portrait {
+    double mean_node_w = 0.0;   ///< mean of per-node mean power
+    double max_node_w = 0.0;    ///< mean of per-node max power
+    double rel_sigma = 1.0;     ///< relative spread of the mean estimate
+    int jobs = 0;
+  };
+  using Key = std::pair<std::uint32_t, int>;
+  std::map<Key, Portrait> portraits_;
+  std::map<int, Portrait> class_fallback_;
+  Portrait global_;
+};
+
+}  // namespace exawatt::core

@@ -1,0 +1,98 @@
+#include "core/pue_analysis.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace exawatt::core {
+
+YearTrend year_trend(const ts::Frame& cluster, const ts::Frame& cep) {
+  EXA_CHECK(cluster.has("input_power_w"), "need input_power_w");
+  EXA_CHECK(cep.has("pue") && cep.has("tower_tons") && cep.has("chiller_tons"),
+            "need facility columns");
+  EXA_CHECK(cluster.rows() == cep.rows() && cluster.dt() == cep.dt(),
+            "frames must share one grid");
+  const ts::Series& power = cluster.at("input_power_w");
+  const ts::Series& pue = cep.at("pue");
+  const ts::Series& tower = cep.at("tower_tons");
+  const ts::Series& chiller = cep.at("chiller_tons");
+
+  YearTrend trend;
+  const std::size_t n = cluster.rows();
+  if (n == 0) return trend;
+
+  const int first_week = util::calendar(power.time_at(0)).week_of_year;
+  const int last_week = util::calendar(power.time_at(n - 1)).week_of_year;
+  std::vector<std::vector<double>> wk_power;
+  std::vector<std::vector<double>> wk_pue;
+  std::vector<double> wk_energy;
+  std::vector<double> wk_tower;
+  std::vector<double> wk_chiller;
+  const std::size_t weeks = static_cast<std::size_t>(last_week - first_week) + 1;
+  wk_power.resize(weeks);
+  wk_pue.resize(weeks);
+  wk_energy.assign(weeks, 0.0);
+  wk_tower.assign(weeks, 0.0);
+  wk_chiller.assign(weeks, 0.0);
+
+  double pue_sum = 0.0;
+  double power_sum = 0.0;
+  double summer_pue_sum = 0.0;
+  std::size_t summer_count = 0;
+  double winter_pue_sum = 0.0;
+  std::size_t winter_count = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const util::TimeSec t = power.time_at(i);
+    const util::CalendarDate d = util::calendar(t);
+    const auto w = static_cast<std::size_t>(d.week_of_year - first_week);
+    if (w >= weeks) continue;
+    wk_power[w].push_back(power[i] / 1.0e6);
+    wk_pue[w].push_back(pue[i]);
+    wk_energy[w] += power[i] * static_cast<double>(cluster.dt());
+    wk_tower[w] += tower[i];
+    wk_chiller[w] += chiller[i];
+    pue_sum += pue[i];
+    power_sum += power[i];
+    const bool summer = d.month >= 6 && d.month <= 9;
+    if (summer) {
+      summer_pue_sum += pue[i];
+      ++summer_count;
+    } else {
+      winter_pue_sum += pue[i];
+      ++winter_count;
+    }
+    trend.max_pue = std::max(trend.max_pue, pue[i]);
+  }
+
+  std::size_t chiller_weeks = 0;
+  for (std::size_t w = 0; w < weeks; ++w) {
+    if (wk_power[w].empty()) continue;
+    WeeklySummary s;
+    s.week = first_week + static_cast<int>(w);
+    s.power_mw = stats::boxplot(wk_power[w]);
+    s.pue = stats::boxplot(wk_pue[w]);
+    s.max_power_mw = stats::max_value(wk_power[w]);
+    s.energy_gwh = wk_energy[w] / 3.6e12;
+    const double tons = wk_tower[w] + wk_chiller[w];
+    s.chiller_share = tons > 0.0 ? wk_chiller[w] / tons : 0.0;
+    if (s.chiller_share > 0.05) ++chiller_weeks;
+    trend.weeks.push_back(std::move(s));
+  }
+  trend.mean_power_mw = power_sum / static_cast<double>(n) / 1.0e6;
+  trend.mean_pue = pue_sum / static_cast<double>(n);
+  if (summer_count > 0) {
+    trend.summer_mean_pue = summer_pue_sum / static_cast<double>(summer_count);
+  }
+  if (winter_count > 0) {
+    trend.winter_mean_pue = winter_pue_sum / static_cast<double>(winter_count);
+  }
+  if (!trend.weeks.empty()) {
+    trend.chiller_weeks_fraction =
+        static_cast<double>(chiller_weeks) /
+        static_cast<double>(trend.weeks.size());
+  }
+  return trend;
+}
+
+}  // namespace exawatt::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "ts/frame.hpp"
+
+namespace exawatt::core {
+
+/// Figure 5 reproduction: weekly power/PUE distributions over the year
+/// plus the headline seasonal PUE numbers (winter ~1.11, summer ~1.22,
+/// February maintenance spike ~1.3).
+struct WeeklySummary {
+  int week = 0;
+  stats::BoxplotStats power_mw;
+  stats::BoxplotStats pue;
+  double max_power_mw = 0.0;
+  double energy_gwh = 0.0;
+  double chiller_share = 0.0;  ///< chiller tons / total tons
+};
+
+struct YearTrend {
+  std::vector<WeeklySummary> weeks;
+  double mean_power_mw = 0.0;
+  double mean_pue = 0.0;
+  double summer_mean_pue = 0.0;   ///< weeks overlapping Jun-Sep
+  double winter_mean_pue = 0.0;   ///< the remaining weeks
+  double max_pue = 0.0;
+  double chiller_weeks_fraction = 0.0;  ///< weeks with chillers > 5% share
+};
+
+/// `cluster` must carry input_power_w; `cep` the matching facility frame.
+[[nodiscard]] YearTrend year_trend(const ts::Frame& cluster,
+                                   const ts::Frame& cep);
+
+}  // namespace exawatt::core

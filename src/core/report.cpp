@@ -1,0 +1,78 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace exawatt::core {
+
+namespace {
+constexpr const char kGlyphs[] = " .:-=+*#%@";
+constexpr int kLevels = 10;
+
+char glyph(double v, double lo, double hi) {
+  if (std::isnan(v)) return '.';
+  if (hi <= lo) return kGlyphs[kLevels / 2];
+  int level = static_cast<int>((v - lo) / (hi - lo) * (kLevels - 1) + 0.5);
+  level = std::clamp(level, 0, kLevels - 1);
+  return kGlyphs[level];
+}
+
+void auto_range(const std::vector<double>& values, double& lo, double& hi) {
+  if (hi > lo) return;
+  lo = std::numeric_limits<double>::infinity();
+  hi = -std::numeric_limits<double>::infinity();
+  for (double v : values) {
+    if (std::isnan(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!std::isfinite(lo)) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+}
+}  // namespace
+
+std::string floor_heatmap(const machine::Topology& topo,
+                          const std::vector<double>& per_cabinet, double lo,
+                          double hi) {
+  EXA_CHECK(per_cabinet.size() ==
+                static_cast<std::size_t>(topo.cabinets()),
+            "need one value per cabinet");
+  auto_range(per_cabinet, lo, hi);
+  std::ostringstream os;
+  for (int r = 0; r < topo.rows(); ++r) {
+    for (int c = 0; c < topo.columns(); ++c) {
+      const int cab = r * topo.columns() + c;
+      if (cab >= topo.cabinets()) break;
+      os << glyph(per_cabinet[static_cast<std::size_t>(cab)], lo, hi);
+    }
+    os << '\n';
+  }
+  char footer[96];
+  std::snprintf(footer, sizeof footer, "scale: '%c' = %.1f ... '%c' = %.1f\n",
+                kGlyphs[0], lo, kGlyphs[kLevels - 1], hi);
+  os << footer;
+  return os.str();
+}
+
+std::string sparkline(const ts::Series& series, std::size_t width) {
+  if (series.empty() || width == 0) return "";
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<double> v(series.values().begin(), series.values().end());
+  auto_range(v, lo, hi);
+  std::string out;
+  out.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t idx = i * series.size() / width;
+    out += glyph(series[idx], lo, hi);
+  }
+  return out;
+}
+
+}  // namespace exawatt::core

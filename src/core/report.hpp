@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/topology.hpp"
+#include "ts/series.hpp"
+
+namespace exawatt::core {
+
+/// Terminal rendering of the paper's visual artifacts: the Figure 17
+/// floor heatmap (per-cabinet values laid out in rows/columns) and
+/// sparkline strips for time series.
+
+/// Render per-cabinet values as the machine-floor grid. NaN cells render
+/// as '.' (no job nodes — the paper's grey), and cells are bucketed into
+/// intensity glyphs " .:-=+*#%@" between lo and hi (auto when lo >= hi).
+[[nodiscard]] std::string floor_heatmap(const machine::Topology& topo,
+                                        const std::vector<double>& per_cabinet,
+                                        double lo = 0.0, double hi = 0.0);
+
+/// One-line unicode-free sparkline of a series (levels " .:-=+*#%@").
+[[nodiscard]] std::string sparkline(const ts::Series& series,
+                                    std::size_t width = 72);
+
+}  // namespace exawatt::core

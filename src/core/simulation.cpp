@@ -1,0 +1,66 @@
+#include "core/simulation.hpp"
+
+#include "util/check.hpp"
+
+namespace exawatt::core {
+
+Simulation::Simulation(SimulationConfig config) : config_(std::move(config)) {
+  EXA_CHECK(config_.range.duration() > 0, "simulation range must be non-empty");
+  config_.workload.scale = config_.scale;
+  config_.workload.seed = config_.seed;
+  config_.failures.seed = util::hash_combine(config_.seed, 0xf417ULL);
+  // Facility parasitics sized for the full plant scale down with the
+  // machine so PUE stays meaningful in reduced-scale runs.
+  const double f = config_.scale.fraction();
+  config_.cep.cooling.pump_power_w *= f;
+  config_.cep.cooling.loop_w_per_c *= f;
+  generator_ = std::make_unique<workload::JobGenerator>(config_.workload);
+}
+
+const std::vector<workload::Job>& Simulation::jobs() {
+  if (!jobs_ready_) {
+    jobs_ = generator_->generate(config_.range);
+    workload::Scheduler scheduler(config_.scale);
+    sched_stats_ = scheduler.run(jobs_, config_.range.end);
+    jobs_ready_ = true;
+  }
+  return jobs_;
+}
+
+const workload::SchedulerStats& Simulation::scheduler_stats() {
+  (void)jobs();
+  return sched_stats_;
+}
+
+const std::vector<workload::Project>& Simulation::projects() {
+  return generator_->projects();
+}
+
+ts::Frame Simulation::cluster_frame(util::TimeRange range,
+                                    power::ClusterSeriesOptions options) {
+  return power::cluster_power_frame(jobs(), config_.scale, range, options);
+}
+
+ts::Frame Simulation::cep_frame(const ts::Frame& cluster) {
+  facility::CepOptions options = config_.cep;
+  options.weather_seed = util::hash_combine(config_.seed, 0x3ea1ULL);
+  return facility::simulate_cep(cluster, options);
+}
+
+const failures::FailureGenerator& Simulation::failure_generator() {
+  if (!failure_gen_) {
+    failure_gen_ = std::make_unique<failures::FailureGenerator>(
+        config_.scale, projects(), config_.failures);
+  }
+  return *failure_gen_;
+}
+
+const std::vector<failures::GpuFailureEvent>& Simulation::failure_log() {
+  if (!failures_ready_) {
+    failures_ = failure_generator().generate(jobs());
+    failures_ready_ = true;
+  }
+  return failures_;
+}
+
+}  // namespace exawatt::core

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "facility/cep.hpp"
+#include "failures/generator.hpp"
+#include "power/cluster.hpp"
+#include "workload/generator.hpp"
+#include "workload/scheduler.hpp"
+
+namespace exawatt::core {
+
+/// Top-level configuration of the Summit digital twin.
+struct SimulationConfig {
+  machine::MachineScale scale = machine::MachineScale::full();
+  std::uint64_t seed = 42;
+  util::TimeRange range = {0, util::kYear};  ///< simulated 2020 window
+  workload::WorkloadConfig workload = {};    ///< scale/seed overwritten
+  facility::CepOptions cep = {};
+  failures::FailureModelConfig failures = {};  ///< seed overwritten
+};
+
+/// Owns one simulated operational period end-to-end: job history,
+/// cluster power, facility response and the GPU failure log. All lazily
+/// computed and cached; everything is deterministic in the seed.
+class Simulation {
+ public:
+  explicit Simulation(SimulationConfig config);
+
+  [[nodiscard]] const SimulationConfig& config() const { return config_; }
+  [[nodiscard]] const machine::MachineScale& scale() const {
+    return config_.scale;
+  }
+
+  /// Scheduled job history (jobs that never started keep start == -1).
+  [[nodiscard]] const std::vector<workload::Job>& jobs();
+  [[nodiscard]] const workload::SchedulerStats& scheduler_stats();
+  [[nodiscard]] const std::vector<workload::Project>& projects();
+
+  /// Cluster power frame over a window (columns of
+  /// power::cluster_power_frame). Not cached: callers choose dt.
+  [[nodiscard]] ts::Frame cluster_frame(util::TimeRange range,
+                                        power::ClusterSeriesOptions options);
+
+  /// Facility telemetry (PUE, MTW temps, tons) along a cluster frame.
+  [[nodiscard]] ts::Frame cep_frame(const ts::Frame& cluster);
+
+  /// The year's GPU XID failure log (cached).
+  [[nodiscard]] const std::vector<failures::GpuFailureEvent>& failure_log();
+
+  /// The failure generator behind failure_log() — the source of truth for
+  /// defect-node identities (super-offender, weak pool). Reconstructing a
+  /// generator from a hand-copied config risks a seed mismatch; use this.
+  [[nodiscard]] const failures::FailureGenerator& failure_generator();
+
+ private:
+  SimulationConfig config_;
+  std::unique_ptr<workload::JobGenerator> generator_;
+  std::vector<workload::Job> jobs_;
+  workload::SchedulerStats sched_stats_;
+  bool jobs_ready_ = false;
+  std::unique_ptr<failures::FailureGenerator> failure_gen_;
+  std::vector<failures::GpuFailureEvent> failures_;
+  bool failures_ready_ = false;
+};
+
+}  // namespace exawatt::core

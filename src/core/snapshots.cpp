@@ -1,0 +1,79 @@
+#include "core/snapshots.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace exawatt::core {
+
+std::vector<EdgeSnapshotSet> collect_edge_sets(const ts::Series& cluster_power,
+                                               double machine_nodes,
+                                               bool rising,
+                                               SnapshotOptions options) {
+  EXA_CHECK(options.amplitude_bin_mw > 0.0, "amplitude bin must be positive");
+  const std::vector<Edge> edges =
+      detect_edges(cluster_power, machine_nodes, options.edges);
+  std::map<int, EdgeSnapshotSet> bins;
+  for (const Edge& e : edges) {
+    if (e.rising != rising) continue;
+    const int mw = static_cast<int>(
+        std::floor(e.amplitude_w / 1.0e6 / options.amplitude_bin_mw));
+    if (mw < 1) continue;  // sub-MW swings are not in Figure 11's range
+    if (options.steady_pre_fraction <= 1.0) {
+      // Require a steady pre-edge level so superimposed means are clean.
+      const std::ptrdiff_t at = cluster_power.index_of(e.start);
+      const auto back = static_cast<std::ptrdiff_t>(
+          options.before_s / cluster_power.dt());
+      double lo = e.initial_w;
+      double hi = e.initial_w;
+      for (std::ptrdiff_t k = at - back; k <= at; ++k) {
+        if (k < 0 || k >= static_cast<std::ptrdiff_t>(cluster_power.size())) {
+          continue;
+        }
+        lo = std::min(lo, cluster_power[static_cast<std::size_t>(k)]);
+        hi = std::max(hi, cluster_power[static_cast<std::size_t>(k)]);
+      }
+      if (hi - lo > options.steady_pre_fraction * e.amplitude_w) continue;
+    }
+    auto& set = bins[mw];
+    set.amplitude_mw = mw;
+    set.rising = rising;
+    set.at.push_back(e.start);
+  }
+  std::vector<EdgeSnapshotSet> out;
+  out.reserve(bins.size());
+  for (auto& [mw, set] : bins) out.push_back(std::move(set));
+  return out;
+}
+
+stats::SnapshotBand superimpose_column(const ts::Series& column,
+                                       const EdgeSnapshotSet& set,
+                                       SnapshotOptions options) {
+  EXA_CHECK(!column.empty(), "cannot snapshot an empty series");
+  const util::TimeSec dt = column.dt();
+  const auto before = static_cast<std::ptrdiff_t>(options.before_s / dt);
+  const auto after = static_cast<std::ptrdiff_t>(options.after_s / dt);
+  const std::size_t len = static_cast<std::size_t>(before + after + 1);
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+  std::vector<std::vector<double>> snapshots;
+  snapshots.reserve(set.at.size());
+  for (util::TimeSec t0 : set.at) {
+    const std::ptrdiff_t center = column.index_of(t0);
+    std::vector<double> snap(len, kNan);
+    for (std::ptrdiff_t k = -before; k <= after; ++k) {
+      const std::ptrdiff_t idx = center + k;
+      if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(column.size())) {
+        snap[static_cast<std::size_t>(k + before)] =
+            column[static_cast<std::size_t>(idx)];
+      }
+    }
+    snapshots.push_back(std::move(snap));
+  }
+  return stats::superimpose(snapshots);
+}
+
+}  // namespace exawatt::core

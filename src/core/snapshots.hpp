@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "core/edges.hpp"
+#include "stats/snapshot.hpp"
+#include "ts/frame.hpp"
+
+namespace exawatt::core {
+
+/// Figure 11/12 machinery: detect cluster-level rising (or falling)
+/// edges, bin them by amplitude in MW, cut aligned windows around each
+/// edge from any co-registered column, and superimpose with 95% CI.
+struct SnapshotOptions {
+  util::TimeSec before_s = 60;    ///< window starts 1 min before the edge
+  util::TimeSec after_s = 240;    ///< and runs 4 min past it
+  double amplitude_bin_mw = 1.0;  ///< 1 MW bins, as in Figure 11
+  /// Keep only edges whose pre-window is steady: the power spread over
+  /// `before_s` before the edge must stay under this fraction of the
+  /// edge amplitude. Filters the periodic-oscillation edges out of the
+  /// superposition so the mean curves are as clean as the paper's
+  /// (set > 1 to disable).
+  double steady_pre_fraction = 0.35;
+  EdgeOptions edges = {};
+};
+
+/// One amplitude class worth of aligned snapshots.
+struct EdgeSnapshotSet {
+  int amplitude_mw = 0;              ///< lower edge of the MW bin
+  bool rising = true;
+  std::vector<util::TimeSec> at;     ///< edge start times
+};
+
+/// Detect and bin edges of one direction on the cluster power series.
+[[nodiscard]] std::vector<EdgeSnapshotSet> collect_edge_sets(
+    const ts::Series& cluster_power, double machine_nodes, bool rising,
+    SnapshotOptions options = {});
+
+/// Cut the aligned windows for one edge set from `column` (any series on
+/// the same clock) and superimpose them. Windows that run off the series
+/// are padded with NaN (skipped per-offset by the superposition).
+[[nodiscard]] stats::SnapshotBand superimpose_column(
+    const ts::Series& column, const EdgeSnapshotSet& set,
+    SnapshotOptions options = {});
+
+}  // namespace exawatt::core

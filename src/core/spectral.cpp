@@ -1,0 +1,17 @@
+#include "core/spectral.hpp"
+
+namespace exawatt::core {
+
+JobSpectrum job_spectrum(const ts::Series& power) {
+  JobSpectrum s;
+  if (power.size() < 8) return s;
+  const ts::Series d = power.diff();
+  const stats::DominantFrequency dom =
+      stats::dominant_frequency(d.values(), static_cast<double>(power.dt()));
+  s.frequency_hz = dom.frequency_hz;
+  s.amplitude_w = dom.amplitude;
+  s.valid = dom.amplitude > 0.0;
+  return s;
+}
+
+}  // namespace exawatt::core

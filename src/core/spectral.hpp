@@ -1,0 +1,21 @@
+#pragma once
+
+#include <vector>
+
+#include "stats/fft.hpp"
+#include "ts/series.hpp"
+
+namespace exawatt::core {
+
+/// Figure 10 lower row: per-job dominant frequency and amplitude of the
+/// *differenced* power series (differencing de-trends the strongly
+/// auto-correlated signal before the FFT, as the paper does).
+struct JobSpectrum {
+  double frequency_hz = 0.0;
+  double amplitude_w = 0.0;
+  bool valid = false;  ///< false for jobs too short to analyze
+};
+
+[[nodiscard]] JobSpectrum job_spectrum(const ts::Series& power);
+
+}  // namespace exawatt::core

@@ -1,0 +1,99 @@
+#include "core/thermal_response.hpp"
+
+#include <cmath>
+
+#include "machine/spec.hpp"
+#include "thermal/rc_model.hpp"
+#include "util/check.hpp"
+
+namespace exawatt::core {
+
+using machine::SummitSpec;
+
+ts::Frame cluster_thermal_frame(const ts::Frame& cluster, const ts::Frame& cep,
+                                int machine_nodes,
+                                thermal::ThermalParams params) {
+  EXA_CHECK(cluster.has("gpu_power_w") && cluster.has("cpu_power_w"),
+            "cluster frame must carry component power columns");
+  EXA_CHECK(cep.has("mtw_supply_c"), "cep frame must carry mtw_supply_c");
+  EXA_CHECK(cluster.rows() == cep.rows() && cluster.dt() == cep.dt(),
+            "cluster and cep frames must share one grid");
+  EXA_CHECK(machine_nodes > 0, "need machine node count");
+
+  const ts::Series& gpu_w = cluster.at("gpu_power_w");
+  const ts::Series& cpu_w = cluster.at("cpu_power_w");
+  const ts::Series& supply = cep.at("mtw_supply_c");
+  const std::size_t n = cluster.rows();
+  const double dt = static_cast<double>(cluster.dt());
+
+  const double total_gpus =
+      static_cast<double>(machine_nodes) * SummitSpec::kGpusPerNode;
+  const double total_cpus =
+      static_cast<double>(machine_nodes) * SummitSpec::kCpusPerNode;
+
+  // Fleet thermal-resistance quantiles (lognormal): the mean chip and the
+  // ~99.9th-percentile chip that defines the cluster max.
+  const double r_gpu_mean = params.gpu_r_mean_c_per_w;
+  const double r_gpu_hot =
+      params.gpu_r_mean_c_per_w * std::exp(3.1 * params.gpu_r_sigma);
+  const double r_cpu_mean = params.cpu_r_mean_c_per_w;
+  const double r_cpu_hot =
+      params.cpu_r_mean_c_per_w * std::exp(3.1 * params.cpu_r_sigma);
+  // Hot chips also sit in warm cabinets (quantile of the spatial offset).
+  const double hot_cabinet = 2.6 * params.cabinet_sigma_c;
+
+  std::vector<double> gpu_mean(n);
+  std::vector<double> gpu_max(n);
+  std::vector<double> cpu_mean(n);
+  std::vector<double> cpu_max(n);
+
+  double t_gpu_mean = 0.0;
+  double t_gpu_max = 0.0;
+  double t_cpu_mean = 0.0;
+  double t_cpu_max = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double per_gpu_w = gpu_w[i] / total_gpus;
+    const double per_cpu_w = cpu_w[i] / total_cpus;
+    // Mean chain preheat: the average GPU sits behind one upstream GPU.
+    const double preheat = params.chain_c_per_w * per_gpu_w;
+    const double tgt_gpu_mean = supply[i] + r_gpu_mean * per_gpu_w + preheat;
+    // The hottest GPU: worst resistance, warm cabinet, end of the chain
+    // (two upstream devices), and above-average load (+10%).
+    const double tgt_gpu_max = supply[i] + hot_cabinet +
+                               r_gpu_hot * per_gpu_w * 1.10 +
+                               2.0 * params.chain_c_per_w * per_gpu_w;
+    const double tgt_cpu_mean = supply[i] + r_cpu_mean * per_cpu_w;
+    const double tgt_cpu_max =
+        supply[i] + hot_cabinet + r_cpu_hot * per_cpu_w * 1.05;
+    if (i == 0) {
+      t_gpu_mean = tgt_gpu_mean;
+      t_gpu_max = tgt_gpu_max;
+      t_cpu_mean = tgt_cpu_mean;
+      t_cpu_max = tgt_cpu_max;
+    } else {
+      t_gpu_mean = thermal::rc_step(t_gpu_mean, tgt_gpu_mean, dt,
+                                    params.gpu_tau_s);
+      // Hot outliers integrate more heat; their effective tau is longer,
+      // so the max keeps climbing after the mean settles.
+      t_gpu_max = thermal::rc_step(t_gpu_max, tgt_gpu_max, dt,
+                                   params.gpu_tau_s * 3.0);
+      t_cpu_mean = thermal::rc_step(t_cpu_mean, tgt_cpu_mean, dt,
+                                    params.cpu_tau_s);
+      t_cpu_max = thermal::rc_step(t_cpu_max, tgt_cpu_max, dt,
+                                   params.cpu_tau_s * 2.0);
+    }
+    gpu_mean[i] = t_gpu_mean;
+    gpu_max[i] = t_gpu_max;
+    cpu_mean[i] = t_cpu_mean;
+    cpu_max[i] = t_cpu_max;
+  }
+
+  ts::Frame out(cluster.start(), cluster.dt(), n);
+  out.set("gpu_mean_c", std::move(gpu_mean));
+  out.set("gpu_max_c", std::move(gpu_max));
+  out.set("cpu_mean_c", std::move(cpu_mean));
+  out.set("cpu_max_c", std::move(cpu_max));
+  return out;
+}
+
+}  // namespace exawatt::core

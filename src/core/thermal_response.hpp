@@ -1,0 +1,22 @@
+#pragma once
+
+#include "thermal/node_thermal.hpp"
+#include "ts/frame.hpp"
+
+namespace exawatt::core {
+
+/// Cluster-level component temperature series derived from the cluster
+/// power frame and the facility supply temperature (paper Figure 12 rows
+/// 2-3). Mean temperature follows the fleet-average steady state through
+/// the RC filter; max tracks a high quantile of the fleet's thermal-
+/// resistance distribution (the hottest chips keep rising after a step
+/// while the mean has settled — exactly the paper's 7 MW observation).
+///
+/// Input frames: `cluster` needs gpu_power_w / cpu_power_w / alloc_nodes;
+/// `cep` needs mtw_supply_c (same grid). Output columns:
+///   gpu_mean_c, gpu_max_c, cpu_mean_c, cpu_max_c
+[[nodiscard]] ts::Frame cluster_thermal_frame(
+    const ts::Frame& cluster, const ts::Frame& cep, int machine_nodes,
+    thermal::ThermalParams params = {});
+
+}  // namespace exawatt::core

@@ -1,0 +1,109 @@
+#include "core/variability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/correlation.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace exawatt::core {
+
+using machine::SummitSpec;
+
+VariabilityStudy variability_study(const workload::Job& job,
+                                   const power::FleetVariability& fleet,
+                                   const thermal::FleetThermal& thermals,
+                                   double mtw_supply_c,
+                                   std::size_t instants) {
+  EXA_CHECK(job.start >= 0 && job.end > job.start, "job must be scheduled");
+  EXA_CHECK(instants >= 1, "need at least one instant");
+  VariabilityStudy study;
+  study.job = job.id;
+  study.node_count = job.node_count;
+  study.runtime_min = static_cast<double>(job.end - job.start) / 60.0;
+
+  const machine::Topology& topo = thermals.topology();
+  const auto cabinets = static_cast<std::size_t>(topo.cabinets());
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+  std::size_t readings = 0;
+  std::size_t readings_below_60 = 0;
+
+  for (std::size_t s = 0; s < instants; ++s) {
+    const util::TimeSec t =
+        job.start + (job.end - job.start) *
+                        static_cast<util::TimeSec>(2 * s + 1) /
+                        static_cast<util::TimeSec>(2 * instants);
+    VariabilitySnapshot snap;
+    snap.t = t;
+
+    std::vector<double> powers;
+    std::vector<double> temps;
+    powers.reserve(static_cast<std::size_t>(job.node_count) *
+                   SummitSpec::kGpusPerNode);
+    temps.reserve(powers.capacity());
+    std::vector<double> cab_sum(cabinets, 0.0);
+    std::vector<double> cab_cnt(cabinets, 0.0);
+    std::vector<double> cab_max(cabinets, kNan);
+
+    int rank = 0;
+    for (const auto& r : job.nodes) {
+      for (int i = 0; i < r.count; ++i, ++rank) {
+        const machine::NodeId node = r.first + i;
+        const power::NodeComponentPower p =
+            power::node_power_detail(job, rank, t, fleet);
+        const thermal::FleetThermal::NodeTemps nt =
+            thermals.steady_temps(node, p, mtw_supply_c);
+        const auto cab = static_cast<std::size_t>(topo.cabinet_of(node));
+        for (int g = 0; g < SummitSpec::kGpusPerNode; ++g) {
+          powers.push_back(p.gpu_w[g]);
+          temps.push_back(nt.gpu_c[g]);
+          cab_sum[cab] += nt.gpu_c[g];
+          cab_cnt[cab] += 1.0;
+          if (std::isnan(cab_max[cab]) || nt.gpu_c[g] > cab_max[cab]) {
+            cab_max[cab] = nt.gpu_c[g];
+          }
+          ++readings;
+          if (nt.gpu_c[g] < 60.0) ++readings_below_60;
+          study.max_temp_c = std::max(study.max_temp_c, nt.gpu_c[g]);
+        }
+      }
+    }
+
+    snap.gpu_power_w = stats::boxplot(powers);
+    snap.gpu_temp_c = stats::boxplot(temps);
+    snap.power_spread_w = snap.gpu_power_w.spread();
+    snap.temp_spread_c = snap.gpu_temp_c.spread();
+    snap.power_temp_corr = stats::pearson(powers, temps);
+    snap.cabinet_mean_c.assign(cabinets, kNan);
+    for (std::size_t c = 0; c < cabinets; ++c) {
+      if (cab_cnt[c] > 0.0) snap.cabinet_mean_c[c] = cab_sum[c] / cab_cnt[c];
+    }
+    snap.cabinet_max_c = std::move(cab_max);
+    study.snapshots.push_back(std::move(snap));
+  }
+
+  if (readings > 0) {
+    study.share_below_60c =
+        static_cast<double>(readings_below_60) /
+        static_cast<double>(readings);
+  }
+  return study;
+}
+
+const workload::Job* select_exemplar(const std::vector<workload::Job>& jobs,
+                                     int min_nodes, double min_minutes,
+                                     double max_minutes) {
+  const workload::Job* best = nullptr;
+  for (const auto& j : jobs) {
+    if (j.start < 0 || j.node_count < min_nodes) continue;
+    const double minutes = static_cast<double>(j.end - j.start) / 60.0;
+    if (minutes < min_minutes || minutes > max_minutes) continue;
+    if (best == nullptr || j.node_count > best->node_count) best = &j;
+  }
+  return best;
+}
+
+}  // namespace exawatt::core

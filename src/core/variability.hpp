@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "power/job_power.hpp"
+#include "stats/descriptive.hpp"
+#include "thermal/node_thermal.hpp"
+
+namespace exawatt::core {
+
+/// Figure 17 reproduction: per-GPU power/temperature variability during a
+/// compute-intense full-scale job, including the spatial (cabinet) view.
+struct VariabilitySnapshot {
+  util::TimeSec t = 0;
+  stats::BoxplotStats gpu_power_w;
+  stats::BoxplotStats gpu_temp_c;
+  double power_temp_corr = 0.0;  ///< Pearson r across the job's GPUs
+  double power_spread_w = 0.0;   ///< non-outlier spread (paper: ~62 W)
+  double temp_spread_c = 0.0;    ///< non-outlier spread (paper: ~15.8 °C)
+  std::vector<double> cabinet_mean_c;  ///< per cabinet; NaN = no job nodes
+  std::vector<double> cabinet_max_c;
+};
+
+struct VariabilityStudy {
+  workload::JobId job = 0;
+  int node_count = 0;
+  double runtime_min = 0.0;
+  std::vector<VariabilitySnapshot> snapshots;
+  double max_temp_c = 0.0;       ///< hottest GPU over all snapshots
+  double share_below_60c = 1.0;  ///< fraction of GPU readings under 60 °C
+};
+
+/// Evaluate `instants` evenly spaced snapshots across the job's runtime.
+[[nodiscard]] VariabilityStudy variability_study(
+    const workload::Job& job, const power::FleetVariability& fleet,
+    const thermal::FleetThermal& thermals, double mtw_supply_c = 20.0,
+    std::size_t instants = 6);
+
+/// Pick the exemplar: the largest near-full-machine job whose runtime
+/// falls in [min_minutes, max_minutes] (paper: 4,608 nodes, ~21 min).
+/// Returns nullptr if none qualifies.
+[[nodiscard]] const workload::Job* select_exemplar(
+    const std::vector<workload::Job>& jobs, int min_nodes,
+    double min_minutes = 10.0, double max_minutes = 40.0);
+
+}  // namespace exawatt::core

@@ -1,0 +1,124 @@
+#include "datasets/export.hpp"
+
+#include "datasets/schema.hpp"
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "telemetry/aggregator.hpp"
+#include "util/text_table.hpp"
+
+namespace exawatt::datasets {
+
+std::size_t export_jobs(const std::string& path,
+                        const std::vector<workload::Job>& jobs) {
+  util::CsvWriter csv(path,
+                      {"allocation_id", "class", "node_count", "project",
+                       "domain", "app", "submit", "begin_time", "end_time",
+                       "key", "node_ranges"});
+  EXA_CHECK(csv.ok(), "cannot open " + path);
+  std::size_t rows = 0;
+  for (const auto& j : jobs) {
+    if (j.start < 0) continue;  // only completed allocations, as the log
+    std::vector<std::pair<std::int32_t, int>> ranges;
+    ranges.reserve(j.nodes.size());
+    for (const auto& r : j.nodes) ranges.emplace_back(r.first, r.count);
+    csv.add_row({std::to_string(j.id), std::to_string(j.sched_class),
+                 std::to_string(j.node_count), std::to_string(j.project),
+                 std::to_string(j.domain), std::to_string(j.app),
+                 std::to_string(j.submit), std::to_string(j.start),
+                 std::to_string(j.end), std::to_string(j.key),
+                 encode_ranges(ranges)});
+    ++rows;
+  }
+  return rows;
+}
+
+std::size_t export_xid_log(const std::string& path,
+                           const std::vector<failures::GpuFailureEvent>& log) {
+  util::CsvWriter csv(path,
+                      {"timestamp", "xid", "xid_name", "node", "slot",
+                       "allocation_id", "project", "domain", "temp_c",
+                       "z_score"});
+  EXA_CHECK(csv.ok(), "cannot open " + path);
+  for (const auto& ev : log) {
+    csv.add_row({std::to_string(ev.time),
+                 std::to_string(static_cast<int>(ev.type)),
+                 failures::xid_name(ev.type), std::to_string(ev.node),
+                 std::to_string(ev.slot), std::to_string(ev.job),
+                 std::to_string(ev.project), std::to_string(ev.domain),
+                 util::fmt_double(ev.temp_c, 3),
+                 util::fmt_double(ev.z_score, 4)});
+  }
+  return log.size();
+}
+
+std::size_t export_cluster_series(const std::string& path,
+                                  const ts::Frame& cluster) {
+  EXA_CHECK(cluster.has("input_power_w"), "cluster frame missing power");
+  util::CsvWriter csv(path, {"timestamp", "sum_inp", "cpu_power_w",
+                             "gpu_power_w", "alloc_nodes"});
+  EXA_CHECK(csv.ok(), "cannot open " + path);
+  for (std::size_t i = 0; i < cluster.rows(); ++i) {
+    csv.add_row({static_cast<double>(cluster.time_at(i)),
+                 cluster.at("input_power_w")[i], cluster.at("cpu_power_w")[i],
+                 cluster.at("gpu_power_w")[i], cluster.at("alloc_nodes")[i]});
+  }
+  return cluster.rows();
+}
+
+std::size_t export_job_power(
+    const std::string& path,
+    const std::vector<power::JobPowerSummary>& summaries) {
+  util::CsvWriter csv(
+      path, {"allocation_id", "class", "num_nodes", "mean_sum_inp",
+             "max_sum_inp", "energy", "gpu_energy", "begin_runtime_s",
+             "job_domain", "account"});
+  EXA_CHECK(csv.ok(), "cannot open " + path);
+  for (const auto& s : summaries) {
+    // GPU share of energy approximated from the component means.
+    const double gpu_energy =
+        s.mean_power_w > 0.0
+            ? s.energy_j * (s.mean_gpu_node_w * s.node_count) /
+                  (s.mean_power_w * 0.94)
+            : 0.0;
+    csv.add_row({std::to_string(s.id), std::to_string(s.sched_class),
+                 std::to_string(s.node_count),
+                 util::fmt_double(s.mean_power_w, 3),
+                 util::fmt_double(s.max_power_w, 3),
+                 util::fmt_double(s.energy_j, 3),
+                 util::fmt_double(gpu_energy, 3),
+                 util::fmt_double(s.runtime_s, 1), std::to_string(s.domain),
+                 std::to_string(s.project)});
+  }
+  return summaries.size();
+}
+
+
+std::size_t export_node_aggregates(const std::string& path,
+                                   const telemetry::Archive& archive,
+                                   const std::vector<machine::NodeId>& nodes,
+                                   const std::vector<int>& channels,
+                                   util::TimeRange window,
+                                   util::TimeSec agg_window) {
+  util::CsvWriter csv(path, {"timestamp", "node", "channel", "count", "min",
+                             "max", "mean", "std"});
+  EXA_CHECK(csv.ok(), "cannot open " + path);
+  std::size_t rows = 0;
+  for (machine::NodeId n : nodes) {
+    for (int ch : channels) {
+      const auto stat = telemetry::aggregate_metric(
+          archive, telemetry::metric_id(n, ch), window, agg_window);
+      for (std::size_t w = 0; w < stat.size(); ++w) {
+        if (stat[w].count == 0) continue;  // telemetry hole
+        csv.add_row({static_cast<double>(stat.time_at(w)),
+                     static_cast<double>(n), static_cast<double>(ch),
+                     static_cast<double>(stat[w].count), stat[w].min,
+                     stat[w].max, stat[w].mean, stat[w].std});
+        ++rows;
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace exawatt::datasets
+

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "failures/generator.hpp"
+#include "telemetry/archive.hpp"
+#include "power/job_power.hpp"
+#include "ts/frame.hpp"
+#include "workload/job.hpp"
+
+namespace exawatt::datasets {
+
+/// Dataset C+D: the job allocation history (one row per job; Dataset D's
+/// per-node allocation is carried as a compact range list). Returns rows
+/// written.
+std::size_t export_jobs(const std::string& path,
+                        const std::vector<workload::Job>& jobs);
+
+/// Dataset E: the GPU XID error log.
+std::size_t export_xid_log(const std::string& path,
+                           const std::vector<failures::GpuFailureEvent>& log);
+
+/// Datasets 1+2: cluster power / component time series from a cluster
+/// frame (input_power_w, cpu_power_w, gpu_power_w, alloc_nodes columns).
+std::size_t export_cluster_series(const std::string& path,
+                                  const ts::Frame& cluster);
+
+/// Datasets 5+7: job-level power & energy summaries.
+std::size_t export_job_power(
+    const std::string& path,
+    const std::vector<power::JobPowerSummary>& summaries);
+
+/// Dataset 0: per-node 10-second aggregates (count/min/max/mean/std) of
+/// selected channels, read back from a telemetry archive — the paper's
+/// foundational preprocessed dataset. One row per (node, channel,
+/// window); empty windows (telemetry holes) are skipped.
+std::size_t export_node_aggregates(
+    const std::string& path, const telemetry::Archive& archive,
+    const std::vector<machine::NodeId>& nodes,
+    const std::vector<int>& channels, util::TimeRange window,
+    util::TimeSec agg_window = 10);
+
+}  // namespace exawatt::datasets

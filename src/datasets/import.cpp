@@ -1,0 +1,104 @@
+#include "datasets/import.hpp"
+
+#include "datasets/schema.hpp"
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace exawatt::datasets {
+
+std::vector<workload::Job> import_jobs(const std::string& path) {
+  util::CsvReader csv(path);
+  EXA_CHECK(csv.ok(), "cannot read " + path);
+  const std::size_t c_id = csv.column("allocation_id");
+  const std::size_t c_class = csv.column("class");
+  const std::size_t c_nodes = csv.column("node_count");
+  const std::size_t c_project = csv.column("project");
+  const std::size_t c_domain = csv.column("domain");
+  const std::size_t c_app = csv.column("app");
+  const std::size_t c_submit = csv.column("submit");
+  const std::size_t c_begin = csv.column("begin_time");
+  const std::size_t c_end = csv.column("end_time");
+  const std::size_t c_key = csv.column("key");
+  const std::size_t c_ranges = csv.column("node_ranges");
+
+  std::vector<workload::Job> jobs;
+  jobs.reserve(csv.rows());
+  for (std::size_t r = 0; r < csv.rows(); ++r) {
+    workload::Job j;
+    j.id = static_cast<workload::JobId>(csv.number(r, c_id));
+    j.sched_class = static_cast<int>(csv.number(r, c_class));
+    j.node_count = static_cast<int>(csv.number(r, c_nodes));
+    j.project = static_cast<std::uint32_t>(csv.number(r, c_project));
+    j.domain = static_cast<std::uint16_t>(csv.number(r, c_domain));
+    j.app = static_cast<std::uint16_t>(csv.number(r, c_app));
+    j.submit = static_cast<util::TimeSec>(csv.number(r, c_submit));
+    j.start = static_cast<util::TimeSec>(csv.number(r, c_begin));
+    j.end = static_cast<util::TimeSec>(csv.number(r, c_end));
+    // strtod loses precision on 64-bit keys; parse the text directly.
+    j.key = std::strtoull(csv.text(r, c_key).c_str(), nullptr, 10);
+    j.natural_runtime = j.end - j.start;
+    j.requested_walltime = j.natural_runtime;
+    for (const auto& [first, count] : decode_ranges(csv.text(r, c_ranges))) {
+      j.nodes.push_back({first, count});
+    }
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+std::vector<failures::GpuFailureEvent> import_xid_log(
+    const std::string& path) {
+  util::CsvReader csv(path);
+  EXA_CHECK(csv.ok(), "cannot read " + path);
+  const std::size_t c_t = csv.column("timestamp");
+  const std::size_t c_xid = csv.column("xid");
+  const std::size_t c_node = csv.column("node");
+  const std::size_t c_slot = csv.column("slot");
+  const std::size_t c_job = csv.column("allocation_id");
+  const std::size_t c_project = csv.column("project");
+  const std::size_t c_domain = csv.column("domain");
+  const std::size_t c_temp = csv.column("temp_c");
+  const std::size_t c_z = csv.column("z_score");
+
+  std::vector<failures::GpuFailureEvent> log;
+  log.reserve(csv.rows());
+  for (std::size_t r = 0; r < csv.rows(); ++r) {
+    failures::GpuFailureEvent ev;
+    ev.time = static_cast<util::TimeSec>(csv.number(r, c_t));
+    const int type = static_cast<int>(csv.number(r, c_xid));
+    EXA_CHECK(type >= 0 &&
+                  type < static_cast<int>(failures::kXidTypeCount),
+              "bad XID ordinal in " + path);
+    ev.type = static_cast<failures::XidType>(type);
+    ev.node = static_cast<machine::NodeId>(csv.number(r, c_node));
+    ev.slot = static_cast<int>(csv.number(r, c_slot));
+    ev.job = static_cast<workload::JobId>(csv.number(r, c_job));
+    ev.project = static_cast<std::uint32_t>(csv.number(r, c_project));
+    ev.domain = static_cast<std::uint16_t>(csv.number(r, c_domain));
+    ev.temp_c = csv.number(r, c_temp);
+    ev.z_score = csv.number(r, c_z);
+    log.push_back(ev);
+  }
+  return log;
+}
+
+ts::Series import_cluster_power(const std::string& path) {
+  util::CsvReader csv(path);
+  EXA_CHECK(csv.ok(), "cannot read " + path);
+  EXA_CHECK(csv.rows() >= 2, "cluster series needs at least two rows");
+  const std::size_t c_t = csv.column("timestamp");
+  const std::size_t c_p = csv.column("sum_inp");
+  const auto start = static_cast<util::TimeSec>(csv.number(0, c_t));
+  const auto dt = static_cast<util::TimeSec>(csv.number(1, c_t)) - start;
+  EXA_CHECK(dt > 0, "cluster series timestamps must increase");
+  std::vector<double> values(csv.rows());
+  for (std::size_t r = 0; r < csv.rows(); ++r) {
+    EXA_CHECK(static_cast<util::TimeSec>(csv.number(r, c_t)) ==
+                  start + dt * static_cast<util::TimeSec>(r),
+              "cluster series grid must be regular");
+    values[r] = csv.number(r, c_p);
+  }
+  return ts::Series(start, dt, std::move(values));
+}
+
+}  // namespace exawatt::datasets

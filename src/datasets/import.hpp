@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "failures/generator.hpp"
+#include "ts/series.hpp"
+#include "workload/job.hpp"
+
+namespace exawatt::datasets {
+
+/// Re-import the exported datasets so analyses can run from files — the
+/// decoupling a production deployment needs (collect on the machine,
+/// analyze elsewhere), and the hook for loading *real* telemetry exports.
+
+/// Dataset C+D -> scheduled jobs (start/end/node ranges populated).
+[[nodiscard]] std::vector<workload::Job> import_jobs(const std::string& path);
+
+/// Dataset E -> failure events.
+[[nodiscard]] std::vector<failures::GpuFailureEvent> import_xid_log(
+    const std::string& path);
+
+/// Dataset 1 -> the cluster input-power series (regular grid inferred
+/// from the first two timestamps).
+[[nodiscard]] ts::Series import_cluster_power(const std::string& path);
+
+}  // namespace exawatt::datasets

@@ -1,0 +1,42 @@
+#include "datasets/schema.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace exawatt::datasets {
+
+std::string encode_ranges(
+    const std::vector<std::pair<std::int32_t, int>>& ranges) {
+  std::string out;
+  char buf[32];
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%s%d:%d", i ? ";" : "", ranges[i].first,
+                  ranges[i].second);
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<std::pair<std::int32_t, int>> decode_ranges(
+    const std::string& encoded) {
+  std::vector<std::pair<std::int32_t, int>> out;
+  std::size_t pos = 0;
+  while (pos < encoded.size()) {
+    const std::size_t colon = encoded.find(':', pos);
+    EXA_CHECK(colon != std::string::npos, "malformed range list");
+    std::size_t semi = encoded.find(';', colon);
+    if (semi == std::string::npos) semi = encoded.size();
+    const auto first = static_cast<std::int32_t>(
+        std::strtol(encoded.substr(pos, colon - pos).c_str(), nullptr, 10));
+    const auto count = static_cast<int>(std::strtol(
+        encoded.substr(colon + 1, semi - colon - 1).c_str(), nullptr, 10));
+    EXA_CHECK(count > 0, "range count must be positive");
+    out.emplace_back(first, count);
+    pos = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace exawatt::datasets

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace exawatt::datasets {
+
+/// The paper's artifact appendix enumerates the datasets the analysis
+/// pipeline produced (raw A-E and preprocessed 0-13). This module exports
+/// the simulated equivalents with the same key columns, so the analyses
+/// can be decoupled from the simulator and rerun from files — and so
+/// downstream users can swap in *real* telemetry exports with matching
+/// schemas.
+///
+/// Implemented datasets:
+///   C  "Job scheduler allocation history"       (jobs.csv)
+///   D  "Per-node job scheduler allocation"      (job_nodes.csv, ranges)
+///   E  "NVidia GPU XID error log"               (xid_log.csv)
+///   1  "Cluster-level power time-series"        (cluster_power.csv)
+///   2  "Cluster CPU/GPU component time-series"  (cluster_components.csv)
+///   5  "Job-level power data"                   (job_power.csv)
+///   7  "Job-level energy data"                  (job_energy.csv)
+
+/// In-memory row mirror of Dataset C (+ the columns of D compactly as
+/// node ranges, matching workload::Job).
+struct JobRecord {
+  std::uint64_t allocation_id = 0;
+  int sched_class = 5;
+  int node_count = 0;
+  std::uint32_t project = 0;
+  std::uint16_t domain = 0;
+  std::uint16_t app = 0;
+  util::TimeSec submit = 0;
+  util::TimeSec begin_time = -1;
+  util::TimeSec end_time = -1;
+  std::uint64_t key = 0;
+  /// Dataset D: "first:count" range list, e.g. "0:128;512:64".
+  std::string node_ranges;
+};
+
+/// Dataset E row.
+struct XidRecord {
+  util::TimeSec timestamp = 0;
+  int xid_type = 0;   ///< failures::XidType ordinal
+  std::int32_t node = 0;
+  int slot = 0;
+  std::uint64_t allocation_id = 0;
+  std::uint32_t project = 0;
+  std::uint16_t domain = 0;
+  double temp_c = 0.0;
+  double z_score = 0.0;
+};
+
+/// Dataset 5/7 row (job-level power & energy).
+struct JobPowerRecord {
+  std::uint64_t allocation_id = 0;
+  double mean_sum_inp = 0.0;  ///< mean total input power (W)
+  double max_sum_inp = 0.0;   ///< max total input power (W)
+  double energy_j = 0.0;
+  double gpu_energy_j = 0.0;
+  int num_nodes = 0;
+  util::TimeSec begin_time = 0;
+  util::TimeSec end_time = 0;
+  std::uint16_t job_domain = 0;
+  std::uint32_t account = 0;  ///< project id
+  int sched_class = 5;
+};
+
+/// Serialize/parse the Dataset D range-list encoding.
+[[nodiscard]] std::string encode_ranges(
+    const std::vector<std::pair<std::int32_t, int>>& ranges);
+[[nodiscard]] std::vector<std::pair<std::int32_t, int>> decode_ranges(
+    const std::string& encoded);
+
+}  // namespace exawatt::datasets

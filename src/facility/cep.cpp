@@ -1,0 +1,54 @@
+#include "facility/cep.hpp"
+
+#include "util/check.hpp"
+
+namespace exawatt::facility {
+
+ts::Frame simulate_cep(const ts::Frame& cluster, CepOptions options) {
+  EXA_CHECK(cluster.has("input_power_w"),
+            "cluster frame must provide input_power_w");
+  const ts::Series& power = cluster.at("input_power_w");
+  const std::size_t n = power.size();
+  const util::TimeSec dt = cluster.dt();
+
+  Weather weather(options.weather_seed);
+  CoolingPlant plant(options.cooling);
+  if (n > 0) {
+    plant.reset(power[0], weather.wet_bulb_c(power.time_at(0)));
+  }
+
+  std::vector<double> pue(n);
+  std::vector<double> supply(n);
+  std::vector<double> ret(n);
+  std::vector<double> tower(n);
+  std::vector<double> chiller(n);
+  std::vector<double> fac_power(n);
+  std::vector<double> wb(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const util::TimeSec t = power.time_at(i);
+    const double wet_bulb = weather.wet_bulb_c(t);
+    const bool maint = options.maintenance.duration() > 0 &&
+                       options.maintenance.contains(t % util::kYear);
+    const CoolingState& s = plant.step(dt, power[i], wet_bulb, maint);
+    pue[i] = s.pue;
+    supply[i] = s.mtw_supply_c;
+    ret[i] = s.mtw_return_c;
+    tower[i] = s.tower_tons;
+    chiller[i] = s.chiller_tons;
+    fac_power[i] = s.facility_power_w;
+    wb[i] = wet_bulb;
+  }
+
+  ts::Frame out(cluster.start(), dt, n);
+  out.set("pue", std::move(pue));
+  out.set("mtw_supply_c", std::move(supply));
+  out.set("mtw_return_c", std::move(ret));
+  out.set("tower_tons", std::move(tower));
+  out.set("chiller_tons", std::move(chiller));
+  out.set("facility_power_w", std::move(fac_power));
+  out.set("wet_bulb_c", std::move(wb));
+  return out;
+}
+
+}  // namespace exawatt::facility

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "facility/cooling.hpp"
+#include "facility/weather.hpp"
+#include "ts/frame.hpp"
+
+namespace exawatt::facility {
+
+/// Central-energy-plant simulation options.
+struct CepOptions {
+  CoolingParams cooling = {};
+  std::uint64_t weather_seed = 7;
+  /// Cooling-tower maintenance window forcing 100% chilled water (the
+  /// paper's early-February PUE 1.3 episode). Empty range disables it.
+  util::TimeRange maintenance = {31 * util::kDay, 38 * util::kDay};
+};
+
+/// Run the cooling plant along a cluster power series and return the
+/// facility telemetry frame (paper Dataset B / Dataset 12 equivalent):
+///   pue, mtw_supply_c, mtw_return_c, tower_tons, chiller_tons,
+///   facility_power_w, wet_bulb_c
+/// The input frame must contain `input_power_w` (from
+/// power::cluster_power_frame); the output shares its grid.
+[[nodiscard]] ts::Frame simulate_cep(const ts::Frame& cluster,
+                                     CepOptions options = {});
+
+}  // namespace exawatt::facility

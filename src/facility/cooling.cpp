@@ -1,0 +1,123 @@
+#include "facility/cooling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "thermal/rc_model.hpp"
+#include "util/check.hpp"
+
+namespace exawatt::facility {
+
+CoolingPlant::CoolingPlant(CoolingParams params) : params_(params) {
+  EXA_CHECK(params_.loop_w_per_c > 0.0, "loop capacity must be positive");
+  EXA_CHECK(params_.return_delay_s >= 0, "return delay must be >= 0");
+  const std::size_t slots = static_cast<std::size_t>(
+                                params_.return_delay_s / history_dt_) +
+                            1;
+  heat_history_.assign(slots, 0.0);
+  reset(0.0, 10.0);
+}
+
+double CoolingPlant::chiller_fraction(double wet_bulb_c) const {
+  // Towers can hold the setpoint while WB + approach stays below it;
+  // beyond that the trim chillers carry a growing share.
+  const double headroom =
+      params_.mtw_supply_setpoint_c - (wet_bulb_c + params_.tower_approach_c);
+  if (headroom >= 0.0) return 0.0;
+  return std::min(1.0, -headroom / params_.tower_fade_band_c);
+}
+
+void CoolingPlant::reset(double it_power_w, double wet_bulb_c) {
+  const double chi = chiller_fraction(wet_bulb_c);
+  state_.mtw_supply_c =
+      params_.mtw_supply_setpoint_c +
+      std::max(0.0, (wet_bulb_c + params_.tower_approach_c -
+                     params_.mtw_supply_setpoint_c) *
+                        (1.0 - chi) * 0.5);
+  state_.mtw_return_c =
+      state_.mtw_supply_c + it_power_w / params_.loop_w_per_c;
+  state_.tower_tons = it_power_w * (1.0 - chi) / kWattsPerTon;
+  state_.chiller_tons = it_power_w * chi / kWattsPerTon;
+  std::fill(heat_history_.begin(), heat_history_.end(), it_power_w);
+  history_pos_ = 0;
+  // Prime facility power/PUE.
+  step(0, it_power_w, wet_bulb_c);
+}
+
+const CoolingState& CoolingPlant::step(util::TimeSec dt, double it_power_w,
+                                       double wet_bulb_c,
+                                       bool force_chillers) {
+  EXA_CHECK(dt >= 0, "cooling step needs dt >= 0");
+  EXA_CHECK(it_power_w >= 0.0, "IT power must be non-negative");
+
+  // The return-water sensor sees rack heat after a transport delay; the
+  // staging control reacts to that sensor, producing the ~1 minute lag
+  // between a power edge and the tons-of-refrigeration response.
+  if (dt > 0) {
+    const auto steps = static_cast<std::size_t>(
+        std::max<util::TimeSec>(1, dt / history_dt_));
+    for (std::size_t s = 0; s < steps; ++s) {
+      heat_history_[history_pos_] = it_power_w;
+      history_pos_ = (history_pos_ + 1) % heat_history_.size();
+    }
+  }
+  const double delayed_heat = heat_history_[history_pos_];
+
+  const double chi =
+      force_chillers ? 1.0 : chiller_fraction(wet_bulb_c);
+  const double demand_tons = delayed_heat / kWattsPerTon;
+  const double tower_target = demand_tons * (1.0 - chi);
+  const double chiller_target = demand_tons * chi;
+
+  if (dt > 0) {
+    state_.tower_tons = thermal::rc_step_asymmetric(
+        state_.tower_tons, tower_target, static_cast<double>(dt),
+        params_.stage_up_tau_s, params_.stage_down_tau_s);
+    state_.chiller_tons = thermal::rc_step_asymmetric(
+        state_.chiller_tons, chiller_target, static_cast<double>(dt),
+        params_.stage_up_tau_s, params_.stage_down_tau_s);
+  } else {
+    state_.tower_tons = tower_target;
+    state_.chiller_tons = chiller_target;
+  }
+
+  // Supply temperature: drifts up when staged capacity lags the load,
+  // recovers as capacity catches up.
+  const double capacity_w =
+      (state_.tower_tons + state_.chiller_tons) * kWattsPerTon;
+  const double deficit_w = delayed_heat - capacity_w;
+  const double supply_target =
+      params_.mtw_supply_setpoint_c +
+      std::max(-1.0, deficit_w / params_.loop_w_per_c) +
+      std::max(0.0, (wet_bulb_c + params_.tower_approach_c -
+                     params_.mtw_supply_setpoint_c)) *
+          (1.0 - chi) * 0.25;
+  if (dt > 0) {
+    state_.mtw_supply_c =
+        thermal::rc_step(state_.mtw_supply_c, supply_target,
+                         static_cast<double>(dt), params_.supply_tau_s);
+  } else {
+    state_.mtw_supply_c = supply_target;
+  }
+
+  // Return temperature: supply plus the loop differential from the
+  // (delayed) rack heat.
+  state_.mtw_return_c =
+      state_.mtw_supply_c + delayed_heat / params_.loop_w_per_c;
+
+  // Electrical overhead -> PUE.
+  const double tower_fans =
+      state_.tower_tons * kWattsPerTon * params_.tower_fan_w_per_w;
+  const double chillers =
+      state_.chiller_tons * kWattsPerTon * params_.chiller_w_per_w;
+  const double losses = it_power_w * params_.distribution_loss_frac;
+  state_.facility_power_w =
+      params_.pump_power_w + tower_fans + chillers + losses;
+  state_.pue = it_power_w > 0.0
+                   ? (it_power_w + state_.facility_power_w) / it_power_w
+                   : 1.0;
+  return state_;
+}
+
+}  // namespace exawatt::facility

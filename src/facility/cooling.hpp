@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace exawatt::facility {
+
+/// Conversion: one ton of refrigeration in watts of heat removal.
+inline constexpr double kWattsPerTon = 3517.0;
+
+/// Tunables of the central-energy-plant cooling model (Figure 1-(d)).
+/// Defaults are calibrated so the year yields PUE ~1.11 in winter and
+/// ~1.22 in summer, chillers active ~20% of the year, and a ~1 minute
+/// staging lag behind load steps (paper §5).
+struct CoolingParams {
+  double mtw_supply_setpoint_c = 20.0;   ///< 70 °F central plant target
+  double tower_approach_c = 3.0;         ///< towers get within this of WB
+  /// Wet-bulb span over which towers fade from fully able to hold the
+  /// setpoint to needing full chiller trim.
+  double tower_fade_band_c = 4.0;
+  /// Thermal mass / staging time constants (asymmetric: capacity stages
+  /// up faster than it de-stages; the paper sees slower attenuation on
+  /// falling edges).
+  double stage_up_tau_s = 55.0;
+  double stage_down_tau_s = 170.0;
+  double supply_tau_s = 90.0;            ///< supply temp response
+  /// MTW loop: effective flow rate times heat capacity (W per °C of
+  /// supply-return differential). 5.5 MW at ~9 °C dT keeps the return in
+  /// the paper's 80-100 °F band across the load range.
+  double loop_w_per_c = 6.0e5;
+  /// Transport delay from rack heat pickup to the return sensor.
+  util::TimeSec return_delay_s = 60;
+  /// Parasitic electrical loads.
+  double pump_power_w = 260e3;           ///< MTW + CHW pumps (constant)
+  double distribution_loss_frac = 0.030; ///< switchgear + UPS losses
+  double tower_fan_w_per_w = 0.032;      ///< fan power per watt removed
+  double chiller_w_per_w = 0.21;         ///< compressor power per watt (COP ~4.8)
+};
+
+/// State of the cooling plant at one instant.
+struct CoolingState {
+  double mtw_supply_c = 20.0;
+  double mtw_return_c = 28.0;
+  double tower_tons = 0.0;     ///< tons of refrigeration via cooling towers
+  double chiller_tons = 0.0;   ///< tons via trim chillers
+  double facility_power_w = 0.0;  ///< pumps + fans + chillers + losses
+  double pue = 1.0;
+};
+
+/// Dynamic cooling-plant model: step with the instantaneous IT heat load
+/// and wet-bulb temperature. Encapsulates tower/chiller staging with
+/// asymmetric lag, the supply/return loop, and the PUE computation.
+class CoolingPlant {
+ public:
+  explicit CoolingPlant(CoolingParams params = {});
+
+  [[nodiscard]] const CoolingParams& params() const { return params_; }
+  [[nodiscard]] const CoolingState& state() const { return state_; }
+
+  /// Fraction of required cooling the chillers must carry at this
+  /// wet-bulb (0 = towers only, 1 = chillers only).
+  [[nodiscard]] double chiller_fraction(double wet_bulb_c) const;
+
+  /// Advance the plant by dt given IT power (W, all converted to heat
+  /// into the MTW loop) and weather. Optionally force full chiller
+  /// operation (the February tower-maintenance event that produced the
+  /// paper's 1.3 PUE spike).
+  const CoolingState& step(util::TimeSec dt, double it_power_w,
+                           double wet_bulb_c, bool force_chillers = false);
+
+  /// Reset to a steady state consistent with the given load and weather
+  /// (avoids warm-up transients at analysis-window boundaries).
+  void reset(double it_power_w, double wet_bulb_c);
+
+ private:
+  CoolingParams params_;
+  CoolingState state_;
+  /// Ring buffer of recent rack heat for the return-sensor delay.
+  std::vector<double> heat_history_;
+  std::size_t history_pos_ = 0;
+  util::TimeSec history_dt_ = 10;
+};
+
+}  // namespace exawatt::facility

@@ -1,0 +1,54 @@
+#include "facility/msb.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace exawatt::facility {
+
+namespace {
+/// Deterministic standard-normal draw keyed by (seed, a, b).
+double keyed_normal(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  util::Rng rng(util::hash_combine(util::hash_combine(seed, a), b));
+  return rng.normal();
+}
+}  // namespace
+
+MsbModel::MsbModel(const machine::Topology& topo, std::uint64_t seed,
+                   MsbParams params)
+    : topo_(&topo), seed_(seed), params_(params) {
+  batch_bias_.resize(static_cast<std::size_t>(topo.msbs()));
+  for (std::size_t m = 0; m < batch_bias_.size(); ++m) {
+    batch_bias_[m] = params_.node_bias_mean +
+                     params_.node_bias_batch_sigma *
+                         keyed_normal(seed_, 0xb17cULL, m);
+  }
+}
+
+double MsbModel::meter_reading(machine::MsbId msb, double true_power_w,
+                               util::TimeSec t) const {
+  EXA_CHECK(msb >= 0 && msb < topo_->msbs(), "MSB id out of range");
+  const double noise =
+      params_.meter_noise_frac *
+      keyed_normal(seed_, 0x3e7eULL + static_cast<std::uint64_t>(msb),
+                   static_cast<std::uint64_t>(t));
+  return true_power_w * (1.0 + noise);
+}
+
+double MsbModel::node_sensor_factor(machine::NodeId node) const {
+  const machine::MsbId msb = topo_->msb_of(node);
+  const double unit = params_.node_bias_unit_sigma *
+                      keyed_normal(seed_, 0x5e45ULL,
+                                   static_cast<std::uint64_t>(node));
+  return 1.0 + batch_bias_[static_cast<std::size_t>(msb)] + unit;
+}
+
+double MsbModel::node_sensor_sample(machine::NodeId node, double true_power_w,
+                                    util::TimeSec t) const {
+  const double jitter =
+      params_.sample_noise_frac *
+      keyed_normal(seed_, 0x54a9ULL + static_cast<std::uint64_t>(node),
+                   static_cast<std::uint64_t>(t));
+  return true_power_w * node_sensor_factor(node) * (1.0 + jitter);
+}
+
+}  // namespace exawatt::facility

@@ -1,0 +1,51 @@
+#include "facility/weather.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace exawatt::facility {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Smooth multi-day weather-front noise: sum of two slow sinusoids with
+/// deterministic per-seed phases (keeps the model reproducible without a
+/// stateful random walk).
+double front_noise(std::uint64_t seed, util::TimeSec t) {
+  const double days = static_cast<double>(t) / util::kDay;
+  const double p1 =
+      static_cast<double>(util::mix64(seed) % 1000) * 1e-3 * kTwoPi;
+  const double p2 =
+      static_cast<double>(util::mix64(seed ^ 0xabcdULL) % 1000) * 1e-3 * kTwoPi;
+  return 2.2 * std::sin(kTwoPi * days / 5.3 + p1) +
+         1.4 * std::sin(kTwoPi * days / 11.7 + p2);
+}
+}  // namespace
+
+Weather::Weather(std::uint64_t seed) : seed_(seed) {}
+
+double Weather::wet_bulb_c(util::TimeSec t) const {
+  const double doy = static_cast<double>(util::day_of_year(t));
+  const double hour =
+      static_cast<double>((t % util::kDay + util::kDay) % util::kDay) / 3600.0;
+  // Annual cycle: min ~1.5 °C late January, max ~20.5 °C late July —
+  // tuned so the towers alone hold the MTW setpoint ~75-80% of the year.
+  const double annual =
+      11.0 + 9.5 * std::sin(kTwoPi * (doy - 115.0) / 366.0);
+  // Diurnal cycle: +/- 2.5 °C, coolest pre-dawn.
+  const double diurnal = 2.5 * std::sin(kTwoPi * (hour - 9.0) / 24.0);
+  return annual + diurnal + front_noise(seed_, t);
+}
+
+double Weather::dry_bulb_c(util::TimeSec t) const {
+  const double wb = wet_bulb_c(t);
+  const double doy = static_cast<double>(util::day_of_year(t));
+  // Summer afternoons are drier (larger WB depression).
+  const double depression =
+      5.0 + 2.5 * std::sin(kTwoPi * (doy - 130.0) / 366.0);
+  return wb + depression;
+}
+
+}  // namespace exawatt::facility

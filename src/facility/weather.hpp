@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/sim_time.hpp"
+
+namespace exawatt::facility {
+
+/// East-Tennessee weather model: wet-bulb temperature with annual and
+/// diurnal cycles plus weather-front noise. The wet-bulb drives the
+/// cooling-tower (evaporative) capacity, which is why Summit runs on
+/// cheap cooling ~80% of the year and needs trim chillers in summer.
+class Weather {
+ public:
+  explicit Weather(std::uint64_t seed = 7);
+
+  /// Wet-bulb temperature (°C) at the simulated instant.
+  [[nodiscard]] double wet_bulb_c(util::TimeSec t) const;
+
+  /// Dry-bulb (for reports; ~5-8 °C above wet bulb depending on season).
+  [[nodiscard]] double dry_bulb_c(util::TimeSec t) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace exawatt::facility

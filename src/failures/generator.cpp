@@ -1,0 +1,245 @@
+#include "failures/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "power/component.hpp"
+#include "power/job_power.hpp"
+#include "thermal/node_thermal.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace exawatt::failures {
+
+namespace {
+
+/// Zero-mean unit-variance draw with the requested skew shape:
+/// right skew uses a shifted Gamma(k=2) (skewness ~1.4), matching the
+/// "failures on GPUs that did not yet warm up" tail of Figure 15 —
+/// note the *temperature* tail: right-skewed z means mode below mean.
+double skewed_z(ThermalSkew skew, util::Rng& rng) {
+  switch (skew) {
+    case ThermalSkew::kNone:
+      return rng.normal();
+    case ThermalSkew::kRight: {
+      const double theta = 1.0 / std::sqrt(2.0);
+      const double g = rng.exponential(1.0 / theta) +
+                       rng.exponential(1.0 / theta);  // Gamma(2, theta)
+      return g - 2.0 * theta;
+    }
+    case ThermalSkew::kLeft: {
+      const double theta = 1.0 / std::sqrt(2.0);
+      const double g = rng.exponential(1.0 / theta) +
+                       rng.exponential(1.0 / theta);
+      return 2.0 * theta - g;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+FailureGenerator::FailureGenerator(machine::MachineScale scale,
+                                   std::vector<workload::Project> projects,
+                                   FailureModelConfig config)
+    : scale_(scale), projects_(std::move(projects)), config_(config) {
+  EXA_CHECK(scale_.nodes > 0, "failure model needs a machine");
+  EXA_CHECK(!projects_.empty(), "failure model needs the project table");
+  EXA_CHECK(config_.defect_pool > 0, "defect pool must be non-empty");
+  // Deterministic weak-node pool (manufacturing-defect candidates).
+  util::Rng rng(util::hash_combine(config_.seed, 0xdefecULL));
+  const int pool = std::min(config_.defect_pool, scale_.nodes);
+  std::vector<bool> used(static_cast<std::size_t>(scale_.nodes), false);
+  while (static_cast<int>(defect_nodes_.size()) < pool) {
+    const auto n = static_cast<machine::NodeId>(
+        rng.uniform_index(static_cast<std::uint64_t>(scale_.nodes)));
+    if (!used[static_cast<std::size_t>(n)]) {
+      used[static_cast<std::size_t>(n)] = true;
+      defect_nodes_.push_back(n);
+    }
+  }
+}
+
+machine::NodeId FailureGenerator::nvlink_offender() const {
+  return defect_nodes_.front();
+}
+
+machine::NodeId FailureGenerator::uc_driver_node() const {
+  return defect_nodes_.back();
+}
+
+std::vector<GpuFailureEvent> FailureGenerator::generate(
+    const std::vector<workload::Job>& jobs) const {
+  // --- Job sampling weights: node-hours x project irregularity ----------
+  std::vector<std::size_t> sched;   // indices of scheduled jobs
+  std::vector<double> cum_weight;   // cumulative, per profile coupling = 1
+  double total_node_hours = 0.0;
+  sched.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].start < 0 || jobs[i].end <= jobs[i].start) continue;
+    sched.push_back(i);
+    total_node_hours += jobs[i].node_hours();
+  }
+  std::vector<GpuFailureEvent> events;
+  if (sched.empty() || total_node_hours <= 0.0) return events;
+
+  const double exposure =
+      total_node_hours / config_.reference_node_hours * config_.rate_scale;
+
+  const thermal::FleetThermal thermals(scale_, config_.seed);
+  const auto& profiles = xid_profiles();
+  util::Rng master(config_.seed);
+
+  // Per-type cumulative job weights: weight = nh * propensity^coupling.
+  // Couplings cluster around a few values; cache by rounded coupling.
+  auto build_cum = [&](double coupling) {
+    std::vector<double> cum(sched.size());
+    double acc = 0.0;
+    for (std::size_t k = 0; k < sched.size(); ++k) {
+      const workload::Job& j = jobs[sched[k]];
+      const double prop =
+          projects_[j.project % projects_.size()].failure_propensity;
+      acc += j.node_hours() * std::pow(prop, coupling);
+      cum[k] = acc;
+    }
+    return cum;
+  };
+
+  auto pick_job = [&](const std::vector<double>& cum, util::Rng& rng) {
+    const double r = rng.uniform() * cum.back();
+    const auto it = std::lower_bound(cum.begin(), cum.end(), r);
+    return sched[static_cast<std::size_t>(
+        std::distance(cum.begin(), it))];
+  };
+
+  // Zipf weights over the hardware-defect pool, shared across the block's
+  // types so their per-node counts correlate (Figure 13). The NVLink
+  // super-offender (front) and the microcontroller/driver node (back)
+  // are excluded so those signatures stay independent, as in the paper.
+  std::vector<machine::NodeId> hw_pool(defect_nodes_.begin() + 1,
+                                       defect_nodes_.end() - 1);
+  if (hw_pool.empty()) hw_pool.push_back(defect_nodes_.front());
+  std::vector<double> pool_weights(hw_pool.size());
+  for (std::size_t i = 0; i < pool_weights.size(); ++i) {
+    pool_weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), 1.6);
+  }
+
+  // Thermal context of a failing GPU inside its job.
+  auto thermal_context = [&](const workload::Job& job, util::TimeSec t,
+                             ThermalSkew skew, util::Rng& rng,
+                             GpuFailureEvent& ev) {
+    const workload::Utilization u = power::job_utilization(job, t);
+    const double gpu_w = power::gpu_power_w(u.gpu);
+    const double mean_temp =
+        config_.mtw_supply_c +
+        thermals.params().gpu_r_mean_c_per_w * gpu_w +
+        thermals.params().chain_c_per_w * gpu_w;  // mean chain preheat
+    // Spread across the job's GPUs: resistance variability dominates,
+    // with cabinet placement adding a floor-position term.
+    const double sigma = std::sqrt(
+        std::pow(thermals.params().gpu_r_mean_c_per_w *
+                     thermals.params().gpu_r_sigma * gpu_w,
+                 2.0) +
+        std::pow(thermals.params().cabinet_sigma_c, 2.0));
+    ev.z_score = skewed_z(skew, rng);
+    ev.temp_c = mean_temp + ev.z_score * std::max(sigma, 0.5);
+  };
+
+  auto sample_slot = [&](const XidProfile& p, util::Rng& rng) {
+    return static_cast<int>(rng.weighted_index(p.slot_weights));
+  };
+
+  // --- Per-type generation ----------------------------------------------
+  std::vector<GpuFailureEvent> uc_warnings_on_defect_node;
+  for (const auto& profile : profiles) {
+    if (profile.type == XidType::kDriverErrorHandling) {
+      continue;  // generated causally from microcontroller warnings below
+    }
+    util::Rng rng = master.substream(
+        0xfa11ULL, static_cast<std::uint64_t>(profile.type));
+    const double expected = profile.annual_count * exposure;
+    if (expected <= 0.0) continue;
+    const std::uint64_t count = rng.poisson(expected);
+    const std::uint64_t defect_count = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(count) * profile.top_node_share));
+    const std::vector<double> cum = build_cum(profile.workload_coupling);
+
+    for (std::uint64_t e = 0; e < count; ++e) {
+      const std::size_t ji = pick_job(cum, rng);
+      const workload::Job& job = jobs[ji];
+      GpuFailureEvent ev;
+      ev.type = profile.type;
+      ev.job = job.id;
+      ev.project = job.project;
+      ev.domain = job.domain;
+      ev.time = job.start + static_cast<util::TimeSec>(rng.uniform_index(
+                    static_cast<std::uint64_t>(job.end - job.start)));
+      ev.slot = sample_slot(profile, rng);
+
+      const bool is_defect = e < defect_count;
+      if (is_defect) {
+        switch (profile.latent_group) {
+          case 3:  // NVLink: one permanent chip malfunction
+            ev.node = nvlink_offender();
+            break;
+          case 2:  // microcontroller/driver pair node
+            ev.node = uc_driver_node();
+            break;
+          case 1:  // hardware-defect pool, zipf-shared across types
+            ev.node = hw_pool[rng.weighted_index(pool_weights)];
+            break;
+          default:  // a type-specific flaky node
+            ev.node = defect_nodes_[util::hash_combine(
+                          config_.seed,
+                          static_cast<std::uint64_t>(profile.type)) %
+                      defect_nodes_.size()];
+        }
+      } else {
+        ev.node = job.node_at(static_cast<int>(
+            rng.uniform_index(static_cast<std::uint64_t>(job.node_count))));
+        // Hardware-defect block: even background events lean toward the
+        // weak pool, strengthening the co-occurrence correlations.
+        if (profile.latent_group == 1 && rng.chance(0.35)) {
+          ev.node = hw_pool[rng.weighted_index(pool_weights)];
+        }
+      }
+      thermal_context(job, ev.time, profile.skew, rng, ev);
+      if (profile.type == XidType::kMicrocontrollerWarning &&
+          ev.node == uc_driver_node()) {
+        uc_warnings_on_defect_node.push_back(ev);
+      }
+      events.push_back(ev);
+    }
+  }
+
+  // --- Causal pair: driver errors follow warnings on the same node ------
+  {
+    util::Rng rng = master.substream(0xd71eULL, 0);
+    const auto& driver =
+        profiles[static_cast<std::size_t>(XidType::kDriverErrorHandling)];
+    const auto& warning =
+        profiles[static_cast<std::size_t>(XidType::kMicrocontrollerWarning)];
+    // Expected defect-node warnings at full scale: share * annual count.
+    const double follow_p =
+        std::min(1.0, driver.annual_count /
+                          (warning.annual_count * warning.top_node_share));
+    for (const auto& w : uc_warnings_on_defect_node) {
+      if (!rng.chance(follow_p)) continue;
+      GpuFailureEvent ev = w;
+      ev.type = XidType::kDriverErrorHandling;
+      ev.time = w.time + static_cast<util::TimeSec>(rng.uniform_index(30) + 1);
+      ev.z_score = skewed_z(driver.skew, rng);
+      // Same GPU moments later: temperature barely moves.
+      ev.temp_c = w.temp_c + rng.normal(0.0, 0.4);
+      events.push_back(ev);
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const GpuFailureEvent& a, const GpuFailureEvent& b) {
+              return a.time < b.time;
+            });
+  return events;
+}
+
+}  // namespace exawatt::failures

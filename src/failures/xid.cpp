@@ -1,0 +1,90 @@
+#include "failures/xid.hpp"
+
+#include "util/check.hpp"
+
+namespace exawatt::failures {
+
+const char* xid_name(XidType type) {
+  switch (type) {
+    case XidType::kMemoryPageFault: return "Memory page fault";
+    case XidType::kGraphicsEngineException: return "Graphics engine exception";
+    case XidType::kStoppedProcessing: return "Stopped processing";
+    case XidType::kNvlinkError: return "NVLINK error";
+    case XidType::kPageRetirementEvent: return "Page retirement event";
+    case XidType::kPageRetirementFailure: return "Page retirement failure";
+    case XidType::kDoubleBitError: return "Double-bit error";
+    case XidType::kPreemptiveCleanup: return "Preemptive cleanup";
+    case XidType::kMicrocontrollerWarning:
+      return "Internal microcontroller warning";
+    case XidType::kGraphicsEngineFault: return "Graphics engine fault";
+    case XidType::kFallenOffBus: return "Fallen off the bus";
+    case XidType::kMicrocontrollerHalt: return "Internal microcontroller halt";
+    case XidType::kDriverFirmwareError: return "Driver firmware error";
+    case XidType::kDriverErrorHandling:
+      return "Driver error handling exception";
+    case XidType::kCorruptedPushBuffer: return "Corrupted push buffer stream";
+    case XidType::kGraphicsEngineClassError:
+      return "Graphics engine class error";
+    case XidType::kCount: break;
+  }
+  EXA_CHECK(false, "invalid XID type");
+  return "";
+}
+
+bool xid_is_application(XidType type) {
+  switch (type) {
+    case XidType::kMemoryPageFault:
+    case XidType::kGraphicsEngineException:
+    case XidType::kStoppedProcessing:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const std::array<XidProfile, kXidTypeCount>& xid_profiles() {
+  // Slot weight vocabulary: baseline reflects single-GPU/single-socket
+  // jobs landing on slot 0 and generally lighter use of socket 1.
+  static constexpr std::array<double, 6> kBase = {2.6, 1.4, 1.1,
+                                                  1.0, 0.9, 0.8};
+  static constexpr std::array<double, 6> kSlot4Bump = {1.6, 1.0, 0.9,
+                                                       1.1, 3.2, 0.9};
+  static constexpr std::array<double, 6> kSocket1Bump = {1.4, 0.9, 0.8,
+                                                         1.8, 2.0, 1.7};
+  static const std::array<XidProfile, kXidTypeCount> profiles = {{
+      {XidType::kMemoryPageFault, 186496, 0.006, ThermalSkew::kNone, kBase,
+       1.6, 0},
+      {XidType::kGraphicsEngineException, 32339, 0.008, ThermalSkew::kNone,
+       kBase, 1.5, 0},
+      {XidType::kStoppedProcessing, 22649, 0.005, ThermalSkew::kNone, kBase,
+       1.4, 0},
+      {XidType::kNvlinkError, 8736, 0.969, ThermalSkew::kNone, kBase, 0.4, 3},
+      {XidType::kPageRetirementEvent, 851, 0.043, ThermalSkew::kNone,
+       kSlot4Bump, 0.5, 1},
+      {XidType::kPageRetirementFailure, 210, 0.424, ThermalSkew::kRight,
+       kBase, 0.3, 1},
+      {XidType::kDoubleBitError, 179, 0.184, ThermalSkew::kRight, kSlot4Bump,
+       0.4, 1},
+      {XidType::kPreemptiveCleanup, 162, 0.201, ThermalSkew::kNone, kBase,
+       0.4, 1},
+      {XidType::kMicrocontrollerWarning, 74, 0.446, ThermalSkew::kRight,
+       kBase, 0.3, 2},
+      {XidType::kGraphicsEngineFault, 44, 0.114, ThermalSkew::kLeft, kBase,
+       0.8, 0},
+      {XidType::kFallenOffBus, 31, 0.258, ThermalSkew::kRight, kSocket1Bump,
+       1.2, 0},
+      {XidType::kMicrocontrollerHalt, 29, 0.138, ThermalSkew::kNone, kBase,
+       0.4, 2},
+      {XidType::kDriverFirmwareError, 26, 0.077, ThermalSkew::kNone, kBase,
+       0.5, 0},
+      {XidType::kDriverErrorHandling, 21, 1.0, ThermalSkew::kRight, kBase,
+       0.2, 2},
+      {XidType::kCorruptedPushBuffer, 11, 0.818, ThermalSkew::kNone, kBase,
+       0.3, 0},
+      {XidType::kGraphicsEngineClassError, 1, 1.0, ThermalSkew::kNone, kBase,
+       0.5, 0},
+  }};
+  return profiles;
+}
+
+}  // namespace exawatt::failures

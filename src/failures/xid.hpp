@@ -1,0 +1,70 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace exawatt::failures {
+
+/// GPU failure taxonomy of paper Table 4 (NVIDIA XID classes observed on
+/// Summit in 2020). Order matches the table.
+enum class XidType : std::uint8_t {
+  kMemoryPageFault = 0,
+  kGraphicsEngineException,
+  kStoppedProcessing,
+  kNvlinkError,
+  kPageRetirementEvent,
+  kPageRetirementFailure,
+  kDoubleBitError,
+  kPreemptiveCleanup,
+  kMicrocontrollerWarning,
+  kGraphicsEngineFault,
+  kFallenOffBus,
+  kMicrocontrollerHalt,
+  kDriverFirmwareError,
+  kDriverErrorHandling,
+  kCorruptedPushBuffer,
+  kGraphicsEngineClassError,
+  kCount,
+};
+
+inline constexpr std::size_t kXidTypeCount =
+    static_cast<std::size_t>(XidType::kCount);
+
+[[nodiscard]] const char* xid_name(XidType type);
+
+/// Whether the paper's Table 4 classifies the type as attributable to
+/// user applications (above the double ruler) vs hardware/driver (below).
+[[nodiscard]] bool xid_is_application(XidType type);
+
+/// Thermal-extremity shape of the z-score distribution at failure time
+/// (paper Figure 15): most types are symmetric; double-bit, off-the-bus,
+/// microcontroller warnings and page-retirement failures are
+/// right-skewed ("not yet warmed up"); graphics engine faults lean left.
+enum class ThermalSkew : std::uint8_t { kNone, kRight, kLeft };
+
+/// Statistical profile of one XID type, used by the generator. Annual
+/// counts are Table 4's full-scale year; the generator scales them by the
+/// simulated node-hours.
+struct XidProfile {
+  XidType type = XidType::kMemoryPageFault;
+  double annual_count = 0.0;      ///< Table 4 count for the 2020 year
+  double top_node_share = 0.0;    ///< max count per node / total (Table 4)
+  ThermalSkew skew = ThermalSkew::kNone;
+  /// Per-slot placement weights (Figure 16): slot 0 is elevated by
+  /// single-GPU jobs; a few types bump specific slots.
+  std::array<double, 6> slot_weights = {1, 1, 1, 1, 1, 1};
+  /// How strongly occurrence scales with workload irregularity (projects
+  /// with erratic codes see more of these per node-hour).
+  double workload_coupling = 1.0;
+  /// Latent defect group: types in the same group co-occur on the same
+  /// weak nodes, producing the Figure 13 correlation blocks.
+  ///   0 = none, 1 = hardware-defect block (DBE/retirement/cleanup),
+  ///   2 = microcontroller/driver pair, 3 = NVLink super-offender.
+  int latent_group = 0;
+};
+
+/// Full-table profiles in Table 4 order.
+[[nodiscard]] const std::array<XidProfile, kXidTypeCount>& xid_profiles();
+
+}  // namespace exawatt::failures

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+
+namespace exawatt::machine {
+
+/// Summit system constants (paper Table 1 and §2). All power in watts,
+/// temperatures in °C, flow in arbitrary tons-of-refrigeration units.
+struct SummitSpec {
+  // -- Cluster scale ------------------------------------------------------
+  static constexpr int kNodes = 4626;
+  static constexpr int kCabinets = 257;
+  static constexpr int kNodesPerCabinet = 18;
+  static constexpr int kCpusPerNode = 2;
+  static constexpr int kGpusPerNode = 6;
+  static constexpr int kGpusPerCpu = 3;  ///< serial coolant chain per socket
+  static constexpr int kTotalGpus = kNodes * kGpusPerNode;  // 27,756
+  static constexpr int kTotalCpus = kNodes * kCpusPerNode;  // 9,252
+  static constexpr int kMsbCount = 5;  ///< main switchboards (Dataset 13)
+
+  // -- Node power ---------------------------------------------------------
+  static constexpr double kNodeMaxPowerW = 2300.0;  ///< 220–240 V AC input
+  /// Cluster idle is ~2.5 MW (paper §4.1) -> ~540 W per node.
+  static constexpr double kNodeIdlePowerW = 540.0;
+  static constexpr double kCpuTdpW = 300.0;   ///< POWER9 22C
+  static constexpr double kCpuIdleW = 60.0;
+  static constexpr double kGpuTdpW = 300.0;   ///< V100 SXM2
+  static constexpr double kGpuIdleW = 40.0;
+  /// Power-supply conversion efficiency (input power = DC load / eff).
+  static constexpr double kPsuEfficiency = 0.94;
+  /// Memory + NVMe + fans + NIC DC baseline not covered by sockets,
+  /// derived so that a fully idle node draws kNodeIdlePowerW at the wall.
+  static constexpr double kNodeOverheadW =
+      kNodeIdlePowerW * kPsuEfficiency - kCpusPerNode * kCpuIdleW -
+      kGpusPerNode * kGpuIdleW;
+
+  // -- Cluster power ------------------------------------------------------
+  static constexpr double kClusterIdleW = 2.5e6;
+  static constexpr double kClusterPeakW = 13.0e6;
+  static constexpr double kFacilityCapacityW = 20.0e6;
+
+  // -- Cooling (Table 1, in °C; paper quotes °F) --------------------------
+  static constexpr double kMtwSupplyMinC = 17.8;   ///< 64 °F
+  static constexpr double kMtwSupplyMaxC = 21.7;   ///< 71 °F
+  static constexpr double kMtwSupplyNominalC = 20.0;  ///< 70 °F central plant
+  static constexpr double kMtwReturnMinC = 26.7;   ///< 80 °F
+  static constexpr double kMtwReturnMaxC = 37.8;   ///< 100 °F
+  static constexpr double kChilledWaterC = 5.6;    ///< 42 °F
+  static constexpr int kCoolingTowers = 8;
+  static constexpr int kChillers = 5;
+
+  // -- Scheduling (Table 3) ------------------------------------------------
+  static constexpr int kSchedulingClasses = 5;
+  static constexpr int kMaxJobNodes = 4608;  ///< class-1 upper bound
+};
+
+/// Scaled-down machine description for tests and cheap benches. All models
+/// take a `MachineScale` so per-node thresholds (e.g. the 868 W/node edge
+/// rule) keep results scale-invariant.
+struct MachineScale {
+  int nodes = SummitSpec::kNodes;
+  int nodes_per_cabinet = SummitSpec::kNodesPerCabinet;
+
+  [[nodiscard]] int cabinets() const {
+    return (nodes + nodes_per_cabinet - 1) / nodes_per_cabinet;
+  }
+  [[nodiscard]] int gpus() const { return nodes * SummitSpec::kGpusPerNode; }
+  [[nodiscard]] int cpus() const { return nodes * SummitSpec::kCpusPerNode; }
+  /// Fraction of the full Summit machine this scale represents.
+  [[nodiscard]] double fraction() const {
+    return static_cast<double>(nodes) /
+           static_cast<double>(SummitSpec::kNodes);
+  }
+
+  static MachineScale full() { return {}; }
+  static MachineScale small(int n) { return {n, SummitSpec::kNodesPerCabinet}; }
+};
+
+}  // namespace exawatt::machine

@@ -1,0 +1,70 @@
+#include "machine/topology.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace exawatt::machine {
+
+Topology::Topology(MachineScale scale) : scale_(scale) {
+  EXA_CHECK(scale_.nodes > 0, "topology needs at least one node");
+  EXA_CHECK(scale_.nodes_per_cabinet > 0, "cabinet size must be positive");
+  // Near-square floor layout; the real floor is ~14 rows of ~18 cabinets.
+  columns_ = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(cabinets()))));
+  if (columns_ < 1) columns_ = 1;
+  rows_ = (cabinets() + columns_ - 1) / columns_;
+}
+
+CabinetId Topology::cabinet_of(NodeId node) const {
+  EXA_CHECK(node >= 0 && node < scale_.nodes, "node id out of range");
+  return node / scale_.nodes_per_cabinet;
+}
+
+FloorPosition Topology::position_of(NodeId node) const {
+  const CabinetId cab = cabinet_of(node);
+  FloorPosition p;
+  p.cabinet = cab;
+  p.row = cab / columns_;
+  p.column = cab % columns_;
+  p.height = node % scale_.nodes_per_cabinet;
+  return p;
+}
+
+MsbId Topology::msb_of(NodeId node) const {
+  // Contiguous cabinet blocks per switchboard, proportionally sized so
+  // every MSB feeds cabinets even on reduced-scale machines.
+  const CabinetId cab = cabinet_of(node);
+  return static_cast<MsbId>(static_cast<std::int64_t>(cab) * msbs() /
+                            cabinets());
+}
+
+std::vector<NodeId> Topology::nodes_of_msb(MsbId msb) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < scale_.nodes; ++n) {
+    if (msb_of(n) == msb) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::nodes_of_cabinet(CabinetId cab) const {
+  EXA_CHECK(cab >= 0 && cab < cabinets(), "cabinet id out of range");
+  std::vector<NodeId> out;
+  const NodeId first = cab * scale_.nodes_per_cabinet;
+  for (int i = 0; i < scale_.nodes_per_cabinet; ++i) {
+    const NodeId n = first + i;
+    if (n < scale_.nodes) out.push_back(n);
+  }
+  return out;
+}
+
+std::string Topology::node_name(NodeId node) const {
+  const FloorPosition p = position_of(node);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%c%02dn%02d",
+                static_cast<char>('a' + p.row % 26), p.column, p.height);
+  return buf;
+}
+
+}  // namespace exawatt::machine

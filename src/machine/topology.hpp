@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/spec.hpp"
+
+namespace exawatt::machine {
+
+using NodeId = std::int32_t;
+using CabinetId = std::int32_t;
+using MsbId = std::int32_t;
+
+/// Identity of a single GPU: node plus slot 0..5. Slots 0-2 hang off
+/// CPU socket 0 and 3-5 off socket 1; within a socket the cold plate
+/// coolant visits slot positions in order (Figure 1-(a)), so position 0
+/// receives the freshest water.
+struct GpuLocation {
+  NodeId node = 0;
+  int slot = 0;
+
+  [[nodiscard]] int socket() const { return slot / SummitSpec::kGpusPerCpu; }
+  [[nodiscard]] int coolant_position() const {
+    return slot % SummitSpec::kGpusPerCpu;
+  }
+};
+
+/// Physical placement of a node on the compute floor.
+struct FloorPosition {
+  CabinetId cabinet = 0;
+  int row = 0;             ///< row of cabinets on the floor
+  int column = 0;          ///< cabinet index within the row
+  int height = 0;          ///< node position inside the cabinet (0..17)
+};
+
+/// Summit floor topology: nodes → cabinets → rows, plus the MSB power
+/// feed wiring used for the Figure 4 meter-vs-summation validation.
+class Topology {
+ public:
+  explicit Topology(MachineScale scale = MachineScale::full());
+
+  [[nodiscard]] const MachineScale& scale() const { return scale_; }
+  [[nodiscard]] int nodes() const { return scale_.nodes; }
+  [[nodiscard]] int cabinets() const { return scale_.cabinets(); }
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int columns() const { return columns_; }
+  [[nodiscard]] int msbs() const { return SummitSpec::kMsbCount; }
+
+  [[nodiscard]] CabinetId cabinet_of(NodeId node) const;
+  [[nodiscard]] FloorPosition position_of(NodeId node) const;
+  [[nodiscard]] MsbId msb_of(NodeId node) const;
+  /// Nodes fed by one MSB (contiguous cabinet blocks, like the manual
+  /// floormap mapping the paper describes).
+  [[nodiscard]] std::vector<NodeId> nodes_of_msb(MsbId msb) const;
+  /// All nodes in one cabinet.
+  [[nodiscard]] std::vector<NodeId> nodes_of_cabinet(CabinetId cab) const;
+
+  /// Hostname-style label ("b07n12") for logs and reports.
+  [[nodiscard]] std::string node_name(NodeId node) const;
+
+ private:
+  MachineScale scale_;
+  int rows_ = 0;
+  int columns_ = 0;
+};
+
+}  // namespace exawatt::machine

@@ -1,0 +1,151 @@
+#include "power/cluster.hpp"
+
+#include <algorithm>
+
+#include "power/job_power.hpp"
+#include "ts/partition.hpp"
+#include "util/check.hpp"
+
+namespace exawatt::power {
+
+using machine::SummitSpec;
+
+namespace {
+
+/// Serial roll-up over one (partition-sized) range; the parallel driver
+/// below stitches partitions back together (mini-Dask: disjoint time
+/// chunks are independent, so no synchronization is needed).
+struct PartitionColumns {
+  std::vector<double> input;
+  std::vector<double> cpu;
+  std::vector<double> gpu;
+  std::vector<double> alloc;
+};
+
+PartitionColumns rollup_range(const std::vector<workload::Job>& jobs,
+                              util::TimeRange range,
+                              const ClusterSeriesOptions& options) {
+  const auto n = static_cast<std::size_t>(
+      (range.duration() + options.dt - 1) / options.dt);
+
+  PartitionColumns out;
+  auto& input = out.input;
+  auto& cpu = out.cpu;
+  auto& gpu = out.gpu;
+  auto& alloc = out.alloc;
+  input.assign(n, 0.0);
+  cpu.assign(n, 0.0);
+  gpu.assign(n, 0.0);
+  alloc.assign(n, 0.0);
+
+  const workload::Utilization idle{};
+  const double idle_input = node_input_power_w(idle);
+  const double idle_cpu = node_cpu_power_w(idle);
+  const double idle_gpu = node_gpu_power_w(idle);
+
+  for (const auto& job : jobs) {
+    if (job.start < 0) continue;
+    const util::TimeRange overlap = range.clamp(job.interval());
+    if (overlap.duration() <= 0) continue;
+    const double nodes = job.node_count;
+    auto w0 = static_cast<std::size_t>((overlap.begin - range.begin) /
+                                       options.dt);
+    for (util::TimeSec t = range.begin +
+                           options.dt * static_cast<util::TimeSec>(w0);
+         t < overlap.end; t += options.dt, ++w0) {
+      if (w0 >= n) break;
+      // Fraction of this window the job actually covers (first/last
+      // windows may be partial).
+      const util::TimeSec cov_begin = std::max(t, overlap.begin);
+      const util::TimeSec cov_end = std::min(t + options.dt, overlap.end);
+      const double cover = static_cast<double>(cov_end - cov_begin) /
+                           static_cast<double>(options.dt);
+      if (cover <= 0.0) continue;
+      double in_acc = 0.0;
+      double cpu_acc = 0.0;
+      double gpu_acc = 0.0;
+      for (int s = 0; s < options.subsamples; ++s) {
+        const util::TimeSec ts =
+            cov_begin + (cov_end - cov_begin) *
+                            static_cast<util::TimeSec>(2 * s + 1) /
+                            static_cast<util::TimeSec>(2 * options.subsamples);
+        const workload::Utilization u = job_utilization(job, ts);
+        in_acc += node_input_power_w(u);
+        cpu_acc += node_cpu_power_w(u);
+        gpu_acc += node_gpu_power_w(u);
+      }
+      // Allocated nodes contribute their delta over the idle baseline
+      // (the baseline for the whole machine is added once below).
+      const double weight = cover * nodes / options.subsamples;
+      input[w0] += weight * in_acc - cover * nodes * idle_input;
+      cpu[w0] += weight * cpu_acc - cover * nodes * idle_cpu;
+      gpu[w0] += weight * gpu_acc - cover * nodes * idle_gpu;
+      alloc[w0] += cover * nodes;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace
+
+ts::Frame cluster_power_frame(const std::vector<workload::Job>& jobs,
+                              machine::MachineScale scale,
+                              util::TimeRange range,
+                              ClusterSeriesOptions options) {
+  EXA_CHECK(options.dt > 0, "cluster series dt must be positive");
+  EXA_CHECK(options.subsamples >= 1, "need at least one subsample");
+  EXA_CHECK(range.duration() > 0, "cluster series range must be non-empty");
+  const auto n = static_cast<std::size_t>(
+      (range.duration() + options.dt - 1) / options.dt);
+
+  // Partition the grid into day-aligned chunks and roll up in parallel.
+  // Chunks must be multiples of dt so partition grids stay phase-aligned.
+  const util::TimeSec chunk =
+      std::max<util::TimeSec>(options.dt,
+                              (util::kDay / options.dt) * options.dt);
+  const auto parts = ts::partition_range(range, chunk);
+  const auto results = ts::partitioned_map(parts, [&](const ts::Partition& p) {
+    return rollup_range(jobs, p.range, options);
+  });
+
+  std::vector<double> input(n, 0.0);
+  std::vector<double> cpu(n, 0.0);
+  std::vector<double> gpu(n, 0.0);
+  std::vector<double> alloc(n, 0.0);
+  std::size_t offset = 0;
+  for (const auto& r : results) {
+    std::copy(r.input.begin(), r.input.end(),
+              input.begin() + static_cast<std::ptrdiff_t>(offset));
+    std::copy(r.cpu.begin(), r.cpu.end(),
+              cpu.begin() + static_cast<std::ptrdiff_t>(offset));
+    std::copy(r.gpu.begin(), r.gpu.end(),
+              gpu.begin() + static_cast<std::ptrdiff_t>(offset));
+    std::copy(r.alloc.begin(), r.alloc.end(),
+              alloc.begin() + static_cast<std::ptrdiff_t>(offset));
+    offset += r.input.size();
+  }
+  EXA_CHECK(offset == n, "partition stitching mismatch");
+
+  // Idle baseline for the whole machine; partition roll-ups contributed
+  // the *delta* over idle for the nodes their jobs cover.
+  const workload::Utilization idle{};
+  const double idle_input = node_input_power_w(idle);
+  const double idle_cpu = node_cpu_power_w(idle);
+  const double idle_gpu = node_gpu_power_w(idle);
+  const double total_nodes = scale.nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    input[i] += total_nodes * idle_input;
+    cpu[i] += total_nodes * idle_cpu;
+    gpu[i] += total_nodes * idle_gpu;
+  }
+
+  ts::Frame frame(range.begin, options.dt, n);
+  frame.set("input_power_w", std::move(input));
+  frame.set("cpu_power_w", std::move(cpu));
+  frame.set("gpu_power_w", std::move(gpu));
+  frame.set("alloc_nodes", std::move(alloc));
+  return frame;
+}
+
+}  // namespace exawatt::power

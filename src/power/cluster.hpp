@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "machine/spec.hpp"
+#include "ts/frame.hpp"
+#include "workload/job.hpp"
+
+namespace exawatt::power {
+
+/// Options for the job-centric cluster power roll-up (Datasets 1-2).
+struct ClusterSeriesOptions {
+  util::TimeSec dt = 10;  ///< window width (10 s for short-range studies,
+                          ///< 600 s for year-long trends)
+  int subsamples = 1;     ///< app-model evaluations averaged per window
+};
+
+/// Cluster-level power time series computed directly from the scheduled
+/// job list — the fast path that makes year-scale sweeps tractable
+/// (DESIGN.md §4). Returned frame columns:
+///   input_power_w  total wall power of all nodes (allocated + idle)
+///   cpu_power_w    total CPU DC power
+///   gpu_power_w    total GPU DC power
+///   alloc_nodes    nodes allocated to running jobs
+[[nodiscard]] ts::Frame cluster_power_frame(
+    const std::vector<workload::Job>& jobs, machine::MachineScale scale,
+    util::TimeRange range, ClusterSeriesOptions options = {});
+
+}  // namespace exawatt::power

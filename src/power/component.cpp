@@ -1,0 +1,80 @@
+#include "power/component.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace exawatt::power {
+
+using machine::SummitSpec;
+
+double gpu_power_w(double util) {
+  util = std::clamp(util, 0.0, 1.0);
+  return SummitSpec::kGpuIdleW +
+         (SummitSpec::kGpuTdpW - SummitSpec::kGpuIdleW) * util;
+}
+
+double cpu_power_w(double util) {
+  util = std::clamp(util, 0.0, 1.0);
+  return SummitSpec::kCpuIdleW +
+         (SummitSpec::kCpuTdpW - SummitSpec::kCpuIdleW) * util;
+}
+
+double input_power_w(double dc_w) {
+  return dc_w / SummitSpec::kPsuEfficiency;
+}
+
+double node_cpu_power_w(const workload::Utilization& u) {
+  return SummitSpec::kCpusPerNode * cpu_power_w(u.cpu);
+}
+
+double node_gpu_power_w(const workload::Utilization& u) {
+  return SummitSpec::kGpusPerNode * gpu_power_w(u.gpu);
+}
+
+double node_input_power_w(const workload::Utilization& u) {
+  const double dc =
+      SummitSpec::kNodeOverheadW + node_cpu_power_w(u) + node_gpu_power_w(u);
+  return input_power_w(dc);
+}
+
+FleetVariability::FleetVariability(machine::MachineScale scale,
+                                   std::uint64_t seed)
+    : scale_(scale) {
+  EXA_CHECK(scale_.nodes > 0, "fleet needs nodes");
+  const auto nodes = static_cast<std::size_t>(scale_.nodes);
+  gpu_factor_.resize(nodes * SummitSpec::kGpusPerNode);
+  cpu_factor_.resize(nodes * SummitSpec::kCpusPerNode);
+  util::Rng master(seed);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    util::Rng rng = master.substream(0x90eaULL, n);
+    for (int g = 0; g < SummitSpec::kGpusPerNode; ++g) {
+      gpu_factor_[n * SummitSpec::kGpusPerNode + static_cast<std::size_t>(g)] =
+          rng.lognormal(0.0, 0.05);
+    }
+    for (int c = 0; c < SummitSpec::kCpusPerNode; ++c) {
+      cpu_factor_[n * SummitSpec::kCpusPerNode + static_cast<std::size_t>(c)] =
+          rng.lognormal(0.0, 0.04);
+    }
+  }
+}
+
+double FleetVariability::gpu_power_factor(machine::NodeId node,
+                                          int slot) const {
+  EXA_CHECK(node >= 0 && node < scale_.nodes, "node out of range");
+  EXA_CHECK(slot >= 0 && slot < SummitSpec::kGpusPerNode, "slot out of range");
+  return gpu_factor_[static_cast<std::size_t>(node) * SummitSpec::kGpusPerNode +
+                     static_cast<std::size_t>(slot)];
+}
+
+double FleetVariability::cpu_power_factor(machine::NodeId node,
+                                          int socket) const {
+  EXA_CHECK(node >= 0 && node < scale_.nodes, "node out of range");
+  EXA_CHECK(socket >= 0 && socket < SummitSpec::kCpusPerNode,
+            "socket out of range");
+  return cpu_factor_[static_cast<std::size_t>(node) * SummitSpec::kCpusPerNode +
+                     static_cast<std::size_t>(socket)];
+}
+
+}  // namespace exawatt::power

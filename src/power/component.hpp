@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "machine/spec.hpp"
+#include "machine/topology.hpp"
+#include "util/rng.hpp"
+#include "workload/app_model.hpp"
+
+namespace exawatt::power {
+
+/// DC power draw of one V100 at a given utilization (0..1), before
+/// per-chip manufacturing variability. Near-linear in utilization — the
+/// paper's exemplar job shows a monotonic, near-linear power-temperature
+/// relation riding on a near-linear utilization-power curve.
+[[nodiscard]] double gpu_power_w(double util);
+
+/// DC power draw of one POWER9 package at a given utilization.
+[[nodiscard]] double cpu_power_w(double util);
+
+/// DC -> wall conversion through the node's power supplies.
+[[nodiscard]] double input_power_w(double dc_w);
+
+/// Mean per-node input power (W) for a job running at mean utilization u,
+/// with variability averaged out — the job-centric fast path used for
+/// cluster- and job-level aggregates.
+[[nodiscard]] double node_input_power_w(const workload::Utilization& u);
+
+/// Mean per-node CPU-only / GPU-only DC power (the paper's Figure 9 axes:
+/// per-node CPU power = 2 sockets, per-node GPU power = 6 devices).
+[[nodiscard]] double node_cpu_power_w(const workload::Utilization& u);
+[[nodiscard]] double node_gpu_power_w(const workload::Utilization& u);
+
+/// Per-chip manufacturing variability factors for the whole fleet,
+/// deterministic in (seed, node, slot). Power factors are tight (~5%
+/// sigma); the paper attributes part of its observed spread to exactly
+/// this variation.
+class FleetVariability {
+ public:
+  FleetVariability(machine::MachineScale scale, std::uint64_t seed);
+
+  [[nodiscard]] const machine::MachineScale& scale() const { return scale_; }
+
+  /// Multiplicative power factor for GPU (node, slot 0..5).
+  [[nodiscard]] double gpu_power_factor(machine::NodeId node, int slot) const;
+  /// Multiplicative power factor for CPU (node, socket 0..1).
+  [[nodiscard]] double cpu_power_factor(machine::NodeId node, int socket) const;
+
+ private:
+  machine::MachineScale scale_;
+  std::vector<double> gpu_factor_;  ///< nodes * 6
+  std::vector<double> cpu_factor_;  ///< nodes * 2
+};
+
+}  // namespace exawatt::power

@@ -1,0 +1,152 @@
+#include "power/job_power.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/welford.hpp"
+#include "workload/app_model.hpp"
+
+namespace exawatt::power {
+
+using machine::SummitSpec;
+
+workload::Utilization job_utilization(const workload::Job& job,
+                                      util::TimeSec t) {
+  if (job.start < 0 || t < job.start || t >= job.end) return {};
+  const auto& app = workload::app_catalog()[job.app];
+  return workload::evaluate_app(app, t - job.start, job.key);
+}
+
+double job_node_input_w(const workload::Job& job, util::TimeSec t) {
+  return node_input_power_w(job_utilization(job, t));
+}
+
+ts::Series job_power_series(const workload::Job& job, util::TimeSec dt,
+                            int subsamples) {
+  EXA_CHECK(dt > 0, "job series dt must be positive");
+  EXA_CHECK(subsamples >= 1, "need at least one subsample");
+  if (job.start < 0 || job.end <= job.start) {
+    return ts::Series(job.start, dt, {});
+  }
+  const auto n = static_cast<std::size_t>((job.end - job.start + dt - 1) / dt);
+  std::vector<double> v(n);
+  const double nodes = job.node_count;
+  for (std::size_t i = 0; i < n; ++i) {
+    const util::TimeSec w0 = job.start + dt * static_cast<util::TimeSec>(i);
+    double acc = 0.0;
+    for (int s = 0; s < subsamples; ++s) {
+      const util::TimeSec t =
+          w0 + dt * static_cast<util::TimeSec>(2 * s + 1) /
+                   static_cast<util::TimeSec>(2 * subsamples);
+      acc += job_node_input_w(job, std::min(t, job.end - 1));
+    }
+    v[i] = nodes * acc / subsamples;
+  }
+  return ts::Series(job.start, dt, std::move(v));
+}
+
+JobPowerSummary summarize_job(const workload::Job& job, util::TimeSec dt) {
+  JobPowerSummary s;
+  s.id = job.id;
+  s.sched_class = job.sched_class;
+  s.node_count = job.node_count;
+  s.project = job.project;
+  s.domain = job.domain;
+  s.app = job.app;
+  if (job.start < 0 || job.end <= job.start) return s;
+  const util::TimeSec runtime = job.end - job.start;
+  s.runtime_s = static_cast<double>(runtime);
+  if (dt <= 0) {
+    dt = std::clamp<util::TimeSec>(runtime / 512, 10, 300);
+  }
+  util::Welford power;
+  util::Welford cpu_node;
+  util::Welford gpu_node;
+  for (util::TimeSec t = job.start; t < job.end; t += dt) {
+    const util::TimeSec mid = std::min(t + dt / 2, job.end - 1);
+    const workload::Utilization u = job_utilization(job, mid);
+    power.add(static_cast<double>(job.node_count) * node_input_power_w(u));
+    cpu_node.add(node_cpu_power_w(u));
+    gpu_node.add(node_gpu_power_w(u));
+  }
+  s.mean_power_w = power.mean();
+  s.max_power_w = power.max();
+  s.energy_j = power.mean() * s.runtime_s;
+  s.mean_cpu_node_w = cpu_node.mean();
+  s.max_cpu_node_w = cpu_node.max();
+  s.mean_gpu_node_w = gpu_node.mean();
+  s.max_gpu_node_w = gpu_node.max();
+  return s;
+}
+
+namespace {
+/// Deterministic per-(job, rank) static load-imbalance factor and
+/// per-second jitter: ranks of a synchronous job are never perfectly
+/// balanced, which seeds the within-job power spread of Figure 17.
+double rank_factor(std::uint64_t job_key, int rank) {
+  const std::uint64_t h =
+      util::hash_combine(job_key, static_cast<std::uint64_t>(rank) + 1);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return 0.97 + 0.06 * u;  // +/- 3% static imbalance
+}
+
+double second_jitter(std::uint64_t job_key, int rank, util::TimeSec t) {
+  const std::uint64_t h = util::mix64(
+      util::hash_combine(job_key ^ 0x7177ULL,
+                         static_cast<std::uint64_t>(rank) * 0x1f123bb5ULL +
+                             static_cast<std::uint64_t>(t)));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return 0.99 + 0.02 * u;  // +/- 1% fast jitter
+}
+}  // namespace
+
+NodeComponentPower node_power_detail(const workload::Job& job, int rank,
+                                     util::TimeSec t,
+                                     const FleetVariability& fleet) {
+  EXA_CHECK(rank >= 0 && rank < job.node_count, "rank out of range");
+  const machine::NodeId node = job.node_at(rank);
+  const workload::Utilization u = job_utilization(job, t);
+  const double imbalance =
+      rank_factor(job.key, rank) * second_jitter(job.key, rank, t);
+  NodeComponentPower p;
+  double dc = SummitSpec::kNodeOverheadW;
+  for (int c = 0; c < SummitSpec::kCpusPerNode; ++c) {
+    p.cpu_w[c] = cpu_power_w(std::clamp(u.cpu * imbalance, 0.0, 1.0)) *
+                 fleet.cpu_power_factor(node, c);
+    dc += p.cpu_w[c];
+  }
+  for (int g = 0; g < SummitSpec::kGpusPerNode; ++g) {
+    p.gpu_w[g] = gpu_power_w(std::clamp(u.gpu * imbalance, 0.0, 1.0)) *
+                 fleet.gpu_power_factor(node, g);
+    dc += p.gpu_w[g];
+  }
+  p.input_w = input_power_w(dc);
+  return p;
+}
+
+double estimated_peak_power_w(const workload::Job& job) {
+  const auto& app = workload::app_catalog()[job.app];
+  workload::Utilization peak;
+  peak.cpu = app.phases.cpu_high;
+  peak.gpu = std::min(1.0, app.phases.gpu_high + app.phases.spike_gpu);
+  return static_cast<double>(job.node_count) * node_input_power_w(peak);
+}
+
+NodeComponentPower idle_node_power(machine::NodeId node,
+                                   const FleetVariability& fleet) {
+  NodeComponentPower p;
+  double dc = SummitSpec::kNodeOverheadW;
+  for (int c = 0; c < SummitSpec::kCpusPerNode; ++c) {
+    p.cpu_w[c] = SummitSpec::kCpuIdleW * fleet.cpu_power_factor(node, c);
+    dc += p.cpu_w[c];
+  }
+  for (int g = 0; g < SummitSpec::kGpusPerNode; ++g) {
+    p.gpu_w[g] = SummitSpec::kGpuIdleW * fleet.gpu_power_factor(node, g);
+    dc += p.gpu_w[g];
+  }
+  p.input_w = input_power_w(dc);
+  return p;
+}
+
+}  // namespace exawatt::power

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+
+#include "power/component.hpp"
+#include "ts/series.hpp"
+#include "workload/job.hpp"
+
+namespace exawatt::power {
+
+/// Mean utilization of a job's nodes at absolute time `t` (0 outside the
+/// job's interval). Thin wrapper over the application archetype model.
+[[nodiscard]] workload::Utilization job_utilization(const workload::Job& job,
+                                                    util::TimeSec t);
+
+/// Mean per-node input power (W) of a job at absolute time `t`;
+/// idle draw outside the job's interval.
+[[nodiscard]] double job_node_input_w(const workload::Job& job,
+                                      util::TimeSec t);
+
+/// Total job input power (W, summed over its nodes) on a regular grid of
+/// `dt` seconds spanning the job's runtime — the paper's Dataset 3
+/// ("job-wise power time series"). Each window averages `subsamples`
+/// evaluation points to avoid phase aliasing at coarse dt.
+[[nodiscard]] ts::Series job_power_series(const workload::Job& job,
+                                          util::TimeSec dt,
+                                          int subsamples = 1);
+
+/// Scalar power/energy features of one job (Datasets 5-7): the inputs to
+/// Figures 6-9.
+struct JobPowerSummary {
+  workload::JobId id = 0;
+  int sched_class = 5;
+  int node_count = 0;
+  std::uint32_t project = 0;
+  std::uint16_t domain = 0;
+  std::uint16_t app = 0;
+  double runtime_s = 0.0;
+  double mean_power_w = 0.0;  ///< mean total input power
+  double max_power_w = 0.0;   ///< max windowed total input power
+  double energy_j = 0.0;      ///< total input energy over the run
+  double mean_cpu_node_w = 0.0;  ///< mean per-node CPU power (2 sockets)
+  double max_cpu_node_w = 0.0;
+  double mean_gpu_node_w = 0.0;  ///< mean per-node GPU power (6 devices)
+  double max_gpu_node_w = 0.0;
+};
+
+/// Summarize a scheduled job. `dt <= 0` selects an adaptive window
+/// (runtime/512 clamped to [10 s, 300 s]) so the 840k-job sweep stays
+/// tractable while short jobs keep 10 s fidelity.
+[[nodiscard]] JobPowerSummary summarize_job(const workload::Job& job,
+                                            util::TimeSec dt = 0);
+
+/// Fully detailed per-node, per-component instantaneous power, including
+/// per-chip manufacturing variability and per-node load imbalance — the
+/// slow path behind telemetry emission and the Figure 17 exemplar.
+struct NodeComponentPower {
+  double cpu_w[machine::SummitSpec::kCpusPerNode] = {};
+  double gpu_w[machine::SummitSpec::kGpusPerNode] = {};
+  double input_w = 0.0;  ///< wall power including overhead and PSU loss
+
+  [[nodiscard]] double cpu_total() const {
+    double s = 0.0;
+    for (double v : cpu_w) s += v;
+    return s;
+  }
+  [[nodiscard]] double gpu_total() const {
+    double s = 0.0;
+    for (double v : gpu_w) s += v;
+    return s;
+  }
+};
+
+/// Power detail for the job's `rank`-th node at absolute time `t`.
+[[nodiscard]] NodeComponentPower node_power_detail(
+    const workload::Job& job, int rank, util::TimeSec t,
+    const FleetVariability& fleet);
+
+/// Idle-node power detail (no job allocated).
+[[nodiscard]] NodeComponentPower idle_node_power(machine::NodeId node,
+                                                 const FleetVariability& fleet);
+
+/// A-priori estimate of the job's peak total input power (W): its
+/// archetype's high-phase utilization (plus spikes) at every node. This
+/// is what a power-aware scheduler can know *before* the job runs — the
+/// paper's §9 fingerprint-based prediction refines exactly this number.
+[[nodiscard]] double estimated_peak_power_w(const workload::Job& job);
+
+}  // namespace exawatt::power

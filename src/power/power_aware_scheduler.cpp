@@ -1,0 +1,174 @@
+#include "power/power_aware_scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "power/component.hpp"
+#include "power/job_power.hpp"
+#include "util/check.hpp"
+#include "workload/free_list.hpp"
+
+namespace exawatt::power {
+
+namespace {
+struct Release {
+  util::TimeSec end;
+  std::size_t job;
+  bool operator>(const Release& o) const { return end > o.end; }
+};
+}  // namespace
+
+PowerAwareScheduler::PowerAwareScheduler(machine::MachineScale scale,
+                                         PowerAwareOptions options)
+    : scale_(scale), options_(options) {
+  EXA_CHECK(scale_.nodes > 0, "scheduler needs a machine");
+}
+
+PowerAwareStats PowerAwareScheduler::run(std::vector<workload::Job>& jobs,
+                                         util::TimeSec horizon) {
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXA_CHECK(jobs[i - 1].submit <= jobs[i].submit,
+              "jobs must be sorted by submit time");
+  }
+  PowerAwareStats stats;
+  workload::FreeList free_list(scale_.nodes);
+  std::priority_queue<Release, std::vector<Release>, std::greater<>> running;
+  std::deque<std::size_t> pending;
+  double total_wait = 0.0;
+  double busy_node_seconds = 0.0;
+  const util::TimeSec sim_begin = jobs.empty() ? 0 : jobs.front().submit;
+
+  // Power accounting: idle floor for the whole machine, plus the delta
+  // between each running job's estimated peak and its nodes' idle draw.
+  const double idle_node_w = node_input_power_w({});
+  const double idle_floor_w = idle_node_w * static_cast<double>(scale_.nodes);
+  double committed_w = idle_floor_w;
+  const bool budgeted = options_.cluster_cap_w > 0.0;
+
+  // Per-job peak estimates (computed once; jobs vector is stable here).
+  std::vector<double> peak_delta(jobs.size(), 0.0);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    peak_delta[i] = estimated_peak_power_w(jobs[i]) -
+                    idle_node_w * static_cast<double>(jobs[i].node_count);
+    if (peak_delta[i] < 0.0) peak_delta[i] = 0.0;
+  }
+
+  auto fits_budget = [&](std::size_t idx) {
+    if (!budgeted) return true;
+    return committed_w + peak_delta[idx] <= options_.cluster_cap_w;
+  };
+
+  auto start_job = [&](std::size_t idx, util::TimeSec now) {
+    workload::Job& j = jobs[idx];
+    j.nodes = free_list.allocate(j.node_count);
+    j.start = now;
+    const util::TimeSec run =
+        std::min(j.natural_runtime, j.requested_walltime);
+    j.end = std::min(now + run, horizon);
+    running.push({j.end, idx});
+    ++stats.base.scheduled;
+    total_wait += static_cast<double>(now - j.submit);
+    busy_node_seconds +=
+        static_cast<double>(j.node_count) * static_cast<double>(j.end - now);
+    committed_w += peak_delta[idx];
+    stats.peak_committed_w = std::max(stats.peak_committed_w, committed_w);
+  };
+
+  auto try_schedule = [&](util::TimeSec now) {
+    while (!pending.empty()) {
+      const std::size_t head = pending.front();
+      const bool head_fits_nodes =
+          jobs[head].node_count <= free_list.free_nodes();
+      const bool head_fits_power = !options_.strict || fits_budget(head);
+      if (head_fits_nodes && head_fits_power) {
+        pending.pop_front();
+        start_job(head, now);
+        continue;
+      }
+      if (head_fits_nodes && !head_fits_power) ++stats.power_blocked;
+
+      // Shadow reservation for the head (node dimension only; the power
+      // dimension frees as jobs end, modelled by the same release walk).
+      util::TimeSec shadow = horizon;
+      int extra_at_shadow = 0;
+      {
+        auto copy = running;
+        int avail = free_list.free_nodes();
+        double power_avail =
+            budgeted ? options_.cluster_cap_w - committed_w : 1e18;
+        while (!copy.empty()) {
+          const Release r = copy.top();
+          copy.pop();
+          avail += jobs[r.job].node_count;
+          power_avail += peak_delta[r.job];
+          if (avail >= jobs[head].node_count &&
+              (!options_.strict || power_avail >= peak_delta[head])) {
+            shadow = r.end;
+            extra_at_shadow = avail - jobs[head].node_count;
+            break;
+          }
+        }
+      }
+      int spare_now = free_list.free_nodes();
+      int reserved_extra = extra_at_shadow;
+      std::size_t scanned = 0;
+      for (auto it = pending.begin() + 1;
+           it != pending.end() && scanned < 256 && spare_now > 0; ++scanned) {
+        workload::Job& j = jobs[*it];
+        const std::size_t idx = *it;
+        const bool fits_now = j.node_count <= spare_now;
+        const bool ends_before_shadow =
+            now + j.requested_walltime <= shadow;
+        const bool within_spare = j.node_count <= reserved_extra;
+        const bool power_ok = fits_budget(idx);
+        if (fits_now && power_ok && (ends_before_shadow || within_spare)) {
+          it = pending.erase(it);
+          start_job(idx, now);
+          ++stats.base.backfilled;
+          spare_now = free_list.free_nodes();
+          if (!ends_before_shadow) reserved_extra -= jobs[idx].node_count;
+        } else {
+          if (fits_now && !power_ok) ++stats.power_blocked;
+          ++it;
+        }
+      }
+      break;
+    }
+  };
+
+  auto drain_until = [&](util::TimeSec t) {
+    while (!running.empty() && running.top().end <= t) {
+      const Release r = running.top();
+      running.pop();
+      free_list.release(jobs[r.job].nodes);
+      committed_w -= peak_delta[r.job];
+      if (r.end < horizon) try_schedule(r.end);
+    }
+  };
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    drain_until(jobs[i].submit);
+    pending.push_back(i);
+    stats.base.max_queue_depth =
+        std::max(stats.base.max_queue_depth, pending.size());
+    try_schedule(jobs[i].submit);
+  }
+  drain_until(horizon);
+
+  stats.base.unscheduled = pending.size();
+  for (std::size_t idx : pending) {
+    jobs[idx].start = -1;
+    jobs[idx].end = -1;
+  }
+  if (stats.base.scheduled > 0) {
+    stats.base.mean_wait_s =
+        total_wait / static_cast<double>(stats.base.scheduled);
+  }
+  const double capacity = static_cast<double>(scale_.nodes) *
+                          static_cast<double>(horizon - sim_begin);
+  if (capacity > 0.0) stats.base.utilization = busy_node_seconds / capacity;
+  return stats;
+}
+
+}  // namespace exawatt::power

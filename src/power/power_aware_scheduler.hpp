@@ -1,0 +1,48 @@
+#pragma once
+
+#include "machine/spec.hpp"
+#include "util/sim_time.hpp"
+#include "workload/job.hpp"
+#include "workload/scheduler.hpp"
+
+namespace exawatt::power {
+
+/// Power-aware batch scheduling — the paper's concluding suggestion
+/// ("aggressive power and energy aware ... scheduling policies can have
+/// impact even on HPC deployments like Summit that impose no power
+/// constraints"). Same FCFS + EASY backfill as workload::Scheduler, plus
+/// a cluster power budget: a job may start only while the sum of running
+/// jobs' estimated peak powers (plus the idle floor) stays under the cap.
+///
+/// The point of the ablation (bench_ab_power_cap) is to quantify the
+/// trade: how much peak shaving costs in queue wait and utilization.
+struct PowerAwareOptions {
+  /// Total cluster input-power budget (W). <= 0 disables the budget and
+  /// degenerates to the baseline scheduler.
+  double cluster_cap_w = 0.0;
+  /// When true, the head-of-queue reservation also respects the budget
+  /// (strict); when false, only backfill is budget-gated (advisory).
+  bool strict = true;
+};
+
+struct PowerAwareStats {
+  workload::SchedulerStats base;
+  double peak_committed_w = 0.0;  ///< max concurrent estimated peak power
+  std::size_t power_blocked = 0;  ///< start attempts deferred by the budget
+};
+
+class PowerAwareScheduler {
+ public:
+  PowerAwareScheduler(machine::MachineScale scale, PowerAwareOptions options);
+
+  /// Assign start/end times and node ranges in place (same contract as
+  /// workload::Scheduler::run).
+  PowerAwareStats run(std::vector<workload::Job>& jobs,
+                      util::TimeSec horizon);
+
+ private:
+  machine::MachineScale scale_;
+  PowerAwareOptions options_;
+};
+
+}  // namespace exawatt::power

@@ -1,0 +1,74 @@
+#include "stats/correlation.hpp"
+
+#include <cmath>
+
+#include "stats/special.hpp"
+#include "util/check.hpp"
+
+namespace exawatt::stats {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  EXA_CHECK(x.size() == y.size(), "pearson needs equal-length vectors");
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  double r = sxy / std::sqrt(sxx * syy);
+  if (r > 1.0) r = 1.0;
+  if (r < -1.0) r = -1.0;
+  return r;
+}
+
+CorrelationMatrix::CorrelationMatrix(
+    const std::vector<std::vector<double>>& vectors, double alpha)
+    : k_(vectors.size()) {
+  EXA_CHECK(k_ >= 2, "correlation matrix needs at least two variables");
+  EXA_CHECK(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  const std::size_t n = vectors[0].size();
+  for (const auto& v : vectors) {
+    EXA_CHECK(v.size() == n, "all variables must share one length");
+  }
+  const std::size_t pairs = k_ * (k_ - 1) / 2;
+  adjusted_alpha_ = alpha / static_cast<double>(pairs);
+  cells_.resize(k_ * k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    cells_[i * k_ + i] = {1.0, 0.0, true};
+    for (std::size_t j = i + 1; j < k_; ++j) {
+      CorrelationCell c;
+      c.r = pearson(vectors[i], vectors[j]);
+      c.p = pearson_p_value(c.r, n);
+      c.significant = c.p < adjusted_alpha_;
+      cells_[i * k_ + j] = c;
+      cells_[j * k_ + i] = c;
+    }
+  }
+}
+
+std::size_t CorrelationMatrix::significant_pairs() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    for (std::size_t j = i + 1; j < k_; ++j) {
+      if (at(i, j).significant) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace exawatt::stats

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace exawatt::stats {
+
+/// Pearson correlation coefficient r of two equal-length vectors.
+/// Returns 0 when either vector has zero variance.
+[[nodiscard]] double pearson(std::span<const double> x,
+                             std::span<const double> y);
+
+/// One cell of a pairwise correlation analysis.
+struct CorrelationCell {
+  double r = 0.0;
+  double p = 1.0;
+  bool significant = false;  ///< after Bonferroni at the given alpha
+};
+
+/// Pairwise Pearson correlation with Bonferroni-corrected significance —
+/// exactly the Figure 13 procedure: vectors are per-node failure counts
+/// (4,626-dimensional in the paper), tested at alpha with the number of
+/// distinct pairs as the correction factor.
+class CorrelationMatrix {
+ public:
+  /// `vectors[k]` is variable k's observations; all must share one length.
+  CorrelationMatrix(const std::vector<std::vector<double>>& vectors,
+                    double alpha = 0.05);
+
+  [[nodiscard]] std::size_t variables() const { return k_; }
+  [[nodiscard]] const CorrelationCell& at(std::size_t i,
+                                          std::size_t j) const {
+    return cells_[i * k_ + j];
+  }
+  /// Bonferroni-adjusted per-test threshold actually used.
+  [[nodiscard]] double adjusted_alpha() const { return adjusted_alpha_; }
+  /// Count of significant off-diagonal pairs (i < j).
+  [[nodiscard]] std::size_t significant_pairs() const;
+
+ private:
+  std::size_t k_ = 0;
+  double adjusted_alpha_ = 0.0;
+  std::vector<CorrelationCell> cells_;
+};
+
+}  // namespace exawatt::stats

@@ -1,0 +1,127 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace exawatt::stats {
+
+double mean(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  const double m = mean(x);
+  double s = 0.0;
+  for (double v : x) s += (v - m) * (v - m);
+  return s / static_cast<double>(x.size());
+}
+
+double sample_variance(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  return variance(x) * static_cast<double>(x.size()) /
+         static_cast<double>(x.size() - 1);
+}
+
+double stddev(std::span<const double> x) { return std::sqrt(variance(x)); }
+
+double min_value(std::span<const double> x) {
+  EXA_CHECK(!x.empty(), "min of empty span");
+  return *std::min_element(x.begin(), x.end());
+}
+
+double max_value(std::span<const double> x) {
+  EXA_CHECK(!x.empty(), "max of empty span");
+  return *std::max_element(x.begin(), x.end());
+}
+
+double sum(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s;
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  EXA_CHECK(!sorted.empty(), "quantile of empty span");
+  EXA_CHECK(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double quantile(std::span<const double> x, double q) {
+  std::vector<double> copy(x.begin(), x.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, q);
+}
+
+double median(std::span<const double> x) { return quantile(x, 0.5); }
+
+double skewness(std::span<const double> x) {
+  if (x.size() < 3) return 0.0;
+  const double m = mean(x);
+  double m2 = 0.0;
+  double m3 = 0.0;
+  for (double v : x) {
+    const double d = v - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  const auto n = static_cast<double>(x.size());
+  m2 /= n;
+  m3 /= n;
+  if (m2 <= 0.0) return 0.0;
+  return m3 / std::pow(m2, 1.5);
+}
+
+BoxplotStats boxplot(std::span<const double> x) {
+  EXA_CHECK(!x.empty(), "boxplot of empty span");
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  BoxplotStats b;
+  b.n = sorted.size();
+  b.q1 = quantile_sorted(sorted, 0.25);
+  b.median = quantile_sorted(sorted, 0.5);
+  b.q3 = quantile_sorted(sorted, 0.75);
+  const double lo_fence = b.q1 - 1.5 * b.iqr();
+  const double hi_fence = b.q3 + 1.5 * b.iqr();
+  b.whisker_lo = sorted.back();
+  b.whisker_hi = sorted.front();
+  for (double v : sorted) {
+    if (v < lo_fence || v > hi_fence) {
+      ++b.outliers;
+    } else {
+      b.whisker_lo = std::min(b.whisker_lo, v);
+      b.whisker_hi = std::max(b.whisker_hi, v);
+    }
+  }
+  if (b.outliers == b.n) {  // degenerate: everything flagged
+    b.whisker_lo = sorted.front();
+    b.whisker_hi = sorted.back();
+  }
+  return b;
+}
+
+std::vector<double> zscores(std::span<const double> x) {
+  std::vector<double> z(x.size(), 0.0);
+  if (x.size() < 2) return z;
+  const double m = mean(x);
+  const double s = std::sqrt(sample_variance(x));
+  if (s <= 0.0) return z;
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = (x[i] - m) / s;
+  return z;
+}
+
+double zscore(double value, double mu, double sigma) {
+  return sigma > 0.0 ? (value - mu) / sigma : 0.0;
+}
+
+}  // namespace exawatt::stats

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace exawatt::stats {
+
+/// Descriptive statistics over plain double spans. Everything here is a
+/// direct C++ port of the numpy/pandas calls in the paper's notebooks.
+
+[[nodiscard]] double mean(std::span<const double> x);
+[[nodiscard]] double variance(std::span<const double> x);        ///< population
+[[nodiscard]] double sample_variance(std::span<const double> x); ///< n-1
+[[nodiscard]] double stddev(std::span<const double> x);
+[[nodiscard]] double min_value(std::span<const double> x);
+[[nodiscard]] double max_value(std::span<const double> x);
+[[nodiscard]] double sum(std::span<const double> x);
+
+/// Linear-interpolated quantile (numpy default), q in [0, 1].
+/// Sorts a copy; use quantile_sorted when data is pre-sorted.
+[[nodiscard]] double quantile(std::span<const double> x, double q);
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+[[nodiscard]] double median(std::span<const double> x);
+
+/// Fisher-Pearson skewness coefficient (g1). 0 for n < 3 or zero variance.
+[[nodiscard]] double skewness(std::span<const double> x);
+
+/// Five-number summary with Tukey 1.5·IQR whiskers — the paper's boxplots
+/// (Figures 5, 8, 17) and its outlier rule ("non-outlier spread").
+struct BoxplotStats {
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double whisker_lo = 0.0;  ///< smallest value >= q1 - 1.5 IQR
+  double whisker_hi = 0.0;  ///< largest value <= q3 + 1.5 IQR
+  std::size_t n = 0;
+  std::size_t outliers = 0;
+  [[nodiscard]] double iqr() const { return q3 - q1; }
+  /// Non-outlier spread (whisker_hi - whisker_lo); the paper quotes the
+  /// exemplar job's 62 W power / 15.8 °C temperature spreads this way.
+  [[nodiscard]] double spread() const { return whisker_hi - whisker_lo; }
+};
+
+[[nodiscard]] BoxplotStats boxplot(std::span<const double> x);
+
+/// Z-scores of x against its own mean/std (sample std). Zero-variance
+/// inputs map to all-zero scores.
+[[nodiscard]] std::vector<double> zscores(std::span<const double> x);
+/// Z-score of a single value against a population (mean, stddev).
+[[nodiscard]] double zscore(double value, double mu, double sigma);
+
+}  // namespace exawatt::stats

@@ -1,0 +1,47 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace exawatt::stats {
+
+Ecdf::Ecdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(std::distance(sorted_.begin(), it)) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::percentile(double p) const {
+  EXA_CHECK(!sorted_.empty(), "percentile of empty ECDF");
+  EXA_CHECK(p >= 0.0 && p <= 1.0, "percentile p must be in [0,1]");
+  if (p <= 0.0) return sorted_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank == 0 ? 0 : rank - 1, sorted_.size() - 1)];
+}
+
+std::vector<Ecdf::Point> Ecdf::grid(std::size_t points) const {
+  std::vector<Point> out;
+  if (sorted_.empty() || points == 0) return out;
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        points == 1 ? hi
+                    : lo + (hi - lo) * static_cast<double>(i) /
+                          static_cast<double>(points - 1);
+    out.push_back({x, (*this)(x)});
+  }
+  return out;
+}
+
+}  // namespace exawatt::stats

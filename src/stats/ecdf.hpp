@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace exawatt::stats {
+
+/// Empirical cumulative distribution function — the backbone of Figures 7
+/// and 10 (job feature CDFs, edge count/duration CDFs).
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> samples);
+
+  [[nodiscard]] std::size_t n() const { return sorted_.size(); }
+  [[nodiscard]] bool empty() const { return sorted_.empty(); }
+
+  /// P(X <= x); right-continuous step function.
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Smallest sample value v with P(X <= v) >= p (the p-th percentile as
+  /// the paper quotes "80% of jobs ... less than").
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] const std::vector<double>& sorted() const { return sorted_; }
+
+  /// Evaluate the CDF on an evenly spaced grid of `points` x-values
+  /// spanning [min, max]; returns {x, F(x)} pairs for table rendering.
+  struct Point {
+    double x;
+    double f;
+  };
+  [[nodiscard]] std::vector<Point> grid(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace exawatt::stats

@@ -1,0 +1,121 @@
+#include "stats/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace exawatt::stats {
+
+namespace {
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+void fft_radix2(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  EXA_CHECK(is_pow2(n), "fft_radix2 requires power-of-two size");
+  if (n < 2) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * std::numbers::pi / static_cast<double>(len) *
+                       (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<std::complex<double>> fft_any(
+    std::span<const std::complex<double>> input, bool inverse) {
+  const std::size_t n = input.size();
+  if (n == 0) return {};
+  if (is_pow2(n)) {
+    std::vector<std::complex<double>> a(input.begin(), input.end());
+    fft_radix2(a, inverse);
+    return a;
+  }
+
+  // Bluestein: X_k = b*_k · IFFT(FFT(a_j b_j) · FFT(b-chirp)), where
+  // b_j = exp(±i·pi·j²/n). Convolution length is the next power of two
+  // >= 2n - 1.
+  const double sign = inverse ? 1.0 : -1.0;
+  const std::size_t m = next_pow2(2 * n - 1);
+  std::vector<std::complex<double>> chirp(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // j² mod 2n avoids precision loss for large j.
+    const auto j2 = static_cast<double>((j * j) % (2 * n));
+    const double ang = sign * std::numbers::pi * j2 / static_cast<double>(n);
+    chirp[j] = {std::cos(ang), std::sin(ang)};
+  }
+  std::vector<std::complex<double>> a(m, {0.0, 0.0});
+  std::vector<std::complex<double>> b(m, {0.0, 0.0});
+  for (std::size_t j = 0; j < n; ++j) {
+    a[j] = input[j] * chirp[j];
+    b[j] = std::conj(chirp[j]);
+  }
+  for (std::size_t j = 1; j < n; ++j) b[m - j] = std::conj(chirp[j]);
+  fft_radix2(a, false);
+  fft_radix2(b, false);
+  for (std::size_t j = 0; j < m; ++j) a[j] *= b[j];
+  fft_radix2(a, true);
+
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t j = 0; j < n; ++j) out[j] = a[j] * chirp[j];
+  if (inverse) {
+    for (auto& x : out) x /= static_cast<double>(n);
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> input) {
+  std::vector<std::complex<double>> c(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) c[i] = {input[i], 0.0};
+  return fft_any(c, false);
+}
+
+DominantFrequency dominant_frequency(std::span<const double> x,
+                                     double dt_seconds) {
+  EXA_CHECK(dt_seconds > 0.0, "dominant_frequency needs dt > 0");
+  DominantFrequency best;
+  const std::size_t n = x.size();
+  if (n < 4) return best;
+  const auto spectrum = fft_real(x);
+  const std::size_t half = n / 2;
+  for (std::size_t k = 1; k <= half; ++k) {
+    const double mag = std::abs(spectrum[k]);
+    if (mag > best.amplitude) {
+      best.amplitude = mag;
+      best.frequency_hz =
+          static_cast<double>(k) / (static_cast<double>(n) * dt_seconds);
+    }
+  }
+  best.amplitude *= 2.0 / static_cast<double>(n);
+  return best;
+}
+
+}  // namespace exawatt::stats

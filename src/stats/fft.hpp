@@ -1,0 +1,36 @@
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace exawatt::stats {
+
+/// FFT machinery for the paper's power-spectrum analysis (Figure 10):
+/// per-job power series are differenced (to de-trend the auto-correlated
+/// signal) and transformed; the dominant amplitude and its frequency are
+/// collected per job.
+
+/// In-place iterative radix-2 Cooley-Tukey; size must be a power of two.
+void fft_radix2(std::vector<std::complex<double>>& a, bool inverse);
+
+/// Arbitrary-size DFT via Bluestein's chirp-z algorithm (used when a job's
+/// sample count is not a power of two — i.e., almost always).
+[[nodiscard]] std::vector<std::complex<double>> fft_any(
+    std::span<const std::complex<double>> input, bool inverse = false);
+
+/// Forward DFT of a real signal; returns the full complex spectrum.
+[[nodiscard]] std::vector<std::complex<double>> fft_real(
+    std::span<const double> input);
+
+/// Dominant (frequency, amplitude) of a real signal sampled every
+/// `dt_seconds`: the non-DC bin with the largest magnitude over the
+/// positive half-spectrum. Amplitude is scaled to signal units (2|X_k|/N).
+struct DominantFrequency {
+  double frequency_hz = 0.0;
+  double amplitude = 0.0;
+};
+[[nodiscard]] DominantFrequency dominant_frequency(std::span<const double> x,
+                                                   double dt_seconds);
+
+}  // namespace exawatt::stats

@@ -1,0 +1,77 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace exawatt::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  EXA_CHECK(bins > 0, "histogram needs at least one bin");
+  EXA_CHECK(hi > lo, "histogram range must be non-empty");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    // Convention: hi itself lands in the last bin, beyond-hi overflows.
+    if (x == hi_) {
+      ++counts_.back();
+    } else {
+      ++overflow_;
+    }
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / bin_width());
+  ++counts_[std::min(bin, counts_.size() - 1)];
+}
+
+void Histogram::add(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::density(std::size_t bin) const {
+  const std::uint64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) /
+         (static_cast<double>(in_range) * bin_width());
+}
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(std::distance(
+      counts_.begin(), std::max_element(counts_.begin(), counts_.end())));
+}
+
+void Histogram::merge(const Histogram& other) {
+  EXA_CHECK(other.lo_ == lo_ && other.hi_ == hi_ &&
+                other.counts_.size() == counts_.size(),
+            "histogram merge requires identical binning");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
+std::vector<double> log_edges(double lo, double hi, std::size_t bins) {
+  EXA_CHECK(lo > 0.0 && hi > lo, "log_edges needs 0 < lo < hi");
+  EXA_CHECK(bins > 0, "log_edges needs at least one bin");
+  std::vector<double> edges(bins + 1);
+  const double llo = std::log10(lo);
+  const double lhi = std::log10(hi);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    edges[i] = std::pow(
+        10.0, llo + (lhi - llo) * static_cast<double>(i) /
+                        static_cast<double>(bins));
+  }
+  return edges;
+}
+
+}  // namespace exawatt::stats

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace exawatt::stats {
+
+/// Fixed-bin histogram (the facility's component-temperature distribution
+/// summaries are histogram-based; analysis figures use them for density
+/// estimates and heat maps).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const {
+    return counts_[bin];
+  }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] double bin_width() const {
+    return (hi_ - lo_) / static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] double bin_center(std::size_t bin) const {
+    return lo_ + (static_cast<double>(bin) + 0.5) * bin_width();
+  }
+  /// Normalized density at bin (integrates to 1 over [lo, hi]).
+  [[nodiscard]] double density(std::size_t bin) const;
+  /// Index of the fullest bin.
+  [[nodiscard]] std::size_t mode_bin() const;
+
+  void merge(const Histogram& other);
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Log-spaced bin edges from lo to hi (both > 0), for the paper's
+/// log-log energy/power axes.
+[[nodiscard]] std::vector<double> log_edges(double lo, double hi,
+                                            std::size_t bins);
+
+}  // namespace exawatt::stats

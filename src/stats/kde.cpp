@@ -1,0 +1,123 @@
+#include "stats/kde.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+
+namespace exawatt::stats {
+
+namespace {
+double scott_bandwidth(std::span<const double> samples) {
+  const double s = std::sqrt(sample_variance(samples));
+  const double n = static_cast<double>(samples.size());
+  const double h = s * std::pow(n, -0.2);
+  return h > 0.0 ? h : 1.0;
+}
+}  // namespace
+
+Kde1::Kde1(std::span<const double> samples, double bandwidth)
+    : samples_(samples.begin(), samples.end()) {
+  EXA_CHECK(!samples_.empty(), "KDE needs at least one sample");
+  h_ = bandwidth > 0.0 ? bandwidth : scott_bandwidth(samples_);
+}
+
+double Kde1::operator()(double x) const {
+  const double norm =
+      1.0 / (static_cast<double>(samples_.size()) * h_ *
+             std::sqrt(2.0 * std::numbers::pi));
+  double acc = 0.0;
+  for (double s : samples_) {
+    const double u = (x - s) / h_;
+    acc += std::exp(-0.5 * u * u);
+  }
+  return acc * norm;
+}
+
+std::vector<double> Kde1::grid(double lo, double hi,
+                               std::size_t points) const {
+  EXA_CHECK(points > 1 && hi > lo, "KDE grid needs points > 1 and hi > lo");
+  std::vector<double> out(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) /
+                         static_cast<double>(points - 1);
+    out[i] = (*this)(x);
+  }
+  return out;
+}
+
+Kde2::Kde2(std::span<const double> xs, std::span<const double> ys,
+           double bandwidth_x, double bandwidth_y)
+    : xs_(xs.begin(), xs.end()), ys_(ys.begin(), ys.end()) {
+  EXA_CHECK(xs_.size() == ys_.size(), "KDE2 needs paired samples");
+  EXA_CHECK(!xs_.empty(), "KDE2 needs at least one sample");
+  hx_ = bandwidth_x > 0.0 ? bandwidth_x : scott_bandwidth(xs_);
+  hy_ = bandwidth_y > 0.0 ? bandwidth_y : scott_bandwidth(ys_);
+}
+
+double Kde2::operator()(double x, double y) const {
+  const double norm = 1.0 / (static_cast<double>(xs_.size()) * hx_ * hy_ *
+                             2.0 * std::numbers::pi);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    const double ux = (x - xs_[i]) / hx_;
+    const double uy = (y - ys_[i]) / hy_;
+    acc += std::exp(-0.5 * (ux * ux + uy * uy));
+  }
+  return acc * norm;
+}
+
+Kde2::GridDensity Kde2::grid(double xlo, double xhi, std::size_t nx,
+                             double ylo, double yhi, std::size_t ny) const {
+  EXA_CHECK(nx > 1 && ny > 1, "KDE2 grid needs nx, ny > 1");
+  EXA_CHECK(xhi > xlo && yhi > ylo, "KDE2 grid needs non-empty ranges");
+  GridDensity g;
+  g.x.resize(nx);
+  g.y.resize(ny);
+  for (std::size_t i = 0; i < nx; ++i) {
+    g.x[i] = xlo + (xhi - xlo) * static_cast<double>(i) /
+                 static_cast<double>(nx - 1);
+  }
+  for (std::size_t j = 0; j < ny; ++j) {
+    g.y[j] = ylo + (yhi - ylo) * static_cast<double>(j) /
+                 static_cast<double>(ny - 1);
+  }
+  g.density.resize(nx * ny);
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      g.density[j * nx + i] = (*this)(g.x[i], g.y[j]);
+    }
+  }
+  return g;
+}
+
+std::size_t Kde2::count_modes(const GridDensity& g, double threshold) {
+  const std::size_t nx = g.x.size();
+  const std::size_t ny = g.y.size();
+  double peak = 0.0;
+  for (double d : g.density) peak = std::max(peak, d);
+  if (peak <= 0.0) return 0;
+  std::size_t modes = 0;
+  for (std::size_t j = 1; j + 1 < ny; ++j) {
+    for (std::size_t i = 1; i + 1 < nx; ++i) {
+      const double c = g.at(j, i);
+      if (c < threshold * peak) continue;
+      bool is_peak = true;
+      for (int dj = -1; dj <= 1 && is_peak; ++dj) {
+        for (int di = -1; di <= 1; ++di) {
+          if (di == 0 && dj == 0) continue;
+          if (g.at(j + static_cast<std::size_t>(dj + 1) - 1,
+                   i + static_cast<std::size_t>(di + 1) - 1) > c) {
+            is_peak = false;
+            break;
+          }
+        }
+      }
+      if (is_peak) ++modes;
+    }
+  }
+  return modes;
+}
+
+}  // namespace exawatt::stats

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace exawatt::stats {
+
+/// Gaussian kernel density estimation, 1-D and 2-D, with Scott's-rule
+/// bandwidth (scipy.stats.gaussian_kde default) — used for the paper's
+/// joint density contour plots (Figures 6 and 9).
+class Kde1 {
+ public:
+  /// bandwidth <= 0 selects Scott's rule: n^(-1/5) * sample_std.
+  explicit Kde1(std::span<const double> samples, double bandwidth = 0.0);
+
+  [[nodiscard]] double bandwidth() const { return h_; }
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Density evaluated on an even grid over [lo, hi].
+  [[nodiscard]] std::vector<double> grid(double lo, double hi,
+                                         std::size_t points) const;
+
+ private:
+  std::vector<double> samples_;
+  double h_ = 1.0;
+};
+
+/// 2-D product-kernel Gaussian KDE with per-axis Scott bandwidths.
+class Kde2 {
+ public:
+  Kde2(std::span<const double> xs, std::span<const double> ys,
+       double bandwidth_x = 0.0, double bandwidth_y = 0.0);
+
+  [[nodiscard]] double bandwidth_x() const { return hx_; }
+  [[nodiscard]] double bandwidth_y() const { return hy_; }
+  [[nodiscard]] double operator()(double x, double y) const;
+
+  /// Density over an nx × ny grid; row-major, row = y index.
+  struct GridDensity {
+    std::vector<double> x;       ///< nx grid coordinates
+    std::vector<double> y;       ///< ny grid coordinates
+    std::vector<double> density; ///< ny * nx values
+    [[nodiscard]] double at(std::size_t iy, std::size_t ix) const {
+      return density[iy * x.size() + ix];
+    }
+  };
+  [[nodiscard]] GridDensity grid(double xlo, double xhi, std::size_t nx,
+                                 double ylo, double yhi, std::size_t ny) const;
+
+  /// Number of local maxima of the gridded density above `threshold`
+  /// relative to the global peak — how "multi-modal" a joint distribution
+  /// is (the paper contrasts multi-modal small classes vs concentrated
+  /// large classes in Figure 6).
+  static std::size_t count_modes(const GridDensity& g,
+                                 double threshold = 0.05);
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  double hx_ = 1.0;
+  double hy_ = 1.0;
+};
+
+}  // namespace exawatt::stats

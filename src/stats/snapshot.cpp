@@ -1,0 +1,38 @@
+#include "stats/snapshot.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/welford.hpp"
+
+namespace exawatt::stats {
+
+SnapshotBand superimpose(const std::vector<std::vector<double>>& snapshots) {
+  SnapshotBand band;
+  if (snapshots.empty()) return band;
+  const std::size_t len = snapshots[0].size();
+  for (const auto& s : snapshots) {
+    EXA_CHECK(s.size() == len, "snapshots must share one aligned length");
+  }
+  band.snapshots = snapshots.size();
+  band.mean.resize(len);
+  band.lo.resize(len);
+  band.hi.resize(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    util::Welford acc;
+    for (const auto& s : snapshots) {
+      if (!std::isnan(s[i])) acc.add(s[i]);
+    }
+    const double m = acc.mean();
+    const double se =
+        acc.count() > 1
+            ? acc.sample_stddev() / std::sqrt(static_cast<double>(acc.count()))
+            : 0.0;
+    band.mean[i] = m;
+    band.lo[i] = m - 1.96 * se;
+    band.hi[i] = m + 1.96 * se;
+  }
+  return band;
+}
+
+}  // namespace exawatt::stats

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace exawatt::stats {
+
+/// Superposition of aligned time-series snapshots — Figures 11 and 12:
+/// multiple windows around detected power edges are aligned at the edge
+/// ("0 mins") and summarized as mean ± 95% confidence interval per offset.
+struct SnapshotBand {
+  std::vector<double> mean;  ///< per-offset mean over snapshots
+  std::vector<double> lo;    ///< mean - 1.96·SE (95% CI lower)
+  std::vector<double> hi;    ///< mean + 1.96·SE (95% CI upper)
+  std::size_t snapshots = 0;
+};
+
+/// All snapshots must share one length (the aligned window); offsets with
+/// NaN entries are skipped for that snapshot (missing telemetry).
+[[nodiscard]] SnapshotBand superimpose(
+    const std::vector<std::vector<double>>& snapshots);
+
+}  // namespace exawatt::stats

@@ -1,0 +1,88 @@
+#include "stats/special.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace exawatt::stats {
+
+namespace {
+
+/// Continued-fraction evaluation for the incomplete beta (Lentz's method).
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  EXA_CHECK(a > 0.0 && b > 0.0, "incomplete_beta needs a, b > 0");
+  EXA_CHECK(x >= 0.0 && x <= 1.0, "incomplete_beta needs x in [0,1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // Use the continued fraction directly when it converges fast, else the
+  // symmetry relation I_x(a,b) = 1 - I_{1-x}(b,a).
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double t_sf_two_sided(double t, double df) {
+  EXA_CHECK(df > 0.0, "t-test needs df > 0");
+  if (!std::isfinite(t)) return 0.0;
+  const double x = df / (df + t * t);
+  return incomplete_beta(df / 2.0, 0.5, x);
+}
+
+double pearson_p_value(double r, std::size_t n) {
+  if (n < 3) return 1.0;
+  const double df = static_cast<double>(n - 2);
+  const double r2 = r * r;
+  if (r2 >= 1.0) return 0.0;
+  const double t = r * std::sqrt(df / (1.0 - r2));
+  return t_sf_two_sided(t, df);
+}
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+}  // namespace exawatt::stats

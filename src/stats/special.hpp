@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+
+namespace exawatt::stats {
+
+/// Special functions needed for significance testing — implemented from
+/// scratch (Numerical-Recipes-style continued fractions) so the library
+/// carries no external math dependency.
+
+/// Regularized incomplete beta function I_x(a, b), x in [0, 1].
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// Two-sided p-value of Student's t with `df` degrees of freedom.
+[[nodiscard]] double t_sf_two_sided(double t, double df);
+
+/// Two-sided p-value for a Pearson correlation r over n samples
+/// (t-test with n-2 degrees of freedom; matches scipy.stats.pearsonr).
+[[nodiscard]] double pearson_p_value(double r, std::size_t n);
+
+/// Standard normal CDF.
+[[nodiscard]] double normal_cdf(double x);
+
+}  // namespace exawatt::stats

@@ -1,0 +1,107 @@
+#include "stats/survival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "stats/special.hpp"
+#include "util/check.hpp"
+
+namespace exawatt::stats {
+
+KaplanMeier::KaplanMeier(std::vector<SurvivalObservation> observations) {
+  EXA_CHECK(!observations.empty(), "survival analysis needs observations");
+  for (const auto& o : observations) {
+    EXA_CHECK(o.time >= 0.0, "survival times must be non-negative");
+  }
+  std::sort(observations.begin(), observations.end(),
+            [](const SurvivalObservation& a, const SurvivalObservation& b) {
+              return a.time < b.time;
+            });
+  n_ = observations.size();
+
+  double survival = 1.0;
+  std::size_t at_risk = n_;
+  std::size_t i = 0;
+  while (i < observations.size()) {
+    const double t = observations[i].time;
+    std::size_t events_here = 0;
+    std::size_t leaving = 0;
+    while (i < observations.size() && observations[i].time == t) {
+      if (observations[i].event) ++events_here;
+      ++leaving;
+      ++i;
+    }
+    if (events_here > 0) {
+      survival *= 1.0 - static_cast<double>(events_here) /
+                            static_cast<double>(at_risk);
+      events_ += events_here;
+      steps_.push_back({t, survival, at_risk, events_here});
+    }
+    at_risk -= leaving;
+  }
+}
+
+double KaplanMeier::operator()(double t) const {
+  double s = 1.0;
+  for (const auto& step : steps_) {
+    if (step.time > t) break;
+    s = step.survival;
+  }
+  return s;
+}
+
+double KaplanMeier::median() const {
+  for (const auto& step : steps_) {
+    if (step.survival <= 0.5) return step.time;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+LogRankResult log_rank_test(std::span<const SurvivalObservation> group_a,
+                            std::span<const SurvivalObservation> group_b) {
+  EXA_CHECK(!group_a.empty() && !group_b.empty(),
+            "log-rank needs both groups populated");
+  // Pooled distinct event times.
+  std::map<double, std::pair<std::size_t, std::size_t>> events;  // (dA, dB)
+  for (const auto& o : group_a) {
+    if (o.event) ++events[o.time].first;
+  }
+  for (const auto& o : group_b) {
+    if (o.event) ++events[o.time].second;
+  }
+  LogRankResult result;
+  if (events.empty()) return result;
+
+  auto at_risk = [](std::span<const SurvivalObservation> g, double t) {
+    std::size_t n = 0;
+    for (const auto& o : g) {
+      if (o.time >= t) ++n;
+    }
+    return static_cast<double>(n);
+  };
+
+  double observed_a = 0.0;
+  double expected_a = 0.0;
+  double variance = 0.0;
+  for (const auto& [t, d] : events) {
+    const double na = at_risk(group_a, t);
+    const double nb = at_risk(group_b, t);
+    const double n = na + nb;
+    const double deaths = static_cast<double>(d.first + d.second);
+    if (n < 2.0 || deaths <= 0.0) continue;
+    observed_a += static_cast<double>(d.first);
+    expected_a += deaths * na / n;
+    variance += deaths * (na / n) * (nb / n) * (n - deaths) / (n - 1.0);
+  }
+  if (variance <= 0.0) return result;
+  const double z2 =
+      (observed_a - expected_a) * (observed_a - expected_a) / variance;
+  result.chi_square = z2;
+  // Chi-square with 1 dof: p = 2 * (1 - Phi(sqrt(z2))).
+  result.p_value = 2.0 * (1.0 - normal_cdf(std::sqrt(z2)));
+  return result;
+}
+
+}  // namespace exawatt::stats

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace exawatt::stats {
+
+/// Survival analysis for component-lifetime studies. The paper's
+/// reliability section builds on Ostrouchov et al. (SC'20), who applied
+/// survival analysis to Titan's GPU lifetimes; this module provides the
+/// same machinery for the simulated fleet: Kaplan-Meier estimation with
+/// right-censoring and a two-sample log-rank test.
+
+/// One observed unit: time-to-event (or to censoring).
+struct SurvivalObservation {
+  double time = 0.0;
+  bool event = true;  ///< true = failure observed; false = right-censored
+};
+
+/// Kaplan-Meier product-limit estimate S(t).
+class KaplanMeier {
+ public:
+  explicit KaplanMeier(std::vector<SurvivalObservation> observations);
+
+  /// Survival probability at time t (step function; S(0) = 1).
+  [[nodiscard]] double operator()(double t) const;
+
+  /// Median survival time: smallest event time with S(t) <= 0.5, or
+  /// +infinity when the curve never crosses 0.5.
+  [[nodiscard]] double median() const;
+
+  struct Step {
+    double time;
+    double survival;
+    std::size_t at_risk;
+    std::size_t events;
+  };
+  [[nodiscard]] const std::vector<Step>& steps() const { return steps_; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t total_events() const { return events_; }
+
+ private:
+  std::vector<Step> steps_;
+  std::size_t n_ = 0;
+  std::size_t events_ = 0;
+};
+
+/// Two-sample log-rank test: chi-square statistic (1 dof) and p-value for
+/// the hypothesis that both groups share one survival function.
+struct LogRankResult {
+  double chi_square = 0.0;
+  double p_value = 1.0;
+};
+[[nodiscard]] LogRankResult log_rank_test(
+    std::span<const SurvivalObservation> group_a,
+    std::span<const SurvivalObservation> group_b);
+
+}  // namespace exawatt::stats

@@ -1,0 +1,102 @@
+#include "stats/xcorr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+
+namespace exawatt::stats {
+
+std::vector<double> autocorrelation(std::span<const double> x,
+                                    std::size_t max_lag) {
+  EXA_CHECK(x.size() > max_lag, "series shorter than max_lag");
+  const double m = mean(x);
+  double denom = 0.0;
+  for (double v : x) denom += (v - m) * (v - m);
+  std::vector<double> r(max_lag + 1, 0.0);
+  if (denom <= 0.0) {
+    r[0] = 1.0;
+    return r;
+  }
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + k < x.size(); ++i) {
+      acc += (x[i] - m) * (x[i + k] - m);
+    }
+    r[k] = acc / denom;
+  }
+  return r;
+}
+
+std::vector<double> cross_correlation(std::span<const double> x,
+                                      std::span<const double> y,
+                                      std::size_t max_lag) {
+  EXA_CHECK(x.size() == y.size(), "cross-correlation needs equal lengths");
+  EXA_CHECK(x.size() > max_lag, "series shorter than max_lag");
+  const std::size_t n = x.size();
+  std::vector<double> out(2 * max_lag + 1, 0.0);
+  for (std::size_t i = 0; i <= 2 * max_lag; ++i) {
+    const auto lag = static_cast<std::ptrdiff_t>(i) -
+                     static_cast<std::ptrdiff_t>(max_lag);
+    // Overlapping windows: pair x[j] with y[j + lag].
+    std::vector<double> xs;
+    std::vector<double> ys;
+    xs.reserve(n);
+    ys.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(j) + lag;
+      if (k < 0 || k >= static_cast<std::ptrdiff_t>(n)) continue;
+      xs.push_back(x[j]);
+      ys.push_back(y[static_cast<std::size_t>(k)]);
+    }
+    out[i] = xs.size() >= 3 ? pearson(xs, ys) : 0.0;
+  }
+  return out;
+}
+
+LagEstimate estimate_lag(std::span<const double> x, std::span<const double> y,
+                         std::size_t max_lag) {
+  const auto xc = cross_correlation(x, y, max_lag);
+  LagEstimate best;
+  for (std::size_t i = 0; i < xc.size(); ++i) {
+    if (xc[i] > best.correlation) {
+      best.correlation = xc[i];
+      best.lag = static_cast<std::ptrdiff_t>(i) -
+                 static_cast<std::ptrdiff_t>(max_lag);
+    }
+  }
+  return best;
+}
+
+namespace {
+std::vector<double> ranks(std::span<const double> x) {
+  const std::size_t n = x.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+  std::vector<double> r(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && x[order[j + 1]] == x[order[i]]) ++j;
+    const double avg_rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) r[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return r;
+}
+}  // namespace
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  EXA_CHECK(x.size() == y.size(), "spearman needs equal lengths");
+  if (x.size() < 2) return 0.0;
+  const auto rx = ranks(x);
+  const auto ry = ranks(y);
+  return pearson(rx, ry);
+}
+
+}  // namespace exawatt::stats

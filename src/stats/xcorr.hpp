@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace exawatt::stats {
+
+/// Correlation machinery for time-lag analysis — used to *measure* the
+/// cooling-plant response delay (~1 minute in the paper) directly from
+/// co-registered series rather than eyeballing snapshot plots.
+
+/// Normalized autocorrelation r(k) for lags 0..max_lag (r(0) == 1).
+[[nodiscard]] std::vector<double> autocorrelation(std::span<const double> x,
+                                                  std::size_t max_lag);
+
+/// Normalized cross-correlation of x against y shifted by lag k
+/// (k > 0 means y lags x by k samples), for k in [-max_lag, +max_lag].
+/// Result index i corresponds to lag i - max_lag.
+[[nodiscard]] std::vector<double> cross_correlation(std::span<const double> x,
+                                                    std::span<const double> y,
+                                                    std::size_t max_lag);
+
+/// Lag (in samples) maximizing the cross-correlation; positive when y
+/// follows x. Returns 0 with correlation 0 for degenerate inputs.
+struct LagEstimate {
+  std::ptrdiff_t lag = 0;
+  double correlation = 0.0;
+};
+[[nodiscard]] LagEstimate estimate_lag(std::span<const double> x,
+                                       std::span<const double> y,
+                                       std::size_t max_lag);
+
+/// Spearman rank correlation (Pearson on ranks, ties averaged) — a
+/// robust alternative for the heavy-tailed failure-rate comparisons.
+[[nodiscard]] double spearman(std::span<const double> x,
+                              std::span<const double> y);
+
+}  // namespace exawatt::stats

@@ -1,0 +1,40 @@
+#include "telemetry/aggregator.hpp"
+
+#include "util/parallel.hpp"
+
+namespace exawatt::telemetry {
+
+ts::StatSeries aggregate_metric(const Archive& archive, MetricId id,
+                                util::TimeRange range, util::TimeSec window) {
+  const std::vector<ts::Sample> samples = archive.query(id, range);
+  return ts::coarsen(samples, window, range);
+}
+
+ts::Series cluster_sum(const Archive& archive,
+                       const std::vector<machine::NodeId>& nodes, int channel,
+                       util::TimeRange range, util::TimeSec window,
+                       std::vector<double>* counts) {
+  const auto n_windows =
+      static_cast<std::size_t>((range.duration() + window - 1) / window);
+  std::vector<double> sum(n_windows, 0.0);
+  std::vector<double> cnt(n_windows, 0.0);
+
+  // Per-node aggregation is embarrassingly parallel (mini-Dask partition
+  // by node); the reduction merges into the shared accumulators serially.
+  auto per_node = util::parallel_map(nodes.size(), [&](std::size_t i) {
+    return aggregate_metric(archive, metric_id(nodes[i], channel), range,
+                            window);
+  });
+  for (const auto& stat : per_node) {
+    for (std::size_t w = 0; w < stat.size() && w < n_windows; ++w) {
+      if (stat[w].count > 0) {
+        sum[w] += stat[w].mean;
+        cnt[w] += 1.0;
+      }
+    }
+  }
+  if (counts != nullptr) *counts = std::move(cnt);
+  return ts::Series(range.begin, window, std::move(sum));
+}
+
+}  // namespace exawatt::telemetry

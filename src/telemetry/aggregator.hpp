@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "telemetry/archive.hpp"
+#include "ts/series.hpp"
+
+namespace exawatt::telemetry {
+
+/// 10-second coarsening of archived metric streams (paper Dataset 0):
+/// per metric, per window: count/min/max/mean/std with sample-and-hold
+/// semantics for the emit-on-change stream.
+[[nodiscard]] ts::StatSeries aggregate_metric(const Archive& archive,
+                                              MetricId id,
+                                              util::TimeRange range,
+                                              util::TimeSec window = 10);
+
+/// Cluster-level roll-up of one channel across nodes (paper Dataset 1:
+/// sum of per-node 10-second means). Returns the summed mean series;
+/// `counts` (optional) receives the contributing-node count per window.
+[[nodiscard]] ts::Series cluster_sum(const Archive& archive,
+                                     const std::vector<machine::NodeId>& nodes,
+                                     int channel, util::TimeRange range,
+                                     util::TimeSec window = 10,
+                                     std::vector<double>* counts = nullptr);
+
+}  // namespace exawatt::telemetry

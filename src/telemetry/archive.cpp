@@ -1,0 +1,41 @@
+#include "telemetry/archive.hpp"
+
+#include <algorithm>
+
+#include "util/sim_time.hpp"
+
+namespace exawatt::telemetry {
+
+void Archive::append(std::vector<MetricEvent> events) {
+  if (events.empty()) return;
+  const std::int64_t day = events.front().t / util::kDay;
+  EncodedBlock block = encode_events(std::move(events));
+  total_events_ += block.events;
+  bytes_ += block.bytes.size();
+  days_[day].push_back(std::move(block));
+}
+
+std::vector<ts::Sample> Archive::query(MetricId id,
+                                       util::TimeRange range) const {
+  std::vector<ts::Sample> out;
+  const std::int64_t day_lo = range.begin / util::kDay - 1;
+  const std::int64_t day_hi = range.end / util::kDay + 1;
+  for (auto it = days_.lower_bound(day_lo);
+       it != days_.end() && it->first <= day_hi; ++it) {
+    for (const auto& block : it->second) {
+      // Blocks are small (per-batch); decode and filter. A production
+      // store would keep per-block (metric, time) fences; the in-memory
+      // twin favours simplicity.
+      for (const auto& ev : decode_events(block)) {
+        if (ev.id == id && ev.t >= range.begin && ev.t < range.end) {
+          out.push_back({ev.t, static_cast<double>(ev.value)});
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ts::Sample& a, const ts::Sample& b) { return a.t < b.t; });
+  return out;
+}
+
+}  // namespace exawatt::telemetry

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "telemetry/codec.hpp"
+#include "ts/series.hpp"
+
+namespace exawatt::telemetry {
+
+/// In-memory long-term telemetry archive: encoded blocks partitioned by
+/// day, queryable per metric over a time range — the C++ stand-in for the
+/// paper's "one tar of 1,440 parquet files per day" store (Dataset A).
+class Archive {
+ public:
+  /// Append a batch; it is encoded into the partition of its first event.
+  void append(std::vector<MetricEvent> events);
+
+  [[nodiscard]] std::size_t total_events() const { return total_events_; }
+  [[nodiscard]] std::size_t compressed_bytes() const { return bytes_; }
+  [[nodiscard]] double compression_ratio() const {
+    return bytes_ == 0 ? 0.0
+                       : static_cast<double>(total_events_ * 16) /
+                             static_cast<double>(bytes_);
+  }
+  [[nodiscard]] std::size_t partitions() const { return days_.size(); }
+
+  /// All samples of one metric in [range.begin, range.end), time-sorted.
+  [[nodiscard]] std::vector<ts::Sample> query(MetricId id,
+                                              util::TimeRange range) const;
+
+ private:
+  std::map<std::int64_t, std::vector<EncodedBlock>> days_;
+  std::size_t total_events_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace exawatt::telemetry

@@ -1,0 +1,35 @@
+#include "telemetry/bmc.hpp"
+
+#include "util/check.hpp"
+
+namespace exawatt::telemetry {
+
+Bmc::Bmc(machine::NodeId node) : node_(node) {}
+
+std::vector<MetricEvent> Bmc::push(util::TimeSec t,
+                                   const std::vector<std::int32_t>& values) {
+  EXA_CHECK(values.size() == static_cast<std::size_t>(metrics_per_node()),
+            "BMC push expects one value per channel");
+  std::vector<MetricEvent> out;
+  seen_ += values.size();
+  if (!primed_) {
+    last_ = values;
+    primed_ = true;
+    out.reserve(values.size());
+    for (std::size_t c = 0; c < values.size(); ++c) {
+      out.push_back({metric_id(node_, static_cast<int>(c)), t, values[c]});
+    }
+    emitted_ += out.size();
+    return out;
+  }
+  for (std::size_t c = 0; c < values.size(); ++c) {
+    if (values[c] != last_[c]) {
+      last_[c] = values[c];
+      out.push_back({metric_id(node_, static_cast<int>(c)), t, values[c]});
+    }
+  }
+  emitted_ += out.size();
+  return out;
+}
+
+}  // namespace exawatt::telemetry

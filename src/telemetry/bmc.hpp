@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "telemetry/metric.hpp"
+#include "util/sim_time.hpp"
+
+namespace exawatt::telemetry {
+
+/// Baseboard-management-controller emit-on-change filter (Figure 3):
+/// the OpenBMC event subscription pushes a metric only when its
+/// (quantized) value changes, which is what turns 100 metrics/node/second
+/// into a sparse ~460k metrics/s stream cluster-wide.
+class Bmc {
+ public:
+  explicit Bmc(machine::NodeId node);
+
+  [[nodiscard]] machine::NodeId node() const { return node_; }
+
+  /// Feed one second's readings (indexed by channel); returns the events
+  /// whose values changed since the previous push. The first call emits
+  /// everything (subscription snapshot).
+  [[nodiscard]] std::vector<MetricEvent> push(
+      util::TimeSec t, const std::vector<std::int32_t>& values);
+
+  /// Total readings seen / events emitted (for suppression-ratio stats).
+  [[nodiscard]] std::uint64_t readings_seen() const { return seen_; }
+  [[nodiscard]] std::uint64_t events_emitted() const { return emitted_; }
+
+ private:
+  machine::NodeId node_;
+  std::vector<std::int32_t> last_;
+  bool primed_ = false;
+  std::uint64_t seen_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace exawatt::telemetry

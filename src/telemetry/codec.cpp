@@ -1,0 +1,102 @@
+#include "telemetry/codec.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/varint.hpp"
+
+namespace exawatt::telemetry {
+
+using util::varint_decode;
+using util::varint_encode;
+using util::zigzag_decode;
+using util::zigzag_encode;
+
+EncodedBlock encode_events(std::vector<MetricEvent> events) {
+  std::sort(events.begin(), events.end(),
+            [](const MetricEvent& a, const MetricEvent& b) {
+              return a.id < b.id || (a.id == b.id && a.t < b.t);
+            });
+  EncodedBlock block;
+  block.events = events.size();
+  auto& out = block.bytes;
+  varint_encode(events.size(), out);
+
+  MetricId prev_id = 0;
+  std::int64_t prev_t = 0;
+  std::int64_t prev_v = 0;
+  std::size_t i = 0;
+  while (i < events.size()) {
+    // One run per metric: id delta, run length, then (dt, dv) pairs with
+    // RLE on repeated dt (the common case: one emit per second).
+    const MetricId id = events[i].id;
+    std::size_t j = i;
+    while (j < events.size() && events[j].id == id) ++j;
+    varint_encode(id - prev_id, out);
+    varint_encode(j - i, out);
+    prev_id = id;
+    prev_t = 0;
+    prev_v = 0;
+    std::size_t k = i;
+    while (k < j) {
+      const std::int64_t dt = events[k].t - prev_t;
+      // Count how many consecutive events share this timestamp delta.
+      std::size_t run = 1;
+      std::int64_t t_cursor = events[k].t;
+      while (k + run < j && events[k + run].t - t_cursor == dt) {
+        t_cursor = events[k + run].t;
+        ++run;
+      }
+      varint_encode(zigzag_encode(dt), out);
+      varint_encode(run, out);
+      for (std::size_t r = 0; r < run; ++r) {
+        const std::int64_t v = events[k + r].value;
+        varint_encode(zigzag_encode(v - prev_v), out);
+        prev_v = v;
+      }
+      prev_t = events[k + run - 1].t;
+      k += run;
+    }
+    i = j;
+  }
+  return block;
+}
+
+std::vector<MetricEvent> decode_events(const EncodedBlock& block) {
+  std::vector<MetricEvent> events;
+  std::size_t pos = 0;
+  std::uint64_t total = 0;
+  EXA_CHECK(varint_decode(block.bytes, pos, total), "truncated block header");
+  events.reserve(total);
+
+  MetricId prev_id = 0;
+  while (events.size() < total) {
+    std::uint64_t id_delta = 0;
+    std::uint64_t run_len = 0;
+    EXA_CHECK(varint_decode(block.bytes, pos, id_delta), "truncated id");
+    EXA_CHECK(varint_decode(block.bytes, pos, run_len), "truncated run");
+    const MetricId id = prev_id + static_cast<MetricId>(id_delta);
+    prev_id = id;
+    std::int64_t prev_t = 0;
+    std::int64_t prev_v = 0;
+    std::uint64_t emitted = 0;
+    while (emitted < run_len) {
+      std::uint64_t zdt = 0;
+      std::uint64_t trun = 0;
+      EXA_CHECK(varint_decode(block.bytes, pos, zdt), "truncated dt");
+      EXA_CHECK(varint_decode(block.bytes, pos, trun), "truncated dt run");
+      const std::int64_t dt = zigzag_decode(zdt);
+      for (std::uint64_t r = 0; r < trun; ++r) {
+        std::uint64_t zdv = 0;
+        EXA_CHECK(varint_decode(block.bytes, pos, zdv), "truncated value");
+        prev_t += dt;
+        prev_v += zigzag_decode(zdv);
+        events.push_back({id, prev_t, static_cast<std::int32_t>(prev_v)});
+        ++emitted;
+      }
+    }
+  }
+  return events;
+}
+
+}  // namespace exawatt::telemetry

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/metric.hpp"
+
+namespace exawatt::telemetry {
+
+/// Lossless block codec for telemetry events: sort by (metric, time),
+/// then delta-encode metric ids, timestamps and values with zigzag +
+/// varint, run-length-encoding repeated timestamp deltas. This is the
+/// "several lossless compression methods throughout the pipeline" that
+/// squeezed Summit's 460k metrics/s into ~1 MB/s (paper §2).
+struct EncodedBlock {
+  std::vector<std::uint8_t> bytes;
+  std::size_t events = 0;
+
+  /// Raw footprint of the same events as naive (id,t,value) records.
+  [[nodiscard]] std::size_t raw_bytes() const { return events * 16; }
+  [[nodiscard]] double compression_ratio() const {
+    return bytes.empty() ? 0.0
+                         : static_cast<double>(raw_bytes()) /
+                               static_cast<double>(bytes.size());
+  }
+};
+
+/// Encode a batch (any order; the codec sorts a copy by metric, time).
+[[nodiscard]] EncodedBlock encode_events(std::vector<MetricEvent> events);
+
+/// Decode back to events sorted by (metric, time). Exact inverse.
+[[nodiscard]] std::vector<MetricEvent> decode_events(const EncodedBlock& block);
+
+}  // namespace exawatt::telemetry

@@ -1,0 +1,62 @@
+#include "telemetry/collector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace exawatt::telemetry {
+
+Collector::Collector(CollectorParams params) : params_(params) {
+  EXA_CHECK(params_.mean_delay_s >= 0.0 &&
+                params_.max_delay_s >= params_.mean_delay_s,
+            "collector delay parameters inconsistent");
+}
+
+std::vector<Collector::Arrival> Collector::ingest(
+    const std::vector<MetricEvent>& events) {
+  std::vector<Arrival> out;
+  out.reserve(events.size());
+  for (const auto& ev : events) {
+    const machine::NodeId node = metric_node(ev.id);
+    bool in_outage = false;
+    for (const auto& o : outages_) {
+      if (o.node == node && o.window.contains(ev.t)) {
+        in_outage = true;
+        break;
+      }
+    }
+    if (in_outage) {
+      ++dropped_;
+      continue;
+    }
+    if (params_.loss_fraction > 0.0) {
+      const std::uint64_t lh = util::mix64(
+          util::hash_combine(params_.seed ^ 0x105eULL,
+                             static_cast<std::uint64_t>(ev.id) * 131 +
+                                 static_cast<std::uint64_t>(ev.t)));
+      if (static_cast<double>(lh >> 11) * 0x1.0p-53 < params_.loss_fraction) {
+        ++dropped_;
+        continue;
+      }
+    }
+    // Deterministic per-(node, second) delay: triangular-ish distribution
+    // on [0, max] with the configured mean.
+    const std::uint64_t h = util::mix64(
+        static_cast<std::uint64_t>(ev.id / 100u) * 0x9e3779b97f4a7c15ULL ^
+        static_cast<std::uint64_t>(ev.t));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    const double delay = std::min(
+        params_.max_delay_s,
+        params_.max_delay_s * std::pow(u, params_.max_delay_s /
+                                              params_.mean_delay_s -
+                                          1.0));
+    delay_sum_ += delay;
+    ++ingested_;
+    out.push_back({ev, ev.t + static_cast<util::TimeSec>(std::lround(delay))});
+  }
+  return out;
+}
+
+}  // namespace exawatt::telemetry

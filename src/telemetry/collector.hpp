@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/metric.hpp"
+#include "util/sim_time.hpp"
+
+namespace exawatt::telemetry {
+
+/// Fan-in collector: models the out-of-band management network path from
+/// 288:1 websocket fan-in to the point of analysis. Payloads are
+/// timestamped *at the aggregation point* after a per-node, per-second
+/// propagation delay (mean ~2.5 s, max 5 s — paper §3), which is one of
+/// the error sources the 10-second coarsening absorbs.
+struct CollectorParams {
+  double mean_delay_s = 2.5;
+  double max_delay_s = 5.0;
+  std::uint64_t seed = 1234;
+  /// Random event-loss fraction in the aggregation path (the paper's
+  /// spring-2020 software issues lost significant temperature data;
+  /// analyses must tolerate holes). 0 disables.
+  double loss_fraction = 0.0;
+};
+
+/// A total telemetry outage of one node over a window (the paper's
+/// Figure 17 "bright green" cabinet with no data for the job).
+struct NodeOutage {
+  machine::NodeId node = 0;
+  util::TimeRange window;
+};
+
+class Collector {
+ public:
+  explicit Collector(CollectorParams params = {});
+
+  /// Stamp a batch of BMC events with their aggregation-point arrival
+  /// time. Events keep their emit time in `t`; the returned vector pairs
+  /// each event with its arrival timestamp (what the archive indexes by).
+  struct Arrival {
+    MetricEvent event;
+    util::TimeSec arrival_t;
+  };
+  [[nodiscard]] std::vector<Arrival> ingest(
+      const std::vector<MetricEvent>& events);
+
+  /// Register a per-node outage window; events from that node in the
+  /// window are dropped entirely.
+  void add_outage(NodeOutage outage) { outages_.push_back(outage); }
+
+  [[nodiscard]] std::uint64_t ingested() const { return ingested_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] double mean_delay_observed() const {
+    return ingested_ > 0 ? delay_sum_ / static_cast<double>(ingested_) : 0.0;
+  }
+
+ private:
+  CollectorParams params_;
+  std::vector<NodeOutage> outages_;
+  std::uint64_t ingested_ = 0;
+  std::uint64_t dropped_ = 0;
+  double delay_sum_ = 0.0;
+};
+
+}  // namespace exawatt::telemetry

@@ -1,0 +1,41 @@
+#include "telemetry/inband.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace exawatt::telemetry {
+
+double inband_slowdown(double sample_hz, int metrics, int node_count,
+                       InbandParams params) {
+  EXA_CHECK(sample_hz >= 0.0, "sample rate must be non-negative");
+  EXA_CHECK(metrics >= 0, "metric count must be non-negative");
+  EXA_CHECK(node_count >= 1, "need at least one node");
+  if (sample_hz == 0.0 || metrics == 0) return 0.0;
+  const double base =
+      sample_hz * static_cast<double>(metrics) * params.per_metric_cost_s;
+  const double amplification =
+      1.0 + params.sync_amplification * std::log(
+                static_cast<double>(node_count));
+  // Slowdown saturates at 1 (the daemon cannot consume more than the
+  // machine); realistic regimes sit far below.
+  return std::min(1.0, base * amplification);
+}
+
+double inband_lost_node_hours_per_year(double sample_hz, int metrics,
+                                       int machine_nodes, double utilization,
+                                       double typical_job_nodes,
+                                       InbandParams params) {
+  EXA_CHECK(machine_nodes >= 1, "need a machine");
+  EXA_CHECK(utilization >= 0.0 && utilization <= 1.0,
+            "utilization must be in [0,1]");
+  EXA_CHECK(typical_job_nodes >= 1.0, "typical job size must be >= 1");
+  const double slowdown = inband_slowdown(
+      sample_hz, metrics, static_cast<int>(typical_job_nodes), params);
+  const double busy_node_hours =
+      static_cast<double>(machine_nodes) * utilization * 366.0 * 24.0;
+  return busy_node_hours * slowdown;
+}
+
+}  // namespace exawatt::telemetry

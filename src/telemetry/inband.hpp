@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+
+namespace exawatt::telemetry {
+
+/// In-band collection overhead model — the counterfactual behind the
+/// paper's §2 claim that the out-of-band path has *no* application
+/// impact. An in-band daemon samples on the compute cores; for
+/// bulk-synchronous applications each step waits for the slowest rank,
+/// so per-node sampling noise is amplified with scale (the classic
+/// OS-noise effect: expected max of n i.i.d. delays grows ~ log n).
+struct InbandParams {
+  /// CPU time to read and ship one metric sample in-band (s). OpenBMC
+  /// REST polling costs far more than an in-kernel counter read; 40 us
+  /// is a middle-of-the-road daemon.
+  double per_metric_cost_s = 40e-6;
+  /// Noise amplification per e-fold of node count for bulk-synchronous
+  /// codes (0 = embarrassingly parallel, ~0.5-1 = tight-sync).
+  double sync_amplification = 0.7;
+};
+
+/// Fractional job slowdown for in-band sampling at `sample_hz` of
+/// `metrics` channels on a job spanning `node_count` nodes.
+/// Out-of-band collection returns 0 by construction.
+[[nodiscard]] double inband_slowdown(double sample_hz, int metrics,
+                                     int node_count,
+                                     InbandParams params = {});
+
+/// Node-hours lost per year across a machine running `utilization` of
+/// `machine_nodes` under the given in-band regime.
+[[nodiscard]] double inband_lost_node_hours_per_year(
+    double sample_hz, int metrics, int machine_nodes, double utilization,
+    double typical_job_nodes, InbandParams params = {});
+
+}  // namespace exawatt::telemetry

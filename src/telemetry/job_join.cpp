@@ -1,0 +1,40 @@
+#include "telemetry/job_join.hpp"
+
+#include "telemetry/aggregator.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace exawatt::telemetry {
+
+JobPowerJoin join_job_power(const Archive& archive, const workload::Job& job,
+                            util::TimeRange window, util::TimeSec agg_window) {
+  EXA_CHECK(job.start >= 0, "job must be scheduled");
+  const util::TimeRange overlap = window.clamp(job.interval());
+  EXA_CHECK(overlap.duration() > 0, "job does not overlap the window");
+
+  const auto nodes = job.node_list();
+  const int channel = channel_of(MetricKind::kInputPower, 0);
+  const auto n_windows = static_cast<std::size_t>(
+      (overlap.duration() + agg_window - 1) / agg_window);
+
+  JobPowerJoin join;
+  std::vector<double> sum(n_windows, 0.0);
+  join.coverage.assign(n_windows, 0.0);
+
+  const auto per_node = util::parallel_map(nodes.size(), [&](std::size_t i) {
+    return aggregate_metric(archive, metric_id(nodes[i], channel), overlap,
+                            agg_window);
+  });
+  for (const auto& stat : per_node) {
+    for (std::size_t w = 0; w < stat.size() && w < n_windows; ++w) {
+      if (stat[w].count > 0) {
+        sum[w] += stat[w].mean;
+        join.coverage[w] += 1.0;
+      }
+    }
+  }
+  join.power_w = ts::Series(overlap.begin, agg_window, std::move(sum));
+  return join;
+}
+
+}  // namespace exawatt::telemetry

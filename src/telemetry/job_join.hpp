@@ -1,0 +1,30 @@
+#pragma once
+
+#include "telemetry/archive.hpp"
+#include "ts/series.hpp"
+#include "workload/job.hpp"
+
+namespace exawatt::telemetry {
+
+/// The paper's Dataset 3 join: per-node telemetry time series joined with
+/// the job-scheduler allocation to produce a per-job power series. This
+/// is the measured counterpart of power::job_power_series (which
+/// evaluates the model analytically) — the two must agree up to the
+/// sensor calibration bias, which is exactly what the integration tests
+/// assert.
+///
+/// Returns the summed 10 s mean input power of the job's nodes over its
+/// runtime (clamped to `window`); windows with no data from any node get
+/// a zero count in `coverage` (missing telemetry, as in the paper's
+/// spring-2020 gap).
+struct JobPowerJoin {
+  ts::Series power_w;          ///< summed per-node 10 s means
+  std::vector<double> coverage;  ///< contributing nodes per window
+};
+
+[[nodiscard]] JobPowerJoin join_job_power(const Archive& archive,
+                                          const workload::Job& job,
+                                          util::TimeRange window,
+                                          util::TimeSec agg_window = 10);
+
+}  // namespace exawatt::telemetry

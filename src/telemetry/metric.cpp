@@ -1,0 +1,65 @@
+#include "telemetry/metric.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace exawatt::telemetry {
+
+int channel_of(MetricKind kind, int index) {
+  EXA_CHECK(index >= 0 && index < metric_multiplicity(kind),
+            "metric index out of range for kind");
+  int base = 0;
+  for (int k = 0; k < static_cast<int>(kind); ++k) {
+    base += metric_multiplicity(static_cast<MetricKind>(k));
+  }
+  return base + index;
+}
+
+ChannelInfo channel_info(int channel) {
+  EXA_CHECK(channel >= 0 && channel < metrics_per_node(),
+            "channel out of range");
+  for (int k = 0; k < static_cast<int>(MetricKind::kCount); ++k) {
+    const int m = metric_multiplicity(static_cast<MetricKind>(k));
+    if (channel < m) return {static_cast<MetricKind>(k), channel};
+    channel -= m;
+  }
+  EXA_CHECK(false, "unreachable");
+  return {MetricKind::kMisc, 0};
+}
+
+std::string metric_name(MetricId id) {
+  const ChannelInfo info = channel_info(metric_channel(id));
+  const machine::NodeId node = metric_node(id);
+  const char* base = "";
+  switch (info.kind) {
+    case MetricKind::kInputPower: base = "input_power"; break;
+    case MetricKind::kCpuPower: base = "p%d_power"; break;
+    case MetricKind::kGpuPower: base = "gpu%d_power"; break;
+    case MetricKind::kGpuCoreTemp: base = "gpu%d_core_temp"; break;
+    case MetricKind::kGpuMemTemp: base = "gpu%d_mem_temp"; break;
+    case MetricKind::kCpuCoreTemp: base = "p%d_core_temp"; break;
+    case MetricKind::kFanSpeed: base = "fan%d_speed"; break;
+    case MetricKind::kMisc: base = "misc%d"; break;
+    case MetricKind::kCount: break;
+  }
+  char metric[48];
+  std::snprintf(metric, sizeof metric, base, info.index);
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "node%05d.%s", node, metric);
+  return buf;
+}
+
+std::int32_t quantize(MetricKind kind, double value) {
+  switch (kind) {
+    case MetricKind::kGpuCoreTemp:
+    case MetricKind::kGpuMemTemp:
+    case MetricKind::kCpuCoreTemp:
+      return static_cast<std::int32_t>(std::lround(value));  // 1 °C
+    default:
+      return static_cast<std::int32_t>(std::lround(value));  // 1 W / 1 RPM
+  }
+}
+
+}  // namespace exawatt::telemetry

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "machine/topology.hpp"
+
+namespace exawatt::telemetry {
+
+/// The per-node OpenBMC metric schema (paper Dataset A key columns):
+/// input power, per-socket power, per-GPU power, per-GPU core/memory
+/// temperature, per-CPU core temperature, plus fan/miscellaneous slots
+/// that pad the schema to the paper's "~100 metrics per node".
+enum class MetricKind : std::uint8_t {
+  kInputPower = 0,   ///< node wall power (W)
+  kCpuPower,         ///< per socket (W), index 0..1
+  kGpuPower,         ///< per device (W), index 0..5
+  kGpuCoreTemp,      ///< per device (°C), index 0..5
+  kGpuMemTemp,       ///< per device (°C), index 0..5
+  kCpuCoreTemp,      ///< per socket (°C), index 0..1
+  kFanSpeed,         ///< per fan (RPM), index 0..3
+  kMisc,             ///< filler channels for ingest-rate benches
+  kCount,
+};
+
+/// Slots per node for each kind.
+[[nodiscard]] constexpr int metric_multiplicity(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kInputPower: return 1;
+    case MetricKind::kCpuPower: return machine::SummitSpec::kCpusPerNode;
+    case MetricKind::kGpuPower: return machine::SummitSpec::kGpusPerNode;
+    case MetricKind::kGpuCoreTemp: return machine::SummitSpec::kGpusPerNode;
+    case MetricKind::kGpuMemTemp: return machine::SummitSpec::kGpusPerNode;
+    case MetricKind::kCpuCoreTemp: return machine::SummitSpec::kCpusPerNode;
+    case MetricKind::kFanSpeed: return 4;
+    case MetricKind::kMisc: return 73;  ///< pads the schema to 100/node
+    case MetricKind::kCount: break;
+  }
+  return 0;
+}
+
+/// Total metric channels per node (must be 100, matching the paper).
+[[nodiscard]] constexpr int metrics_per_node() {
+  int total = 0;
+  for (int k = 0; k < static_cast<int>(MetricKind::kCount); ++k) {
+    total += metric_multiplicity(static_cast<MetricKind>(k));
+  }
+  return total;
+}
+static_assert(metrics_per_node() == 100,
+              "schema must provide 100 metrics per node (paper §1)");
+
+/// Dense per-node channel id in [0, metrics_per_node()).
+[[nodiscard]] int channel_of(MetricKind kind, int index);
+/// Inverse of channel_of.
+struct ChannelInfo {
+  MetricKind kind;
+  int index;
+};
+[[nodiscard]] ChannelInfo channel_info(int channel);
+
+/// Global metric id: node * 100 + channel.
+using MetricId = std::uint32_t;
+[[nodiscard]] inline MetricId metric_id(machine::NodeId node, int channel) {
+  return static_cast<MetricId>(node) * 100u + static_cast<MetricId>(channel);
+}
+[[nodiscard]] inline machine::NodeId metric_node(MetricId id) {
+  return static_cast<machine::NodeId>(id / 100u);
+}
+[[nodiscard]] inline int metric_channel(MetricId id) {
+  return static_cast<int>(id % 100u);
+}
+
+[[nodiscard]] std::string metric_name(MetricId id);
+
+/// A timestamped metric reading as emitted by a BMC.
+struct MetricEvent {
+  MetricId id = 0;
+  std::int64_t t = 0;       ///< emit time (seconds)
+  std::int32_t value = 0;   ///< quantized value (W, °C, RPM as integers)
+};
+
+/// Quantization used before emit-on-change comparison: power to 1 W,
+/// temperature to 1 °C — this is what makes the OpenBMC stream sparse
+/// and the lossless codec effective.
+[[nodiscard]] std::int32_t quantize(MetricKind kind, double value);
+
+}  // namespace exawatt::telemetry

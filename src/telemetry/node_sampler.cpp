@@ -1,0 +1,114 @@
+#include "telemetry/node_sampler.hpp"
+
+#include "power/job_power.hpp"
+#include "thermal/rc_model.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace exawatt::telemetry {
+
+using machine::SummitSpec;
+
+NodeSampler::NodeSampler(machine::NodeId node,
+                         const workload::AllocationIndex& alloc,
+                         const power::FleetVariability& fleet,
+                         const thermal::FleetThermal& thermals,
+                         const facility::MsbModel& msb, double mtw_supply_c)
+    : node_(node),
+      alloc_(&alloc),
+      fleet_(&fleet),
+      thermals_(&thermals),
+      msb_(&msb),
+      mtw_supply_c_(mtw_supply_c) {
+  // Start at idle steady state.
+  const power::NodeComponentPower idle = power::idle_node_power(node_, fleet);
+  temps_ = thermals_->steady_temps(node_, idle, mtw_supply_c_);
+}
+
+NodeSampler::Readings NodeSampler::sample(util::TimeSec t) {
+  EXA_CHECK(t > last_t_, "NodeSampler times must be strictly increasing");
+  const double dt =
+      last_t_ < 0 ? 1.0 : static_cast<double>(t - last_t_);
+  last_t_ = t;
+
+  int rank = 0;
+  const workload::Job* job = alloc_->job_at(node_, t, &rank);
+  power::NodeComponentPower p =
+      job != nullptr ? power::node_power_detail(*job, rank, t, *fleet_)
+                     : power::idle_node_power(node_, *fleet_);
+
+  // Closed-loop hardware protection: GPUs running into the slowdown band
+  // derate their power draw (never engages under normal MTW supply; see
+  // ThermalParams). The derate feeds back through the thermal model.
+  {
+    double derated = 0.0;
+    for (int g = 0; g < SummitSpec::kGpusPerNode; ++g) {
+      const double f =
+          thermal::throttle_factor(temps_.gpu_c[g], thermals_->params());
+      if (f < 1.0) {
+        const double before = p.gpu_w[g];
+        p.gpu_w[g] = SummitSpec::kGpuIdleW +
+                     (p.gpu_w[g] - SummitSpec::kGpuIdleW) * f;
+        derated += before - p.gpu_w[g];
+      }
+    }
+    if (derated > 0.0) {
+      p.input_w -= derated / SummitSpec::kPsuEfficiency;
+    }
+  }
+
+  // Temperatures relax toward the steady state for the current power.
+  const thermal::FleetThermal::NodeTemps target =
+      thermals_->steady_temps(node_, p, mtw_supply_c_);
+  const auto& tp = thermals_->params();
+  for (int g = 0; g < SummitSpec::kGpusPerNode; ++g) {
+    temps_.gpu_c[g] =
+        thermal::rc_step(temps_.gpu_c[g], target.gpu_c[g], dt, tp.gpu_tau_s);
+  }
+  for (int c = 0; c < SummitSpec::kCpusPerNode; ++c) {
+    temps_.cpu_c[c] =
+        thermal::rc_step(temps_.cpu_c[c], target.cpu_c[c], dt, tp.cpu_tau_s);
+  }
+
+  Readings r;
+  r.true_input_w = p.input_w;
+  r.values.assign(static_cast<std::size_t>(metrics_per_node()), 0);
+  auto set = [&](MetricKind kind, int index, double value) {
+    r.values[static_cast<std::size_t>(channel_of(kind, index))] =
+        quantize(kind, value);
+  };
+
+  set(MetricKind::kInputPower, 0,
+      msb_->node_sensor_sample(node_, p.input_w, t));
+  for (int c = 0; c < SummitSpec::kCpusPerNode; ++c) {
+    set(MetricKind::kCpuPower, c, p.cpu_w[c]);
+    set(MetricKind::kCpuCoreTemp, c, temps_.cpu_c[c]);
+  }
+  for (int g = 0; g < SummitSpec::kGpusPerNode; ++g) {
+    set(MetricKind::kGpuPower, g, p.gpu_w[g]);
+    set(MetricKind::kGpuCoreTemp, g, temps_.gpu_c[g]);
+    // HBM runs a few degrees above the core under load.
+    set(MetricKind::kGpuMemTemp, g,
+        temps_.gpu_c[g] + 2.0 + 3.0 * p.gpu_w[g] / SummitSpec::kGpuTdpW);
+  }
+  // Fans track the rear-door air load (coarse; the node is water cooled).
+  const double fan_rpm = 3000.0 + 2.0 * (p.input_w - 500.0);
+  for (int f = 0; f < metric_multiplicity(MetricKind::kFanSpeed); ++f) {
+    set(MetricKind::kFanSpeed, f, fan_rpm);
+  }
+  // Misc channels: slowly varying counters/voltages; mostly constant so
+  // emit-on-change keeps them silent (as on the real system).
+  const int misc_n = metric_multiplicity(MetricKind::kMisc);
+  for (int m = 0; m < misc_n; ++m) {
+    const double base = 1000.0 + 10.0 * m;
+    const double wiggle =
+        static_cast<double>((util::mix64(static_cast<std::uint64_t>(
+                                node_ * 131 + m) ^
+                            static_cast<std::uint64_t>(t / 300)) >>
+                            58));
+    set(MetricKind::kMisc, m, base + wiggle);
+  }
+  return r;
+}
+
+}  // namespace exawatt::telemetry

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "facility/msb.hpp"
+#include "power/component.hpp"
+#include "telemetry/metric.hpp"
+#include "thermal/node_thermal.hpp"
+#include "workload/allocation_index.hpp"
+
+namespace exawatt::telemetry {
+
+/// Produces one node's raw 1 Hz sensor readings (before emit-on-change):
+/// the on-chip-controller view of power and temperature, driven by the
+/// job running on the node, the power/thermal models, and the sensor
+/// calibration error model. Stateful: temperatures evolve through the
+/// RC model between calls, so times must be fed monotonically.
+class NodeSampler {
+ public:
+  NodeSampler(machine::NodeId node, const workload::AllocationIndex& alloc,
+              const power::FleetVariability& fleet,
+              const thermal::FleetThermal& thermals,
+              const facility::MsbModel& msb, double mtw_supply_c);
+
+  /// Sensor readings for every channel at time t. The returned vector is
+  /// indexed by channel (size metrics_per_node()). Also exposes the
+  /// ground-truth input power for validation studies.
+  struct Readings {
+    std::vector<std::int32_t> values;  ///< quantized, per channel
+    double true_input_w = 0.0;         ///< unbiased node wall power
+  };
+  [[nodiscard]] Readings sample(util::TimeSec t);
+
+  /// Current (unquantized) component temperatures — exposed so analyses
+  /// can bypass the quantization when validating the thermal model.
+  [[nodiscard]] const thermal::FleetThermal::NodeTemps& temps() const {
+    return temps_;
+  }
+
+ private:
+  machine::NodeId node_;
+  const workload::AllocationIndex* alloc_;
+  const power::FleetVariability* fleet_;
+  const thermal::FleetThermal* thermals_;
+  const facility::MsbModel* msb_;
+  double mtw_supply_c_;
+  thermal::FleetThermal::NodeTemps temps_;
+  util::TimeSec last_t_ = -1;
+};
+
+}  // namespace exawatt::telemetry

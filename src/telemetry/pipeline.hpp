@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "facility/msb.hpp"
+#include "power/component.hpp"
+#include "telemetry/archive.hpp"
+#include "telemetry/collector.hpp"
+#include "thermal/node_thermal.hpp"
+#include "workload/allocation_index.hpp"
+
+namespace exawatt::telemetry {
+
+/// End-to-end telemetry pipeline over a node subset and time window:
+/// NodeSampler (1 Hz OCC readings) -> Bmc (emit-on-change) -> Collector
+/// (fan-in + delay) -> codec -> Archive. This is the paper's Figure 2/3
+/// data path; benches measure its ingest rate and compression, analyses
+/// read back through Archive::query.
+struct PipelineStats {
+  std::uint64_t readings = 0;        ///< raw 1 Hz sensor readings
+  std::uint64_t events = 0;          ///< emitted after change suppression
+  std::size_t compressed_bytes = 0;
+  double mean_delay_s = 0.0;
+  double suppression_ratio = 0.0;    ///< readings / events
+  double compression_ratio = 0.0;    ///< raw event bytes / compressed
+  double bytes_per_reading = 0.0;    ///< end-to-end footprint efficiency
+};
+
+class Pipeline {
+ public:
+  /// Nodes to instrument (ids into the machine), shared models.
+  Pipeline(std::vector<machine::NodeId> nodes,
+           const workload::AllocationIndex& alloc,
+           const power::FleetVariability& fleet,
+           const thermal::FleetThermal& thermals,
+           const facility::MsbModel& msb, double mtw_supply_c = 20.0,
+           CollectorParams collector = {});
+
+  /// Run the 1 Hz loop over [range.begin, range.end); events are batched
+  /// per `flush_every` seconds into archive blocks.
+  PipelineStats run(util::TimeRange range, util::TimeSec flush_every = 60);
+
+  [[nodiscard]] const Archive& archive() const { return archive_; }
+  [[nodiscard]] Archive& archive() { return archive_; }
+  /// Transport-layer access (loss injection, outage registration).
+  [[nodiscard]] Collector& collector() { return collector_; }
+
+ private:
+  std::vector<machine::NodeId> nodes_;
+  const workload::AllocationIndex* alloc_;
+  const power::FleetVariability* fleet_;
+  const thermal::FleetThermal* thermals_;
+  const facility::MsbModel* msb_;
+  double mtw_supply_c_;
+  Collector collector_;
+  Archive archive_;
+};
+
+}  // namespace exawatt::telemetry

@@ -1,0 +1,91 @@
+#include "thermal/node_thermal.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace exawatt::thermal {
+
+using machine::SummitSpec;
+
+double throttle_factor(double gpu_core_c, const ThermalParams& params) {
+  if (gpu_core_c <= params.throttle_onset_c) return 1.0;
+  if (gpu_core_c >= params.throttle_limit_c) return params.throttle_floor;
+  const double span = params.throttle_limit_c - params.throttle_onset_c;
+  const double f = (gpu_core_c - params.throttle_onset_c) / span;
+  return 1.0 - f * (1.0 - params.throttle_floor);
+}
+
+FleetThermal::FleetThermal(machine::MachineScale scale, std::uint64_t seed,
+                           ThermalParams params)
+    : scale_(scale), topo_(scale), params_(params) {
+  const auto nodes = static_cast<std::size_t>(scale_.nodes);
+  gpu_r_.resize(nodes * SummitSpec::kGpusPerNode);
+  cpu_r_.resize(nodes * SummitSpec::kCpusPerNode);
+  util::Rng master(seed);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    util::Rng rng = master.substream(0x7e41ULL, n);
+    for (int g = 0; g < SummitSpec::kGpusPerNode; ++g) {
+      gpu_r_[n * SummitSpec::kGpusPerNode + static_cast<std::size_t>(g)] =
+          params_.gpu_r_mean_c_per_w *
+          rng.lognormal(0.0, params_.gpu_r_sigma);
+    }
+    for (int c = 0; c < SummitSpec::kCpusPerNode; ++c) {
+      cpu_r_[n * SummitSpec::kCpusPerNode + static_cast<std::size_t>(c)] =
+          params_.cpu_r_mean_c_per_w *
+          rng.lognormal(0.0, params_.cpu_r_sigma);
+    }
+  }
+  const auto cabinets = static_cast<std::size_t>(topo_.cabinets());
+  cab_offset_.resize(cabinets);
+  util::Rng cab_rng = master.substream(0xcab0ULL, 0);
+  for (std::size_t c = 0; c < cabinets; ++c) {
+    cab_offset_[c] = cab_rng.normal(0.0, params_.cabinet_sigma_c);
+  }
+}
+
+double FleetThermal::gpu_r(machine::NodeId node, int slot) const {
+  EXA_CHECK(node >= 0 && node < scale_.nodes, "node out of range");
+  EXA_CHECK(slot >= 0 && slot < SummitSpec::kGpusPerNode, "slot out of range");
+  return gpu_r_[static_cast<std::size_t>(node) * SummitSpec::kGpusPerNode +
+                static_cast<std::size_t>(slot)];
+}
+
+double FleetThermal::cpu_r(machine::NodeId node, int socket) const {
+  EXA_CHECK(node >= 0 && node < scale_.nodes, "node out of range");
+  EXA_CHECK(socket >= 0 && socket < SummitSpec::kCpusPerNode,
+            "socket out of range");
+  return cpu_r_[static_cast<std::size_t>(node) * SummitSpec::kCpusPerNode +
+                static_cast<std::size_t>(socket)];
+}
+
+double FleetThermal::node_coolant_offset_c(machine::NodeId node) const {
+  const machine::FloorPosition pos = topo_.position_of(node);
+  const double center = 0.5 * static_cast<double>(topo_.rows() - 1);
+  return cab_offset_[static_cast<std::size_t>(pos.cabinet)] +
+         params_.row_gradient_c * (static_cast<double>(pos.row) - center);
+}
+
+FleetThermal::NodeTemps FleetThermal::steady_temps(
+    machine::NodeId node, const power::NodeComponentPower& p,
+    double supply_c) const {
+  NodeTemps t;
+  const double inlet = supply_c + node_coolant_offset_c(node);
+  for (int socket = 0; socket < SummitSpec::kCpusPerNode; ++socket) {
+    // Serial chain inside a socket: CPU cold plate first in our model's
+    // plumbing order is irrelevant for CPUs (their swing is small); GPUs
+    // at later coolant positions see water pre-warmed by upstream GPUs.
+    double upstream_w = 0.0;
+    for (int k = 0; k < SummitSpec::kGpusPerCpu; ++k) {
+      const int slot = socket * SummitSpec::kGpusPerCpu + k;
+      const double local_inlet =
+          inlet + params_.chain_c_per_w * upstream_w;
+      t.gpu_c[slot] = local_inlet + gpu_r(node, slot) * p.gpu_w[slot];
+      upstream_w += p.gpu_w[slot];
+    }
+    t.cpu_c[socket] = inlet + cpu_r(node, socket) * p.cpu_w[socket];
+  }
+  return t;
+}
+
+}  // namespace exawatt::thermal

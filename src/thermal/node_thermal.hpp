@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/topology.hpp"
+#include "power/job_power.hpp"
+#include "util/rng.hpp"
+
+namespace exawatt::thermal {
+
+/// Tunable constants of the node-level thermal model. Defaults are
+/// calibrated so that (a) fully loaded GPUs sit in the high 30s-50s °C
+/// with the vast majority below 60 °C, (b) the within-job non-outlier
+/// temperature spread at near-identical power is ~15 °C (Figure 17), and
+/// (c) GPU temperature tracks power within seconds while CPU temperature
+/// stays comparatively flat (Figure 12).
+struct ThermalParams {
+  double gpu_r_mean_c_per_w = 0.062;  ///< cold-plate thermal resistance
+  double gpu_r_sigma = 0.18;          ///< per-chip lognormal sigma
+  double cpu_r_mean_c_per_w = 0.060;
+  double cpu_r_sigma = 0.10;
+  double gpu_tau_s = 18.0;            ///< RC time constant
+  double cpu_tau_s = 35.0;
+  /// Coolant warm-up per watt of upstream heat inside a socket's serial
+  /// GPU chain (position 1 and 2 get pre-warmed water; Figure 1-(a)).
+  double chain_c_per_w = 0.004;
+  /// Spatial variation: per-cabinet coolant offset sigma (°C) and a small
+  /// floor gradient along rows (cold-water outtake points, Figure 17).
+  double cabinet_sigma_c = 0.5;
+  double row_gradient_c = 0.08;       ///< °C per row index from floor center
+  /// V100 hardware slowdown: power derates linearly above the throttle
+  /// onset, bottoming out at `throttle_floor` of nominal by the hard
+  /// limit. The facility deliberately overcools so this never engages
+  /// in normal operation (paper §5) — but the model must have it so
+  /// failure-injection studies (warm water, blocked loops) behave.
+  double throttle_onset_c = 83.0;
+  double throttle_limit_c = 90.0;
+  double throttle_floor = 0.55;
+};
+
+/// Multiplicative GPU power derating for a core temperature: 1.0 below
+/// the onset, linear to `throttle_floor` at the hard limit.
+[[nodiscard]] double throttle_factor(double gpu_core_c,
+                                     const ThermalParams& params = {});
+
+/// Per-GPU steady-state and dynamic temperatures for the whole fleet.
+/// Thermal resistances and spatial offsets are deterministic in the seed.
+class FleetThermal {
+ public:
+  FleetThermal(machine::MachineScale scale, std::uint64_t seed,
+               ThermalParams params = {});
+
+  [[nodiscard]] const ThermalParams& params() const { return params_; }
+  [[nodiscard]] const machine::Topology& topology() const { return topo_; }
+
+  [[nodiscard]] double gpu_r(machine::NodeId node, int slot) const;
+  [[nodiscard]] double cpu_r(machine::NodeId node, int socket) const;
+  /// Coolant temperature offset of a node vs the MTW supply (cabinet
+  /// calibration + floor position).
+  [[nodiscard]] double node_coolant_offset_c(machine::NodeId node) const;
+
+  /// Steady-state component temperatures for a node given its component
+  /// powers and the MTW supply temperature at the rack inlet.
+  struct NodeTemps {
+    double gpu_c[machine::SummitSpec::kGpusPerNode] = {};
+    double cpu_c[machine::SummitSpec::kCpusPerNode] = {};
+  };
+  [[nodiscard]] NodeTemps steady_temps(machine::NodeId node,
+                                       const power::NodeComponentPower& p,
+                                       double supply_c) const;
+
+ private:
+  machine::MachineScale scale_;
+  machine::Topology topo_;
+  ThermalParams params_;
+  std::vector<double> gpu_r_;       ///< nodes * 6
+  std::vector<double> cpu_r_;       ///< nodes * 2
+  std::vector<double> cab_offset_;  ///< per cabinet
+};
+
+}  // namespace exawatt::thermal

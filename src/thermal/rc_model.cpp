@@ -1,0 +1,22 @@
+#include "thermal/rc_model.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace exawatt::thermal {
+
+double rc_step(double t_now, double t_target, double dt_s, double tau_s) {
+  EXA_CHECK(dt_s >= 0.0, "rc_step needs dt >= 0");
+  EXA_CHECK(tau_s > 0.0, "rc_step needs tau > 0");
+  const double alpha = 1.0 - std::exp(-dt_s / tau_s);
+  return t_now + alpha * (t_target - t_now);
+}
+
+double rc_step_asymmetric(double t_now, double t_target, double dt_s,
+                          double tau_up_s, double tau_down_s) {
+  return rc_step(t_now, t_target, dt_s,
+                 t_target >= t_now ? tau_up_s : tau_down_s);
+}
+
+}  // namespace exawatt::thermal

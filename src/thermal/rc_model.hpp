@@ -1,0 +1,21 @@
+#pragma once
+
+#include "util/sim_time.hpp"
+
+namespace exawatt::thermal {
+
+/// First-order RC thermal step: the workhorse of every thermal model in
+/// the twin. A component at temperature `t_now` driven toward steady
+/// state `t_target` with time constant `tau_s` moves over `dt_s` as
+///   T <- T + (1 - exp(-dt/tau)) (T* - T).
+[[nodiscard]] double rc_step(double t_now, double t_target, double dt_s,
+                             double tau_s);
+
+/// Asymmetric variant: different time constants when heating vs cooling
+/// (the paper observes the cooling loop attenuates slower on falling
+/// edges than it reacts on rising ones).
+[[nodiscard]] double rc_step_asymmetric(double t_now, double t_target,
+                                        double dt_s, double tau_up_s,
+                                        double tau_down_s);
+
+}  // namespace exawatt::thermal

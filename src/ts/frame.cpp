@@ -1,0 +1,54 @@
+#include "ts/frame.hpp"
+
+#include "util/check.hpp"
+
+namespace exawatt::ts {
+
+Frame::Frame(util::TimeSec start, util::TimeSec dt, std::size_t rows)
+    : start_(start), dt_(dt), rows_(rows) {
+  EXA_CHECK(dt_ > 0, "frame dt must be positive");
+}
+
+void Frame::set(const std::string& name, Series s) {
+  EXA_CHECK(s.start() == start_ && s.dt() == dt_ && s.size() == rows_,
+            "column grid must match frame grid: " + name);
+  if (!columns_.contains(name)) order_.push_back(name);
+  columns_.insert_or_assign(name, std::move(s));
+}
+
+void Frame::set(const std::string& name, std::vector<double> values) {
+  set(name, Series(start_, dt_, std::move(values)));
+}
+
+bool Frame::has(const std::string& name) const {
+  return columns_.contains(name);
+}
+
+const Series& Frame::at(const std::string& name) const {
+  auto it = columns_.find(name);
+  EXA_CHECK(it != columns_.end(), "no such column: " + name);
+  return it->second;
+}
+
+Series& Frame::at(const std::string& name) {
+  auto it = columns_.find(name);
+  EXA_CHECK(it != columns_.end(), "no such column: " + name);
+  return it->second;
+}
+
+Frame Frame::slice(util::TimeRange r) const {
+  Frame out;
+  bool first = true;
+  for (const auto& name : order_) {
+    Series s = at(name).slice(r);
+    if (first) {
+      out = Frame(s.start(), dt_, s.size());
+      first = false;
+    }
+    out.set(name, std::move(s));
+  }
+  if (first) out = Frame(r.begin, dt_, 0);
+  return out;
+}
+
+}  // namespace exawatt::ts

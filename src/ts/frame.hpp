@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ts/series.hpp"
+
+namespace exawatt::ts {
+
+/// Columnar frame of Series sharing one time grid — the C++ analogue of
+/// the paper's per-day parquet tables (cluster power, PUE, temperatures,
+/// cooling telemetry all live side by side keyed by timestamp).
+class Frame {
+ public:
+  Frame() = default;
+  Frame(util::TimeSec start, util::TimeSec dt, std::size_t rows);
+
+  [[nodiscard]] util::TimeSec start() const { return start_; }
+  [[nodiscard]] util::TimeSec dt() const { return dt_; }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t columns() const { return order_.size(); }
+  [[nodiscard]] util::TimeSec time_at(std::size_t i) const {
+    return start_ + dt_ * static_cast<util::TimeSec>(i);
+  }
+
+  /// Add (or replace) a column; the series must match the frame grid.
+  void set(const std::string& name, Series s);
+  /// Add a column from raw values on the frame grid.
+  void set(const std::string& name, std::vector<double> values);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] const Series& at(const std::string& name) const;
+  [[nodiscard]] Series& at(const std::string& name);
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return order_;
+  }
+
+  /// Row-sliced copy over the intersection with `r`.
+  [[nodiscard]] Frame slice(util::TimeRange r) const;
+
+ private:
+  util::TimeSec start_ = 0;
+  util::TimeSec dt_ = 1;
+  std::size_t rows_ = 0;
+  std::unordered_map<std::string, Series> columns_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace exawatt::ts

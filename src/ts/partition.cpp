@@ -1,0 +1,19 @@
+#include "ts/partition.hpp"
+
+#include "util/check.hpp"
+
+namespace exawatt::ts {
+
+std::vector<Partition> partition_range(util::TimeRange range,
+                                       util::TimeSec chunk) {
+  EXA_CHECK(chunk > 0, "partition chunk must be positive");
+  std::vector<Partition> parts;
+  std::size_t idx = 0;
+  for (util::TimeSec t = range.begin; t < range.end; t += chunk) {
+    parts.push_back(
+        {idx++, {t, t + chunk < range.end ? t + chunk : range.end}});
+  }
+  return parts;
+}
+
+}  // namespace exawatt::ts

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/sim_time.hpp"
+
+namespace exawatt::ts {
+
+/// Partitioning plan over a time range — the mini-Dask scheduling unit.
+/// The paper processed the year as per-day parquet partitions on Dask
+/// workers; we mirror that: split a range into day-sized (or custom)
+/// chunks and map/reduce them on the thread pool.
+struct Partition {
+  std::size_t index = 0;
+  util::TimeRange range;
+};
+
+/// Split `range` into partitions of at most `chunk` seconds each.
+[[nodiscard]] std::vector<Partition> partition_range(util::TimeRange range,
+                                                     util::TimeSec chunk);
+
+/// Map `fn(partition)` over all partitions in parallel; results ordered by
+/// partition index.
+template <typename Fn>
+auto partitioned_map(const std::vector<Partition>& parts, Fn&& fn)
+    -> std::vector<decltype(fn(parts[0]))> {
+  return util::parallel_map(parts.size(),
+                            [&](std::size_t i) { return fn(parts[i]); });
+}
+
+/// Map then fold: `merge(acc, part_result)` must be associative over the
+/// partition order (partitions are disjoint and time-ordered).
+template <typename Fn, typename R, typename Merge>
+R partitioned_reduce(const std::vector<Partition>& parts, R init, Fn&& fn,
+                     Merge&& merge) {
+  auto results = partitioned_map(parts, std::forward<Fn>(fn));
+  R acc = std::move(init);
+  for (auto& r : results) acc = merge(std::move(acc), std::move(r));
+  return acc;
+}
+
+}  // namespace exawatt::ts

@@ -1,0 +1,142 @@
+#include "ts/series.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/welford.hpp"
+
+namespace exawatt::ts {
+
+Series::Series(util::TimeSec start, util::TimeSec dt,
+               std::vector<double> values)
+    : start_(start), dt_(dt), values_(std::move(values)) {
+  EXA_CHECK(dt_ > 0, "series dt must be positive");
+}
+
+std::ptrdiff_t Series::index_of(util::TimeSec t) const {
+  if (t < start_) return -1;
+  return static_cast<std::ptrdiff_t>((t - start_) / dt_);
+}
+
+Series Series::slice(util::TimeRange r) const {
+  const util::TimeRange c = range().clamp(r);
+  if (c.duration() <= 0) return Series(c.begin, dt_, {});
+  const auto first = static_cast<std::size_t>((c.begin - start_ + dt_ - 1) / dt_);
+  auto last = static_cast<std::size_t>((c.end - start_ + dt_ - 1) / dt_);
+  last = std::min(last, values_.size());
+  if (first >= last) return Series(time_at(first), dt_, {});
+  return Series(time_at(first), dt_,
+                std::vector<double>(values_.begin() + static_cast<std::ptrdiff_t>(first),
+                                    values_.begin() + static_cast<std::ptrdiff_t>(last)));
+}
+
+Series Series::diff() const {
+  std::vector<double> d;
+  if (values_.size() > 1) {
+    d.reserve(values_.size() - 1);
+    for (std::size_t i = 0; i + 1 < values_.size(); ++i) {
+      d.push_back(values_[i + 1] - values_[i]);
+    }
+  }
+  return Series(start_, dt_, std::move(d));
+}
+
+void Series::add_aligned(const Series& other, double scale) {
+  if (other.empty()) return;
+  EXA_CHECK(dt_ == other.dt(), "add_aligned requires identical dt");
+  EXA_CHECK((other.start() - start_) % dt_ == 0,
+            "add_aligned requires phase-aligned grids");
+  const std::ptrdiff_t offset = (other.start() - start_) / dt_;
+  for (std::size_t j = 0; j < other.size(); ++j) {
+    const std::ptrdiff_t i = offset + static_cast<std::ptrdiff_t>(j);
+    if (i < 0) continue;
+    if (static_cast<std::size_t>(i) >= values_.size()) break;
+    values_[static_cast<std::size_t>(i)] += scale * other[j];
+  }
+}
+
+StatSeries::StatSeries(util::TimeSec start, util::TimeSec dt,
+                       std::vector<WindowStats> windows)
+    : start_(start), dt_(dt), windows_(std::move(windows)) {
+  EXA_CHECK(dt_ > 0, "stat series dt must be positive");
+}
+
+Series StatSeries::field(Field f) const {
+  std::vector<double> v(windows_.size());
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    switch (f) {
+      case Field::kCount: v[i] = static_cast<double>(windows_[i].count); break;
+      case Field::kMin: v[i] = windows_[i].min; break;
+      case Field::kMax: v[i] = windows_[i].max; break;
+      case Field::kMean: v[i] = windows_[i].mean; break;
+      case Field::kStd: v[i] = windows_[i].std; break;
+    }
+  }
+  return Series(start_, dt_, std::move(v));
+}
+
+namespace {
+WindowStats to_stats(const util::Welford& w) {
+  WindowStats s;
+  s.count = w.count();
+  s.min = w.min();
+  s.max = w.max();
+  s.mean = w.mean();
+  s.std = w.stddev();
+  return s;
+}
+}  // namespace
+
+StatSeries coarsen(std::span<const Sample> samples, util::TimeSec window,
+                   util::TimeRange range) {
+  EXA_CHECK(window > 0, "coarsening window must be positive");
+  EXA_CHECK(range.duration() >= 0, "coarsening range must be non-empty");
+  const auto n = static_cast<std::size_t>(
+      (range.duration() + window - 1) / window);
+  std::vector<util::Welford> acc(n);
+
+  // Sample-and-hold: each sample's value is considered present at every
+  // second from its emit until the next emit (or end of range). We add one
+  // virtual observation per covered second so counts reflect coverage.
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const util::TimeSec t0 = std::max(samples[i].t, range.begin);
+    const util::TimeSec t1 =
+        i + 1 < samples.size() ? std::min(samples[i + 1].t, range.end)
+                               : range.end;
+    if (t1 <= t0) continue;
+    // Distribute the held value across the windows [t0, t1) covers.
+    util::TimeSec t = t0;
+    while (t < t1) {
+      const auto w = static_cast<std::size_t>((t - range.begin) / window);
+      if (w >= n) break;
+      const util::TimeSec wend =
+          range.begin + window * static_cast<util::TimeSec>(w + 1);
+      const util::TimeSec covered = std::min(t1, wend) - t;
+      for (util::TimeSec k = 0; k < covered; ++k) acc[w].add(samples[i].value);
+      t += covered;
+    }
+  }
+
+  std::vector<WindowStats> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = to_stats(acc[i]);
+  return StatSeries(range.begin, window, std::move(out));
+}
+
+StatSeries coarsen(const Series& fine, util::TimeSec window) {
+  EXA_CHECK(window > 0 && window % fine.dt() == 0,
+            "window must be a positive multiple of the input dt");
+  const auto per = static_cast<std::size_t>(window / fine.dt());
+  const std::size_t n = (fine.size() + per - 1) / per;
+  std::vector<WindowStats> out;
+  out.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    util::Welford acc;
+    const std::size_t lo = w * per;
+    const std::size_t hi = std::min(fine.size(), lo + per);
+    for (std::size_t i = lo; i < hi; ++i) acc.add(fine[i]);
+    out.push_back(to_stats(acc));
+  }
+  return StatSeries(fine.start(), window, std::move(out));
+}
+
+}  // namespace exawatt::ts

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace exawatt::ts {
+
+/// One irregular sample of a telemetry metric (emit-on-change streams).
+struct Sample {
+  util::TimeSec t = 0;
+  double value = 0.0;
+};
+
+/// Regular-grid time series: values at start, start+dt, start+2dt, ...
+/// This is the workhorse representation after coarsening; the paper's
+/// pipeline operates almost entirely on the 10-second grid.
+class Series {
+ public:
+  Series() = default;
+  Series(util::TimeSec start, util::TimeSec dt, std::vector<double> values);
+
+  [[nodiscard]] util::TimeSec start() const { return start_; }
+  [[nodiscard]] util::TimeSec dt() const { return dt_; }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] util::TimeSec end() const {
+    return start_ + dt_ * static_cast<util::TimeSec>(values_.size());
+  }
+  [[nodiscard]] util::TimeRange range() const { return {start_, end()}; }
+
+  [[nodiscard]] double operator[](std::size_t i) const { return values_[i]; }
+  double& operator[](std::size_t i) { return values_[i]; }
+  [[nodiscard]] util::TimeSec time_at(std::size_t i) const {
+    return start_ + dt_ * static_cast<util::TimeSec>(i);
+  }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+  [[nodiscard]] std::vector<double>& mutable_values() { return values_; }
+
+  /// Index of the grid point at or before t; -1 if t precedes the series.
+  [[nodiscard]] std::ptrdiff_t index_of(util::TimeSec t) const;
+
+  /// Sub-series covering the intersection with `r` (copies values).
+  [[nodiscard]] Series slice(util::TimeRange r) const;
+
+  /// First difference: out[i] = v[i+1] - v[i]; size shrinks by one.
+  [[nodiscard]] Series diff() const;
+
+  /// Element-wise accumulate `other` into this series where grids overlap.
+  /// Grids must share dt and be phase-aligned.
+  void add_aligned(const Series& other, double scale = 1.0);
+
+ private:
+  util::TimeSec start_ = 0;
+  util::TimeSec dt_ = 1;
+  std::vector<double> values_;
+};
+
+/// count/min/max/mean/std for one coarsening window (paper Dataset 0 row).
+struct WindowStats {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double std = 0.0;
+};
+
+/// Regular grid of per-window statistics.
+class StatSeries {
+ public:
+  StatSeries() = default;
+  StatSeries(util::TimeSec start, util::TimeSec dt,
+             std::vector<WindowStats> windows);
+
+  [[nodiscard]] util::TimeSec start() const { return start_; }
+  [[nodiscard]] util::TimeSec dt() const { return dt_; }
+  [[nodiscard]] std::size_t size() const { return windows_.size(); }
+  [[nodiscard]] bool empty() const { return windows_.empty(); }
+  [[nodiscard]] const WindowStats& operator[](std::size_t i) const {
+    return windows_[i];
+  }
+  WindowStats& operator[](std::size_t i) { return windows_[i]; }
+  [[nodiscard]] util::TimeSec time_at(std::size_t i) const {
+    return start_ + dt_ * static_cast<util::TimeSec>(i);
+  }
+
+  /// Extract one statistic as a plain Series.
+  enum class Field { kCount, kMin, kMax, kMean, kStd };
+  [[nodiscard]] Series field(Field f) const;
+
+ private:
+  util::TimeSec start_ = 0;
+  util::TimeSec dt_ = 10;
+  std::vector<WindowStats> windows_;
+};
+
+/// Coarsen an emit-on-change sample stream onto a regular window grid with
+/// sample-and-hold semantics: a metric's value persists until the next
+/// emit, so every window the stream spans gets at least one virtual sample
+/// (mirrors how the paper's 10-second aggregation treats OpenBMC pushes).
+/// `samples` must be time-sorted.
+[[nodiscard]] StatSeries coarsen(std::span<const Sample> samples,
+                                 util::TimeSec window, util::TimeRange range);
+
+/// Coarsen a regular 1 Hz (or any dt) series into windows of `window`
+/// seconds; `window` must be a multiple of the input dt.
+[[nodiscard]] StatSeries coarsen(const Series& fine, util::TimeSec window);
+
+}  // namespace exawatt::ts

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace exawatt::util {
+
+/// Error thrown when a configuration-time invariant is violated.
+///
+/// ExaWatt validates inputs eagerly at the API boundary (constructors,
+/// builders) and keeps hot loops check-free; see DESIGN.md §4.
+class CheckError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace exawatt::util
+
+/// Validate `cond`; throws util::CheckError with context on failure.
+/// Usage: EXA_CHECK(n > 0, "node count must be positive");
+#define EXA_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::exawatt::util::check_failed(#cond, __FILE__, __LINE__, (msg));    \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,111 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace exawatt::util {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  EXA_CHECK(columns_ > 0, "CSV needs at least one column");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    out_ << (i ? "," : "") << csv_escape(header[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  EXA_CHECK(cells.size() == columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out_ << (i ? "," : "") << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  EXA_CHECK(values.size() == columns_, "CSV row width mismatch");
+  char buf[64];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%.9g", values[i]);
+    out_ << (i ? "," : "") << buf;
+  }
+  out_ << '\n';
+}
+
+std::vector<std::string> csv_split(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+CsvReader::CsvReader(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::string line;
+  if (!std::getline(in, line)) return;
+  header_ = csv_split(line);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows_.push_back(csv_split(line));
+  }
+  ok_ = true;
+}
+
+std::size_t CsvReader::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  EXA_CHECK(false, "no such CSV column: " + name);
+  return 0;
+}
+
+double CsvReader::number(std::size_t row, std::size_t col) const {
+  EXA_CHECK(row < rows_.size() && col < rows_[row].size(),
+            "CSV cell out of range");
+  return std::strtod(rows_[row][col].c_str(), nullptr);
+}
+
+const std::string& CsvReader::text(std::size_t row, std::size_t col) const {
+  EXA_CHECK(row < rows_.size() && col < rows_[row].size(),
+            "CSV cell out of range");
+  return rows_[row][col];
+}
+
+}  // namespace exawatt::util

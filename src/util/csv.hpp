@@ -1,0 +1,61 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace exawatt::util {
+
+/// Minimal CSV writer — lets benches/examples dump the exact series behind
+/// each regenerated figure for offline plotting (the paper's artifact repo
+/// ships notebooks; we ship CSVs with the same columns).
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& cells);
+  void add_row(const std::vector<double>& values);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// RFC-4180-ish quoting for a single field.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Minimal CSV reader matching CsvWriter's output (RFC-4180-ish quoting,
+/// no embedded newlines). Loads the whole file; the datasets this library
+/// round-trips are bounded exports, not the 8.5 TB archive.
+class CsvReader {
+ public:
+  explicit CsvReader(const std::string& path);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_[i];
+  }
+  /// Column index by name; throws CheckError when absent.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+  /// Typed cell accessors.
+  [[nodiscard]] double number(std::size_t row, std::size_t col) const;
+  [[nodiscard]] const std::string& text(std::size_t row,
+                                        std::size_t col) const;
+
+ private:
+  bool ok_ = false;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Split one CSV line into fields (handles quoted fields with embedded
+/// commas and doubled quotes). Exposed for testing.
+[[nodiscard]] std::vector<std::string> csv_split(const std::string& line);
+
+}  // namespace exawatt::util

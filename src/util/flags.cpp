@@ -1,0 +1,53 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+
+namespace exawatt::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') {
+    command_ = argv[i];
+    ++i;
+  }
+  for (; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      arg = arg.substr(2);
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool Flags::has(const std::string& key) const { return values_.count(key); }
+
+std::string Flags::get(const std::string& key,
+                       const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it != values_.end() ? it->second : fallback;
+}
+
+double Flags::get_number(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it != values_.end() ? std::strtod(it->second.c_str(), nullptr)
+                             : fallback;
+}
+
+std::int64_t Flags::get_int(const std::string& key,
+                            std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  return it != values_.end()
+             ? std::strtoll(it->second.c_str(), nullptr, 10)
+             : fallback;
+}
+
+}  // namespace exawatt::util

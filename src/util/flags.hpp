@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace exawatt::util {
+
+/// Tiny command-line parser for the tools:
+///   tool <command> --name value --flag ...
+/// Flags are "--key value" pairs ("--key=value" also accepted); a bare
+/// "--key" is a boolean. Unknown positional arguments after the command
+/// are collected in order.
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& command() const { return command_; }
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const;
+  [[nodiscard]] double get_number(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace exawatt::util

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace exawatt::util {
+
+/// Parallel index loop over [0, n): `fn(i)` for each i, chunked across the
+/// pool. Falls back to a plain serial loop when the pool has one worker or
+/// the trip count is tiny, so single-core CI behaves identically.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn,
+                  ThreadPool& pool = ThreadPool::global()) {
+  if (n == 0) return;
+  const std::size_t workers = pool.size();
+  if (workers <= 1 || n < 4) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t chunks = workers * 4 < n ? workers * 4 : n;
+  const std::size_t step = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  for (std::size_t begin = 0; begin < n; begin += step) {
+    const std::size_t end = begin + step < n ? begin + step : n;
+    futs.push_back(pool.submit([begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+/// Parallel map: returns {fn(0), ..., fn(n-1)} preserving order.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn,
+                  ThreadPool& pool = ThreadPool::global())
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<R> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = fn(i); }, pool);
+  return out;
+}
+
+/// Parallel tree reduction: maps fn over [0, n) then merges with `merge`.
+/// `merge(acc, value)` must be associative. `init` is the identity.
+template <typename Fn, typename R, typename Merge>
+R parallel_reduce(std::size_t n, R init, Fn&& fn, Merge&& merge,
+                  ThreadPool& pool = ThreadPool::global()) {
+  auto parts = parallel_map(n, std::forward<Fn>(fn), pool);
+  R acc = std::move(init);
+  for (auto& p : parts) acc = merge(std::move(acc), std::move(p));
+  return acc;
+}
+
+}  // namespace exawatt::util

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace exawatt::util {
+
+/// SplitMix64 — used to seed and to derive per-entity substreams.
+/// Reference: Steele, Lea, Flood (2014), "Fast splittable PRNGs".
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Deterministic, fast, and good
+/// enough statistically for Monte-Carlo style trace synthesis.
+///
+/// Every stochastic model in ExaWatt owns an Rng derived from
+/// (master seed, entity kind, entity id) via `substream`, so traces are
+/// exactly reproducible regardless of evaluation order or thread count.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x185fe4d6c7ba90e1ULL);
+
+  /// Derive an independent substream keyed by (kind, id). Streams with
+  /// distinct keys are decorrelated via SplitMix64 seed scrambling.
+  [[nodiscard]] Rng substream(std::uint64_t kind, std::uint64_t id) const;
+
+  std::uint64_t next();
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+  double normal(double mean, double stddev);
+  /// Log-normal parameterized by the underlying normal's (mu, sigma).
+  double lognormal(double mu, double sigma);
+  /// Exponential with given rate (lambda).
+  double exponential(double rate);
+  /// Poisson with given mean (Knuth for small, PTRS-style normal approx
+  /// above 64 to keep the year-long generators cheap).
+  std::uint64_t poisson(double mean);
+  /// Bernoulli.
+  bool chance(double p);
+  /// Pareto (Lomax-shifted) with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+  /// Index drawn from the (unnormalized, non-negative) weights.
+  std::size_t weighted_index(std::span<const double> weights);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Stable 64-bit mix of arbitrary integer keys (for hashing entity ids
+/// into stream seeds and for deterministic per-entity jitter).
+std::uint64_t mix64(std::uint64_t x);
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+}  // namespace exawatt::util

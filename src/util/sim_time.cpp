@@ -1,0 +1,58 @@
+#include "util/sim_time.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace exawatt::util {
+
+TimeRange TimeRange::clamp(const TimeRange& o) const {
+  TimeRange r{begin > o.begin ? begin : o.begin, end < o.end ? end : o.end};
+  if (r.end < r.begin) r.end = r.begin;
+  return r;
+}
+
+namespace {
+// Cumulative days at the start of each month, 2020 (leap year).
+constexpr std::array<int, 13> kMonthStart = {0,   31,  60,  91,  121, 152, 182,
+                                             213, 244, 274, 305, 335, 366};
+}  // namespace
+
+int day_of_year(TimeSec t) {
+  auto day = t / kDay;
+  day %= kDaysInYear2020;
+  if (day < 0) day += kDaysInYear2020;
+  return static_cast<int>(day);
+}
+
+CalendarDate calendar(TimeSec t) {
+  CalendarDate d;
+  d.day_of_year = day_of_year(t);
+  d.week_of_year = d.day_of_year / 7;
+  int m = 1;
+  while (m < 12 && kMonthStart[static_cast<std::size_t>(m)] <= d.day_of_year) {
+    ++m;
+  }
+  d.month = m;
+  d.day_of_month = d.day_of_year - kMonthStart[static_cast<std::size_t>(m - 1)] + 1;
+  TimeSec sec_of_day = ((t % kDay) + kDay) % kDay;
+  d.hour = static_cast<int>(sec_of_day / kHour);
+  d.minute = static_cast<int>((sec_of_day % kHour) / kMinute);
+  d.second = static_cast<int>(sec_of_day % kMinute);
+  return d;
+}
+
+std::string format_time(TimeSec t) {
+  const CalendarDate d = calendar(t);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%02d-%02d %02d:%02d:%02d", d.month,
+                d.day_of_month, d.hour, d.minute, d.second);
+  return buf;
+}
+
+bool in_summer_window(TimeSec t) {
+  // July 24 (day 205) .. Sept 30 (day 273) of 2020, 0-based day-of-year.
+  const int doy = day_of_year(t);
+  return doy >= 205 && doy <= 273;
+}
+
+}  // namespace exawatt::util

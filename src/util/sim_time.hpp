@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace exawatt::util {
+
+/// Simulation time: integer seconds since the simulated epoch
+/// (2020-01-01 00:00:00, the first day of the paper's measurement year).
+/// 2020 is a leap year: 366 days.
+using TimeSec = std::int64_t;
+
+inline constexpr TimeSec kSecond = 1;
+inline constexpr TimeSec kMinute = 60;
+inline constexpr TimeSec kHour = 3600;
+inline constexpr TimeSec kDay = 86400;
+inline constexpr TimeSec kWeek = 7 * kDay;
+inline constexpr int kDaysInYear2020 = 366;
+inline constexpr TimeSec kYear = kDaysInYear2020 * kDay;
+
+/// Half-open time interval [begin, end).
+struct TimeRange {
+  TimeSec begin = 0;
+  TimeSec end = 0;
+
+  [[nodiscard]] TimeSec duration() const { return end - begin; }
+  [[nodiscard]] bool contains(TimeSec t) const { return t >= begin && t < end; }
+  [[nodiscard]] bool overlaps(const TimeRange& o) const {
+    return begin < o.end && o.begin < end;
+  }
+  /// Intersection; empty (begin==end) when disjoint.
+  [[nodiscard]] TimeRange clamp(const TimeRange& o) const;
+};
+
+/// Calendar decomposition of a simulated instant (2020 calendar).
+struct CalendarDate {
+  int month = 1;        ///< 1..12
+  int day_of_month = 1; ///< 1..31
+  int day_of_year = 0;  ///< 0..365
+  int week_of_year = 0; ///< 0..52 (day_of_year / 7)
+  int hour = 0;         ///< 0..23
+  int minute = 0;
+  int second = 0;
+};
+
+[[nodiscard]] CalendarDate calendar(TimeSec t);
+
+/// Day-of-year (0-based) for the simulated instant, wrapping multi-year
+/// inputs back onto the 2020 calendar.
+[[nodiscard]] int day_of_year(TimeSec t);
+
+/// "MM-DD hh:mm:ss" rendering, for reports.
+[[nodiscard]] std::string format_time(TimeSec t);
+
+/// True when t falls in the paper's "summer window" used for Figures 11/12
+/// (July 24 to Sept 30, 2020).
+[[nodiscard]] bool in_summer_window(TimeSec t);
+
+}  // namespace exawatt::util

@@ -1,0 +1,79 @@
+#include "util/text_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace exawatt::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  EXA_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  EXA_CHECK(cells.size() == header_.size(),
+            "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "") << row[c]
+         << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_si(double v, const char* unit, int precision) {
+  static constexpr struct {
+    double scale;
+    const char* prefix;
+  } kScales[] = {{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""}};
+  const double a = std::fabs(v);
+  for (const auto& s : kScales) {
+    if (a >= s.scale || s.scale == 1.0) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.*f %s%s", precision, v / s.scale,
+                    s.prefix, unit);
+      return buf;
+    }
+  }
+  return fmt_double(v, precision) + unit;
+}
+
+std::string fmt_bar(double v, double vmax, int width) {
+  if (vmax <= 0.0 || v <= 0.0 || width <= 0) return "";
+  int n = static_cast<int>(std::lround(v / vmax * width));
+  n = std::clamp(n, 0, width);
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+}  // namespace exawatt::util

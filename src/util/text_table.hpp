@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace exawatt::util {
+
+/// Fixed-layout ASCII table used by the bench harnesses to print the same
+/// rows/series the paper's figures report.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column-aligned cells and a header rule.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+[[nodiscard]] std::string fmt_double(double v, int precision = 3);
+[[nodiscard]] std::string fmt_si(double v, const char* unit,
+                                 int precision = 2);
+/// Sparkline-style horizontal bar of width proportional to v/vmax.
+[[nodiscard]] std::string fmt_bar(double v, double vmax, int width = 40);
+
+}  // namespace exawatt::util

@@ -1,0 +1,32 @@
+#include "util/varint.hpp"
+
+namespace exawatt::util {
+
+std::size_t varint_encode(std::uint64_t v, std::vector<std::uint8_t>& out) {
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+    ++n;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+  return n + 1;
+}
+
+bool varint_decode(std::span<const std::uint8_t> in, std::size_t& pos,
+                   std::uint64_t& out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (pos < in.size() && shift < 64) {
+    const std::uint8_t b = in[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace exawatt::util

@@ -1,0 +1,57 @@
+#include "workload/allocation_index.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace exawatt::workload {
+
+AllocationIndex::AllocationIndex(const std::vector<Job>& jobs,
+                                 util::TimeRange window, int machine_nodes) {
+  EXA_CHECK(machine_nodes > 0, "allocation index needs a machine");
+  per_node_.resize(static_cast<std::size_t>(machine_nodes));
+  for (const auto& job : jobs) {
+    if (job.start < 0) continue;
+    if (!job.interval().overlaps(window)) continue;
+    int rank = 0;
+    for (const auto& r : job.nodes) {
+      for (int i = 0; i < r.count; ++i, ++rank) {
+        const machine::NodeId n = r.first + i;
+        if (n >= 0 && n < machine_nodes) {
+          per_node_[static_cast<std::size_t>(n)].push_back(
+              {job.start, job.end, &job, rank});
+        }
+      }
+    }
+  }
+  for (auto& spans : per_node_) {
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return a.begin < b.begin; });
+  }
+}
+
+const Job* AllocationIndex::job_at(machine::NodeId node, util::TimeSec t,
+                                   int* rank) const {
+  const auto& spans = per_node_[static_cast<std::size_t>(node)];
+  // Last span starting at or before t.
+  auto it = std::upper_bound(
+      spans.begin(), spans.end(), t,
+      [](util::TimeSec v, const Span& s) { return v < s.begin; });
+  if (it == spans.begin()) return nullptr;
+  --it;
+  if (t >= it->begin && t < it->end) {
+    if (rank != nullptr) *rank = it->rank;
+    return it->job;
+  }
+  return nullptr;
+}
+
+const std::vector<AllocationIndex::Span>& AllocationIndex::spans(
+    machine::NodeId node) const {
+  EXA_CHECK(node >= 0 &&
+                node < static_cast<machine::NodeId>(per_node_.size()),
+            "node out of range");
+  return per_node_[static_cast<std::size_t>(node)];
+}
+
+}  // namespace exawatt::workload

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "machine/topology.hpp"
+#include "util/sim_time.hpp"
+#include "workload/job.hpp"
+
+namespace exawatt::workload {
+
+/// Per-node allocation lookup over a bounded window — the join structure
+/// behind "which job ran on this node at this second" (paper Dataset D).
+/// Build cost and memory are proportional to the node-intervals of jobs
+/// overlapping the window, so keep windows bounded for full-scale runs.
+class AllocationIndex {
+ public:
+  AllocationIndex(const std::vector<Job>& jobs, util::TimeRange window,
+                  int machine_nodes);
+
+  /// Job running on `node` at time `t` (nullptr if idle). Also yields the
+  /// node's rank within the job when `rank` is non-null.
+  [[nodiscard]] const Job* job_at(machine::NodeId node, util::TimeSec t,
+                                  int* rank = nullptr) const;
+
+  /// All (job, rank) pairs that touch `node` within the window.
+  struct Span {
+    util::TimeSec begin;
+    util::TimeSec end;
+    const Job* job;
+    int rank;  ///< node's rank within the job's allocation
+  };
+  [[nodiscard]] const std::vector<Span>& spans(machine::NodeId node) const;
+
+ private:
+  std::vector<std::vector<Span>> per_node_;
+};
+
+}  // namespace exawatt::workload

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace exawatt::workload {
+
+/// Instantaneous component utilization of a job (averaged across its
+/// nodes). The power module converts this to watts.
+struct Utilization {
+  double cpu = 0.0;  ///< 0..1 of CPU package activity
+  double gpu = 0.0;  ///< 0..1 of GPU activity
+};
+
+/// Phase-structured synchronous-parallel behaviour: HPC applications
+/// alternate between compute bursts and communication/IO valleys in
+/// lockstep across their nodes — the root cause of the cluster-level
+/// power swings the paper quantifies (§4.2: ~200 s periods dominate;
+/// ~60 s spikes ride the 4 MW edges).
+struct PhaseProfile {
+  double period_s = 200.0;   ///< main compute/comm oscillation period
+  double duty = 0.7;         ///< fraction of a period at the high level
+  double ramp_s = 15.0;      ///< rise/fall time between levels
+  double cpu_low = 0.15;
+  double cpu_high = 0.35;
+  double gpu_low = 0.10;
+  double gpu_high = 0.85;
+  double spike_period_s = 0.0;  ///< optional short-period spike train
+  double spike_duty = 0.1;
+  double spike_gpu = 0.0;       ///< extra GPU util during a spike
+  double noise_sigma = 0.02;    ///< multiplicative per-sample jitter
+};
+
+/// An application archetype: the statistical fingerprint of one code
+/// (e.g. an LSMS-like GPU solver, a CPU-side climate code, an ML trainer).
+struct AppArchetype {
+  std::string name;
+  PhaseProfile phases;
+  util::TimeSec startup_s = 45;      ///< idle -> load ramp at job start
+  util::TimeSec checkpoint_every_s = 0;  ///< long dips (0 = none)
+  util::TimeSec checkpoint_len_s = 0;
+  bool is_ml = false;
+  /// Weight when drawing an app for a job of a given class (index 0 ==
+  /// class 1). Leadership codes rarely run at 4 nodes and vice versa.
+  std::array<double, 5> class_affinity = {1, 1, 1, 1, 1};
+};
+
+/// Evaluate an archetype's mean utilization at `t` seconds into a job.
+/// `job_key` decorrelates phase offsets between jobs deterministically.
+/// The final wind-down is modelled by the caller (scheduler knows the end).
+[[nodiscard]] Utilization evaluate_app(const AppArchetype& app,
+                                       util::TimeSec t_in_job,
+                                       std::uint64_t job_key);
+
+/// Built-in archetype catalog spanning the paper's behaviour classes:
+/// GPU-dominant leadership codes, CPU-heavy codes, deep-swing codes
+/// (edge generators), spiky mid-scale codes, ML trainers, IO-bound codes.
+[[nodiscard]] const std::vector<AppArchetype>& app_catalog();
+
+/// Index lookup by name (EXA_CHECK fails on unknown names).
+[[nodiscard]] std::size_t app_index(const std::string& name);
+
+}  // namespace exawatt::workload

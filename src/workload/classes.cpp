@@ -1,0 +1,42 @@
+#include "workload/classes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "machine/spec.hpp"
+#include "util/check.hpp"
+
+namespace exawatt::workload {
+
+int class_of(int nodes) {
+  EXA_CHECK(nodes >= 1, "job must use at least one node");
+  for (const auto& c : kSchedulingClasses) {
+    if (nodes >= c.min_nodes) return c.id;
+  }
+  return 5;
+}
+
+const SchedulingClass& scheduling_class(int id) {
+  EXA_CHECK(id >= 1 && id <= 5, "scheduling class id must be 1..5");
+  return kSchedulingClasses[static_cast<std::size_t>(id - 1)];
+}
+
+SchedulingClass scaled_class(int id, int machine_nodes) {
+  const SchedulingClass& c = scheduling_class(id);
+  if (machine_nodes >= machine::SummitSpec::kNodes) return c;
+  const double f = static_cast<double>(machine_nodes) /
+                   static_cast<double>(machine::SummitSpec::kNodes);
+  SchedulingClass s = c;
+  s.min_nodes = std::max(1, static_cast<int>(std::floor(c.min_nodes * f)));
+  s.max_nodes = std::max(s.min_nodes,
+                         static_cast<int>(std::ceil(c.max_nodes * f)));
+  // Preserve the class-5 floor of one node and keep bands disjoint.
+  if (id < 5) {
+    const SchedulingClass below = scaled_class(id + 1, machine_nodes);
+    s.min_nodes = std::max(s.min_nodes, below.max_nodes + 1);
+    s.max_nodes = std::max(s.max_nodes, s.min_nodes);
+  }
+  return s;
+}
+
+}  // namespace exawatt::workload

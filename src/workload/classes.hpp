@@ -1,0 +1,37 @@
+#pragma once
+
+#include <array>
+
+#include "util/sim_time.hpp"
+
+namespace exawatt::workload {
+
+/// Summit scheduling classes by job node count (paper Table 3).
+/// Class 1 is the leadership band; classes 3-5 are "small-scale".
+struct SchedulingClass {
+  int id = 0;             ///< 1..5
+  int min_nodes = 0;
+  int max_nodes = 0;
+  util::TimeSec max_walltime = 0;
+};
+
+inline constexpr std::array<SchedulingClass, 5> kSchedulingClasses = {{
+    {1, 2765, 4608, 24 * util::kHour},
+    {2, 922, 2764, 24 * util::kHour},
+    {3, 92, 921, 12 * util::kHour},
+    {4, 46, 91, 6 * util::kHour},
+    {5, 1, 45, 2 * util::kHour},
+}};
+
+/// Class id (1..5) for a node count; node counts above the class-1 band
+/// also map to class 1 (full-system runs at 4,626 nodes exist in the log).
+[[nodiscard]] int class_of(int nodes);
+
+/// Class record by id (1..5).
+[[nodiscard]] const SchedulingClass& scheduling_class(int id);
+
+/// Scale a class's node band onto a smaller machine, preserving the
+/// fraction-of-machine semantics (used when tests run at 64-512 nodes).
+[[nodiscard]] SchedulingClass scaled_class(int id, int machine_nodes);
+
+}  // namespace exawatt::workload

@@ -1,0 +1,75 @@
+#include "workload/domain.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+#include "workload/app_model.hpp"
+
+namespace exawatt::workload {
+
+const std::vector<ScienceDomain>& domain_catalog() {
+  static const std::vector<ScienceDomain> catalog = [] {
+    auto ix = [](const char* n) { return app_index(n); };
+    std::vector<ScienceDomain> d;
+    d.push_back({"Materials",
+                 {{ix("gw-solver"), 5}, {ix("chem-dft"), 3}, {ix("md-spiky"), 2}}});
+    d.push_back({"Physics",
+                 {{ix("lattice-qcd"), 5}, {ix("gw-solver"), 2}, {ix("nuclear-transport"), 1}}});
+    d.push_back({"Chemistry",
+                 {{ix("chem-dft"), 5}, {ix("md-spiky"), 3}, {ix("md-replica"), 2}}});
+    d.push_back({"Fusion",
+                 {{ix("fusion-pic"), 5}, {ix("cfd-structured"), 2}}});
+    d.push_back({"Engineering",
+                 {{ix("cfd-structured"), 5}, {ix("climate-cpu"), 2}, {ix("io-pipeline"), 1}}});
+    d.push_back({"Computer Science",
+                 {{ix("ml-train"), 4}, {ix("debug-interactive"), 3}, {ix("io-pipeline"), 2}}});
+    d.push_back({"Earth Science",
+                 {{ix("climate-cpu"), 6}, {ix("cfd-structured"), 2}, {ix("io-pipeline"), 1}}});
+    d.push_back({"Astrophysics",
+                 {{ix("astro-hydro"), 5}, {ix("gw-solver"), 2}, {ix("ml-train"), 1}}});
+    d.push_back({"Biophysics",
+                 {{ix("md-spiky"), 5}, {ix("md-replica"), 3}, {ix("bio-genomics"), 2}}});
+    d.push_back({"Nuclear Physics",
+                 {{ix("nuclear-transport"), 5}, {ix("lattice-qcd"), 2}}});
+    d.push_back({"Biology",
+                 {{ix("bio-genomics"), 5}, {ix("ml-train"), 2}, {ix("md-spiky"), 2}}});
+    d.push_back({"Energy",
+                 {{ix("chem-dft"), 3}, {ix("cfd-structured"), 3}, {ix("climate-cpu"), 2}}});
+    d.push_back({"AI/ML",
+                 {{ix("ml-train"), 7}, {ix("bio-genomics"), 1}, {ix("debug-interactive"), 1}}});
+    d.push_back({"National Security",
+                 {{ix("nuclear-transport"), 3}, {ix("cfd-structured"), 2}, {ix("ml-train"), 2}}});
+    return d;
+  }();
+  return catalog;
+}
+
+std::vector<Project> generate_projects(std::size_t count, util::Rng rng) {
+  EXA_CHECK(count > 0, "need at least one project");
+  const auto& domains = domain_catalog();
+  std::vector<Project> projects;
+  projects.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    util::Rng r = rng.substream(/*kind=*/0x9a07ULL, i);
+    Project p;
+    p.id = static_cast<std::uint32_t>(i);
+    p.domain = r.uniform_index(domains.size());
+    const auto& mix = domains[p.domain].app_mix;
+    std::vector<double> weights;
+    weights.reserve(mix.size());
+    for (const auto& [app, w] : mix) weights.push_back(w);
+    p.preferred_app = mix[r.weighted_index(weights)].first;
+    p.scale_bias = r.normal(0.0, 0.6);
+    // Log-normal propensity: a handful of projects with irregular
+    // workloads dominate the failure-per-node-hour ranking (Figure 14).
+    p.failure_propensity = r.lognormal(0.0, 1.0);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3s%03zu",
+                  domains[p.domain].name.c_str(), i);
+    p.name = buf;
+    projects.push_back(std::move(p));
+  }
+  return projects;
+}
+
+}  // namespace exawatt::workload

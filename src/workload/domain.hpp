@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace exawatt::workload {
+
+/// DOE Office of Science domains Summit serves (paper §2 and Figure 8).
+/// Each domain carries an application mix: which archetypes its projects
+/// run and with what weight — this is what makes per-domain power/energy
+/// distributions differ in Figure 8.
+struct ScienceDomain {
+  std::string name;
+  /// (app catalog index, weight) pairs; see app_catalog().
+  std::vector<std::pair<std::size_t, double>> app_mix;
+};
+
+[[nodiscard]] const std::vector<ScienceDomain>& domain_catalog();
+
+/// A funded project (OLCF allocation): belongs to one domain, prefers a
+/// subset of its domain's apps, has a characteristic job scale, and a
+/// failure propensity multiplier (Figure 14 shows order-of-magnitude
+/// variation in failures per node-hour across projects).
+struct Project {
+  std::uint32_t id = 0;
+  std::string name;
+  std::size_t domain = 0;       ///< index into domain_catalog()
+  std::size_t preferred_app = 0;///< index into app_catalog()
+  double scale_bias = 0.0;      ///< shifts node-count draws up/down (z units)
+  double failure_propensity = 1.0;  ///< multiplies XID rates for its jobs
+};
+
+/// Deterministically generate `count` projects across the domains.
+[[nodiscard]] std::vector<Project> generate_projects(std::size_t count,
+                                                     util::Rng rng);
+
+}  // namespace exawatt::workload

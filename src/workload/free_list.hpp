@@ -1,0 +1,72 @@
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace exawatt::workload {
+
+/// Free-node bookkeeping as sorted, coalesced [first, first+count) ranges —
+/// shared by the baseline EASY-backfill scheduler and the power-aware
+/// variant.
+class FreeList {
+ public:
+  explicit FreeList(int nodes) : free_nodes_(nodes) {
+    ranges_.push_back({0, nodes});
+  }
+
+  [[nodiscard]] int free_nodes() const { return free_nodes_; }
+
+  /// First-fit allocation of `count` nodes; empty result if insufficient.
+  std::vector<NodeRange> allocate(int count) {
+    if (count > free_nodes_) return {};
+    std::vector<NodeRange> out;
+    int need = count;
+    std::size_t i = 0;
+    while (need > 0 && i < ranges_.size()) {
+      NodeRange& r = ranges_[i];
+      const int take = std::min(need, r.count);
+      out.push_back({r.first, take});
+      r.first += take;
+      r.count -= take;
+      need -= take;
+      if (r.count == 0) {
+        ranges_.erase(ranges_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    free_nodes_ -= count;
+    return out;
+  }
+
+  void release(const std::vector<NodeRange>& ranges) {
+    for (const auto& r : ranges) {
+      auto it = std::lower_bound(ranges_.begin(), ranges_.end(), r,
+                                 [](const NodeRange& a, const NodeRange& b) {
+                                   return a.first < b.first;
+                                 });
+      it = ranges_.insert(it, r);
+      if (it != ranges_.begin()) {
+        auto prev = it - 1;
+        if (prev->first + prev->count == it->first) {
+          prev->count += it->count;
+          it = ranges_.erase(it) - 1;
+        }
+      }
+      auto next = it + 1;
+      if (next != ranges_.end() && it->first + it->count == next->first) {
+        it->count += next->count;
+        ranges_.erase(next);
+      }
+      free_nodes_ += r.count;
+    }
+  }
+
+ private:
+  std::vector<NodeRange> ranges_;
+  int free_nodes_ = 0;
+};
+
+}  // namespace exawatt::workload

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "machine/spec.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+#include "workload/domain.hpp"
+#include "workload/job.hpp"
+
+namespace exawatt::workload {
+
+/// Arrival and runtime statistics of one scheduling class, at full Summit
+/// scale. Rates are scaled by machine fraction automatically.
+struct ClassMix {
+  double jobs_per_day = 0.0;
+  double median_runtime_s = 1800.0;  ///< log-normal median
+  double runtime_sigma = 0.8;        ///< log-normal sigma
+};
+
+/// Workload synthesis configuration. Defaults are calibrated so that a
+/// full-scale year produces ~840k jobs at ~87% node utilization with the
+/// class structure of paper Figures 6-8 (see DESIGN.md).
+struct WorkloadConfig {
+  machine::MachineScale scale = machine::MachineScale::full();
+  std::uint64_t seed = 42;
+  std::size_t project_count = 280;
+  /// index 0 == class 1. Calibration notes:
+  ///  - class 1: 80% of runtimes < 43 min (paper Fig 7)
+  ///  - class 2: 80% < ~3 h
+  ///  - class 5: visible probability mass at the 2 h wall-limit
+  std::array<ClassMix, 5> mix = {{
+      {8.0, 20 * 60.0, 0.90},
+      {11.0, 84 * 60.0, 0.91},
+      {50.0, 60 * 60.0, 0.90},
+      {100.0, 36 * 60.0, 0.80},
+      {2150.0, 18 * 60.0, 1.00},
+  }};
+  /// Global multiplier on arrival rates (load knob for experiments).
+  double arrival_scale = 1.0;
+};
+
+/// Generates the submission stream: every job's class, size, runtime,
+/// project, domain and application — everything except its start time and
+/// node placement, which the Scheduler assigns.
+class JobGenerator {
+ public:
+  explicit JobGenerator(WorkloadConfig config);
+
+  [[nodiscard]] const WorkloadConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<Project>& projects() const {
+    return projects_;
+  }
+
+  /// All submissions in [range.begin, range.end), sorted by submit time.
+  [[nodiscard]] std::vector<Job> generate(util::TimeRange range) const;
+
+  /// Draw a node count for a class on this machine scale (public for
+  /// tests; encodes the popular-count spikes at 4096, 1024, 1000, ...).
+  [[nodiscard]] int sample_node_count(int sched_class, util::Rng& rng) const;
+
+  /// Draw the natural runtime (before wall-limit) for a class.
+  [[nodiscard]] util::TimeSec sample_runtime(int sched_class,
+                                             util::Rng& rng) const;
+
+ private:
+  WorkloadConfig config_;
+  std::vector<Project> projects_;
+  std::vector<double> project_weights_;  ///< zipf-ish popularity
+};
+
+}  // namespace exawatt::workload

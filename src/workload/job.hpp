@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/topology.hpp"
+#include "util/sim_time.hpp"
+
+namespace exawatt::workload {
+
+using JobId = std::uint64_t;
+
+/// Contiguous block of allocated nodes [first, first + count).
+struct NodeRange {
+  machine::NodeId first = 0;
+  int count = 0;
+};
+
+/// One scheduler allocation — the C++ analogue of a row in the paper's
+/// Dataset C (job history) plus the per-node allocation of Dataset D
+/// (stored compactly as node ranges).
+struct Job {
+  JobId id = 0;
+  int sched_class = 5;            ///< 1..5 (Table 3)
+  int node_count = 0;
+  std::uint32_t project = 0;      ///< index into the project table
+  std::uint16_t domain = 0;       ///< science domain index
+  std::uint16_t app = 0;          ///< app archetype index
+  util::TimeSec submit = 0;
+  util::TimeSec start = -1;       ///< -1 until scheduled
+  util::TimeSec end = -1;
+  util::TimeSec requested_walltime = 0;
+  util::TimeSec natural_runtime = 0;  ///< runtime absent a wall-limit kill
+  std::uint64_t key = 0;          ///< deterministic phase/noise stream key
+  std::vector<NodeRange> nodes;   ///< filled by the scheduler
+
+  [[nodiscard]] util::TimeSec runtime() const {
+    return start >= 0 && end >= 0 ? end - start : 0;
+  }
+  [[nodiscard]] bool wall_killed() const {
+    return natural_runtime > requested_walltime;
+  }
+  [[nodiscard]] double node_hours() const {
+    return static_cast<double>(node_count) * static_cast<double>(runtime()) /
+           3600.0;
+  }
+  [[nodiscard]] util::TimeRange interval() const { return {start, end}; }
+
+  /// Expand the range-compressed allocation into explicit node ids.
+  [[nodiscard]] std::vector<machine::NodeId> node_list() const {
+    std::vector<machine::NodeId> out;
+    out.reserve(static_cast<std::size_t>(node_count));
+    for (const auto& r : nodes) {
+      for (int i = 0; i < r.count; ++i) out.push_back(r.first + i);
+    }
+    return out;
+  }
+  /// The node id at allocation rank `i` without materializing the list.
+  [[nodiscard]] machine::NodeId node_at(int i) const {
+    for (const auto& r : nodes) {
+      if (i < r.count) return r.first + i;
+      i -= r.count;
+    }
+    return -1;
+  }
+};
+
+}  // namespace exawatt::workload

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/spec.hpp"
+#include "util/sim_time.hpp"
+#include "workload/job.hpp"
+
+namespace exawatt::workload {
+
+/// Aggregate outcome of one scheduling run.
+struct SchedulerStats {
+  std::size_t scheduled = 0;     ///< jobs that received nodes
+  std::size_t backfilled = 0;    ///< started ahead of an older waiting job
+  std::size_t unscheduled = 0;   ///< still queued at the horizon
+  std::size_t max_queue_depth = 0;
+  double mean_wait_s = 0.0;
+  double utilization = 0.0;      ///< allocated node-seconds / capacity
+};
+
+/// LSF-like batch scheduler with FCFS + EASY backfill: the oldest waiting
+/// job gets a reservation at the earliest instant enough nodes free up;
+/// younger jobs may jump ahead only if they fit right now without pushing
+/// that reservation back. This is the allocation policy shaping the
+/// paper's job-history datasets (C/D).
+class Scheduler {
+ public:
+  explicit Scheduler(machine::MachineScale scale);
+
+  /// Assign start/end times and node ranges in-place. `jobs` must be
+  /// sorted by submit time. Jobs not started before `horizon` keep
+  /// start == -1. Running jobs are cut off at the horizon (end clamped),
+  /// mirroring an end-of-trace snapshot.
+  SchedulerStats run(std::vector<Job>& jobs, util::TimeSec horizon);
+
+ private:
+  machine::MachineScale scale_;
+};
+
+}  // namespace exawatt::workload

@@ -1,0 +1,284 @@
+// Focused unit tests of the core analysis functions on *synthetic*
+// inputs (no simulation): each analysis must compute exactly what its
+// definition says, independent of the models that normally feed it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/failure_analysis.hpp"
+#include "core/pue_analysis.hpp"
+#include "core/thermal_response.hpp"
+#include "util/rng.hpp"
+#include "workload/domain.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace exawatt;
+using failures::GpuFailureEvent;
+using failures::XidType;
+
+GpuFailureEvent event(XidType type, machine::NodeId node, int slot,
+                      util::TimeSec t = 0, std::uint32_t project = 0,
+                      double temp = 30.0, double z = 0.0) {
+  GpuFailureEvent ev;
+  ev.type = type;
+  ev.node = node;
+  ev.slot = slot;
+  ev.time = t;
+  ev.project = project;
+  ev.temp_c = temp;
+  ev.z_score = z;
+  return ev;
+}
+
+// ---------------------------------------------------- failure_composition
+
+TEST(FailureComposition, CountsAndTopNodeShare) {
+  std::vector<GpuFailureEvent> log;
+  for (int i = 0; i < 7; ++i) {
+    log.push_back(event(XidType::kMemoryPageFault, i % 2, 0));
+  }
+  log.push_back(event(XidType::kDoubleBitError, 5, 4));
+  const auto comp = core::failure_composition(log, 10);
+  ASSERT_EQ(comp.size(), failures::kXidTypeCount);
+  // Sorted by count: page faults first.
+  EXPECT_EQ(comp[0].type, XidType::kMemoryPageFault);
+  EXPECT_EQ(comp[0].count, 7u);
+  EXPECT_EQ(comp[0].max_per_node, 4u);  // node 0 got indices 0,2,4,6
+  EXPECT_NEAR(comp[0].max_per_node_share, 4.0 / 7.0, 1e-12);
+  EXPECT_EQ(comp[1].type, XidType::kDoubleBitError);
+  EXPECT_NEAR(comp[1].max_per_node_share, 1.0, 1e-12);
+}
+
+TEST(FailureComposition, EmptyLog) {
+  const auto comp = core::failure_composition({}, 4);
+  for (const auto& row : comp) {
+    EXPECT_EQ(row.count, 0u);
+    EXPECT_DOUBLE_EQ(row.max_per_node_share, 0.0);
+  }
+}
+
+// --------------------------------------------------- failure_correlation
+
+TEST(FailureCorrelation, PerfectCoOccurrence) {
+  // Types A and B always strike the same nodes; C strikes others.
+  std::vector<GpuFailureEvent> log;
+  for (machine::NodeId n : {1, 3, 5, 7}) {
+    for (int k = 0; k < n; ++k) {
+      log.push_back(event(XidType::kDoubleBitError, n, 0));
+      log.push_back(event(XidType::kPageRetirementEvent, n, 0));
+    }
+  }
+  log.push_back(event(XidType::kNvlinkError, 2, 0));
+  const auto corr = core::failure_correlation(log, 10);
+  const auto dbe = static_cast<std::size_t>(XidType::kDoubleBitError);
+  const auto pre = static_cast<std::size_t>(XidType::kPageRetirementEvent);
+  const auto nvl = static_cast<std::size_t>(XidType::kNvlinkError);
+  EXPECT_NEAR(corr.matrix.at(dbe, pre).r, 1.0, 1e-9);
+  EXPECT_TRUE(corr.matrix.at(dbe, pre).significant);
+  EXPECT_LT(std::fabs(corr.matrix.at(dbe, nvl).r), 0.5);
+  // Count vectors exposed for inspection.
+  EXPECT_DOUBLE_EQ(corr.per_node_counts[dbe][7], 7.0);
+}
+
+// ------------------------------------------------- project_failure_rates
+
+TEST(ProjectRates, NormalizesByNodeHours) {
+  std::vector<workload::Job> jobs(2);
+  jobs[0].project = 1;
+  jobs[0].node_count = 10;
+  jobs[0].start = 0;
+  jobs[0].end = 10 * util::kHour;  // 100 node-hours
+  jobs[0].id = 1;
+  jobs[1].project = 2;
+  jobs[1].node_count = 100;
+  jobs[1].start = 0;
+  jobs[1].end = 10 * util::kHour;  // 1000 node-hours
+  jobs[1].id = 2;
+
+  std::vector<GpuFailureEvent> log;
+  for (int i = 0; i < 10; ++i) {
+    auto ev = event(XidType::kMemoryPageFault, 0, 0);
+    ev.project = 1;
+    log.push_back(ev);
+    ev.project = 2;
+    log.push_back(ev);
+  }
+  util::Rng rng(1);
+  const auto projects = workload::generate_projects(3, rng);
+  const auto rates =
+      core::project_failure_rates(log, jobs, projects, false, 10);
+  ASSERT_EQ(rates.size(), 2u);
+  // Same counts, 10x less exposure -> project 1 ranks first at 10x rate.
+  EXPECT_EQ(rates[0].project, 1u);
+  EXPECT_NEAR(rates[0].failures_per_node_hour /
+                  rates[1].failures_per_node_hour,
+              10.0, 1e-9);
+}
+
+TEST(ProjectRates, HardwareOnlyFilters) {
+  std::vector<workload::Job> jobs(1);
+  jobs[0].project = 1;
+  jobs[0].node_count = 10;
+  jobs[0].start = 0;
+  jobs[0].end = util::kHour;
+  std::vector<GpuFailureEvent> log;
+  auto app = event(XidType::kMemoryPageFault, 0, 0);
+  app.project = 1;
+  auto hw = event(XidType::kDoubleBitError, 0, 0);
+  hw.project = 1;
+  log.push_back(app);
+  log.push_back(app);
+  log.push_back(hw);
+  util::Rng rng(1);
+  const auto projects = workload::generate_projects(2, rng);
+  const auto all = core::project_failure_rates(log, jobs, projects, false, 5);
+  const auto hw_only =
+      core::project_failure_rates(log, jobs, projects, true, 5);
+  EXPECT_NEAR(all[0].failures_per_node_hour, 0.3, 1e-9);
+  EXPECT_NEAR(hw_only[0].failures_per_node_hour, 0.1, 1e-9);
+}
+
+// ---------------------------------------------------- thermal_extremity
+
+TEST(ThermalExtremity, SkewAndSixtyDegreeShare) {
+  std::vector<GpuFailureEvent> log;
+  // Right-skewed z sample for DBE; two hot page faults.
+  const double zs[] = {-0.5, -0.4, -0.3, -0.2, 0.0, 0.1, 0.3, 2.5, 3.0};
+  for (double z : zs) {
+    log.push_back(event(XidType::kDoubleBitError, 1, 0, 0, 0, 40.0 + z, z));
+  }
+  log.push_back(event(XidType::kMemoryPageFault, 2, 0, 0, 0, 65.0, 0.0));
+  log.push_back(event(XidType::kMemoryPageFault, 2, 0, 0, 0, 30.0, 0.0));
+  const auto ext = core::thermal_extremity(log);
+  const auto& dbe = ext[static_cast<std::size_t>(XidType::kDoubleBitError)];
+  EXPECT_GT(dbe.z_skewness, 0.5);
+  EXPECT_DOUBLE_EQ(dbe.max_temp_c, 43.0);
+  const auto& mpf = ext[static_cast<std::size_t>(XidType::kMemoryPageFault)];
+  EXPECT_NEAR(mpf.share_above_60c, 0.5, 1e-12);
+}
+
+TEST(ThermalExtremity, ExcludesOffenderNode) {
+  std::vector<GpuFailureEvent> log;
+  for (int i = 0; i < 5; ++i) {
+    log.push_back(event(XidType::kNvlinkError, 9, 0));
+    log.push_back(event(XidType::kNvlinkError, 1, 0));
+  }
+  const auto ext = core::thermal_extremity(log, /*exclude_node=*/9);
+  const auto& nvl = ext[static_cast<std::size_t>(XidType::kNvlinkError)];
+  EXPECT_EQ(nvl.z_scores.size(), 5u);  // only node 1's events remain
+}
+
+// -------------------------------------------------------- slot_placement
+
+TEST(SlotPlacement, CountsPerSlot) {
+  std::vector<GpuFailureEvent> log;
+  for (int s = 0; s < 6; ++s) {
+    for (int k = 0; k <= s; ++k) {
+      log.push_back(event(XidType::kFallenOffBus, 0, s));
+    }
+  }
+  log.push_back(event(XidType::kDoubleBitError, 0, 0));  // other type
+  const auto slots = core::slot_placement(log, XidType::kFallenOffBus);
+  for (std::size_t s = 0; s < 6; ++s) {
+    EXPECT_EQ(slots[s], s + 1);
+  }
+}
+
+// ------------------------------------------------------ spatial_breakdown
+
+TEST(SpatialBreakdown, CoordinatesSumToFilteredTotal) {
+  machine::Topology topo(machine::MachineScale::small(360));
+  std::vector<GpuFailureEvent> log;
+  // 30 events spread over nodes with step 7 (coprime with the 18-node
+  // cabinet height, so heights are visited uniformly).
+  for (int i = 0; i < 30; ++i) {
+    log.push_back(event(XidType::kMemoryPageFault, (i * 7) % 360, 0));
+  }
+  const auto sb = core::spatial_breakdown(log, topo, false);
+  std::uint64_t rows = 0;
+  std::uint64_t heights = 0;
+  for (auto c : sb.by_row) rows += c;
+  for (auto c : sb.by_height) heights += c;
+  EXPECT_EQ(rows, 30u);
+  EXPECT_EQ(heights, 30u);
+  EXPECT_LT(sb.height_peak_ratio, 3.5);
+}
+
+// ------------------------------------------------------------ year_trend
+
+TEST(YearTrend, WeeklyBucketsAndSeasonSplit) {
+  // Two synthetic weeks: constant 4 MW winter, 8 MW summer-equivalent.
+  const std::size_t per_week = 7 * 24 * 6;  // 10-minute windows
+  ts::Frame cluster(0, 600, 2 * per_week);
+  std::vector<double> p(2 * per_week, 4e6);
+  for (std::size_t i = per_week; i < 2 * per_week; ++i) p[i] = 8e6;
+  cluster.set("input_power_w", std::move(p));
+  ts::Frame cep(0, 600, 2 * per_week);
+  std::vector<double> pue(2 * per_week, 1.1);
+  cep.set("pue", std::move(pue));
+  cep.set("tower_tons", std::vector<double>(2 * per_week, 100.0));
+  cep.set("chiller_tons", std::vector<double>(2 * per_week, 0.0));
+
+  const auto trend = core::year_trend(cluster, cep);
+  ASSERT_EQ(trend.weeks.size(), 2u);
+  EXPECT_NEAR(trend.weeks[0].power_mw.median, 4.0, 1e-9);
+  EXPECT_NEAR(trend.weeks[1].power_mw.median, 8.0, 1e-9);
+  EXPECT_NEAR(trend.mean_power_mw, 6.0, 1e-9);
+  EXPECT_NEAR(trend.mean_pue, 1.1, 1e-9);
+  // Energy: 4 MW for a week = 0.672 GWh.
+  EXPECT_NEAR(trend.weeks[0].energy_gwh, 4e6 * 7 * 24 * 3600 / 3.6e12, 1e-6);
+  EXPECT_DOUBLE_EQ(trend.weeks[0].chiller_share, 0.0);
+  EXPECT_DOUBLE_EQ(trend.chiller_weeks_fraction, 0.0);
+}
+
+TEST(YearTrend, RejectsMismatchedGrids) {
+  ts::Frame cluster(0, 600, 10);
+  cluster.set("input_power_w", std::vector<double>(10, 1e6));
+  ts::Frame cep(0, 300, 10);
+  cep.set("pue", std::vector<double>(10, 1.1));
+  cep.set("tower_tons", std::vector<double>(10, 1.0));
+  cep.set("chiller_tons", std::vector<double>(10, 0.0));
+  EXPECT_THROW(core::year_trend(cluster, cep), util::CheckError);
+}
+
+// --------------------------------------------------- cluster_thermal_frame
+
+TEST(ClusterThermal, StepResponseLagsAndSettles) {
+  // Synthetic GPU power step: per-GPU 60 W -> 270 W at window 50.
+  const int nodes = 100;
+  const std::size_t n = 200;
+  const double gpus = nodes * 6.0;
+  const double cpus = nodes * 2.0;
+  ts::Frame cluster(0, 10, n);
+  std::vector<double> gpu_w(n, 60.0 * gpus);
+  for (std::size_t i = 50; i < n; ++i) gpu_w[i] = 270.0 * gpus;
+  cluster.set("gpu_power_w", std::move(gpu_w));
+  cluster.set("cpu_power_w", std::vector<double>(n, 120.0 * cpus));
+  cluster.set("input_power_w", std::vector<double>(n, 0.0));
+  cluster.set("alloc_nodes", std::vector<double>(n, nodes));
+  ts::Frame cep(0, 10, n);
+  cep.set("mtw_supply_c", std::vector<double>(n, 20.0));
+
+  const auto temps = core::cluster_thermal_frame(cluster, cep, nodes);
+  const auto& mean = temps.at("gpu_mean_c");
+  const auto& max = temps.at("gpu_max_c");
+  // Before the step: settled near 20 + 0.062*60 + chain.
+  EXPECT_NEAR(mean[49], 20.0 + 0.062 * 60.0 + 0.004 * 60.0, 0.5);
+  // Right after the step the mean has not yet settled...
+  EXPECT_LT(mean[51], mean[199] - 1.0);
+  // ...and the max keeps rising after the mean has mostly settled.
+  const double mean_rise_90 =
+      mean[49] + 0.9 * (mean[199] - mean[49]);
+  std::size_t mean_settle = 50;
+  while (mean_settle < n && mean[mean_settle] < mean_rise_90) ++mean_settle;
+  EXPECT_LT(max[mean_settle], max[199] - 0.5)
+      << "max should still be climbing when the mean has settled";
+  // CPU stays flat (its power never changed).
+  const auto& cpu = temps.at("cpu_mean_c");
+  EXPECT_NEAR(cpu[49], cpu[199], 0.2);
+}
+
+}  // namespace

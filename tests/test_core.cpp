@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/edges.hpp"
+#include "core/fingerprint.hpp"
+#include "core/job_features.hpp"
+#include "core/msb_validation.hpp"
+#include "core/pue_analysis.hpp"
+#include "core/simulation.hpp"
+#include "core/snapshots.hpp"
+#include "core/spectral.hpp"
+#include "core/thermal_response.hpp"
+#include "core/variability.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+// ------------------------------------------------------------------ Edges
+
+ts::Series step_series(double lo, double hi, std::size_t rise_at,
+                       std::size_t fall_at, std::size_t n) {
+  std::vector<double> v(n, lo);
+  for (std::size_t i = rise_at; i < fall_at && i < n; ++i) v[i] = hi;
+  return ts::Series(0, 10, std::move(v));
+}
+
+TEST(Edges, DetectsSingleRisingAndFalling) {
+  // 100 nodes, 1 kW/node swing: well above 868 W/node.
+  const auto s = step_series(100e3, 200e3, 20, 60, 100);
+  const auto edges = core::detect_edges(s, 100.0);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_TRUE(edges[0].rising);
+  EXPECT_FALSE(edges[1].rising);
+  EXPECT_NEAR(edges[0].amplitude_w, 100e3, 1.0);
+  EXPECT_EQ(edges[0].start, 190);  // step between windows 19 and 20
+}
+
+TEST(Edges, BelowThresholdIgnored) {
+  // 500 W/node swing < 868 W/node.
+  const auto s = step_series(100e3, 150e3, 20, 60, 100);
+  EXPECT_TRUE(core::detect_edges(s, 100.0).empty());
+}
+
+TEST(Edges, ThresholdScalesWithNodes) {
+  const auto s = step_series(100e3, 150e3, 20, 60, 100);  // 50 kW swing
+  // For a 10-node job the same swing is 5 kW/node: an edge.
+  EXPECT_FALSE(core::detect_edges(s, 10.0).empty());
+}
+
+TEST(Edges, DurationIsEightyPercentReturn) {
+  // Rise at window 20, plateau, decay linearly from window 30 to 50.
+  std::vector<double> v(80, 100e3);
+  for (std::size_t i = 20; i < 30; ++i) v[i] = 200e3;
+  for (std::size_t i = 30; i < 50; ++i) {
+    v[i] = 200e3 - 5e3 * static_cast<double>(i - 29);
+  }
+  for (std::size_t i = 50; i < 80; ++i) v[i] = 100e3;
+  const auto edges = core::detect_edges(ts::Series(0, 10, v), 100.0);
+  ASSERT_GE(edges.size(), 1u);
+  const auto& e = edges[0];
+  EXPECT_TRUE(e.rising);
+  EXPECT_TRUE(e.returned);
+  // 80% return: power back to 100e3 + 0.2*100e3 = 120e3, reached at
+  // window 45 (200 - 5*16 = 120). Duration = (45 - 19) * 10 s.
+  EXPECT_NEAR(static_cast<double>(e.duration_s), 260.0, 20.0);
+}
+
+TEST(Edges, MergesMultiStepRamp) {
+  // Two consecutive 1 kW/node steps: one edge of 2 kW/node amplitude.
+  std::vector<double> v(50, 100e3);
+  for (std::size_t i = 20; i < 50; ++i) v[i] = 200e3;
+  v[20] = 150e3;  // intermediate step
+  // Re-level everything after 21 to 200e3 (already done) -> steps of
+  // 50 kW then 50 kW.
+  const auto edges = core::detect_edges(ts::Series(0, 10, v), 50.0);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_NEAR(edges[0].amplitude_w, 100e3, 1.0);
+}
+
+TEST(Edges, UnreturnedEdgeExtendsToSeriesEnd) {
+  const auto s = step_series(100e3, 200e3, 20, 100, 100);  // never falls
+  const auto edges = core::detect_edges(s, 100.0);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_FALSE(edges[0].returned);
+  EXPECT_EQ(edges[0].duration_s, s.time_at(s.size() - 1) - edges[0].start);
+}
+
+TEST(Edges, RejectsBadArguments) {
+  const auto s = step_series(0, 1, 0, 1, 10);
+  EXPECT_THROW(core::detect_edges(s, 0.0), util::CheckError);
+  core::EdgeOptions bad;
+  bad.return_fraction = 0.0;
+  EXPECT_THROW(core::detect_edges(s, 10.0, bad), util::CheckError);
+}
+
+// --------------------------------------------------------------- Spectral
+
+TEST(Spectral, RecoversOscillationPeriod) {
+  // 200 s square-ish oscillation on a 10 s grid.
+  std::vector<double> v(512);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = 1e6 + 2e5 * std::sin(2.0 * M_PI * static_cast<double>(i) / 20.0);
+  }
+  const auto spec = core::job_spectrum(ts::Series(0, 10, v));
+  ASSERT_TRUE(spec.valid);
+  EXPECT_NEAR(spec.frequency_hz, 0.005, 0.0006);
+  EXPECT_GT(spec.amplitude_w, 1e4);
+}
+
+TEST(Spectral, TooShortIsInvalid) {
+  const auto spec = core::job_spectrum(ts::Series(0, 10, {1, 2, 3}));
+  EXPECT_FALSE(spec.valid);
+}
+
+// -------------------------------------------------------------- Snapshots
+
+TEST(Snapshots, CollectsAmplitudeBins) {
+  // Synthetic cluster series: one 2 MW and one 5 MW rising edge.
+  std::vector<double> v(200, 5e6);
+  for (std::size_t i = 40; i < 70; ++i) v[i] = 7e6;
+  for (std::size_t i = 120; i < 160; ++i) v[i] = 10e6;
+  ts::Series power(0, 10, std::move(v));
+  core::SnapshotOptions opts;
+  opts.edges.per_node_threshold_w = 100.0;
+  const auto sets = core::collect_edge_sets(power, 4626.0, true, opts);
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0].amplitude_mw, 2);
+  EXPECT_EQ(sets[1].amplitude_mw, 5);
+  EXPECT_EQ(sets[0].at.size(), 1u);
+}
+
+TEST(Snapshots, SuperimposedWindowAlignsAtEdge) {
+  std::vector<double> v(200, 5e6);
+  for (std::size_t i = 40; i < 70; ++i) v[i] = 7e6;
+  ts::Series power(0, 10, std::move(v));
+  core::SnapshotOptions opts;
+  opts.edges.per_node_threshold_w = 100.0;
+  const auto sets = core::collect_edge_sets(power, 4626.0, true, opts);
+  ASSERT_EQ(sets.size(), 1u);
+  const auto band = core::superimpose_column(power, sets[0], opts);
+  // Window: 6 samples before, edge at index 6, 24 after.
+  ASSERT_EQ(band.mean.size(), 31u);
+  EXPECT_NEAR(band.mean[0], 5e6, 1.0);   // -60 s
+  EXPECT_NEAR(band.mean[6], 5e6, 1.0);   // the pre-edge sample
+  EXPECT_NEAR(band.mean[7], 7e6, 1.0);   // first post-edge sample
+}
+
+TEST(Snapshots, EdgeNearSeriesBoundaryPadsWithNan) {
+  std::vector<double> v(30, 1e6);
+  for (std::size_t i = 2; i < 30; ++i) v[i] = 7e6;
+  ts::Series power(0, 10, std::move(v));
+  core::SnapshotOptions opts;
+  opts.edges.per_node_threshold_w = 100.0;
+  const auto sets = core::collect_edge_sets(power, 4626.0, true, opts);
+  ASSERT_EQ(sets.size(), 1u);
+  const auto band = core::superimpose_column(power, sets[0], opts);
+  // Band exists; the first offsets had no data but must not be NaN in
+  // the mean (they are simply computed from zero snapshots -> 0).
+  EXPECT_EQ(band.snapshots, 1u);
+}
+
+// ----------------------------------------------------- Simulation plumbing
+
+core::SimulationConfig tiny_config() {
+  core::SimulationConfig config;
+  config.scale = machine::MachineScale::small(128);
+  config.seed = 31;
+  config.range = {0, 2 * util::kDay};
+  return config;
+}
+
+TEST(Simulation, JobsCachedAndDeterministic) {
+  core::Simulation a(tiny_config());
+  core::Simulation b(tiny_config());
+  EXPECT_EQ(a.jobs().size(), b.jobs().size());
+  EXPECT_EQ(&a.jobs(), &a.jobs());  // cached
+  EXPECT_GT(a.scheduler_stats().scheduled, 0u);
+}
+
+TEST(Simulation, ClusterAndCepFramesShareGrid) {
+  core::Simulation sim(tiny_config());
+  const auto cluster = sim.cluster_frame({0, util::kDay}, {.dt = 300});
+  const auto cep = sim.cep_frame(cluster);
+  EXPECT_EQ(cluster.rows(), cep.rows());
+  EXPECT_EQ(cluster.dt(), cep.dt());
+  EXPECT_GT(cep.at("pue")[10], 1.0);
+}
+
+TEST(Simulation, FailureLogCached) {
+  core::Simulation sim(tiny_config());
+  const auto& a = sim.failure_log();
+  const auto& b = sim.failure_log();
+  EXPECT_EQ(&a, &b);
+}
+
+// ------------------------------------------------------------ JobFeatures
+
+TEST(JobFeatures, SummariesOnlyForScheduledJobs) {
+  core::Simulation sim(tiny_config());
+  const auto summaries = core::summarize_jobs(sim.jobs());
+  std::size_t scheduled = 0;
+  for (const auto& j : sim.jobs()) {
+    if (j.start >= 0 && j.end > j.start) ++scheduled;
+  }
+  EXPECT_EQ(summaries.size(), scheduled);
+}
+
+TEST(JobFeatures, FeatureExtractionAndCdf) {
+  core::Simulation sim(tiny_config());
+  const auto summaries = core::summarize_jobs(sim.jobs());
+  const auto cdf = core::feature_cdf(summaries, core::JobFeature::kMaxPowerW);
+  EXPECT_GT(cdf.p80, 0.0);
+  EXPECT_GE(cdf.max, cdf.p80);
+  const auto nodes = core::feature(summaries, core::JobFeature::kNodeCount);
+  for (double n : nodes) EXPECT_GE(n, 1.0);
+  const auto diff =
+      core::feature(summaries, core::JobFeature::kMaxMinusMeanW);
+  for (double d : diff) EXPECT_GE(d, -1e-9);
+}
+
+TEST(JobFeatures, ByClassPartition) {
+  core::Simulation sim(tiny_config());
+  const auto summaries = core::summarize_jobs(sim.jobs());
+  std::size_t total = 0;
+  for (int cls = 1; cls <= 5; ++cls) {
+    total += core::by_class(summaries, cls).size();
+  }
+  EXPECT_EQ(total, summaries.size());
+}
+
+// ---------------------------------------------------------- MSB validation
+
+TEST(MsbValidation, ReproducesFigure4Shape) {
+  core::Simulation sim(tiny_config());
+  const machine::Topology topo(sim.scale());
+  const facility::MsbModel msb(topo, 4);
+  const auto result = core::validate_msbs(sim.jobs(), topo, msb,
+                                          {util::kDay / 2, util::kDay}, 10);
+  ASSERT_EQ(result.per_msb.size(), 5u);
+  for (const auto& cmp : result.per_msb) {
+    EXPECT_LT(cmp.mean_diff_w, 0.0);          // summation over-reads
+    EXPECT_GT(cmp.phase_correlation, 0.99);   // in-phase
+    EXPECT_GT(cmp.relative_diff, 0.05);
+    EXPECT_LT(cmp.relative_diff, 0.18);       // ~11% in the paper
+    EXPECT_LT(cmp.std_diff_w, std::fabs(cmp.mean_diff_w));
+  }
+  EXPECT_LT(result.overall_mean_diff_w, 0.0);
+}
+
+// ------------------------------------------------------------ PUE analysis
+
+TEST(PueAnalysis, WeeklyRollupsCoverRange) {
+  core::SimulationConfig config = tiny_config();
+  config.range = {0, 3 * util::kWeek};
+  core::Simulation sim(config);
+  const auto cluster = sim.cluster_frame(config.range, {.dt = 1800});
+  const auto cep = sim.cep_frame(cluster);
+  const auto trend = core::year_trend(cluster, cep);
+  EXPECT_EQ(trend.weeks.size(), 3u);
+  EXPECT_GT(trend.mean_power_mw, 0.0);
+  EXPECT_GT(trend.mean_pue, 1.0);
+  EXPECT_LT(trend.mean_pue, 1.5);
+  for (const auto& w : trend.weeks) {
+    EXPECT_GT(w.power_mw.median, 0.0);
+    EXPECT_GE(w.max_power_mw, w.power_mw.median);
+    EXPECT_GE(w.energy_gwh, 0.0);
+  }
+}
+
+// --------------------------------------------------------- Thermal frames
+
+TEST(ThermalResponse, GpuTracksAndCpuFlat) {
+  core::SimulationConfig config = tiny_config();
+  core::Simulation sim(config);
+  const auto cluster = sim.cluster_frame({0, util::kDay / 2}, {.dt = 10});
+  const auto cep = sim.cep_frame(cluster);
+  const auto temps =
+      core::cluster_thermal_frame(cluster, cep, config.scale.nodes);
+  ASSERT_EQ(temps.rows(), cluster.rows());
+  const auto& gpu_mean = temps.at("gpu_mean_c");
+  const auto& gpu_max = temps.at("gpu_max_c");
+  const auto& cpu_mean = temps.at("cpu_mean_c");
+  double gpu_lo = 1e9;
+  double gpu_hi = -1e9;
+  double cpu_lo = 1e9;
+  double cpu_hi = -1e9;
+  for (std::size_t i = 10; i < temps.rows(); ++i) {
+    EXPECT_GT(gpu_max[i], gpu_mean[i]);
+    gpu_lo = std::min(gpu_lo, gpu_mean[i]);
+    gpu_hi = std::max(gpu_hi, gpu_mean[i]);
+    cpu_lo = std::min(cpu_lo, cpu_mean[i]);
+    cpu_hi = std::max(cpu_hi, cpu_mean[i]);
+  }
+  EXPECT_GT(gpu_hi - gpu_lo, 1.5 * (cpu_hi - cpu_lo));  // CPU flatter
+  EXPECT_LT(gpu_hi, 60.0);
+}
+
+TEST(ThermalResponse, RejectsMismatchedFrames) {
+  ts::Frame cluster(0, 10, 5);
+  cluster.set("gpu_power_w", std::vector<double>(5, 1e5));
+  cluster.set("cpu_power_w", std::vector<double>(5, 1e5));
+  ts::Frame cep(0, 20, 5);
+  cep.set("mtw_supply_c", std::vector<double>(5, 20.0));
+  EXPECT_THROW(core::cluster_thermal_frame(cluster, cep, 100),
+               util::CheckError);
+}
+
+// ------------------------------------------------------------- Variability
+
+TEST(Variability, StudyOfLargestJob) {
+  core::SimulationConfig config = tiny_config();
+  core::Simulation sim(config);
+  const workload::Job* exemplar =
+      core::select_exemplar(sim.jobs(), config.scale.nodes / 3, 5.0, 600.0);
+  ASSERT_NE(exemplar, nullptr);
+  const power::FleetVariability fleet(config.scale, 11);
+  const thermal::FleetThermal thermals(config.scale, 12);
+  const auto study = core::variability_study(*exemplar, fleet, thermals);
+  EXPECT_EQ(study.snapshots.size(), 6u);
+  for (const auto& s : study.snapshots) {
+    EXPECT_GT(s.gpu_power_w.median, 0.0);
+    EXPECT_GT(s.gpu_temp_c.median, 20.0);
+    EXPECT_GT(s.power_temp_corr, 0.0);  // monotone power-temp relation
+    EXPECT_GT(s.temp_spread_c, 1.0);
+  }
+  EXPECT_GT(study.share_below_60c, 0.95);
+  EXPECT_EQ(study.snapshots[0].cabinet_mean_c.size(),
+            static_cast<std::size_t>(thermals.topology().cabinets()));
+}
+
+TEST(Variability, SelectExemplarFiltersByRuntime) {
+  core::SimulationConfig config = tiny_config();
+  core::Simulation sim(config);
+  EXPECT_EQ(core::select_exemplar(sim.jobs(), 1, 0.0, 0.001), nullptr);
+  const auto* any = core::select_exemplar(sim.jobs(), 1, 1.0, 10000.0);
+  ASSERT_NE(any, nullptr);
+}
+
+// ------------------------------------------------------------- Fingerprint
+
+TEST(Fingerprint, FeaturesFiniteAndClassSensitive) {
+  core::Simulation sim(tiny_config());
+  const auto summaries = core::summarize_jobs(sim.jobs());
+  ASSERT_GT(summaries.size(), 50u);
+  for (const auto& s : summaries) {
+    const auto f = core::fingerprint_of(s);
+    for (double v : f.v) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Fingerprint, KmeansPartitionsAllPoints) {
+  core::Simulation sim(tiny_config());
+  const auto summaries = core::summarize_jobs(sim.jobs());
+  std::vector<core::Fingerprint> prints;
+  for (const auto& s : summaries) prints.push_back(core::fingerprint_of(s));
+  const auto c = core::cluster_fingerprints(prints, 6);
+  EXPECT_EQ(c.assignment.size(), prints.size());
+  EXPECT_EQ(c.centroids.size(), 6u);
+  for (int a : c.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 6);
+  }
+  EXPECT_GT(c.inertia, 0.0);
+  EXPECT_GT(c.app_purity, 1.0 / 14.0);  // better than random guessing
+}
+
+TEST(Fingerprint, MoreClustersLowerInertia) {
+  core::Simulation sim(tiny_config());
+  const auto summaries = core::summarize_jobs(sim.jobs());
+  std::vector<core::Fingerprint> prints;
+  for (const auto& s : summaries) prints.push_back(core::fingerprint_of(s));
+  const auto c2 = core::cluster_fingerprints(prints, 2);
+  const auto c10 = core::cluster_fingerprints(prints, 10);
+  EXPECT_LT(c10.inertia, c2.inertia);
+}
+
+TEST(Fingerprint, RejectsBadK) {
+  std::vector<core::Fingerprint> two(2);
+  EXPECT_THROW(core::cluster_fingerprints(two, 3), util::CheckError);
+  EXPECT_THROW(core::cluster_fingerprints(two, 0), util::CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/report.hpp"
+#include "core/simulation.hpp"
+#include "datasets/export.hpp"
+#include "datasets/import.hpp"
+#include "datasets/schema.hpp"
+#include "power/cluster.hpp"
+#include "telemetry/pipeline.hpp"
+#include "workload/generator.hpp"
+#include "workload/scheduler.hpp"
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ------------------------------------------------------------- CSV reader
+
+TEST(CsvReader, RoundTripWithWriter) {
+  const std::string path = temp_path("exawatt_csv_rt.csv");
+  {
+    util::CsvWriter w(path, {"name", "value"});
+    w.add_row(std::vector<std::string>{"plain", "1.5"});
+    w.add_row(std::vector<std::string>{"with,comma", "2.5"});
+    w.add_row(std::vector<std::string>{"say \"hi\"", "3.5"});
+  }
+  util::CsvReader r(path);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.rows(), 3u);
+  EXPECT_EQ(r.header()[0], "name");
+  EXPECT_EQ(r.text(1, 0), "with,comma");
+  EXPECT_EQ(r.text(2, 0), "say \"hi\"");
+  EXPECT_DOUBLE_EQ(r.number(0, r.column("value")), 1.5);
+  EXPECT_THROW(r.column("nope"), util::CheckError);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvReader, MissingFileNotOk) {
+  util::CsvReader r("/nonexistent/file.csv");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvSplit, HandlesQuotingRules) {
+  const auto plain = util::csv_split("a,b,c");
+  ASSERT_EQ(plain.size(), 3u);
+  EXPECT_EQ(plain[1], "b");
+  const auto quoted = util::csv_split("\"a,b\",\"x\"\"y\"");
+  ASSERT_EQ(quoted.size(), 2u);
+  EXPECT_EQ(quoted[0], "a,b");
+  EXPECT_EQ(quoted[1], "x\"y");
+  const auto empty = util::csv_split("a,,c");
+  ASSERT_EQ(empty.size(), 3u);
+  EXPECT_EQ(empty[1], "");
+}
+
+// ---------------------------------------------------------------- Ranges
+
+TEST(Schema, RangeListRoundTrip) {
+  const std::vector<std::pair<std::int32_t, int>> ranges = {
+      {0, 18}, {100, 1}, {4000, 608}};
+  const std::string enc = datasets::encode_ranges(ranges);
+  EXPECT_EQ(enc, "0:18;100:1;4000:608");
+  const auto dec = datasets::decode_ranges(enc);
+  ASSERT_EQ(dec.size(), 3u);
+  EXPECT_EQ(dec[2].first, 4000);
+  EXPECT_EQ(dec[2].second, 608);
+  EXPECT_TRUE(datasets::decode_ranges("").empty());
+  EXPECT_THROW(datasets::decode_ranges("12;34"), util::CheckError);
+}
+
+// ----------------------------------------------------- Dataset round trip
+
+core::SimulationConfig dataset_config() {
+  core::SimulationConfig config;
+  config.scale = machine::MachineScale::small(128);
+  config.seed = 51;
+  config.range = {0, util::kDay};
+  config.failures.rate_scale = 20.0;
+  return config;
+}
+
+TEST(Datasets, JobsRoundTripExactly) {
+  core::Simulation sim(dataset_config());
+  const std::string path = temp_path("exawatt_jobs.csv");
+  const std::size_t rows = datasets::export_jobs(path, sim.jobs());
+  EXPECT_GT(rows, 100u);
+
+  const auto back = datasets::import_jobs(path);
+  ASSERT_EQ(back.size(), rows);
+  std::size_t i = 0;
+  for (const auto& j : sim.jobs()) {
+    if (j.start < 0) continue;
+    const auto& b = back[i++];
+    EXPECT_EQ(b.id, j.id);
+    EXPECT_EQ(b.sched_class, j.sched_class);
+    EXPECT_EQ(b.node_count, j.node_count);
+    EXPECT_EQ(b.start, j.start);
+    EXPECT_EQ(b.end, j.end);
+    EXPECT_EQ(b.key, j.key);
+    EXPECT_EQ(b.nodes.size(), j.nodes.size());
+    for (std::size_t r = 0; r < j.nodes.size(); ++r) {
+      EXPECT_EQ(b.nodes[r].first, j.nodes[r].first);
+      EXPECT_EQ(b.nodes[r].count, j.nodes[r].count);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Datasets, ReimportedJobsReproducePowerSeries) {
+  // The power model is a pure function of the job record, so analyses
+  // rerun from files must match in-memory results bit for bit.
+  core::Simulation sim(dataset_config());
+  const std::string path = temp_path("exawatt_jobs2.csv");
+  datasets::export_jobs(path, sim.jobs());
+  const auto back = datasets::import_jobs(path);
+
+  const auto a = power::cluster_power_frame(sim.jobs(), sim.scale(),
+                                            {0, util::kDay / 2}, {.dt = 300});
+  const auto b = power::cluster_power_frame(back, sim.scale(),
+                                            {0, util::kDay / 2}, {.dt = 300});
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.at("input_power_w")[i], b.at("input_power_w")[i]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Datasets, XidLogRoundTrip) {
+  core::Simulation sim(dataset_config());
+  const auto& log = sim.failure_log();
+  ASSERT_GT(log.size(), 20u);
+  const std::string path = temp_path("exawatt_xid.csv");
+  datasets::export_xid_log(path, log);
+  const auto back = datasets::import_xid_log(path);
+  ASSERT_EQ(back.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(back[i].time, log[i].time);
+    EXPECT_EQ(back[i].type, log[i].type);
+    EXPECT_EQ(back[i].node, log[i].node);
+    EXPECT_EQ(back[i].slot, log[i].slot);
+    EXPECT_NEAR(back[i].temp_c, log[i].temp_c, 1e-3);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Datasets, ClusterSeriesRoundTrip) {
+  core::Simulation sim(dataset_config());
+  const auto cluster = sim.cluster_frame({0, util::kDay / 4}, {.dt = 60});
+  const std::string path = temp_path("exawatt_cluster.csv");
+  datasets::export_cluster_series(path, cluster);
+  const ts::Series back = datasets::import_cluster_power(path);
+  ASSERT_EQ(back.size(), cluster.rows());
+  EXPECT_EQ(back.dt(), 60);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_NEAR(back[i], cluster.at("input_power_w")[i],
+                1e-6 * cluster.at("input_power_w")[i]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Datasets, ExportRejectsBadPath) {
+  core::Simulation sim(dataset_config());
+  EXPECT_THROW(datasets::export_jobs("/nonexistent/dir/jobs.csv", sim.jobs()),
+               util::CheckError);
+  EXPECT_THROW(datasets::import_jobs("/nonexistent/jobs.csv"),
+               util::CheckError);
+}
+
+// ------------------------------------------------------------------ Flags
+
+TEST(Flags, ParsesCommandAndValues) {
+  // Note: a bare "--flag" consumes a following non-dash token as its
+  // value, so positionals must precede bare flags (or use --flag=value).
+  const char* argv[] = {"tool", "simulate", "--nodes", "512",
+                        "--days=2.5", "extra", "--verbose"};
+  util::Flags flags(7, argv);
+  EXPECT_EQ(flags.command(), "simulate");
+  EXPECT_EQ(flags.get_int("nodes", 0), 512);
+  EXPECT_DOUBLE_EQ(flags.get_number("days", 0.0), 2.5);
+  EXPECT_TRUE(flags.has("verbose"));
+  EXPECT_FALSE(flags.has("missing"));
+  EXPECT_EQ(flags.get("missing", "dflt"), "dflt");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "extra");
+}
+
+TEST(Flags, NoCommand) {
+  const char* argv[] = {"tool", "--x", "1"};
+  util::Flags flags(3, argv);
+  EXPECT_TRUE(flags.command().empty());
+  EXPECT_EQ(flags.get_int("x", 0), 1);
+}
+
+// ----------------------------------------------------------------- Report
+
+TEST(Report, FloorHeatmapShapesAndNan) {
+  machine::Topology topo(machine::MachineScale::small(72));  // 4 cabinets
+  std::vector<double> values(4, 25.0);
+  values[2] = std::numeric_limits<double>::quiet_NaN();
+  values[3] = 35.0;
+  const std::string map = core::floor_heatmap(topo, values, 20.0, 40.0);
+  EXPECT_NE(map.find('.'), std::string::npos);  // the NaN cell
+  EXPECT_NE(map.find("scale:"), std::string::npos);
+  std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW(core::floor_heatmap(topo, wrong), util::CheckError);
+}
+
+TEST(Report, SparklineSpansLevels) {
+  std::vector<double> v(100);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  const std::string line = core::sparkline(ts::Series(0, 1, v), 40);
+  EXPECT_EQ(line.size(), 40u);
+  EXPECT_EQ(line.front(), ' ');  // minimum level
+  EXPECT_EQ(line.back(), '@');   // maximum level
+  EXPECT_TRUE(core::sparkline(ts::Series(), 10).empty());
+}
+
+
+TEST(Datasets, NodeAggregatesExport) {
+  // Run a short telemetry window and export Dataset 0 for two nodes.
+  workload::WorkloadConfig cfg;
+  cfg.scale = machine::MachineScale::small(32);
+  cfg.seed = 3;
+  workload::JobGenerator gen(cfg);
+  auto jobs = gen.generate({0, util::kDay / 8});
+  workload::Scheduler sched(cfg.scale);
+  sched.run(jobs, util::kDay / 8);
+  const util::TimeRange window = {util::kHour, util::kHour + 120};
+  workload::AllocationIndex alloc(jobs, window, cfg.scale.nodes);
+  power::FleetVariability fleet(cfg.scale, 1);
+  thermal::FleetThermal thermals(cfg.scale, 2);
+  machine::Topology topo(cfg.scale);
+  facility::MsbModel msb(topo, 3);
+  telemetry::Pipeline pipeline({0, 1}, alloc, fleet, thermals, msb);
+  (void)pipeline.run(window);
+
+  const std::string path = temp_path("exawatt_ds0.csv");
+  const int power_ch =
+      telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
+  const std::size_t rows = datasets::export_node_aggregates(
+      path, pipeline.archive(), {0, 1}, {power_ch}, window);
+  // Two nodes x 12 windows of 10 s.
+  EXPECT_EQ(rows, 24u);
+  util::CsvReader r(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.rows(), rows);
+  const auto c_count = r.column("count");
+  const auto c_mean = r.column("mean");
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(r.number(i, c_count), 10.0);
+    EXPECT_GT(r.number(i, c_mean), 300.0);
+  }
+  std::filesystem::remove(path);
+}
+}  // namespace

@@ -1,0 +1,449 @@
+// Tests for the beyond-the-paper extensions: cross-correlation lag
+// analysis, telemetry loss injection, GPU thermal throttling, the
+// power-aware scheduler, and queued-job power prediction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/failure_analysis.hpp"
+#include "core/job_features.hpp"
+#include "core/prediction.hpp"
+#include "core/simulation.hpp"
+#include "power/power_aware_scheduler.hpp"
+#include "stats/xcorr.hpp"
+#include "telemetry/aggregator.hpp"
+#include "telemetry/inband.hpp"
+#include "telemetry/node_sampler.hpp"
+#include "telemetry/pipeline.hpp"
+#include "thermal/node_thermal.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+// ------------------------------------------------------------------ xcorr
+
+TEST(Xcorr, AutocorrelationOfPeriodicSignal) {
+  std::vector<double> x(400);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 20.0);
+  }
+  const auto r = stats::autocorrelation(x, 40);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_NEAR(r[20], 1.0, 0.12);   // one full period
+  EXPECT_NEAR(r[10], -1.0, 0.12);  // half period
+}
+
+TEST(Xcorr, AutocorrelationOfNoiseDecays) {
+  util::Rng rng(3);
+  std::vector<double> x(2000);
+  for (auto& v : x) v = rng.normal();
+  const auto r = stats::autocorrelation(x, 10);
+  for (std::size_t k = 1; k <= 10; ++k) EXPECT_LT(std::fabs(r[k]), 0.1);
+}
+
+TEST(Xcorr, EstimateLagRecoversShift) {
+  util::Rng rng(4);
+  std::vector<double> x(1000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(static_cast<double>(i) * 0.05) + 0.1 * rng.normal();
+  }
+  for (int shift : {0, 3, 7, 15}) {
+    std::vector<double> y(x.size(), 0.0);
+    for (std::size_t i = static_cast<std::size_t>(shift); i < y.size(); ++i) {
+      y[i] = x[i - static_cast<std::size_t>(shift)] + 0.1 * rng.normal();
+    }
+    const auto lag = stats::estimate_lag(x, y, 30);
+    EXPECT_EQ(lag.lag, shift);
+    EXPECT_GT(lag.correlation, 0.8);
+  }
+}
+
+TEST(Xcorr, EstimateLagNegativeDirection) {
+  std::vector<double> x(500);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = std::sin(static_cast<double>(i) * 0.07);
+  }
+  for (std::size_t i = 5; i < x.size(); ++i) x[i] = y[i - 5];
+  // x lags y by 5 -> y leads -> estimate_lag(x, y) should be negative.
+  const auto lag = stats::estimate_lag(x, y, 20);
+  EXPECT_EQ(lag.lag, -5);
+}
+
+TEST(Xcorr, SpearmanMonotoneInvariance) {
+  // Spearman is invariant under monotone transforms; Pearson is not.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 50; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.2 * i));  // strongly convex but monotone
+  }
+  EXPECT_NEAR(stats::spearman(x, y), 1.0, 1e-9);
+}
+
+TEST(Xcorr, SpearmanHandlesTies) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {1, 2, 2, 3};
+  EXPECT_NEAR(stats::spearman(x, y), 1.0, 1e-9);
+  const std::vector<double> anti = {3, 2, 2, 1};
+  EXPECT_NEAR(stats::spearman(x, anti), -1.0, 1e-9);
+}
+
+TEST(Xcorr, RejectsBadInputs) {
+  const std::vector<double> tiny = {1.0, 2.0};
+  EXPECT_THROW(stats::autocorrelation(tiny, 5), util::CheckError);
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {1, 2};
+  EXPECT_THROW(stats::spearman(a, b), util::CheckError);
+}
+
+// ------------------------------------------------------------ Throttling
+
+TEST(Throttle, InactiveBelowOnset) {
+  EXPECT_DOUBLE_EQ(thermal::throttle_factor(40.0), 1.0);
+  EXPECT_DOUBLE_EQ(thermal::throttle_factor(83.0), 1.0);
+}
+
+TEST(Throttle, LinearDerateAboveOnset) {
+  thermal::ThermalParams p;
+  const double mid =
+      thermal::throttle_factor(0.5 * (p.throttle_onset_c + p.throttle_limit_c),
+                               p);
+  EXPECT_NEAR(mid, 0.5 * (1.0 + p.throttle_floor), 1e-9);
+  EXPECT_DOUBLE_EQ(thermal::throttle_factor(200.0, p), p.throttle_floor);
+}
+
+TEST(Throttle, NeverEngagesUnderNormalCooling) {
+  // Drive a loaded node through the sampler at the nominal 20 C supply:
+  // temperatures must never reach the throttle band (the paper: the
+  // facility overcools so throttling/shutdowns never happen).
+  workload::WorkloadConfig cfg;
+  cfg.scale = machine::MachineScale::small(32);
+  cfg.seed = 7;
+  workload::JobGenerator gen(cfg);
+  auto jobs = gen.generate({0, util::kDay / 6});
+  workload::Scheduler sched(cfg.scale);
+  sched.run(jobs, util::kDay / 6);
+  const util::TimeRange window = {util::kHour, util::kHour + 300};
+  workload::AllocationIndex alloc(jobs, window, cfg.scale.nodes);
+  power::FleetVariability fleet(cfg.scale, 1);
+  thermal::FleetThermal thermals(cfg.scale, 2);
+  machine::Topology topo(cfg.scale);
+  facility::MsbModel msb(topo, 3);
+  telemetry::NodeSampler sampler(0, alloc, fleet, thermals, msb, 20.0);
+  for (util::TimeSec t = window.begin; t < window.end; ++t) {
+    (void)sampler.sample(t);
+    for (double c : sampler.temps().gpu_c) {
+      EXPECT_LT(c, thermals.params().throttle_onset_c);
+    }
+  }
+}
+
+TEST(Throttle, EngagesUnderWarmWaterFailureInjection) {
+  // Failure injection: feed 70 C "coolant" (e.g. a failed plant) and
+  // verify the closed loop derates GPU power rather than diverging.
+  workload::WorkloadConfig cfg;
+  cfg.scale = machine::MachineScale::small(32);
+  cfg.seed = 7;
+  workload::JobGenerator gen(cfg);
+  auto jobs = gen.generate({0, util::kDay / 6});
+  workload::Scheduler sched(cfg.scale);
+  sched.run(jobs, util::kDay / 6);
+  const util::TimeRange window = {util::kHour, util::kHour + 600};
+  workload::AllocationIndex alloc(jobs, window, cfg.scale.nodes);
+  power::FleetVariability fleet(cfg.scale, 1);
+  thermal::FleetThermal thermals(cfg.scale, 2);
+  machine::Topology topo(cfg.scale);
+  facility::MsbModel msb(topo, 3);
+
+  // Find a node busy during the window.
+  machine::NodeId busy = -1;
+  for (machine::NodeId n = 0; n < cfg.scale.nodes; ++n) {
+    if (alloc.job_at(n, window.begin + 300) != nullptr) {
+      busy = n;
+      break;
+    }
+  }
+  ASSERT_GE(busy, 0);
+
+  telemetry::NodeSampler hot(busy, alloc, fleet, thermals, msb, 70.0);
+  telemetry::NodeSampler cool(busy, alloc, fleet, thermals, msb, 20.0);
+  double hot_gpu_w = 0.0;
+  double cool_gpu_w = 0.0;
+  double hottest = 0.0;
+  for (util::TimeSec t = window.begin; t < window.end; ++t) {
+    const auto rh = hot.sample(t);
+    const auto rc = cool.sample(t);
+    const int ch = telemetry::channel_of(telemetry::MetricKind::kGpuPower, 0);
+    hot_gpu_w += rh.values[static_cast<std::size_t>(ch)];
+    cool_gpu_w += rc.values[static_cast<std::size_t>(ch)];
+    for (double c : hot.temps().gpu_c) hottest = std::max(hottest, c);
+  }
+  EXPECT_GT(hottest, thermals.params().throttle_onset_c);  // it did run hot
+  EXPECT_LT(hottest, 110.0);                               // but bounded
+  EXPECT_LT(hot_gpu_w, 0.97 * cool_gpu_w);                 // derated power
+}
+
+// -------------------------------------------------------- Telemetry loss
+
+TEST(TelemetryLoss, RandomLossDropsConfiguredFraction) {
+  telemetry::Collector collector(
+      {.mean_delay_s = 2.5, .max_delay_s = 5.0, .loss_fraction = 0.2});
+  std::vector<telemetry::MetricEvent> events;
+  for (int i = 0; i < 20000; ++i) {
+    events.push_back({telemetry::metric_id(i % 64, i % 100), i / 64, 1});
+  }
+  const auto arrivals = collector.ingest(events);
+  const double kept = static_cast<double>(arrivals.size()) /
+                      static_cast<double>(events.size());
+  EXPECT_NEAR(kept, 0.8, 0.02);
+  EXPECT_EQ(collector.dropped() + arrivals.size(), events.size());
+}
+
+TEST(TelemetryLoss, OutageSilencesNodeWindow) {
+  telemetry::Collector collector;
+  collector.add_outage({.node = 3, .window = {100, 200}});
+  std::vector<telemetry::MetricEvent> events = {
+      {telemetry::metric_id(3, 0), 150, 1},   // dropped (outage)
+      {telemetry::metric_id(3, 0), 250, 1},   // kept (after window)
+      {telemetry::metric_id(4, 0), 150, 1},   // kept (other node)
+  };
+  const auto arrivals = collector.ingest(events);
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(collector.dropped(), 1u);
+}
+
+TEST(TelemetryLoss, AggregationTolerantToHoles) {
+  // Coarsening over a lossy stream still produces windows (sample-and-
+  // hold bridges holes), just as the paper's analysis survived its
+  // spring-2020 data loss.
+  workload::WorkloadConfig cfg;
+  cfg.scale = machine::MachineScale::small(16);
+  cfg.seed = 9;
+  workload::JobGenerator gen(cfg);
+  auto jobs = gen.generate({0, util::kDay / 8});
+  workload::Scheduler sched(cfg.scale);
+  sched.run(jobs, util::kDay / 8);
+  const util::TimeRange window = {util::kHour, util::kHour + 300};
+  workload::AllocationIndex alloc(jobs, window, cfg.scale.nodes);
+  power::FleetVariability fleet(cfg.scale, 1);
+  thermal::FleetThermal thermals(cfg.scale, 2);
+  machine::Topology topo(cfg.scale);
+  facility::MsbModel msb(topo, 3);
+  telemetry::Pipeline pipeline({0, 1}, alloc, fleet, thermals, msb, 20.0,
+                               {.loss_fraction = 0.5});
+  (void)pipeline.run(window);
+  const auto agg = telemetry::aggregate_metric(
+      pipeline.archive(),
+      telemetry::metric_id(0, telemetry::channel_of(
+                                  telemetry::MetricKind::kInputPower, 0)),
+      window);
+  std::size_t nonempty = 0;
+  for (std::size_t w = 0; w < agg.size(); ++w) {
+    if (agg[w].count > 0) ++nonempty;
+  }
+  EXPECT_GT(nonempty, agg.size() / 2);
+}
+
+// ------------------------------------------------- Power-aware scheduler
+
+std::vector<workload::Job> two_day_jobs(machine::MachineScale scale) {
+  workload::WorkloadConfig cfg;
+  cfg.scale = scale;
+  cfg.seed = 77;
+  workload::JobGenerator gen(cfg);
+  return gen.generate({0, 2 * util::kDay});
+}
+
+TEST(PowerAware, UncappedMatchesBaselineShape) {
+  const auto scale = machine::MachineScale::small(512);
+  auto jobs_a = two_day_jobs(scale);
+  auto jobs_b = jobs_a;
+  workload::Scheduler base(scale);
+  power::PowerAwareScheduler aware(scale, {.cluster_cap_w = 0.0});
+  const auto sa = base.run(jobs_a, 2 * util::kDay);
+  const auto sb = aware.run(jobs_b, 2 * util::kDay);
+  EXPECT_EQ(sa.scheduled, sb.base.scheduled);
+  EXPECT_NEAR(sa.utilization, sb.base.utilization, 1e-9);
+  EXPECT_EQ(sb.power_blocked, 0u);
+}
+
+TEST(PowerAware, CapNeverExceededByCommittedPeaks) {
+  const auto scale = machine::MachineScale::small(512);
+  auto jobs = two_day_jobs(scale);
+  const double cap = 0.75e6;  // ~0.75 MW for a 512-node machine
+  power::PowerAwareScheduler aware(scale, {.cluster_cap_w = cap});
+  const auto stats = aware.run(jobs, 2 * util::kDay);
+  EXPECT_LE(stats.peak_committed_w, cap + 1.0);
+  EXPECT_GT(stats.power_blocked, 0u);
+}
+
+TEST(PowerAware, CapReducesRealizedPeak) {
+  const auto scale = machine::MachineScale::small(512);
+  auto uncapped = two_day_jobs(scale);
+  auto capped = uncapped;
+  power::PowerAwareScheduler a(scale, {.cluster_cap_w = 0.0});
+  power::PowerAwareScheduler b(scale, {.cluster_cap_w = 0.8e6});
+  a.run(uncapped, 2 * util::kDay);
+  b.run(capped, 2 * util::kDay);
+  auto peak_of = [&](const std::vector<workload::Job>& jobs) {
+    const auto frame = power::cluster_power_frame(
+        jobs, scale, {0, 2 * util::kDay}, {.dt = 300, .subsamples = 2});
+    double peak = 0.0;
+    const auto& p = frame.at("input_power_w");
+    for (std::size_t i = 0; i < p.size(); ++i) peak = std::max(peak, p[i]);
+    return peak;
+  };
+  const double peak_uncapped = peak_of(uncapped);
+  const double peak_capped = peak_of(capped);
+  EXPECT_LT(peak_capped, peak_uncapped);
+  EXPECT_LT(peak_capped, 0.85e6);  // estimate headroom holds realized peak
+}
+
+TEST(PowerAware, EstimatedPeakBoundsRealizedJobPower) {
+  const auto scale = machine::MachineScale::small(256);
+  auto jobs = two_day_jobs(scale);
+  workload::Scheduler sched(scale);
+  sched.run(jobs, 2 * util::kDay);
+  int checked = 0;
+  for (const auto& j : jobs) {
+    if (j.start < 0 || checked >= 50) continue;
+    ++checked;
+    const auto s = power::summarize_job(j, 10);
+    EXPECT_LE(s.max_power_w,
+              power::estimated_peak_power_w(j) * 1.08)  // noise margin
+        << "job " << j.id;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+// -------------------------------------------------------------- Predictor
+
+TEST(Predictor, LearnsProjectPortraits) {
+  core::SimulationConfig config;
+  config.scale = machine::MachineScale::small(256);
+  config.seed = 15;
+  config.range = {0, 5 * util::kDay};
+  core::Simulation sim(config);
+  const auto all = core::summarize_jobs(sim.jobs());
+  ASSERT_GT(all.size(), 500u);
+  const std::size_t split = all.size() * 3 / 4;
+  const std::vector<power::JobPowerSummary> train(all.begin(),
+                                                  all.begin() + split);
+  const std::vector<power::JobPowerSummary> test(all.begin() + split,
+                                                 all.end());
+  core::PowerPredictor predictor(train);
+  EXPECT_GT(predictor.portraits(), 10u);
+  const auto eval = predictor.evaluate(test);
+  EXPECT_GT(eval.jobs, 100u);
+  EXPECT_LT(eval.mape_mean, eval.baseline_mape_mean);
+  EXPECT_LT(eval.mape_mean, 0.35);
+}
+
+TEST(Predictor, PredictionScalesWithNodeCount) {
+  std::vector<power::JobPowerSummary> train;
+  for (int i = 0; i < 10; ++i) {
+    power::JobPowerSummary s;
+    s.project = 1;
+    s.sched_class = 5;
+    s.node_count = 4;
+    s.mean_power_w = 4 * 1000.0;
+    s.max_power_w = 4 * 1500.0;
+    train.push_back(s);
+  }
+  core::PowerPredictor predictor(train);
+  const auto p4 = predictor.predict(1, 5, 4);
+  const auto p8 = predictor.predict(1, 5, 8);
+  EXPECT_TRUE(p4.from_portrait);
+  EXPECT_NEAR(p8.mean_power_w, 2.0 * p4.mean_power_w, 1e-6);
+  EXPECT_NEAR(p4.mean_power_w, 4000.0, 1e-6);
+}
+
+TEST(Predictor, ColdProjectFallsBackWithWideUncertainty) {
+  std::vector<power::JobPowerSummary> train;
+  for (int i = 0; i < 20; ++i) {
+    power::JobPowerSummary s;
+    s.project = 1;
+    s.sched_class = 5;
+    s.node_count = 2;
+    s.mean_power_w = 2 * 900.0;
+    s.max_power_w = 2 * 1200.0;
+    train.push_back(s);
+  }
+  core::PowerPredictor predictor(train);
+  const auto cold = predictor.predict(/*project=*/999, 5, 2);
+  EXPECT_FALSE(cold.from_portrait);
+  EXPECT_GE(cold.uncertainty, 0.5);
+  EXPECT_GT(cold.mean_power_w, 0.0);
+}
+
+TEST(Predictor, RejectsBadInputs) {
+  EXPECT_THROW(core::PowerPredictor({}), util::CheckError);
+  std::vector<power::JobPowerSummary> one(1);
+  one[0].node_count = 2;
+  one[0].mean_power_w = 100.0;
+  one[0].max_power_w = 150.0;
+  core::PowerPredictor p(one);
+  EXPECT_THROW(p.predict(0, 5, 0), util::CheckError);
+}
+
+
+// ------------------------------------------------------- In-band model
+
+TEST(Inband, OutOfBandIsFree) {
+  EXPECT_DOUBLE_EQ(telemetry::inband_slowdown(0.0, 100, 4608), 0.0);
+  EXPECT_DOUBLE_EQ(telemetry::inband_slowdown(1.0, 0, 4608), 0.0);
+}
+
+TEST(Inband, GrowsWithRateAndScale) {
+  const double s1 = telemetry::inband_slowdown(1.0, 100, 1);
+  const double s2 = telemetry::inband_slowdown(2.0, 100, 1);
+  EXPECT_NEAR(s2 / s1, 2.0, 1e-9);  // linear in sample rate
+  const double small = telemetry::inband_slowdown(1.0, 100, 8);
+  const double large = telemetry::inband_slowdown(1.0, 100, 4608);
+  EXPECT_GT(large, small);  // noise amplification with node count
+  EXPECT_LE(telemetry::inband_slowdown(1e9, 100, 4608), 1.0);  // saturates
+}
+
+TEST(Inband, LostNodeHoursScalesWithUtilization) {
+  const double a = telemetry::inband_lost_node_hours_per_year(
+      1.0, 100, 4626, 0.4, 64.0);
+  const double b = telemetry::inband_lost_node_hours_per_year(
+      1.0, 100, 4626, 0.8, 64.0);
+  EXPECT_NEAR(b / a, 2.0, 1e-9);
+  EXPECT_THROW(telemetry::inband_lost_node_hours_per_year(1.0, 100, 4626,
+                                                          1.5, 64.0),
+               util::CheckError);
+}
+
+// --------------------------------------------------- Spatial breakdown
+
+TEST(SpatialBreakdown, FlatForHealthyFleetSpikyWithDefects) {
+  core::SimulationConfig config;
+  config.scale = machine::MachineScale::small(360);
+  config.seed = 23;
+  config.range = {0, util::kWeek};
+  config.failures.rate_scale = 80.0;
+  core::Simulation sim(config);
+  const machine::Topology topo(config.scale);
+  const auto& log = sim.failure_log();
+  ASSERT_GT(log.size(), 500u);
+
+  const auto healthy = core::spatial_breakdown(log, topo, true);
+  const auto raw = core::spatial_breakdown(log, topo, false);
+  // Counts cover all three coordinates.
+  std::uint64_t total = 0;
+  for (auto c : healthy.by_height) total += c;
+  EXPECT_GT(total, 0u);
+  EXPECT_EQ(healthy.by_height.size(), 18u);
+  // Excluding defect-heavy nodes flattens the distribution (the NVLink
+  // super-offender dominates one cell otherwise).
+  EXPECT_LE(healthy.column_peak_ratio, raw.column_peak_ratio + 1e-9);
+  EXPECT_LT(healthy.height_peak_ratio, 3.0);
+}
+}  // namespace

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "facility/cep.hpp"
+#include "facility/cooling.hpp"
+#include "facility/msb.hpp"
+#include "facility/weather.hpp"
+#include "util/check.hpp"
+#include "util/welford.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+// ---------------------------------------------------------------- Weather
+
+TEST(Weather, SeasonalCycle) {
+  facility::Weather w(7);
+  util::Welford january;
+  util::Welford july;
+  for (int d = 0; d < 28; ++d) {
+    january.add(w.wet_bulb_c((d + 5) * util::kDay));
+    july.add(w.wet_bulb_c((d + 185) * util::kDay));
+  }
+  EXPECT_LT(january.mean(), 8.0);
+  EXPECT_GT(july.mean(), 17.0);
+  EXPECT_GT(july.mean() - january.mean(), 10.0);
+}
+
+TEST(Weather, DiurnalCycle) {
+  facility::Weather w(7);
+  const util::TimeSec noon = 200 * util::kDay + 15 * util::kHour;
+  const util::TimeSec predawn = 200 * util::kDay + 4 * util::kHour;
+  EXPECT_GT(w.wet_bulb_c(noon), w.wet_bulb_c(predawn));
+}
+
+TEST(Weather, DryBulbAboveWetBulb) {
+  facility::Weather w(7);
+  for (int d = 0; d < 366; d += 13) {
+    const util::TimeSec t = d * util::kDay + 10 * util::kHour;
+    EXPECT_GT(w.dry_bulb_c(t), w.wet_bulb_c(t));
+  }
+}
+
+TEST(Weather, Deterministic) {
+  facility::Weather a(7);
+  facility::Weather b(7);
+  facility::Weather c(8);
+  EXPECT_DOUBLE_EQ(a.wet_bulb_c(1000000), b.wet_bulb_c(1000000));
+  EXPECT_NE(a.wet_bulb_c(1000000), c.wet_bulb_c(1000000));
+}
+
+// ---------------------------------------------------------------- Cooling
+
+TEST(Cooling, ChillerFractionByWetBulb) {
+  facility::CoolingPlant plant;
+  EXPECT_DOUBLE_EQ(plant.chiller_fraction(5.0), 0.0);   // winter
+  EXPECT_DOUBLE_EQ(plant.chiller_fraction(17.0), 0.0);  // at the knee
+  EXPECT_GT(plant.chiller_fraction(19.0), 0.0);
+  EXPECT_DOUBLE_EQ(plant.chiller_fraction(25.0), 1.0);  // deep summer
+}
+
+TEST(Cooling, WinterPueNearPaperValue) {
+  facility::CoolingPlant plant;
+  plant.reset(5.5e6, 5.0);
+  for (int i = 0; i < 600; ++i) plant.step(10, 5.5e6, 5.0);
+  EXPECT_NEAR(plant.state().pue, 1.11, 0.02);
+  EXPECT_LT(plant.state().chiller_tons, 1.0);
+}
+
+TEST(Cooling, SummerPueHigher) {
+  facility::CoolingPlant plant;
+  plant.reset(5.5e6, 23.0);
+  for (int i = 0; i < 600; ++i) plant.step(10, 5.5e6, 23.0);
+  EXPECT_GT(plant.state().pue, 1.2);
+  EXPECT_LT(plant.state().pue, 1.35);
+  EXPECT_GT(plant.state().chiller_tons, plant.state().tower_tons);
+}
+
+TEST(Cooling, ForcedChillersMimicMaintenance) {
+  facility::CoolingPlant plant;
+  plant.reset(5.5e6, 5.0);
+  for (int i = 0; i < 600; ++i) {
+    plant.step(10, 5.5e6, 5.0, /*force_chillers=*/true);
+  }
+  EXPECT_GT(plant.state().pue, 1.25);  // the paper's Feb 1.3 episode
+  EXPECT_LT(plant.state().tower_tons, 10.0);
+}
+
+TEST(Cooling, CapacityMatchesLoadAtSteadyState) {
+  facility::CoolingPlant plant;
+  plant.reset(8.0e6, 10.0);
+  for (int i = 0; i < 1200; ++i) plant.step(10, 8.0e6, 10.0);
+  const double tons = plant.state().tower_tons + plant.state().chiller_tons;
+  EXPECT_NEAR(tons * facility::kWattsPerTon, 8.0e6, 0.02 * 8.0e6);
+}
+
+TEST(Cooling, StagingLagOnRisingStep) {
+  facility::CoolingPlant plant;
+  plant.reset(4.0e6, 10.0);
+  const double before =
+      plant.state().tower_tons + plant.state().chiller_tons;
+  // Step the load up 4 MW; capacity must not respond within the return-
+  // sensor delay (~60 s), then catch up.
+  double at_30s = 0.0;
+  double at_600s = 0.0;
+  for (int i = 1; i <= 60; ++i) {
+    plant.step(10, 8.0e6, 10.0);
+    if (i == 3) {
+      at_30s = plant.state().tower_tons + plant.state().chiller_tons;
+    }
+  }
+  for (int i = 0; i < 540; ++i) plant.step(10, 8.0e6, 10.0);
+  at_600s = plant.state().tower_tons + plant.state().chiller_tons;
+  EXPECT_NEAR(at_30s, before, 0.15 * before);  // still near the old level
+  EXPECT_NEAR(at_600s * facility::kWattsPerTon, 8.0e6, 0.05 * 8.0e6);
+}
+
+TEST(Cooling, FallingEdgeAttenuatesSlower) {
+  facility::CoolingPlant rise;
+  facility::CoolingPlant fall;
+  rise.reset(4.0e6, 10.0);
+  fall.reset(8.0e6, 10.0);
+  // Same |delta|, opposite signs; compare progress after 90 s past the
+  // sensor delay.
+  for (int i = 0; i < 15; ++i) {
+    rise.step(10, 8.0e6, 10.0);
+    fall.step(10, 4.0e6, 10.0);
+  }
+  const double rise_progress =
+      (rise.state().tower_tons + rise.state().chiller_tons) * facility::kWattsPerTon -
+      4.0e6;
+  const double fall_progress =
+      8.0e6 - (fall.state().tower_tons + fall.state().chiller_tons) *
+                  facility::kWattsPerTon;
+  EXPECT_GT(rise_progress, fall_progress);
+}
+
+TEST(Cooling, ReturnTempTracksLoad) {
+  facility::CoolingPlant plant;
+  plant.reset(5.5e6, 10.0);
+  for (int i = 0; i < 600; ++i) plant.step(10, 5.5e6, 10.0);
+  const double dt_loop =
+      plant.state().mtw_return_c - plant.state().mtw_supply_c;
+  EXPECT_NEAR(dt_loop, 5.5e6 / plant.params().loop_w_per_c, 0.5);
+  // Paper Table 1: return 80-100 F (26.7-37.8 C) at typical loads.
+  EXPECT_GT(plant.state().mtw_return_c, 26.0);
+  EXPECT_LT(plant.state().mtw_return_c, 38.0);
+}
+
+TEST(Cooling, PueInverselyProportionalToLoad) {
+  facility::CoolingPlant plant;
+  plant.reset(3.0e6, 5.0);
+  for (int i = 0; i < 600; ++i) plant.step(10, 3.0e6, 5.0);
+  const double pue_low = plant.state().pue;
+  plant.reset(10.0e6, 5.0);
+  for (int i = 0; i < 600; ++i) plant.step(10, 10.0e6, 5.0);
+  const double pue_high = plant.state().pue;
+  EXPECT_GT(pue_low, pue_high);  // fixed pumps amortize at high load
+}
+
+TEST(Cooling, RejectsNegativeInputs) {
+  facility::CoolingPlant plant;
+  EXPECT_THROW(plant.step(-1, 1e6, 10.0), util::CheckError);
+  EXPECT_THROW(plant.step(10, -1.0, 10.0), util::CheckError);
+}
+
+// --------------------------------------------------------------------- CEP
+
+TEST(Cep, FrameColumnsAndGrid) {
+  ts::Frame cluster(0, 10, 360);
+  std::vector<double> p(360, 5.0e6);
+  cluster.set("input_power_w", std::move(p));
+  const ts::Frame cep = facility::simulate_cep(cluster);
+  EXPECT_EQ(cep.rows(), 360u);
+  EXPECT_EQ(cep.dt(), 10);
+  for (const char* col : {"pue", "mtw_supply_c", "mtw_return_c", "tower_tons",
+                          "chiller_tons", "facility_power_w", "wet_bulb_c"}) {
+    EXPECT_TRUE(cep.has(col)) << col;
+  }
+  EXPECT_THROW(facility::simulate_cep(ts::Frame(0, 10, 5)), util::CheckError);
+}
+
+TEST(Cep, MaintenanceWindowForcesChillers) {
+  // Constant 5 MW through early February (days 31-38 by default).
+  const util::TimeSec start = 30 * util::kDay;
+  const std::size_t n = 8 * 24 * 6;  // 8 days at 10-minute steps
+  ts::Frame cluster(start, 600, n);
+  cluster.set("input_power_w", std::vector<double>(n, 5.0e6));
+  const ts::Frame cep = facility::simulate_cep(cluster);
+  // Inside the window chillers dominate despite winter weather.
+  const std::size_t inside = 2 * 24 * 6;  // day 32-ish
+  EXPECT_GT(cep.at("chiller_tons")[inside], cep.at("tower_tons")[inside]);
+  EXPECT_GT(cep.at("pue")[inside], 1.2);
+}
+
+// --------------------------------------------------------------------- MSB
+
+TEST(Msb, SensorFactorsShareBatchBias) {
+  machine::Topology topo(machine::MachineScale::small(500));
+  facility::MsbModel msb(topo, 4);
+  // Factors within one MSB cluster tighter than across MSBs.
+  util::Welford within;
+  std::vector<double> msb_means;
+  for (machine::MsbId m = 0; m < topo.msbs(); ++m) {
+    util::Welford acc;
+    for (machine::NodeId n : topo.nodes_of_msb(m)) {
+      acc.add(msb.node_sensor_factor(n));
+    }
+    msb_means.push_back(acc.mean());
+    within.add(acc.stddev());
+  }
+  util::Welford across;
+  for (double m : msb_means) across.add(m);
+  EXPECT_GT(across.stddev(), 0.0);
+  // All factors positive and ~10% above unity (the paper's ~11% offset).
+  for (double m : msb_means) {
+    EXPECT_GT(m, 1.05);
+    EXPECT_LT(m, 1.18);
+  }
+}
+
+TEST(Msb, MeterNoiseIsSmallAndDeterministic) {
+  machine::Topology topo(machine::MachineScale::small(100));
+  facility::MsbModel msb(topo, 4);
+  const double a = msb.meter_reading(0, 1.0e6, 500);
+  const double b = msb.meter_reading(0, 1.0e6, 500);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_NEAR(a, 1.0e6, 0.01 * 1.0e6);
+  EXPECT_THROW(msb.meter_reading(5, 1.0e6, 0), util::CheckError);
+}
+
+TEST(Msb, SampleNoiseAveragesOut) {
+  machine::Topology topo(machine::MachineScale::small(100));
+  facility::MsbModel msb(topo, 4);
+  util::Welford acc;
+  for (util::TimeSec t = 0; t < 2000; ++t) {
+    acc.add(msb.node_sensor_sample(7, 1000.0, t));
+  }
+  EXPECT_NEAR(acc.mean(), 1000.0 * msb.node_sensor_factor(7), 2.0);
+  EXPECT_GT(acc.stddev(), 5.0);  // per-second jitter is present
+}
+
+}  // namespace

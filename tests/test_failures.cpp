@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "failures/generator.hpp"
+#include "failures/xid.hpp"
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+#include "workload/generator.hpp"
+#include "workload/scheduler.hpp"
+
+namespace {
+
+using namespace exawatt;
+using failures::XidType;
+
+// -------------------------------------------------------------------- Xid
+
+TEST(Xid, NamesDistinctAndComplete) {
+  std::set<std::string> names;
+  for (std::size_t t = 0; t < failures::kXidTypeCount; ++t) {
+    names.insert(failures::xid_name(static_cast<XidType>(t)));
+  }
+  EXPECT_EQ(names.size(), failures::kXidTypeCount);
+  EXPECT_THROW(failures::xid_name(XidType::kCount), util::CheckError);
+}
+
+TEST(Xid, ApplicationVsHardwareSplit) {
+  // Table 4's double ruler: the top three types are app-attributable.
+  EXPECT_TRUE(failures::xid_is_application(XidType::kMemoryPageFault));
+  EXPECT_TRUE(failures::xid_is_application(XidType::kGraphicsEngineException));
+  EXPECT_TRUE(failures::xid_is_application(XidType::kStoppedProcessing));
+  EXPECT_FALSE(failures::xid_is_application(XidType::kDoubleBitError));
+  EXPECT_FALSE(failures::xid_is_application(XidType::kNvlinkError));
+  EXPECT_FALSE(failures::xid_is_application(XidType::kFallenOffBus));
+}
+
+TEST(Xid, ProfilesMatchTable4) {
+  const auto& profiles = failures::xid_profiles();
+  EXPECT_EQ(profiles.size(), 16u);
+  const auto& page_fault =
+      profiles[static_cast<std::size_t>(XidType::kMemoryPageFault)];
+  EXPECT_DOUBLE_EQ(page_fault.annual_count, 186496);
+  EXPECT_DOUBLE_EQ(page_fault.top_node_share, 0.006);
+  const auto& nvlink =
+      profiles[static_cast<std::size_t>(XidType::kNvlinkError)];
+  EXPECT_DOUBLE_EQ(nvlink.annual_count, 8736);
+  EXPECT_DOUBLE_EQ(nvlink.top_node_share, 0.969);
+  double total = 0.0;
+  for (const auto& p : profiles) {
+    EXPECT_EQ(p.type, static_cast<XidType>(&p - profiles.data()));
+    total += p.annual_count;
+  }
+  EXPECT_NEAR(total, 251859.0, 1.0);  // the paper's total
+}
+
+TEST(Xid, SkewAssignmentsMatchFigure15) {
+  const auto& p = failures::xid_profiles();
+  using failures::ThermalSkew;
+  EXPECT_EQ(p[static_cast<std::size_t>(XidType::kDoubleBitError)].skew,
+            ThermalSkew::kRight);
+  EXPECT_EQ(p[static_cast<std::size_t>(XidType::kFallenOffBus)].skew,
+            ThermalSkew::kRight);
+  EXPECT_EQ(
+      p[static_cast<std::size_t>(XidType::kMicrocontrollerWarning)].skew,
+      ThermalSkew::kRight);
+  EXPECT_EQ(p[static_cast<std::size_t>(XidType::kGraphicsEngineFault)].skew,
+            ThermalSkew::kLeft);
+  EXPECT_EQ(p[static_cast<std::size_t>(XidType::kMemoryPageFault)].skew,
+            ThermalSkew::kNone);
+}
+
+// -------------------------------------------------------------- Generator
+
+struct Fixture {
+  machine::MachineScale scale = machine::MachineScale::small(256);
+  std::vector<workload::Job> jobs;
+  std::vector<workload::Project> projects;
+
+  explicit Fixture(double weeks = 2.0) {
+    workload::WorkloadConfig cfg;
+    cfg.scale = scale;
+    cfg.seed = 21;
+    workload::JobGenerator gen(cfg);
+    projects = gen.projects();
+    const auto horizon =
+        static_cast<util::TimeSec>(weeks * 7.0 * util::kDay);
+    jobs = gen.generate({0, horizon});
+    workload::Scheduler sched(scale);
+    sched.run(jobs, horizon);
+  }
+};
+
+failures::FailureModelConfig boosted(double rate = 30.0) {
+  failures::FailureModelConfig cfg;
+  cfg.seed = 5;
+  cfg.rate_scale = rate;
+  return cfg;
+}
+
+TEST(FailureGenerator, EventsLieInsideJobs) {
+  Fixture fx;
+  failures::FailureGenerator gen(fx.scale, fx.projects, boosted(5.0));
+  const auto log = gen.generate(fx.jobs);
+  ASSERT_GT(log.size(), 100u);
+  std::map<workload::JobId, const workload::Job*> by_id;
+  for (const auto& j : fx.jobs) by_id[j.id] = &j;
+  for (const auto& ev : log) {
+    ASSERT_TRUE(by_id.count(ev.job));
+    const workload::Job* j = by_id[ev.job];
+    EXPECT_GE(ev.time, j->start);
+    EXPECT_LT(ev.time, j->end);
+    EXPECT_GE(ev.slot, 0);
+    EXPECT_LT(ev.slot, 6);
+    EXPECT_GE(ev.node, 0);
+    EXPECT_LT(ev.node, fx.scale.nodes);
+    EXPECT_EQ(ev.project, j->project);
+  }
+}
+
+TEST(FailureGenerator, SortedByTimeAndDeterministic) {
+  Fixture fx;
+  failures::FailureGenerator gen(fx.scale, fx.projects, boosted(5.0));
+  const auto a = gen.generate(fx.jobs);
+  const auto b = gen.generate(fx.jobs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i > 0) EXPECT_LE(a[i - 1].time, a[i].time);
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].type, b[i].type);
+  }
+}
+
+TEST(FailureGenerator, CountsScaleWithExposure) {
+  Fixture fx;
+  failures::FailureGenerator g1(fx.scale, fx.projects, boosted(10.0));
+  failures::FailureGenerator g2(fx.scale, fx.projects, boosted(40.0));
+  const double n1 = static_cast<double>(g1.generate(fx.jobs).size());
+  const double n2 = static_cast<double>(g2.generate(fx.jobs).size());
+  EXPECT_NEAR(n2 / n1, 4.0, 0.4);
+}
+
+TEST(FailureGenerator, TypeMixMatchesTable4Proportions) {
+  Fixture fx;
+  failures::FailureGenerator gen(fx.scale, fx.projects, boosted(30.0));
+  const auto log = gen.generate(fx.jobs);
+  std::map<XidType, std::size_t> counts;
+  for (const auto& ev : log) ++counts[ev.type];
+  // Page faults dominate by the Table 4 ratio (~186k / 32k over engine
+  // exceptions); allow generous tolerance for workload-coupling effects.
+  const double ratio =
+      static_cast<double>(counts[XidType::kMemoryPageFault]) /
+      static_cast<double>(counts[XidType::kGraphicsEngineException]);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 12.0);
+  EXPECT_GT(counts[XidType::kMemoryPageFault],
+            counts[XidType::kStoppedProcessing]);
+  EXPECT_GT(counts[XidType::kStoppedProcessing],
+            counts[XidType::kNvlinkError]);
+}
+
+TEST(FailureGenerator, NvlinkSuperOffender) {
+  Fixture fx;
+  failures::FailureGenerator gen(fx.scale, fx.projects, boosted(30.0));
+  const auto log = gen.generate(fx.jobs);
+  std::size_t nvlink_total = 0;
+  std::size_t on_offender = 0;
+  for (const auto& ev : log) {
+    if (ev.type != XidType::kNvlinkError) continue;
+    ++nvlink_total;
+    if (ev.node == gen.nvlink_offender()) ++on_offender;
+  }
+  ASSERT_GT(nvlink_total, 100u);
+  EXPECT_NEAR(static_cast<double>(on_offender) /
+                  static_cast<double>(nvlink_total),
+              0.969, 0.03);
+}
+
+TEST(FailureGenerator, DriverErrorsFollowWarningsOnOneNode) {
+  Fixture fx(4.0);
+  failures::FailureGenerator gen(fx.scale, fx.projects, boosted(60.0));
+  const auto log = gen.generate(fx.jobs);
+  std::size_t driver = 0;
+  std::size_t driver_on_node = 0;
+  for (const auto& ev : log) {
+    if (ev.type != XidType::kDriverErrorHandling) continue;
+    ++driver;
+    if (ev.node == gen.uc_driver_node()) ++driver_on_node;
+  }
+  ASSERT_GT(driver, 3u);
+  EXPECT_EQ(driver, driver_on_node);  // the paper: 21 of 21 on one node
+}
+
+TEST(FailureGenerator, RightSkewTypesHaveRightSkewedZ) {
+  Fixture fx(4.0);
+  failures::FailureGenerator gen(fx.scale, fx.projects, boosted(200.0));
+  const auto log = gen.generate(fx.jobs);
+  std::map<XidType, std::vector<double>> z;
+  for (const auto& ev : log) z[ev.type].push_back(ev.z_score);
+  ASSERT_GT(z[XidType::kDoubleBitError].size(), 50u);
+  EXPECT_GT(stats::skewness(z[XidType::kDoubleBitError]), 0.5);
+  EXPECT_LT(stats::skewness(z[XidType::kGraphicsEngineFault]), -0.2);
+  EXPECT_NEAR(stats::skewness(z[XidType::kMemoryPageFault]), 0.0, 0.2);
+  // Z-scores are standardized: mean ~0, std ~1.
+  EXPECT_NEAR(stats::mean(z[XidType::kMemoryPageFault]), 0.0, 0.1);
+  EXPECT_NEAR(stats::stddev(z[XidType::kMemoryPageFault]), 1.0, 0.1);
+}
+
+TEST(FailureGenerator, TemperaturesMostlyBelowSixty) {
+  Fixture fx;
+  failures::FailureGenerator gen(fx.scale, fx.projects, boosted(30.0));
+  const auto log = gen.generate(fx.jobs);
+  std::size_t hot = 0;
+  for (const auto& ev : log) {
+    EXPECT_GT(ev.temp_c, 0.0);
+    EXPECT_LT(ev.temp_c, 95.0);
+    if (ev.temp_c >= 60.0) ++hot;
+  }
+  EXPECT_LT(static_cast<double>(hot) / static_cast<double>(log.size()), 0.02);
+}
+
+TEST(FailureGenerator, SlotZeroElevated) {
+  Fixture fx;
+  failures::FailureGenerator gen(fx.scale, fx.projects, boosted(30.0));
+  const auto log = gen.generate(fx.jobs);
+  std::array<std::size_t, 6> slots{};
+  for (const auto& ev : log) ++slots[static_cast<std::size_t>(ev.slot)];
+  EXPECT_GT(slots[0], slots[1]);
+  EXPECT_GT(slots[0], slots[5]);
+}
+
+TEST(FailureGenerator, PropensityDrivesProjectRates) {
+  Fixture fx(4.0);
+  failures::FailureGenerator gen(fx.scale, fx.projects, boosted(30.0));
+  const auto log = gen.generate(fx.jobs);
+  // Node-hours and failure counts per project.
+  std::map<std::uint32_t, double> nh;
+  std::map<std::uint32_t, double> fails;
+  for (const auto& j : fx.jobs) {
+    if (j.start >= 0) nh[j.project] += j.node_hours();
+  }
+  for (const auto& ev : log) fails[ev.project] += 1.0;
+  // Correlate rate with propensity across projects with real exposure.
+  std::vector<double> rate;
+  std::vector<double> prop;
+  for (const auto& [p, hours] : nh) {
+    if (hours < 100.0) continue;
+    rate.push_back(fails[p] / hours);
+    prop.push_back(fx.projects[p].failure_propensity);
+  }
+  ASSERT_GT(rate.size(), 20u);
+  double r = 0.0;
+  {
+    // Spearman-ish via ranks would be ideal; Pearson on logs suffices.
+    std::vector<double> lr;
+    std::vector<double> lp;
+    for (std::size_t i = 0; i < rate.size(); ++i) {
+      lr.push_back(std::log(rate[i] + 1e-9));
+      lp.push_back(std::log(prop[i]));
+    }
+    r = stats::pearson(lr, lp);
+  }
+  EXPECT_GT(r, 0.4);
+}
+
+TEST(FailureGenerator, EmptyScheduleYieldsEmptyLog) {
+  Fixture fx;
+  std::vector<workload::Job> none;
+  failures::FailureGenerator gen(fx.scale, fx.projects, boosted());
+  EXPECT_TRUE(gen.generate(none).empty());
+}
+
+}  // namespace

@@ -1,0 +1,234 @@
+// Integration tests: end-to-end paths across the substrates, each one a
+// miniature version of a paper experiment (scaled to stay fast on CI).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/edges.hpp"
+#include "core/failure_analysis.hpp"
+#include "core/job_features.hpp"
+#include "core/pue_analysis.hpp"
+#include "core/simulation.hpp"
+#include "core/snapshots.hpp"
+#include "core/spectral.hpp"
+#include "power/job_power.hpp"
+#include "telemetry/aggregator.hpp"
+#include "telemetry/pipeline.hpp"
+#include "workload/allocation_index.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+core::SimulationConfig itest_config(int nodes, util::TimeSec duration,
+                                    util::TimeSec start = 0) {
+  core::SimulationConfig config;
+  config.scale = machine::MachineScale::small(nodes);
+  config.seed = 404;
+  config.range = {start, start + duration};
+  return config;
+}
+
+// Mini-F5: a winter week and a summer week must split PUE the right way.
+TEST(Integration, SeasonalPueSplit) {
+  core::Simulation winter(itest_config(256, util::kWeek, 10 * util::kDay));
+  core::Simulation summer(itest_config(256, util::kWeek, 210 * util::kDay));
+  auto pue_of = [](core::Simulation& sim, util::TimeRange r) {
+    const auto cluster = sim.cluster_frame(r, {.dt = 600});
+    const auto cep = sim.cep_frame(cluster);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < cep.rows(); ++i) acc += cep.at("pue")[i];
+    return acc / static_cast<double>(cep.rows());
+  };
+  const double w = pue_of(winter, winter.config().range);
+  const double s = pue_of(summer, summer.config().range);
+  EXPECT_LT(w, 1.15);
+  EXPECT_GT(s, w + 0.04);
+}
+
+// Mini-F4: telemetry-path node sensors vs ground truth at cluster level.
+// The telemetry 10 s means, summed across instrumented nodes, must stay
+// in phase with the model's true node power while over-reading by the
+// calibrated sensor bias.
+TEST(Integration, TelemetrySummationTracksTruth) {
+  core::Simulation sim(itest_config(64, util::kDay / 2));
+  const util::TimeRange window = {2 * util::kHour,
+                                  2 * util::kHour + 10 * util::kMinute};
+  workload::AllocationIndex alloc(sim.jobs(), window, 64);
+  power::FleetVariability fleet(sim.scale(), 11);
+  thermal::FleetThermal thermals(sim.scale(), 12);
+  machine::Topology topo(sim.scale());
+  facility::MsbModel msb(topo, 13);
+
+  std::vector<machine::NodeId> nodes;
+  for (machine::NodeId n = 0; n < 16; ++n) nodes.push_back(n);
+  telemetry::Pipeline pipeline(nodes, alloc, fleet, thermals, msb);
+  (void)pipeline.run(window);
+  const auto summation = telemetry::cluster_sum(
+      pipeline.archive(), nodes,
+      telemetry::channel_of(telemetry::MetricKind::kInputPower, 0), window);
+
+  // Ground truth from the job-centric fast path for the same nodes.
+  std::vector<double> truth(summation.size(), 0.0);
+  for (std::size_t w = 0; w < summation.size(); ++w) {
+    const util::TimeSec t = summation.time_at(w) + 5;
+    for (machine::NodeId n : nodes) {
+      int rank = 0;
+      const workload::Job* j = alloc.job_at(n, t, &rank);
+      truth[w] += j != nullptr
+                      ? power::node_power_detail(*j, rank, t, fleet).input_w
+                      : power::idle_node_power(n, fleet).input_w;
+    }
+  }
+  // Over-read by ~10%, in phase.
+  double ratio_acc = 0.0;
+  for (std::size_t w = 0; w < summation.size(); ++w) {
+    ratio_acc += summation[w] / truth[w];
+  }
+  const double mean_ratio = ratio_acc / static_cast<double>(summation.size());
+  EXPECT_GT(mean_ratio, 1.05);
+  EXPECT_LT(mean_ratio, 1.18);
+}
+
+// Mini-F10+F11: job-level and cluster-level edge analyses agree about
+// who swings: removing the deep-swing jobs removes the big cluster edges.
+TEST(Integration, ClusterEdgesComeFromSwingyJobs) {
+  core::Simulation sim(itest_config(512, 4 * util::kDay));
+  const auto cluster = sim.cluster_frame(sim.config().range, {.dt = 10});
+  core::SnapshotOptions opts;
+  opts.edges.per_node_threshold_w = 100.0;
+  // 512-node machine: the largest possible swing is well under 1 MW, so
+  // bin amplitudes at 0.25 MW instead of the full-scale 1 MW classes.
+  opts.amplitude_bin_mw = 0.25;
+  // This test attributes raw edges, so keep the unsteady (periodic) ones
+  // the presentation-oriented steadiness filter would drop.
+  opts.steady_pre_fraction = 2.0;
+  const auto with = core::collect_edge_sets(cluster.at("input_power_w"),
+                                            512.0, true, opts);
+  std::size_t with_count = 0;
+  for (const auto& s : with) with_count += s.at.size();
+
+  // Rebuild the cluster series excluding jobs whose own series has edges.
+  std::vector<workload::Job> calm;
+  for (const auto& j : sim.jobs()) {
+    if (j.start < 0) {
+      continue;
+    }
+    const auto s = power::job_power_series(j, 10);
+    if (core::detect_edges(s, static_cast<double>(j.node_count)).empty()) {
+      calm.push_back(j);
+    }
+  }
+  const auto calm_frame = power::cluster_power_frame(
+      calm, sim.scale(), sim.config().range, {.dt = 10});
+  const auto without = core::collect_edge_sets(
+      calm_frame.at("input_power_w"), 512.0, true, opts);
+  std::size_t without_count = 0;
+  int without_max_bin = 0;
+  for (const auto& s : without) {
+    without_count += s.at.size();
+    without_max_bin = std::max(without_max_bin, s.amplitude_mw);
+  }
+  int with_max_bin = 0;
+  for (const auto& s : with) {
+    with_max_bin = std::max(with_max_bin, s.amplitude_mw);
+  }
+  // Swingy jobs contribute cluster edges beyond the start/stop churn that
+  // any schedule produces: removing them strictly reduces the count and
+  // never enlarges the biggest amplitude class.
+  EXPECT_LT(without_count, with_count);
+  EXPECT_LE(without_max_bin, with_max_bin);
+}
+
+// Mini-F6/F7: class structure flows from generator through scheduler and
+// power model into the analysis summaries.
+TEST(Integration, ClassStructureSurvivesPipeline) {
+  core::Simulation sim(itest_config(512, 5 * util::kDay));
+  const auto summaries = core::summarize_jobs(sim.jobs());
+  std::map<int, stats::Ecdf*> unused;
+  std::map<int, std::vector<double>> maxp;
+  for (const auto& s : summaries) {
+    maxp[s.sched_class].push_back(s.max_power_w);
+  }
+  ASSERT_GE(maxp.size(), 4u);
+  // Median max power strictly ordered by class.
+  double prev = 1e18;
+  for (int cls = 1; cls <= 5; ++cls) {
+    if (maxp[cls].size() < 5) continue;
+    const double med = stats::median(maxp[cls]);
+    EXPECT_LT(med, prev) << "class " << cls;
+    prev = med;
+  }
+}
+
+// Mini-T4/F14: the failure log joins back to the job history cleanly.
+TEST(Integration, FailureLogJoinsJobHistory) {
+  core::SimulationConfig config = itest_config(256, util::kWeek);
+  config.failures.rate_scale = 25.0;
+  core::Simulation sim(config);
+  const auto& log = sim.failure_log();
+  ASSERT_GT(log.size(), 200u);
+
+  const auto composition = core::failure_composition(log, 256);
+  std::uint64_t total = 0;
+  for (const auto& c : composition) total += c.count;
+  EXPECT_EQ(total, log.size());
+
+  const auto rates = core::project_failure_rates(log, sim.jobs(),
+                                                 sim.projects(), false, 15);
+  ASSERT_FALSE(rates.empty());
+  EXPECT_GE(rates.front().failures_per_node_hour,
+            rates.back().failures_per_node_hour);
+
+  // Every event's project exists and its domain matches the project table.
+  for (const auto& ev : log) {
+    ASSERT_LT(ev.project, sim.projects().size());
+    EXPECT_EQ(ev.domain, sim.projects()[ev.project].domain);
+  }
+}
+
+// Determinism across the whole stack: identical seeds -> identical
+// cluster series, failure logs and summaries.
+TEST(Integration, FullStackDeterminism) {
+  core::Simulation a(itest_config(128, 2 * util::kDay));
+  core::Simulation b(itest_config(128, 2 * util::kDay));
+  const auto fa = a.cluster_frame({0, util::kDay}, {.dt = 300});
+  const auto fb = b.cluster_frame({0, util::kDay}, {.dt = 300});
+  for (std::size_t i = 0; i < fa.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(fa.at("input_power_w")[i], fb.at("input_power_w")[i]);
+  }
+  const auto& la = a.failure_log();
+  const auto& lb = b.failure_log();
+  ASSERT_EQ(la.size(), lb.size());
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(la[i].time, lb[i].time);
+    EXPECT_EQ(la[i].node, lb[i].node);
+    EXPECT_DOUBLE_EQ(la[i].temp_c, lb[i].temp_c);
+  }
+}
+
+// Scale invariance: the edge rule is per-node, so the fraction of jobs
+// with edges is roughly stable across machine scales.
+TEST(Integration, EdgeRuleScaleInvariant) {
+  auto edge_fraction = [](int nodes) {
+    core::Simulation sim(itest_config(nodes, 3 * util::kDay));
+    std::size_t with = 0;
+    std::size_t total = 0;
+    for (const auto& j : sim.jobs()) {
+      if (j.start < 0) continue;
+      ++total;
+      const auto s = power::job_power_series(j, 10);
+      if (!core::detect_edges(s, static_cast<double>(j.node_count)).empty()) {
+        ++with;
+      }
+    }
+    return static_cast<double>(with) / static_cast<double>(total);
+  };
+  const double small = edge_fraction(128);
+  const double large = edge_fraction(512);
+  EXPECT_NEAR(small, large, 0.03);
+}
+
+}  // namespace

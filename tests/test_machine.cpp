@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "machine/spec.hpp"
+#include "machine/topology.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace exawatt;
+using machine::SummitSpec;
+
+TEST(Spec, PaperConstants) {
+  EXPECT_EQ(SummitSpec::kNodes, 4626);
+  EXPECT_EQ(SummitSpec::kCabinets, 257);
+  EXPECT_EQ(SummitSpec::kNodesPerCabinet, 18);
+  EXPECT_EQ(SummitSpec::kTotalGpus, 27756);
+  EXPECT_EQ(SummitSpec::kTotalCpus, 9252);
+  EXPECT_EQ(SummitSpec::kCabinets * SummitSpec::kNodesPerCabinet,
+            SummitSpec::kNodes);
+}
+
+TEST(Spec, IdleNodeSumsToClusterIdle) {
+  EXPECT_NEAR(SummitSpec::kNodeIdlePowerW * SummitSpec::kNodes,
+              SummitSpec::kClusterIdleW, 0.01 * SummitSpec::kClusterIdleW);
+}
+
+TEST(Spec, OverheadIsPositiveAndConsistent) {
+  EXPECT_GT(SummitSpec::kNodeOverheadW, 0.0);
+  const double idle_dc = SummitSpec::kNodeOverheadW +
+                         SummitSpec::kCpusPerNode * SummitSpec::kCpuIdleW +
+                         SummitSpec::kGpusPerNode * SummitSpec::kGpuIdleW;
+  EXPECT_NEAR(idle_dc / SummitSpec::kPsuEfficiency,
+              SummitSpec::kNodeIdlePowerW, 1e-9);
+}
+
+TEST(Spec, MachineScaleFraction) {
+  EXPECT_DOUBLE_EQ(machine::MachineScale::full().fraction(), 1.0);
+  const auto half = machine::MachineScale::small(2313);
+  EXPECT_NEAR(half.fraction(), 0.5, 1e-3);
+  EXPECT_EQ(half.gpus(), 2313 * 6);
+  EXPECT_EQ(machine::MachineScale::small(19).cabinets(), 2);
+}
+
+TEST(Topology, FullScaleLayout) {
+  machine::Topology topo;
+  EXPECT_EQ(topo.nodes(), 4626);
+  EXPECT_EQ(topo.cabinets(), 257);
+  EXPECT_EQ(topo.msbs(), 5);
+  EXPECT_GE(topo.rows() * topo.columns(), topo.cabinets());
+}
+
+TEST(Topology, CabinetAssignmentIsContiguous) {
+  machine::Topology topo(machine::MachineScale::small(54));
+  EXPECT_EQ(topo.cabinet_of(0), 0);
+  EXPECT_EQ(topo.cabinet_of(17), 0);
+  EXPECT_EQ(topo.cabinet_of(18), 1);
+  EXPECT_EQ(topo.cabinet_of(53), 2);
+  EXPECT_THROW(topo.cabinet_of(54), util::CheckError);
+  EXPECT_THROW(topo.cabinet_of(-1), util::CheckError);
+}
+
+TEST(Topology, FloorPositionRoundTrip) {
+  machine::Topology topo;
+  const auto p = topo.position_of(1000);
+  EXPECT_EQ(p.cabinet, 1000 / 18);
+  EXPECT_EQ(p.height, 1000 % 18);
+  EXPECT_EQ(p.row * topo.columns() + p.column, p.cabinet);
+}
+
+TEST(Topology, MsbPartitionIsCompleteAndDisjoint) {
+  machine::Topology topo(machine::MachineScale::small(360));
+  std::set<machine::NodeId> seen;
+  for (machine::MsbId m = 0; m < topo.msbs(); ++m) {
+    for (machine::NodeId n : topo.nodes_of_msb(m)) {
+      EXPECT_TRUE(seen.insert(n).second) << "node in two MSBs";
+      EXPECT_EQ(topo.msb_of(n), m);
+    }
+  }
+  EXPECT_EQ(seen.size(), 360u);
+}
+
+TEST(Topology, MsbLoadsAreBalanced) {
+  machine::Topology topo;
+  std::size_t lo = SummitSpec::kNodes;
+  std::size_t hi = 0;
+  for (machine::MsbId m = 0; m < topo.msbs(); ++m) {
+    const auto n = topo.nodes_of_msb(m).size();
+    lo = std::min(lo, n);
+    hi = std::max(hi, n);
+  }
+  // Contiguous blocks: the last MSB may be short by up to a block.
+  EXPECT_LE(hi - lo, 18u * 13u);
+  EXPECT_GT(lo, 0u);
+}
+
+TEST(Topology, NodesOfCabinet) {
+  machine::Topology topo(machine::MachineScale::small(40));
+  const auto cab2 = topo.nodes_of_cabinet(2);  // partial cabinet: 36..39
+  ASSERT_EQ(cab2.size(), 4u);
+  EXPECT_EQ(cab2.front(), 36);
+  EXPECT_EQ(cab2.back(), 39);
+  EXPECT_THROW(topo.nodes_of_cabinet(3), util::CheckError);
+}
+
+TEST(Topology, NodeNamesAreDistinctWithinCabinet) {
+  machine::Topology topo;
+  std::set<std::string> names;
+  for (machine::NodeId n : topo.nodes_of_cabinet(7)) {
+    EXPECT_TRUE(names.insert(topo.node_name(n)).second);
+  }
+}
+
+TEST(GpuLocation, SocketAndCoolantPosition) {
+  machine::GpuLocation g;
+  g.slot = 0;
+  EXPECT_EQ(g.socket(), 0);
+  EXPECT_EQ(g.coolant_position(), 0);
+  g.slot = 2;
+  EXPECT_EQ(g.socket(), 0);
+  EXPECT_EQ(g.coolant_position(), 2);
+  g.slot = 3;
+  EXPECT_EQ(g.socket(), 1);
+  EXPECT_EQ(g.coolant_position(), 0);
+  g.slot = 5;
+  EXPECT_EQ(g.socket(), 1);
+  EXPECT_EQ(g.coolant_position(), 2);
+}
+
+class ScaledTopology : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScaledTopology, InvariantsHoldAtAnyScale) {
+  const int nodes = GetParam();
+  machine::Topology topo(machine::MachineScale::small(nodes));
+  EXPECT_EQ(topo.nodes(), nodes);
+  std::size_t total = 0;
+  for (machine::MsbId m = 0; m < topo.msbs(); ++m) {
+    total += topo.nodes_of_msb(m).size();
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(nodes));
+  for (machine::NodeId n : {0, nodes / 2, nodes - 1}) {
+    const auto p = topo.position_of(n);
+    EXPECT_GE(p.row, 0);
+    EXPECT_LT(p.row, topo.rows());
+    EXPECT_GE(p.column, 0);
+    EXPECT_LT(p.column, topo.columns());
+    EXPECT_GE(p.height, 0);
+    EXPECT_LT(p.height, 18);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaledTopology,
+                         ::testing::Values(1, 18, 19, 64, 512, 4626));
+
+}  // namespace

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "power/cluster.hpp"
+#include "power/component.hpp"
+#include "power/job_power.hpp"
+#include "util/check.hpp"
+#include "util/welford.hpp"
+#include "workload/classes.hpp"
+#include "workload/generator.hpp"
+#include "workload/scheduler.hpp"
+
+namespace {
+
+using namespace exawatt;
+using machine::SummitSpec;
+
+// -------------------------------------------------------------- Component
+
+TEST(Component, GpuPowerEndpoints) {
+  EXPECT_DOUBLE_EQ(power::gpu_power_w(0.0), SummitSpec::kGpuIdleW);
+  EXPECT_DOUBLE_EQ(power::gpu_power_w(1.0), SummitSpec::kGpuTdpW);
+  EXPECT_DOUBLE_EQ(power::gpu_power_w(-1.0), SummitSpec::kGpuIdleW);
+  EXPECT_DOUBLE_EQ(power::gpu_power_w(2.0), SummitSpec::kGpuTdpW);
+}
+
+TEST(Component, CpuPowerMonotone) {
+  double prev = 0.0;
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    const double p = power::cpu_power_w(u);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Component, IdleNodeInputMatchesSpec) {
+  const workload::Utilization idle{};
+  EXPECT_NEAR(power::node_input_power_w(idle), SummitSpec::kNodeIdlePowerW,
+              1e-9);
+}
+
+TEST(Component, FullLoadStaysNearNodeMax) {
+  // GPU-saturated, CPU-moderate: the realistic peak mode, ~2.3 kW input.
+  const workload::Utilization peak{0.35, 0.96};
+  const double p = power::node_input_power_w(peak);
+  EXPECT_GT(p, 2200.0);
+  EXPECT_LT(p, 2450.0);
+}
+
+TEST(Component, InputPowerIncludesPsuLoss) {
+  EXPECT_NEAR(power::input_power_w(940.0), 1000.0, 1e-9);
+}
+
+TEST(Component, NodeComponentSplitConsistent) {
+  const workload::Utilization u{0.5, 0.5};
+  const double total_dc = SummitSpec::kNodeOverheadW +
+                          power::node_cpu_power_w(u) +
+                          power::node_gpu_power_w(u);
+  EXPECT_NEAR(power::node_input_power_w(u), power::input_power_w(total_dc),
+              1e-9);
+}
+
+TEST(FleetVariability, FactorsTightAroundOne) {
+  power::FleetVariability fleet(machine::MachineScale::small(256), 7);
+  util::Welford acc;
+  for (machine::NodeId n = 0; n < 256; ++n) {
+    for (int g = 0; g < 6; ++g) acc.add(fleet.gpu_power_factor(n, g));
+  }
+  EXPECT_NEAR(acc.mean(), 1.0, 0.01);
+  EXPECT_NEAR(acc.stddev(), 0.05, 0.01);
+  EXPECT_GT(acc.min(), 0.8);
+  EXPECT_LT(acc.max(), 1.25);
+}
+
+TEST(FleetVariability, DeterministicAndBoundsChecked) {
+  power::FleetVariability a(machine::MachineScale::small(64), 7);
+  power::FleetVariability b(machine::MachineScale::small(64), 7);
+  EXPECT_DOUBLE_EQ(a.gpu_power_factor(10, 3), b.gpu_power_factor(10, 3));
+  EXPECT_THROW(a.gpu_power_factor(64, 0), util::CheckError);
+  EXPECT_THROW(a.gpu_power_factor(0, 6), util::CheckError);
+  EXPECT_THROW(a.cpu_power_factor(0, 2), util::CheckError);
+}
+
+// -------------------------------------------------------------- Job power
+
+workload::Job scheduled_job(int nodes, util::TimeSec start,
+                            util::TimeSec runtime, const char* app) {
+  workload::Job j;
+  j.id = 1;
+  j.sched_class = workload::class_of(nodes);
+  j.node_count = nodes;
+  j.start = start;
+  j.end = start + runtime;
+  j.natural_runtime = runtime;
+  j.requested_walltime = runtime;
+  j.app = static_cast<std::uint16_t>(workload::app_index(app));
+  j.key = 777;
+  j.nodes = {{0, nodes}};
+  return j;
+}
+
+TEST(JobPower, ZeroOutsideInterval) {
+  const auto j = scheduled_job(4, 1000, 600, "ml-train");
+  EXPECT_DOUBLE_EQ(power::job_utilization(j, 999).gpu, 0.0);
+  EXPECT_DOUBLE_EQ(power::job_utilization(j, 1600).gpu, 0.0);
+  EXPECT_GT(power::job_utilization(j, 1400).gpu, 0.0);
+}
+
+TEST(JobPower, SeriesCoversRuntime) {
+  const auto j = scheduled_job(4, 0, 605, "chem-dft");
+  const ts::Series s = power::job_power_series(j, 10);
+  EXPECT_EQ(s.start(), 0);
+  EXPECT_EQ(s.size(), 61u);  // ceil(605/10)
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_GT(s[i], 0.0);
+    EXPECT_LT(s[i], 4.0 * 2800.0);
+  }
+}
+
+TEST(JobPower, SeriesScalesWithNodeCount) {
+  const auto j1 = scheduled_job(2, 0, 600, "climate-cpu");
+  auto j2 = j1;
+  j2.node_count = 20;
+  j2.nodes = {{0, 20}};
+  const ts::Series a = power::job_power_series(j1, 10);
+  const ts::Series b = power::job_power_series(j2, 10);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(b[i] / a[i], 10.0, 1e-9);
+  }
+}
+
+TEST(JobPower, SummaryInvariants) {
+  const auto j = scheduled_job(64, 500, 3600, "gw-solver");
+  const auto s = power::summarize_job(j);
+  EXPECT_EQ(s.node_count, 64);
+  EXPECT_GT(s.mean_power_w, 64 * SummitSpec::kNodeIdlePowerW * 0.8);
+  EXPECT_GE(s.max_power_w, s.mean_power_w);
+  EXPECT_NEAR(s.energy_j, s.mean_power_w * 3600.0, 1e-6 * s.energy_j);
+  EXPECT_GE(s.max_gpu_node_w, s.mean_gpu_node_w);
+  EXPECT_GE(s.max_cpu_node_w, s.mean_cpu_node_w);
+  EXPECT_DOUBLE_EQ(s.runtime_s, 3600.0);
+}
+
+TEST(JobPower, UnscheduledJobSummaryIsEmpty) {
+  workload::Job j;
+  j.node_count = 8;
+  j.start = -1;
+  const auto s = power::summarize_job(j);
+  EXPECT_DOUBLE_EQ(s.energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_power_w, 0.0);
+}
+
+TEST(JobPower, GpuHeavyVsCpuHeavyComponentSplit) {
+  const auto gpu_job = scheduled_job(8, 0, 1800, "ml-train");
+  const auto cpu_job = scheduled_job(8, 0, 1800, "climate-cpu");
+  const auto gs = power::summarize_job(gpu_job);
+  const auto cs = power::summarize_job(cpu_job);
+  EXPECT_GT(gs.mean_gpu_node_w, gs.mean_cpu_node_w);
+  EXPECT_GT(cs.mean_cpu_node_w, 300.0);
+  EXPECT_LT(cs.mean_gpu_node_w, 500.0);
+  EXPECT_GT(gs.mean_gpu_node_w, 2.0 * cs.mean_gpu_node_w);
+}
+
+TEST(JobPower, NodeDetailSumsToInput) {
+  power::FleetVariability fleet(machine::MachineScale::small(64), 7);
+  const auto j = scheduled_job(8, 0, 600, "chem-dft");
+  const auto d = power::node_power_detail(j, 3, 300, fleet);
+  const double dc = SummitSpec::kNodeOverheadW + d.cpu_total() + d.gpu_total();
+  EXPECT_NEAR(d.input_w, dc / SummitSpec::kPsuEfficiency, 1e-9);
+  EXPECT_THROW(power::node_power_detail(j, 8, 300, fleet), util::CheckError);
+}
+
+TEST(JobPower, NodeDetailVariesAcrossRanks) {
+  power::FleetVariability fleet(machine::MachineScale::small(64), 7);
+  const auto j = scheduled_job(16, 0, 600, "ml-train");
+  util::Welford acc;
+  for (int r = 0; r < 16; ++r) {
+    acc.add(power::node_power_detail(j, r, 400, fleet).input_w);
+  }
+  EXPECT_GT(acc.stddev(), 1.0);            // variability exists
+  EXPECT_LT(acc.stddev() / acc.mean(), 0.10);  // but stays small
+}
+
+TEST(JobPower, IdleNodePowerNearSpec) {
+  power::FleetVariability fleet(machine::MachineScale::small(64), 7);
+  util::Welford acc;
+  for (machine::NodeId n = 0; n < 64; ++n) {
+    acc.add(power::idle_node_power(n, fleet).input_w);
+  }
+  EXPECT_NEAR(acc.mean(), SummitSpec::kNodeIdlePowerW,
+              0.02 * SummitSpec::kNodeIdlePowerW);
+}
+
+// ---------------------------------------------------------------- Cluster
+
+TEST(Cluster, EmptyScheduleIsIdleFloor) {
+  std::vector<workload::Job> none;
+  const auto frame = power::cluster_power_frame(
+      none, machine::MachineScale::small(100), {0, util::kHour}, {.dt = 60});
+  const auto& p = frame.at("input_power_w");
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(p[i], 100 * SummitSpec::kNodeIdlePowerW, 1.0);
+    EXPECT_DOUBLE_EQ(frame.at("alloc_nodes")[i], 0.0);
+  }
+}
+
+TEST(Cluster, SingleJobRaisesPowerDuringItsInterval) {
+  auto j = scheduled_job(50, 600, 1200, "ml-train");
+  std::vector<workload::Job> jobs = {j};
+  const auto frame = power::cluster_power_frame(
+      jobs, machine::MachineScale::small(100), {0, util::kHour}, {.dt = 60});
+  const auto& p = frame.at("input_power_w");
+  const double idle = 100 * SummitSpec::kNodeIdlePowerW;
+  EXPECT_NEAR(p[0], idle, 1.0);               // before the job
+  EXPECT_GT(p[20], idle + 50 * 200.0);        // during (t=1200)
+  EXPECT_NEAR(p[40], idle, 1.0);              // after (t=2400)
+  EXPECT_DOUBLE_EQ(frame.at("alloc_nodes")[20], 50.0);
+}
+
+TEST(Cluster, PartialWindowCoverageIsWeighted) {
+  // Job covers exactly half of one 60 s window.
+  auto j = scheduled_job(10, 30, 60 * 9 + 30, "debug-interactive");
+  std::vector<workload::Job> jobs = {j};
+  const auto frame = power::cluster_power_frame(
+      jobs, machine::MachineScale::small(20), {0, util::kHour}, {.dt = 60});
+  const auto& alloc = frame.at("alloc_nodes");
+  EXPECT_NEAR(alloc[0], 5.0, 1e-9);  // half coverage of window 0
+  EXPECT_NEAR(alloc[5], 10.0, 1e-9);
+}
+
+TEST(Cluster, ComponentColumnsBracketTotals) {
+  workload::WorkloadConfig cfg;
+  cfg.scale = machine::MachineScale::small(256);
+  cfg.seed = 3;
+  workload::JobGenerator gen(cfg);
+  auto jobs = gen.generate({0, util::kDay / 2});
+  workload::Scheduler sched(cfg.scale);
+  sched.run(jobs, util::kDay / 2);
+  const auto frame = power::cluster_power_frame(jobs, cfg.scale,
+                                                {0, util::kDay / 2},
+                                                {.dt = 300, .subsamples = 2});
+  const auto& input = frame.at("input_power_w");
+  const auto& cpu = frame.at("cpu_power_w");
+  const auto& gpu = frame.at("gpu_power_w");
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    // DC components + overhead < input (PSU loss) and all positive.
+    EXPECT_GT(cpu[i], 0.0);
+    EXPECT_GT(gpu[i], 0.0);
+    EXPECT_LT(cpu[i] + gpu[i], input[i]);
+    // Peak envelope: never above node-max times machine size.
+    EXPECT_LT(input[i], 256 * 2900.0);
+    EXPECT_GE(input[i], 256 * SummitSpec::kNodeIdlePowerW * 0.99);
+  }
+}
+
+TEST(Cluster, SubsamplingConvergesToFineGrid) {
+  auto j = scheduled_job(32, 0, 3600, "chem-dft");
+  std::vector<workload::Job> jobs = {j};
+  const auto coarse = power::cluster_power_frame(
+      jobs, machine::MachineScale::small(64), {0, 3600},
+      {.dt = 600, .subsamples = 16});
+  const auto fine = power::cluster_power_frame(
+      jobs, machine::MachineScale::small(64), {0, 3600},
+      {.dt = 10, .subsamples = 1});
+  // Average the fine series into the coarse windows and compare.
+  for (std::size_t w = 0; w < coarse.rows(); ++w) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < 60; ++i) acc += fine.at("input_power_w")[w * 60 + i];
+    acc /= 60.0;
+    EXPECT_NEAR(coarse.at("input_power_w")[w], acc,
+                0.03 * acc);  // subsampling approximation
+  }
+}
+
+TEST(Cluster, RejectsBadOptions) {
+  std::vector<workload::Job> none;
+  EXPECT_THROW(power::cluster_power_frame(none, machine::MachineScale::small(8),
+                                          {0, 100}, {.dt = 0}),
+               util::CheckError);
+  EXPECT_THROW(power::cluster_power_frame(none, machine::MachineScale::small(8),
+                                          {100, 100}, {.dt = 10}),
+               util::CheckError);
+}
+
+}  // namespace

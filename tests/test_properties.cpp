@@ -1,0 +1,324 @@
+// Property-based suites: invariants that must hold across seeds, scales
+// and randomized inputs (TEST_P sweeps), plus tests for the dashboard and
+// the telemetry job join.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/dashboard.hpp"
+#include "core/edges.hpp"
+#include "core/simulation.hpp"
+#include "facility/cooling.hpp"
+#include "power/cluster.hpp"
+#include "power/job_power.hpp"
+#include "telemetry/codec.hpp"
+#include "telemetry/job_join.hpp"
+#include "telemetry/pipeline.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/scheduler.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+// ------------------------------------------------- Scheduler invariants
+
+class SchedulerInvariants
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(SchedulerInvariants, HoldAcrossSeedsAndScales) {
+  const auto [seed, nodes] = GetParam();
+  workload::WorkloadConfig cfg;
+  cfg.scale = machine::MachineScale::small(nodes);
+  cfg.seed = seed;
+  workload::JobGenerator gen(cfg);
+  auto jobs = gen.generate({0, util::kDay / 2});
+  workload::Scheduler sched(cfg.scale);
+  const auto stats = sched.run(jobs, util::kDay / 2);
+
+  // I1: every scheduled job's allocation exactly covers node_count nodes
+  //     inside the machine, with no overlap at any instant.
+  // I2: start >= submit, end <= horizon, runtime <= requested walltime.
+  // I3: scheduled + unscheduled == submissions.
+  std::size_t scheduled = 0;
+  for (const auto& j : jobs) {
+    if (j.start < 0) continue;
+    ++scheduled;
+    int total = 0;
+    for (const auto& r : j.nodes) {
+      EXPECT_GE(r.first, 0);
+      EXPECT_LE(r.first + r.count, nodes);
+      total += r.count;
+    }
+    EXPECT_EQ(total, j.node_count);
+    EXPECT_GE(j.start, j.submit);
+    EXPECT_LE(j.end, util::kDay / 2);
+    EXPECT_LE(j.runtime(), j.requested_walltime);
+  }
+  EXPECT_EQ(scheduled + stats.unscheduled, jobs.size());
+  EXPECT_EQ(scheduled, stats.scheduled);
+
+  // I4: disjointness spot-check at three instants.
+  for (util::TimeSec t :
+       {util::kHour, 5 * util::kHour, 11 * util::kHour}) {
+    std::set<machine::NodeId> busy;
+    for (const auto& j : jobs) {
+      if (j.start < 0 || !j.interval().contains(t)) continue;
+      for (const auto& r : j.nodes) {
+        for (int i = 0; i < r.count; ++i) {
+          EXPECT_TRUE(busy.insert(r.first + i).second);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchedulerInvariants,
+    ::testing::Combine(::testing::Values(1u, 17u, 99u, 12345u),
+                       ::testing::Values(64, 256, 1024)));
+
+// ------------------------------------------- Cluster power mass balance
+
+class ClusterMassBalance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusterMassBalance, EnergyIndependentOfWindowing) {
+  // Total energy over a range must agree between dt=60 and dt=300 grids
+  // (windowing must neither create nor destroy energy), within the
+  // subsampling tolerance.
+  workload::WorkloadConfig cfg;
+  cfg.scale = machine::MachineScale::small(256);
+  cfg.seed = GetParam();
+  workload::JobGenerator gen(cfg);
+  auto jobs = gen.generate({0, util::kDay / 2});
+  workload::Scheduler sched(cfg.scale);
+  sched.run(jobs, util::kDay / 2);
+
+  auto energy = [&](util::TimeSec dt, int subsamples) {
+    const auto frame = power::cluster_power_frame(
+        jobs, cfg.scale, {0, util::kDay / 2},
+        {.dt = dt, .subsamples = subsamples});
+    double acc = 0.0;
+    const auto& p = frame.at("input_power_w");
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      acc += p[i] * static_cast<double>(dt);
+    }
+    return acc;
+  };
+  const double fine = energy(60, 1);
+  const double coarse = energy(300, 5);
+  EXPECT_NEAR(coarse / fine, 1.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterMassBalance,
+                         ::testing::Values(2u, 3u, 5u, 8u));
+
+// -------------------------------------------------- Codec fuzz round-trip
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomStreamsRoundTripExactly) {
+  util::Rng rng(GetParam());
+  std::vector<telemetry::MetricEvent> events;
+  const std::size_t n = 1000 + rng.uniform_index(5000);
+  for (std::size_t i = 0; i < n; ++i) {
+    telemetry::MetricEvent ev;
+    // Adversarial: huge node ids, negative values, out-of-order times,
+    // duplicated (id, t) pairs.
+    ev.id = telemetry::metric_id(
+        static_cast<machine::NodeId>(rng.uniform_index(4626)),
+        static_cast<int>(rng.uniform_index(100)));
+    ev.t = static_cast<std::int64_t>(rng.uniform_index(366 * 86400ULL));
+    ev.value = static_cast<std::int32_t>(rng.uniform_index(1u << 20)) -
+               (1 << 19);
+    events.push_back(ev);
+  }
+  auto block = telemetry::encode_events(events);
+  auto decoded = telemetry::decode_events(block);
+  ASSERT_EQ(decoded.size(), events.size());
+  std::sort(events.begin(), events.end(),
+            [](const telemetry::MetricEvent& a,
+               const telemetry::MetricEvent& b) {
+              return a.id < b.id || (a.id == b.id && a.t < b.t);
+            });
+  // Ties on (id, t) may reorder values; compare multisets per (id, t).
+  std::size_t i = 0;
+  while (i < events.size()) {
+    std::size_t j = i;
+    std::multiset<std::int32_t> want;
+    std::multiset<std::int32_t> got;
+    while (j < events.size() && events[j].id == events[i].id &&
+           events[j].t == events[i].t) {
+      want.insert(events[j].value);
+      got.insert(decoded[j].value);
+      EXPECT_EQ(decoded[j].id, events[j].id);
+      EXPECT_EQ(decoded[j].t, events[j].t);
+      ++j;
+    }
+    EXPECT_EQ(want, got);
+    i = j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// --------------------------------------------- Edge detection properties
+
+class EdgeProperties : public ::testing::TestWithParam<double> {};
+
+TEST_P(EdgeProperties, AmplitudeInvariantToBaseline) {
+  // Shifting a series by a constant must not change its edges.
+  const double baseline = GetParam();
+  util::Rng rng(42);
+  std::vector<double> v(200, 1e5);
+  for (std::size_t i = 50; i < 120; ++i) v[i] = 3e5;
+  for (auto& x : v) x += 20.0 * rng.normal();
+  std::vector<double> shifted = v;
+  for (auto& x : shifted) x += baseline;
+  const auto a = core::detect_edges(ts::Series(0, 10, v), 100.0);
+  const auto b = core::detect_edges(ts::Series(0, 10, shifted), 100.0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_NEAR(a[i].amplitude_w, b[i].amplitude_w, 1e-6);
+    EXPECT_EQ(a[i].duration_s, b[i].duration_s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Baselines, EdgeProperties,
+                         ::testing::Values(0.0, 1e5, 5e6, -1e5));
+
+// ----------------------------------------- Cooling plant step properties
+
+class CoolingProperties : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoolingProperties, SteadyStateIndependentOfPath) {
+  // Approaching a load from above or below must converge to one state.
+  const double load = GetParam();
+  facility::CoolingPlant up;
+  facility::CoolingPlant down;
+  up.reset(load * 0.5, 12.0);
+  down.reset(load * 1.5, 12.0);
+  for (int i = 0; i < 2000; ++i) {
+    up.step(10, load, 12.0);
+    down.step(10, load, 12.0);
+  }
+  EXPECT_NEAR(up.state().pue, down.state().pue, 1e-6);
+  EXPECT_NEAR(up.state().mtw_return_c, down.state().mtw_return_c, 1e-6);
+  EXPECT_NEAR(up.state().tower_tons + up.state().chiller_tons,
+              down.state().tower_tons + down.state().chiller_tons, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, CoolingProperties,
+                         ::testing::Values(3e6, 5.5e6, 8e6, 12e6));
+
+// ------------------------------------------------------------- Dashboard
+
+struct DashboardFixture {
+  machine::MachineScale scale = machine::MachineScale::small(64);
+  std::vector<workload::Job> jobs;
+  std::unique_ptr<workload::AllocationIndex> alloc;
+  power::FleetVariability fleet{scale, 1};
+  thermal::FleetThermal thermals{scale, 2};
+
+  DashboardFixture() {
+    workload::WorkloadConfig cfg;
+    cfg.scale = scale;
+    cfg.seed = 5;
+    workload::JobGenerator gen(cfg);
+    jobs = gen.generate({0, util::kDay / 4});
+    workload::Scheduler sched(scale);
+    sched.run(jobs, util::kDay / 4);
+    alloc = std::make_unique<workload::AllocationIndex>(
+        jobs, util::TimeRange{0, util::kDay / 4}, scale.nodes);
+  }
+};
+
+TEST(Dashboard, SnapshotCountsComponents) {
+  DashboardFixture fx;
+  core::FacilityDashboard dash(*fx.alloc, fx.fleet, fx.thermals,
+                               fx.scale.nodes);
+  facility::CoolingState cooling;
+  cooling.mtw_supply_c = 20.0;
+  const auto snap = dash.snapshot(3 * util::kHour, cooling);
+  EXPECT_EQ(snap.sampled_nodes, 64);
+  EXPECT_EQ(snap.gpu_core_c.total(), 64u * 6u);
+  EXPECT_EQ(snap.cpu_core_c.total(), 64u * 2u);
+  EXPECT_GT(snap.cluster_power_w, 64 * 500.0);
+  EXPECT_EQ(snap.thermal_warnings, 0);  // normal cooling: no warnings
+  const std::string panel = snap.render();
+  EXPECT_NE(panel.find("GPU core temperature"), std::string::npos);
+  EXPECT_NE(panel.find("MTW supply"), std::string::npos);
+}
+
+TEST(Dashboard, StrideSamplingScalesPower) {
+  DashboardFixture fx;
+  core::FacilityDashboard full(*fx.alloc, fx.fleet, fx.thermals,
+                               fx.scale.nodes, 1);
+  core::FacilityDashboard sampled(*fx.alloc, fx.fleet, fx.thermals,
+                                  fx.scale.nodes, 4);
+  facility::CoolingState cooling;
+  const auto a = full.snapshot(3 * util::kHour, cooling);
+  const auto b = sampled.snapshot(3 * util::kHour, cooling);
+  EXPECT_EQ(b.sampled_nodes, 16);
+  EXPECT_NEAR(b.cluster_power_w / a.cluster_power_w, 1.0, 0.35);
+}
+
+TEST(Dashboard, WarmSupplyRaisesWarnings) {
+  DashboardFixture fx;
+  core::FacilityDashboard dash(*fx.alloc, fx.fleet, fx.thermals,
+                               fx.scale.nodes);
+  facility::CoolingState hot;
+  hot.mtw_supply_c = 55.0;  // failed plant scenario
+  const auto snap = dash.snapshot(3 * util::kHour, hot);
+  EXPECT_GT(snap.thermal_warnings, 0);
+}
+
+// ------------------------------------------------------ Telemetry join
+
+TEST(JobJoin, MatchesAnalyticSeriesUpToSensorBias) {
+  DashboardFixture fx;
+  // Find a job fully inside a short window.
+  const workload::Job* target = nullptr;
+  const util::TimeRange window = {util::kHour, 3 * util::kHour};
+  for (const auto& j : fx.jobs) {
+    if (j.start >= window.begin + 600 && j.end <= window.end - 600 &&
+        j.end - j.start >= 900 && j.node_count >= 2) {
+      target = &j;
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr);
+
+  machine::Topology topo(fx.scale);
+  facility::MsbModel msb(topo, 3);
+  telemetry::Pipeline pipeline(target->node_list(), *fx.alloc, fx.fleet,
+                               fx.thermals, msb);
+  (void)pipeline.run({target->start - 30, target->end + 30});
+
+  const auto join =
+      telemetry::join_job_power(pipeline.archive(), *target, window);
+  const ts::Series analytic = power::job_power_series(*target, 10);
+
+  // Compare overlapping windows: measured = analytic * (1 + bias).
+  double ratio_acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t w = 2; w + 2 < join.power_w.size(); ++w) {
+    const auto t = join.power_w.time_at(w);
+    const auto idx = analytic.index_of(t);
+    if (idx < 0 || static_cast<std::size_t>(idx) >= analytic.size()) continue;
+    EXPECT_EQ(join.coverage[w], static_cast<double>(target->node_count));
+    ratio_acc += join.power_w[w] / analytic[static_cast<std::size_t>(idx)];
+    ++count;
+  }
+  ASSERT_GT(count, 10u);
+  const double mean_ratio = ratio_acc / static_cast<double>(count);
+  EXPECT_GT(mean_ratio, 1.04);  // sensors over-read (Figure 4)
+  EXPECT_LT(mean_ratio, 1.20);
+}
+
+}  // namespace

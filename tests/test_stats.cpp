@@ -1,0 +1,409 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/fft.hpp"
+#include "stats/histogram.hpp"
+#include "stats/kde.hpp"
+#include "stats/snapshot.hpp"
+#include "stats/special.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+// ------------------------------------------------------------ Descriptive
+
+TEST(Descriptive, BasicMoments) {
+  const std::vector<double> x = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(stats::mean(x), 5.0);
+  EXPECT_DOUBLE_EQ(stats::variance(x), 4.0);
+  EXPECT_DOUBLE_EQ(stats::stddev(x), 2.0);
+  EXPECT_DOUBLE_EQ(stats::min_value(x), 2.0);
+  EXPECT_DOUBLE_EQ(stats::max_value(x), 9.0);
+  EXPECT_DOUBLE_EQ(stats::sum(x), 40.0);
+}
+
+TEST(Descriptive, QuantileInterpolation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::quantile(x, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(x, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(x, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(stats::median(x), 2.5);
+  EXPECT_DOUBLE_EQ(stats::quantile(x, 1.0 / 3.0), 2.0);
+}
+
+TEST(Descriptive, QuantileEdgeCases) {
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(stats::quantile(one, 0.7), 42.0);
+  EXPECT_THROW(stats::quantile({}, 0.5), util::CheckError);
+  EXPECT_THROW(stats::quantile(one, 1.5), util::CheckError);
+}
+
+TEST(Descriptive, SkewnessSigns) {
+  util::Rng rng(4);
+  std::vector<double> right;
+  std::vector<double> sym;
+  for (int i = 0; i < 20000; ++i) {
+    right.push_back(rng.exponential(1.0));  // skewness 2
+    sym.push_back(rng.normal());
+  }
+  EXPECT_GT(stats::skewness(right), 1.5);
+  EXPECT_NEAR(stats::skewness(sym), 0.0, 0.08);
+  EXPECT_DOUBLE_EQ(stats::skewness(std::vector<double>{1.0, 2.0}), 0.0);
+}
+
+TEST(Descriptive, BoxplotTukeyRule) {
+  // 1..11 plus one far outlier.
+  std::vector<double> x;
+  for (int i = 1; i <= 11; ++i) x.push_back(i);
+  x.push_back(100.0);
+  const auto b = stats::boxplot(x);
+  EXPECT_EQ(b.n, 12u);
+  EXPECT_EQ(b.outliers, 1u);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 11.0);
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 1.0);
+  EXPECT_GT(b.q3, b.q1);
+  EXPECT_DOUBLE_EQ(b.spread(), 10.0);
+}
+
+TEST(Descriptive, BoxplotConstantData) {
+  const std::vector<double> x(10, 3.0);
+  const auto b = stats::boxplot(x);
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.iqr(), 0.0);
+  EXPECT_EQ(b.outliers, 0u);
+}
+
+TEST(Descriptive, ZScores) {
+  const std::vector<double> x = {10.0, 20.0, 30.0};
+  const auto z = stats::zscores(x);
+  EXPECT_NEAR(z[0], -1.0, 1e-12);
+  EXPECT_NEAR(z[1], 0.0, 1e-12);
+  EXPECT_NEAR(z[2], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats::zscore(25.0, 20.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::zscore(25.0, 20.0, 0.0), 0.0);  // degenerate
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(Histogram, BinningAndDensity) {
+  stats::Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.count(b), 1u);
+    EXPECT_DOUBLE_EQ(h.density(b), 0.1);
+  }
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Histogram, UnderOverflow) {
+  stats::Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(11.0);
+  h.add(10.0);  // boundary lands in the last bin
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, ModeAndMerge) {
+  stats::Histogram a(0.0, 10.0, 10);
+  stats::Histogram b(0.0, 10.0, 10);
+  a.add(3.5);
+  a.add(3.6);
+  b.add(3.7);
+  b.add(7.2);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.mode_bin(), 3u);
+  stats::Histogram incompatible(0.0, 5.0, 10);
+  EXPECT_THROW(a.merge(incompatible), util::CheckError);
+}
+
+TEST(Histogram, LogEdges) {
+  const auto edges = stats::log_edges(1.0, 1000.0, 3);
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_NEAR(edges[0], 1.0, 1e-12);
+  EXPECT_NEAR(edges[1], 10.0, 1e-9);
+  EXPECT_NEAR(edges[3], 1000.0, 1e-9);
+  EXPECT_THROW(stats::log_edges(0.0, 10.0, 3), util::CheckError);
+}
+
+// ------------------------------------------------------------------- Ecdf
+
+TEST(Ecdf, StepFunction) {
+  const std::vector<double> x = {1.0, 2.0, 2.0, 4.0};
+  stats::Ecdf cdf(x);
+  EXPECT_DOUBLE_EQ(cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf(3.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf(4.0), 1.0);
+}
+
+TEST(Ecdf, Percentiles) {
+  std::vector<double> x;
+  for (int i = 1; i <= 100; ++i) x.push_back(i);
+  stats::Ecdf cdf(x);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.8), 80.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(1.0), 100.0);
+}
+
+TEST(Ecdf, GridIsMonotone) {
+  util::Rng rng(8);
+  std::vector<double> x;
+  for (int i = 0; i < 500; ++i) x.push_back(rng.normal());
+  stats::Ecdf cdf(x);
+  const auto grid = cdf.grid(50);
+  ASSERT_EQ(grid.size(), 50u);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GE(grid[i].f, grid[i - 1].f);
+    EXPECT_GE(grid[i].x, grid[i - 1].x);
+  }
+  EXPECT_DOUBLE_EQ(grid.back().f, 1.0);
+}
+
+// -------------------------------------------------------------------- KDE
+
+TEST(Kde1, IntegratesToOne) {
+  util::Rng rng(5);
+  std::vector<double> x;
+  for (int i = 0; i < 500; ++i) x.push_back(rng.normal(10.0, 2.0));
+  stats::Kde1 kde(x);
+  double integral = 0.0;
+  const double lo = 0.0;
+  const double hi = 20.0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    integral += kde(lo + (hi - lo) * (i + 0.5) / n) * (hi - lo) / n;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(Kde1, PeaksNearMean) {
+  util::Rng rng(6);
+  std::vector<double> x;
+  for (int i = 0; i < 1000; ++i) x.push_back(rng.normal(3.0, 0.5));
+  stats::Kde1 kde(x);
+  EXPECT_GT(kde(3.0), kde(1.0));
+  EXPECT_GT(kde(3.0), kde(5.0));
+}
+
+TEST(Kde2, BimodalModeCount) {
+  util::Rng rng(7);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 400; ++i) {
+    const bool left = i % 2 == 0;
+    xs.push_back(rng.normal(left ? -4.0 : 4.0, 0.5));
+    ys.push_back(rng.normal(left ? -4.0 : 4.0, 0.5));
+  }
+  stats::Kde2 kde(xs, ys);
+  const auto grid = kde.grid(-7, 7, 40, -7, 7, 40);
+  EXPECT_EQ(stats::Kde2::count_modes(grid, 0.2), 2u);
+}
+
+TEST(Kde2, RejectsMismatchedInputs) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_THROW(stats::Kde2(a, b), util::CheckError);
+}
+
+// ---------------------------------------------------------------- Special
+
+TEST(Special, IncompleteBetaKnownValues) {
+  // I_x(1,1) = x.
+  for (double x : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(stats::incomplete_beta(1.0, 1.0, x), x, 1e-10);
+  }
+  // I_0.5(a,a) = 0.5 by symmetry.
+  EXPECT_NEAR(stats::incomplete_beta(3.0, 3.0, 0.5), 0.5, 1e-10);
+  EXPECT_DOUBLE_EQ(stats::incomplete_beta(2.0, 5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats::incomplete_beta(2.0, 5.0, 1.0), 1.0);
+}
+
+TEST(Special, TTestTwoSided) {
+  // scipy.stats.t.sf(2.0, 10)*2 = 0.07338...
+  EXPECT_NEAR(stats::t_sf_two_sided(2.0, 10.0), 0.07339, 1e-4);
+  EXPECT_NEAR(stats::t_sf_two_sided(0.0, 10.0), 1.0, 1e-12);
+  EXPECT_NEAR(stats::t_sf_two_sided(-2.0, 10.0),
+              stats::t_sf_two_sided(2.0, 10.0), 1e-12);
+}
+
+TEST(Special, PearsonPValue) {
+  // r=0.9, n=10 -> t=5.84, p ~ 3.9e-4 (scipy.stats.pearsonr agreement).
+  EXPECT_NEAR(stats::pearson_p_value(0.9, 10), 3.9e-4, 1e-4);
+  EXPECT_DOUBLE_EQ(stats::pearson_p_value(1.0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(stats::pearson_p_value(0.5, 2), 1.0);  // dof guard
+}
+
+TEST(Special, NormalCdf) {
+  EXPECT_NEAR(stats::normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(stats::normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(stats::normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+// ------------------------------------------------------------ Correlation
+
+TEST(Correlation, PerfectAndInverse) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  std::vector<double> neg(y.rbegin(), y.rend());
+  EXPECT_NEAR(stats::pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(stats::pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Correlation, ZeroVarianceGuard) {
+  const std::vector<double> x = {1, 1, 1};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(stats::pearson(x, y), 0.0);
+}
+
+TEST(Correlation, MatrixBonferroni) {
+  // Three variables over 200 observations: v0 ~ v1 strongly, v2 noise.
+  util::Rng rng(9);
+  std::vector<std::vector<double>> v(3, std::vector<double>(200));
+  for (int i = 0; i < 200; ++i) {
+    const double base = rng.normal();
+    v[0][static_cast<std::size_t>(i)] = base;
+    v[1][static_cast<std::size_t>(i)] = base + 0.1 * rng.normal();
+    v[2][static_cast<std::size_t>(i)] = rng.normal();
+  }
+  stats::CorrelationMatrix m(v, 0.05);
+  EXPECT_EQ(m.variables(), 3u);
+  EXPECT_NEAR(m.adjusted_alpha(), 0.05 / 3.0, 1e-12);
+  EXPECT_TRUE(m.at(0, 1).significant);
+  EXPECT_GT(m.at(0, 1).r, 0.95);
+  EXPECT_FALSE(m.at(0, 2).significant);
+  EXPECT_EQ(m.significant_pairs(), 1u);
+  // Symmetry and unit diagonal.
+  EXPECT_DOUBLE_EQ(m.at(1, 0).r, m.at(0, 1).r);
+  EXPECT_DOUBLE_EQ(m.at(2, 2).r, 1.0);
+}
+
+// -------------------------------------------------------------------- FFT
+
+TEST(Fft, Radix2RoundTrip) {
+  util::Rng rng(10);
+  std::vector<std::complex<double>> a(64);
+  for (auto& c : a) c = {rng.normal(), rng.normal()};
+  auto b = a;
+  stats::fft_radix2(b, false);
+  stats::fft_radix2(b, true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), 1e-9);
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, Radix2RejectsNonPow2) {
+  std::vector<std::complex<double>> a(12);
+  EXPECT_THROW(stats::fft_radix2(a, false), util::CheckError);
+}
+
+TEST(Fft, BluesteinMatchesNaiveDft) {
+  const std::size_t n = 13;  // prime size exercises Bluestein
+  util::Rng rng(11);
+  std::vector<std::complex<double>> x(n);
+  for (auto& c : x) c = {rng.normal(), 0.0};
+  const auto fast = stats::fft_any(x, false);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi *
+                         static_cast<double>(k * j) / static_cast<double>(n);
+      acc += x[j] * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    EXPECT_NEAR(fast[k].real(), acc.real(), 1e-8);
+    EXPECT_NEAR(fast[k].imag(), acc.imag(), 1e-8);
+  }
+}
+
+TEST(Fft, BluesteinInverseRoundTrip) {
+  util::Rng rng(12);
+  std::vector<std::complex<double>> x(100);  // non-power-of-two
+  for (auto& c : x) c = {rng.normal(), rng.normal()};
+  const auto fwd = stats::fft_any(x, false);
+  const auto back = stats::fft_any(fwd, true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), back[i].real(), 1e-8);
+    EXPECT_NEAR(x[i].imag(), back[i].imag(), 1e-8);
+  }
+}
+
+class DominantFrequencyTest
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(DominantFrequencyTest, RecoversInjectedTone) {
+  const double freq = std::get<0>(GetParam());
+  const std::size_t n = std::get<1>(GetParam());
+  const double dt = 10.0;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 5.0 * std::sin(2.0 * std::numbers::pi * freq * dt *
+                          static_cast<double>(i));
+  }
+  const auto dom = stats::dominant_frequency(x, dt);
+  const double resolution = 1.0 / (static_cast<double>(n) * dt);
+  EXPECT_NEAR(dom.frequency_hz, freq, 1.5 * resolution);
+  // Spectral leakage (the tone rarely lands on a bin center) spreads the
+  // peak: accept down to half the injected amplitude.
+  EXPECT_GT(dom.amplitude, 2.5);
+  EXPECT_LT(dom.amplitude, 5.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tones, DominantFrequencyTest,
+    ::testing::Combine(::testing::Values(0.005, 0.01, 0.02, 0.04),
+                       ::testing::Values(128, 200, 333, 1000)));
+
+TEST(Fft, DominantFrequencyShortInput) {
+  const std::vector<double> x = {1.0, 2.0};
+  const auto dom = stats::dominant_frequency(x, 10.0);
+  EXPECT_DOUBLE_EQ(dom.amplitude, 0.0);
+}
+
+// --------------------------------------------------------------- Snapshot
+
+TEST(Snapshot, MeanAndConfidenceInterval) {
+  std::vector<std::vector<double>> snaps = {
+      {1.0, 2.0, 3.0}, {3.0, 2.0, 1.0}, {2.0, 2.0, 2.0}};
+  const auto band = stats::superimpose(snaps);
+  EXPECT_EQ(band.snapshots, 3u);
+  ASSERT_EQ(band.mean.size(), 3u);
+  EXPECT_DOUBLE_EQ(band.mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(band.mean[1], 2.0);
+  EXPECT_GT(band.hi[0], band.lo[0]);
+  // Identical column -> zero-width CI.
+  EXPECT_DOUBLE_EQ(band.hi[1], band.lo[1]);
+}
+
+TEST(Snapshot, NanEntriesAreSkipped) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<std::vector<double>> snaps = {{1.0, nan}, {3.0, 4.0}};
+  const auto band = stats::superimpose(snaps);
+  EXPECT_DOUBLE_EQ(band.mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(band.mean[1], 4.0);
+}
+
+TEST(Snapshot, RejectsRaggedInput) {
+  std::vector<std::vector<double>> snaps = {{1.0, 2.0}, {3.0}};
+  EXPECT_THROW(stats::superimpose(snaps), util::CheckError);
+}
+
+TEST(Snapshot, EmptyInput) {
+  const auto band = stats::superimpose({});
+  EXPECT_EQ(band.snapshots, 0u);
+  EXPECT_TRUE(band.mean.empty());
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+// Final coverage pass: numeric edge cases and invariants in stats/ts
+// that the figure-driven tests do not reach.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "stats/descriptive.hpp"
+#include "stats/fft.hpp"
+#include "stats/histogram.hpp"
+#include "stats/kde.hpp"
+#include "stats/special.hpp"
+#include "ts/series.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+// ------------------------------------------------------------- Histogram
+
+class HistogramDensity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HistogramDensity, IntegratesToOneForAnyBinning) {
+  const std::size_t bins = GetParam();
+  stats::Histogram h(0.0, 100.0, bins);
+  util::Rng rng(7);
+  for (int i = 0; i < 5000; ++i) h.add(rng.uniform(0.0, 100.0));
+  double integral = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    integral += h.density(b) * h.bin_width();
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Binnings, HistogramDensity,
+                         ::testing::Values(1u, 2u, 7u, 16u, 100u));
+
+TEST(Histogram, DensityExcludesOutOfRangeMass) {
+  stats::Histogram h(0.0, 10.0, 2);
+  h.add(5.0);
+  h.add(-100.0);
+  h.add(100.0);
+  double integral = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    integral += h.density(b) * h.bin_width();
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-12);  // normalized over in-range mass
+}
+
+// ------------------------------------------------------------------- KDE
+
+TEST(Kde1, ExplicitBandwidthOverridesScott) {
+  const std::vector<double> x = {0.0, 10.0};
+  stats::Kde1 wide(x, 100.0);
+  stats::Kde1 narrow(x, 0.1);
+  EXPECT_DOUBLE_EQ(wide.bandwidth(), 100.0);
+  // Narrow bandwidth: deep valley between the two points.
+  EXPECT_LT(narrow(5.0), 0.01 * narrow(0.0));
+  // Wide bandwidth: essentially flat between them.
+  EXPECT_GT(wide(5.0), 0.9 * wide(0.0));
+}
+
+TEST(Kde1, ConstantSampleFallsBackToUnitBandwidth) {
+  const std::vector<double> x(10, 3.0);
+  stats::Kde1 kde(x);  // Scott's rule would give 0; falls back to 1
+  EXPECT_DOUBLE_EQ(kde.bandwidth(), 1.0);
+  EXPECT_GT(kde(3.0), kde(6.0));
+}
+
+TEST(Kde2, GridCoordinatesSpanRequestedRange) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {0.0, 1.0, 2.0};
+  stats::Kde2 kde(xs, ys);
+  const auto g = kde.grid(-1.0, 3.0, 5, -2.0, 4.0, 7);
+  EXPECT_DOUBLE_EQ(g.x.front(), -1.0);
+  EXPECT_DOUBLE_EQ(g.x.back(), 3.0);
+  EXPECT_DOUBLE_EQ(g.y.front(), -2.0);
+  EXPECT_DOUBLE_EQ(g.y.back(), 4.0);
+  EXPECT_EQ(g.density.size(), 35u);
+}
+
+// --------------------------------------------------------------- Special
+
+TEST(Special, IncompleteBetaMonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double v = stats::incomplete_beta(2.5, 4.0, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Special, IncompleteBetaSymmetry) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (double x : {0.1, 0.3, 0.7}) {
+    EXPECT_NEAR(stats::incomplete_beta(2.0, 7.0, x),
+                1.0 - stats::incomplete_beta(7.0, 2.0, 1.0 - x), 1e-10);
+  }
+}
+
+TEST(Special, TTestApproachesNormalForLargeDf) {
+  // t-distribution -> normal: two-sided p at t=1.96, df=1e6 ~ 0.05.
+  EXPECT_NEAR(stats::t_sf_two_sided(1.96, 1e6), 0.05, 1e-3);
+}
+
+// ------------------------------------------------------------------- FFT
+
+TEST(Fft, ParsevalEnergyConservation) {
+  util::Rng rng(5);
+  std::vector<std::complex<double>> x(100);  // Bluestein path
+  for (auto& c : x) c = {rng.normal(), rng.normal()};
+  const auto X = stats::fft_any(x, false);
+  double time_energy = 0.0;
+  double freq_energy = 0.0;
+  for (const auto& c : x) time_energy += std::norm(c);
+  for (const auto& c : X) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(x.size()), time_energy,
+              1e-6 * time_energy);
+}
+
+TEST(Fft, LinearityOfSpectrum) {
+  std::vector<double> a(60);
+  std::vector<double> b(60);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = std::sin(0.3 * static_cast<double>(i));
+    b[i] = std::cos(0.7 * static_cast<double>(i));
+  }
+  std::vector<double> sum(60);
+  for (std::size_t i = 0; i < sum.size(); ++i) sum[i] = a[i] + 2.0 * b[i];
+  const auto fa = stats::fft_real(a);
+  const auto fb = stats::fft_real(b);
+  const auto fs = stats::fft_real(sum);
+  for (std::size_t k = 0; k < fs.size(); ++k) {
+    EXPECT_NEAR(std::abs(fs[k] - (fa[k] + 2.0 * fb[k])), 0.0, 1e-8);
+  }
+}
+
+// ------------------------------------------------------------ Descriptive
+
+TEST(Descriptive, BoxplotWhiskersAreDataPoints) {
+  // Whiskers must be actual observations, not fence values.
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
+  const auto b = stats::boxplot(x);
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 1.0);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 7.0);
+  EXPECT_EQ(b.outliers, 0u);
+}
+
+TEST(Descriptive, SkewnessScaleInvariant) {
+  util::Rng rng(11);
+  std::vector<double> x;
+  for (int i = 0; i < 5000; ++i) x.push_back(rng.exponential(1.0));
+  std::vector<double> scaled;
+  for (double v : x) scaled.push_back(1000.0 * v + 77.0);
+  EXPECT_NEAR(stats::skewness(x), stats::skewness(scaled), 1e-9);
+}
+
+// ---------------------------------------------------------------- Series
+
+TEST(Series, DiffThenCumulateRecovers) {
+  util::Rng rng(13);
+  std::vector<double> v(50);
+  for (auto& x : v) x = rng.uniform(0.0, 100.0);
+  const ts::Series s(0, 10, v);
+  const ts::Series d = s.diff();
+  double acc = v[0];
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    acc += d[i];
+    EXPECT_NEAR(acc, v[i + 1], 1e-9);
+  }
+}
+
+TEST(Series, SliceOfSliceComposes) {
+  std::vector<double> v(100);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  const ts::Series s(0, 10, v);
+  const ts::Series once = s.slice({200, 800});
+  const ts::Series twice = once.slice({300, 500});
+  const ts::Series direct = s.slice({300, 500});
+  ASSERT_EQ(twice.size(), direct.size());
+  EXPECT_EQ(twice.start(), direct.start());
+  for (std::size_t i = 0; i < twice.size(); ++i) {
+    EXPECT_DOUBLE_EQ(twice[i], direct[i]);
+  }
+}
+
+TEST(StatSeries, CoarsenIdempotentAtSameWindow) {
+  // Coarsening an already-10s series by 10 yields one sample per window.
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  const auto st = ts::coarsen(ts::Series(0, 10, v), 10);
+  ASSERT_EQ(st.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(st[i].count, 1u);
+    EXPECT_DOUBLE_EQ(st[i].mean, v[i]);
+    EXPECT_DOUBLE_EQ(st[i].std, 0.0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gpu_survival.hpp"
+#include "core/simulation.hpp"
+#include "stats/survival.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace exawatt;
+using stats::SurvivalObservation;
+
+TEST(KaplanMeier, TextbookExample) {
+  // Classic: events at 6, 7; censored at 9; event at 10 (n = 4).
+  std::vector<SurvivalObservation> obs = {
+      {6, true}, {7, true}, {9, false}, {10, true}};
+  stats::KaplanMeier km(obs);
+  EXPECT_DOUBLE_EQ(km(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(km(6.0), 0.75);        // 1 * (1 - 1/4)
+  EXPECT_DOUBLE_EQ(km(8.0), 0.5);         // * (1 - 1/3)
+  EXPECT_DOUBLE_EQ(km(9.5), 0.5);         // censoring changes nothing
+  EXPECT_DOUBLE_EQ(km(10.0), 0.0);        // * (1 - 1/1)
+  EXPECT_DOUBLE_EQ(km.median(), 8.0 < 10 ? 7.0 : 7.0);  // S(7)=0.5
+}
+
+TEST(KaplanMeier, AllCensoredStaysAtOne) {
+  std::vector<SurvivalObservation> obs(10, {100.0, false});
+  stats::KaplanMeier km(obs);
+  EXPECT_DOUBLE_EQ(km(1000.0), 1.0);
+  EXPECT_TRUE(std::isinf(km.median()));
+  EXPECT_EQ(km.total_events(), 0u);
+}
+
+TEST(KaplanMeier, TiedEventTimes) {
+  std::vector<SurvivalObservation> obs = {
+      {5, true}, {5, true}, {5, false}, {8, true}};
+  stats::KaplanMeier km(obs);
+  EXPECT_DOUBLE_EQ(km(5.0), 0.5);  // 1 - 2/4
+  EXPECT_DOUBLE_EQ(km(8.0), 0.0);
+}
+
+TEST(KaplanMeier, MatchesExponentialSurvival) {
+  // Exponential lifetimes without censoring: S(t) ~ exp(-lambda t).
+  util::Rng rng(7);
+  std::vector<SurvivalObservation> obs;
+  const double lambda = 1.0 / 50.0;
+  for (int i = 0; i < 20000; ++i) {
+    obs.push_back({rng.exponential(lambda), true});
+  }
+  stats::KaplanMeier km(obs);
+  for (double t : {10.0, 50.0, 100.0}) {
+    EXPECT_NEAR(km(t), std::exp(-lambda * t), 0.01) << "t=" << t;
+  }
+  EXPECT_NEAR(km.median(), std::log(2.0) / lambda, 1.5);
+}
+
+TEST(KaplanMeier, RejectsBadInput) {
+  EXPECT_THROW(stats::KaplanMeier({}), util::CheckError);
+  EXPECT_THROW(stats::KaplanMeier({{-1.0, true}}), util::CheckError);
+}
+
+TEST(LogRank, SameDistributionNotSignificant) {
+  util::Rng rng(9);
+  std::vector<SurvivalObservation> a;
+  std::vector<SurvivalObservation> b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back({rng.exponential(0.01), true});
+    b.push_back({rng.exponential(0.01), true});
+  }
+  const auto result = stats::log_rank_test(a, b);
+  EXPECT_GT(result.p_value, 0.05);
+}
+
+TEST(LogRank, DifferentHazardsSignificant) {
+  util::Rng rng(11);
+  std::vector<SurvivalObservation> fast;
+  std::vector<SurvivalObservation> slow;
+  for (int i = 0; i < 300; ++i) {
+    fast.push_back({rng.exponential(0.05), true});
+    slow.push_back({rng.exponential(0.01), true});
+  }
+  const auto result = stats::log_rank_test(fast, slow);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_GT(result.chi_square, 30.0);
+}
+
+TEST(LogRank, CensoringHandled) {
+  // Group B heavily censored early: should not fake a difference.
+  util::Rng rng(13);
+  std::vector<SurvivalObservation> a;
+  std::vector<SurvivalObservation> b;
+  for (int i = 0; i < 400; ++i) {
+    const double t = rng.exponential(0.02);
+    a.push_back({t, true});
+    const double t2 = rng.exponential(0.02);
+    b.push_back({std::min(t2, 30.0), t2 < 30.0});
+  }
+  const auto result = stats::log_rank_test(a, b);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(GpuSurvival, WeakPoolFailsFirst) {
+  core::SimulationConfig config;
+  config.scale = machine::MachineScale::small(256);
+  config.seed = 61;
+  config.range = {0, 4 * util::kWeek};
+  config.failures.rate_scale = 60.0;
+  core::Simulation sim(config);
+  const auto study = core::gpu_survival_study(
+      sim.failure_log(), sim.failure_generator().defect_pool(),
+      config.scale.nodes, config.range);
+
+  ASSERT_EQ(study.all.size(), 256u * 6u);
+  const stats::KaplanMeier weak(study.weak_pool);
+  const stats::KaplanMeier healthy(study.healthy);
+  const double horizon = static_cast<double>(config.range.duration());
+  EXPECT_LT(weak(horizon), healthy(horizon));
+  EXPECT_LT(study.weak_vs_healthy.p_value, 0.01);
+}
+
+TEST(GpuSurvival, ApplicationFailuresExcluded) {
+  // A log with only memory page faults (application type) yields zero
+  // events: every GPU is censored.
+  std::vector<failures::GpuFailureEvent> log(50);
+  for (auto& ev : log) {
+    ev.type = failures::XidType::kMemoryPageFault;
+    ev.node = 1;
+    ev.slot = 0;
+    ev.time = 100;
+  }
+  const auto study =
+      core::gpu_survival_study(log, {}, 8, {0, util::kDay});
+  const stats::KaplanMeier km(study.all);
+  EXPECT_EQ(km.total_events(), 0u);
+  EXPECT_DOUBLE_EQ(km(static_cast<double>(util::kDay)), 1.0);
+}
+
+TEST(GpuSurvival, FirstFailureOnlyCountsOnce) {
+  std::vector<failures::GpuFailureEvent> log;
+  for (int i = 0; i < 5; ++i) {
+    failures::GpuFailureEvent ev;
+    ev.type = failures::XidType::kDoubleBitError;
+    ev.node = 2;
+    ev.slot = 3;
+    ev.time = 1000 + i * 100;
+    log.push_back(ev);
+  }
+  const auto study = core::gpu_survival_study(log, {}, 8, {0, util::kDay});
+  const stats::KaplanMeier km(study.all);
+  EXPECT_EQ(km.total_events(), 1u);  // one GPU failed (at its first event)
+  EXPECT_EQ(study.by_slot[3].size(), 8u);
+}
+
+}  // namespace

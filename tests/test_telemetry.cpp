@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "telemetry/aggregator.hpp"
+#include "telemetry/bmc.hpp"
+#include "telemetry/codec.hpp"
+#include "telemetry/collector.hpp"
+#include "telemetry/node_sampler.hpp"
+#include "telemetry/pipeline.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/scheduler.hpp"
+
+namespace {
+
+using namespace exawatt;
+namespace tm = exawatt::telemetry;
+
+// ----------------------------------------------------------------- Metric
+
+TEST(Metric, SchemaHasHundredChannels) {
+  EXPECT_EQ(tm::metrics_per_node(), 100);
+}
+
+TEST(Metric, ChannelRoundTrip) {
+  for (int c = 0; c < tm::metrics_per_node(); ++c) {
+    const auto info = tm::channel_info(c);
+    EXPECT_EQ(tm::channel_of(info.kind, info.index), c);
+  }
+  EXPECT_THROW(tm::channel_info(100), util::CheckError);
+  EXPECT_THROW(tm::channel_of(tm::MetricKind::kGpuPower, 6),
+               util::CheckError);
+}
+
+TEST(Metric, MetricIdRoundTrip) {
+  const tm::MetricId id = tm::metric_id(1234, 57);
+  EXPECT_EQ(tm::metric_node(id), 1234);
+  EXPECT_EQ(tm::metric_channel(id), 57);
+}
+
+TEST(Metric, NamesAreInformative) {
+  const auto name = tm::metric_name(
+      tm::metric_id(7, tm::channel_of(tm::MetricKind::kGpuCoreTemp, 3)));
+  EXPECT_NE(name.find("node00007"), std::string::npos);
+  EXPECT_NE(name.find("gpu3_core_temp"), std::string::npos);
+}
+
+// -------------------------------------------------------------------- BMC
+
+TEST(Bmc, FirstPushEmitsEverything) {
+  tm::Bmc bmc(3);
+  std::vector<std::int32_t> v(100, 7);
+  const auto events = bmc.push(100, v);
+  EXPECT_EQ(events.size(), 100u);
+  EXPECT_EQ(events[0].t, 100);
+  EXPECT_EQ(tm::metric_node(events[0].id), 3);
+}
+
+TEST(Bmc, EmitOnChangeSuppressesStaticChannels) {
+  tm::Bmc bmc(0);
+  std::vector<std::int32_t> v(100, 7);
+  (void)bmc.push(0, v);
+  EXPECT_TRUE(bmc.push(1, v).empty());  // nothing changed
+  v[42] = 8;
+  const auto events = bmc.push(2, v);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(tm::metric_channel(events[0].id), 42);
+  EXPECT_EQ(events[0].value, 8);
+  // Value must persist: same value again emits nothing.
+  EXPECT_TRUE(bmc.push(3, v).empty());
+}
+
+TEST(Bmc, TracksSuppressionStats) {
+  tm::Bmc bmc(0);
+  std::vector<std::int32_t> v(100, 1);
+  (void)bmc.push(0, v);
+  (void)bmc.push(1, v);
+  EXPECT_EQ(bmc.readings_seen(), 200u);
+  EXPECT_EQ(bmc.events_emitted(), 100u);
+}
+
+TEST(Bmc, RejectsWrongWidth) {
+  tm::Bmc bmc(0);
+  std::vector<std::int32_t> v(3, 1);
+  EXPECT_THROW((void)bmc.push(0, v), util::CheckError);
+}
+
+// -------------------------------------------------------------- Collector
+
+TEST(Collector, DelayWithinBounds) {
+  tm::Collector collector({.mean_delay_s = 2.5, .max_delay_s = 5.0});
+  std::vector<tm::MetricEvent> events;
+  for (int i = 0; i < 5000; ++i) {
+    events.push_back({tm::metric_id(i % 37, 0), i / 37, 100});
+  }
+  const auto arrivals = collector.ingest(events);
+  ASSERT_EQ(arrivals.size(), events.size());
+  for (const auto& a : arrivals) {
+    EXPECT_GE(a.arrival_t, a.event.t);
+    EXPECT_LE(a.arrival_t, a.event.t + 5);
+  }
+  EXPECT_NEAR(collector.mean_delay_observed(), 2.5, 0.2);
+}
+
+TEST(Collector, DeterministicPerNodeSecond) {
+  tm::Collector c1;
+  tm::Collector c2;
+  std::vector<tm::MetricEvent> events = {{tm::metric_id(5, 1), 99, 1}};
+  EXPECT_EQ(c1.ingest(events)[0].arrival_t, c2.ingest(events)[0].arrival_t);
+}
+
+// ------------------------------------------------------------------ Codec
+
+TEST(Codec, RoundTripExact) {
+  util::Rng rng(13);
+  std::vector<tm::MetricEvent> events;
+  for (int i = 0; i < 5000; ++i) {
+    events.push_back(
+        {tm::metric_id(static_cast<machine::NodeId>(rng.uniform_index(20)),
+                       static_cast<int>(rng.uniform_index(100))),
+         static_cast<std::int64_t>(rng.uniform_index(3600)),
+         static_cast<std::int32_t>(rng.uniform_index(3000)) - 500});
+  }
+  const auto block = tm::encode_events(events);
+  const auto decoded = tm::decode_events(block);
+  ASSERT_EQ(decoded.size(), events.size());
+  // Decoded is (id, t)-sorted; sort the input the same way and compare.
+  std::sort(events.begin(), events.end(),
+            [](const tm::MetricEvent& a, const tm::MetricEvent& b) {
+              return a.id < b.id || (a.id == b.id && a.t < b.t);
+            });
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(decoded[i].id, events[i].id);
+    EXPECT_EQ(decoded[i].t, events[i].t);
+    EXPECT_EQ(decoded[i].value, events[i].value);
+  }
+}
+
+TEST(Codec, CompressesSmoothStreams) {
+  // 1 Hz power readings wandering by a few watts: the telemetry common
+  // case. Expect strong compression vs 16-byte raw records.
+  util::Rng rng(14);
+  std::vector<tm::MetricEvent> events;
+  std::int32_t v = 1200;
+  for (int t = 0; t < 20000; ++t) {
+    v += static_cast<std::int32_t>(rng.uniform_index(7)) - 3;
+    events.push_back({tm::metric_id(0, 0), t, v});
+  }
+  const auto block = tm::encode_events(events);
+  EXPECT_GT(block.compression_ratio(), 6.0);
+  EXPECT_TRUE(tm::decode_events(block).size() == events.size());
+}
+
+TEST(Codec, EmptyBlock) {
+  const auto block = tm::encode_events({});
+  EXPECT_EQ(block.events, 0u);
+  EXPECT_TRUE(tm::decode_events(block).empty());
+}
+
+TEST(Codec, NegativeValuesSurvive) {
+  std::vector<tm::MetricEvent> events = {{1, 0, -100},
+                                         {1, 1, -50},
+                                         {1, 2, 50}};
+  const auto decoded = tm::decode_events(tm::encode_events(events));
+  EXPECT_EQ(decoded[0].value, -100);
+  EXPECT_EQ(decoded[2].value, 50);
+}
+
+// ---------------------------------------------------------------- Archive
+
+TEST(Archive, QueryFiltersByMetricAndTime) {
+  tm::Archive archive;
+  std::vector<tm::MetricEvent> events;
+  for (int t = 0; t < 100; ++t) {
+    events.push_back({tm::metric_id(1, 0), t, t});
+    events.push_back({tm::metric_id(2, 0), t, -t});
+  }
+  archive.append(std::move(events));
+  const auto samples = archive.query(tm::metric_id(1, 0), {10, 20});
+  ASSERT_EQ(samples.size(), 10u);
+  EXPECT_EQ(samples[0].t, 10);
+  EXPECT_DOUBLE_EQ(samples[0].value, 10.0);
+  EXPECT_TRUE(archive.query(tm::metric_id(3, 0), {0, 100}).empty());
+}
+
+TEST(Archive, PartitionsByDay) {
+  tm::Archive archive;
+  archive.append({{1, 100, 5}});
+  archive.append({{1, util::kDay + 100, 6}});
+  EXPECT_EQ(archive.partitions(), 2u);
+  EXPECT_EQ(archive.total_events(), 2u);
+  const auto both = archive.query(1, {0, 2 * util::kDay});
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(both[1].t, util::kDay + 100);
+}
+
+// ------------------------------------------------- Sampler and Pipeline
+
+struct PipelineFixture {
+  machine::MachineScale scale = machine::MachineScale::small(64);
+  std::vector<workload::Job> jobs;
+  std::unique_ptr<workload::AllocationIndex> alloc;
+  power::FleetVariability fleet{scale, 1};
+  thermal::FleetThermal thermals{scale, 2};
+  machine::Topology topo{scale};
+  facility::MsbModel msb{topo, 3};
+  util::TimeRange window{util::kHour, util::kHour + 10 * util::kMinute};
+
+  PipelineFixture() {
+    workload::WorkloadConfig cfg;
+    cfg.scale = scale;
+    cfg.seed = 17;
+    workload::JobGenerator gen(cfg);
+    jobs = gen.generate({0, util::kDay / 4});
+    workload::Scheduler sched(scale);
+    sched.run(jobs, util::kDay / 4);
+    alloc = std::make_unique<workload::AllocationIndex>(jobs, window,
+                                                        scale.nodes);
+  }
+};
+
+TEST(NodeSampler, ReadingsPlausibleAndMonotoneTime) {
+  PipelineFixture fx;
+  tm::NodeSampler sampler(0, *fx.alloc, fx.fleet, fx.thermals, fx.msb, 20.0);
+  auto r = sampler.sample(fx.window.begin);
+  EXPECT_EQ(r.values.size(), 100u);
+  EXPECT_GT(r.true_input_w, 300.0);
+  EXPECT_LT(r.true_input_w, 3000.0);
+  const int ch_temp = tm::channel_of(tm::MetricKind::kGpuCoreTemp, 0);
+  EXPECT_GT(r.values[static_cast<std::size_t>(ch_temp)], 15);
+  EXPECT_LT(r.values[static_cast<std::size_t>(ch_temp)], 80);
+  EXPECT_THROW(sampler.sample(fx.window.begin), util::CheckError);
+  EXPECT_NO_THROW(sampler.sample(fx.window.begin + 1));
+}
+
+TEST(NodeSampler, TemperatureRelaxesNotJumps) {
+  PipelineFixture fx;
+  tm::NodeSampler sampler(1, *fx.alloc, fx.fleet, fx.thermals, fx.msb, 20.0);
+  double prev = -1.0;
+  for (util::TimeSec t = fx.window.begin; t < fx.window.begin + 120; ++t) {
+    (void)sampler.sample(t);
+    const double now = sampler.temps().gpu_c[0];
+    if (prev >= 0.0) {
+      EXPECT_LT(std::fabs(now - prev), 4.0);
+    }
+    prev = now;
+  }
+}
+
+TEST(Pipeline, EndToEndStatsAndReadback) {
+  PipelineFixture fx;
+  std::vector<machine::NodeId> nodes = {0, 1, 2, 3};
+  tm::Pipeline pipeline(nodes, *fx.alloc, fx.fleet, fx.thermals, fx.msb);
+  const auto stats =
+      pipeline.run({fx.window.begin, fx.window.begin + 120});
+  EXPECT_EQ(stats.readings, 4u * 120u * 100u);
+  EXPECT_GT(stats.events, 0u);
+  EXPECT_GT(stats.suppression_ratio, 1.5);
+  EXPECT_GT(stats.compression_ratio, 2.0);
+  EXPECT_GT(stats.mean_delay_s, 1.0);
+  EXPECT_LT(stats.mean_delay_s, 4.0);
+
+  // Read one metric back and coarsen: counts must cover the window.
+  const auto agg = tm::aggregate_metric(
+      pipeline.archive(),
+      tm::metric_id(0, tm::channel_of(tm::MetricKind::kInputPower, 0)),
+      {fx.window.begin, fx.window.begin + 120});
+  ASSERT_EQ(agg.size(), 12u);
+  for (std::size_t w = 0; w < agg.size(); ++w) {
+    EXPECT_EQ(agg[w].count, 10u) << "window " << w;
+    EXPECT_GT(agg[w].mean, 300.0);
+  }
+}
+
+TEST(Pipeline, ClusterSumAcrossNodes) {
+  PipelineFixture fx;
+  std::vector<machine::NodeId> nodes = {0, 1, 2, 3, 4, 5};
+  tm::Pipeline pipeline(nodes, *fx.alloc, fx.fleet, fx.thermals, fx.msb);
+  (void)pipeline.run({fx.window.begin, fx.window.begin + 60});
+  std::vector<double> counts;
+  const auto sum = tm::cluster_sum(
+      pipeline.archive(), nodes,
+      tm::channel_of(tm::MetricKind::kInputPower, 0),
+      {fx.window.begin, fx.window.begin + 60}, 10, &counts);
+  ASSERT_EQ(sum.size(), 6u);
+  for (std::size_t w = 0; w < sum.size(); ++w) {
+    EXPECT_DOUBLE_EQ(counts[w], 6.0);
+    EXPECT_GT(sum[w], 6.0 * 300.0);  // six nodes above idle floor-ish
+  }
+}
+
+TEST(Pipeline, RejectsEmptyNodeSet) {
+  PipelineFixture fx;
+  EXPECT_THROW(tm::Pipeline({}, *fx.alloc, fx.fleet, fx.thermals, fx.msb),
+               util::CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "power/job_power.hpp"
+#include "thermal/node_thermal.hpp"
+#include "thermal/rc_model.hpp"
+#include "util/check.hpp"
+#include "util/welford.hpp"
+
+namespace {
+
+using namespace exawatt;
+using machine::SummitSpec;
+
+// ---------------------------------------------------------------- RC step
+
+TEST(RcModel, ConvergesToTarget) {
+  double t = 20.0;
+  for (int i = 0; i < 100; ++i) t = thermal::rc_step(t, 50.0, 10.0, 20.0);
+  EXPECT_NEAR(t, 50.0, 1e-6);
+}
+
+TEST(RcModel, OneTauReaches63Percent) {
+  const double t = thermal::rc_step(0.0, 100.0, 20.0, 20.0);
+  EXPECT_NEAR(t, 63.21, 0.01);
+}
+
+TEST(RcModel, ZeroDtIsIdentity) {
+  EXPECT_DOUBLE_EQ(thermal::rc_step(33.0, 99.0, 0.0, 20.0), 33.0);
+}
+
+TEST(RcModel, RejectsBadParameters) {
+  EXPECT_THROW(thermal::rc_step(0.0, 1.0, -1.0, 20.0), util::CheckError);
+  EXPECT_THROW(thermal::rc_step(0.0, 1.0, 1.0, 0.0), util::CheckError);
+}
+
+TEST(RcModel, AsymmetricStepsFasterUp) {
+  const double up = thermal::rc_step_asymmetric(0.0, 100.0, 30.0, 50.0, 170.0);
+  const double down =
+      100.0 - thermal::rc_step_asymmetric(100.0, 0.0, 30.0, 50.0, 170.0);
+  EXPECT_GT(up, down);  // heating approach is faster than cooling decay
+}
+
+// ------------------------------------------------------------ FleetThermal
+
+thermal::FleetThermal small_fleet() {
+  return thermal::FleetThermal(machine::MachineScale::small(256), 9);
+}
+
+TEST(FleetThermal, ResistancesPositiveAndVaried) {
+  const auto fleet = small_fleet();
+  util::Welford acc;
+  for (machine::NodeId n = 0; n < 256; ++n) {
+    for (int g = 0; g < 6; ++g) {
+      const double r = fleet.gpu_r(n, g);
+      EXPECT_GT(r, 0.0);
+      acc.add(r);
+    }
+  }
+  EXPECT_NEAR(acc.mean(), fleet.params().gpu_r_mean_c_per_w,
+              0.05 * fleet.params().gpu_r_mean_c_per_w);
+  EXPECT_GT(acc.stddev() / acc.mean(), 0.10);  // real chip-to-chip spread
+}
+
+TEST(FleetThermal, Deterministic) {
+  const auto a = small_fleet();
+  const auto b = small_fleet();
+  EXPECT_DOUBLE_EQ(a.gpu_r(17, 2), b.gpu_r(17, 2));
+  EXPECT_DOUBLE_EQ(a.cpu_r(17, 1), b.cpu_r(17, 1));
+  EXPECT_DOUBLE_EQ(a.node_coolant_offset_c(100), b.node_coolant_offset_c(100));
+}
+
+TEST(FleetThermal, BoundsChecked) {
+  const auto fleet = small_fleet();
+  EXPECT_THROW(fleet.gpu_r(256, 0), util::CheckError);
+  EXPECT_THROW(fleet.gpu_r(0, 6), util::CheckError);
+  EXPECT_THROW(fleet.cpu_r(0, 2), util::CheckError);
+}
+
+TEST(FleetThermal, SteadyTempsIdleNearSupply) {
+  const auto fleet = small_fleet();
+  power::FleetVariability var(machine::MachineScale::small(256), 9);
+  const auto p = power::idle_node_power(5, var);
+  const auto t = fleet.steady_temps(5, p, 20.0);
+  for (double c : t.gpu_c) {
+    EXPECT_GT(c, 20.0);
+    EXPECT_LT(c, 30.0);  // idle GPUs barely above the water
+  }
+}
+
+TEST(FleetThermal, SteadyTempsLoadedBelowSixty) {
+  const auto fleet = small_fleet();
+  // Fully loaded GPUs at 290 W each.
+  power::NodeComponentPower p;
+  for (auto& g : p.gpu_w) g = 290.0;
+  for (auto& c : p.cpu_w) c = 150.0;
+  int below_60 = 0;
+  double max_c = 0.0;
+  for (machine::NodeId n = 0; n < 256; ++n) {
+    const auto t = fleet.steady_temps(n, p, 20.0);
+    for (double c : t.gpu_c) {
+      if (c < 60.0) ++below_60;
+      max_c = std::max(max_c, c);
+    }
+  }
+  // Paper: "the vast majority of the GPUs do not exceed 60 C".
+  EXPECT_GT(static_cast<double>(below_60) / (256.0 * 6.0), 0.97);
+  EXPECT_LT(max_c, 75.0);
+}
+
+TEST(FleetThermal, CoolantChainPreheatsDownstreamGpus) {
+  thermal::ThermalParams params;
+  params.gpu_r_sigma = 0.0;   // isolate the chain effect
+  params.cabinet_sigma_c = 0.0;
+  params.row_gradient_c = 0.0;
+  thermal::FleetThermal fleet(machine::MachineScale::small(32), 9, params);
+  power::NodeComponentPower p;
+  for (auto& g : p.gpu_w) g = 290.0;
+  const auto t = fleet.steady_temps(3, p, 20.0);
+  // Within each socket the later coolant positions run warmer.
+  EXPECT_LT(t.gpu_c[0], t.gpu_c[1]);
+  EXPECT_LT(t.gpu_c[1], t.gpu_c[2]);
+  EXPECT_LT(t.gpu_c[3], t.gpu_c[4]);
+  EXPECT_LT(t.gpu_c[4], t.gpu_c[5]);
+  // Sockets are symmetric when variability is off.
+  EXPECT_NEAR(t.gpu_c[0], t.gpu_c[3], 1e-9);
+}
+
+TEST(FleetThermal, TempScalesWithSupply) {
+  const auto fleet = small_fleet();
+  power::NodeComponentPower p;
+  for (auto& g : p.gpu_w) g = 200.0;
+  const auto cold = fleet.steady_temps(7, p, 18.0);
+  const auto warm = fleet.steady_temps(7, p, 22.0);
+  for (int g = 0; g < 6; ++g) {
+    EXPECT_NEAR(warm.gpu_c[g] - cold.gpu_c[g], 4.0, 1e-9);
+  }
+}
+
+TEST(FleetThermal, WithinJobSpreadMatchesPaperScale) {
+  // The paper's exemplar: ~62 W non-outlier power spread produced a
+  // ~15.8 C temperature spread. At near-uniform power our spread must be
+  // dominated by manufacturing variability: expect >= 8 C across chips.
+  const auto fleet = small_fleet();
+  power::NodeComponentPower p;
+  for (auto& g : p.gpu_w) g = 280.0;
+  std::vector<double> temps;
+  for (machine::NodeId n = 0; n < 256; ++n) {
+    const auto t = fleet.steady_temps(n, p, 20.0);
+    for (double c : t.gpu_c) temps.push_back(c);
+  }
+  const double p95 = [&] {
+    std::sort(temps.begin(), temps.end());
+    return temps[static_cast<std::size_t>(0.95 * temps.size())];
+  }();
+  const double p5 = temps[static_cast<std::size_t>(0.05 * temps.size())];
+  EXPECT_GT(p95 - p5, 8.0);
+  EXPECT_LT(p95 - p5, 30.0);
+}
+
+TEST(FleetThermal, CpuTempsFlatterThanGpu) {
+  const auto fleet = small_fleet();
+  power::NodeComponentPower lo;
+  power::NodeComponentPower hi;
+  for (auto& g : lo.gpu_w) g = 50.0;
+  for (auto& g : hi.gpu_w) g = 290.0;
+  for (auto& c : lo.cpu_w) c = 120.0;
+  for (auto& c : hi.cpu_w) c = 160.0;  // CPU swing is small in GPU jobs
+  const auto tlo = fleet.steady_temps(9, lo, 20.0);
+  const auto thi = fleet.steady_temps(9, hi, 20.0);
+  const double gpu_swing = thi.gpu_c[0] - tlo.gpu_c[0];
+  const double cpu_swing = thi.cpu_c[0] - tlo.cpu_c[0];
+  EXPECT_GT(gpu_swing, 3.0 * cpu_swing);
+}
+
+}  // namespace

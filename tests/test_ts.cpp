@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "ts/frame.hpp"
+#include "ts/partition.hpp"
+#include "ts/series.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+// ---------------------------------------------------------------- Series
+
+TEST(Series, BasicAccessors) {
+  ts::Series s(100, 10, {1.0, 2.0, 3.0});
+  EXPECT_EQ(s.start(), 100);
+  EXPECT_EQ(s.dt(), 10);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.end(), 130);
+  EXPECT_EQ(s.time_at(2), 120);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+}
+
+TEST(Series, RejectsNonPositiveDt) {
+  EXPECT_THROW(ts::Series(0, 0, {}), util::CheckError);
+  EXPECT_THROW(ts::Series(0, -5, {}), util::CheckError);
+}
+
+TEST(Series, IndexOf) {
+  ts::Series s(100, 10, {1, 2, 3});
+  EXPECT_EQ(s.index_of(99), -1);
+  EXPECT_EQ(s.index_of(100), 0);
+  EXPECT_EQ(s.index_of(109), 0);
+  EXPECT_EQ(s.index_of(110), 1);
+  EXPECT_EQ(s.index_of(1000), 90);  // beyond the end still maps to grid
+}
+
+TEST(Series, SliceInterior) {
+  ts::Series s(0, 10, {0, 1, 2, 3, 4, 5});
+  ts::Series cut = s.slice({15, 45});
+  EXPECT_EQ(cut.start(), 20);
+  ASSERT_EQ(cut.size(), 3u);
+  EXPECT_DOUBLE_EQ(cut[0], 2.0);
+  EXPECT_DOUBLE_EQ(cut[2], 4.0);
+}
+
+TEST(Series, SliceDisjointIsEmpty) {
+  ts::Series s(0, 10, {0, 1, 2});
+  EXPECT_TRUE(s.slice({100, 200}).empty());
+  EXPECT_TRUE(s.slice({-100, -10}).empty());
+}
+
+TEST(Series, SliceWholeRange) {
+  ts::Series s(0, 10, {0, 1, 2});
+  ts::Series cut = s.slice({-100, 100});
+  EXPECT_EQ(cut.size(), 3u);
+  EXPECT_EQ(cut.start(), 0);
+}
+
+TEST(Series, Diff) {
+  ts::Series s(0, 10, {1.0, 4.0, 2.0});
+  ts::Series d = s.diff();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], -2.0);
+  EXPECT_TRUE(ts::Series(0, 1, {5.0}).diff().empty());
+}
+
+TEST(Series, AddAlignedSameGrid) {
+  ts::Series a(0, 10, {1, 1, 1, 1});
+  ts::Series b(0, 10, {2, 2, 2, 2});
+  a.add_aligned(b, 0.5);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(a[i], 2.0);
+}
+
+TEST(Series, AddAlignedWithOffset) {
+  ts::Series a(0, 10, {0, 0, 0, 0});
+  ts::Series b(20, 10, {5, 5, 5, 5});  // extends past a's end
+  a.add_aligned(b);
+  EXPECT_DOUBLE_EQ(a[0], 0.0);
+  EXPECT_DOUBLE_EQ(a[1], 0.0);
+  EXPECT_DOUBLE_EQ(a[2], 5.0);
+  EXPECT_DOUBLE_EQ(a[3], 5.0);
+}
+
+TEST(Series, AddAlignedRejectsMismatchedGrids) {
+  ts::Series a(0, 10, {0, 0});
+  ts::Series b(5, 10, {1, 1});   // phase-misaligned
+  EXPECT_THROW(a.add_aligned(b), util::CheckError);
+  ts::Series c(0, 20, {1});      // different dt
+  EXPECT_THROW(a.add_aligned(c), util::CheckError);
+}
+
+// ---------------------------------------------------------- Coarsening
+
+TEST(Coarsen, RegularSeriesStatistics) {
+  // 1 Hz values 0..19 coarsened into two 10 s windows.
+  std::vector<double> v(20);
+  std::iota(v.begin(), v.end(), 0.0);
+  ts::StatSeries st = ts::coarsen(ts::Series(0, 1, v), 10);
+  ASSERT_EQ(st.size(), 2u);
+  EXPECT_EQ(st[0].count, 10u);
+  EXPECT_DOUBLE_EQ(st[0].mean, 4.5);
+  EXPECT_DOUBLE_EQ(st[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(st[0].max, 9.0);
+  EXPECT_DOUBLE_EQ(st[1].mean, 14.5);
+  EXPECT_NEAR(st[0].std, 2.8723, 1e-3);
+}
+
+TEST(Coarsen, RejectsNonMultipleWindow) {
+  ts::Series s(0, 3, {1, 2, 3});
+  EXPECT_THROW(ts::coarsen(s, 10), util::CheckError);
+}
+
+TEST(Coarsen, SampleAndHoldCoversGaps) {
+  // Emit-on-change stream: value 5 at t=0, then 15 at t=25. Sample-and-
+  // hold means window [10,20) still sees value 5 even with no emits.
+  std::vector<ts::Sample> samples = {{0, 5.0}, {25, 15.0}};
+  ts::StatSeries st = ts::coarsen(samples, 10, {0, 40});
+  ASSERT_EQ(st.size(), 4u);
+  EXPECT_DOUBLE_EQ(st[0].mean, 5.0);
+  EXPECT_DOUBLE_EQ(st[1].mean, 5.0);        // held value
+  EXPECT_EQ(st[1].count, 10u);
+  EXPECT_DOUBLE_EQ(st[2].min, 5.0);         // 5 s of old + 5 s of new
+  EXPECT_DOUBLE_EQ(st[2].max, 15.0);
+  EXPECT_DOUBLE_EQ(st[2].mean, 10.0);
+  EXPECT_DOUBLE_EQ(st[3].mean, 15.0);
+}
+
+TEST(Coarsen, SamplesBeforeRangeHold) {
+  std::vector<ts::Sample> samples = {{-100, 7.0}};
+  ts::StatSeries st = ts::coarsen(samples, 10, {0, 20});
+  ASSERT_EQ(st.size(), 2u);
+  EXPECT_DOUBLE_EQ(st[0].mean, 7.0);
+  EXPECT_DOUBLE_EQ(st[1].mean, 7.0);
+}
+
+TEST(Coarsen, EmptyStreamYieldsEmptyWindows) {
+  ts::StatSeries st = ts::coarsen(std::vector<ts::Sample>{}, 10, {0, 30});
+  ASSERT_EQ(st.size(), 3u);
+  for (std::size_t i = 0; i < st.size(); ++i) EXPECT_EQ(st[i].count, 0u);
+}
+
+TEST(StatSeries, FieldExtraction) {
+  std::vector<ts::Sample> samples = {{0, 1.0}, {10, 3.0}};
+  ts::StatSeries st = ts::coarsen(samples, 10, {0, 20});
+  ts::Series means = st.field(ts::StatSeries::Field::kMean);
+  EXPECT_DOUBLE_EQ(means[0], 1.0);
+  EXPECT_DOUBLE_EQ(means[1], 3.0);
+  ts::Series counts = st.field(ts::StatSeries::Field::kCount);
+  EXPECT_DOUBLE_EQ(counts[0], 10.0);
+}
+
+// ------------------------------------------------------------------ Frame
+
+TEST(Frame, SetAndGetColumns) {
+  ts::Frame f(0, 10, 3);
+  f.set("a", {1, 2, 3});
+  f.set("b", {4, 5, 6});
+  EXPECT_EQ(f.columns(), 2u);
+  EXPECT_TRUE(f.has("a"));
+  EXPECT_FALSE(f.has("c"));
+  EXPECT_DOUBLE_EQ(f.at("b")[1], 5.0);
+  EXPECT_THROW(f.at("missing"), util::CheckError);
+}
+
+TEST(Frame, ReplaceKeepsOrder) {
+  ts::Frame f(0, 10, 2);
+  f.set("a", {1, 2});
+  f.set("b", {3, 4});
+  f.set("a", {9, 9});
+  ASSERT_EQ(f.names().size(), 2u);
+  EXPECT_EQ(f.names()[0], "a");
+  EXPECT_DOUBLE_EQ(f.at("a")[0], 9.0);
+}
+
+TEST(Frame, RejectsMismatchedColumn) {
+  ts::Frame f(0, 10, 3);
+  EXPECT_THROW(f.set("short", {1.0, 2.0}), util::CheckError);
+  EXPECT_THROW(f.set("wrong_grid", ts::Series(5, 10, {1, 2, 3})),
+               util::CheckError);
+}
+
+TEST(Frame, SliceAllColumns) {
+  ts::Frame f(0, 10, 4);
+  f.set("a", {0, 1, 2, 3});
+  f.set("b", {10, 11, 12, 13});
+  ts::Frame cut = f.slice({10, 30});
+  EXPECT_EQ(cut.rows(), 2u);
+  EXPECT_DOUBLE_EQ(cut.at("a")[0], 1.0);
+  EXPECT_DOUBLE_EQ(cut.at("b")[1], 12.0);
+}
+
+// -------------------------------------------------------------- Partition
+
+TEST(Partition, SplitsRangeEvenly) {
+  auto parts = ts::partition_range({0, 100}, 30);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0].range.begin, 0);
+  EXPECT_EQ(parts[0].range.end, 30);
+  EXPECT_EQ(parts[3].range.begin, 90);
+  EXPECT_EQ(parts[3].range.end, 100);  // last partition is short
+  EXPECT_EQ(parts[2].index, 2u);
+}
+
+TEST(Partition, EmptyRange) {
+  EXPECT_TRUE(ts::partition_range({50, 50}, 10).empty());
+}
+
+TEST(Partition, MapAndReduce) {
+  auto parts = ts::partition_range({0, util::kDay}, util::kHour);
+  const double total = ts::partitioned_reduce(
+      parts, 0.0,
+      [](const ts::Partition& p) {
+        return static_cast<double>(p.range.duration());
+      },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(util::kDay));
+}
+
+TEST(Partition, MapPreservesOrder) {
+  auto parts = ts::partition_range({0, 100}, 10);
+  auto idx = ts::partitioned_map(
+      parts, [](const ts::Partition& p) { return p.index; });
+  for (std::size_t i = 0; i < idx.size(); ++i) EXPECT_EQ(idx[i], i);
+}
+
+// Property: coarsening a regular series then summing count*mean equals
+// the plain sum, for any window that divides the length.
+class CoarsenProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoarsenProperty, MassConservation) {
+  const int window = GetParam();
+  std::vector<double> v(120);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = std::sin(static_cast<double>(i) * 0.37) * 100.0;
+  }
+  const double direct = std::accumulate(v.begin(), v.end(), 0.0);
+  ts::StatSeries st = ts::coarsen(ts::Series(0, 1, v), window);
+  double via_windows = 0.0;
+  for (std::size_t w = 0; w < st.size(); ++w) {
+    via_windows += st[w].mean * static_cast<double>(st[w].count);
+  }
+  EXPECT_NEAR(direct, via_windows, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, CoarsenProperty,
+                         ::testing::Values(1, 2, 3, 5, 10, 30, 60, 120));
+
+}  // namespace

@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/check.hpp"
+#include "workload/allocation_index.hpp"
+#include "workload/app_model.hpp"
+#include "workload/classes.hpp"
+#include "workload/domain.hpp"
+#include "workload/generator.hpp"
+#include "workload/scheduler.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+// ---------------------------------------------------------------- Classes
+
+TEST(Classes, Table3Bands) {
+  EXPECT_EQ(workload::class_of(4608), 1);
+  EXPECT_EQ(workload::class_of(2765), 1);
+  EXPECT_EQ(workload::class_of(2764), 2);
+  EXPECT_EQ(workload::class_of(922), 2);
+  EXPECT_EQ(workload::class_of(921), 3);
+  EXPECT_EQ(workload::class_of(92), 3);
+  EXPECT_EQ(workload::class_of(91), 4);
+  EXPECT_EQ(workload::class_of(46), 4);
+  EXPECT_EQ(workload::class_of(45), 5);
+  EXPECT_EQ(workload::class_of(1), 5);
+  EXPECT_THROW(workload::class_of(0), util::CheckError);
+}
+
+TEST(Classes, Walltimes) {
+  EXPECT_EQ(workload::scheduling_class(1).max_walltime, 24 * util::kHour);
+  EXPECT_EQ(workload::scheduling_class(3).max_walltime, 12 * util::kHour);
+  EXPECT_EQ(workload::scheduling_class(5).max_walltime, 2 * util::kHour);
+  EXPECT_THROW(workload::scheduling_class(0), util::CheckError);
+  EXPECT_THROW(workload::scheduling_class(6), util::CheckError);
+}
+
+TEST(Classes, ScaledBandsAreDisjointAndOrdered) {
+  for (int machine_nodes : {64, 128, 512, 1024}) {
+    int prev_min = machine_nodes + 1;
+    for (int cls = 1; cls <= 5; ++cls) {
+      const auto band = workload::scaled_class(cls, machine_nodes);
+      EXPECT_GE(band.min_nodes, 1);
+      EXPECT_LE(band.min_nodes, band.max_nodes);
+      EXPECT_LT(band.max_nodes, prev_min)
+          << "bands overlap at scale " << machine_nodes << " class " << cls;
+      prev_min = band.min_nodes;
+    }
+    EXPECT_EQ(workload::scaled_class(5, machine_nodes).min_nodes, 1);
+  }
+}
+
+TEST(Classes, FullScaleIsIdentity) {
+  for (int cls = 1; cls <= 5; ++cls) {
+    const auto band = workload::scaled_class(cls, 4626);
+    EXPECT_EQ(band.min_nodes, workload::scheduling_class(cls).min_nodes);
+    EXPECT_EQ(band.max_nodes, workload::scheduling_class(cls).max_nodes);
+  }
+}
+
+// -------------------------------------------------------------- App model
+
+TEST(AppModel, CatalogSanity) {
+  const auto& apps = workload::app_catalog();
+  EXPECT_GE(apps.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& a : apps) {
+    EXPECT_TRUE(names.insert(a.name).second) << "duplicate app " << a.name;
+    EXPECT_GT(a.phases.period_s, 0.0);
+    EXPECT_GT(a.phases.duty, 0.0);
+    EXPECT_LT(a.phases.duty, 1.0);
+    EXPECT_LE(a.phases.gpu_low, a.phases.gpu_high);
+    EXPECT_LE(a.phases.cpu_low, a.phases.cpu_high);
+  }
+  EXPECT_EQ(workload::app_index("gw-solver"), 0u);
+  EXPECT_THROW(workload::app_index("no-such-app"), util::CheckError);
+}
+
+TEST(AppModel, UtilizationBounded) {
+  for (const auto& app : workload::app_catalog()) {
+    for (util::TimeSec t : {0, 13, 100, 777, 5000, 90000}) {
+      const auto u = workload::evaluate_app(app, t, 12345);
+      EXPECT_GE(u.cpu, 0.0);
+      EXPECT_LE(u.cpu, 1.0);
+      EXPECT_GE(u.gpu, 0.0);
+      EXPECT_LE(u.gpu, 1.0);
+    }
+  }
+}
+
+TEST(AppModel, DeterministicPerJobKey) {
+  const auto& app = workload::app_catalog()[0];
+  for (util::TimeSec t : {100, 500, 1000}) {
+    const auto a = workload::evaluate_app(app, t, 42);
+    const auto b = workload::evaluate_app(app, t, 42);
+    EXPECT_DOUBLE_EQ(a.gpu, b.gpu);
+    EXPECT_DOUBLE_EQ(a.cpu, b.cpu);
+  }
+}
+
+TEST(AppModel, DifferentKeysShiftPhase) {
+  const auto& app = workload::app_catalog()[0];
+  int differing = 0;
+  for (util::TimeSec t = 100; t < 400; t += 10) {
+    if (std::abs(workload::evaluate_app(app, t, 1).gpu -
+                 workload::evaluate_app(app, t, 2).gpu) > 0.05) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 3);
+}
+
+TEST(AppModel, StartupRampFromIdle) {
+  const auto& app = workload::app_catalog()[workload::app_index("ml-train")];
+  const auto early = workload::evaluate_app(app, 1, 7);
+  const auto late = workload::evaluate_app(app, app.startup_s + 400, 7);
+  EXPECT_LT(early.gpu, 0.15);
+  EXPECT_GT(late.gpu, 0.3);
+}
+
+TEST(AppModel, PhaseOscillationVisitsBothLevels) {
+  const auto& app = workload::app_catalog()[workload::app_index("md-replica")];
+  double lo = 1.0;
+  double hi = 0.0;
+  for (util::TimeSec t = 1000; t < 1000 + 3 * 240; ++t) {
+    const auto u = workload::evaluate_app(app, t, 99);
+    lo = std::min(lo, u.gpu);
+    hi = std::max(hi, u.gpu);
+  }
+  EXPECT_LT(lo, 0.15);
+  EXPECT_GT(hi, 0.8);
+}
+
+TEST(AppModel, CheckpointDipIsModest) {
+  // The dip must stay below the 868 W/node edge threshold (paper: 96.9%
+  // of jobs are edge-free); see DESIGN.md calibration notes.
+  const auto& app = workload::app_catalog()[workload::app_index("ml-train")];
+  double lo = 1.0;
+  double hi = 0.0;
+  for (util::TimeSec t = 500; t < 500 + 2 * app.checkpoint_every_s; ++t) {
+    const auto u = workload::evaluate_app(app, t, 5);
+    lo = std::min(lo, u.gpu);
+    hi = std::max(hi, u.gpu);
+  }
+  // Swing in watts: 6 GPUs, ~260 W dynamic range, PSU conversion.
+  const double swing_w = (hi - lo) * 6.0 * 260.0 / 0.94;
+  EXPECT_LT(swing_w, 868.0);
+}
+
+// ----------------------------------------------------------------- Domains
+
+TEST(Domains, CatalogReferencesValidApps) {
+  const auto& apps = workload::app_catalog();
+  for (const auto& d : workload::domain_catalog()) {
+    EXPECT_FALSE(d.app_mix.empty());
+    for (const auto& [app, weight] : d.app_mix) {
+      EXPECT_LT(app, apps.size());
+      EXPECT_GT(weight, 0.0);
+    }
+  }
+}
+
+TEST(Domains, ProjectGeneration) {
+  util::Rng rng(3);
+  const auto projects = workload::generate_projects(100, rng);
+  ASSERT_EQ(projects.size(), 100u);
+  std::set<std::size_t> domains;
+  for (const auto& p : projects) {
+    EXPECT_LT(p.domain, workload::domain_catalog().size());
+    EXPECT_LT(p.preferred_app, workload::app_catalog().size());
+    EXPECT_GT(p.failure_propensity, 0.0);
+    domains.insert(p.domain);
+  }
+  EXPECT_GT(domains.size(), 5u);  // spread across the catalog
+}
+
+TEST(Domains, ProjectsDeterministic) {
+  util::Rng a(3);
+  util::Rng b(3);
+  const auto p1 = workload::generate_projects(20, a);
+  const auto p2 = workload::generate_projects(20, b);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(p1[i].domain, p2[i].domain);
+    EXPECT_EQ(p1[i].preferred_app, p2[i].preferred_app);
+    EXPECT_DOUBLE_EQ(p1[i].failure_propensity, p2[i].failure_propensity);
+  }
+}
+
+// --------------------------------------------------------------- Generator
+
+workload::WorkloadConfig small_config() {
+  workload::WorkloadConfig cfg;
+  cfg.scale = machine::MachineScale::small(512);
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Generator, SubmissionsSortedAndInRange) {
+  workload::JobGenerator gen(small_config());
+  const auto jobs = gen.generate({0, util::kDay});
+  ASSERT_GT(jobs.size(), 100u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].submit, 0);
+    EXPECT_LT(jobs[i].submit, util::kDay);
+    if (i > 0) EXPECT_LE(jobs[i - 1].submit, jobs[i].submit);
+    EXPECT_EQ(jobs[i].id, i + 1);
+  }
+}
+
+TEST(Generator, Deterministic) {
+  workload::JobGenerator g1(small_config());
+  workload::JobGenerator g2(small_config());
+  const auto a = g1.generate({0, util::kDay});
+  const auto b = g2.generate({0, util::kDay});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit, b[i].submit);
+    EXPECT_EQ(a[i].node_count, b[i].node_count);
+    EXPECT_EQ(a[i].app, b[i].app);
+    EXPECT_EQ(a[i].key, b[i].key);
+  }
+}
+
+TEST(Generator, NodeCountsRespectClassBands) {
+  workload::JobGenerator gen(small_config());
+  util::Rng rng(5);
+  for (int cls = 1; cls <= 5; ++cls) {
+    const auto band = workload::scaled_class(cls, 512);
+    for (int i = 0; i < 500; ++i) {
+      const int n = gen.sample_node_count(cls, rng);
+      EXPECT_GE(n, band.min_nodes) << "class " << cls;
+      EXPECT_LE(n, band.max_nodes) << "class " << cls;
+    }
+  }
+}
+
+TEST(Generator, RuntimeRespectsFloorAndCapAfterScheduling) {
+  workload::JobGenerator gen(small_config());
+  util::Rng rng(6);
+  for (int cls = 1; cls <= 5; ++cls) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_GE(gen.sample_runtime(cls, rng), 120);
+    }
+  }
+}
+
+TEST(Generator, Class5MassAtWallLimit) {
+  workload::WorkloadConfig cfg = small_config();
+  workload::JobGenerator gen(cfg);
+  auto jobs = gen.generate({0, 2 * util::kDay});
+  workload::Scheduler sched(cfg.scale);
+  sched.run(jobs, 2 * util::kDay);
+  std::size_t class5 = 0;
+  std::size_t at_cap = 0;
+  for (const auto& j : jobs) {
+    if (j.sched_class != 5 || j.start < 0) continue;
+    ++class5;
+    if (j.runtime() == 2 * util::kHour) ++at_cap;
+  }
+  ASSERT_GT(class5, 500u);
+  // The paper sees a visible probability mass at the 120-minute limit.
+  EXPECT_GT(static_cast<double>(at_cap) / static_cast<double>(class5), 0.01);
+}
+
+TEST(Generator, ClassCountOrdering) {
+  workload::JobGenerator gen(small_config());
+  const auto jobs = gen.generate({0, 2 * util::kDay});
+  std::map<int, std::size_t> per_class;
+  for (const auto& j : jobs) ++per_class[j.sched_class];
+  // Small jobs dominate the count (class 5 >> class 4 > ... > class 1).
+  EXPECT_GT(per_class[5], per_class[4]);
+  EXPECT_GT(per_class[4], per_class[1]);
+  EXPECT_GT(per_class[3], per_class[1]);
+}
+
+// --------------------------------------------------------------- Scheduler
+
+TEST(Scheduler, AllocatesDisjointNodes) {
+  workload::WorkloadConfig cfg = small_config();
+  workload::JobGenerator gen(cfg);
+  auto jobs = gen.generate({0, util::kDay / 4});
+  workload::Scheduler sched(cfg.scale);
+  const auto stats = sched.run(jobs, util::kDay);
+  EXPECT_GT(stats.scheduled, 0u);
+
+  // At any sampled instant, running jobs occupy disjoint nodes.
+  for (util::TimeSec t : {util::kHour, 3 * util::kHour, 6 * util::kHour}) {
+    std::set<machine::NodeId> busy;
+    for (const auto& j : jobs) {
+      if (j.start < 0 || !j.interval().contains(t)) continue;
+      for (const auto& r : j.nodes) {
+        for (int i = 0; i < r.count; ++i) {
+          EXPECT_TRUE(busy.insert(r.first + i).second)
+              << "node double-booked at t=" << t;
+        }
+      }
+    }
+    EXPECT_LE(busy.size(), 512u);
+  }
+}
+
+TEST(Scheduler, AllocationMatchesNodeCount) {
+  workload::WorkloadConfig cfg = small_config();
+  workload::JobGenerator gen(cfg);
+  auto jobs = gen.generate({0, util::kDay / 4});
+  workload::Scheduler sched(cfg.scale);
+  sched.run(jobs, util::kDay);
+  for (const auto& j : jobs) {
+    if (j.start < 0) continue;
+    int total = 0;
+    for (const auto& r : j.nodes) total += r.count;
+    EXPECT_EQ(total, j.node_count);
+    EXPECT_GE(j.start, j.submit);
+    EXPECT_GT(j.end, j.start);
+    EXPECT_LE(j.runtime(), j.requested_walltime);
+  }
+}
+
+TEST(Scheduler, RespectsHorizon) {
+  workload::WorkloadConfig cfg = small_config();
+  workload::JobGenerator gen(cfg);
+  auto jobs = gen.generate({0, util::kDay});
+  workload::Scheduler sched(cfg.scale);
+  sched.run(jobs, util::kDay);
+  for (const auto& j : jobs) {
+    if (j.start >= 0) EXPECT_LE(j.end, util::kDay);
+  }
+}
+
+TEST(Scheduler, BackfillImprovesUtilization) {
+  workload::WorkloadConfig cfg = small_config();
+  cfg.arrival_scale = 1.3;  // push into contention
+  workload::JobGenerator gen(cfg);
+  auto jobs = gen.generate({0, util::kDay});
+  workload::Scheduler sched(cfg.scale);
+  const auto stats = sched.run(jobs, util::kDay);
+  EXPECT_GT(stats.backfilled, 0u);
+  EXPECT_GT(stats.utilization, 0.5);
+}
+
+TEST(Scheduler, RejectsUnsortedJobs) {
+  workload::Job a;
+  a.submit = 100;
+  a.node_count = 1;
+  a.natural_runtime = 600;
+  a.requested_walltime = 600;
+  workload::Job b = a;
+  b.submit = 50;
+  std::vector<workload::Job> jobs = {a, b};
+  workload::Scheduler sched(machine::MachineScale::small(8));
+  EXPECT_THROW(sched.run(jobs, util::kDay), util::CheckError);
+}
+
+TEST(Scheduler, JobLargerThanMachineNeverStarts) {
+  workload::Job a;
+  a.submit = 0;
+  a.node_count = 100;
+  a.natural_runtime = 600;
+  a.requested_walltime = 600;
+  std::vector<workload::Job> jobs = {a};
+  workload::Scheduler sched(machine::MachineScale::small(8));
+  const auto stats = sched.run(jobs, util::kDay);
+  EXPECT_EQ(stats.scheduled, 0u);
+  EXPECT_EQ(stats.unscheduled, 1u);
+  EXPECT_EQ(jobs[0].start, -1);
+}
+
+// --------------------------------------------------------- AllocationIndex
+
+TEST(AllocationIndex, LooksUpRunningJob) {
+  workload::WorkloadConfig cfg = small_config();
+  workload::JobGenerator gen(cfg);
+  auto jobs = gen.generate({0, util::kDay / 4});
+  workload::Scheduler sched(cfg.scale);
+  sched.run(jobs, util::kDay);
+
+  const util::TimeRange window = {util::kHour, 5 * util::kHour};
+  workload::AllocationIndex index(jobs, window, cfg.scale.nodes);
+
+  // Cross-check the index against a brute-force scan.
+  std::size_t matches = 0;
+  for (util::TimeSec t = window.begin; t < window.end; t += util::kHour) {
+    for (machine::NodeId n = 0; n < 64; ++n) {
+      const workload::Job* expected = nullptr;
+      for (const auto& j : jobs) {
+        if (j.start < 0 || !j.interval().contains(t)) continue;
+        for (const auto& r : j.nodes) {
+          if (n >= r.first && n < r.first + r.count) expected = &j;
+        }
+      }
+      int rank = -1;
+      const workload::Job* got = index.job_at(n, t, &rank);
+      EXPECT_EQ(got, expected) << "node " << n << " t " << t;
+      if (got != nullptr) {
+        ++matches;
+        EXPECT_EQ(got->node_at(rank), n);
+      }
+    }
+  }
+  EXPECT_GT(matches, 0u);
+}
+
+TEST(AllocationIndex, IdleNodeReturnsNull) {
+  std::vector<workload::Job> none;
+  workload::AllocationIndex index(none, {0, util::kHour}, 16);
+  EXPECT_EQ(index.job_at(3, 100), nullptr);
+  EXPECT_TRUE(index.spans(3).empty());
+}
+
+TEST(Job, NodeListAndNodeAt) {
+  workload::Job j;
+  j.node_count = 5;
+  j.nodes = {{10, 2}, {20, 3}};
+  const auto list = j.node_list();
+  ASSERT_EQ(list.size(), 5u);
+  EXPECT_EQ(list[0], 10);
+  EXPECT_EQ(list[1], 11);
+  EXPECT_EQ(list[2], 20);
+  EXPECT_EQ(j.node_at(0), 10);
+  EXPECT_EQ(j.node_at(4), 22);
+  EXPECT_EQ(j.node_at(5), -1);
+}
+
+TEST(Job, NodeHours) {
+  workload::Job j;
+  j.node_count = 10;
+  j.start = 0;
+  j.end = 2 * util::kHour;
+  EXPECT_DOUBLE_EQ(j.node_hours(), 20.0);
+}
+
+}  // namespace

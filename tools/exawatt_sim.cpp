@@ -1,0 +1,187 @@
+// exawatt_sim — command-line front end for the digital twin:
+//
+//   exawatt_sim simulate --nodes 512 --days 7 --seed 42 --out traces/
+//       run the twin and export the paper-schema datasets (C/D, E, 1+2,
+//       5+7) as CSV files into the output directory.
+//
+//   exawatt_sim analyze --data traces/
+//       re-import the datasets and print the operational report: class
+//       mix, power envelope, edge statistics, failure composition.
+//
+//   exawatt_sim report --nodes 512 --days 2 --seed 42
+//       one-shot in-memory simulate + analyze (no files).
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/edges.hpp"
+#include "core/failure_analysis.hpp"
+#include "core/job_features.hpp"
+#include "core/pue_analysis.hpp"
+#include "core/report.hpp"
+#include "core/simulation.hpp"
+#include "datasets/export.hpp"
+#include "datasets/import.hpp"
+#include "util/flags.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+int usage() {
+  std::printf(
+      "usage: exawatt_sim <command> [flags]\n"
+      "  simulate --nodes N --days D --seed S --out DIR   export datasets\n"
+      "  analyze  --data DIR                              analyze exports\n"
+      "  report   --nodes N --days D --seed S             in-memory report\n");
+  return 2;
+}
+
+core::SimulationConfig config_from(const util::Flags& flags) {
+  core::SimulationConfig config;
+  const auto nodes = static_cast<int>(flags.get_int("nodes", 512));
+  config.scale = nodes >= machine::SummitSpec::kNodes
+                     ? machine::MachineScale::full()
+                     : machine::MachineScale::small(nodes);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const auto days = flags.get_number("days", 2.0);
+  config.range = {0, static_cast<util::TimeSec>(days * util::kDay)};
+  return config;
+}
+
+void print_job_report(const std::vector<workload::Job>& jobs) {
+  std::size_t scheduled = 0;
+  std::array<std::size_t, 6> per_class{};
+  double node_hours = 0.0;
+  for (const auto& j : jobs) {
+    if (j.start < 0) continue;
+    ++scheduled;
+    ++per_class[static_cast<std::size_t>(j.sched_class)];
+    node_hours += j.node_hours();
+  }
+  util::TextTable t({"class", "jobs", "share"});
+  for (int cls = 1; cls <= 5; ++cls) {
+    t.add_row({std::to_string(cls),
+               std::to_string(per_class[static_cast<std::size_t>(cls)]),
+               util::fmt_double(100.0 *
+                                    static_cast<double>(
+                                        per_class[static_cast<std::size_t>(
+                                            cls)]) /
+                                    static_cast<double>(scheduled),
+                                1) +
+                   "%"});
+  }
+  std::printf("jobs: %zu scheduled, %.0f node-hours\n%s\n", scheduled,
+              node_hours, t.str().c_str());
+}
+
+void print_power_report(const ts::Series& power, int nodes) {
+  double peak = 0.0;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    peak = std::max(peak, power[i]);
+    mean += power[i];
+  }
+  mean /= static_cast<double>(power.size());
+  const auto edges = core::detect_edges(power, static_cast<double>(nodes));
+  std::printf("cluster power: mean %s, peak %s, %zu edges (868 W/node rule)\n",
+              util::fmt_si(mean, "W").c_str(),
+              util::fmt_si(peak, "W").c_str(), edges.size());
+  std::printf("profile: %s\n\n", core::sparkline(power, 72).c_str());
+}
+
+void print_failure_report(const std::vector<failures::GpuFailureEvent>& log,
+                          int nodes) {
+  if (log.empty()) {
+    std::printf("no GPU failures in the window\n");
+    return;
+  }
+  util::TextTable t({"GPU error", "count", "max/node share"});
+  for (const auto& row : core::failure_composition(log, nodes)) {
+    if (row.count == 0) continue;
+    t.add_row({failures::xid_name(row.type), std::to_string(row.count),
+               util::fmt_double(100.0 * row.max_per_node_share, 1) + "%"});
+  }
+  std::printf("GPU failures: %zu total\n%s\n", log.size(), t.str().c_str());
+}
+
+int cmd_simulate(const util::Flags& flags) {
+  const std::string out = flags.get("out", "traces");
+  std::filesystem::create_directories(out);
+  core::SimulationConfig config = config_from(flags);
+  core::Simulation sim(config);
+  std::printf("simulating %d nodes for %.1f days (seed %llu)...\n",
+              config.scale.nodes,
+              static_cast<double>(config.range.duration()) / util::kDay,
+              static_cast<unsigned long long>(config.seed));
+
+  const auto jobs_rows = datasets::export_jobs(out + "/jobs.csv", sim.jobs());
+  const auto xid_rows =
+      datasets::export_xid_log(out + "/xid_log.csv", sim.failure_log());
+  const auto cluster =
+      sim.cluster_frame(config.range, {.dt = 60, .subsamples = 2});
+  const auto series_rows =
+      datasets::export_cluster_series(out + "/cluster_power.csv", cluster);
+  const auto summaries = core::summarize_jobs(sim.jobs());
+  const auto power_rows =
+      datasets::export_job_power(out + "/job_power.csv", summaries);
+
+  util::TextTable t({"dataset", "file", "rows"});
+  t.add_row({"C+D job history", out + "/jobs.csv", std::to_string(jobs_rows)});
+  t.add_row({"E XID log", out + "/xid_log.csv", std::to_string(xid_rows)});
+  t.add_row({"1+2 cluster series", out + "/cluster_power.csv",
+             std::to_string(series_rows)});
+  t.add_row({"5+7 job power", out + "/job_power.csv",
+             std::to_string(power_rows)});
+  std::printf("%s", t.str().c_str());
+  return 0;
+}
+
+int cmd_analyze(const util::Flags& flags) {
+  const std::string dir = flags.get("data", "traces");
+  const auto jobs = datasets::import_jobs(dir + "/jobs.csv");
+  const auto log = datasets::import_xid_log(dir + "/xid_log.csv");
+  const auto power = datasets::import_cluster_power(dir + "/cluster_power.csv");
+  int max_node = 0;
+  for (const auto& j : jobs) {
+    for (const auto& r : j.nodes) max_node = std::max(max_node, r.first + r.count);
+  }
+  std::printf("loaded %zu jobs, %zu failures, %zu power windows (machine "
+              ">= %d nodes)\n\n",
+              jobs.size(), log.size(), power.size(), max_node);
+  print_job_report(jobs);
+  print_power_report(power, max_node);
+  print_failure_report(log, max_node);
+  return 0;
+}
+
+int cmd_report(const util::Flags& flags) {
+  core::SimulationConfig config = config_from(flags);
+  core::Simulation sim(config);
+  print_job_report(sim.jobs());
+  const auto cluster =
+      sim.cluster_frame(config.range, {.dt = 60, .subsamples = 2});
+  print_power_report(cluster.at("input_power_w"), config.scale.nodes);
+  const auto cep = sim.cep_frame(cluster);
+  const auto trend = core::year_trend(cluster, cep);
+  std::printf("PUE: mean %.3f (facility model)\n\n", trend.mean_pue);
+  print_failure_report(sim.failure_log(), config.scale.nodes);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  try {
+    if (flags.command() == "simulate") return cmd_simulate(flags);
+    if (flags.command() == "analyze") return cmd_analyze(flags);
+    if (flags.command() == "report") return cmd_report(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,228 @@
+// exawatt_validate — executable reproduction checklist: runs a
+// medium-scale simulation and evaluates the shape criteria recorded in
+// EXPERIMENTS.md for every paper artifact. Exit code 0 iff all pass.
+//
+//   exawatt_validate [--nodes N] [--weeks W] [--seed S]
+//
+// This is deliberately lighter than the bench binaries (minutes vs the
+// full sweeps): a smoke-level "is the reproduction still a reproduction"
+// gate for CI.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/edges.hpp"
+#include "core/failure_analysis.hpp"
+#include "core/job_features.hpp"
+#include "core/msb_validation.hpp"
+#include "core/pue_analysis.hpp"
+#include "core/simulation.hpp"
+#include "core/snapshots.hpp"
+#include "core/spectral.hpp"
+#include "power/job_power.hpp"
+#include "stats/descriptive.hpp"
+#include "util/flags.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+using namespace exawatt;
+
+struct Checklist {
+  util::TextTable table{{"artifact", "criterion", "measured", "pass"}};
+  int failures = 0;
+
+  void check(const char* artifact, const char* criterion, double measured,
+             bool pass, int precision = 3) {
+    table.add_row({artifact, criterion, util::fmt_double(measured, precision),
+                   pass ? "ok" : "FAIL"});
+    if (!pass) ++failures;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const auto nodes = static_cast<int>(flags.get_int("nodes", 2313));
+  const auto weeks = flags.get_number("weeks", 3.0);
+  core::SimulationConfig config;
+  config.scale = nodes >= machine::SummitSpec::kNodes
+                     ? machine::MachineScale::full()
+                     : machine::MachineScale::small(nodes);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2020));
+  config.range = {0, static_cast<util::TimeSec>(weeks * util::kWeek)};
+  // Rare failure types need year-scale exposure; boost rates so a short
+  // validation window still exercises them (shares and correlations are
+  // rate-invariant by construction).
+  config.failures.rate_scale = flags.get_number("failure-boost", 15.0);
+
+  std::printf("validating at %d nodes, %.1f weeks, seed %llu...\n\n",
+              config.scale.nodes, weeks,
+              static_cast<unsigned long long>(config.seed));
+  core::Simulation sim(config);
+  Checklist c;
+
+  // --- workload / scheduling --------------------------------------------
+  {
+    const auto& stats = sim.scheduler_stats();
+    c.check("workload", "utilization in [0.6, 0.98]", stats.utilization,
+            stats.utilization > 0.6 && stats.utilization < 0.98);
+    std::array<std::size_t, 6> per_class{};
+    for (const auto& j : sim.jobs()) {
+      ++per_class[static_cast<std::size_t>(j.sched_class)];
+    }
+    c.check("T3", "class-5 dominates job count",
+            static_cast<double>(per_class[5]) /
+                static_cast<double>(sim.jobs().size()),
+            per_class[5] > 10 * per_class[1]);
+  }
+
+  // --- F5: power envelope + seasonal PUE (short window: winter only) ----
+  const ts::Frame cluster =
+      sim.cluster_frame(config.range, {.dt = 600, .subsamples = 2});
+  const ts::Frame cep = sim.cep_frame(cluster);
+  {
+    const auto trend = core::year_trend(cluster, cep);
+    const double idle_mw =
+        config.scale.nodes * machine::SummitSpec::kNodeIdlePowerW / 1e6;
+    const double peak_mw =
+        config.scale.nodes * 2.35e3 / 1e6;  // realistic node peak
+    c.check("F5", "mean power between idle and peak", trend.mean_power_mw,
+            trend.mean_power_mw > idle_mw &&
+                trend.mean_power_mw < peak_mw);
+    c.check("F5", "winter PUE ~1.11", trend.winter_mean_pue,
+            trend.winter_mean_pue > 1.07 && trend.winter_mean_pue < 1.16);
+  }
+
+  // --- F4: MSB validation ------------------------------------------------
+  {
+    const machine::Topology topo(config.scale);
+    const facility::MsbModel msb(topo, 4);
+    const auto result = core::validate_msbs(
+        sim.jobs(), topo, msb, {util::kDay, 2 * util::kDay}, 10);
+    c.check("F4", "summation over-reads (diff < 0)",
+            result.overall_mean_diff_w, result.overall_mean_diff_w < 0.0, 0);
+    c.check("F4", "relative offset ~11%", result.overall_relative,
+            result.overall_relative > 0.05 && result.overall_relative < 0.18);
+    double min_phase = 1.0;
+    for (const auto& cmp : result.per_msb) {
+      min_phase = std::min(min_phase, cmp.phase_correlation);
+    }
+    c.check("F4", "in phase (r > 0.99)", min_phase, min_phase > 0.99, 4);
+  }
+
+  // --- F6/F7: class structure --------------------------------------------
+  const auto summaries = core::summarize_jobs(sim.jobs());
+  {
+    double prev = 1e18;
+    bool ordered = true;
+    for (int cls = 1; cls <= 5; ++cls) {
+      const auto jobs = core::by_class(summaries, cls);
+      if (jobs.size() < 5) continue;
+      const auto maxp = core::feature(jobs, core::JobFeature::kMaxPowerW);
+      const double med = stats::median(maxp);
+      if (med >= prev) ordered = false;
+      prev = med;
+    }
+    c.check("F6", "max power medians ordered by class", prev / 1e6, ordered);
+    const auto c1 = core::by_class(summaries, 1);
+    if (c1.size() >= 10) {
+      const auto cdf = core::feature_cdf(c1, core::JobFeature::kWalltimeHours);
+      c.check("F7", "class-1 walltime p80 < 1.2 h", cdf.p80, cdf.p80 < 1.2);
+    }
+  }
+
+  // --- F9: empty both-high corner ----------------------------------------
+  {
+    std::size_t both_high = 0;
+    for (const auto& s : summaries) {
+      if (s.mean_cpu_node_w > 350.0 && s.mean_gpu_node_w > 900.0) {
+        ++both_high;
+      }
+    }
+    const double share = static_cast<double>(both_high) /
+                         static_cast<double>(summaries.size());
+    c.check("F9", "both-high corner < 3%", share, share < 0.03, 4);
+  }
+
+  // --- F10: edge-free share + dominant frequency --------------------------
+  {
+    std::size_t with_edges = 0;
+    std::size_t near_200s = 0;
+    std::size_t spectra = 0;
+    std::size_t analyzed = 0;
+    for (const auto& j : sim.jobs()) {
+      if (j.start < 0 || analyzed >= 8000) continue;
+      ++analyzed;
+      const auto series = power::job_power_series(j, 10);
+      if (!core::detect_edges(series, static_cast<double>(j.node_count))
+               .empty()) {
+        ++with_edges;
+      }
+      const auto spec = core::job_spectrum(series);
+      if (spec.valid) {
+        ++spectra;
+        if (spec.frequency_hz >= 0.004 && spec.frequency_hz <= 0.006) {
+          ++near_200s;
+        }
+      }
+    }
+    const double edge_share = static_cast<double>(with_edges) /
+                              static_cast<double>(analyzed);
+    c.check("F10", "edge-free share ~97%", 1.0 - edge_share,
+            edge_share > 0.005 && edge_share < 0.08);
+    const double f200 =
+        static_cast<double>(near_200s) / static_cast<double>(spectra);
+    c.check("F10", "200 s band common (>20%)", f200, f200 > 0.2);
+  }
+
+  // --- T4/F13: failures ----------------------------------------------------
+  {
+    const auto& log = sim.failure_log();
+    const auto composition =
+        core::failure_composition(log, config.scale.nodes);
+    c.check("T4", "page faults rank first",
+            static_cast<double>(composition[0].count),
+            composition[0].type == failures::XidType::kMemoryPageFault, 0);
+    double nvlink_share = 0.0;
+    for (const auto& row : composition) {
+      if (row.type == failures::XidType::kNvlinkError) {
+        nvlink_share = row.max_per_node_share;
+      }
+    }
+    c.check("T4", "NVLink super-offender ~97%", nvlink_share,
+            nvlink_share > 0.9);
+    const auto corr = core::failure_correlation(log, config.scale.nodes);
+    const auto uc = static_cast<std::size_t>(
+        failures::XidType::kMicrocontrollerWarning);
+    const auto drv = static_cast<std::size_t>(
+        failures::XidType::kDriverErrorHandling);
+    c.check("F13", "uC-warning <-> driver-error r > 0.8",
+            corr.matrix.at(uc, drv).r,
+            corr.matrix.at(uc, drv).significant &&
+                corr.matrix.at(uc, drv).r > 0.8);
+    const auto extremity = core::thermal_extremity(
+        log, sim.failure_generator().nvlink_offender());
+    const auto& dbe = extremity[static_cast<std::size_t>(
+        failures::XidType::kDoubleBitError)];
+    if (dbe.z_scores.size() >= 10) {
+      c.check("F15", "DBE z right-skewed", dbe.z_skewness,
+              dbe.z_skewness > 0.3);
+    }
+    const auto slot0 =
+        core::slot_placement(log, failures::XidType::kPageRetirementEvent);
+    c.check("F16", "slot 0 elevated",
+            static_cast<double>(slot0[0]),
+            slot0[0] > slot0[1] && slot0[0] > slot0[5], 0);
+  }
+
+  std::printf("%s\n", c.table.str().c_str());
+  if (c.failures == 0) {
+    std::printf("all criteria pass.\n");
+    return 0;
+  }
+  std::printf("%d criteria FAILED.\n", c.failures);
+  return 1;
+}
