@@ -12,6 +12,12 @@ cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 ./build/tools/exawatt_validate
 
+# Streaming ingest first: its sustained-rate target (>= 462,600 samples/s,
+# zero drops under the blocking policy) is a hard acceptance gate.
+./build/bench/bench_stream_ingest 2>&1 | tee bench_stream_output.txt
+grep -q "sustained: MET" bench_stream_output.txt
+
 for b in build/bench/*; do
+  case "$b" in *bench_stream_ingest) continue ;; esac
   [ -x "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt

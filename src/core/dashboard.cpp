@@ -58,7 +58,7 @@ DashboardSnapshot FacilityDashboard::snapshot(
 
 std::string DashboardSnapshot::render() const {
   std::ostringstream os;
-  os << "=== facility dashboard @ " << util::format_time(t) << " ===\n";
+  os << "=== " << title << " @ " << util::format_time(t) << " ===\n";
   char line[160];
   std::snprintf(line, sizeof line,
                 "power %7.2f MW | busy %d/%d nodes | PUE %.3f | warnings %d\n",

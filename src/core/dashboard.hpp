@@ -17,6 +17,9 @@ namespace exawatt::core {
 /// temperature distribution of all 27,756 GPUs and 9,252 CPUs, plus the
 /// cluster power level and cooling state.
 struct DashboardSnapshot {
+  /// Panel header; the streaming engine overrides it so live and batch
+  /// panels are distinguishable in mixed output.
+  std::string title = "facility dashboard";
   util::TimeSec t = 0;
   stats::Histogram gpu_core_c{10.0, 90.0, 16};
   stats::Histogram cpu_core_c{10.0, 90.0, 16};

@@ -1,0 +1,117 @@
+#include "stream/alerts.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+#include "util/sim_time.hpp"
+
+namespace exawatt::stream {
+
+const char* alert_kind_name(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kPowerSwing: return "power-swing";
+    case AlertKind::kThermal: return "thermal";
+    case AlertKind::kSilence: return "silence";
+  }
+  return "?";
+}
+
+std::string Alert::describe() const {
+  char line[128];
+  switch (kind) {
+    case AlertKind::kPowerSwing:
+      std::snprintf(line, sizeof line, "[%s] %s cluster swing %.2f MW (%s)",
+                    util::format_time(t).c_str(), raised ? "RAISE" : "clear",
+                    value / 1e6, raised ? "edge closed" : "returned");
+      break;
+    case AlertKind::kThermal:
+      std::snprintf(line, sizeof line, "[%s] %s node %d GPU temp z=%.2f",
+                    util::format_time(t).c_str(), raised ? "RAISE" : "clear",
+                    node, value);
+      break;
+    case AlertKind::kSilence:
+      std::snprintf(line, sizeof line, "[%s] %s node %d silent %.0f s",
+                    util::format_time(t).c_str(), raised ? "RAISE" : "clear",
+                    node, value);
+      break;
+  }
+  return line;
+}
+
+AlertEngine::AlertEngine(AlertOptions options) : options_(options) {
+  EXA_CHECK(options_.thermal_z_clear <= options_.thermal_z_raise,
+            "thermal hysteresis bounds inverted");
+  EXA_CHECK(options_.silence_s > 0, "silence threshold must be positive");
+}
+
+void AlertEngine::emit(AlertKind kind, bool raised, util::TimeSec t,
+                       machine::NodeId node, double value) {
+  log_.push_back({kind, raised, t, node, value});
+  const auto k = static_cast<std::size_t>(kind);
+  if (raised) {
+    ++raised_[k];
+    ++active_[k];
+  } else if (active_[k] > 0) {
+    --active_[k];
+  }
+}
+
+std::size_t AlertEngine::raised(AlertKind kind) const {
+  return raised_[static_cast<std::size_t>(kind)];
+}
+
+std::size_t AlertEngine::active(AlertKind kind) const {
+  return active_[static_cast<std::size_t>(kind)];
+}
+
+void AlertEngine::on_edge(const core::Edge& edge) {
+  if (edge.amplitude_w < options_.power_swing_w) return;
+  const auto t_close = edge.start + edge.duration_s;
+  emit(AlertKind::kPowerSwing, true, t_close, -1, edge.amplitude_w);
+  // A returned edge gave the excursion back: the swing is over, clear.
+  if (edge.returned) {
+    emit(AlertKind::kPowerSwing, false, t_close, -1, edge.amplitude_w);
+  }
+}
+
+void AlertEngine::on_gpu_temp(machine::NodeId node, util::TimeSec t,
+                              double temp_c) {
+  gpu_temp_baseline_.add(temp_c);
+  if (gpu_temp_baseline_.count() < options_.thermal_min_baseline) return;
+  const double sd = gpu_temp_baseline_.stddev();
+  if (sd <= 0.0) return;
+  const double z = (temp_c - gpu_temp_baseline_.mean()) / sd;
+  bool& hot = thermal_hot_[node];
+  if (!hot && z >= options_.thermal_z_raise) {
+    hot = true;
+    emit(AlertKind::kThermal, true, t, node, z);
+  } else if (hot && z <= options_.thermal_z_clear) {
+    hot = false;
+    emit(AlertKind::kThermal, false, t, node, z);
+  }
+}
+
+void AlertEngine::on_node_event(machine::NodeId node,
+                                util::TimeSec arrival_t) {
+  last_seen_[node] = arrival_t;
+  bool& quiet = silent_[node];
+  if (quiet) {
+    quiet = false;
+    emit(AlertKind::kSilence, false, arrival_t, node, 0.0);
+  }
+}
+
+void AlertEngine::advance(util::TimeSec now) {
+  for (const auto& [node, seen] : last_seen_) {
+    const auto silent_for = now - seen;
+    bool& quiet = silent_[node];
+    if (!quiet && silent_for >= options_.silence_s) {
+      quiet = true;
+      emit(AlertKind::kSilence, true, now, node,
+           static_cast<double>(silent_for));
+    }
+  }
+}
+
+}  // namespace exawatt::stream

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/edges.hpp"
+#include "machine/topology.hpp"
+#include "util/welford.hpp"
+
+namespace exawatt::stream {
+
+/// The paper's operational events, raised online (§2: the telemetry
+/// system's point is that engineers see these within seconds, not in the
+/// next day's batch sweep).
+enum class AlertKind : std::uint8_t {
+  kPowerSwing,  ///< cluster power edge with amplitude >= threshold
+  kThermal,     ///< GPU core temperature z-score extremity
+  kSilence,     ///< node stopped reporting telemetry
+};
+
+[[nodiscard]] const char* alert_kind_name(AlertKind kind);
+
+struct Alert {
+  AlertKind kind = AlertKind::kPowerSwing;
+  bool raised = true;            ///< raise vs clear transition
+  util::TimeSec t = 0;
+  machine::NodeId node = -1;     ///< -1 for cluster-level alerts
+  double value = 0.0;            ///< amplitude (W), z-score, or silence (s)
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct AlertOptions {
+  /// Cluster power-swing amplitude that pages (the paper discusses multi-
+  /// MW swings as the events the facility must ride through).
+  double power_swing_w = 1.0e6;
+  /// Thermal extremity hysteresis: raise at z >= raise, clear at
+  /// z <= clear (z against the online all-GPU baseline, the streaming
+  /// stand-in for Figure 15's per-job z-scores).
+  double thermal_z_raise = 3.0;
+  double thermal_z_clear = 2.0;
+  /// Baseline samples required before thermal alerts arm (a cold baseline
+  /// would page on the first warm reading).
+  std::uint64_t thermal_min_baseline = 500;
+  /// A node silent for this long (vs the stream clock) raises kSilence —
+  /// the Figure 17 "bright green cabinet" detector.
+  util::TimeSec silence_s = 30;
+};
+
+/// Hysteresis-gated alert engine over the streaming operators' outputs.
+/// Thermal and silence alerts latch per entity: one raise until the
+/// clearing condition, then one clear. Power-swing alerts are discrete
+/// (each qualifying closed edge raises once; a returned edge clears).
+class AlertEngine {
+ public:
+  explicit AlertEngine(AlertOptions options = {});
+
+  /// Closed cluster power edge (wire as the rollup's edge sink).
+  void on_edge(const core::Edge& edge);
+  /// One GPU core-temperature reading (updates baseline + extremity).
+  void on_gpu_temp(machine::NodeId node, util::TimeSec t, double temp_c);
+  /// Any event from a node (feeds the silence detector).
+  void on_node_event(machine::NodeId node, util::TimeSec arrival_t);
+  /// Advance the stream clock; silent nodes raise here.
+  void advance(util::TimeSec now);
+
+  [[nodiscard]] const std::vector<Alert>& log() const { return log_; }
+  [[nodiscard]] std::size_t raised(AlertKind kind) const;
+  [[nodiscard]] std::size_t active(AlertKind kind) const;
+  [[nodiscard]] const util::Welford& thermal_baseline() const {
+    return gpu_temp_baseline_;
+  }
+
+ private:
+  void emit(AlertKind kind, bool raised, util::TimeSec t,
+            machine::NodeId node, double value);
+
+  AlertOptions options_;
+  util::Welford gpu_temp_baseline_;
+  std::map<machine::NodeId, bool> thermal_hot_;      ///< latched per node
+  std::map<machine::NodeId, util::TimeSec> last_seen_;
+  std::map<machine::NodeId, bool> silent_;
+  std::vector<Alert> log_;
+  std::array<std::size_t, 3> raised_{};
+  std::array<std::size_t, 3> active_{};
+};
+
+}  // namespace exawatt::stream

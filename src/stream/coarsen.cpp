@@ -1,0 +1,163 @@
+#include "stream/coarsen.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace exawatt::stream {
+
+namespace {
+
+ts::WindowStats to_stats(const util::Welford& w) {
+  ts::WindowStats s;
+  s.count = w.count();
+  s.min = w.min();
+  s.max = w.max();
+  s.mean = w.mean();
+  s.std = w.stddev();
+  return s;
+}
+
+}  // namespace
+
+StreamingCoarsener::StreamingCoarsener(util::TimeRange range,
+                                       util::TimeSec window)
+    : range_(range),
+      window_(window),
+      n_windows_(static_cast<std::size_t>((range.duration() + window - 1) /
+                                          window)),
+      watermark_(range.begin - 1) {
+  EXA_CHECK(window_ > 0, "coarsening window must be positive");
+  EXA_CHECK(range_.duration() > 0, "coarsening range must be non-empty");
+}
+
+void StreamingCoarsener::push(telemetry::MetricId id, util::TimeSec emit_t,
+                              double value) {
+  const util::TimeSec clamped =
+      std::min(std::max(emit_t, range_.begin), range_.end);
+  if (clamped <= watermark_) {
+    // The watermark promised every sample at or before it has been seen;
+    // a straggler beyond the collector's max delay is dropped, counted,
+    // and leaves the already-emitted windows untouched.
+    ++late_dropped_;
+    return;
+  }
+  ++samples_seen_;
+  MetricState& s = metrics_[id];
+  // Insert into the per-metric reorder buffer, keeping emit-time order.
+  // Equal emit times keep push order (last pushed wins the hold, exactly
+  // like the batch path's zero-length hold for duplicate timestamps).
+  auto it = std::upper_bound(
+      s.pending.begin(), s.pending.end(), emit_t,
+      [](util::TimeSec t, const ts::Sample& sm) { return t < sm.t; });
+  s.pending.insert(it, ts::Sample{emit_t, value});
+  ++pending_total_;
+}
+
+void StreamingCoarsener::close_open(telemetry::MetricId id, MetricState& s) {
+  if (s.open.count() == 0) return;
+  if (sink_) {
+    sink_({id, s.open_index,
+           range_.begin + window_ * static_cast<util::TimeSec>(s.open_index),
+           to_stats(s.open)});
+  }
+  s.open = util::Welford{};
+}
+
+void StreamingCoarsener::fill_to(telemetry::MetricId id, MetricState& s,
+                                 util::TimeSec limit) {
+  // Mirror of the batch ts::coarsen inner loop: distribute the held value
+  // across the windows [filled_to, limit) covers, one add per second.
+  while (s.filled_to < limit) {
+    const auto w =
+        static_cast<std::size_t>((s.filled_to - range_.begin) / window_);
+    if (w >= n_windows_) {
+      s.filled_to = limit;
+      break;
+    }
+    if (w != s.open_index) {
+      close_open(id, s);
+      s.open_index = w;
+    }
+    const util::TimeSec wend =
+        range_.begin + window_ * static_cast<util::TimeSec>(w + 1);
+    const util::TimeSec covered = std::min(limit, wend) - s.filled_to;
+    for (util::TimeSec k = 0; k < covered; ++k) s.open.add(s.hold_value);
+    s.filled_to += covered;
+  }
+}
+
+void StreamingCoarsener::advance(util::TimeSec watermark) {
+  const util::TimeSec w = std::min(watermark, range_.end);
+  if (w <= watermark_) return;
+  watermark_ = w;
+
+  for (auto& [id, s] : metrics_) {
+    // Integrate pending samples emitted at or before the watermark, in
+    // emit order (this is where cross-metric arrival skew is undone).
+    std::size_t consumed = 0;
+    while (consumed < s.pending.size() && s.pending[consumed].t <= w) {
+      const ts::Sample& sample = s.pending[consumed];
+      const util::TimeSec clamped =
+          std::min(std::max(sample.t, range_.begin), range_.end);
+      if (s.has_hold) {
+        fill_to(id, s, clamped);
+      } else {
+        s.has_hold = true;
+        s.filled_to = clamped;
+        // Seed the open-window cursor so the first fill starts cleanly.
+        s.open_index = static_cast<std::size_t>(
+            std::min(static_cast<util::TimeSec>(n_windows_ - 1),
+                     (clamped - range_.begin) / window_));
+      }
+      s.hold_value = sample.value;
+      ++consumed;
+    }
+    if (consumed > 0) {
+      s.pending.erase(s.pending.begin(),
+                      s.pending.begin() + static_cast<std::ptrdiff_t>(consumed));
+      pending_total_ -= consumed;
+    }
+    // Sample-and-hold extension: the last value is known to persist at
+    // least to the watermark (no earlier emit can still arrive).
+    if (s.has_hold) fill_to(id, s, w);
+    // Windows ending at or before the watermark are final; at the range
+    // end every window is (a trailing partial window ends past range.end
+    // but can receive no further data).
+    if (s.open.count() > 0) {
+      const util::TimeSec open_end =
+          range_.begin +
+          window_ * static_cast<util::TimeSec>(s.open_index + 1);
+      if (open_end <= w || w >= range_.end) close_open(id, s);
+    }
+  }
+}
+
+WindowCollector::WindowCollector(const StreamingCoarsener& coarsener)
+    : start_(coarsener.range().begin),
+      window_(coarsener.window()),
+      n_windows_(coarsener.n_windows()) {}
+
+void WindowCollector::operator()(const WindowUpdate& update) {
+  auto& windows = windows_[update.id];
+  if (windows.empty()) windows.resize(n_windows_);
+  if (update.index < windows.size()) windows[update.index] = update.stats;
+}
+
+ts::StatSeries WindowCollector::series(telemetry::MetricId id) const {
+  const auto it = windows_.find(id);
+  if (it == windows_.end()) {
+    return ts::StatSeries(start_, window_,
+                          std::vector<ts::WindowStats>(n_windows_));
+  }
+  return ts::StatSeries(start_, window_, it->second);
+}
+
+std::vector<telemetry::MetricId> WindowCollector::metric_ids() const {
+  std::vector<telemetry::MetricId> ids;
+  ids.reserve(windows_.size());
+  for (const auto& [id, unused] : windows_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace exawatt::stream

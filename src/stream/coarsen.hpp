@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "telemetry/metric.hpp"
+#include "ts/series.hpp"
+#include "util/welford.hpp"
+
+namespace exawatt::stream {
+
+/// One closed 10-second coarsening window of one metric, emitted as soon
+/// as the watermark guarantees no further sample can touch it.
+struct WindowUpdate {
+  telemetry::MetricId id = 0;
+  std::size_t index = 0;        ///< window index within the engine range
+  util::TimeSec start = 0;      ///< window start time
+  ts::WindowStats stats;        ///< count/min/max/mean/std (Dataset 0 row)
+};
+
+/// Incremental replacement for the batch `telemetry::aggregate_metric`
+/// path: consumes the out-of-band event stream one sample at a time and
+/// emits per-metric 10 s count/min/max/mean/std windows online.
+///
+/// Bit-identical guarantee: per metric, samples are re-ordered by emit
+/// time inside the allowed-lateness horizon and replayed through the same
+/// sample-and-hold fill (one Welford::add per covered second, in time
+/// order) as `ts::coarsen(samples, window, range)`, so the emitted
+/// windows carry exactly the doubles the batch aggregator produces.
+///
+/// Watermark protocol: `push` accepts samples in any cross-metric order;
+/// per metric, anything emitted at or before the current watermark is
+/// counted in `late_dropped` and ignored. `advance(w)` moves the
+/// watermark: pending samples with emit time <= w are integrated, holds
+/// are extended to w, and every window ending at or before w closes.
+class StreamingCoarsener {
+ public:
+  using WindowSink = std::function<void(const WindowUpdate&)>;
+
+  StreamingCoarsener(util::TimeRange range, util::TimeSec window = 10);
+
+  /// Closed windows are delivered here, per metric in time order, across
+  /// metrics in ascending MetricId order within one `advance` call.
+  void set_sink(WindowSink sink) { sink_ = std::move(sink); }
+
+  /// Offer one sample (emit-time semantics; arrival order is free within
+  /// the watermark horizon).
+  void push(telemetry::MetricId id, util::TimeSec emit_t, double value);
+
+  /// Advance the watermark: every sample emitted at or before `watermark`
+  /// must already have been pushed (the collector's max delay bounds how
+  /// far behind the wall clock this is safe to call).
+  void advance(util::TimeSec watermark);
+
+  /// Flush to the end of the range (stream shutdown).
+  void finish() { advance(range_.end); }
+
+  [[nodiscard]] util::TimeRange range() const { return range_; }
+  [[nodiscard]] util::TimeSec window() const { return window_; }
+  [[nodiscard]] util::TimeSec watermark() const { return watermark_; }
+  [[nodiscard]] std::size_t n_windows() const { return n_windows_; }
+  [[nodiscard]] std::uint64_t samples_seen() const { return samples_seen_; }
+  [[nodiscard]] std::uint64_t late_dropped() const { return late_dropped_; }
+  [[nodiscard]] std::size_t tracked_metrics() const { return metrics_.size(); }
+  /// Samples buffered ahead of the watermark (reorder lag), across metrics.
+  [[nodiscard]] std::size_t pending_samples() const { return pending_total_; }
+
+ private:
+  struct MetricState {
+    std::vector<ts::Sample> pending;  ///< emit-time sorted reorder buffer
+    bool has_hold = false;            ///< a value is being held
+    double hold_value = 0.0;
+    util::TimeSec filled_to = 0;      ///< seconds covered so far
+    util::Welford open;               ///< accumulator of the open window
+    std::size_t open_index = 0;       ///< window index of `open`
+  };
+
+  void fill_to(telemetry::MetricId id, MetricState& s, util::TimeSec limit);
+  void close_open(telemetry::MetricId id, MetricState& s);
+
+  util::TimeRange range_;
+  util::TimeSec window_;
+  std::size_t n_windows_;
+  util::TimeSec watermark_;  ///< starts at range.begin - 1 (nothing final)
+  std::map<telemetry::MetricId, MetricState> metrics_;
+  WindowSink sink_;
+  std::uint64_t samples_seen_ = 0;
+  std::uint64_t late_dropped_ = 0;
+  std::size_t pending_total_ = 0;
+};
+
+/// Test/validation helper: materialize the emitted windows of one metric
+/// as a full StatSeries on the coarsener grid (missing windows stay
+/// zero-count, matching the batch aggregator's empty windows).
+class WindowCollector {
+ public:
+  explicit WindowCollector(const StreamingCoarsener& coarsener);
+
+  /// Sink to install on the coarsener (collects every metric).
+  void operator()(const WindowUpdate& update);
+
+  [[nodiscard]] ts::StatSeries series(telemetry::MetricId id) const;
+  [[nodiscard]] std::vector<telemetry::MetricId> metric_ids() const;
+
+ private:
+  util::TimeSec start_;
+  util::TimeSec window_;
+  std::size_t n_windows_;
+  std::map<telemetry::MetricId, std::vector<ts::WindowStats>> windows_;
+};
+
+}  // namespace exawatt::stream

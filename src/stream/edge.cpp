@@ -1,0 +1,138 @@
+#include "stream/edge.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace exawatt::stream {
+
+StreamingEdgeDetector::StreamingEdgeDetector(util::TimeSec start,
+                                             util::TimeSec dt,
+                                             double node_count,
+                                             core::EdgeOptions options)
+    : start_(start),
+      dt_(dt),
+      threshold_(options.per_node_threshold_w * node_count),
+      return_fraction_(options.return_fraction) {
+  EXA_CHECK(dt_ > 0, "edge detector needs a positive grid step");
+  EXA_CHECK(node_count > 0.0, "edge detection needs a node count");
+  EXA_CHECK(return_fraction_ > 0.0 && return_fraction_ <= 1.0,
+            "return fraction must be in (0, 1]");
+}
+
+void StreamingEdgeDetector::push(double power_w) {
+  EXA_CHECK(!finished_, "detector already finished");
+  buf_.push_back(power_w);
+  ++size_;
+  process();
+}
+
+void StreamingEdgeDetector::close(bool returned, std::size_t end_idx) {
+  current_.peak_w = peak_;
+  current_.amplitude_w = std::fabs(val(j_) - current_.initial_w);
+  current_.returned = returned;
+  current_.duration_s = time_at(end_idx) - current_.start;
+  edges_.push_back(current_);
+  if (sink_) sink_(current_);
+  i_ = std::max(j_, peak_idx_) + 1;
+  phase_ = Phase::kScan;
+}
+
+void StreamingEdgeDetector::trim() {
+  // In scan phase nothing before the anchor can matter again.
+  if (i_ > base_ && i_ - base_ >= 1024) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(
+                                                i_ - base_));
+    base_ = i_;
+  }
+}
+
+void StreamingEdgeDetector::process() {
+  // One pass of the batch detect_edges loop, pausing wherever the next
+  // decision needs data that has not streamed in yet.
+  for (;;) {
+    switch (phase_) {
+      case Phase::kScan: {
+        if (i_ + 1 >= size_) {
+          trim();
+          return;
+        }
+        const double step = val(i_ + 1) - val(i_);
+        if (std::fabs(step) < threshold_) {
+          ++i_;
+          continue;
+        }
+        rising_ = step > 0.0;
+        current_ = core::Edge{};
+        current_.rising = rising_;
+        current_.start = time_at(i_);
+        current_.initial_w = val(i_);
+        j_ = i_ + 1;
+        phase_ = Phase::kGrow;
+        continue;
+      }
+      case Phase::kGrow: {
+        // Merge consecutive same-sign steps; needs one value of lookahead.
+        if (j_ + 1 >= size_) return;
+        const double next = val(j_ + 1) - val(j_);
+        if (rising_ ? next > 0.0 : next < 0.0) {
+          ++j_;
+          continue;
+        }
+        peak_ = val(j_);
+        peak_idx_ = j_;
+        k_ = j_;
+        phase_ = Phase::kTrack;
+        continue;
+      }
+      case Phase::kTrack: {
+        if (k_ >= size_) return;
+        if (rising_ ? val(k_) > peak_ : val(k_) < peak_) {
+          peak_ = val(k_);
+          peak_idx_ = k_;
+        }
+        const double excursion = peak_ - current_.initial_w;
+        const double given_back = peak_ - val(k_);
+        if (std::fabs(excursion) > 0.0 &&
+            (rising_ ? given_back >= return_fraction_ * excursion
+                     : given_back <= return_fraction_ * excursion)) {
+          close(true, k_);
+          continue;
+        }
+        ++k_;
+        continue;
+      }
+    }
+  }
+}
+
+void StreamingEdgeDetector::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (size_ == 0) return;
+  // Replay the batch end-of-series behaviour: a pending excursion closes
+  // unreturned at the last sample and the scan resumes after its peak —
+  // the remaining tail can still contain further (also unreturned) edges.
+  for (;;) {
+    if (phase_ == Phase::kGrow) {
+      // End of series during step merging: track from the run's last
+      // step, exactly where the batch grow loop stops.
+      peak_ = val(j_);
+      peak_idx_ = j_;
+      k_ = j_;
+      phase_ = Phase::kTrack;
+      process();
+    }
+    if (phase_ == Phase::kTrack) {
+      close(false, size_ - 1);
+      process();
+      continue;
+    }
+    if (phase_ == Phase::kScan) break;
+  }
+  buf_.clear();
+  base_ = size_;
+}
+
+}  // namespace exawatt::stream

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/edges.hpp"
+#include "ts/series.hpp"
+
+namespace exawatt::stream {
+
+/// Online power-edge detector: the batch `core::detect_edges` algorithm
+/// (868 W/node rule, same-sign step merging, 80%-return duration) recast
+/// as a resumable state machine over an append-only grid series. Pushing
+/// the full series and calling `finish()` yields exactly the edges the
+/// batch detector reports on that series; edges close (and reach the
+/// sink) as soon as their return point streams in, not at end of trace.
+class StreamingEdgeDetector {
+ public:
+  using EdgeSink = std::function<void(const core::Edge&)>;
+
+  StreamingEdgeDetector(util::TimeSec start, util::TimeSec dt,
+                        double node_count, core::EdgeOptions options = {});
+
+  void set_sink(EdgeSink sink) { sink_ = std::move(sink); }
+
+  /// Append the next grid value (time start + samples() * dt).
+  void push(double power_w);
+
+  /// End of stream: closes a still-open excursion as unreturned, exactly
+  /// like the batch detector at end of series. Idempotent.
+  void finish();
+
+  [[nodiscard]] std::size_t samples() const { return size_; }
+  [[nodiscard]] const std::vector<core::Edge>& edges() const { return edges_; }
+  /// Values retained for the in-flight edge (memory is bounded by the
+  /// longest unreturned excursion, not by the stream length).
+  [[nodiscard]] std::size_t retained() const { return buf_.size(); }
+
+ private:
+  enum class Phase { kScan, kGrow, kTrack };
+
+  [[nodiscard]] double val(std::size_t idx) const { return buf_[idx - base_]; }
+  [[nodiscard]] util::TimeSec time_at(std::size_t idx) const {
+    return start_ + dt_ * static_cast<util::TimeSec>(idx);
+  }
+  void process();
+  void close(bool returned, std::size_t end_idx);
+  void trim();
+
+  util::TimeSec start_;
+  util::TimeSec dt_;
+  double threshold_;
+  double return_fraction_;
+  EdgeSink sink_;
+
+  std::vector<double> buf_;  ///< values [base_, size_)
+  std::size_t base_ = 0;
+  std::size_t size_ = 0;
+  bool finished_ = false;
+
+  Phase phase_ = Phase::kScan;
+  std::size_t i_ = 0;         ///< scan anchor / edge start index
+  std::size_t j_ = 0;         ///< last index of the merged step run
+  std::size_t k_ = 0;         ///< return-tracking cursor
+  bool rising_ = true;
+  double peak_ = 0.0;
+  std::size_t peak_idx_ = 0;
+  core::Edge current_;
+
+  std::vector<core::Edge> edges_;
+};
+
+}  // namespace exawatt::stream

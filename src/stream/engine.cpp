@@ -1,0 +1,134 @@
+#include "stream/engine.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/sim_time.hpp"
+
+namespace exawatt::stream {
+
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      now_(options.range.begin),
+      coarsener_(options.range, options.window),
+      rollup_(options.range, options.window, options.rollup),
+      alerts_(options.alerts) {
+  EXA_CHECK(options_.allowed_lateness_s >= 0,
+            "allowed lateness cannot be negative");
+  coarsener_.set_sink(
+      [this](const WindowUpdate& update) { rollup_.on_window(update); });
+  rollup_.set_edge_sink(
+      [this](const core::Edge& edge) { alerts_.on_edge(edge); });
+}
+
+void Engine::ingest(const telemetry::Collector::Arrival& arrival) {
+  const telemetry::MetricId id = arrival.event.id;
+  const auto value = static_cast<double>(arrival.event.value);
+  ++events_;
+  coarsener_.push(id, arrival.event.t, value);
+  alerts_.on_node_event(telemetry::metric_node(id), arrival.arrival_t);
+
+  const telemetry::ChannelInfo info =
+      telemetry::channel_info(telemetry::metric_channel(id));
+  switch (info.kind) {
+    case telemetry::MetricKind::kInputPower:
+      power_q_.add(value);
+      node_power_w_[telemetry::metric_node(id)] = value;
+      break;
+    case telemetry::MetricKind::kGpuCoreTemp:
+      temp_q_.add(value);
+      gpu_temp_c_[id] = value;
+      alerts_.on_gpu_temp(telemetry::metric_node(id), arrival.arrival_t,
+                          value);
+      break;
+    case telemetry::MetricKind::kCpuCoreTemp:
+      cpu_temp_c_[id] = value;
+      break;
+    default:
+      break;
+  }
+}
+
+void Engine::advance_to(util::TimeSec now) {
+  now_ = now;
+  coarsener_.advance(now - options_.allowed_lateness_s);
+  rollup_.close_up_to(coarsener_.watermark());
+  alerts_.advance(now);
+}
+
+void Engine::finish() {
+  now_ = options_.range.end;
+  coarsener_.finish();
+  rollup_.finish();
+}
+
+core::DashboardSnapshot Engine::dashboard() const {
+  core::DashboardSnapshot snap;
+  snap.title = "live stream dashboard";
+  snap.t = now_;
+  snap.cluster_power_w = rollup_.latest_power_w();
+  snap.cooling = rollup_.cooling_state();
+  snap.sampled_nodes = static_cast<int>(node_power_w_.size());
+  for (const auto& [id, c] : gpu_temp_c_) {
+    snap.gpu_core_c.add(c);
+    if (c >= options_.gpu_warn_c) ++snap.thermal_warnings;
+  }
+  for (const auto& [id, c] : cpu_temp_c_) snap.cpu_core_c.add(c);
+  // Busy = above twice the observed per-node power floor: a model-free
+  // proxy (the engine only sees telemetry, not the allocation index).
+  double floor_w = 0.0;
+  bool have_floor = false;
+  for (const auto& [node, w] : node_power_w_) {
+    if (!have_floor || w < floor_w) {
+      floor_w = w;
+      have_floor = true;
+    }
+  }
+  for (const auto& [node, w] : node_power_w_) {
+    if (w > 2.0 * floor_w) ++snap.busy_nodes;
+  }
+  return snap;
+}
+
+std::string Engine::render(std::size_t alert_tail) const {
+  std::ostringstream os;
+  os << dashboard().render();
+  char line[192];
+  std::snprintf(line, sizeof line,
+                "node power W   p50 %7.0f  p95 %7.0f  p99 %7.0f  (n=%llu)\n",
+                power_q_.p50(), power_q_.p95(), power_q_.p99(),
+                static_cast<unsigned long long>(power_q_.count()));
+  os << line;
+  std::snprintf(line, sizeof line,
+                "gpu core C     p50 %7.1f  p95 %7.1f  p99 %7.1f  (n=%llu)\n",
+                temp_q_.p50(), temp_q_.p95(), temp_q_.p99(),
+                static_cast<unsigned long long>(temp_q_.count()));
+  os << line;
+  std::snprintf(
+      line, sizeof line,
+      "watermark %s | windows closed %zu | pending %zu | late dropped %llu\n",
+      util::format_time(coarsener_.watermark()).c_str(),
+      rollup_.closed_windows(), coarsener_.pending_samples(),
+      static_cast<unsigned long long>(coarsener_.late_dropped()));
+  os << line;
+  std::snprintf(line, sizeof line,
+                "alerts raised: swing %zu  thermal %zu  silence %zu "
+                "(active %zu/%zu/%zu)\n",
+                alerts_.raised(AlertKind::kPowerSwing),
+                alerts_.raised(AlertKind::kThermal),
+                alerts_.raised(AlertKind::kSilence),
+                alerts_.active(AlertKind::kPowerSwing),
+                alerts_.active(AlertKind::kThermal),
+                alerts_.active(AlertKind::kSilence));
+  os << line;
+  const auto& log = alerts_.log();
+  const std::size_t first =
+      log.size() > alert_tail ? log.size() - alert_tail : 0;
+  for (std::size_t i = first; i < log.size(); ++i) {
+    os << "  " << log[i].describe() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace exawatt::stream

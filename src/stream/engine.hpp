@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/dashboard.hpp"
+#include "stream/alerts.hpp"
+#include "stream/coarsen.hpp"
+#include "stream/quantile.hpp"
+#include "stream/rollup.hpp"
+#include "telemetry/collector.hpp"
+
+namespace exawatt::stream {
+
+struct EngineOptions {
+  util::TimeRange range;
+  /// Coarsening window — 10 s to match the paper's archive resolution.
+  util::TimeSec window = 10;
+  /// Watermark lag behind the stream clock. Must cover the collector's
+  /// max propagation delay (5 s, paper §3) so the watermark's promise —
+  /// "everything emitted at or before it has arrived" — holds; anything
+  /// later still is counted as a late drop, not silently mis-binned.
+  util::TimeSec allowed_lateness_s = 5;
+  RollupOptions rollup = {};
+  AlertOptions alerts = {};
+  /// GPU warning band for the dashboard (mirrors the batch dashboard's
+  /// throttle_onset - 10 rule; engine has no thermal model so the
+  /// threshold is passed in).
+  double gpu_warn_c = 73.0;
+};
+
+/// The streaming analytics engine: one consumer thread owns it, drains
+/// the `ShardedIngest` into `ingest()`, and advances the clock once per
+/// second with `advance_to()`. Internally it fans one event stream into
+/// the incremental operators — 10 s coarsener (bit-identical to the batch
+/// aggregator), cluster power/PUE roll-up, streaming edge detector,
+/// P² quantile sketches, and the alert engine.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options);
+
+  /// One collector arrival. Call from the ingest drain, in drain order.
+  void ingest(const telemetry::Collector::Arrival& arrival);
+
+  /// Advance the stream clock to `now`: watermark the coarsener at
+  /// now - allowed_lateness, close finalizable cluster windows, and run
+  /// the silence sweep.
+  void advance_to(util::TimeSec now);
+
+  /// End of stream: flush every operator through the range end.
+  void finish();
+
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+  [[nodiscard]] util::TimeSec now() const { return now_; }
+  [[nodiscard]] std::uint64_t events_ingested() const { return events_; }
+
+  [[nodiscard]] const StreamingCoarsener& coarsener() const {
+    return coarsener_;
+  }
+  [[nodiscard]] const ClusterRollup& rollup() const { return rollup_; }
+  [[nodiscard]] const AlertEngine& alerts() const { return alerts_; }
+  [[nodiscard]] AlertEngine& alerts() { return alerts_; }
+  /// Per-node input-power quantile sketch (W).
+  [[nodiscard]] const QuantileSet& power_quantiles() const {
+    return power_q_;
+  }
+  /// GPU core temperature quantile sketch (°C).
+  [[nodiscard]] const QuantileSet& gpu_temp_quantiles() const {
+    return temp_q_;
+  }
+
+  /// Live operational panel from the engine's own state (no simulator
+  /// access): histograms over the latest telemetry value of every GPU /
+  /// CPU core-temp channel, rolled-up cluster power and cooling state.
+  [[nodiscard]] core::DashboardSnapshot dashboard() const;
+  /// dashboard().render() plus the streaming-only rows (quantile sketches,
+  /// watermark/lag accounting, recent alerts).
+  [[nodiscard]] std::string render(std::size_t alert_tail = 4) const;
+
+ private:
+  EngineOptions options_;
+  util::TimeSec now_;
+  std::uint64_t events_ = 0;
+  StreamingCoarsener coarsener_;
+  ClusterRollup rollup_;
+  AlertEngine alerts_;
+  QuantileSet power_q_;
+  QuantileSet temp_q_;
+  /// Latest value per temperature channel, keyed by MetricId — the
+  /// streaming stand-in for the batch dashboard's model sweep.
+  std::map<telemetry::MetricId, double> gpu_temp_c_;
+  std::map<telemetry::MetricId, double> cpu_temp_c_;
+  std::map<machine::NodeId, double> node_power_w_;
+};
+
+}  // namespace exawatt::stream

@@ -1,0 +1,53 @@
+#include "stream/ingest.hpp"
+
+#include "util/check.hpp"
+
+namespace exawatt::stream {
+
+ShardedIngest::ShardedIngest(IngestOptions options) : options_(options) {
+  EXA_CHECK(options_.shards > 0, "ingest needs at least one shard");
+  EXA_CHECK(options_.shard_capacity > 0, "shard capacity must be positive");
+  rings_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    rings_.push_back(
+        std::make_unique<util::SpscRing<Event>>(options_.shard_capacity));
+  }
+  stats_.resize(options_.shards);
+}
+
+void ShardedIngest::push(std::size_t shard, const Event& event) {
+  EXA_CHECK(shard < rings_.size(), "shard index out of range");
+  util::SpscRing<Event>& ring = *rings_[shard];
+  ShardStats& st = stats_[shard];
+  const std::size_t lag = ring.size();
+  if (lag > st.max_lag) st.max_lag = lag;
+  if (options_.policy == BackpressurePolicy::kDropOldest) {
+    if (ring.push_overwrite(event)) ++st.dropped;
+  } else {
+    while (!ring.try_push(event)) {
+      ++st.blocked_spins;
+      std::this_thread::yield();
+    }
+  }
+  ++st.pushed;
+}
+
+std::uint64_t ShardedIngest::total_pushed() const {
+  std::uint64_t total = 0;
+  for (const ShardStats& st : stats_) total += st.pushed;
+  return total;
+}
+
+std::uint64_t ShardedIngest::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const ShardStats& st : stats_) total += st.dropped;
+  return total;
+}
+
+std::size_t ShardedIngest::backlog() const {
+  std::size_t total = 0;
+  for (const auto& ring : rings_) total += ring->size();
+  return total;
+}
+
+}  // namespace exawatt::stream

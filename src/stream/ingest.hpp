@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "telemetry/collector.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace exawatt::stream {
+
+/// Backpressure policy when a shard ring is full.
+enum class BackpressurePolicy : std::uint8_t {
+  kBlock,       ///< producer spins (yielding) until the consumer drains —
+                ///< lossless; the paper's pipeline must not drop (Table 2)
+  kDropOldest,  ///< overwrite the oldest queued event — bounded staleness
+                ///< for dashboards that prefer fresh data over complete data
+};
+
+struct IngestOptions {
+  std::size_t shards = 4;
+  std::size_t shard_capacity = 1 << 14;  ///< events per shard ring
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+};
+
+/// Per-shard transport accounting.
+struct ShardStats {
+  std::uint64_t pushed = 0;
+  std::uint64_t dropped = 0;        ///< drop-oldest evictions
+  std::uint64_t blocked_spins = 0;  ///< full-ring spin iterations (kBlock)
+  std::size_t max_lag = 0;          ///< deepest queue observed at push
+};
+
+/// Sharded ingest front-end of the streaming engine: the MPSC facade the
+/// collector feed lands on. Internally one bounded SPSC ring per shard —
+/// the standard "N producers, each with its own SPSC lane to one
+/// consumer" decomposition, so the hot path is wait-free under the
+/// one-producer-per-shard contract (`push(shard, ...)` with a distinct
+/// shard per producer thread; the routed `push(event)` facade is for
+/// single-producer callers like the lock-step simulator).
+class ShardedIngest {
+ public:
+  using Event = telemetry::Collector::Arrival;
+
+  explicit ShardedIngest(IngestOptions options = {});
+
+  [[nodiscard]] std::size_t shards() const { return rings_.size(); }
+  [[nodiscard]] const IngestOptions& options() const { return options_; }
+
+  /// Shard routing: by node, so one node's metrics stay ordered.
+  [[nodiscard]] std::size_t shard_of(telemetry::MetricId id) const {
+    return static_cast<std::size_t>(telemetry::metric_node(id)) %
+           rings_.size();
+  }
+
+  /// Producer path. The shard index is the producer's lane — exactly one
+  /// thread may push to a given shard.
+  void push(std::size_t shard, const Event& event);
+  /// Routed facade for a single producer feeding all shards.
+  void push(const Event& event) { push(shard_of(event.event.id), event); }
+
+  /// Consumer path: drain every shard round-robin into `fn(event)`.
+  /// Returns the number of events delivered.
+  template <typename F>
+  std::size_t drain(F&& fn) {
+    std::size_t delivered = 0;
+    Event e;
+    for (auto& ring : rings_) {
+      while (ring->pop(e)) {
+        fn(e);
+        ++delivered;
+      }
+    }
+    return delivered;
+  }
+
+  [[nodiscard]] const ShardStats& shard_stats(std::size_t shard) const {
+    return stats_[shard];
+  }
+  [[nodiscard]] std::uint64_t total_pushed() const;
+  [[nodiscard]] std::uint64_t total_dropped() const;
+  /// Events queued across shards right now (racy snapshot).
+  [[nodiscard]] std::size_t backlog() const;
+
+ private:
+  IngestOptions options_;
+  std::vector<std::unique_ptr<util::SpscRing<Event>>> rings_;
+  std::vector<ShardStats> stats_;
+};
+
+}  // namespace exawatt::stream

@@ -1,0 +1,84 @@
+#include "stream/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace exawatt::stream {
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  EXA_CHECK(p > 0.0 && p < 1.0, "quantile must be in (0, 1)");
+  dn_ = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double x) {
+  ++count_;
+  if (count_ <= 5) {
+    q_[count_ - 1] = x;
+    if (count_ == 5) {
+      std::sort(q_.begin(), q_.end());
+      for (int i = 0; i < 5; ++i) {
+        n_[i] = static_cast<double>(i + 1);
+        np_[i] = 1.0 + 4.0 * dn_[i];
+      }
+    }
+    return;
+  }
+
+  // Locate the cell containing x and clamp the extreme markers.
+  int cell;
+  if (x < q_[0]) {
+    q_[0] = x;
+    cell = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = x;
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && x >= q_[cell + 1]) ++cell;
+  }
+
+  for (int i = cell + 1; i < 5; ++i) n_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) np_[i] += dn_[i];
+
+  // Adjust the three interior markers toward their desired positions with
+  // the piecewise-parabolic (P²) update, falling back to linear when the
+  // parabola would leave the bracketing heights.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = np_[i] - n_[i];
+    if ((d >= 1.0 && n_[i + 1] - n_[i] > 1.0) ||
+        (d <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      const double qp =
+          q_[i] + s / (n_[i + 1] - n_[i - 1]) *
+                      ((n_[i] - n_[i - 1] + s) * (q_[i + 1] - q_[i]) /
+                           (n_[i + 1] - n_[i]) +
+                       (n_[i + 1] - n_[i] - s) * (q_[i] - q_[i - 1]) /
+                           (n_[i] - n_[i - 1]));
+      if (q_[i - 1] < qp && qp < q_[i + 1]) {
+        q_[i] = qp;
+      } else {
+        const int j = i + static_cast<int>(s);
+        q_[i] += s * (q_[j] - q_[i]) / (n_[j] - n_[i]);
+      }
+      n_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample percentile (nearest-rank on the sorted prefix).
+    std::array<double, 5> sorted = q_;
+    const auto n = static_cast<std::size_t>(count_);
+    std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(n));
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p_ * static_cast<double>(n)));
+    return sorted[std::min(n - 1, rank > 0 ? rank - 1 : 0)];
+  }
+  return q_[2];
+}
+
+}  // namespace exawatt::stream

@@ -1,0 +1,84 @@
+#include "stream/rollup.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace exawatt::stream {
+
+ClusterRollup::ClusterRollup(util::TimeRange range, util::TimeSec window,
+                             RollupOptions options)
+    : range_(range),
+      window_(window),
+      options_(options),
+      sums_(static_cast<std::size_t>((range.duration() + window - 1) / window),
+            0.0),
+      counts_(sums_.size(), 0.0),
+      plant_(options.cooling),
+      weather_(options.weather_seed),
+      edges_(range.begin, window, options.edge_node_count,
+             options.edge_options) {
+  EXA_CHECK(options_.power_scale > 0.0, "power scale must be positive");
+}
+
+void ClusterRollup::on_window(const WindowUpdate& update) {
+  if (telemetry::metric_channel(update.id) !=
+      telemetry::channel_of(telemetry::MetricKind::kInputPower, 0)) {
+    return;
+  }
+  if (update.stats.count == 0 || update.index >= sums_.size()) return;
+  // Same accumulation as the batch cluster_sum: per window, the sum of
+  // contributing nodes' means. Updates arrive in ascending MetricId (=
+  // node) order per advance, so the FP addition order matches a batch
+  // roll-up over an ascending node list.
+  sums_[update.index] += update.stats.mean;
+  counts_[update.index] += 1.0;
+}
+
+void ClusterRollup::close_up_to(util::TimeSec watermark) {
+  // Windows ending at or before the watermark; at the range end the
+  // trailing partial window closes too.
+  const std::size_t limit =
+      watermark >= range_.end
+          ? sums_.size()
+          : static_cast<std::size_t>(std::min<util::TimeSec>(
+                static_cast<util::TimeSec>(sums_.size()),
+                std::max<util::TimeSec>(
+                    0, (watermark - range_.begin) / window_)));
+  while (closed_ < limit) {
+    const std::size_t w = closed_;
+    const util::TimeSec t =
+        range_.begin + window_ * static_cast<util::TimeSec>(w);
+    const double power = sums_[w] * options_.power_scale;
+    const double wet_bulb = weather_.wet_bulb_c(t);
+    if (!plant_primed_) {
+      // Steady-state start avoids a cold-plant PUE transient at the
+      // stream head (mirrors the batch cep simulation's reset).
+      plant_.reset(power, wet_bulb);
+      plant_primed_ = true;
+    }
+    const facility::CoolingState& state =
+        plant_.step(window_, power, wet_bulb);
+    closed_power_w_.push_back(power);
+    closed_pue_.push_back(state.pue);
+    latest_power_w_ = power;
+    edges_.push(power);
+    if (sink_) sink_({w, t, power, counts_[w], state});
+    ++closed_;
+  }
+}
+
+void ClusterRollup::finish() {
+  close_up_to(range_.end);
+  edges_.finish();
+}
+
+ts::Series ClusterRollup::power_series() const {
+  return ts::Series(range_.begin, window_, closed_power_w_);
+}
+
+ts::Series ClusterRollup::pue_series() const {
+  return ts::Series(range_.begin, window_, closed_pue_);
+}
+
+}  // namespace exawatt::stream

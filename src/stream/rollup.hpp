@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "facility/cooling.hpp"
+#include "facility/weather.hpp"
+#include "stream/coarsen.hpp"
+#include "stream/edge.hpp"
+#include "telemetry/metric.hpp"
+
+namespace exawatt::stream {
+
+/// Cluster-level online roll-up: consumes the coarsener's closed
+/// input-power windows and maintains (a) the rolling cluster power series
+/// (the streaming `telemetry::cluster_sum` — sum of contributing nodes'
+/// window means), (b) the facility response along it — a
+/// `facility::CoolingPlant` stepped window-by-window, whose internal MTW
+/// transport delay gives the paper's lagged return/PUE dynamics — and
+/// (c) a streaming edge detector on the rolled-up power (868 W/node rule).
+struct RollupOptions {
+  /// Multiplier from instrumented-subset power to machine power (e.g.
+  /// machine_nodes / instrumented_nodes when sampling a subset).
+  double power_scale = 1.0;
+  /// Node count normalizing the edge threshold (the machine, not the
+  /// instrumented subset, so the 868 W/node rule stays scale-invariant).
+  double edge_node_count = 1.0;
+  core::EdgeOptions edge_options = {};
+  facility::CoolingParams cooling = {};
+  std::uint64_t weather_seed = 7;
+};
+
+/// One finalized cluster window.
+struct ClusterWindow {
+  std::size_t index = 0;
+  util::TimeSec t = 0;           ///< window start
+  double power_w = 0.0;          ///< machine-scaled cluster power
+  double nodes_reporting = 0.0;  ///< contributing node count
+  facility::CoolingState cooling;
+};
+
+class ClusterRollup {
+ public:
+  using WindowSink = std::function<void(const ClusterWindow&)>;
+
+  ClusterRollup(util::TimeRange range, util::TimeSec window,
+                RollupOptions options);
+
+  void set_sink(WindowSink sink) { sink_ = std::move(sink); }
+  /// Closed power edges land here (wire to the alert engine).
+  void set_edge_sink(StreamingEdgeDetector::EdgeSink sink) {
+    edges_.set_sink(std::move(sink));
+  }
+
+  /// Feed every coarsener window update; non-input-power channels are
+  /// ignored, so this can be installed directly as the coarsener sink.
+  void on_window(const WindowUpdate& update);
+
+  /// Finalize every window ending at or before the watermark (call after
+  /// StreamingCoarsener::advance with the same watermark).
+  void close_up_to(util::TimeSec watermark);
+  void finish();
+
+  /// Closed cluster power as a grid series (unclosed tail omitted; zero
+  /// where no node reported).
+  [[nodiscard]] ts::Series power_series() const;
+  [[nodiscard]] ts::Series pue_series() const;
+  [[nodiscard]] std::size_t closed_windows() const { return closed_; }
+  [[nodiscard]] double latest_power_w() const { return latest_power_w_; }
+  [[nodiscard]] const facility::CoolingState& cooling_state() const {
+    return plant_.state();
+  }
+  [[nodiscard]] const StreamingEdgeDetector& edges() const { return edges_; }
+  [[nodiscard]] const facility::Weather& weather() const { return weather_; }
+
+ private:
+  util::TimeRange range_;
+  util::TimeSec window_;
+  RollupOptions options_;
+  std::vector<double> sums_;    ///< per-window sum of node window means
+  std::vector<double> counts_;  ///< per-window contributing nodes
+  std::size_t closed_ = 0;
+  bool plant_primed_ = false;
+  facility::CoolingPlant plant_;
+  facility::Weather weather_;
+  StreamingEdgeDetector edges_;
+  std::vector<double> closed_power_w_;
+  std::vector<double> closed_pue_;
+  double latest_power_w_ = 0.0;
+  WindowSink sink_;
+};
+
+}  // namespace exawatt::stream

@@ -38,7 +38,9 @@ PipelineStats Pipeline::run(util::TimeRange range, util::TimeSec flush_every) {
 
   PipelineStats stats;
   std::vector<MetricEvent> batch;
+  std::vector<Collector::Arrival> second_arrivals;
   for (util::TimeSec t = range.begin; t < range.end; ++t) {
+    second_arrivals.clear();
     for (std::size_t i = 0; i < samplers.size(); ++i) {
       const NodeSampler::Readings r = samplers[i].sample(t);
       stats.readings += r.values.size();
@@ -47,8 +49,10 @@ PipelineStats Pipeline::run(util::TimeRange range, util::TimeSec flush_every) {
         // The archive indexes by emit time; arrival time models the
         // propagation delay the 10 s coarsening must absorb.
         batch.push_back(arrival.event);
+        if (tap_) second_arrivals.push_back(arrival);
       }
     }
+    if (tap_) tap_(t, second_arrivals);
     if ((t - range.begin + 1) % flush_every == 0) {
       archive_.append(std::move(batch));
       batch.clear();

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "facility/msb.hpp"
@@ -36,6 +38,15 @@ class Pipeline {
            const facility::MsbModel& msb, double mtw_supply_c = 20.0,
            CollectorParams collector = {});
 
+  /// Live bridge to downstream consumers (the streaming engine): called
+  /// once per simulated second with every arrival stamped that second,
+  /// before the events are archived. `now` is the wall-clock second the
+  /// batch was handed over, i.e. the stream clock.
+  using ArrivalTap =
+      std::function<void(util::TimeSec now,
+                         std::span<const Collector::Arrival> arrivals)>;
+  void set_tap(ArrivalTap tap) { tap_ = std::move(tap); }
+
   /// Run the 1 Hz loop over [range.begin, range.end); events are batched
   /// per `flush_every` seconds into archive blocks.
   PipelineStats run(util::TimeRange range, util::TimeSec flush_every = 60);
@@ -54,6 +65,7 @@ class Pipeline {
   double mtw_supply_c_;
   Collector collector_;
   Archive archive_;
+  ArrivalTap tap_;
 };
 
 }  // namespace exawatt::telemetry

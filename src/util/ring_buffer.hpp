@@ -1,0 +1,104 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace exawatt::util {
+
+/// Bounded single-producer / single-consumer ring buffer — the per-shard
+/// transport of the streaming ingest front-end (stream/ingest). Lock-free:
+/// the producer owns `tail_`, the consumer owns `head_`, each published
+/// with release/acquire ordering.
+///
+/// `push_overwrite` implements the drop-oldest backpressure policy: when
+/// full, the producer advances `head_` past the oldest slot with a CAS it
+/// races against the consumer's `pop` CAS. A consumer that loses the race
+/// discards its (possibly torn) copy and retries, so T must be trivially
+/// copyable — a stale read is thrown away, never observed.
+template <typename T>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpscRing requires trivially copyable elements");
+
+ public:
+  /// Capacity is rounded up to a power of two (index masking).
+  explicit SpscRing(std::size_t min_capacity) {
+    EXA_CHECK(min_capacity > 0, "ring capacity must be positive");
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Occupancy snapshot (racy by nature; exact only when quiescent).
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(t - h);
+  }
+
+  /// Producer: append if space is available. Returns false when full.
+  bool try_push(const T& item) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) >= slots_.size()) {
+      return false;
+    }
+    slots_[t & mask_] = item;
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer: append unconditionally, discarding the oldest element when
+  /// full. Returns true when an element was dropped to make room.
+  bool push_overwrite(const T& item) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    bool dropped = false;
+    std::uint64_t h = head_.load(std::memory_order_acquire);
+    while (t - h >= slots_.size()) {
+      // Full: reclaim the oldest slot. A failed CAS means the consumer
+      // popped it first, which also makes room.
+      if (head_.compare_exchange_weak(h, h + 1, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        dropped = true;
+        break;
+      }
+    }
+    slots_[t & mask_] = item;
+    tail_.store(t + 1, std::memory_order_release);
+    return dropped;
+  }
+
+  /// Consumer: pop the oldest element. Returns false when empty.
+  bool pop(T& out) {
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (h == tail_.load(std::memory_order_acquire)) return false;
+      // Copy first, claim second: if the producer steals the slot via
+      // push_overwrite between the two, the CAS fails and the copy is
+      // discarded (trivially-copyable T makes the stale read harmless).
+      out = slots_[h & mask_];
+      if (head_.compare_exchange_weak(h, h + 1, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return true;
+      }
+    }
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producer cursor
+};
+
+}  // namespace exawatt::util

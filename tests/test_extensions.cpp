@@ -99,7 +99,7 @@ TEST(Xcorr, RejectsBadInputs) {
   EXPECT_THROW(stats::autocorrelation(tiny, 5), util::CheckError);
   const std::vector<double> a = {1, 2, 3};
   const std::vector<double> b = {1, 2};
-  EXPECT_THROW(stats::spearman(a, b), util::CheckError);
+  EXPECT_THROW((void)stats::spearman(a, b), util::CheckError);
 }
 
 // ------------------------------------------------------------ Throttling
@@ -389,7 +389,7 @@ TEST(Predictor, RejectsBadInputs) {
   one[0].mean_power_w = 100.0;
   one[0].max_power_w = 150.0;
   core::PowerPredictor p(one);
-  EXPECT_THROW(p.predict(0, 5, 0), util::CheckError);
+  EXPECT_THROW((void)p.predict(0, 5, 0), util::CheckError);
 }
 
 
@@ -416,7 +416,7 @@ TEST(Inband, LostNodeHoursScalesWithUtilization) {
   const double b = telemetry::inband_lost_node_hours_per_year(
       1.0, 100, 4626, 0.8, 64.0);
   EXPECT_NEAR(b / a, 2.0, 1e-9);
-  EXPECT_THROW(telemetry::inband_lost_node_hours_per_year(1.0, 100, 4626,
+  EXPECT_THROW((void)telemetry::inband_lost_node_hours_per_year(1.0, 100, 4626,
                                                           1.5, 64.0),
                util::CheckError);
 }

@@ -228,7 +228,7 @@ TEST(Msb, MeterNoiseIsSmallAndDeterministic) {
   const double b = msb.meter_reading(0, 1.0e6, 500);
   EXPECT_DOUBLE_EQ(a, b);
   EXPECT_NEAR(a, 1.0e6, 0.01 * 1.0e6);
-  EXPECT_THROW(msb.meter_reading(5, 1.0e6, 0), util::CheckError);
+  EXPECT_THROW((void)msb.meter_reading(5, 1.0e6, 0), util::CheckError);
 }
 
 TEST(Msb, SampleNoiseAveragesOut) {

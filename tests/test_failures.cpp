@@ -26,7 +26,7 @@ TEST(Xid, NamesDistinctAndComplete) {
     names.insert(failures::xid_name(static_cast<XidType>(t)));
   }
   EXPECT_EQ(names.size(), failures::kXidTypeCount);
-  EXPECT_THROW(failures::xid_name(XidType::kCount), util::CheckError);
+  EXPECT_THROW((void)failures::xid_name(XidType::kCount), util::CheckError);
 }
 
 TEST(Xid, ApplicationVsHardwareSplit) {
@@ -129,7 +129,9 @@ TEST(FailureGenerator, SortedByTimeAndDeterministic) {
   const auto b = gen.generate(fx.jobs);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    if (i > 0) EXPECT_LE(a[i - 1].time, a[i].time);
+    if (i > 0) {
+      EXPECT_LE(a[i - 1].time, a[i].time);
+    }
     EXPECT_EQ(a[i].time, b[i].time);
     EXPECT_EQ(a[i].node, b[i].node);
     EXPECT_EQ(a[i].type, b[i].type);

@@ -57,8 +57,8 @@ TEST(Topology, CabinetAssignmentIsContiguous) {
   EXPECT_EQ(topo.cabinet_of(17), 0);
   EXPECT_EQ(topo.cabinet_of(18), 1);
   EXPECT_EQ(topo.cabinet_of(53), 2);
-  EXPECT_THROW(topo.cabinet_of(54), util::CheckError);
-  EXPECT_THROW(topo.cabinet_of(-1), util::CheckError);
+  EXPECT_THROW((void)topo.cabinet_of(54), util::CheckError);
+  EXPECT_THROW((void)topo.cabinet_of(-1), util::CheckError);
 }
 
 TEST(Topology, FloorPositionRoundTrip) {

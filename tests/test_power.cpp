@@ -75,9 +75,9 @@ TEST(FleetVariability, DeterministicAndBoundsChecked) {
   power::FleetVariability a(machine::MachineScale::small(64), 7);
   power::FleetVariability b(machine::MachineScale::small(64), 7);
   EXPECT_DOUBLE_EQ(a.gpu_power_factor(10, 3), b.gpu_power_factor(10, 3));
-  EXPECT_THROW(a.gpu_power_factor(64, 0), util::CheckError);
-  EXPECT_THROW(a.gpu_power_factor(0, 6), util::CheckError);
-  EXPECT_THROW(a.cpu_power_factor(0, 2), util::CheckError);
+  EXPECT_THROW((void)a.gpu_power_factor(64, 0), util::CheckError);
+  EXPECT_THROW((void)a.gpu_power_factor(0, 6), util::CheckError);
+  EXPECT_THROW((void)a.cpu_power_factor(0, 2), util::CheckError);
 }
 
 // -------------------------------------------------------------- Job power
@@ -166,7 +166,7 @@ TEST(JobPower, NodeDetailSumsToInput) {
   const auto d = power::node_power_detail(j, 3, 300, fleet);
   const double dc = SummitSpec::kNodeOverheadW + d.cpu_total() + d.gpu_total();
   EXPECT_NEAR(d.input_w, dc / SummitSpec::kPsuEfficiency, 1e-9);
-  EXPECT_THROW(power::node_power_detail(j, 8, 300, fleet), util::CheckError);
+  EXPECT_THROW((void)power::node_power_detail(j, 8, 300, fleet), util::CheckError);
 }
 
 TEST(JobPower, NodeDetailVariesAcrossRanks) {

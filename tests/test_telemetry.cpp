@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 
 #include "telemetry/aggregator.hpp"
@@ -30,8 +32,8 @@ TEST(Metric, ChannelRoundTrip) {
     const auto info = tm::channel_info(c);
     EXPECT_EQ(tm::channel_of(info.kind, info.index), c);
   }
-  EXPECT_THROW(tm::channel_info(100), util::CheckError);
-  EXPECT_THROW(tm::channel_of(tm::MetricKind::kGpuPower, 6),
+  EXPECT_THROW((void)tm::channel_info(100), util::CheckError);
+  EXPECT_THROW((void)tm::channel_of(tm::MetricKind::kGpuPower, 6),
                util::CheckError);
 }
 
@@ -167,6 +169,90 @@ TEST(Codec, NegativeValuesSurvive) {
   const auto decoded = tm::decode_events(tm::encode_events(events));
   EXPECT_EQ(decoded[0].value, -100);
   EXPECT_EQ(decoded[2].value, 50);
+}
+
+// Adversarial round-trip property: for any (id, t)-sortable batch, decode
+// must be the exact inverse of encode. The helper asserts it field by
+// field and returns the block for footprint checks.
+namespace {
+tm::EncodedBlock expect_codec_round_trip(std::vector<tm::MetricEvent> events) {
+  const auto block = tm::encode_events(events);
+  const auto decoded = tm::decode_events(block);
+  std::sort(events.begin(), events.end(),
+            [](const tm::MetricEvent& a, const tm::MetricEvent& b) {
+              return a.id < b.id || (a.id == b.id && a.t < b.t);
+            });
+  EXPECT_EQ(decoded.size(), events.size());
+  for (std::size_t i = 0; i < std::min(decoded.size(), events.size()); ++i) {
+    EXPECT_EQ(decoded[i].id, events[i].id) << "event " << i;
+    EXPECT_EQ(decoded[i].t, events[i].t) << "event " << i;
+    EXPECT_EQ(decoded[i].value, events[i].value) << "event " << i;
+  }
+  return block;
+}
+}  // namespace
+
+TEST(Codec, SingleSampleSeries) {
+  expect_codec_round_trip({{tm::metric_id(4607, 99), 31536000, -2147483647}});
+}
+
+TEST(Codec, LongConstantRunsHitTheRlePath) {
+  // One metric at a fixed 1 s cadence and constant value: the RLE on the
+  // timestamp deltas collapses the whole series into a single (dt, run)
+  // header, leaving only the one-byte zero value-deltas — the codec's
+  // best case, approaching its 16x raw-bytes-per-event floor. Must still
+  // invert exactly.
+  std::vector<tm::MetricEvent> events;
+  for (int t = 0; t < 50000; ++t) {
+    events.push_back({tm::metric_id(7, 3), t, 1500});
+  }
+  const auto block = expect_codec_round_trip(events);
+  // ~1 byte per event plus a fixed header: the run structure is O(1).
+  EXPECT_LT(block.bytes.size(), events.size() + 64);
+  EXPECT_GT(block.compression_ratio(), 15.0);
+}
+
+TEST(Codec, ExtremeTimestampDeltasNearInt64Limits) {
+  // Zigzag folds deltas into unsigned space; |delta| up to 2^61 keeps the
+  // fold exact in both directions. Alternate the extremes so consecutive
+  // deltas swing the full +/- range.
+  const std::int64_t far = std::int64_t{1} << 61;
+  std::vector<tm::MetricEvent> events = {
+      {1, -far, 10}, {1, -1, 20}, {1, 0, 30}, {1, 1, 40}, {1, far, 50}};
+  expect_codec_round_trip(events);
+}
+
+TEST(Codec, Int32ExtremeValueSwings) {
+  // Value deltas spanning the full int32 range (INT32_MIN <-> INT32_MAX)
+  // exercise the widest zigzag varint on the value track.
+  const std::int32_t lo = std::numeric_limits<std::int32_t>::min();
+  const std::int32_t hi = std::numeric_limits<std::int32_t>::max();
+  std::vector<tm::MetricEvent> events;
+  for (int t = 0; t < 64; ++t) {
+    events.push_back({tm::metric_id(3, 0), t, (t % 2) == 0 ? lo : hi});
+  }
+  expect_codec_round_trip(events);
+}
+
+TEST(Codec, AdversarialMixedBatchFuzz) {
+  // Randomized property sweep: many metrics, duplicate timestamps, large
+  // id gaps, sign flips — 50 seeds of 200 events each.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    util::Rng rng(seed + 1);
+    std::vector<tm::MetricEvent> events;
+    for (int i = 0; i < 200; ++i) {
+      const auto node =
+          static_cast<machine::NodeId>(rng.uniform_index(46080));
+      const auto channel = static_cast<int>(rng.uniform_index(100));
+      const auto t = static_cast<std::int64_t>(rng.uniform_index(1u << 20)) -
+                     (1 << 19);
+      const auto value = static_cast<std::int32_t>(
+          static_cast<std::int64_t>(rng.uniform_index(1ull << 32)) -
+          (std::int64_t{1} << 31));
+      events.push_back({tm::metric_id(node, channel), t, value});
+    }
+    expect_codec_round_trip(events);
+  }
 }
 
 // ---------------------------------------------------------------- Archive

@@ -29,8 +29,8 @@ TEST(RcModel, ZeroDtIsIdentity) {
 }
 
 TEST(RcModel, RejectsBadParameters) {
-  EXPECT_THROW(thermal::rc_step(0.0, 1.0, -1.0, 20.0), util::CheckError);
-  EXPECT_THROW(thermal::rc_step(0.0, 1.0, 1.0, 0.0), util::CheckError);
+  EXPECT_THROW((void)thermal::rc_step(0.0, 1.0, -1.0, 20.0), util::CheckError);
+  EXPECT_THROW((void)thermal::rc_step(0.0, 1.0, 1.0, 0.0), util::CheckError);
 }
 
 TEST(RcModel, AsymmetricStepsFasterUp) {
@@ -71,9 +71,9 @@ TEST(FleetThermal, Deterministic) {
 
 TEST(FleetThermal, BoundsChecked) {
   const auto fleet = small_fleet();
-  EXPECT_THROW(fleet.gpu_r(256, 0), util::CheckError);
-  EXPECT_THROW(fleet.gpu_r(0, 6), util::CheckError);
-  EXPECT_THROW(fleet.cpu_r(0, 2), util::CheckError);
+  EXPECT_THROW((void)fleet.gpu_r(256, 0), util::CheckError);
+  EXPECT_THROW((void)fleet.gpu_r(0, 6), util::CheckError);
+  EXPECT_THROW((void)fleet.cpu_r(0, 2), util::CheckError);
 }
 
 TEST(FleetThermal, SteadyTempsIdleNearSupply) {

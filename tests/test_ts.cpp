@@ -164,7 +164,7 @@ TEST(Frame, SetAndGetColumns) {
   EXPECT_TRUE(f.has("a"));
   EXPECT_FALSE(f.has("c"));
   EXPECT_DOUBLE_EQ(f.at("b")[1], 5.0);
-  EXPECT_THROW(f.at("missing"), util::CheckError);
+  EXPECT_THROW((void)f.at("missing"), util::CheckError);
 }
 
 TEST(Frame, ReplaceKeepsOrder) {

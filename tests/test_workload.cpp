@@ -28,15 +28,15 @@ TEST(Classes, Table3Bands) {
   EXPECT_EQ(workload::class_of(46), 4);
   EXPECT_EQ(workload::class_of(45), 5);
   EXPECT_EQ(workload::class_of(1), 5);
-  EXPECT_THROW(workload::class_of(0), util::CheckError);
+  EXPECT_THROW((void)workload::class_of(0), util::CheckError);
 }
 
 TEST(Classes, Walltimes) {
   EXPECT_EQ(workload::scheduling_class(1).max_walltime, 24 * util::kHour);
   EXPECT_EQ(workload::scheduling_class(3).max_walltime, 12 * util::kHour);
   EXPECT_EQ(workload::scheduling_class(5).max_walltime, 2 * util::kHour);
-  EXPECT_THROW(workload::scheduling_class(0), util::CheckError);
-  EXPECT_THROW(workload::scheduling_class(6), util::CheckError);
+  EXPECT_THROW((void)workload::scheduling_class(0), util::CheckError);
+  EXPECT_THROW((void)workload::scheduling_class(6), util::CheckError);
 }
 
 TEST(Classes, ScaledBandsAreDisjointAndOrdered) {
@@ -77,7 +77,7 @@ TEST(AppModel, CatalogSanity) {
     EXPECT_LE(a.phases.cpu_low, a.phases.cpu_high);
   }
   EXPECT_EQ(workload::app_index("gw-solver"), 0u);
-  EXPECT_THROW(workload::app_index("no-such-app"), util::CheckError);
+  EXPECT_THROW((void)workload::app_index("no-such-app"), util::CheckError);
 }
 
 TEST(AppModel, UtilizationBounded) {
@@ -206,7 +206,9 @@ TEST(Generator, SubmissionsSortedAndInRange) {
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     EXPECT_GE(jobs[i].submit, 0);
     EXPECT_LT(jobs[i].submit, util::kDay);
-    if (i > 0) EXPECT_LE(jobs[i - 1].submit, jobs[i].submit);
+    if (i > 0) {
+      EXPECT_LE(jobs[i - 1].submit, jobs[i].submit);
+    }
     EXPECT_EQ(jobs[i].id, i + 1);
   }
 }
@@ -327,7 +329,9 @@ TEST(Scheduler, RespectsHorizon) {
   workload::Scheduler sched(cfg.scale);
   sched.run(jobs, util::kDay);
   for (const auto& j : jobs) {
-    if (j.start >= 0) EXPECT_LE(j.end, util::kDay);
+    if (j.start >= 0) {
+      EXPECT_LE(j.end, util::kDay);
+    }
   }
 }
 

@@ -10,9 +10,16 @@
 //
 //   exawatt_sim report --nodes 512 --days 2 --seed 42
 //       one-shot in-memory simulate + analyze (no files).
+//
+//   exawatt_sim stream --nodes 64 --minutes 10 --seed 42 --shards 4
+//       run the twin's telemetry feed and the streaming analytics engine
+//       in lock-step; prints the live dashboard every --refresh seconds
+//       and a final parity check against the batch aggregator.
 
 #include <cstdio>
 #include <filesystem>
+#include <map>
+#include <numeric>
 #include <string>
 
 #include "core/edges.hpp"
@@ -23,6 +30,10 @@
 #include "core/simulation.hpp"
 #include "datasets/export.hpp"
 #include "datasets/import.hpp"
+#include "stream/engine.hpp"
+#include "stream/ingest.hpp"
+#include "telemetry/aggregator.hpp"
+#include "telemetry/pipeline.hpp"
 #include "util/flags.hpp"
 #include "util/text_table.hpp"
 
@@ -35,7 +46,9 @@ int usage() {
       "usage: exawatt_sim <command> [flags]\n"
       "  simulate --nodes N --days D --seed S --out DIR   export datasets\n"
       "  analyze  --data DIR                              analyze exports\n"
-      "  report   --nodes N --days D --seed S             in-memory report\n");
+      "  report   --nodes N --days D --seed S             in-memory report\n"
+      "  stream   --nodes N --minutes M --seed S --shards K --refresh R\n"
+      "                                                   live analytics demo\n");
   return 2;
 }
 
@@ -171,6 +184,114 @@ int cmd_report(const util::Flags& flags) {
   return 0;
 }
 
+int cmd_stream(const util::Flags& flags) {
+  const auto n = static_cast<int>(flags.get_int("nodes", 64));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const double minutes = flags.get_number("minutes", 10.0);
+  const auto shards = static_cast<std::size_t>(flags.get_int("shards", 4));
+  const auto refresh = static_cast<util::TimeSec>(flags.get_int("refresh", 120));
+
+  // Stream a window an hour into the operational period so jobs are
+  // already running when the panel comes up.
+  const util::TimeSec start = util::kHour;
+  const util::TimeRange window{
+      start, start + static_cast<util::TimeSec>(minutes * 60.0)};
+
+  core::SimulationConfig config;
+  config.scale = n >= machine::SummitSpec::kNodes
+                     ? machine::MachineScale::full()
+                     : machine::MachineScale::small(n);
+  config.seed = seed;
+  config.range = {0, window.end + util::kHour};
+  core::Simulation sim(config);
+  std::printf("streaming %d nodes for %.1f min (seed %llu, %zu shards)\n\n",
+              config.scale.nodes, minutes,
+              static_cast<unsigned long long>(seed), shards);
+
+  workload::AllocationIndex alloc(sim.jobs(), window, config.scale.nodes);
+  power::FleetVariability fleet(config.scale, seed + 1);
+  thermal::FleetThermal thermals(config.scale, seed + 2);
+  machine::Topology topo(config.scale);
+  facility::MsbModel msb(topo, seed + 3);
+  std::vector<machine::NodeId> nodes(
+      static_cast<std::size_t>(config.scale.nodes));
+  std::iota(nodes.begin(), nodes.end(), 0);
+  telemetry::Pipeline pipeline(nodes, alloc, fleet, thermals, msb);
+
+  stream::IngestOptions ingest_options;
+  ingest_options.shards = shards;
+  stream::ShardedIngest ingest(ingest_options);
+
+  stream::EngineOptions engine_options;
+  engine_options.range = window;
+  engine_options.rollup.edge_node_count =
+      static_cast<double>(config.scale.nodes);
+  engine_options.rollup.weather_seed = seed + 4;
+  stream::Engine engine(engine_options);
+
+  // Lock-step bridge: the tap hands over each second's collector output;
+  // events sit in the in-flight map until their arrival second, which is
+  // what makes the feed genuinely out-of-order across metrics.
+  std::map<util::TimeSec, std::vector<telemetry::Collector::Arrival>>
+      in_flight;
+  pipeline.set_tap([&](util::TimeSec now,
+                       std::span<const telemetry::Collector::Arrival> batch) {
+    for (const auto& arrival : batch) {
+      in_flight[arrival.arrival_t].push_back(arrival);
+    }
+    for (auto it = in_flight.begin();
+         it != in_flight.end() && it->first <= now;
+         it = in_flight.erase(it)) {
+      for (const auto& arrival : it->second) ingest.push(arrival);
+    }
+    ingest.drain(
+        [&](const telemetry::Collector::Arrival& a) { engine.ingest(a); });
+    engine.advance_to(now);
+    if (refresh > 0 && (now - window.begin + 1) % refresh == 0) {
+      std::printf("%s\n", engine.render().c_str());
+    }
+  });
+  const auto stats = pipeline.run(window);
+
+  // Stragglers still in flight past the range end (delay tail).
+  for (const auto& [t, batch] : in_flight) {
+    for (const auto& arrival : batch) ingest.push(arrival);
+  }
+  ingest.drain(
+      [&](const telemetry::Collector::Arrival& a) { engine.ingest(a); });
+  engine.finish();
+  std::printf("%s\n", engine.render(8).c_str());
+
+  std::printf("feed: %llu events | mean delay %.2f s | ingest pushed %llu "
+              "dropped %llu | max shard lag %zu\n",
+              static_cast<unsigned long long>(stats.events),
+              stats.mean_delay_s,
+              static_cast<unsigned long long>(ingest.total_pushed()),
+              static_cast<unsigned long long>(ingest.total_dropped()),
+              [&] {
+                std::size_t lag = 0;
+                for (std::size_t s = 0; s < ingest.shards(); ++s) {
+                  lag = std::max(lag, ingest.shard_stats(s).max_lag);
+                }
+                return lag;
+              }());
+
+  // Parity: the streaming roll-up must reproduce the batch aggregator
+  // bit-for-bit from the same archive.
+  const auto batch_sum = telemetry::cluster_sum(
+      pipeline.archive(), nodes,
+      telemetry::channel_of(telemetry::MetricKind::kInputPower, 0), window);
+  const auto live = engine.rollup().power_series();
+  const std::size_t nw = std::min(batch_sum.size(), live.size());
+  std::size_t identical = 0;
+  for (std::size_t i = 0; i < nw; ++i) {
+    if (batch_sum[i] == live[i]) ++identical;
+  }
+  std::printf("parity vs batch aggregator: %zu/%zu windows bit-identical\n",
+              identical, nw);
+  return identical == nw && nw > 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,6 +300,7 @@ int main(int argc, char** argv) {
     if (flags.command() == "simulate") return cmd_simulate(flags);
     if (flags.command() == "analyze") return cmd_analyze(flags);
     if (flags.command() == "report") return cmd_report(flags);
+    if (flags.command() == "stream") return cmd_stream(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
