@@ -17,7 +17,12 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 ./build/bench/bench_stream_ingest 2>&1 | tee bench_stream_output.txt
 grep -q "sustained: MET" bench_stream_output.txt
 
+# On-disk store next: persisting the same feed must beat sim-real-time
+# (>= 462,600 events/s written through seal+fsync-free path).
+./build/bench/bench_store 2>&1 | tee bench_store_output.txt
+grep -q "store write: MET" bench_store_output.txt
+
 for b in build/bench/*; do
-  case "$b" in *bench_stream_ingest) continue ;; esac
+  case "$b" in *bench_stream_ingest|*bench_store) continue ;; esac
   [ -x "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt

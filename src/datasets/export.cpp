@@ -120,5 +120,29 @@ std::size_t export_node_aggregates(const std::string& path,
   return rows;
 }
 
+std::size_t export_archive_store(const std::string& dir,
+                                 const telemetry::Archive& archive,
+                                 store::StoreOptions options) {
+  store::Store out = store::Store::open(dir, options);
+  std::size_t events = 0;
+  std::vector<telemetry::MetricEvent> batch;
+  batch.reserve(options.segment_events);
+  archive.scan([&](const telemetry::MetricEvent& ev) {
+    // Flush at day boundaries so the store's day-partitions mirror the
+    // archive's, not just its contents.
+    if (!batch.empty() &&
+        (batch.size() >= options.segment_events ||
+         ev.t / util::kDay != batch.front().t / util::kDay)) {
+      out.append(std::move(batch));
+      batch.clear();
+    }
+    batch.push_back(ev);
+    ++events;
+  });
+  out.append(std::move(batch));
+  out.flush();
+  return events;
+}
+
 }  // namespace exawatt::datasets
 

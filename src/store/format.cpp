@@ -1,0 +1,107 @@
+#include "store/format.hpp"
+
+#include "util/varint.hpp"
+
+namespace exawatt::store {
+
+using util::varint_decode;
+using util::varint_encode;
+using util::zigzag_decode;
+using util::zigzag_encode;
+
+void put_u32le(std::uint32_t v, std::vector<std::uint8_t>& out) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64le(std::uint64_t v, std::vector<std::uint8_t>& out) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32le(std::span<const std::uint8_t> in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64le(std::span<const std::uint8_t> in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> encode_footer(
+    const std::vector<BlockMeta>& blocks) {
+  std::vector<std::uint8_t> out;
+  varint_encode(blocks.size(), out);
+  // Blocks are written in (metric, time) order, so ids and offsets are
+  // non-decreasing — delta encoding keeps the directory tiny.
+  telemetry::MetricId prev_id = 0;
+  std::uint64_t prev_off = 0;
+  for (const auto& b : blocks) {
+    varint_encode(b.id - prev_id, out);
+    varint_encode(b.offset - prev_off, out);
+    varint_encode(b.size, out);
+    varint_encode(b.events, out);
+    varint_encode(zigzag_encode(b.t_min), out);
+    varint_encode(zigzag_encode(b.t_max - b.t_min), out);
+    varint_encode(b.crc, out);
+    prev_id = b.id;
+    prev_off = b.offset;
+  }
+  return out;
+}
+
+std::vector<BlockMeta> parse_footer(std::span<const std::uint8_t> payload) {
+  std::size_t pos = 0;
+  std::uint64_t count = 0;
+  if (!varint_decode(payload, pos, count)) {
+    throw StoreError("segment footer: truncated directory count");
+  }
+  std::vector<BlockMeta> blocks;
+  blocks.reserve(count);
+  telemetry::MetricId prev_id = 0;
+  std::uint64_t prev_off = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t did = 0, doff = 0, size = 0, events = 0;
+    std::uint64_t ztmin = 0, dtmax = 0, crc = 0;
+    if (!varint_decode(payload, pos, did) ||
+        !varint_decode(payload, pos, doff) ||
+        !varint_decode(payload, pos, size) ||
+        !varint_decode(payload, pos, events) ||
+        !varint_decode(payload, pos, ztmin) ||
+        !varint_decode(payload, pos, dtmax) ||
+        !varint_decode(payload, pos, crc)) {
+      throw StoreError("segment footer: truncated directory entry");
+    }
+    BlockMeta b;
+    b.id = prev_id + static_cast<telemetry::MetricId>(did);
+    b.offset = prev_off + doff;
+    b.size = static_cast<std::uint32_t>(size);
+    b.events = static_cast<std::uint32_t>(events);
+    b.t_min = zigzag_decode(ztmin);
+    b.t_max = b.t_min + static_cast<util::TimeSec>(zigzag_decode(dtmax));
+    b.crc = static_cast<std::uint32_t>(crc);
+    if (b.events == 0 || b.size == 0 || b.t_max < b.t_min) {
+      throw StoreError("segment footer: implausible directory entry");
+    }
+    prev_id = b.id;
+    prev_off = b.offset;
+    blocks.push_back(b);
+  }
+  if (pos != payload.size()) {
+    throw StoreError("segment footer: trailing bytes after directory");
+  }
+  return blocks;
+}
+
+}  // namespace exawatt::store

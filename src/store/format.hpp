@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "telemetry/metric.hpp"
+#include "util/sim_time.hpp"
+
+namespace exawatt::store {
+
+/// Error raised by the on-disk store when a file is truncated, corrupt or
+/// inconsistent. Recovery paths catch it and drop the offending segment;
+/// query paths let it propagate — a CRC mismatch must surface as a loud
+/// failure, never as silently-wrong samples.
+class StoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// On-disk segment layout (all multi-byte integers little-endian):
+///
+///   [8]  magic "EXWSEG01"
+///   [4]  u32 format version
+///   [4]  u32 reserved (0)
+///   ...  blocks: codec-encoded event runs, back to back; each block
+///        holds events of exactly one metric, time-sorted
+///   ...  footer: varint directory of BlockMeta entries (see below)
+///   [8]  u64 footer payload size
+///   [4]  u32 CRC-32 of the footer payload
+///   [8]  magic "EXWSEGFT"
+///
+/// The footer is written last, so a crash mid-write leaves a file whose
+/// trailer is missing or whose footer CRC fails — recovery detects either
+/// and drops the segment. Sealed blocks are never rewritten.
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr char kSegmentMagic[8] = {'E', 'X', 'W', 'S', 'E', 'G', '0',
+                                          '1'};
+inline constexpr char kFooterMagic[8] = {'E', 'X', 'W', 'S', 'E', 'G', 'F',
+                                         'T'};
+inline constexpr std::size_t kHeaderBytes = 16;
+inline constexpr std::size_t kTrailerBytes = 20;
+
+/// Footer directory entry: one encoded block of one metric, with the time
+/// bounds the query layer pushes predicates against and the CRC the block
+/// bytes must match when read back.
+struct BlockMeta {
+  telemetry::MetricId id = 0;
+  std::uint64_t offset = 0;  ///< from file start
+  std::uint32_t size = 0;    ///< encoded bytes
+  std::uint32_t events = 0;
+  util::TimeSec t_min = 0;
+  util::TimeSec t_max = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Manifest-level description of one sealed segment.
+struct SegmentMeta {
+  std::string file;       ///< filename relative to the store root
+  std::int64_t day = 0;   ///< day partition (first event's t / kDay)
+  std::uint64_t events = 0;
+  std::uint64_t bytes = 0;  ///< whole-file size incl. header/footer
+  util::TimeSec t_min = 0;
+  util::TimeSec t_max = 0;
+};
+
+void put_u32le(std::uint32_t v, std::vector<std::uint8_t>& out);
+void put_u64le(std::uint64_t v, std::vector<std::uint8_t>& out);
+[[nodiscard]] std::uint32_t get_u32le(std::span<const std::uint8_t> in);
+[[nodiscard]] std::uint64_t get_u64le(std::span<const std::uint8_t> in);
+
+/// Serialize / parse the footer payload (directory only, no trailer).
+/// `parse_footer` throws StoreError on malformed input.
+[[nodiscard]] std::vector<std::uint8_t> encode_footer(
+    const std::vector<BlockMeta>& blocks);
+[[nodiscard]] std::vector<BlockMeta> parse_footer(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace exawatt::store

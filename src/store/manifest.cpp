@@ -1,0 +1,90 @@
+#include "store/manifest.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.hpp"
+
+namespace exawatt::store {
+
+namespace {
+constexpr const char* kMagicLine = "exawatt-store 1";
+}
+
+std::string Manifest::encode() const {
+  std::ostringstream body;
+  body << kMagicLine << '\n';
+  for (const auto& s : segments) {
+    body << "segment " << s.file << ' ' << s.day << ' ' << s.events << ' '
+         << s.bytes << ' ' << s.t_min << ' ' << s.t_max << '\n';
+  }
+  const std::string payload = body.str();
+  char crc_line[32];
+  std::snprintf(crc_line, sizeof(crc_line), "crc %08" PRIx32 "\n",
+                util::crc32(payload));
+  return payload + crc_line;
+}
+
+Manifest Manifest::decode(const std::string& text) {
+  const std::size_t crc_pos = text.rfind("crc ");
+  if (crc_pos == std::string::npos || crc_pos == 0 ||
+      text[crc_pos - 1] != '\n') {
+    throw StoreError("manifest: missing crc line");
+  }
+  const std::string payload = text.substr(0, crc_pos);
+  std::uint32_t want = 0;
+  if (std::sscanf(text.c_str() + crc_pos, "crc %" SCNx32, &want) != 1 ||
+      util::crc32(payload) != want) {
+    throw StoreError("manifest: checksum mismatch (torn or edited file)");
+  }
+
+  std::istringstream in(payload);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagicLine) {
+    throw StoreError("manifest: bad magic line");
+  }
+  Manifest m;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    SegmentMeta s;
+    if (!(fields >> tag >> s.file >> s.day >> s.events >> s.bytes >>
+          s.t_min >> s.t_max) ||
+        tag != "segment") {
+      throw StoreError("manifest: malformed line: " + line);
+    }
+    m.segments.push_back(std::move(s));
+  }
+  return m;
+}
+
+void Manifest::save(const std::string& root) const {
+  const std::string tmp = manifest_path(root) + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw StoreError("manifest: cannot open " + tmp);
+    out << encode();
+    out.flush();
+    if (!out.good()) throw StoreError("manifest: write failed " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, manifest_path(root), ec);
+  if (ec) {
+    throw StoreError("manifest: atomic rename failed: " + ec.message());
+  }
+}
+
+bool Manifest::load(const std::string& root, Manifest& out) {
+  std::ifstream in(manifest_path(root), std::ios::binary);
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  out = decode(text.str());
+  return true;
+}
+
+}  // namespace exawatt::store

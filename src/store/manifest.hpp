@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "store/format.hpp"
+
+namespace exawatt::store {
+
+/// The store's single source of truth for which segments are live: a text
+/// file listing every sealed segment per day-partition, checksummed, and
+/// replaced only by atomic rename — readers either see the old complete
+/// manifest or the new complete one, never a torn write.
+struct Manifest {
+  std::vector<SegmentMeta> segments;
+
+  /// Serialize to the checksummed text form.
+  [[nodiscard]] std::string encode() const;
+
+  /// Parse; throws StoreError on bad magic, bad CRC or malformed lines
+  /// (recovery responds by rebuilding from the segment files themselves).
+  [[nodiscard]] static Manifest decode(const std::string& text);
+
+  /// Write to `<root>/MANIFEST` via `<root>/MANIFEST.tmp` + rename.
+  void save(const std::string& root) const;
+
+  /// Load `<root>/MANIFEST`. Returns false (untouched *this) when the
+  /// file does not exist; throws StoreError when it exists but is corrupt.
+  static bool load(const std::string& root, Manifest& out);
+};
+
+[[nodiscard]] inline std::string manifest_path(const std::string& root) {
+  return root + "/MANIFEST";
+}
+
+}  // namespace exawatt::store

@@ -1,0 +1,229 @@
+#include "store/segment.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "telemetry/codec.hpp"
+#include "util/crc32.hpp"
+
+namespace exawatt::store {
+
+namespace {
+
+void write_bytes(std::ofstream& out, std::span<const std::uint8_t> bytes) {
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- SegmentWriter
+
+SegmentWriter::SegmentWriter(std::string path, std::int64_t day,
+                             std::size_t block_events)
+    : path_(std::move(path)), day_(day), block_events_(block_events) {
+  if (block_events_ == 0) {
+    throw StoreError("segment writer: block_events must be positive");
+  }
+}
+
+void SegmentWriter::add(std::vector<telemetry::MetricEvent> events) {
+  if (buffer_.empty()) {
+    buffer_ = std::move(events);
+  } else {
+    buffer_.insert(buffer_.end(), events.begin(), events.end());
+  }
+}
+
+SegmentMeta SegmentWriter::seal() {
+  if (sealed_) throw StoreError("segment writer: sealed twice");
+  if (buffer_.empty()) throw StoreError("segment writer: nothing to seal");
+  sealed_ = true;
+
+  std::sort(buffer_.begin(), buffer_.end(),
+            [](const telemetry::MetricEvent& a,
+               const telemetry::MetricEvent& b) {
+              return a.id < b.id || (a.id == b.id && a.t < b.t);
+            });
+
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  if (!out) throw StoreError("segment writer: cannot open " + path_);
+
+  std::vector<std::uint8_t> header(kSegmentMagic, kSegmentMagic + 8);
+  put_u32le(kFormatVersion, header);
+  put_u32le(0, header);  // reserved
+  write_bytes(out, header);
+
+  SegmentMeta meta;
+  meta.file = path_;
+  meta.day = day_;
+  meta.events = buffer_.size();
+  meta.t_min = buffer_.front().t;
+  meta.t_max = buffer_.front().t;
+
+  std::vector<BlockMeta> blocks;
+  std::uint64_t offset = kHeaderBytes;
+  std::size_t i = 0;
+  while (i < buffer_.size()) {
+    // One metric run, chunked into time-ordered blocks.
+    const telemetry::MetricId id = buffer_[i].id;
+    std::size_t run_end = i;
+    while (run_end < buffer_.size() && buffer_[run_end].id == id) ++run_end;
+    for (std::size_t b = i; b < run_end; b += block_events_) {
+      const std::size_t e = std::min(b + block_events_, run_end);
+      const telemetry::EncodedBlock encoded = telemetry::encode_events(
+          {buffer_.begin() + static_cast<std::ptrdiff_t>(b),
+           buffer_.begin() + static_cast<std::ptrdiff_t>(e)});
+      BlockMeta bm;
+      bm.id = id;
+      bm.offset = offset;
+      bm.size = static_cast<std::uint32_t>(encoded.bytes.size());
+      bm.events = static_cast<std::uint32_t>(encoded.events);
+      bm.t_min = buffer_[b].t;
+      bm.t_max = buffer_[e - 1].t;
+      bm.crc = util::crc32(encoded.bytes);
+      write_bytes(out, encoded.bytes);
+      offset += bm.size;
+      meta.t_min = std::min(meta.t_min, bm.t_min);
+      meta.t_max = std::max(meta.t_max, bm.t_max);
+      blocks.push_back(bm);
+    }
+    i = run_end;
+  }
+
+  const std::vector<std::uint8_t> footer = encode_footer(blocks);
+  write_bytes(out, footer);
+  std::vector<std::uint8_t> trailer;
+  put_u64le(footer.size(), trailer);
+  put_u32le(util::crc32(footer), trailer);
+  trailer.insert(trailer.end(), kFooterMagic, kFooterMagic + 8);
+  write_bytes(out, trailer);
+  out.flush();
+  if (!out.good()) throw StoreError("segment writer: write failed " + path_);
+  out.close();
+
+  meta.bytes = offset + footer.size() + kTrailerBytes;
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  return meta;
+}
+
+// ---------------------------------------------------------- SegmentReader
+
+SegmentReader::SegmentReader(std::string path) : path_(std::move(path)) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path_, ec);
+  if (ec) throw StoreError("segment: cannot stat " + path_);
+  file_bytes_ = size;
+  if (file_bytes_ < kHeaderBytes + kTrailerBytes) {
+    throw StoreError("segment: truncated below header+trailer: " + path_);
+  }
+
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) throw StoreError("segment: cannot open " + path_);
+
+  std::uint8_t header[kHeaderBytes];
+  in.read(reinterpret_cast<char*>(header), kHeaderBytes);
+  if (!in.good() || !std::equal(kSegmentMagic, kSegmentMagic + 8, header)) {
+    throw StoreError("segment: bad header magic: " + path_);
+  }
+  const std::uint32_t version = get_u32le({header + 8, 4});
+  if (version != kFormatVersion) {
+    throw StoreError("segment: unsupported format version " +
+                     std::to_string(version) + ": " + path_);
+  }
+
+  std::uint8_t trailer[kTrailerBytes];
+  in.seekg(static_cast<std::streamoff>(file_bytes_ - kTrailerBytes));
+  in.read(reinterpret_cast<char*>(trailer), kTrailerBytes);
+  if (!in.good() ||
+      !std::equal(kFooterMagic, kFooterMagic + 8, trailer + 12)) {
+    throw StoreError("segment: missing footer trailer (crashed mid-write?): " +
+                     path_);
+  }
+  const std::uint64_t footer_size = get_u64le({trailer, 8});
+  const std::uint32_t footer_crc = get_u32le({trailer + 8, 4});
+  if (footer_size == 0 ||
+      footer_size > file_bytes_ - kHeaderBytes - kTrailerBytes) {
+    throw StoreError("segment: implausible footer size: " + path_);
+  }
+
+  std::vector<std::uint8_t> footer(footer_size);
+  in.seekg(
+      static_cast<std::streamoff>(file_bytes_ - kTrailerBytes - footer_size));
+  in.read(reinterpret_cast<char*>(footer.data()),
+          static_cast<std::streamsize>(footer_size));
+  if (!in.good()) throw StoreError("segment: short footer read: " + path_);
+  if (util::crc32(footer) != footer_crc) {
+    throw StoreError("segment: footer CRC mismatch: " + path_);
+  }
+
+  blocks_ = parse_footer(footer);
+  const std::uint64_t data_end = file_bytes_ - kTrailerBytes - footer_size;
+  util::TimeSec lo = 0, hi = 0;
+  bool first = true;
+  for (const auto& b : blocks_) {
+    if (b.offset < kHeaderBytes || b.offset + b.size > data_end) {
+      throw StoreError("segment: block outside data region: " + path_);
+    }
+    events_ += b.events;
+    lo = first ? b.t_min : std::min(lo, b.t_min);
+    hi = first ? b.t_max : std::max(hi, b.t_max);
+    first = false;
+  }
+  bounds_ = first ? util::TimeRange{0, 0} : util::TimeRange{lo, hi + 1};
+}
+
+std::vector<telemetry::MetricEvent> SegmentReader::read_block(
+    const BlockMeta& block) const {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) throw StoreError("segment: cannot open " + path_);
+  telemetry::EncodedBlock encoded;
+  encoded.bytes.resize(block.size);
+  encoded.events = block.events;
+  in.seekg(static_cast<std::streamoff>(block.offset));
+  in.read(reinterpret_cast<char*>(encoded.bytes.data()), block.size);
+  if (!in.good()) {
+    throw StoreError("segment: short block read at offset " +
+                     std::to_string(block.offset) + ": " + path_);
+  }
+  if (util::crc32(encoded.bytes) != block.crc) {
+    throw StoreError("segment: block CRC mismatch (metric " +
+                     std::to_string(block.id) + ", offset " +
+                     std::to_string(block.offset) + "): " + path_);
+  }
+  auto events = telemetry::decode_events(encoded);
+  if (events.size() != block.events) {
+    throw StoreError("segment: block decoded to wrong event count: " + path_);
+  }
+  return events;
+}
+
+void SegmentReader::scan(telemetry::MetricId id, util::TimeRange range,
+                         std::vector<ts::Sample>& out) const {
+  for (const auto& b : blocks_) {
+    if (b.id != id || !block_overlaps(b, range)) continue;
+    for (const auto& ev : read_block(b)) {
+      if (ev.t >= range.begin && ev.t < range.end) {
+        out.push_back({ev.t, static_cast<double>(ev.value)});
+      }
+    }
+  }
+}
+
+void SegmentReader::scan_set(
+    const std::unordered_set<telemetry::MetricId>& ids, util::TimeRange range,
+    std::map<telemetry::MetricId, std::vector<ts::Sample>>& out) const {
+  for (const auto& b : blocks_) {
+    if (!block_overlaps(b, range) || ids.find(b.id) == ids.end()) continue;
+    auto& samples = out[b.id];
+    for (const auto& ev : read_block(b)) {
+      if (ev.t >= range.begin && ev.t < range.end) {
+        samples.push_back({ev.t, static_cast<double>(ev.value)});
+      }
+    }
+  }
+}
+
+}  // namespace exawatt::store

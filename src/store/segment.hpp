@@ -1,0 +1,89 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "store/format.hpp"
+#include "ts/series.hpp"
+
+namespace exawatt::store {
+
+/// Builds one sealed segment file. Events are buffered in memory, then
+/// `seal()` sorts them by (metric, time), chunks each metric run into
+/// blocks of at most `block_events`, encodes every block with the
+/// telemetry codec (delta + zigzag + varint + RLE) and writes
+/// header / blocks / footer in one pass. Everything before a completed
+/// seal is the "unsealed tail" the crash-safety contract allows losing.
+class SegmentWriter {
+ public:
+  SegmentWriter(std::string path, std::int64_t day,
+                std::size_t block_events = 4096);
+
+  void add(std::vector<telemetry::MetricEvent> events);
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+  /// Write the file; the writer is spent afterwards. Throws StoreError if
+  /// the filesystem write fails. `meta.file` is the full path passed in;
+  /// callers relativize it for the manifest.
+  [[nodiscard]] SegmentMeta seal();
+
+ private:
+  std::string path_;
+  std::int64_t day_;
+  std::size_t block_events_;
+  std::vector<telemetry::MetricEvent> buffer_;
+  bool sealed_ = false;
+};
+
+/// Read side of one sealed segment: the constructor validates header and
+/// footer (magic, version, CRC, directory sanity) and throws StoreError on
+/// any damage — this is the recovery check that drops crashed tails.
+/// Block payloads are read lazily per scan and verified against their
+/// directory CRC. All scan methods are const and open their own file
+/// stream, so one reader can serve parallel queries.
+class SegmentReader {
+ public:
+  explicit SegmentReader(std::string path);
+
+  [[nodiscard]] const std::vector<BlockMeta>& blocks() const {
+    return blocks_;
+  }
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+  [[nodiscard]] std::uint64_t file_bytes() const { return file_bytes_; }
+  /// Half-open [min event time, max event time + 1).
+  [[nodiscard]] util::TimeRange bounds() const { return bounds_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Decode one block, verifying its CRC; throws StoreError on mismatch.
+  [[nodiscard]] std::vector<telemetry::MetricEvent> read_block(
+      const BlockMeta& block) const;
+
+  /// Append samples of `id` with t in `range` to `out`, in time order
+  /// (blocks of one metric are laid out time-sorted). Only blocks whose
+  /// [t_min, t_max] intersects `range` are read — the predicate pushdown.
+  void scan(telemetry::MetricId id, util::TimeRange range,
+            std::vector<ts::Sample>& out) const;
+
+  /// Multi-metric variant for fan-out queries: one pass over the block
+  /// directory, appending to `out[id]` for every id in `ids`.
+  void scan_set(const std::unordered_set<telemetry::MetricId>& ids,
+                util::TimeRange range,
+                std::map<telemetry::MetricId, std::vector<ts::Sample>>& out)
+      const;
+
+ private:
+  [[nodiscard]] bool block_overlaps(const BlockMeta& b,
+                                    util::TimeRange range) const {
+    return b.t_min < range.end && range.begin <= b.t_max;
+  }
+
+  std::string path_;
+  std::vector<BlockMeta> blocks_;
+  std::uint64_t events_ = 0;
+  std::uint64_t file_bytes_ = 0;
+  util::TimeRange bounds_{0, 0};
+};
+
+}  // namespace exawatt::store

@@ -1,0 +1,335 @@
+#include "store/store.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <unordered_set>
+
+#include "store/manifest.hpp"
+#include "util/parallel.hpp"
+
+namespace exawatt::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool sample_less(const ts::Sample& a, const ts::Sample& b) {
+  return a.t < b.t || (a.t == b.t && a.value < b.value);
+}
+
+/// Parse the sequence number out of "seg%08llu_day%05lld.seg"-style names.
+bool parse_seq(const std::string& name, std::uint64_t& seq) {
+  return std::sscanf(name.c_str(), "seg%" SCNu64, &seq) == 1;
+}
+
+}  // namespace
+
+Store::Store(std::string root, StoreOptions options)
+    : root_(std::move(root)), options_(options) {
+  if (options_.segment_events == 0 || options_.block_events == 0) {
+    throw StoreError("store: segment_events/block_events must be positive");
+  }
+}
+
+Store Store::open(const std::string& root, StoreOptions options) {
+  Store s(root, options);
+  s.recover();
+  return s;
+}
+
+Store::~Store() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor flush is best-effort; data not sealed here is exactly the
+    // "unsealed tail" the crash-safety contract already allows losing.
+  }
+}
+
+void Store::adopt(SegmentMeta meta, SegmentReader reader) {
+  sealed_events_ += meta.events;
+  stored_bytes_ += meta.bytes;
+  segments_.push_back({std::move(meta), std::move(reader)});
+}
+
+void Store::recover() {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) throw StoreError("store: cannot create root " + root_);
+
+  Manifest manifest;
+  bool have_manifest = false;
+  bool changed = false;
+  try {
+    have_manifest = Manifest::load(root_, manifest);
+  } catch (const StoreError&) {
+    // Torn or edited manifest: rebuild it from the segment files — every
+    // sealed segment self-validates, so nothing sealed is lost.
+    recovery_.manifest_rebuilt = true;
+    changed = true;
+  }
+
+  std::set<std::string> listed;
+  for (auto& meta : manifest.segments) {
+    const std::string path = root_ + "/" + meta.file;
+    listed.insert(meta.file);
+    if (!fs::exists(path)) {
+      ++recovery_.dropped_missing;
+      changed = true;
+      continue;
+    }
+    try {
+      SegmentReader reader(path);
+      if (reader.events() != meta.events ||
+          reader.file_bytes() != meta.bytes) {
+        throw StoreError("segment disagrees with manifest: " + path);
+      }
+      adopt(std::move(meta), std::move(reader));
+    } catch (const StoreError&) {
+      ++recovery_.dropped_corrupt;
+      changed = true;
+      fs::rename(path, path + ".bad", ec);  // best-effort set-aside
+    }
+  }
+
+  // Sweep for segments the manifest does not know: a crash between seal
+  // and manifest rename leaves a valid orphan (adopt it); a crash mid-seal
+  // leaves a truncated one (drop it).
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    std::uint64_t seq = 0;
+    if (parse_seq(name, seq)) next_seq_ = std::max(next_seq_, seq + 1);
+    if (entry.path().extension() != ".seg" || listed.count(name) > 0) {
+      continue;
+    }
+    const std::string path = entry.path().string();
+    try {
+      SegmentReader reader(path);
+      SegmentMeta meta;
+      meta.file = name;
+      meta.day = reader.blocks().empty()
+                     ? 0
+                     : reader.bounds().begin / util::kDay;
+      meta.events = reader.events();
+      meta.bytes = reader.file_bytes();
+      meta.t_min = reader.bounds().begin;
+      meta.t_max = reader.bounds().end - 1;
+      adopt(std::move(meta), std::move(reader));
+      ++recovery_.adopted_orphans;
+      changed = true;
+    } catch (const StoreError&) {
+      ++recovery_.dropped_corrupt;
+      changed = true;
+      fs::rename(path, path + ".bad", ec);
+    }
+  }
+
+  std::sort(segments_.begin(), segments_.end(),
+            [](const LiveSegment& a, const LiveSegment& b) {
+              return a.meta.file < b.meta.file;
+            });
+  recovery_.segments = segments_.size();
+  if (changed || !have_manifest) save_manifest();
+}
+
+void Store::save_manifest() const {
+  Manifest manifest;
+  manifest.segments.reserve(segments_.size());
+  for (const auto& s : segments_) manifest.segments.push_back(s.meta);
+  manifest.save(root_);
+}
+
+std::string Store::next_segment_name(std::int64_t day) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "seg%08" PRIu64 "_day%05lld.seg",
+                next_seq_++, static_cast<long long>(day));
+  return buf;
+}
+
+void Store::append(std::vector<telemetry::MetricEvent> events) {
+  if (events.empty()) return;
+  const std::int64_t day = events.front().t / util::kDay;
+  auto& buf = mem_[day];
+  buffered_events_ += events.size();
+  if (buf.empty()) {
+    buf = std::move(events);
+  } else {
+    buf.insert(buf.end(), events.begin(), events.end());
+  }
+  if (buf.size() >= options_.segment_events) seal_day(day);
+}
+
+void Store::seal_day(std::int64_t day) {
+  auto it = mem_.find(day);
+  if (it == mem_.end() || it->second.empty()) return;
+  const std::string name = next_segment_name(day);
+  SegmentWriter writer(root_ + "/" + name, day, options_.block_events);
+  buffered_events_ -= it->second.size();
+  writer.add(std::move(it->second));
+  mem_.erase(it);
+  SegmentMeta meta = writer.seal();
+  meta.file = name;
+  // Re-open through the validating reader: the segment must be readable
+  // before the manifest is allowed to point at it.
+  SegmentReader reader(root_ + "/" + name);
+  adopt(std::move(meta), std::move(reader));
+  save_manifest();
+}
+
+void Store::flush() {
+  while (!mem_.empty()) seal_day(mem_.begin()->first);
+}
+
+std::vector<ts::Sample> Store::query(telemetry::MetricId id,
+                                     util::TimeRange range) const {
+  std::vector<ts::Sample> out;
+  for (const auto& seg : segments_) {
+    if (!seg.reader.bounds().overlaps(range)) continue;
+    seg.reader.scan(id, range, out);
+  }
+  for (const auto& [day, buf] : mem_) {
+    for (const auto& ev : buf) {
+      if (ev.id == id && range.contains(ev.t)) {
+        out.push_back({ev.t, static_cast<double>(ev.value)});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), sample_less);
+  return out;
+}
+
+std::vector<MetricRun> Store::query_many(
+    std::span<const telemetry::MetricId> ids, util::TimeRange range,
+    util::ThreadPool* pool) const {
+  const std::unordered_set<telemetry::MetricId> want(ids.begin(), ids.end());
+
+  std::vector<const LiveSegment*> relevant;
+  for (const auto& seg : segments_) {
+    if (seg.reader.bounds().overlaps(range)) relevant.push_back(&seg);
+  }
+
+  // One task per segment: decode is the expensive part, and segments are
+  // independent files, so this is the natural fan-out grain.
+  auto parts = util::parallel_map(
+      relevant.size(),
+      [&](std::size_t i) {
+        std::map<telemetry::MetricId, std::vector<ts::Sample>> part;
+        relevant[i]->reader.scan_set(want, range, part);
+        return part;
+      },
+      pool != nullptr ? *pool : util::ThreadPool::global());
+
+  std::map<telemetry::MetricId, std::vector<ts::Sample>> merged;
+  for (auto& part : parts) {
+    for (auto& [id, samples] : part) {
+      auto& dst = merged[id];
+      if (dst.empty()) {
+        dst = std::move(samples);
+      } else {
+        dst.insert(dst.end(), samples.begin(), samples.end());
+      }
+    }
+  }
+  for (const auto& [day, buf] : mem_) {
+    for (const auto& ev : buf) {
+      if (range.contains(ev.t) && want.count(ev.id) > 0) {
+        merged[ev.id].push_back({ev.t, static_cast<double>(ev.value)});
+      }
+    }
+  }
+
+  std::vector<MetricRun> out;
+  out.reserve(ids.size());
+  for (const telemetry::MetricId id : ids) {
+    MetricRun run;
+    run.id = id;
+    auto it = merged.find(id);
+    if (it != merged.end()) run.samples = std::move(it->second);
+    std::sort(run.samples.begin(), run.samples.end(), sample_less);
+    out.push_back(std::move(run));
+  }
+  return out;
+}
+
+std::vector<telemetry::MetricId> Store::metrics() const {
+  std::set<telemetry::MetricId> ids;
+  for (const auto& seg : segments_) {
+    for (const auto& b : seg.reader.blocks()) ids.insert(b.id);
+  }
+  for (const auto& [day, buf] : mem_) {
+    for (const auto& ev : buf) ids.insert(ev.id);
+  }
+  return {ids.begin(), ids.end()};
+}
+
+util::TimeRange Store::bounds() const {
+  util::TimeRange hull{0, 0};
+  bool first = true;
+  auto grow = [&](util::TimeSec lo, util::TimeSec hi) {
+    hull.begin = first ? lo : std::min(hull.begin, lo);
+    hull.end = first ? hi : std::max(hull.end, hi);
+    first = false;
+  };
+  for (const auto& seg : segments_) {
+    grow(seg.reader.bounds().begin, seg.reader.bounds().end);
+  }
+  for (const auto& [day, buf] : mem_) {
+    for (const auto& ev : buf) grow(ev.t, ev.t + 1);
+  }
+  return hull;
+}
+
+std::size_t Store::day_partitions() const {
+  std::set<std::int64_t> days;
+  for (const auto& seg : segments_) days.insert(seg.meta.day);
+  for (const auto& [day, buf] : mem_) {
+    if (!buf.empty()) days.insert(day);
+  }
+  return days.size();
+}
+
+double Store::compression_ratio() const {
+  return stored_bytes_ == 0
+             ? 0.0
+             : static_cast<double>(sealed_events_ *
+                                   telemetry::kRawEventBytes) /
+                   static_cast<double>(stored_bytes_);
+}
+
+ts::Series cluster_sum(const Store& store,
+                       const std::vector<machine::NodeId>& nodes, int channel,
+                       util::TimeRange range, util::TimeSec window,
+                       std::vector<double>* counts, util::ThreadPool* pool) {
+  const auto n_windows =
+      static_cast<std::size_t>((range.duration() + window - 1) / window);
+  std::vector<double> sum(n_windows, 0.0);
+  std::vector<double> cnt(n_windows, 0.0);
+
+  // Same shape as telemetry::cluster_sum — per-node scans fan out, the
+  // serial reduction accumulates in node order, so the result is
+  // bit-identical to the in-memory path on an identical event stream.
+  auto per_node = util::parallel_map(
+      nodes.size(),
+      [&](std::size_t i) {
+        const auto samples =
+            store.query(telemetry::metric_id(nodes[i], channel), range);
+        return ts::coarsen(samples, window, range);
+      },
+      pool != nullptr ? *pool : util::ThreadPool::global());
+  for (const auto& stat : per_node) {
+    for (std::size_t w = 0; w < stat.size() && w < n_windows; ++w) {
+      if (stat[w].count > 0) {
+        sum[w] += stat[w].mean;
+        cnt[w] += 1.0;
+      }
+    }
+  }
+  if (counts != nullptr) *counts = std::move(cnt);
+  return ts::Series(range.begin, window, std::move(sum));
+}
+
+}  // namespace exawatt::store

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/segment.hpp"
+#include "ts/series.hpp"
+#include "util/thread_pool.hpp"
+
+namespace exawatt::store {
+
+struct StoreOptions {
+  /// Seal a day-partition buffer into a segment once it holds this many
+  /// events (the paper's analogue: one parquet file per day-minute).
+  std::size_t segment_events = 1 << 18;
+  /// Max events per encoded block inside a segment; smaller blocks give
+  /// finer predicate pushdown, larger blocks compress better.
+  std::size_t block_events = 4096;
+};
+
+/// What `Store::open` found and fixed. A crash mid-write loses at most
+/// the unsealed tail: segments with a missing/invalid footer are dropped
+/// (renamed to `<file>.bad`), sealed-but-unlisted segments are adopted,
+/// and a corrupt manifest is rebuilt from the surviving segment files.
+struct RecoveryReport {
+  std::size_t segments = 0;          ///< live after recovery
+  std::size_t adopted_orphans = 0;   ///< sealed but not in the manifest
+  std::size_t dropped_corrupt = 0;   ///< truncated / CRC-failed, set aside
+  std::size_t dropped_missing = 0;   ///< manifest entries with no file
+  bool manifest_rebuilt = false;
+
+  [[nodiscard]] bool clean() const {
+    return adopted_orphans == 0 && dropped_corrupt == 0 &&
+           dropped_missing == 0 && !manifest_rebuilt;
+  }
+};
+
+/// One metric's time-sorted samples from a fan-out query.
+struct MetricRun {
+  telemetry::MetricId id = 0;
+  std::vector<ts::Sample> samples;
+};
+
+/// The durable counterpart of the in-memory `telemetry::Archive`: sealed
+/// columnar segment files per day-partition under one root directory,
+/// listed by an atomically-replaced manifest, queried with per-block
+/// predicate pushdown (metric-id set × time range against the footer
+/// directories). Appends buffer in memory per day and seal at a size
+/// threshold; `flush()` seals everything buffered. Identical `append`
+/// streams must produce identical `query` results to the Archive — the
+/// shared contract the property tests pin down.
+class Store {
+ public:
+  /// Open (creating the directory if needed) and run recovery.
+  [[nodiscard]] static Store open(const std::string& root,
+                                  StoreOptions options = {});
+
+  Store(Store&&) = default;
+  Store& operator=(Store&&) = default;
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+  ~Store();
+
+  /// Append a batch; it is buffered into the day-partition of its first
+  /// event (the Archive's rule) and sealed once the buffer is large.
+  void append(std::vector<telemetry::MetricEvent> events);
+
+  /// Seal every buffered day-partition and persist the manifest.
+  void flush();
+
+  /// All samples of one metric in [range.begin, range.end), time-sorted —
+  /// sealed segments plus the unsealed in-memory tail.
+  [[nodiscard]] std::vector<ts::Sample> query(telemetry::MetricId id,
+                                              util::TimeRange range) const;
+
+  /// Fan-out query: segment scans run across `pool` (nullptr selects the
+  /// process-global pool), results merge into one time-sorted run per
+  /// requested metric, in the order of `ids`.
+  [[nodiscard]] std::vector<MetricRun> query_many(
+      std::span<const telemetry::MetricId> ids, util::TimeRange range,
+      util::ThreadPool* pool = nullptr) const;
+
+  /// Distinct metric ids present (sealed + buffered), ascending.
+  [[nodiscard]] std::vector<telemetry::MetricId> metrics() const;
+  /// Half-open hull of every stored event time; {0,0} when empty.
+  [[nodiscard]] util::TimeRange bounds() const;
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+  [[nodiscard]] const RecoveryReport& recovery() const { return recovery_; }
+  [[nodiscard]] std::size_t sealed_segments() const {
+    return segments_.size();
+  }
+  [[nodiscard]] std::size_t day_partitions() const;
+  [[nodiscard]] std::uint64_t total_events() const {
+    return sealed_events_ + buffered_events_;
+  }
+  [[nodiscard]] std::uint64_t buffered_events() const {
+    return buffered_events_;
+  }
+  /// On-disk footprint of the sealed segment files (incl. framing).
+  [[nodiscard]] std::uint64_t stored_bytes() const { return stored_bytes_; }
+  /// Raw event bytes / stored bytes over the sealed population.
+  [[nodiscard]] double compression_ratio() const;
+
+ private:
+  Store(std::string root, StoreOptions options);
+
+  struct LiveSegment {
+    SegmentMeta meta;
+    SegmentReader reader;
+  };
+
+  void recover();
+  void adopt(SegmentMeta meta, SegmentReader reader);
+  void seal_day(std::int64_t day);
+  void save_manifest() const;
+  [[nodiscard]] std::string next_segment_name(std::int64_t day);
+
+  std::string root_;
+  StoreOptions options_;
+  RecoveryReport recovery_;
+  std::vector<LiveSegment> segments_;
+  std::map<std::int64_t, std::vector<telemetry::MetricEvent>> mem_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t sealed_events_ = 0;
+  std::uint64_t buffered_events_ = 0;
+  std::uint64_t stored_bytes_ = 0;
+};
+
+/// Cluster-level roll-up of one channel across nodes, read from the store
+/// — the disk-backed twin of `telemetry::cluster_sum` (bit-identical on
+/// identical event streams). Per-node scans fan out across `pool`.
+[[nodiscard]] ts::Series cluster_sum(
+    const Store& store, const std::vector<machine::NodeId>& nodes,
+    int channel, util::TimeRange range, util::TimeSec window = 10,
+    std::vector<double>* counts = nullptr, util::ThreadPool* pool = nullptr);
+
+}  // namespace exawatt::store

@@ -1,0 +1,53 @@
+#include "stream/replay.hpp"
+
+#include <algorithm>
+
+namespace exawatt::stream {
+
+ts::Series replay_power_rollup(const store::Store& store,
+                               const std::vector<machine::NodeId>& nodes,
+                               EngineOptions options) {
+  const int channel =
+      telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
+  std::vector<telemetry::MetricId> ids;
+  ids.reserve(nodes.size());
+  for (const machine::NodeId n : nodes) {
+    ids.push_back(telemetry::metric_id(n, channel));
+  }
+  const auto runs = store.query_many(ids, options.range);
+
+  struct Replayed {
+    util::TimeSec t;
+    telemetry::MetricId id;
+    std::int32_t value;
+  };
+  std::vector<Replayed> feed;
+  for (const auto& run : runs) {
+    for (const auto& s : run.samples) {
+      feed.push_back({s.t, run.id, static_cast<std::int32_t>(s.value)});
+    }
+  }
+  std::sort(feed.begin(), feed.end(), [](const Replayed& a, const Replayed& b) {
+    return a.t < b.t || (a.t == b.t && a.id < b.id);
+  });
+
+  Engine engine(options);
+  std::size_t i = 0;
+  for (util::TimeSec now = options.range.begin; now < options.range.end;
+       ++now) {
+    while (i < feed.size() && feed[i].t <= now) {
+      telemetry::Collector::Arrival arrival;
+      arrival.event.id = feed[i].id;
+      arrival.event.t = feed[i].t;
+      arrival.event.value = feed[i].value;
+      arrival.arrival_t = now;
+      engine.ingest(arrival);
+      ++i;
+    }
+    engine.advance_to(now);
+  }
+  engine.finish();
+  return engine.rollup().power_series();
+}
+
+}  // namespace exawatt::stream

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <vector>
+
+#include "store/store.hpp"
+#include "stream/engine.hpp"
+
+namespace exawatt::stream {
+
+/// Replay a store-resident telemetry window through a fresh streaming
+/// engine: queries every node's input-power channel over `options.range`,
+/// re-feeds the events in emit-time order (replay has no transport delay,
+/// so arrival == emit) and returns the closed cluster power series after
+/// `finish()`. This is the disk-backed variant of `exawatt_sim stream`'s
+/// batch-equivalence check — on the same event stream it must be
+/// bit-identical to `telemetry::cluster_sum` / `store::cluster_sum`.
+[[nodiscard]] ts::Series replay_power_rollup(
+    const store::Store& store, const std::vector<machine::NodeId>& nodes,
+    EngineOptions options);
+
+}  // namespace exawatt::stream

@@ -15,6 +15,14 @@ void Archive::append(std::vector<MetricEvent> events) {
   days_[day].push_back(std::move(block));
 }
 
+void Archive::scan(const std::function<void(const MetricEvent&)>& fn) const {
+  for (const auto& [day, blocks] : days_) {
+    for (const auto& block : blocks) {
+      for (const auto& ev : decode_events(block)) fn(ev);
+    }
+  }
+}
+
 std::vector<ts::Sample> Archive::query(MetricId id,
                                        util::TimeRange range) const {
   std::vector<ts::Sample> out;

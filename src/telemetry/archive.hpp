@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -20,7 +21,8 @@ class Archive {
   [[nodiscard]] std::size_t compressed_bytes() const { return bytes_; }
   [[nodiscard]] double compression_ratio() const {
     return bytes_ == 0 ? 0.0
-                       : static_cast<double>(total_events_ * 16) /
+                       : static_cast<double>(total_events_ *
+                                             kRawEventBytes) /
                              static_cast<double>(bytes_);
   }
   [[nodiscard]] std::size_t partitions() const { return days_.size(); }
@@ -28,6 +30,11 @@ class Archive {
   /// All samples of one metric in [range.begin, range.end), time-sorted.
   [[nodiscard]] std::vector<ts::Sample> query(MetricId id,
                                               util::TimeRange range) const;
+
+  /// Decode every block in day order, invoking `fn` per event (blocks in
+  /// append order; events within a block sorted by metric, time). This is
+  /// how the archive drains into durable sinks (store segments, exports).
+  void scan(const std::function<void(const MetricEvent&)>& fn) const;
 
  private:
   std::map<std::int64_t, std::vector<EncodedBlock>> days_;

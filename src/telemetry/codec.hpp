@@ -16,8 +16,10 @@ struct EncodedBlock {
   std::vector<std::uint8_t> bytes;
   std::size_t events = 0;
 
-  /// Raw footprint of the same events as naive (id,t,value) records.
-  [[nodiscard]] std::size_t raw_bytes() const { return events * 16; }
+  /// Raw footprint of the same events as naive MetricEvent records.
+  [[nodiscard]] std::size_t raw_bytes() const {
+    return events * kRawEventBytes;
+  }
   [[nodiscard]] double compression_ratio() const {
     return bytes.empty() ? 0.0
                          : static_cast<double>(raw_bytes()) /

@@ -80,6 +80,11 @@ struct MetricEvent {
   std::int32_t value = 0;   ///< quantized value (W, °C, RPM as integers)
 };
 
+/// Raw in-memory footprint of one event record — the denominator of every
+/// compression ratio (codec, archive, on-disk store). Derived from the
+/// struct so the accounting stays honest if the event layout changes.
+inline constexpr std::size_t kRawEventBytes = sizeof(MetricEvent);
+
 /// Quantization used before emit-on-change comparison: power to 1 W,
 /// temperature to 1 °C — this is what makes the OpenBMC stream sparse
 /// and the lossless codec effective.

@@ -54,10 +54,12 @@ PipelineStats Pipeline::run(util::TimeRange range, util::TimeSec flush_every) {
     }
     if (tap_) tap_(t, second_arrivals);
     if ((t - range.begin + 1) % flush_every == 0) {
+      if (batch_sink_ && !batch.empty()) batch_sink_(batch);
       archive_.append(std::move(batch));
       batch.clear();
     }
   }
+  if (batch_sink_ && !batch.empty()) batch_sink_(batch);
   archive_.append(std::move(batch));
 
   stats.events = collector_.ingested();

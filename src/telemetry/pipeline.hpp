@@ -47,6 +47,14 @@ class Pipeline {
                          std::span<const Collector::Arrival> arrivals)>;
   void set_tap(ArrivalTap tap) { tap_ = std::move(tap); }
 
+  /// Durable sink: called with every flushed batch just before it is
+  /// encoded into the in-memory archive, so a store::Store (or any other
+  /// persistent writer) can mirror the archive without re-running the
+  /// simulation. Batches arrive exactly as `Archive::append` sees them,
+  /// which is what keeps the two query paths bit-identical.
+  using BatchSink = std::function<void(const std::vector<MetricEvent>&)>;
+  void set_batch_sink(BatchSink sink) { batch_sink_ = std::move(sink); }
+
   /// Run the 1 Hz loop over [range.begin, range.end); events are batched
   /// per `flush_every` seconds into archive blocks.
   PipelineStats run(util::TimeRange range, util::TimeSec flush_every = 60);
@@ -66,6 +74,7 @@ class Pipeline {
   Collector collector_;
   Archive archive_;
   ArrivalTap tap_;
+  BatchSink batch_sink_;
 };
 
 }  // namespace exawatt::telemetry

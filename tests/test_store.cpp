@@ -1,0 +1,731 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "store/manifest.hpp"
+#include "store/segment.hpp"
+#include "store/store.hpp"
+#include "telemetry/aggregator.hpp"
+#include "telemetry/archive.hpp"
+#include "telemetry/codec.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace exawatt;
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------- fixtures
+
+/// Fresh scratch directory per test, removed up-front so reruns are clean.
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("exawatt_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  EXPECT_TRUE(out.good()) << path;
+}
+
+/// Seeded synthetic batch: out-of-order times, a handful of metrics, value
+/// collisions on purpose (equal t across metrics is the normal case).
+std::vector<telemetry::MetricEvent> random_batch(util::Rng& rng,
+                                                 util::TimeRange range,
+                                                 std::size_t events,
+                                                 std::uint32_t metrics) {
+  std::vector<telemetry::MetricEvent> batch(events);
+  for (auto& ev : batch) {
+    ev.id = static_cast<telemetry::MetricId>(rng.uniform_index(metrics));
+    ev.t = range.begin + static_cast<util::TimeSec>(rng.uniform_index(
+                             static_cast<std::uint64_t>(range.duration())));
+    ev.value = static_cast<std::int32_t>(rng.uniform_index(1000)) - 500;
+  }
+  return batch;
+}
+
+bool sample_less(const ts::Sample& a, const ts::Sample& b) {
+  return a.t < b.t || (a.t == b.t && a.value < b.value);
+}
+
+bool sample_eq(const ts::Sample& a, const ts::Sample& b) {
+  return a.t == b.t && a.value == b.value;
+}
+
+/// Equality up to same-timestamp ordering: the archive and the store both
+/// return time-sorted samples but make no promise about tie order.
+void expect_same_samples(std::vector<ts::Sample> a, std::vector<ts::Sample> b,
+                         const std::string& what) {
+  std::sort(a.begin(), a.end(), sample_less);
+  std::sort(b.begin(), b.end(), sample_less);
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(sample_eq(a[i], b[i]))
+        << what << " diverges at sample " << i << ": (" << a[i].t << ", "
+        << a[i].value << ") vs (" << b[i].t << ", " << b[i].value << ")";
+  }
+}
+
+// ----------------------------------------------------------------- crc32
+
+TEST(Crc32, KnownAnswer) {
+  // The CRC-32/IEEE check value for "123456789".
+  EXPECT_EQ(util::crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(util::crc32(std::string_view("")), 0u);
+}
+
+TEST(Crc32, Incremental) {
+  const std::string s = "exawatt telemetry store";
+  const auto whole = util::crc32(std::string_view(s));
+  const auto head = util::crc32(std::string_view(s).substr(0, 7));
+  EXPECT_EQ(util::crc32(std::string_view(s).substr(7), head), whole);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data(128, 0x5A);
+  const auto before = util::crc32(data);
+  data[64] ^= 0x01;
+  EXPECT_NE(util::crc32(data), before);
+}
+
+// ---------------------------------------------------------------- footer
+
+TEST(Format, FooterRoundTrip) {
+  std::vector<store::BlockMeta> blocks;
+  for (std::uint32_t i = 0; i < 17; ++i) {
+    store::BlockMeta b;
+    b.id = 100 * i + 3;
+    b.offset = 16 + 1000 * i;
+    b.size = 900 + i;
+    b.events = 4096;
+    b.t_min = -5 + static_cast<util::TimeSec>(i) * util::kHour;
+    b.t_max = b.t_min + util::kHour - 1;
+    b.crc = 0xDEAD0000u + i;
+    blocks.push_back(b);
+  }
+  const auto payload = store::encode_footer(blocks);
+  const auto parsed = store::parse_footer(payload);
+  ASSERT_EQ(parsed.size(), blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(parsed[i].id, blocks[i].id);
+    EXPECT_EQ(parsed[i].offset, blocks[i].offset);
+    EXPECT_EQ(parsed[i].size, blocks[i].size);
+    EXPECT_EQ(parsed[i].events, blocks[i].events);
+    EXPECT_EQ(parsed[i].t_min, blocks[i].t_min);
+    EXPECT_EQ(parsed[i].t_max, blocks[i].t_max);
+    EXPECT_EQ(parsed[i].crc, blocks[i].crc);
+  }
+}
+
+TEST(Format, FooterRejectsTruncationAtEveryLength) {
+  std::vector<store::BlockMeta> blocks(3);
+  blocks[0] = {7, 16, 100, 50, 0, 99, 0x1111};
+  blocks[1] = {7, 116, 100, 50, 100, 199, 0x2222};
+  blocks[2] = {9, 216, 100, 50, 0, 199, 0x3333};
+  const auto payload = store::encode_footer(blocks);
+  for (std::size_t len = 1; len < payload.size(); ++len) {
+    EXPECT_THROW(
+        (void)store::parse_footer(
+            std::span<const std::uint8_t>(payload.data(), len)),
+        store::StoreError)
+        << "truncated to " << len << " of " << payload.size();
+  }
+  EXPECT_THROW((void)store::parse_footer(std::span<const std::uint8_t>()),
+               store::StoreError);
+}
+
+// --------------------------------------------------------------- segment
+
+TEST(Segment, RoundTripOutOfOrderEvents) {
+  const auto dir = scratch_dir("seg_roundtrip");
+  const std::string path = dir + "/seg.seg";
+  util::Rng rng(1);
+  const auto batch = random_batch(rng, {0, util::kHour}, 5000, 8);
+
+  store::SegmentWriter writer(path, 0, /*block_events=*/256);
+  writer.add(batch);
+  const auto meta = writer.seal();
+  EXPECT_EQ(meta.events, batch.size());
+  EXPECT_GT(meta.bytes, 0u);
+
+  store::SegmentReader reader(path);
+  EXPECT_EQ(reader.events(), batch.size());
+  // With 5000 events over 8 metrics at block_events=256, every metric
+  // spans multiple blocks — the multi-block path is exercised.
+  EXPECT_GT(reader.blocks().size(), 8u);
+
+  std::map<telemetry::MetricId, std::vector<ts::Sample>> expect;
+  for (const auto& ev : batch) {
+    expect[ev.id].push_back({ev.t, static_cast<double>(ev.value)});
+  }
+  for (auto& [id, samples] : expect) {
+    std::vector<ts::Sample> got;
+    reader.scan(id, {0, util::kHour}, got);
+    expect_same_samples(samples, got, "metric " + std::to_string(id));
+    // Store contract: scans come back time-sorted.
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end(),
+                               [](const ts::Sample& a, const ts::Sample& b) {
+                                 return a.t < b.t;
+                               }));
+  }
+}
+
+TEST(Segment, PredicatePushdownMatchesFullScanFilter) {
+  const auto dir = scratch_dir("seg_pushdown");
+  const std::string path = dir + "/seg.seg";
+  util::Rng rng(2);
+  const auto batch = random_batch(rng, {0, 4 * util::kHour}, 8000, 4);
+  store::SegmentWriter writer(path, 0, 128);
+  writer.add(batch);
+  (void)writer.seal();
+  store::SegmentReader reader(path);
+
+  const util::TimeRange sub{util::kHour + 17, 3 * util::kHour - 5};
+  for (telemetry::MetricId id = 0; id < 4; ++id) {
+    std::vector<ts::Sample> expect;
+    for (const auto& ev : batch) {
+      if (ev.id == id && sub.contains(ev.t)) {
+        expect.push_back({ev.t, static_cast<double>(ev.value)});
+      }
+    }
+    std::vector<ts::Sample> got;
+    reader.scan(id, sub, got);
+    expect_same_samples(expect, got, "pushdown metric " + std::to_string(id));
+  }
+}
+
+TEST(Segment, ScanSetMatchesPerMetricScans) {
+  const auto dir = scratch_dir("seg_scanset");
+  const std::string path = dir + "/seg.seg";
+  util::Rng rng(3);
+  const auto batch = random_batch(rng, {0, util::kHour}, 3000, 6);
+  store::SegmentWriter writer(path, 0, 200);
+  writer.add(batch);
+  (void)writer.seal();
+  store::SegmentReader reader(path);
+
+  const std::unordered_set<telemetry::MetricId> ids{0, 2, 5};
+  std::map<telemetry::MetricId, std::vector<ts::Sample>> got;
+  reader.scan_set(ids, {0, util::kHour}, got);
+  for (const auto id : ids) {
+    std::vector<ts::Sample> single;
+    reader.scan(id, {0, util::kHour}, single);
+    expect_same_samples(single, got[id], "scan_set " + std::to_string(id));
+  }
+  EXPECT_FALSE(got.count(1));  // not requested, not returned
+}
+
+TEST(Segment, SealTwiceAndEmptyAreErrors) {
+  const auto dir = scratch_dir("seg_misuse");
+  {
+    store::SegmentWriter empty(dir + "/empty.seg", 0);
+    EXPECT_THROW((void)empty.seal(), store::StoreError);
+  }
+  store::SegmentWriter writer(dir + "/seg.seg", 0);
+  writer.add({{1, 10, 100}});
+  (void)writer.seal();
+  EXPECT_THROW((void)writer.seal(), store::StoreError);
+}
+
+// ------------------------------------------------------------ corruption
+
+/// Crash-safety at the file level: a segment cut off at ANY byte length
+/// must be rejected by the reader's open-time validation — never a crash,
+/// never silently-short data.
+TEST(Corruption, TruncationAtEveryLengthIsDetected) {
+  const auto dir = scratch_dir("trunc");
+  const std::string path = dir + "/seg.seg";
+  util::Rng rng(4);
+  store::SegmentWriter writer(path, 0, 64);
+  writer.add(random_batch(rng, {0, util::kHour}, 600, 3));
+  (void)writer.seal();
+  const auto whole = read_file(path);
+  ASSERT_GT(whole.size(), store::kHeaderBytes + store::kTrailerBytes);
+
+  const std::string cut = dir + "/cut.seg";
+  for (std::size_t len = 0; len < whole.size(); ++len) {
+    write_file(cut, {whole.begin(), whole.begin() + static_cast<long>(len)});
+    EXPECT_THROW(store::SegmentReader reader(cut), store::StoreError)
+        << "truncated to " << len << " of " << whole.size() << " bytes";
+  }
+  // Sanity: the untruncated file still opens.
+  write_file(cut, whole);
+  EXPECT_NO_THROW(store::SegmentReader reader(cut));
+}
+
+/// A flipped byte in a block payload passes open-time validation (the
+/// footer is intact) but must surface as a StoreError when that block is
+/// actually read — the per-block CRC contract.
+TEST(Corruption, BlockBitFlipCaughtByCrcOnScan) {
+  const auto dir = scratch_dir("bitflip");
+  const std::string path = dir + "/seg.seg";
+  util::Rng rng(5);
+  store::SegmentWriter writer(path, 0, 64);
+  writer.add(random_batch(rng, {0, util::kHour}, 600, 3));
+  (void)writer.seal();
+
+  store::SegmentReader clean(path);
+  const auto& first = clean.blocks().front();
+  auto bytes = read_file(path);
+  bytes[first.offset + first.size / 2] ^= 0x40;
+  write_file(path, bytes);
+
+  store::SegmentReader flipped(path);  // footer intact: open succeeds
+  std::vector<ts::Sample> out;
+  EXPECT_THROW(flipped.scan(first.id, {0, util::kHour}, out),
+               store::StoreError);
+}
+
+/// A flipped byte in the footer directory is caught at open time.
+TEST(Corruption, FooterBitFlipCaughtAtOpen) {
+  const auto dir = scratch_dir("footflip");
+  const std::string path = dir + "/seg.seg";
+  util::Rng rng(6);
+  store::SegmentWriter writer(path, 0, 64);
+  writer.add(random_batch(rng, {0, util::kHour}, 600, 3));
+  (void)writer.seal();
+
+  auto bytes = read_file(path);
+  bytes[bytes.size() - store::kTrailerBytes - 4] ^= 0x01;
+  write_file(path, bytes);
+  EXPECT_THROW(store::SegmentReader reader(path), store::StoreError);
+}
+
+// -------------------------------------------------------------- manifest
+
+TEST(Manifest, RoundTripAndTamperDetection) {
+  store::Manifest m;
+  m.segments.push_back({"seg00000000_day00000.seg", 0, 1000, 4096, 0, 86399});
+  m.segments.push_back(
+      {"seg00000001_day00001.seg", 1, 2000, 8192, 86400, 172799});
+  const auto text = m.encode();
+  const auto back = store::Manifest::decode(text);
+  ASSERT_EQ(back.segments.size(), 2u);
+  EXPECT_EQ(back.segments[0].file, m.segments[0].file);
+  EXPECT_EQ(back.segments[1].events, 2000u);
+  EXPECT_EQ(back.segments[1].t_max, 172799);
+
+  auto tampered = text;
+  tampered.replace(tampered.find("2000"), 4, "2001");
+  EXPECT_THROW((void)store::Manifest::decode(tampered), store::StoreError);
+  EXPECT_THROW((void)store::Manifest::decode("not a manifest\n"),
+               store::StoreError);
+}
+
+TEST(Manifest, SaveIsAtomicReplaceAndLoadReportsAbsence) {
+  const auto dir = scratch_dir("manifest");
+  store::Manifest m;
+  EXPECT_FALSE(store::Manifest::load(dir, m));
+
+  m.segments.push_back({"a.seg", 0, 10, 100, 0, 9});
+  m.save(dir);
+  m.segments.push_back({"b.seg", 0, 20, 200, 10, 19});
+  m.save(dir);  // replaces, no stale tmp left behind
+  EXPECT_FALSE(fs::exists(dir + "/MANIFEST.tmp"));
+
+  store::Manifest loaded;
+  ASSERT_TRUE(store::Manifest::load(dir, loaded));
+  EXPECT_EQ(loaded.segments.size(), 2u);
+}
+
+// ----------------------------------------------------------------- store
+
+TEST(Store, MemtableSealedAndReopenedQueriesAgree) {
+  const auto dir = scratch_dir("store_basic");
+  util::Rng rng(7);
+  store::StoreOptions options;
+  options.segment_events = 1000;
+  options.block_events = 128;
+
+  std::vector<std::vector<telemetry::MetricEvent>> batches;
+  for (int i = 0; i < 7; ++i) {  // odd count: the last batch stays buffered
+    batches.push_back(random_batch(rng, {0, 2 * util::kHour}, 700, 10));
+  }
+
+  telemetry::Archive archive;
+  std::vector<telemetry::MetricId> ids;
+  {
+    auto st = store::Store::open(dir, options);
+    for (const auto& b : batches) {
+      st.append(b);
+      archive.append(b);
+    }
+    // Memtable + sealed mix: some batches are still buffered here.
+    EXPECT_GT(st.buffered_events(), 0u);
+    EXPECT_GT(st.sealed_segments(), 0u);
+    ids = st.metrics();
+    for (const auto id : ids) {
+      expect_same_samples(archive.query(id, {0, 2 * util::kHour}),
+                          st.query(id, {0, 2 * util::kHour}),
+                          "pre-flush metric " + std::to_string(id));
+    }
+    st.flush();
+    EXPECT_EQ(st.buffered_events(), 0u);
+  }
+
+  auto reopened = store::Store::open(dir, options);
+  EXPECT_TRUE(reopened.recovery().clean());
+  EXPECT_EQ(reopened.total_events(), 7u * 700u);
+  EXPECT_GT(reopened.compression_ratio(), 1.0);
+  EXPECT_EQ(reopened.metrics(), ids);
+  for (const auto id : ids) {
+    expect_same_samples(archive.query(id, {0, 2 * util::kHour}),
+                        reopened.query(id, {0, 2 * util::kHour}),
+                        "reopened metric " + std::to_string(id));
+  }
+}
+
+TEST(Store, DestructorFlushesTail) {
+  const auto dir = scratch_dir("store_dtor");
+  util::Rng rng(8);
+  const auto batch = random_batch(rng, {0, util::kHour}, 500, 4);
+  {
+    auto st = store::Store::open(dir);
+    st.append(batch);  // far below segment_events: memtable only
+  }                    // destructor must seal it
+  auto st = store::Store::open(dir);
+  EXPECT_EQ(st.total_events(), batch.size());
+}
+
+TEST(Store, DayPartitionsFollowTheArchiveRule) {
+  const auto dir = scratch_dir("store_days");
+  auto st = store::Store::open(dir);
+  // Partition = first event's day, exactly as Archive::append does it.
+  st.append({{1, util::kDay - 2, 5}, {1, util::kDay + 2, 6}});
+  st.append({{1, util::kDay + 10, 7}});
+  st.flush();
+  EXPECT_EQ(st.day_partitions(), 2u);
+  EXPECT_EQ(st.sealed_segments(), 2u);
+  const auto got = st.query(1, {0, 2 * util::kDay});
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end(), sample_less));
+}
+
+// ---------------------------------------------------- crash-safety gates
+
+/// The acceptance crash test: a writer dies mid-segment (simulated by
+/// truncating the youngest segment file). Reopen must drop exactly that
+/// tail and nothing else; the surviving scan equals an in-memory archive
+/// that saw only the surviving batches — bit for bit.
+TEST(CrashSafety, TruncatedTailDroppedSurvivorsBitIdentical) {
+  const auto dir = scratch_dir("crash_tail");
+  util::Rng rng(9);
+  store::StoreOptions options;
+  options.segment_events = 500;  // each 500-event batch seals one segment
+  options.block_events = 64;
+
+  telemetry::Archive survivors;
+  std::vector<telemetry::MetricId> ids;
+  {
+    auto st = store::Store::open(dir, options);
+    for (int i = 0; i < 5; ++i) {
+      const auto batch = random_batch(rng, {0, util::kHour}, 500, 6);
+      st.append(batch);
+      if (i < 4) survivors.append(batch);
+    }
+    st.flush();
+    EXPECT_EQ(st.sealed_segments(), 5u);
+    ids = st.metrics();
+  }
+
+  // "Kill the writer" mid-write of the youngest segment (sequence numbers
+  // are zero-padded, so lexicographic max is the last one sealed).
+  fs::path youngest;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".seg" &&
+        (youngest.empty() ||
+         entry.path().filename() > youngest.filename())) {
+      youngest = entry.path();
+    }
+  }
+  ASSERT_FALSE(youngest.empty());
+  const auto bytes = read_file(youngest.string());
+  write_file(youngest.string(),
+             {bytes.begin(), bytes.begin() + static_cast<long>(
+                                                 bytes.size() / 2)});
+
+  auto st = store::Store::open(dir, options);
+  EXPECT_EQ(st.recovery().dropped_corrupt, 1u);
+  EXPECT_EQ(st.recovery().adopted_orphans, 0u);
+  EXPECT_EQ(st.sealed_segments(), 4u);
+  EXPECT_EQ(st.total_events(), 4u * 500u);
+  // The damaged file was set aside, not deleted — forensics stay possible.
+  EXPECT_TRUE(fs::exists(youngest.string() + ".bad"));
+
+  for (const auto id : ids) {
+    expect_same_samples(survivors.query(id, {0, util::kHour}),
+                        st.query(id, {0, util::kHour}),
+                        "survivor metric " + std::to_string(id));
+  }
+
+  // Recovery persisted the repair: the next open is clean.
+  auto again = store::Store::open(dir, options);
+  EXPECT_TRUE(again.recovery().clean());
+}
+
+/// Crash after a segment sealed but before the manifest rename: the valid
+/// orphan is adopted on reopen, losing nothing.
+TEST(CrashSafety, SealedOrphanIsAdopted) {
+  const auto dir = scratch_dir("crash_orphan");
+  util::Rng rng(10);
+  store::StoreOptions options;
+  options.segment_events = 500;
+  {
+    auto st = store::Store::open(dir, options);
+    st.append(random_batch(rng, {0, util::kHour}, 500, 4));
+    st.flush();
+  }
+  // A sealed segment the manifest never heard of (manifest rename "lost").
+  const auto orphan_batch = random_batch(rng, {0, util::kHour}, 300, 4);
+  {
+    store::SegmentWriter writer(dir + "/seg00000099_day00000.seg", 0, 64);
+    writer.add(orphan_batch);
+    (void)writer.seal();
+  }
+
+  auto st = store::Store::open(dir, options);
+  EXPECT_EQ(st.recovery().adopted_orphans, 1u);
+  EXPECT_EQ(st.total_events(), 800u);
+  const auto got = st.query(orphan_batch.front().id, {0, util::kHour});
+  EXPECT_FALSE(got.empty());
+}
+
+/// Stale manifest pointing at a deleted segment: the entry is dropped with
+/// a report, the rest of the store stays queryable.
+TEST(CrashSafety, StaleManifestEntryDropped) {
+  const auto dir = scratch_dir("crash_stale");
+  util::Rng rng(11);
+  store::StoreOptions options;
+  options.segment_events = 500;
+  std::string first_file;
+  {
+    auto st = store::Store::open(dir, options);
+    st.append(random_batch(rng, {0, util::kHour}, 500, 4));
+    st.append(random_batch(rng, {0, util::kHour}, 500, 4));
+    st.flush();
+    EXPECT_EQ(st.sealed_segments(), 2u);
+  }
+  store::Manifest m;
+  ASSERT_TRUE(store::Manifest::load(dir, m));
+  ASSERT_EQ(m.segments.size(), 2u);
+  fs::remove(dir + "/" + m.segments[0].file);
+
+  auto st = store::Store::open(dir, options);
+  EXPECT_EQ(st.recovery().dropped_missing, 1u);
+  EXPECT_EQ(st.sealed_segments(), 1u);
+  EXPECT_EQ(st.total_events(), 500u);
+}
+
+/// A corrupt manifest is rebuilt from the segment files themselves.
+TEST(CrashSafety, CorruptManifestRebuiltFromSegments) {
+  const auto dir = scratch_dir("crash_manifest");
+  util::Rng rng(12);
+  store::StoreOptions options;
+  options.segment_events = 500;
+  telemetry::Archive archive;
+  {
+    auto st = store::Store::open(dir, options);
+    for (int i = 0; i < 3; ++i) {
+      const auto batch = random_batch(rng, {0, util::kHour}, 500, 4);
+      st.append(batch);
+      archive.append(batch);
+    }
+    st.flush();
+  }
+  {
+    std::ofstream out(store::manifest_path(dir), std::ios::trunc);
+    out << "garbage that is definitely not a manifest\n";
+  }
+
+  auto st = store::Store::open(dir, options);
+  EXPECT_TRUE(st.recovery().manifest_rebuilt);
+  EXPECT_EQ(st.sealed_segments(), 3u);
+  for (const auto id : st.metrics()) {
+    expect_same_samples(archive.query(id, {0, util::kHour}),
+                        st.query(id, {0, util::kHour}),
+                        "rebuilt metric " + std::to_string(id));
+  }
+  // And the rebuild was persisted.
+  EXPECT_TRUE(store::Store::open(dir, options).recovery().clean());
+}
+
+// ----------------------------------------------- archive/store contract
+
+/// The shared query contract, property-tested: whatever seeded batch
+/// stream is appended to both, every query over every probed range must
+/// return the same multiset of samples. Batches are out-of-order inside
+/// and across one another and straddle midnight.
+class StoreContract : public testing::TestWithParam<int> {};
+
+TEST_P(StoreContract, ArchiveAndStoreAgreeOnSeededStreams) {
+  const int seed = GetParam();
+  const auto dir = scratch_dir("contract_" + std::to_string(seed));
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  store::StoreOptions options;
+  options.segment_events = 600;  // force several seals per run
+  options.block_events = 96;
+
+  telemetry::Archive archive;
+  auto st = store::Store::open(dir, options);
+  // Two days of data; several batches deliberately start just before
+  // midnight so their partition (chosen by the FIRST event, the shared
+  // rule) differs from where most of their events land.
+  for (int b = 0; b < 12; ++b) {
+    const util::TimeSec mid = util::kDay;
+    const util::TimeRange span =
+        b % 3 == 2 ? util::TimeRange{mid - util::kMinute, mid + util::kMinute}
+                   : util::TimeRange{0, 2 * util::kDay};
+    auto batch = random_batch(rng, span, 400, 12);
+    archive.append(batch);
+    st.append(std::move(batch));
+  }
+  st.flush();
+
+  const util::TimeRange probes[] = {
+      {0, 2 * util::kDay},                            // everything
+      {util::kDay - 30, util::kDay + 30},             // straddles midnight
+      {util::kHour, util::kHour + 1},                 // single-second
+      {3 * util::kHour, 3 * util::kHour},             // empty
+      {2 * util::kDay, 3 * util::kDay},               // past the data
+  };
+  for (const auto id : st.metrics()) {
+    for (const auto& range : probes) {
+      expect_same_samples(archive.query(id, range), st.query(id, range),
+                          "seed " + std::to_string(seed) + " metric " +
+                              std::to_string(id) + " range [" +
+                              std::to_string(range.begin) + "," +
+                              std::to_string(range.end) + ")");
+    }
+  }
+
+  // Same contract through the reopened (pure on-disk) store.
+  st.flush();
+  auto reopened = store::Store::open(dir, options);
+  for (const auto id : reopened.metrics()) {
+    expect_same_samples(archive.query(id, {0, 2 * util::kDay}),
+                        reopened.query(id, {0, 2 * util::kDay}),
+                        "reopened seed " + std::to_string(seed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreContract, testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------- parallel query
+
+TEST(QueryMany, ParallelMatchesSerialAndPerMetricQueries) {
+  const auto dir = scratch_dir("query_many");
+  util::Rng rng(13);
+  store::StoreOptions options;
+  options.segment_events = 400;
+  options.block_events = 64;
+  auto st = store::Store::open(dir, options);
+  for (int b = 0; b < 10; ++b) {
+    st.append(random_batch(rng, {0, util::kDay}, 400, 16));
+  }
+  st.flush();
+
+  std::vector<telemetry::MetricId> ids{0, 3, 7, 11, 15, 2};
+  const util::TimeRange range{util::kHour, 20 * util::kHour};
+
+  util::ThreadPool serial(1);
+  util::ThreadPool wide(4);
+  const auto one = st.query_many(ids, range, &serial);
+  const auto many = st.query_many(ids, range, &wide);
+  const auto global = st.query_many(ids, range);  // default pool
+
+  ASSERT_EQ(one.size(), ids.size());
+  ASSERT_EQ(many.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(one[i].id, ids[i]);  // output preserves request order
+    expect_same_samples(st.query(ids[i], range), one[i].samples,
+                        "serial id " + std::to_string(ids[i]));
+    // Parallel merge must be deterministic, not just equivalent.
+    ASSERT_EQ(one[i].samples.size(), many[i].samples.size());
+    for (std::size_t j = 0; j < one[i].samples.size(); ++j) {
+      EXPECT_TRUE(sample_eq(one[i].samples[j], many[i].samples[j]));
+      EXPECT_TRUE(sample_eq(one[i].samples[j], global[i].samples[j]));
+    }
+  }
+}
+
+TEST(QueryMany, ClusterSumMatchesArchiveAggregator) {
+  const auto dir = scratch_dir("cluster_sum");
+  util::Rng rng(14);
+  const int channel =
+      telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
+  const std::vector<machine::NodeId> nodes{0, 1, 2, 3, 4};
+
+  telemetry::Archive archive;
+  store::StoreOptions options;
+  options.segment_events = 300;
+  auto st = store::Store::open(dir, options);
+  // Timestamps are unique per metric (a BMC emits at most one sample per
+  // channel per second) — with duplicate t the float accumulation order
+  // inside a coarsen window would be unspecified and bit-parity undefined.
+  for (int b = 0; b < 6; ++b) {
+    std::vector<telemetry::MetricEvent> batch;
+    for (const auto n : nodes) {
+      for (int k = 0; k < 50; ++k) {
+        batch.push_back(
+            {telemetry::metric_id(n, channel),
+             static_cast<util::TimeSec>(b * 600 + k * 12),
+             static_cast<std::int32_t>(100 + rng.uniform_index(801))});
+      }
+    }
+    std::shuffle(batch.begin(), batch.end(), rng);  // out-of-order feed
+    archive.append(batch);
+    st.append(std::move(batch));
+  }
+  st.flush();
+
+  const util::TimeRange range{0, util::kHour};
+  std::vector<double> mem_counts;
+  std::vector<double> disk_counts;
+  const auto mem =
+      telemetry::cluster_sum(archive, nodes, channel, range, 10, &mem_counts);
+  const auto disk =
+      store::cluster_sum(st, nodes, channel, range, 10, &disk_counts);
+  ASSERT_EQ(mem.size(), disk.size());
+  ASSERT_EQ(mem_counts.size(), disk_counts.size());
+  for (std::size_t i = 0; i < mem.size(); ++i) {
+    EXPECT_EQ(mem[i], disk[i]) << "window " << i;  // bit-identical
+    EXPECT_EQ(mem_counts[i], disk_counts[i]);
+  }
+}
+
+// -------------------------------------------------------- accounting
+
+TEST(Accounting, RawEventBytesIsTheStructSize) {
+  EXPECT_EQ(telemetry::kRawEventBytes, sizeof(telemetry::MetricEvent));
+  // The compression denominator everywhere — codec, archive, store.
+  telemetry::Archive archive;
+  std::vector<telemetry::MetricEvent> batch;
+  for (int i = 0; i < 1000; ++i) batch.push_back({1, i, 7});
+  archive.append(batch);
+  EXPECT_DOUBLE_EQ(archive.compression_ratio(),
+                   static_cast<double>(1000 * telemetry::kRawEventBytes) /
+                       static_cast<double>(archive.compressed_bytes()));
+}
+
+}  // namespace

@@ -15,7 +15,21 @@
 //       run the twin's telemetry feed and the streaming analytics engine
 //       in lock-step; prints the live dashboard every --refresh seconds
 //       and a final parity check against the batch aggregator.
+//
+//   exawatt_sim simulate ... --store telemetry_store/ --tnodes 32 --tminutes 30
+//       additionally run the 1 Hz telemetry pipeline over a node subset
+//       and land the feed in the crash-safe on-disk columnar store.
+//
+//   exawatt_sim analyze --store telemetry_store/
+//       reopen the store (recovery report), roll up cluster power from
+//       segments and replay it through the streaming engine — analysis
+//       from disk, no re-simulation.
+//
+//   exawatt_sim storecheck --nodes 12 --minutes 6 --store DIR
+//       round-trip gate (the `store_roundtrip` ctest): simulate, persist,
+//       reopen, and require store/archive/streaming-replay bit-parity.
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <map>
@@ -30,8 +44,10 @@
 #include "core/simulation.hpp"
 #include "datasets/export.hpp"
 #include "datasets/import.hpp"
+#include "store/store.hpp"
 #include "stream/engine.hpp"
 #include "stream/ingest.hpp"
+#include "stream/replay.hpp"
 #include "telemetry/aggregator.hpp"
 #include "telemetry/pipeline.hpp"
 #include "util/flags.hpp"
@@ -45,10 +61,12 @@ int usage() {
   std::printf(
       "usage: exawatt_sim <command> [flags]\n"
       "  simulate --nodes N --days D --seed S --out DIR   export datasets\n"
-      "  analyze  --data DIR                              analyze exports\n"
+      "           [--store DIR --tnodes N --tminutes M]   + telemetry store\n"
+      "  analyze  --data DIR | --store DIR                analyze exports\n"
       "  report   --nodes N --days D --seed S             in-memory report\n"
       "  stream   --nodes N --minutes M --seed S --shards K --refresh R\n"
-      "                                                   live analytics demo\n");
+      "                                                   live analytics demo\n"
+      "  storecheck --nodes N --minutes M --store DIR     store parity gate\n");
   return 2;
 }
 
@@ -62,6 +80,43 @@ core::SimulationConfig config_from(const util::Flags& flags) {
   const auto days = flags.get_number("days", 2.0);
   config.range = {0, static_cast<util::TimeSec>(days * util::kDay)};
   return config;
+}
+
+/// The model stack behind a live telemetry feed over a node subset —
+/// shared by `stream`, `simulate --store` and `storecheck`.
+struct TelemetryRig {
+  workload::AllocationIndex alloc;
+  power::FleetVariability fleet;
+  thermal::FleetThermal thermals;
+  machine::Topology topo;
+  facility::MsbModel msb;
+  std::vector<machine::NodeId> nodes;
+  telemetry::Pipeline pipeline;
+
+  TelemetryRig(core::Simulation& sim, const core::SimulationConfig& config,
+               util::TimeRange window, int n_nodes)
+      : alloc(sim.jobs(), window, config.scale.nodes),
+        fleet(config.scale, config.seed + 1),
+        thermals(config.scale, config.seed + 2),
+        topo(config.scale),
+        msb(topo, config.seed + 3),
+        nodes([&] {
+          std::vector<machine::NodeId> v(static_cast<std::size_t>(n_nodes));
+          std::iota(v.begin(), v.end(), 0);
+          return v;
+        }()),
+        pipeline(nodes, alloc, fleet, thermals, msb) {}
+};
+
+/// Count bit-identical leading windows of two power series.
+std::pair<std::size_t, std::size_t> parity(const ts::Series& a,
+                                           const ts::Series& b) {
+  const std::size_t nw = std::min(a.size(), b.size());
+  std::size_t identical = 0;
+  for (std::size_t i = 0; i < nw; ++i) {
+    if (a[i] == b[i]) ++identical;
+  }
+  return {identical, nw};
 }
 
 void print_job_report(const std::vector<workload::Job>& jobs) {
@@ -148,11 +203,80 @@ int cmd_simulate(const util::Flags& flags) {
              std::to_string(series_rows)});
   t.add_row({"5+7 job power", out + "/job_power.csv",
              std::to_string(power_rows)});
+
+  const std::string store_dir = flags.get("store");
+  if (!store_dir.empty()) {
+    // Dataset A: run the 1 Hz out-of-band pipeline over a node subset and
+    // land the feed durably — analyze --store re-reads it without
+    // re-simulating.
+    const int tnodes = static_cast<int>(
+        std::min<std::int64_t>(config.scale.nodes, flags.get_int("tnodes", 32)));
+    const auto tminutes = flags.get_number("tminutes", 30.0);
+    const util::TimeRange twindow{
+        0, std::min(config.range.end,
+                    static_cast<util::TimeSec>(tminutes * 60.0))};
+    TelemetryRig rig(sim, config, twindow, tnodes);
+    store::Store store = store::Store::open(store_dir);
+    rig.pipeline.set_batch_sink(
+        [&](const std::vector<telemetry::MetricEvent>& batch) {
+          store.append(batch);
+        });
+    rig.pipeline.run(twindow);
+    store.flush();
+    t.add_row({"A telemetry store", store_dir + "/ (" +
+                   std::to_string(store.sealed_segments()) + " segments)",
+               std::to_string(store.total_events())});
+  }
   std::printf("%s", t.str().c_str());
   return 0;
 }
 
+int analyze_store(const std::string& dir) {
+  store::Store store = store::Store::open(dir);
+  const auto& rec = store.recovery();
+  std::printf("store %s: %zu segments, %zu day partitions, %llu events, "
+              "%.2f MB on disk (%.1fx compression)\n",
+              dir.c_str(), store.sealed_segments(), store.day_partitions(),
+              static_cast<unsigned long long>(store.total_events()),
+              static_cast<double>(store.stored_bytes()) / 1e6,
+              store.compression_ratio());
+  std::printf("recovery: %s (adopted %zu, dropped corrupt %zu, dropped "
+              "missing %zu%s)\n\n",
+              rec.clean() ? "clean" : "repaired", rec.adopted_orphans,
+              rec.dropped_corrupt, rec.dropped_missing,
+              rec.manifest_rebuilt ? ", manifest rebuilt" : "");
+
+  // Node population = every node with an input-power channel on disk.
+  const int power_channel =
+      telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
+  std::vector<machine::NodeId> nodes;
+  for (const telemetry::MetricId id : store.metrics()) {
+    if (telemetry::metric_channel(id) == power_channel) {
+      nodes.push_back(telemetry::metric_node(id));
+    }
+  }
+  if (nodes.empty()) {
+    std::printf("store holds no input-power channels; nothing to analyze\n");
+    return 1;
+  }
+  const util::TimeRange window = store.bounds();
+  const auto power = store::cluster_sum(store, nodes, power_channel, window);
+  print_power_report(power, static_cast<int>(nodes.size()));
+
+  stream::EngineOptions options;
+  options.range = window;
+  options.rollup.edge_node_count = static_cast<double>(nodes.size());
+  const auto replayed = stream::replay_power_rollup(store, nodes, options);
+  const auto [identical, nw] = parity(power, replayed);
+  std::printf("streaming replay parity vs store roll-up: %zu/%zu windows "
+              "bit-identical\n",
+              identical, nw);
+  return identical == nw && nw > 0 ? 0 : 1;
+}
+
 int cmd_analyze(const util::Flags& flags) {
+  const std::string store_dir = flags.get("store");
+  if (!store_dir.empty()) return analyze_store(store_dir);
   const std::string dir = flags.get("data", "traces");
   const auto jobs = datasets::import_jobs(dir + "/jobs.csv");
   const auto log = datasets::import_xid_log(dir + "/xid_log.csv");
@@ -208,15 +332,9 @@ int cmd_stream(const util::Flags& flags) {
               config.scale.nodes, minutes,
               static_cast<unsigned long long>(seed), shards);
 
-  workload::AllocationIndex alloc(sim.jobs(), window, config.scale.nodes);
-  power::FleetVariability fleet(config.scale, seed + 1);
-  thermal::FleetThermal thermals(config.scale, seed + 2);
-  machine::Topology topo(config.scale);
-  facility::MsbModel msb(topo, seed + 3);
-  std::vector<machine::NodeId> nodes(
-      static_cast<std::size_t>(config.scale.nodes));
-  std::iota(nodes.begin(), nodes.end(), 0);
-  telemetry::Pipeline pipeline(nodes, alloc, fleet, thermals, msb);
+  TelemetryRig rig(sim, config, window, config.scale.nodes);
+  telemetry::Pipeline& pipeline = rig.pipeline;
+  const std::vector<machine::NodeId>& nodes = rig.nodes;
 
   stream::IngestOptions ingest_options;
   ingest_options.shards = shards;
@@ -292,6 +410,88 @@ int cmd_stream(const util::Flags& flags) {
   return identical == nw && nw > 0 ? 0 : 1;
 }
 
+/// The `store_roundtrip` ctest gate: persist a live feed, reopen the
+/// store from disk and require bit-parity against the in-memory archive
+/// on every access path (per-metric scans, cluster roll-up, streaming
+/// replay). Exits non-zero on the first divergence.
+int cmd_storecheck(const util::Flags& flags) {
+  const auto n = static_cast<int>(flags.get_int("nodes", 12));
+  const double minutes = flags.get_number("minutes", 6.0);
+  const std::string dir = flags.get("store", "storecheck_data");
+  std::filesystem::remove_all(dir);
+
+  const util::TimeSec start = util::kHour;
+  const util::TimeRange window{
+      start, start + static_cast<util::TimeSec>(minutes * 60.0)};
+  core::SimulationConfig config;
+  config.scale = machine::MachineScale::small(n);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  config.range = {0, window.end + util::kHour};
+  core::Simulation sim(config);
+  TelemetryRig rig(sim, config, window, config.scale.nodes);
+
+  store::StoreOptions store_options;
+  store_options.segment_events = 1 << 14;  // several segments even at N=12
+  {
+    store::Store store = store::Store::open(dir, store_options);
+    rig.pipeline.set_batch_sink(
+        [&](const std::vector<telemetry::MetricEvent>& batch) {
+          store.append(batch);
+        });
+    const auto stats = rig.pipeline.run(window);
+    store.flush();
+    std::printf("persisted %llu events into %zu segments\n",
+                static_cast<unsigned long long>(stats.events),
+                store.sealed_segments());
+  }  // store closed — the reopen below starts from disk alone
+
+  store::Store store = store::Store::open(dir, store_options);
+  if (!store.recovery().clean()) {
+    std::printf("FAIL: reopen of a cleanly-flushed store needed repair\n");
+    return 1;
+  }
+  const auto& archive = rig.pipeline.archive();
+
+  std::size_t mismatched_metrics = 0;
+  const auto ids = store.metrics();
+  for (const telemetry::MetricId id : ids) {
+    const auto disk = store.query(id, window);
+    const auto mem = archive.query(id, window);
+    if (disk.size() != mem.size() ||
+        !std::equal(disk.begin(), disk.end(), mem.begin(),
+                    [](const ts::Sample& a, const ts::Sample& b) {
+                      return a.t == b.t && a.value == b.value;
+                    })) {
+      ++mismatched_metrics;
+    }
+  }
+  std::printf("per-metric parity: %zu/%zu metrics bit-identical\n",
+              ids.size() - mismatched_metrics, ids.size());
+
+  const int channel =
+      telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
+  const auto batch_sum =
+      telemetry::cluster_sum(archive, rig.nodes, channel, window);
+  const auto disk_sum = store::cluster_sum(store, rig.nodes, channel, window);
+  const auto [sum_same, sum_nw] = parity(batch_sum, disk_sum);
+  std::printf("cluster_sum parity: %zu/%zu windows bit-identical\n", sum_same,
+              sum_nw);
+
+  stream::EngineOptions options;
+  options.range = window;
+  options.rollup.edge_node_count = static_cast<double>(rig.nodes.size());
+  const auto replayed = stream::replay_power_rollup(store, rig.nodes, options);
+  const auto [replay_same, replay_nw] = parity(batch_sum, replayed);
+  std::printf("streaming replay parity: %zu/%zu windows bit-identical\n",
+              replay_same, replay_nw);
+
+  const bool ok = mismatched_metrics == 0 && !ids.empty() &&
+                  sum_same == sum_nw && sum_nw > 0 &&
+                  replay_same == replay_nw && replay_nw > 0;
+  std::printf("storecheck: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -301,6 +501,7 @@ int main(int argc, char** argv) {
     if (flags.command() == "analyze") return cmd_analyze(flags);
     if (flags.command() == "report") return cmd_report(flags);
     if (flags.command() == "stream") return cmd_stream(flags);
+    if (flags.command() == "storecheck") return cmd_storecheck(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
