@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "faultfs/fault.hpp"
 #include "store/store.hpp"
 #include "telemetry/archive.hpp"
 #include "util/rng.hpp"
@@ -187,6 +188,59 @@ void BM_store_query_one_metric(benchmark::State& state) {
   fs::remove_all(dir);
 }
 BENCHMARK(BM_store_query_one_metric);
+
+// The same one-metric range scan driven through the fault-injection Vfs
+// with an empty schedule: the price of the filesystem seam itself (the
+// production store pays only the virtual-call indirection of RealVfs;
+// this is the ceiling the test harness pays).
+void BM_store_query_through_faultvfs(benchmark::State& state) {
+  const std::string dir = bench_store_dir("query_seam");
+  fs::remove_all(dir);
+  store::StoreOptions options;
+  options.segment_events = 1 << 16;
+  faultfs::FaultVfs vfs(util::Vfs::real());
+  options.vfs = &vfs;
+  auto st = store::Store::open(dir, options);
+  for (const auto& b : synth_feed(200, 1'800)) st.append(b);
+  st.flush();
+  telemetry::MetricId id = 0;
+  for (auto _ : state) {
+    const auto samples = st.query(id, {600, 1'200});
+    benchmark::DoNotOptimize(samples.size());
+    id = (id + 1) % 200;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_store_query_through_faultvfs);
+
+// Worst-case degraded scan: every block read comes back corrupted, so the
+// query walks the whole block directory, fails each CRC, and returns an
+// empty flagged result. Bounds the cost of answering "the disk is dying"
+// — it must stay cheap enough to serve during an incident.
+void BM_store_query_degraded(benchmark::State& state) {
+  const std::string dir = bench_store_dir("query_degraded");
+  fs::remove_all(dir);
+  store::StoreOptions options;
+  options.segment_events = 1 << 16;
+  faultfs::FaultVfs vfs(util::Vfs::real());
+  options.vfs = &vfs;
+  auto st = store::Store::open(dir, options);
+  for (const auto& b : synth_feed(200, 1'800)) st.append(b);
+  st.flush();
+  vfs.set_plan(faultfs::FaultPlan().flip_bits_on_reads_from(0, 1));
+  telemetry::MetricId id = 0;
+  for (auto _ : state) {
+    store::QueryStats stats;
+    const auto samples = st.query(id, {600, 1'200}, &stats);
+    benchmark::DoNotOptimize(stats.lost_blocks);
+    benchmark::DoNotOptimize(samples.size());
+    id = (id + 1) % 200;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_store_query_degraded);
 
 void BM_store_reopen(benchmark::State& state) {
   const std::string dir = bench_store_dir("reopen");

@@ -56,6 +56,23 @@ struct BlockMeta {
   std::uint32_t crc = 0;
 };
 
+/// Damage accounting for one degraded-mode query. When a caller passes a
+/// QueryStats out-param, read paths skip unreadable segments/blocks and
+/// count them here instead of throwing — queries return fewer samples,
+/// never wrong ones, and `degraded()` says the result is partial.
+struct QueryStats {
+  std::size_t lost_segments = 0;  ///< segments that vanished or won't open
+  std::size_t lost_blocks = 0;    ///< blocks skipped (I/O error or bad CRC)
+
+  [[nodiscard]] bool degraded() const {
+    return lost_segments + lost_blocks > 0;
+  }
+  void merge(const QueryStats& o) {
+    lost_segments += o.lost_segments;
+    lost_blocks += o.lost_blocks;
+  }
+};
+
 /// Manifest-level description of one sealed segment.
 struct SegmentMeta {
   std::string file;       ///< filename relative to the store root

@@ -2,8 +2,6 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 
 #include "util/crc32.hpp"
@@ -62,28 +60,27 @@ Manifest Manifest::decode(const std::string& text) {
   return m;
 }
 
-void Manifest::save(const std::string& root) const {
+void Manifest::save(const std::string& root, util::Vfs* vfs) const {
+  util::Vfs& fs = vfs != nullptr ? *vfs : util::Vfs::real();
   const std::string tmp = manifest_path(root) + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw StoreError("manifest: cannot open " + tmp);
-    out << encode();
-    out.flush();
-    if (!out.good()) throw StoreError("manifest: write failed " + tmp);
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, manifest_path(root), ec);
-  if (ec) {
-    throw StoreError("manifest: atomic rename failed: " + ec.message());
-  }
+  auto out = fs.create(tmp);
+  out->write_text(encode());
+  out->close();
+  fs.rename(tmp, manifest_path(root));
 }
 
-bool Manifest::load(const std::string& root, Manifest& out) {
-  std::ifstream in(manifest_path(root), std::ios::binary);
-  if (!in) return false;
-  std::ostringstream text;
-  text << in.rdbuf();
-  out = decode(text.str());
+bool Manifest::load(const std::string& root, Manifest& out, util::Vfs* vfs) {
+  util::Vfs& fs = vfs != nullptr ? *vfs : util::Vfs::real();
+  if (!fs.exists(manifest_path(root))) return false;
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = fs.read_all(manifest_path(root));
+  } catch (const util::VfsError& e) {
+    // The file exists but cannot be read back — same repair path as a
+    // torn write: the caller rebuilds from the segment files.
+    throw StoreError(std::string("manifest: unreadable: ") + e.what());
+  }
+  out = decode(std::string(bytes.begin(), bytes.end()));
   return true;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "store/format.hpp"
+#include "util/vfs.hpp"
 
 namespace exawatt::store {
 
@@ -21,12 +22,16 @@ struct Manifest {
   /// (recovery responds by rebuilding from the segment files themselves).
   [[nodiscard]] static Manifest decode(const std::string& text);
 
-  /// Write to `<root>/MANIFEST` via `<root>/MANIFEST.tmp` + rename.
-  void save(const std::string& root) const;
+  /// Write to `<root>/MANIFEST` via `<root>/MANIFEST.tmp` + rename, all
+  /// through the Vfs seam (nullptr → the real filesystem). I/O failures
+  /// surface as util::VfsError for the caller's retry policy.
+  void save(const std::string& root, util::Vfs* vfs = nullptr) const;
 
   /// Load `<root>/MANIFEST`. Returns false (untouched *this) when the
-  /// file does not exist; throws StoreError when it exists but is corrupt.
-  static bool load(const std::string& root, Manifest& out);
+  /// file does not exist; throws StoreError when it exists but is corrupt
+  /// or unreadable.
+  static bool load(const std::string& root, Manifest& out,
+                   util::Vfs* vfs = nullptr);
 };
 
 [[nodiscard]] inline std::string manifest_path(const std::string& root) {

@@ -1,28 +1,20 @@
 #include "store/segment.hpp"
 
 #include <algorithm>
-#include <filesystem>
-#include <fstream>
 
 #include "telemetry/codec.hpp"
 #include "util/crc32.hpp"
 
 namespace exawatt::store {
 
-namespace {
-
-void write_bytes(std::ofstream& out, std::span<const std::uint8_t> bytes) {
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-}
-
-}  // namespace
-
 // ---------------------------------------------------------- SegmentWriter
 
 SegmentWriter::SegmentWriter(std::string path, std::int64_t day,
-                             std::size_t block_events)
-    : path_(std::move(path)), day_(day), block_events_(block_events) {
+                             std::size_t block_events, util::Vfs* vfs)
+    : path_(std::move(path)),
+      day_(day),
+      block_events_(block_events),
+      vfs_(vfs != nullptr ? vfs : &util::Vfs::real()) {
   if (block_events_ == 0) {
     throw StoreError("segment writer: block_events must be positive");
   }
@@ -39,7 +31,6 @@ void SegmentWriter::add(std::vector<telemetry::MetricEvent> events) {
 SegmentMeta SegmentWriter::seal() {
   if (sealed_) throw StoreError("segment writer: sealed twice");
   if (buffer_.empty()) throw StoreError("segment writer: nothing to seal");
-  sealed_ = true;
 
   std::sort(buffer_.begin(), buffer_.end(),
             [](const telemetry::MetricEvent& a,
@@ -47,13 +38,12 @@ SegmentMeta SegmentWriter::seal() {
               return a.id < b.id || (a.id == b.id && a.t < b.t);
             });
 
-  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
-  if (!out) throw StoreError("segment writer: cannot open " + path_);
+  auto out = vfs_->create(path_);
 
   std::vector<std::uint8_t> header(kSegmentMagic, kSegmentMagic + 8);
   put_u32le(kFormatVersion, header);
   put_u32le(0, header);  // reserved
-  write_bytes(out, header);
+  out->write(header);
 
   SegmentMeta meta;
   meta.file = path_;
@@ -83,7 +73,7 @@ SegmentMeta SegmentWriter::seal() {
       bm.t_min = buffer_[b].t;
       bm.t_max = buffer_[e - 1].t;
       bm.crc = util::crc32(encoded.bytes);
-      write_bytes(out, encoded.bytes);
+      out->write(encoded.bytes);
       offset += bm.size;
       meta.t_min = std::min(meta.t_min, bm.t_min);
       meta.t_max = std::max(meta.t_max, bm.t_max);
@@ -93,16 +83,17 @@ SegmentMeta SegmentWriter::seal() {
   }
 
   const std::vector<std::uint8_t> footer = encode_footer(blocks);
-  write_bytes(out, footer);
+  out->write(footer);
   std::vector<std::uint8_t> trailer;
   put_u64le(footer.size(), trailer);
   put_u32le(util::crc32(footer), trailer);
   trailer.insert(trailer.end(), kFooterMagic, kFooterMagic + 8);
-  write_bytes(out, trailer);
-  out.flush();
-  if (!out.good()) throw StoreError("segment writer: write failed " + path_);
-  out.close();
+  out->write(trailer);
+  out->close();
 
+  // Only a fully-written file spends the writer; a throw above leaves the
+  // buffer intact for a retry.
+  sealed_ = true;
   meta.bytes = offset + footer.size() + kTrailerBytes;
   buffer_.clear();
   buffer_.shrink_to_fit();
@@ -111,56 +102,52 @@ SegmentMeta SegmentWriter::seal() {
 
 // ---------------------------------------------------------- SegmentReader
 
-SegmentReader::SegmentReader(std::string path) : path_(std::move(path)) {
-  std::error_code ec;
-  const auto size = std::filesystem::file_size(path_, ec);
-  if (ec) throw StoreError("segment: cannot stat " + path_);
-  file_bytes_ = size;
-  if (file_bytes_ < kHeaderBytes + kTrailerBytes) {
-    throw StoreError("segment: truncated below header+trailer: " + path_);
+SegmentReader::SegmentReader(std::string path, util::Vfs* vfs)
+    : path_(std::move(path)),
+      vfs_(vfs != nullptr ? vfs : &util::Vfs::real()) {
+  std::uint64_t footer_bytes = 0;
+  try {
+    file_bytes_ = vfs_->size(path_);
+    if (file_bytes_ < kHeaderBytes + kTrailerBytes) {
+      throw StoreError("segment: truncated below header+trailer: " + path_);
+    }
+
+    const auto header = vfs_->read_range(path_, 0, kHeaderBytes);
+    if (!std::equal(kSegmentMagic, kSegmentMagic + 8, header.begin())) {
+      throw StoreError("segment: bad header magic: " + path_);
+    }
+    const std::uint32_t version = get_u32le({header.data() + 8, 4});
+    if (version != kFormatVersion) {
+      throw StoreError("segment: unsupported format version " +
+                       std::to_string(version) + ": " + path_);
+    }
+
+    const auto trailer =
+        vfs_->read_range(path_, file_bytes_ - kTrailerBytes, kTrailerBytes);
+    if (!std::equal(kFooterMagic, kFooterMagic + 8, trailer.begin() + 12)) {
+      throw StoreError(
+          "segment: missing footer trailer (crashed mid-write?): " + path_);
+    }
+    const std::uint64_t footer_size = get_u64le({trailer.data(), 8});
+    const std::uint32_t footer_crc = get_u32le({trailer.data() + 8, 4});
+    if (footer_size == 0 ||
+        footer_size > file_bytes_ - kHeaderBytes - kTrailerBytes) {
+      throw StoreError("segment: implausible footer size: " + path_);
+    }
+    footer_bytes = footer_size;
+
+    const auto footer = vfs_->read_range(
+        path_, file_bytes_ - kTrailerBytes - footer_size,
+        static_cast<std::size_t>(footer_size));
+    if (util::crc32(footer) != footer_crc) {
+      throw StoreError("segment: footer CRC mismatch: " + path_);
+    }
+    blocks_ = parse_footer(footer);
+  } catch (const util::VfsError& e) {
+    throw StoreError(std::string("segment: ") + e.what());
   }
 
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) throw StoreError("segment: cannot open " + path_);
-
-  std::uint8_t header[kHeaderBytes];
-  in.read(reinterpret_cast<char*>(header), kHeaderBytes);
-  if (!in.good() || !std::equal(kSegmentMagic, kSegmentMagic + 8, header)) {
-    throw StoreError("segment: bad header magic: " + path_);
-  }
-  const std::uint32_t version = get_u32le({header + 8, 4});
-  if (version != kFormatVersion) {
-    throw StoreError("segment: unsupported format version " +
-                     std::to_string(version) + ": " + path_);
-  }
-
-  std::uint8_t trailer[kTrailerBytes];
-  in.seekg(static_cast<std::streamoff>(file_bytes_ - kTrailerBytes));
-  in.read(reinterpret_cast<char*>(trailer), kTrailerBytes);
-  if (!in.good() ||
-      !std::equal(kFooterMagic, kFooterMagic + 8, trailer + 12)) {
-    throw StoreError("segment: missing footer trailer (crashed mid-write?): " +
-                     path_);
-  }
-  const std::uint64_t footer_size = get_u64le({trailer, 8});
-  const std::uint32_t footer_crc = get_u32le({trailer + 8, 4});
-  if (footer_size == 0 ||
-      footer_size > file_bytes_ - kHeaderBytes - kTrailerBytes) {
-    throw StoreError("segment: implausible footer size: " + path_);
-  }
-
-  std::vector<std::uint8_t> footer(footer_size);
-  in.seekg(
-      static_cast<std::streamoff>(file_bytes_ - kTrailerBytes - footer_size));
-  in.read(reinterpret_cast<char*>(footer.data()),
-          static_cast<std::streamsize>(footer_size));
-  if (!in.good()) throw StoreError("segment: short footer read: " + path_);
-  if (util::crc32(footer) != footer_crc) {
-    throw StoreError("segment: footer CRC mismatch: " + path_);
-  }
-
-  blocks_ = parse_footer(footer);
-  const std::uint64_t data_end = file_bytes_ - kTrailerBytes - footer_size;
+  const std::uint64_t data_end = file_bytes_ - kTrailerBytes - footer_bytes;
   util::TimeSec lo = 0, hi = 0;
   bool first = true;
   for (const auto& b : blocks_) {
@@ -177,16 +164,14 @@ SegmentReader::SegmentReader(std::string path) : path_(std::move(path)) {
 
 std::vector<telemetry::MetricEvent> SegmentReader::read_block(
     const BlockMeta& block) const {
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) throw StoreError("segment: cannot open " + path_);
   telemetry::EncodedBlock encoded;
-  encoded.bytes.resize(block.size);
   encoded.events = block.events;
-  in.seekg(static_cast<std::streamoff>(block.offset));
-  in.read(reinterpret_cast<char*>(encoded.bytes.data()), block.size);
-  if (!in.good()) {
-    throw StoreError("segment: short block read at offset " +
-                     std::to_string(block.offset) + ": " + path_);
+  try {
+    encoded.bytes = vfs_->read_range(path_, block.offset, block.size);
+  } catch (const util::VfsError& e) {
+    throw StoreError("segment: block read at offset " +
+                     std::to_string(block.offset) + " failed (" + e.what() +
+                     "): " + path_);
   }
   if (util::crc32(encoded.bytes) != block.crc) {
     throw StoreError("segment: block CRC mismatch (metric " +
@@ -200,11 +185,27 @@ std::vector<telemetry::MetricEvent> SegmentReader::read_block(
   return events;
 }
 
+bool SegmentReader::note_if_vanished(QueryStats& stats) const {
+  if (vfs_->exists(path_)) return false;
+  ++stats.lost_segments;
+  return true;
+}
+
 void SegmentReader::scan(telemetry::MetricId id, util::TimeRange range,
-                         std::vector<ts::Sample>& out) const {
+                         std::vector<ts::Sample>& out,
+                         QueryStats* stats) const {
+  if (stats != nullptr && note_if_vanished(*stats)) return;
   for (const auto& b : blocks_) {
     if (b.id != id || !block_overlaps(b, range)) continue;
-    for (const auto& ev : read_block(b)) {
+    std::vector<telemetry::MetricEvent> events;
+    try {
+      events = read_block(b);
+    } catch (const StoreError&) {
+      if (stats == nullptr) throw;
+      ++stats->lost_blocks;
+      continue;
+    }
+    for (const auto& ev : events) {
       if (ev.t >= range.begin && ev.t < range.end) {
         out.push_back({ev.t, static_cast<double>(ev.value)});
       }
@@ -214,11 +215,21 @@ void SegmentReader::scan(telemetry::MetricId id, util::TimeRange range,
 
 void SegmentReader::scan_set(
     const std::unordered_set<telemetry::MetricId>& ids, util::TimeRange range,
-    std::map<telemetry::MetricId, std::vector<ts::Sample>>& out) const {
+    std::map<telemetry::MetricId, std::vector<ts::Sample>>& out,
+    QueryStats* stats) const {
+  if (stats != nullptr && note_if_vanished(*stats)) return;
   for (const auto& b : blocks_) {
     if (!block_overlaps(b, range) || ids.find(b.id) == ids.end()) continue;
+    std::vector<telemetry::MetricEvent> events;
+    try {
+      events = read_block(b);
+    } catch (const StoreError&) {
+      if (stats == nullptr) throw;
+      ++stats->lost_blocks;
+      continue;
+    }
     auto& samples = out[b.id];
-    for (const auto& ev : read_block(b)) {
+    for (const auto& ev : events) {
       if (ev.t >= range.begin && ev.t < range.end) {
         samples.push_back({ev.t, static_cast<double>(ev.value)});
       }

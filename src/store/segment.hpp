@@ -7,6 +7,7 @@
 
 #include "store/format.hpp"
 #include "ts/series.hpp"
+#include "util/vfs.hpp"
 
 namespace exawatt::store {
 
@@ -16,23 +17,30 @@ namespace exawatt::store {
 /// telemetry codec (delta + zigzag + varint + RLE) and writes
 /// header / blocks / footer in one pass. Everything before a completed
 /// seal is the "unsealed tail" the crash-safety contract allows losing.
+///
+/// All file I/O goes through the Vfs seam (`vfs` defaults to the real
+/// filesystem). A failed seal throws util::VfsError and leaves the
+/// writer reusable — the buffer is intact, so the store's retry policy
+/// can simply call `seal()` again after a transient fault.
 class SegmentWriter {
  public:
   SegmentWriter(std::string path, std::int64_t day,
-                std::size_t block_events = 4096);
+                std::size_t block_events = 4096, util::Vfs* vfs = nullptr);
 
   void add(std::vector<telemetry::MetricEvent> events);
   [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
 
-  /// Write the file; the writer is spent afterwards. Throws StoreError if
-  /// the filesystem write fails. `meta.file` is the full path passed in;
-  /// callers relativize it for the manifest.
+  /// Write the file; the writer is spent after a *successful* seal.
+  /// Throws StoreError on misuse (empty, sealed twice) and util::VfsError
+  /// when the filesystem write fails. `meta.file` is the full path passed
+  /// in; callers relativize it for the manifest.
   [[nodiscard]] SegmentMeta seal();
 
  private:
   std::string path_;
   std::int64_t day_;
   std::size_t block_events_;
+  util::Vfs* vfs_;
   std::vector<telemetry::MetricEvent> buffer_;
   bool sealed_ = false;
 };
@@ -41,11 +49,11 @@ class SegmentWriter {
 /// footer (magic, version, CRC, directory sanity) and throws StoreError on
 /// any damage — this is the recovery check that drops crashed tails.
 /// Block payloads are read lazily per scan and verified against their
-/// directory CRC. All scan methods are const and open their own file
-/// stream, so one reader can serve parallel queries.
+/// directory CRC. All scan methods are const and stateless over the Vfs,
+/// so one reader can serve parallel queries.
 class SegmentReader {
  public:
-  explicit SegmentReader(std::string path);
+  explicit SegmentReader(std::string path, util::Vfs* vfs = nullptr);
 
   [[nodiscard]] const std::vector<BlockMeta>& blocks() const {
     return blocks_;
@@ -56,30 +64,37 @@ class SegmentReader {
   [[nodiscard]] util::TimeRange bounds() const { return bounds_; }
   [[nodiscard]] const std::string& path() const { return path_; }
 
-  /// Decode one block, verifying its CRC; throws StoreError on mismatch.
+  /// Decode one block, verifying its CRC; throws StoreError on damage.
   [[nodiscard]] std::vector<telemetry::MetricEvent> read_block(
       const BlockMeta& block) const;
 
   /// Append samples of `id` with t in `range` to `out`, in time order
   /// (blocks of one metric are laid out time-sorted). Only blocks whose
   /// [t_min, t_max] intersects `range` are read — the predicate pushdown.
+  /// With `stats == nullptr` any damage throws StoreError (the strict
+  /// contract); with stats, damaged blocks are skipped and counted — the
+  /// degraded read path.
   void scan(telemetry::MetricId id, util::TimeRange range,
-            std::vector<ts::Sample>& out) const;
+            std::vector<ts::Sample>& out, QueryStats* stats = nullptr) const;
 
   /// Multi-metric variant for fan-out queries: one pass over the block
   /// directory, appending to `out[id]` for every id in `ids`.
   void scan_set(const std::unordered_set<telemetry::MetricId>& ids,
                 util::TimeRange range,
-                std::map<telemetry::MetricId, std::vector<ts::Sample>>& out)
-      const;
+                std::map<telemetry::MetricId, std::vector<ts::Sample>>& out,
+                QueryStats* stats = nullptr) const;
 
  private:
   [[nodiscard]] bool block_overlaps(const BlockMeta& b,
                                     util::TimeRange range) const {
     return b.t_min < range.end && range.begin <= b.t_max;
   }
+  /// True when the whole segment file is gone — one lost segment, not one
+  /// lost block per directory entry.
+  [[nodiscard]] bool note_if_vanished(QueryStats& stats) const;
 
   std::string path_;
+  util::Vfs* vfs_;
   std::vector<BlockMeta> blocks_;
   std::uint64_t events_ = 0;
   std::uint64_t file_bytes_ = 0;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
-#include <filesystem>
 #include <set>
 #include <unordered_set>
 
@@ -11,8 +10,6 @@
 #include "util/parallel.hpp"
 
 namespace exawatt::store {
-
-namespace fs = std::filesystem;
 
 namespace {
 
@@ -28,7 +25,12 @@ bool parse_seq(const std::string& name, std::uint64_t& seq) {
 }  // namespace
 
 Store::Store(std::string root, StoreOptions options)
-    : root_(std::move(root)), options_(options) {
+    : root_(std::move(root)),
+      options_(options),
+      vfs_(options.vfs != nullptr ? options.vfs : &util::Vfs::real()),
+      clock_(options.clock != nullptr ? options.clock
+                                      : &util::Clock::steady()),
+      retry_rng_(options.retry_seed) {
   if (options_.segment_events == 0 || options_.block_events == 0) {
     throw StoreError("store: segment_events/block_events must be positive");
   }
@@ -56,15 +58,26 @@ void Store::adopt(SegmentMeta meta, SegmentReader reader) {
 }
 
 void Store::recover() {
-  std::error_code ec;
-  fs::create_directories(root_, ec);
-  if (ec) throw StoreError("store: cannot create root " + root_);
+  try {
+    vfs_->mkdirs(root_);
+  } catch (const util::VfsError& e) {
+    throw StoreError("store: cannot create root " + root_ + ": " + e.what());
+  }
+
+  // Best-effort quarantine of a damaged segment; never escalates — a
+  // set-aside that fails just leaves the corrupt file for the next sweep.
+  auto set_aside = [&](const std::string& path) {
+    try {
+      vfs_->rename(path, path + ".bad");
+    } catch (const util::VfsError&) {
+    }
+  };
 
   Manifest manifest;
   bool have_manifest = false;
   bool changed = false;
   try {
-    have_manifest = Manifest::load(root_, manifest);
+    have_manifest = Manifest::load(root_, manifest, vfs_);
   } catch (const StoreError&) {
     // Torn or edited manifest: rebuild it from the segment files — every
     // sealed segment self-validates, so nothing sealed is lost.
@@ -76,13 +89,13 @@ void Store::recover() {
   for (auto& meta : manifest.segments) {
     const std::string path = root_ + "/" + meta.file;
     listed.insert(meta.file);
-    if (!fs::exists(path)) {
+    if (!vfs_->exists(path)) {
       ++recovery_.dropped_missing;
       changed = true;
       continue;
     }
     try {
-      SegmentReader reader(path);
+      SegmentReader reader(path, vfs_);
       if (reader.events() != meta.events ||
           reader.file_bytes() != meta.bytes) {
         throw StoreError("segment disagrees with manifest: " + path);
@@ -91,24 +104,26 @@ void Store::recover() {
     } catch (const StoreError&) {
       ++recovery_.dropped_corrupt;
       changed = true;
-      fs::rename(path, path + ".bad", ec);  // best-effort set-aside
+      set_aside(path);
     }
   }
 
   // Sweep for segments the manifest does not know: a crash between seal
   // and manifest rename leaves a valid orphan (adopt it); a crash mid-seal
   // leaves a truncated one (drop it).
-  for (const auto& entry : fs::directory_iterator(root_)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string name = entry.path().filename().string();
+  std::vector<std::string> names;
+  try {
+    names = vfs_->list(root_);
+  } catch (const util::VfsError& e) {
+    throw StoreError("store: cannot list root " + root_ + ": " + e.what());
+  }
+  for (const std::string& name : names) {
     std::uint64_t seq = 0;
     if (parse_seq(name, seq)) next_seq_ = std::max(next_seq_, seq + 1);
-    if (entry.path().extension() != ".seg" || listed.count(name) > 0) {
-      continue;
-    }
-    const std::string path = entry.path().string();
+    if (!name.ends_with(".seg") || listed.count(name) > 0) continue;
+    const std::string path = root_ + "/" + name;
     try {
-      SegmentReader reader(path);
+      SegmentReader reader(path, vfs_);
       SegmentMeta meta;
       meta.file = name;
       meta.day = reader.blocks().empty()
@@ -124,7 +139,7 @@ void Store::recover() {
     } catch (const StoreError&) {
       ++recovery_.dropped_corrupt;
       changed = true;
-      fs::rename(path, path + ".bad", ec);
+      set_aside(path);
     }
   }
 
@@ -140,7 +155,12 @@ void Store::save_manifest() const {
   Manifest manifest;
   manifest.segments.reserve(segments_.size());
   for (const auto& s : segments_) manifest.segments.push_back(s.meta);
-  manifest.save(root_);
+  try {
+    util::retry_transient(options_.retry, *clock_, retry_rng_,
+                          [&] { manifest.save(root_, vfs_); });
+  } catch (const util::VfsError& e) {
+    throw StoreError(std::string("manifest: replace failed: ") + e.what());
+  }
 }
 
 std::string Store::next_segment_name(std::int64_t day) {
@@ -167,15 +187,24 @@ void Store::seal_day(std::int64_t day) {
   auto it = mem_.find(day);
   if (it == mem_.end() || it->second.empty()) return;
   const std::string name = next_segment_name(day);
-  SegmentWriter writer(root_ + "/" + name, day, options_.block_events);
+  SegmentWriter writer(root_ + "/" + name, day, options_.block_events, vfs_);
   buffered_events_ -= it->second.size();
   writer.add(std::move(it->second));
   mem_.erase(it);
-  SegmentMeta meta = writer.seal();
+  // Transient I/O faults re-run the whole seal (the writer keeps its
+  // buffer across a failed attempt); permanent ones surface as StoreError
+  // and cost exactly this unsealed tail, nothing already durable.
+  SegmentMeta meta;
+  try {
+    meta = util::retry_transient(options_.retry, *clock_, retry_rng_,
+                                 [&] { return writer.seal(); });
+  } catch (const util::VfsError& e) {
+    throw StoreError("segment seal failed for " + name + ": " + e.what());
+  }
   meta.file = name;
   // Re-open through the validating reader: the segment must be readable
   // before the manifest is allowed to point at it.
-  SegmentReader reader(root_ + "/" + name);
+  SegmentReader reader(root_ + "/" + name, vfs_);
   adopt(std::move(meta), std::move(reader));
   save_manifest();
 }
@@ -185,11 +214,13 @@ void Store::flush() {
 }
 
 std::vector<ts::Sample> Store::query(telemetry::MetricId id,
-                                     util::TimeRange range) const {
+                                     util::TimeRange range,
+                                     QueryStats* stats) const {
   std::vector<ts::Sample> out;
+  QueryStats local;
   for (const auto& seg : segments_) {
     if (!seg.reader.bounds().overlaps(range)) continue;
-    seg.reader.scan(id, range, out);
+    seg.reader.scan(id, range, out, &local);
   }
   for (const auto& [day, buf] : mem_) {
     for (const auto& ev : buf) {
@@ -199,12 +230,13 @@ std::vector<ts::Sample> Store::query(telemetry::MetricId id,
     }
   }
   std::sort(out.begin(), out.end(), sample_less);
+  if (stats != nullptr) stats->merge(local);
   return out;
 }
 
 std::vector<MetricRun> Store::query_many(
     std::span<const telemetry::MetricId> ids, util::TimeRange range,
-    util::ThreadPool* pool) const {
+    util::ThreadPool* pool, QueryStats* stats) const {
   const std::unordered_set<telemetry::MetricId> want(ids.begin(), ids.end());
 
   std::vector<const LiveSegment*> relevant;
@@ -212,20 +244,26 @@ std::vector<MetricRun> Store::query_many(
     if (seg.reader.bounds().overlaps(range)) relevant.push_back(&seg);
   }
 
+  struct Part {
+    std::map<telemetry::MetricId, std::vector<ts::Sample>> samples;
+    QueryStats stats;
+  };
   // One task per segment: decode is the expensive part, and segments are
   // independent files, so this is the natural fan-out grain.
   auto parts = util::parallel_map(
       relevant.size(),
       [&](std::size_t i) {
-        std::map<telemetry::MetricId, std::vector<ts::Sample>> part;
-        relevant[i]->reader.scan_set(want, range, part);
+        Part part;
+        relevant[i]->reader.scan_set(want, range, part.samples, &part.stats);
         return part;
       },
       pool != nullptr ? *pool : util::ThreadPool::global());
 
   std::map<telemetry::MetricId, std::vector<ts::Sample>> merged;
+  QueryStats local;
   for (auto& part : parts) {
-    for (auto& [id, samples] : part) {
+    local.merge(part.stats);
+    for (auto& [id, samples] : part.samples) {
       auto& dst = merged[id];
       if (dst.empty()) {
         dst = std::move(samples);
@@ -252,6 +290,7 @@ std::vector<MetricRun> Store::query_many(
     std::sort(run.samples.begin(), run.samples.end(), sample_less);
     out.push_back(std::move(run));
   }
+  if (stats != nullptr) stats->merge(local);
   return out;
 }
 
@@ -303,24 +342,34 @@ double Store::compression_ratio() const {
 ts::Series cluster_sum(const Store& store,
                        const std::vector<machine::NodeId>& nodes, int channel,
                        util::TimeRange range, util::TimeSec window,
-                       std::vector<double>* counts, util::ThreadPool* pool) {
+                       std::vector<double>* counts, util::ThreadPool* pool,
+                       QueryStats* stats) {
   const auto n_windows =
       static_cast<std::size_t>((range.duration() + window - 1) / window);
   std::vector<double> sum(n_windows, 0.0);
   std::vector<double> cnt(n_windows, 0.0);
 
+  struct NodeScan {
+    ts::StatSeries stat;
+    QueryStats stats;
+  };
   // Same shape as telemetry::cluster_sum — per-node scans fan out, the
   // serial reduction accumulates in node order, so the result is
   // bit-identical to the in-memory path on an identical event stream.
   auto per_node = util::parallel_map(
       nodes.size(),
       [&](std::size_t i) {
+        NodeScan scan;
         const auto samples =
-            store.query(telemetry::metric_id(nodes[i], channel), range);
-        return ts::coarsen(samples, window, range);
+            store.query(telemetry::metric_id(nodes[i], channel), range,
+                        &scan.stats);
+        scan.stat = ts::coarsen(samples, window, range);
+        return scan;
       },
       pool != nullptr ? *pool : util::ThreadPool::global());
-  for (const auto& stat : per_node) {
+  for (const auto& scan : per_node) {
+    if (stats != nullptr) stats->merge(scan.stats);
+    const auto& stat = scan.stat;
     for (std::size_t w = 0; w < stat.size() && w < n_windows; ++w) {
       if (stat[w].count > 0) {
         sum[w] += stat[w].mean;

@@ -7,6 +7,8 @@
 
 #include "store/segment.hpp"
 #include "ts/series.hpp"
+#include "util/retry.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace exawatt::store {
@@ -18,6 +20,18 @@ struct StoreOptions {
   /// Max events per encoded block inside a segment; smaller blocks give
   /// finer predicate pushdown, larger blocks compress better.
   std::size_t block_events = 4096;
+  /// Filesystem seam: nullptr → the real filesystem. Tests install a
+  /// faultfs::FaultVfs here to script outages while the store runs. Must
+  /// outlive the Store.
+  util::Vfs* vfs = nullptr;
+  /// Clock the retry policy sleeps on: nullptr → the steady wall clock.
+  /// Tests install a util::ManualClock so no test ever really sleeps.
+  util::Clock* clock = nullptr;
+  /// Transient write-error policy for seal + manifest replace: exponential
+  /// backoff with cap and jitter, then the error surfaces as StoreError.
+  util::BackoffPolicy retry = {};
+  /// Substream seed for the backoff jitter (deterministic per store).
+  std::uint64_t retry_seed = 0x5ea1b0ffULL;
 };
 
 /// What `Store::open` found and fixed. A crash mid-write loses at most
@@ -71,16 +85,22 @@ class Store {
   void flush();
 
   /// All samples of one metric in [range.begin, range.end), time-sorted —
-  /// sealed segments plus the unsealed in-memory tail.
-  [[nodiscard]] std::vector<ts::Sample> query(telemetry::MetricId id,
-                                              util::TimeRange range) const;
+  /// sealed segments plus the unsealed in-memory tail. Degrades instead
+  /// of throwing when a segment is damaged or vanishes mid-query: the
+  /// result holds every sample that is still readable (never a wrong
+  /// value), and `stats` (when non-null) reports what was lost — callers
+  /// that must not act on partial data check `stats->degraded()`.
+  [[nodiscard]] std::vector<ts::Sample> query(
+      telemetry::MetricId id, util::TimeRange range,
+      QueryStats* stats = nullptr) const;
 
   /// Fan-out query: segment scans run across `pool` (nullptr selects the
   /// process-global pool), results merge into one time-sorted run per
-  /// requested metric, in the order of `ids`.
+  /// requested metric, in the order of `ids`. Same degradation contract
+  /// as `query`; `stats` aggregates losses across all scanned segments.
   [[nodiscard]] std::vector<MetricRun> query_many(
       std::span<const telemetry::MetricId> ids, util::TimeRange range,
-      util::ThreadPool* pool = nullptr) const;
+      util::ThreadPool* pool = nullptr, QueryStats* stats = nullptr) const;
 
   /// Distinct metric ids present (sealed + buffered), ascending.
   [[nodiscard]] std::vector<telemetry::MetricId> metrics() const;
@@ -120,6 +140,9 @@ class Store {
 
   std::string root_;
   StoreOptions options_;
+  util::Vfs* vfs_;
+  util::Clock* clock_;
+  mutable util::Rng retry_rng_;
   RecoveryReport recovery_;
   std::vector<LiveSegment> segments_;
   std::map<std::int64_t, std::vector<telemetry::MetricEvent>> mem_;
@@ -132,9 +155,13 @@ class Store {
 /// Cluster-level roll-up of one channel across nodes, read from the store
 /// — the disk-backed twin of `telemetry::cluster_sum` (bit-identical on
 /// identical event streams). Per-node scans fan out across `pool`.
+/// Inherits the degraded-query contract: a lost segment shrinks the
+/// contributing-node counts instead of aborting the roll-up, and `stats`
+/// reports the damage.
 [[nodiscard]] ts::Series cluster_sum(
     const Store& store, const std::vector<machine::NodeId>& nodes,
     int channel, util::TimeRange range, util::TimeSec window = 10,
-    std::vector<double>* counts = nullptr, util::ThreadPool* pool = nullptr);
+    std::vector<double>* counts = nullptr, util::ThreadPool* pool = nullptr,
+    QueryStats* stats = nullptr);
 
 }  // namespace exawatt::store

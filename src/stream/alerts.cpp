@@ -13,6 +13,7 @@ const char* alert_kind_name(AlertKind kind) {
     case AlertKind::kPowerSwing: return "power-swing";
     case AlertKind::kThermal: return "thermal";
     case AlertKind::kSilence: return "silence";
+    case AlertKind::kIngestDrops: return "ingest-drop";
   }
   return "?";
 }
@@ -34,6 +35,11 @@ std::string Alert::describe() const {
       std::snprintf(line, sizeof line, "[%s] %s node %d silent %.0f s",
                     util::format_time(t).c_str(), raised ? "RAISE" : "clear",
                     node, value);
+      break;
+    case AlertKind::kIngestDrops:
+      std::snprintf(line, sizeof line, "[%s] %s ingest shed %.0f event(s)",
+                    util::format_time(t).c_str(), raised ? "RAISE" : "clear",
+                    value);
       break;
   }
   return line;
@@ -99,6 +105,22 @@ void AlertEngine::on_node_event(machine::NodeId node,
   if (quiet) {
     quiet = false;
     emit(AlertKind::kSilence, false, arrival_t, node, 0.0);
+  }
+}
+
+void AlertEngine::on_ingest_drops(util::TimeSec t,
+                                  std::uint64_t total_dropped) {
+  EXA_CHECK(total_dropped >= ingest_drops_seen_,
+            "ingest drop counter went backwards");
+  const std::uint64_t fresh = total_dropped - ingest_drops_seen_;
+  ingest_drops_seen_ = total_dropped;
+  if (fresh > 0 && !ingest_dropping_) {
+    ingest_dropping_ = true;
+    emit(AlertKind::kIngestDrops, true, t, -1, static_cast<double>(fresh));
+  } else if (fresh == 0 && ingest_dropping_) {
+    ingest_dropping_ = false;
+    emit(AlertKind::kIngestDrops, false, t, -1,
+         static_cast<double>(total_dropped));
   }
 }
 

@@ -16,9 +16,10 @@ namespace exawatt::stream {
 /// system's point is that engineers see these within seconds, not in the
 /// next day's batch sweep).
 enum class AlertKind : std::uint8_t {
-  kPowerSwing,  ///< cluster power edge with amplitude >= threshold
-  kThermal,     ///< GPU core temperature z-score extremity
-  kSilence,     ///< node stopped reporting telemetry
+  kPowerSwing,   ///< cluster power edge with amplitude >= threshold
+  kThermal,      ///< GPU core temperature z-score extremity
+  kSilence,      ///< node stopped reporting telemetry
+  kIngestDrops,  ///< the sharded ingest is shedding events (drop-oldest)
 };
 
 [[nodiscard]] const char* alert_kind_name(AlertKind kind);
@@ -64,6 +65,11 @@ class AlertEngine {
   void on_gpu_temp(machine::NodeId node, util::TimeSec t, double temp_c);
   /// Any event from a node (feeds the silence detector).
   void on_node_event(machine::NodeId node, util::TimeSec arrival_t);
+  /// Cumulative ingest drop count (drop-oldest evictions across shards).
+  /// Latched: raises when the counter first moves, stays active while it
+  /// keeps moving, clears on the first report with no new drops — the
+  /// paper's "pipeline must not lose samples" contract made pageable.
+  void on_ingest_drops(util::TimeSec t, std::uint64_t total_dropped);
   /// Advance the stream clock; silent nodes raise here.
   void advance(util::TimeSec now);
 
@@ -83,9 +89,11 @@ class AlertEngine {
   std::map<machine::NodeId, bool> thermal_hot_;      ///< latched per node
   std::map<machine::NodeId, util::TimeSec> last_seen_;
   std::map<machine::NodeId, bool> silent_;
+  std::uint64_t ingest_drops_seen_ = 0;
+  bool ingest_dropping_ = false;
   std::vector<Alert> log_;
-  std::array<std::size_t, 3> raised_{};
-  std::array<std::size_t, 3> active_{};
+  std::array<std::size_t, 4> raised_{};
+  std::array<std::size_t, 4> active_{};
 };
 
 }  // namespace exawatt::stream

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+#include "util/vfs.hpp"
+
+namespace exawatt::util {
+
+/// Exponential backoff with a cap and multiplicative jitter. The store
+/// uses it for transient segment/manifest write failures: the Nth retry
+/// waits roughly base * 2^(N-1) microseconds, capped, then scaled by a
+/// uniform draw in [1 - jitter, 1] so a fleet of writers desynchronizes.
+struct BackoffPolicy {
+  int max_attempts = 4;               ///< total tries, including the first
+  std::int64_t base_delay_us = 1'000;
+  std::int64_t max_delay_us = 250'000;
+  double jitter = 0.5;                ///< 0 = deterministic delays
+};
+
+/// Delay before retry number `attempt` (1-based: the wait after the
+/// attempt-th failure). Deterministic given the rng state.
+[[nodiscard]] inline std::int64_t backoff_delay_us(const BackoffPolicy& policy,
+                                                   int attempt, Rng& rng) {
+  std::int64_t delay = policy.base_delay_us;
+  for (int i = 1; i < attempt && delay < policy.max_delay_us; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, policy.max_delay_us);
+  const double scale = 1.0 - policy.jitter * rng.uniform();
+  delay = static_cast<std::int64_t>(static_cast<double>(delay) * scale);
+  return std::max<std::int64_t>(delay, 0);
+}
+
+/// Run `fn`, retrying transient VfsError per `policy`; waits go through
+/// `clock` so tests never sleep for real. Non-transient errors, other
+/// exception types and the final exhausted attempt all rethrow.
+template <typename F>
+auto retry_transient(const BackoffPolicy& policy, Clock& clock, Rng& rng,
+                     F&& fn) -> decltype(fn()) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const VfsError& e) {
+      if (!e.transient() || attempt >= policy.max_attempts) throw;
+      clock.sleep_us(backoff_delay_us(policy, attempt, rng));
+    }
+  }
+}
+
+}  // namespace exawatt::util

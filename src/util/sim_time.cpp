@@ -1,7 +1,9 @@
 #include "util/sim_time.hpp"
 
 #include <array>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 namespace exawatt::util {
 
@@ -53,6 +55,27 @@ bool in_summer_window(TimeSec t) {
   // July 24 (day 205) .. Sept 30 (day 273) of 2020, 0-based day-of-year.
   const int doy = day_of_year(t);
   return doy >= 205 && doy <= 273;
+}
+
+namespace {
+
+class SteadyClock final : public Clock {
+ public:
+  std::int64_t now_us() override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  void sleep_us(std::int64_t us) override {
+    if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+};
+
+}  // namespace
+
+Clock& Clock::steady() {
+  static SteadyClock clock;
+  return clock;
 }
 
 }  // namespace exawatt::util

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace exawatt::util {
 
@@ -55,5 +56,41 @@ struct CalendarDate {
 /// True when t falls in the paper's "summer window" used for Figures 11/12
 /// (July 24 to Sept 30, 2020).
 [[nodiscard]] bool in_summer_window(TimeSec t);
+
+/// Injectable wall-clock seam for timeout/backoff code. Production code
+/// takes a `Clock&` (defaulting to `Clock::steady()`); tests install a
+/// `ManualClock` so retry policies and I/O delays run deterministically
+/// without a single real sleep anywhere in the suite.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic microseconds; origin is implementation-defined.
+  [[nodiscard]] virtual std::int64_t now_us() = 0;
+  virtual void sleep_us(std::int64_t us) = 0;
+
+  /// Process-global monotonic clock backed by std::chrono::steady_clock.
+  static Clock& steady();
+};
+
+/// Test clock: `now_us` advances only through `sleep_us`/`advance_us`,
+/// and every sleep is recorded for assertions.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::int64_t start_us = 0) : now_us_(start_us) {}
+
+  [[nodiscard]] std::int64_t now_us() override { return now_us_; }
+  void sleep_us(std::int64_t us) override {
+    sleeps_.push_back(us);
+    advance_us(us);
+  }
+  void advance_us(std::int64_t us) { now_us_ += us; }
+  [[nodiscard]] const std::vector<std::int64_t>& sleeps() const {
+    return sleeps_;
+  }
+
+ private:
+  std::int64_t now_us_;
+  std::vector<std::int64_t> sleeps_;
+};
 
 }  // namespace exawatt::util

@@ -1,0 +1,113 @@
+#include "util/vfs.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace exawatt::util {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+class RealFile final : public VfsFile {
+ public:
+  explicit RealFile(const std::string& path)
+      : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+    if (!out_) throw VfsError("vfs: cannot create " + path_);
+  }
+
+  void write(std::span<const std::uint8_t> bytes) override {
+    out_.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    if (!out_.good()) throw VfsError("vfs: short write to " + path_);
+  }
+
+  void close() override {
+    out_.flush();
+    if (!out_.good()) throw VfsError("vfs: flush failed for " + path_);
+    out_.close();
+    if (out_.fail()) throw VfsError("vfs: close failed for " + path_);
+  }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace
+
+std::unique_ptr<VfsFile> RealVfs::create(const std::string& path) {
+  return std::make_unique<RealFile>(path);
+}
+
+std::vector<std::uint8_t> RealVfs::read_range(const std::string& path,
+                                              std::uint64_t offset,
+                                              std::size_t bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw VfsError("vfs: cannot open " + path);
+  in.seekg(static_cast<std::streamoff>(offset));
+  std::vector<std::uint8_t> out(bytes);
+  in.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(bytes));
+  if (!in.good() || static_cast<std::size_t>(in.gcount()) != bytes) {
+    throw VfsError("vfs: short read of " + std::to_string(bytes) +
+                   " bytes at offset " + std::to_string(offset) + ": " + path);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> RealVfs::read_all(const std::string& path) {
+  return read_range(path, 0, static_cast<std::size_t>(size(path)));
+}
+
+std::uint64_t RealVfs::size(const std::string& path) {
+  std::error_code ec;
+  const auto n = fs::file_size(path, ec);
+  if (ec) throw VfsError("vfs: cannot stat " + path + ": " + ec.message());
+  return n;
+}
+
+bool RealVfs::exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec) && !ec;
+}
+
+void RealVfs::rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    throw VfsError("vfs: rename " + from + " -> " + to + ": " + ec.message());
+  }
+}
+
+void RealVfs::remove(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) throw VfsError("vfs: remove " + path + ": " + ec.message());
+}
+
+void RealVfs::mkdirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) throw VfsError("vfs: mkdirs " + path + ": " + ec.message());
+}
+
+std::vector<std::string> RealVfs::list(const std::string& dir) {
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file()) names.push_back(it->path().filename().string());
+  }
+  if (ec) throw VfsError("vfs: list " + dir + ": " + ec.message());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Vfs& Vfs::real() {
+  static RealVfs vfs;
+  return vfs;
+}
+
+}  // namespace exawatt::util

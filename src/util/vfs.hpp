@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exawatt::util {
+
+/// I/O error raised by a `Vfs` implementation. `transient()` marks
+/// failures a caller may sensibly retry (EINTR-ish hiccups, injected
+/// transient faults); ENOSPC, corruption and simulated crashes are
+/// permanent. Higher layers (the store) translate this into their own
+/// error type at the API boundary.
+class VfsError : public std::runtime_error {
+ public:
+  explicit VfsError(const std::string& msg, bool transient = false)
+      : std::runtime_error(msg), transient_(transient) {}
+  [[nodiscard]] bool transient() const { return transient_; }
+
+ private:
+  bool transient_;
+};
+
+/// A file being written. Every `write` either persists all bytes or
+/// throws — there is no silent short write anywhere behind this seam.
+class VfsFile {
+ public:
+  virtual ~VfsFile() = default;
+  virtual void write(std::span<const std::uint8_t> bytes) = 0;
+  /// Flush, verify the stream state and close; throws VfsError if any
+  /// buffered byte failed to reach the file.
+  virtual void close() = 0;
+
+  void write_text(std::string_view text) {
+    write({reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
+  }
+};
+
+/// Minimal virtual-filesystem seam the on-disk store does all its I/O
+/// through. Production uses `Vfs::real()`; tests wrap it in a
+/// `faultfs::FaultVfs` to inject short writes, ENOSPC, bit flips,
+/// crashes and delays deterministically while the system runs.
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Create/truncate a file for writing.
+  [[nodiscard]] virtual std::unique_ptr<VfsFile> create(
+      const std::string& path) = 0;
+  /// Read exactly `bytes` bytes at `offset`; throws on short read.
+  [[nodiscard]] virtual std::vector<std::uint8_t> read_range(
+      const std::string& path, std::uint64_t offset, std::size_t bytes) = 0;
+  /// Read the whole file.
+  [[nodiscard]] virtual std::vector<std::uint8_t> read_all(
+      const std::string& path) = 0;
+  [[nodiscard]] virtual std::uint64_t size(const std::string& path) = 0;
+  [[nodiscard]] virtual bool exists(const std::string& path) = 0;
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+  virtual void remove(const std::string& path) = 0;
+  virtual void mkdirs(const std::string& path) = 0;
+  /// Names (not paths) of the regular files in `dir`, sorted.
+  [[nodiscard]] virtual std::vector<std::string> list(
+      const std::string& dir) = 0;
+
+  /// The process-global passthrough to the actual filesystem.
+  static Vfs& real();
+};
+
+/// Direct std::filesystem / fstream implementation with every stream
+/// operation checked — the repaired home of what used to be unchecked
+/// ofstream/ifstream calls scattered through src/store.
+class RealVfs final : public Vfs {
+ public:
+  [[nodiscard]] std::unique_ptr<VfsFile> create(
+      const std::string& path) override;
+  [[nodiscard]] std::vector<std::uint8_t> read_range(
+      const std::string& path, std::uint64_t offset,
+      std::size_t bytes) override;
+  [[nodiscard]] std::vector<std::uint8_t> read_all(
+      const std::string& path) override;
+  [[nodiscard]] std::uint64_t size(const std::string& path) override;
+  [[nodiscard]] bool exists(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& path) override;
+  void mkdirs(const std::string& path) override;
+  [[nodiscard]] std::vector<std::string> list(const std::string& dir) override;
+};
+
+}  // namespace exawatt::util

@@ -10,6 +10,7 @@
 #include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/parallel.hpp"
+#include "util/retry.hpp"
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
 #include "util/text_table.hpp"
@@ -303,6 +304,99 @@ TEST(Csv, EscapesSpecialFields) {
   EXPECT_EQ(util::csv_escape("plain"), "plain");
   EXPECT_EQ(util::csv_escape("a,b"), "\"a,b\"");
   EXPECT_EQ(util::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+// ----------------------------------------------------- clock and backoff
+
+TEST(ManualClock, AdvancesOnlyThroughSleepsAndRecordsThem) {
+  util::ManualClock clock(100);
+  EXPECT_EQ(clock.now_us(), 100);
+  clock.sleep_us(50);
+  clock.advance_us(25);
+  clock.sleep_us(5);
+  EXPECT_EQ(clock.now_us(), 180);
+  ASSERT_EQ(clock.sleeps().size(), 2u);
+  EXPECT_EQ(clock.sleeps()[0], 50);
+  EXPECT_EQ(clock.sleeps()[1], 5);
+}
+
+TEST(SteadyClock, IsMonotonic) {
+  auto& clock = util::Clock::steady();
+  const auto a = clock.now_us();
+  const auto b = clock.now_us();
+  EXPECT_GE(b, a);
+}
+
+TEST(Backoff, DoublesFromBaseAndCaps) {
+  util::BackoffPolicy policy;
+  policy.base_delay_us = 1'000;
+  policy.max_delay_us = 6'000;
+  policy.jitter = 0.0;  // deterministic delays
+  util::Rng rng(1);
+  EXPECT_EQ(util::backoff_delay_us(policy, 1, rng), 1'000);
+  EXPECT_EQ(util::backoff_delay_us(policy, 2, rng), 2'000);
+  EXPECT_EQ(util::backoff_delay_us(policy, 3, rng), 4'000);
+  EXPECT_EQ(util::backoff_delay_us(policy, 4, rng), 6'000);  // capped
+  EXPECT_EQ(util::backoff_delay_us(policy, 9, rng), 6'000);
+}
+
+TEST(Backoff, JitterStaysWithinTheScaledBand) {
+  util::BackoffPolicy policy;
+  policy.base_delay_us = 10'000;
+  policy.max_delay_us = 10'000;
+  policy.jitter = 0.5;
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto d = util::backoff_delay_us(policy, 1, rng);
+    EXPECT_GE(d, 5'000);   // scale = 1 - 0.5 * U[0,1) > 0.5
+    EXPECT_LE(d, 10'000);
+  }
+}
+
+TEST(Retry, TransientFailuresRetryOnTheInjectedClock) {
+  util::BackoffPolicy policy;
+  policy.max_attempts = 4;
+  util::ManualClock clock;
+  util::Rng rng(3);
+  int calls = 0;
+  const int got = util::retry_transient(policy, clock, rng, [&] {
+    if (++calls < 3) throw util::VfsError("blip", /*transient=*/true);
+    return 41 + 1;
+  });
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(clock.sleeps().size(), 2u);  // one wait per failed attempt
+}
+
+TEST(Retry, NonTransientErrorsRethrowImmediately) {
+  util::ManualClock clock;
+  util::Rng rng(3);
+  int calls = 0;
+  EXPECT_THROW(util::retry_transient(util::BackoffPolicy{}, clock, rng,
+                                     [&]() -> int {
+                                       ++calls;
+                                       throw util::VfsError("disk gone");
+                                     }),
+               util::VfsError);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(clock.sleeps().empty());
+}
+
+TEST(Retry, ExhaustedAttemptsRethrowTheLastError) {
+  util::BackoffPolicy policy;
+  policy.max_attempts = 3;
+  util::ManualClock clock;
+  util::Rng rng(3);
+  int calls = 0;
+  EXPECT_THROW(
+      util::retry_transient(policy, clock, rng,
+                            [&]() -> int {
+                              ++calls;
+                              throw util::VfsError("still down", true);
+                            }),
+      util::VfsError);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(clock.sleeps().size(), 2u);
 }
 
 }  // namespace

@@ -28,6 +28,13 @@
 //   exawatt_sim storecheck --nodes 12 --minutes 6 --store DIR
 //       round-trip gate (the `store_roundtrip` ctest): simulate, persist,
 //       reopen, and require store/archive/streaming-replay bit-parity.
+//
+//   exawatt_sim faultcheck --nodes 6 --minutes 4 --store DIR
+//       chaos gate (the `faultcheck` ctest): crash the store at every
+//       write point in turn, reopen, and require that recovery loses at
+//       most the unsealed tail (surviving samples are a subset of the
+//       reference feed, cluster_sum bit-matches a sub-archive built from
+//       the survivors), then exercise the degraded-query path.
 
 #include <algorithm>
 #include <cstdio>
@@ -37,6 +44,7 @@
 #include <string>
 
 #include "core/edges.hpp"
+#include "faultfs/fault.hpp"
 #include "core/failure_analysis.hpp"
 #include "core/job_features.hpp"
 #include "core/pue_analysis.hpp"
@@ -66,7 +74,10 @@ int usage() {
       "  report   --nodes N --days D --seed S             in-memory report\n"
       "  stream   --nodes N --minutes M --seed S --shards K --refresh R\n"
       "                                                   live analytics demo\n"
-      "  storecheck --nodes N --minutes M --store DIR     store parity gate\n");
+      "  storecheck --nodes N --minutes M --store DIR     store parity gate\n"
+      "  faultcheck --nodes N --minutes M --store DIR [--stride K]\n"
+      "                                                   crash-at-every-write"
+      " gate\n");
   return 2;
 }
 
@@ -365,6 +376,8 @@ int cmd_stream(const util::Flags& flags) {
     ingest.drain(
         [&](const telemetry::Collector::Arrival& a) { engine.ingest(a); });
     engine.advance_to(now);
+    // Back-pressure watchdog: shed events page like any other alert.
+    engine.alerts().on_ingest_drops(now, ingest.total_dropped());
     if (refresh > 0 && (now - window.begin + 1) % refresh == 0) {
       std::printf("%s\n", engine.render().c_str());
     }
@@ -492,6 +505,199 @@ int cmd_storecheck(const util::Flags& flags) {
   return ok ? 0 : 1;
 }
 
+/// True when every sample of `part` appears in `full` with an identical
+/// timestamp and bit-identical value (both inputs time-sorted).
+bool is_subset(const std::vector<ts::Sample>& part,
+               const std::vector<ts::Sample>& full) {
+  std::size_t j = 0;
+  for (const auto& s : part) {
+    while (j < full.size() && full[j].t < s.t) ++j;
+    if (j >= full.size() || full[j].t != s.t || full[j].value != s.value) {
+      return false;
+    }
+    ++j;
+  }
+  return true;
+}
+
+/// The `faultcheck` ctest gate: a scripted chaos schedule against the
+/// on-disk store. One reference feed is captured, then the same batches
+/// are replayed with a simulated process death at every write point in
+/// turn; each survivor store must reopen to a strict subset of the
+/// reference (never a wrong value) whose cluster roll-up bit-matches a
+/// sub-archive rebuilt from exactly the surviving events. Finishes with a
+/// lost-segment degraded-query probe. Exits non-zero on any violation.
+int cmd_faultcheck(const util::Flags& flags) {
+  const auto n = static_cast<int>(flags.get_int("nodes", 6));
+  const double minutes = flags.get_number("minutes", 4.0);
+  const std::string dir = flags.get("store", "faultcheck_data");
+  const auto stride =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(
+          1, flags.get_int("stride", 1)));
+
+  const util::TimeSec start = util::kHour;
+  const util::TimeRange window{
+      start, start + static_cast<util::TimeSec>(minutes * 60.0)};
+  core::SimulationConfig config;
+  config.scale = machine::MachineScale::small(n);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  config.range = {0, window.end + util::kHour};
+  core::Simulation sim(config);
+  TelemetryRig rig(sim, config, window, config.scale.nodes);
+
+  // One reference run: capture the batch stream so every chaos replay
+  // feeds byte-identical input, and keep the in-memory archive as truth.
+  std::vector<std::vector<telemetry::MetricEvent>> batches;
+  rig.pipeline.set_batch_sink(
+      [&](const std::vector<telemetry::MetricEvent>& batch) {
+        batches.push_back(batch);
+      });
+  const auto feed_stats = rig.pipeline.run(window);
+  const auto& archive = rig.pipeline.archive();
+  const int channel =
+      telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
+
+  store::StoreOptions base_options;
+  base_options.segment_events = 1 << 13;  // several seals even at N=6
+
+  // Replay the captured batches into `root` through `vfs`; false when an
+  // injected fault killed the run before the final flush.
+  auto feed = [&](const std::string& root, util::Vfs& vfs) {
+    std::filesystem::remove_all(root);
+    store::StoreOptions opts = base_options;
+    opts.vfs = &vfs;
+    try {
+      store::Store store = store::Store::open(root, opts);
+      for (const auto& batch : batches) store.append(batch);
+      store.flush();
+      return true;
+    } catch (const std::exception&) {
+      return false;  // simulated process death; reopen happens below
+    }
+  };
+
+  // Verify one survivor store against the reference archive. Returns the
+  // number of violations printed.
+  auto verify_survivor = [&](const std::string& root,
+                             const std::string& what) {
+    std::size_t bad = 0;
+    store::Store store = store::Store::open(root, base_options);
+    telemetry::Archive sub;
+    std::map<std::int64_t, std::vector<telemetry::MetricEvent>> by_day;
+    for (const telemetry::MetricId id : store.metrics()) {
+      const auto disk = store.query(id, window);
+      if (!is_subset(disk, archive.query(id, window))) {
+        std::printf("FAIL %s: metric %u has samples the feed never "
+                    "produced\n",
+                    what.c_str(), id);
+        ++bad;
+      }
+      for (const auto& s : disk) {
+        by_day[s.t / util::kDay].push_back(
+            {id, s.t, static_cast<std::int32_t>(s.value)});
+      }
+    }
+    for (auto& [day, events] : by_day) sub.append(std::move(events));
+
+    // The invariant from the recovery contract: the store's roll-up must
+    // equal the in-memory aggregator over exactly the surviving events.
+    const auto disk_sum =
+        store::cluster_sum(store, rig.nodes, channel, window);
+    const auto sub_sum =
+        telemetry::cluster_sum(sub, rig.nodes, channel, window);
+    const auto [same, nw] = parity(sub_sum, disk_sum);
+    if (same != nw || disk_sum.size() != sub_sum.size()) {
+      std::printf("FAIL %s: cluster_sum diverges from the surviving "
+                  "events (%zu/%zu windows)\n",
+                  what.c_str(), same, nw);
+      ++bad;
+    }
+    return bad;
+  };
+
+  // Rehearsal: a fault-free run through the (counting) FaultVfs measures
+  // how many write points the full feed has and must verify clean.
+  faultfs::FaultVfs counter(util::Vfs::real(), {});
+  if (!feed(dir, counter)) {
+    std::printf("FAIL: fault-free rehearsal run threw\n");
+    return 1;
+  }
+  const std::uint64_t write_points = counter.stats().write_ops;
+  std::size_t violations = verify_survivor(dir, "rehearsal");
+  std::printf("reference feed: %llu events, %zu batches, %llu write "
+              "points\n",
+              static_cast<unsigned long long>(feed_stats.events),
+              batches.size(),
+              static_cast<unsigned long long>(write_points));
+
+  // The sweep: simulated process death at write point k, reopen on the
+  // real filesystem, verify the survivors.
+  std::size_t crashes = 0;
+  for (std::uint64_t k = 0; k < write_points; k += stride) {
+    faultfs::FaultVfs chaos(util::Vfs::real(),
+                            faultfs::FaultPlan().crash_at_write(k));
+    if (feed(dir, chaos)) {
+      std::printf("FAIL: crash scheduled at write %llu never fired\n",
+                  static_cast<unsigned long long>(k));
+      ++violations;
+      continue;
+    }
+    ++crashes;
+    violations += verify_survivor(
+        dir, "crash@" + std::to_string(static_cast<unsigned long long>(k)));
+  }
+  std::printf("crash sweep: %zu kill points injected (stride %llu), "
+              "%zu violations\n",
+              crashes, static_cast<unsigned long long>(stride), violations);
+
+  // Degraded-query probe: lose a sealed segment under a live store; the
+  // query must shrink and flag, never throw.
+  {
+    faultfs::FaultVfs clean(util::Vfs::real(), {});
+    if (!feed(dir, clean)) {
+      std::printf("FAIL: clean run for the degraded probe threw\n");
+      return 1;
+    }
+    store::Store store = store::Store::open(dir, base_options);
+    std::string victim;
+    for (const std::string& name : util::Vfs::real().list(dir)) {
+      if (name.ends_with(".seg")) {
+        victim = name;
+        break;
+      }
+    }
+    if (victim.empty() || store.sealed_segments() == 0) {
+      std::printf("FAIL: degraded probe found no sealed segment to lose\n");
+      ++violations;
+    } else {
+      util::Vfs::real().remove(dir + "/" + victim);
+      store::QueryStats stats;
+      try {
+        const auto sum = store::cluster_sum(store, rig.nodes, channel,
+                                            window, 10, nullptr, nullptr,
+                                            &stats);
+        if (!stats.degraded()) {
+          std::printf("FAIL: query over a lost segment did not report "
+                      "degraded\n");
+          ++violations;
+        } else {
+          std::printf("degraded probe: lost %s, roll-up served %zu "
+                      "windows with %zu segment(s) flagged lost\n",
+                      victim.c_str(), sum.size(), stats.lost_segments);
+        }
+      } catch (const std::exception& e) {
+        std::printf("FAIL: degraded query threw instead of degrading: "
+                    "%s\n",
+                    e.what());
+        ++violations;
+      }
+    }
+  }
+
+  std::printf("faultcheck: %s\n", violations == 0 ? "PASS" : "FAIL");
+  return violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -502,6 +708,7 @@ int main(int argc, char** argv) {
     if (flags.command() == "report") return cmd_report(flags);
     if (flags.command() == "stream") return cmd_stream(flags);
     if (flags.command() == "storecheck") return cmd_storecheck(flags);
+    if (flags.command() == "faultcheck") return cmd_faultcheck(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
