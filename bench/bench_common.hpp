@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -36,6 +37,46 @@ inline core::SimulationConfig standard_config(int nodes,
   config.range = {start, start + duration};
   return config;
 }
+
+/// Minimal machine-readable artifact: a flat JSON object of the headline
+/// numbers a bench prints, written next to wherever the harness runs it
+/// (scripts/reproduce_all.sh collects BENCH_*.json from the repo root).
+/// Keys keep insertion order; numbers use enough digits to round-trip.
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return raw(key, buf);
+  }
+  JsonObject& add(const std::string& key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& add(const std::string& key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  JsonObject& add(const std::string& key, const std::string& v) {
+    return raw(key, "\"" + v + "\"");
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{%s\n}\n", body_.c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  JsonObject& raw(const std::string& key, const std::string& value) {
+    body_ += body_.empty() ? "\n" : ",\n";
+    body_ += "  \"" + key + "\": " + value;
+    return *this;
+  }
+
+  std::string body_;
+};
 
 inline void print_header(const char* artifact, const char* claim) {
   std::printf("==================================================================\n");

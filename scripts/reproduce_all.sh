@@ -18,11 +18,22 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 grep -q "sustained: MET" bench_stream_output.txt
 
 # On-disk store next: persisting the same feed must beat sim-real-time
-# (>= 462,600 events/s written through seal+fsync-free path).
+# (>= 462,600 events/s written through seal+fsync-free path), and the
+# decoded-block cache must make repeated queries >= 5x cheaper.
 ./build/bench/bench_store 2>&1 | tee bench_store_output.txt
 grep -q "store write: MET" bench_store_output.txt
+grep -q "cache-hit repeated query: .* MET" bench_store_output.txt
+
+# Codec fast path: the bulk varint decode tier must be >= 2x the scalar
+# reference on the smooth-telemetry batch (bit-identical bytes).
+./build/bench/bench_codec 2>&1 | tee bench_codec_output.txt
+grep -q "decode fast path: .* MET" bench_codec_output.txt
+
+# Machine-readable artifacts for trend tracking.
+test -s BENCH_store.json
+test -s BENCH_codec.json
 
 for b in build/bench/*; do
-  case "$b" in *bench_stream_ingest|*bench_store) continue ;; esac
+  case "$b" in *bench_stream_ingest|*bench_store|*bench_codec) continue ;; esac
   [ -x "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt

@@ -1,0 +1,63 @@
+#include "store/block_cache.hpp"
+
+#include <algorithm>
+
+namespace exawatt::store {
+
+BlockCache::BlockCache(std::size_t byte_budget, std::size_t shards)
+    : budget_(byte_budget),
+      shard_budget_(byte_budget / std::max<std::size_t>(1, shards)),
+      shards_(std::max<std::size_t>(1, shards)) {}
+
+BlockCache::Columns BlockCache::find(const Key& key) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->columns;
+}
+
+void BlockCache::insert(const Key& key, Columns columns) {
+  if (columns == nullptr) return;
+  const std::size_t bytes = entry_bytes(*columns);
+  if (bytes > shard_budget_) return;  // would evict the whole shard
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  shard.lru.push_front({key, std::move(columns), bytes});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += bytes;
+  ++shard.insertions;
+  while (shard.bytes > shard_budget_) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+CacheCounters BlockCache::counters() const {
+  CacheCounters total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.insertions += shard.insertions;
+    total.evictions += shard.evictions;
+    total.bytes += shard.bytes;
+    total.entries += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace exawatt::store

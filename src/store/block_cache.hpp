@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+#include <unordered_map>
+
+#include "telemetry/codec.hpp"
+
+namespace exawatt::store {
+
+/// Lifetime totals of one BlockCache (all shards aggregated). Per-query
+/// attribution lives in QueryStats; these are the operator-facing gauges
+/// the bench/tests read.
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;      ///< lookups that found nothing
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes = 0;       ///< decoded payload bytes resident
+  std::uint64_t entries = 0;
+};
+
+/// Sharded LRU cache of decoded segment blocks, keyed by (segment id,
+/// block index, directory CRC). Dashboard- and replay-style workloads
+/// re-scan the same time windows over and over; a hit replaces block
+/// read + CRC + varint decode with a binary search over already-decoded
+/// columns. The CRC in the key makes entries self-invalidating: recovery
+/// rewrites, re-listed segments, or any other content change produce a
+/// different CRC and therefore a different key, so a stale entry can
+/// never be served — it just ages out of the LRU.
+///
+/// Eviction is by byte budget (decoded footprint, approximated as 16 B
+/// per event plus a fixed per-entry overhead), least-recently-used first,
+/// per shard. Shards keep the lock uncontended under the store's
+/// thread-pool fan-out. Entries are shared_ptr-owned, so an eviction
+/// never invalidates columns a concurrent scan is still reading.
+class BlockCache {
+ public:
+  struct Key {
+    std::uint64_t segment = 0;  ///< segment identity (path hash)
+    std::uint32_t block = 0;    ///< index in the segment's directory
+    std::uint32_t crc = 0;      ///< directory CRC of the encoded bytes
+    bool operator==(const Key&) const = default;
+  };
+  using Columns = std::shared_ptr<const telemetry::DecodeScratch>;
+
+  explicit BlockCache(std::size_t byte_budget, std::size_t shards = 8);
+
+  /// The decoded columns, or nullptr on miss. A hit refreshes recency.
+  [[nodiscard]] Columns find(const Key& key);
+
+  /// Insert decoded columns and evict LRU entries over budget. An entry
+  /// alone exceeding its shard's budget is not cached. Re-inserting a
+  /// live key replaces the entry.
+  void insert(const Key& key, Columns columns);
+
+  [[nodiscard]] std::size_t byte_budget() const { return budget_; }
+  [[nodiscard]] CacheCounters counters() const;
+
+  /// Budget accounting for one entry.
+  [[nodiscard]] static std::size_t entry_bytes(
+      const telemetry::DecodeScratch& columns) {
+    return columns.footprint_bytes() + kEntryOverhead;
+  }
+
+ private:
+  static constexpr std::size_t kEntryOverhead = 64;
+
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = k.segment;
+      h ^= (static_cast<std::uint64_t>(k.block) << 32 | k.crc) +
+           0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Entry {
+    Key key;
+    Columns columns;
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  [[nodiscard]] Shard& shard_of(const Key& key) {
+    return shards_[KeyHash{}(key) % shards_.size()];
+  }
+
+  std::size_t budget_;
+  std::size_t shard_budget_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace exawatt::store

@@ -63,6 +63,11 @@ struct BlockMeta {
 struct QueryStats {
   std::size_t lost_segments = 0;  ///< segments that vanished or won't open
   std::size_t lost_blocks = 0;    ///< blocks skipped (I/O error or bad CRC)
+  /// Decoded-block cache attribution for this query: blocks served from
+  /// already-decoded columns vs blocks that had to hit disk + decode.
+  /// Purely informational — does not affect degraded().
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 
   [[nodiscard]] bool degraded() const {
     return lost_segments + lost_blocks > 0;
@@ -70,6 +75,8 @@ struct QueryStats {
   void merge(const QueryStats& o) {
     lost_segments += o.lost_segments;
     lost_blocks += o.lost_blocks;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
   }
 };
 

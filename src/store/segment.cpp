@@ -3,9 +3,40 @@
 #include <algorithm>
 
 #include "telemetry/codec.hpp"
+#include "util/check.hpp"
 #include "util/crc32.hpp"
 
 namespace exawatt::store {
+
+namespace {
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Append the cached columns' samples with t in `range` — the block is
+/// single-metric and time-sorted, so the window is two binary searches.
+void append_columns(const telemetry::DecodeScratch& cols,
+                    util::TimeRange range, std::vector<ts::Sample>& out) {
+  const auto& times = cols.times;
+  const auto lo = static_cast<std::size_t>(
+      std::lower_bound(times.begin(), times.end(), range.begin) -
+      times.begin());
+  const auto hi = static_cast<std::size_t>(
+      std::lower_bound(times.begin() + static_cast<std::ptrdiff_t>(lo),
+                       times.end(), range.end) -
+      times.begin());
+  for (std::size_t i = lo; i < hi; ++i) {
+    out.push_back({times[i], static_cast<double>(cols.values[i])});
+  }
+}
+
+}  // namespace
 
 // ---------------------------------------------------------- SegmentWriter
 
@@ -62,9 +93,9 @@ SegmentMeta SegmentWriter::seal() {
     while (run_end < buffer_.size() && buffer_[run_end].id == id) ++run_end;
     for (std::size_t b = i; b < run_end; b += block_events_) {
       const std::size_t e = std::min(b + block_events_, run_end);
-      const telemetry::EncodedBlock encoded = telemetry::encode_events(
-          {buffer_.begin() + static_cast<std::ptrdiff_t>(b),
-           buffer_.begin() + static_cast<std::ptrdiff_t>(e)});
+      // The buffer was just sorted: encode each chunk in place, no copy.
+      const telemetry::EncodedBlock encoded = telemetry::encode_events_sorted(
+          {buffer_.data() + b, e - b});
       BlockMeta bm;
       bm.id = id;
       bm.offset = offset;
@@ -160,9 +191,35 @@ SegmentReader::SegmentReader(std::string path, util::Vfs* vfs)
     first = false;
   }
   bounds_ = first ? util::TimeRange{0, 0} : util::TimeRange{lo, hi + 1};
+  cache_segment_id_ = fnv1a64(path_);
+
+  // Per-metric lookup index: directory indices stably sorted by metric id
+  // (sealed segments already group blocks by metric, so this is usually a
+  // no-op permutation). Scans binary-search this instead of walking every
+  // directory entry — thousands per segment at BMC metric counts.
+  by_id_.resize(blocks_.size());
+  for (std::uint32_t i = 0; i < by_id_.size(); ++i) by_id_[i] = i;
+  std::stable_sort(by_id_.begin(), by_id_.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return blocks_[a].id < blocks_[b].id;
+                   });
 }
 
-std::vector<telemetry::MetricEvent> SegmentReader::read_block(
+std::span<const std::uint32_t> SegmentReader::blocks_of(
+    telemetry::MetricId id) const {
+  const auto lo = std::lower_bound(by_id_.begin(), by_id_.end(), id,
+                                   [&](std::uint32_t i, telemetry::MetricId v) {
+                                     return blocks_[i].id < v;
+                                   });
+  const auto hi = std::upper_bound(lo, by_id_.end(), id,
+                                   [&](telemetry::MetricId v, std::uint32_t i) {
+                                     return v < blocks_[i].id;
+                                   });
+  return {by_id_.data() + (lo - by_id_.begin()),
+          static_cast<std::size_t>(hi - lo)};
+}
+
+telemetry::EncodedBlock SegmentReader::read_block_bytes(
     const BlockMeta& block) const {
   telemetry::EncodedBlock encoded;
   encoded.events = block.events;
@@ -178,11 +235,51 @@ std::vector<telemetry::MetricEvent> SegmentReader::read_block(
                      std::to_string(block.id) + ", offset " +
                      std::to_string(block.offset) + "): " + path_);
   }
-  auto events = telemetry::decode_events(encoded);
+  return encoded;
+}
+
+std::vector<telemetry::MetricEvent> SegmentReader::read_block(
+    const BlockMeta& block) const {
+  const telemetry::EncodedBlock encoded = read_block_bytes(block);
+  std::vector<telemetry::MetricEvent> events;
+  try {
+    events = telemetry::decode_events(encoded);
+  } catch (const util::CheckError& e) {
+    // CRC passed but the stream is malformed (colliding corruption):
+    // surface it as store damage so degraded readers can skip the block.
+    throw StoreError(std::string("segment: block decode failed (") +
+                     e.what() + "): " + path_);
+  }
   if (events.size() != block.events) {
     throw StoreError("segment: block decoded to wrong event count: " + path_);
   }
   return events;
+}
+
+BlockCache::Columns SegmentReader::cached_block(BlockCache& cache,
+                                                std::size_t index,
+                                                QueryStats* stats) const {
+  const BlockMeta& block = blocks_[index];
+  const BlockCache::Key key{cache_segment_id_,
+                            static_cast<std::uint32_t>(index), block.crc};
+  if (auto hit = cache.find(key)) {
+    if (stats != nullptr) ++stats->cache_hits;
+    return hit;
+  }
+  if (stats != nullptr) ++stats->cache_misses;
+  const telemetry::EncodedBlock encoded = read_block_bytes(block);
+  auto cols = std::make_shared<telemetry::DecodeScratch>();
+  try {
+    telemetry::decode_events_into(encoded, *cols);
+  } catch (const util::CheckError& e) {
+    throw StoreError(std::string("segment: block decode failed (") +
+                     e.what() + "): " + path_);
+  }
+  if (cols->size() != block.events) {
+    throw StoreError("segment: block decoded to wrong event count: " + path_);
+  }
+  cache.insert(key, cols);
+  return cols;
 }
 
 bool SegmentReader::note_if_vanished(QueryStats& stats) const {
@@ -191,48 +288,140 @@ bool SegmentReader::note_if_vanished(QueryStats& stats) const {
   return true;
 }
 
-void SegmentReader::scan(telemetry::MetricId id, util::TimeRange range,
-                         std::vector<ts::Sample>& out,
-                         QueryStats* stats) const {
-  if (stats != nullptr && note_if_vanished(*stats)) return;
-  for (const auto& b : blocks_) {
-    if (b.id != id || !block_overlaps(b, range)) continue;
-    std::vector<telemetry::MetricEvent> events;
+void SegmentReader::scan_block_into(std::size_t index, util::TimeRange range,
+                                    std::vector<ts::Sample>& out,
+                                    QueryStats* stats,
+                                    BlockCache* cache) const {
+  const BlockMeta& block = blocks_[index];
+  const std::size_t mark = out.size();
+  try {
+    if (cache != nullptr) {
+      append_columns(*cached_block(*cache, index, stats), range, out);
+      return;
+    }
+    const telemetry::EncodedBlock encoded = read_block_bytes(block);
+    std::size_t decoded = 0;
     try {
-      events = read_block(b);
-    } catch (const StoreError&) {
-      if (stats == nullptr) throw;
-      ++stats->lost_blocks;
-      continue;
+      decoded = telemetry::decode_filter_into(encoded, block.id, range, out);
+    } catch (const util::CheckError& e) {
+      throw StoreError(std::string("segment: block decode failed (") +
+                       e.what() + "): " + path_);
     }
-    for (const auto& ev : events) {
-      if (ev.t >= range.begin && ev.t < range.end) {
-        out.push_back({ev.t, static_cast<double>(ev.value)});
-      }
+    if (decoded != block.events) {
+      throw StoreError("segment: block decoded to wrong event count: " +
+                       path_);
     }
+  } catch (const StoreError&) {
+    // Drop whatever the damaged block managed to append: degraded results
+    // hold only samples from blocks that validated end to end.
+    out.resize(mark);
+    if (stats == nullptr) throw;
+    ++stats->lost_blocks;
+  }
+}
+
+void SegmentReader::scan(telemetry::MetricId id, util::TimeRange range,
+                         std::vector<ts::Sample>& out, QueryStats* stats,
+                         BlockCache* cache) const {
+  if (stats != nullptr && note_if_vanished(*stats)) return;
+  for (const std::uint32_t i : blocks_of(id)) {
+    if (!block_overlaps(blocks_[i], range)) continue;
+    scan_block_into(i, range, out, stats, cache);
   }
 }
 
 void SegmentReader::scan_set(
     const std::unordered_set<telemetry::MetricId>& ids, util::TimeRange range,
     std::map<telemetry::MetricId, std::vector<ts::Sample>>& out,
-    QueryStats* stats) const {
+    QueryStats* stats, BlockCache* cache) const {
   if (stats != nullptr && note_if_vanished(*stats)) return;
-  for (const auto& b : blocks_) {
-    if (!block_overlaps(b, range) || ids.find(b.id) == ids.end()) continue;
-    std::vector<telemetry::MetricEvent> events;
+  for (const telemetry::MetricId id : ids) {
+    for (const std::uint32_t i : blocks_of(id)) {
+      if (!block_overlaps(blocks_[i], range)) continue;
+      scan_block_into(i, range, out[id], stats, cache);
+    }
+  }
+}
+
+void SegmentReader::scan_sum(telemetry::MetricId id, util::TimeRange range,
+                             util::TimeSec window, std::span<double> sums,
+                             std::span<std::uint64_t> counts,
+                             QueryStats* stats, BlockCache* cache) const {
+  EXA_CHECK(window > 0, "scan_sum window must be positive");
+  const auto n_windows =
+      static_cast<std::size_t>((range.duration() + window - 1) / window);
+  EXA_CHECK(sums.size() >= n_windows && counts.size() >= n_windows,
+            "scan_sum grid spans too small for range/window");
+  if (stats != nullptr && note_if_vanished(*stats)) return;
+
+  // Per-block staging for the fused path: a block that throws mid-decode
+  // is discarded whole, so degraded grids never carry partial sums.
+  std::vector<double> block_sum;
+  std::vector<std::uint64_t> block_cnt;
+
+  for (const std::uint32_t i : blocks_of(id)) {
+    const BlockMeta& b = blocks_[i];
+    if (!block_overlaps(b, range)) continue;
     try {
-      events = read_block(b);
+      if (cache != nullptr) {
+        const auto cols = cached_block(*cache, i, stats);
+        const auto& times = cols->times;
+        const auto lo = static_cast<std::size_t>(
+            std::lower_bound(times.begin(), times.end(), range.begin) -
+            times.begin());
+        const auto hi = static_cast<std::size_t>(
+            std::lower_bound(times.begin() + static_cast<std::ptrdiff_t>(lo),
+                             times.end(), range.end) -
+            times.begin());
+        if (lo < hi) {
+          // Times are ascending within a block, so step the window cursor
+          // forward instead of dividing per event (one 64-bit div per
+          // sample would dominate the cache-hit roll-up).
+          auto w = static_cast<std::size_t>((times[lo] - range.begin) /
+                                            window);
+          std::int64_t w_end =
+              range.begin + static_cast<std::int64_t>(w + 1) * window;
+          for (std::size_t k = lo; k < hi; ++k) {
+            while (times[k] >= w_end) {
+              ++w;
+              w_end += window;
+            }
+            sums[w] += static_cast<double>(cols->values[k]);
+            ++counts[w];
+          }
+        }
+        continue;
+      }
+      if (block_sum.empty()) {
+        block_sum.assign(n_windows, 0.0);
+        block_cnt.assign(n_windows, 0);
+      }
+      const telemetry::EncodedBlock encoded = read_block_bytes(b);
+      std::size_t decoded = 0;
+      try {
+        decoded = telemetry::decode_sum_into(encoded, b.id, range, window,
+                                             block_sum, block_cnt);
+      } catch (const util::CheckError& e) {
+        std::fill(block_sum.begin(), block_sum.end(), 0.0);
+        std::fill(block_cnt.begin(), block_cnt.end(), std::uint64_t{0});
+        throw StoreError(std::string("segment: block decode failed (") +
+                         e.what() + "): " + path_);
+      }
+      if (decoded != b.events) {
+        std::fill(block_sum.begin(), block_sum.end(), 0.0);
+        std::fill(block_cnt.begin(), block_cnt.end(), std::uint64_t{0});
+        throw StoreError("segment: block decoded to wrong event count: " +
+                         path_);
+      }
+      for (std::size_t w = 0; w < n_windows; ++w) {
+        sums[w] += block_sum[w];
+        counts[w] += block_cnt[w];
+        block_sum[w] = 0.0;
+        block_cnt[w] = 0;
+      }
     } catch (const StoreError&) {
       if (stats == nullptr) throw;
       ++stats->lost_blocks;
-      continue;
-    }
-    auto& samples = out[b.id];
-    for (const auto& ev : events) {
-      if (ev.t >= range.begin && ev.t < range.end) {
-        samples.push_back({ev.t, static_cast<double>(ev.value)});
-      }
     }
   }
 }

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "store/block_cache.hpp"
 #include "store/format.hpp"
 #include "ts/series.hpp"
 #include "util/vfs.hpp"
@@ -73,16 +75,31 @@ class SegmentReader {
   /// [t_min, t_max] intersects `range` are read — the predicate pushdown.
   /// With `stats == nullptr` any damage throws StoreError (the strict
   /// contract); with stats, damaged blocks are skipped and counted — the
-  /// degraded read path.
+  /// degraded read path. With a `cache`, blocks are served from / decoded
+  /// into it (a hit touches no disk); without one, the fused
+  /// decode-filter kernel appends straight from the compressed bytes.
   void scan(telemetry::MetricId id, util::TimeRange range,
-            std::vector<ts::Sample>& out, QueryStats* stats = nullptr) const;
+            std::vector<ts::Sample>& out, QueryStats* stats = nullptr,
+            BlockCache* cache = nullptr) const;
 
   /// Multi-metric variant for fan-out queries: one pass over the block
   /// directory, appending to `out[id]` for every id in `ids`.
   void scan_set(const std::unordered_set<telemetry::MetricId>& ids,
                 util::TimeRange range,
                 std::map<telemetry::MetricId, std::vector<ts::Sample>>& out,
-                QueryStats* stats = nullptr) const;
+                QueryStats* stats = nullptr, BlockCache* cache = nullptr) const;
+
+  /// Fused decode-aggregate scan: accumulate `id`'s events in `range`
+  /// onto the window grid (sums[w] += value, ++counts[w] for
+  /// w = (t - range.begin) / window) without materializing events —
+  /// cache hits accumulate from decoded columns, misses run the codec's
+  /// decode_sum_into on the compressed bytes. Same degradation contract
+  /// as scan; a block that fails mid-accumulate is rolled back before it
+  /// is counted lost, so degraded grids never hold partial contributions.
+  void scan_sum(telemetry::MetricId id, util::TimeRange range,
+                util::TimeSec window, std::span<double> sums,
+                std::span<std::uint64_t> counts, QueryStats* stats = nullptr,
+                BlockCache* cache = nullptr) const;
 
  private:
   [[nodiscard]] bool block_overlaps(const BlockMeta& b,
@@ -93,12 +110,40 @@ class SegmentReader {
   /// lost block per directory entry.
   [[nodiscard]] bool note_if_vanished(QueryStats& stats) const;
 
+  /// Raw encoded bytes of one block, CRC-verified (no decode).
+  [[nodiscard]] telemetry::EncodedBlock read_block_bytes(
+      const BlockMeta& block) const;
+
+  /// Scan one block (by directory index) into `out`, honoring the
+  /// degradation contract: on damage the partial append is rolled back,
+  /// then rethrown (strict) or counted in `stats` (degraded).
+  void scan_block_into(std::size_t index, util::TimeRange range,
+                       std::vector<ts::Sample>& out, QueryStats* stats,
+                       BlockCache* cache) const;
+
+  /// Block `index` as decoded columns via the cache: hit returns the
+  /// resident entry, miss reads + decodes + inserts. Throws StoreError on
+  /// any damage (I/O, CRC, malformed stream, count mismatch).
+  [[nodiscard]] BlockCache::Columns cached_block(BlockCache& cache,
+                                                 std::size_t index,
+                                                 QueryStats* stats) const;
+
+  /// Directory indices of `id`'s blocks in time order — binary search
+  /// over the id-sorted index instead of a linear pass over the whole
+  /// directory (thousands of entries per segment at BMC metric counts).
+  [[nodiscard]] std::span<const std::uint32_t> blocks_of(
+      telemetry::MetricId id) const;
+
   std::string path_;
   util::Vfs* vfs_;
   std::vector<BlockMeta> blocks_;
+  /// Directory indices sorted by (metric id, directory order) — the
+  /// per-metric lookup index behind `blocks_of`.
+  std::vector<std::uint32_t> by_id_;
   std::uint64_t events_ = 0;
   std::uint64_t file_bytes_ = 0;
   util::TimeRange bounds_{0, 0};
+  std::uint64_t cache_segment_id_ = 0;  ///< FNV-1a of path_ (cache key)
 };
 
 }  // namespace exawatt::store

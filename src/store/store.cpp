@@ -34,6 +34,9 @@ Store::Store(std::string root, StoreOptions options)
   if (options_.segment_events == 0 || options_.block_events == 0) {
     throw StoreError("store: segment_events/block_events must be positive");
   }
+  if (options_.cache_bytes > 0) {
+    cache_ = std::make_unique<BlockCache>(options_.cache_bytes);
+  }
 }
 
 Store Store::open(const std::string& root, StoreOptions options) {
@@ -220,7 +223,7 @@ std::vector<ts::Sample> Store::query(telemetry::MetricId id,
   QueryStats local;
   for (const auto& seg : segments_) {
     if (!seg.reader.bounds().overlaps(range)) continue;
-    seg.reader.scan(id, range, out, &local);
+    seg.reader.scan(id, range, out, &local, cache_.get());
   }
   for (const auto& [day, buf] : mem_) {
     for (const auto& ev : buf) {
@@ -254,7 +257,8 @@ std::vector<MetricRun> Store::query_many(
       relevant.size(),
       [&](std::size_t i) {
         Part part;
-        relevant[i]->reader.scan_set(want, range, part.samples, &part.stats);
+        relevant[i]->reader.scan_set(want, range, part.samples, &part.stats,
+                                     cache_.get());
         return part;
       },
       pool != nullptr ? *pool : util::ThreadPool::global());
@@ -289,6 +293,80 @@ std::vector<MetricRun> Store::query_many(
     if (it != merged.end()) run.samples = std::move(it->second);
     std::sort(run.samples.begin(), run.samples.end(), sample_less);
     out.push_back(std::move(run));
+  }
+  if (stats != nullptr) stats->merge(local);
+  return out;
+}
+
+WindowSum Store::window_sum(telemetry::MetricId id, util::TimeRange range,
+                            util::TimeSec window, util::ThreadPool* pool,
+                            QueryStats* stats) const {
+  if (window <= 0) {
+    throw StoreError("store: window_sum window must be positive");
+  }
+  const auto n_windows =
+      static_cast<std::size_t>((range.duration() + window - 1) / window);
+  WindowSum out;
+  out.start = range.begin;
+  out.window = window;
+  out.sum.assign(n_windows, 0.0);
+  out.count.assign(n_windows, 0);
+
+  std::vector<const LiveSegment*> relevant;
+  for (const auto& seg : segments_) {
+    if (seg.reader.bounds().overlaps(range)) relevant.push_back(&seg);
+  }
+
+  QueryStats local;
+  util::ThreadPool& fan = pool != nullptr ? *pool : util::ThreadPool::global();
+  if (fan.size() <= 1 || relevant.size() <= 1) {
+    // Serial fast path: accumulate straight onto the output grids. The
+    // per-segment staging below exists only so concurrent workers never
+    // share a grid; with one worker (or one segment) its allocations are
+    // the dominant cost of a small cache-hit roll-up. Partial sums are
+    // exact integer-valued doubles, so both paths produce identical grids.
+    for (const LiveSegment* seg : relevant) {
+      seg->reader.scan_sum(id, range, window, out.sum, out.count, &local,
+                           cache_.get());
+    }
+  } else {
+    struct Part {
+      std::vector<double> sum;
+      std::vector<std::uint64_t> count;
+      QueryStats stats;
+    };
+    // Per-segment grids merged in segment order. Every partial sum is an
+    // exact integer-valued double, so the merge order cannot change the
+    // result — the fan-out is free to schedule segments however it likes.
+    auto parts = util::parallel_map(
+        relevant.size(),
+        [&](std::size_t i) {
+          Part part;
+          part.sum.assign(n_windows, 0.0);
+          part.count.assign(n_windows, 0);
+          relevant[i]->reader.scan_sum(id, range, window, part.sum,
+                                       part.count, &part.stats, cache_.get());
+          return part;
+        },
+        fan);
+
+    for (const auto& part : parts) {
+      local.merge(part.stats);
+      for (std::size_t w = 0; w < n_windows; ++w) {
+        out.sum[w] += part.sum[w];
+        out.count[w] += part.count[w];
+      }
+    }
+  }
+  for (const auto& [day, buf] : mem_) {
+    for (const auto& ev : buf) {
+      if (ev.id == id && range.contains(ev.t)) {
+        const auto w =
+            static_cast<std::size_t>((ev.t - range.begin) / window);
+        out.sum[w] += static_cast<double>(ev.value);
+        ++out.count[w];
+      }
+    }
   }
   if (stats != nullptr) stats->merge(local);
   return out;

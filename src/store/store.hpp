@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -32,6 +33,12 @@ struct StoreOptions {
   util::BackoffPolicy retry = {};
   /// Substream seed for the backoff jitter (deterministic per store).
   std::uint64_t retry_seed = 0x5ea1b0ffULL;
+  /// Byte budget of the decoded-block cache shared by every query on this
+  /// store (0 disables caching entirely). Entries are decoded columns
+  /// keyed by (segment, block, CRC), so repeated scans of the same
+  /// windows skip disk + CRC + varint decode. Sized in decoded bytes:
+  /// the default holds roughly four million events.
+  std::size_t cache_bytes = std::size_t{64} << 20;
 };
 
 /// What `Store::open` found and fixed. A crash mid-write loses at most
@@ -55,6 +62,25 @@ struct RecoveryReport {
 struct MetricRun {
   telemetry::MetricId id = 0;
   std::vector<ts::Sample> samples;
+};
+
+/// Event-weighted window grid from `Store::window_sum`: for window w
+/// (covering [start + w*window, start + (w+1)*window)), `sum[w]` is the
+/// exact sum of every stored value in it and `count[w]` the event count.
+/// Values are int32 and sums stay far below 2^53, so the doubles are
+/// exact integers — independent of block, segment or thread grouping.
+struct WindowSum {
+  util::TimeSec start = 0;
+  util::TimeSec window = 0;
+  std::vector<double> sum;
+  std::vector<std::uint64_t> count;
+
+  [[nodiscard]] std::size_t size() const { return sum.size(); }
+  /// Event-weighted mean of window w; 0 when the window is empty.
+  [[nodiscard]] double mean(std::size_t w) const {
+    return count[w] == 0 ? 0.0
+                         : sum[w] / static_cast<double>(count[w]);
+  }
 };
 
 /// The durable counterpart of the in-memory `telemetry::Archive`: sealed
@@ -102,6 +128,18 @@ class Store {
       std::span<const telemetry::MetricId> ids, util::TimeRange range,
       util::ThreadPool* pool = nullptr, QueryStats* stats = nullptr) const;
 
+  /// Fused decode-aggregate query: the exact per-window sum and event
+  /// count of `id` over `range`, computed without materializing samples —
+  /// segment scans run the codec's decode-sum kernel (or accumulate from
+  /// cached columns) and fan out across `pool`. Same degradation contract
+  /// as `query`. Sums are exact (integer-valued doubles), so the result
+  /// is independent of segment grouping and thread schedule.
+  [[nodiscard]] WindowSum window_sum(telemetry::MetricId id,
+                                     util::TimeRange range,
+                                     util::TimeSec window,
+                                     util::ThreadPool* pool = nullptr,
+                                     QueryStats* stats = nullptr) const;
+
   /// Distinct metric ids present (sealed + buffered), ascending.
   [[nodiscard]] std::vector<telemetry::MetricId> metrics() const;
   /// Half-open hull of every stored event time; {0,0} when empty.
@@ -123,6 +161,10 @@ class Store {
   [[nodiscard]] std::uint64_t stored_bytes() const { return stored_bytes_; }
   /// Raw event bytes / stored bytes over the sealed population.
   [[nodiscard]] double compression_ratio() const;
+  /// The decoded-block cache, or nullptr when `cache_bytes == 0`.
+  [[nodiscard]] const BlockCache* block_cache() const {
+    return cache_.get();
+  }
 
  private:
   Store(std::string root, StoreOptions options);
@@ -142,6 +184,9 @@ class Store {
   StoreOptions options_;
   util::Vfs* vfs_;
   util::Clock* clock_;
+  /// unique_ptr keeps Store movable (BlockCache holds mutexes); the
+  /// cache is internally synchronized, so const query paths share it.
+  std::unique_ptr<BlockCache> cache_;
   mutable util::Rng retry_rng_;
   RecoveryReport recovery_;
   std::vector<LiveSegment> segments_;

@@ -22,6 +22,9 @@ ts::Series replay_power_rollup(const store::Store& store,
     std::int32_t value;
   };
   std::vector<Replayed> feed;
+  std::size_t total = 0;
+  for (const auto& run : runs) total += run.samples.size();
+  feed.reserve(total);
   for (const auto& run : runs) {
     for (const auto& s : run.samples) {
       feed.push_back({s.t, run.id, static_cast<std::int32_t>(s.value)});

@@ -1,9 +1,15 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 #include "telemetry/metric.hpp"
+#include "ts/series.hpp"
+#include "util/sim_time.hpp"
 
 namespace exawatt::telemetry {
 
@@ -12,6 +18,17 @@ namespace exawatt::telemetry {
 /// varint, run-length-encoding repeated timestamp deltas. This is the
 /// "several lossless compression methods throughout the pipeline" that
 /// squeezed Summit's 460k metrics/s into ~1 MB/s (paper §2).
+///
+/// Every entry point exists in two tiers sharing one wire format:
+///   * the `_scalar` functions are the byte-at-a-time reference
+///     implementation (the spec, kept for property tests), and
+///   * the unsuffixed functions are the bulk fast path — pointer-based
+///     varint kernels (util::VarintReader/Writer) with one bounds check
+///     per varint, plus fused decode-filter / decode-aggregate kernels
+///     that never materialize MetricEvent records.
+/// Encoded bytes and decode acceptance are identical across tiers; all
+/// decode paths validate the stream (truncation, run overruns, values
+/// escaping int32) and throw util::CheckError instead of corrupting.
 struct EncodedBlock {
   std::vector<std::uint8_t> bytes;
   std::size_t events = 0;
@@ -27,10 +44,111 @@ struct EncodedBlock {
   }
 };
 
-/// Encode a batch (any order; the codec sorts a copy by metric, time).
+/// Encode a batch. Already (metric, time)-sorted input — the common case:
+/// aggregator output and sealed segment buffers — is detected and encoded
+/// in place; anything else is sorted first. Note the key is (id, t) only:
+/// batches holding duplicate (id, t) pairs encode in whichever order the
+/// tie-break leaves them (decode still returns the same multiset).
 [[nodiscard]] EncodedBlock encode_events(std::vector<MetricEvent> events);
+
+/// Zero-copy encode of a batch the caller guarantees is already sorted by
+/// (metric, time) — checked. The segment writer feeds sorted sub-spans of
+/// its sealed buffer straight through here.
+[[nodiscard]] EncodedBlock encode_events_sorted(
+    std::span<const MetricEvent> events);
 
 /// Decode back to events sorted by (metric, time). Exact inverse.
 [[nodiscard]] std::vector<MetricEvent> decode_events(const EncodedBlock& block);
+
+/// Column of a trivial type that grows *without* value-initialization:
+/// `resize_for_overwrite` hands back uninitialized storage the decode
+/// loop overwrites front to back. std::vector::resize would memset the
+/// whole column first — pure wasted write traffic on multi-MB decode
+/// targets, measurable against the codec's 2x decode gate.
+template <typename T>
+class RawColumn {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  /// Set size to n; contents are indeterminate until written.
+  void resize_for_overwrite(std::size_t n) {
+    if (n > cap_) {
+      data_ = std::make_unique_for_overwrite<T[]>(n);
+      cap_ = n;
+    }
+    size_ = n;
+  }
+  void assign(std::size_t n, T v) {
+    resize_for_overwrite(n);
+    std::fill_n(data_.get(), n, v);
+  }
+  void clear() { size_ = 0; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  [[nodiscard]] T* data() { return data_.get(); }
+  [[nodiscard]] const T* data() const { return data_.get(); }
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] const T* begin() const { return data_.get(); }
+  [[nodiscard]] const T* end() const { return data_.get() + size_; }
+
+ private:
+  std::unique_ptr<T[]> data_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+/// Reusable columnar decode target: `decode_events_into` fills these
+/// caller-owned buffers instead of allocating a fresh event vector per
+/// block, so a scan loop pays for the buffers once. Also the payload the
+/// store's decoded-block cache retains.
+struct DecodeScratch {
+  RawColumn<MetricId> ids;
+  RawColumn<std::int64_t> times;
+  RawColumn<std::int32_t> values;
+
+  [[nodiscard]] std::size_t size() const { return times.size(); }
+  void clear() {
+    ids.clear();
+    times.clear();
+    values.clear();
+  }
+  /// Heap bytes held (cache budget accounting).
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return ids.capacity() * sizeof(MetricId) +
+           times.capacity() * sizeof(std::int64_t) +
+           values.capacity() * sizeof(std::int32_t);
+  }
+};
+
+/// Columnar decode: clears and fills `out` (capacity is reused across
+/// calls). Same events, same order as `decode_events`.
+void decode_events_into(const EncodedBlock& block, DecodeScratch& out);
+
+/// Fused decode + filter: append samples of metric `want` with t in
+/// `range` to `out`, never materializing events. Returns the block's
+/// total decoded event count (callers cross-check it against directory
+/// metadata). Appended order matches `decode_events` order.
+std::size_t decode_filter_into(const EncodedBlock& block, MetricId want,
+                               util::TimeRange range,
+                               std::vector<ts::Sample>& out);
+
+/// Fused decode + aggregate: accumulate metric `want`'s events straight
+/// from the compressed stream onto the window grid of `range` —
+/// sums[w] += value and ++counts[w] for w = (t - range.begin) / window,
+/// in decode order (event-weighted, no sample-and-hold). Both spans must
+/// hold ceil(range.duration() / window) entries. Returns the block's
+/// total decoded event count.
+std::size_t decode_sum_into(const EncodedBlock& block, MetricId want,
+                            util::TimeRange range, util::TimeSec window,
+                            std::span<double> sums,
+                            std::span<std::uint64_t> counts);
+
+/// Reference tier (the wire-format spec; see file comment).
+[[nodiscard]] EncodedBlock encode_events_scalar(
+    std::vector<MetricEvent> events);
+[[nodiscard]] std::vector<MetricEvent> decode_events_scalar(
+    const EncodedBlock& block);
 
 }  // namespace exawatt::telemetry

@@ -1,5 +1,7 @@
 #include "util/varint.hpp"
 
+#include <algorithm>
+
 namespace exawatt::util {
 
 std::size_t varint_encode(std::uint64_t v, std::vector<std::uint8_t>& out) {
@@ -27,6 +29,21 @@ bool varint_decode(std::span<const std::uint8_t> in, std::size_t& pos,
     shift += 7;
   }
   return false;
+}
+
+void VarintWriter::grow() {
+  // Geometric growth keeps the amortized cost of the headroom O(1) per
+  // byte; finish() trims the slack away.
+  out_.resize(std::max<std::size_t>(kMaxVarintBytes + len_, out_.size() * 2));
+}
+
+bool VarintReader::read_tail(std::uint64_t& out) {
+  std::size_t pos = 0;
+  const std::span<const std::uint8_t> tail(
+      p_, static_cast<std::size_t>(end_ - p_));
+  if (!varint_decode(tail, pos, out)) return false;
+  p_ += pos;
+  return true;
 }
 
 }  // namespace exawatt::util

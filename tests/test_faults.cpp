@@ -336,6 +336,100 @@ TEST(FaultMatrix, BitFlipOnReadDegradesThenHealsWhenFaultClears) {
   EXPECT_EQ(healed, total_events(reference));
 }
 
+TEST(FaultMatrix, WarmBlockCacheServesQueriesThroughReadFaults) {
+  const auto batches = make_batches();
+  const std::string dir = scratch_dir("faults_warm_cache");
+  ASSERT_TRUE(feed(dir, batches));
+
+  faultfs::FaultVfs flippy(util::Vfs::real());
+  store::StoreOptions cached_options = small_segments();
+  cached_options.vfs = &flippy;
+  store::StoreOptions cold_options = cached_options;
+  cold_options.cache_bytes = 0;  // contrast store: every scan hits disk
+  store::Store warm = store::Store::open(dir, cached_options);
+  store::Store cold = store::Store::open(dir, cold_options);
+  ASSERT_TRUE(warm.recovery().clean());
+
+  // Warm the decoded-block cache, then poison every later disk read.
+  std::map<telemetry::MetricId, std::vector<ts::Sample>> clean;
+  for (const telemetry::MetricId id : warm.metrics()) {
+    clean[id] = warm.query(id, kWindow);
+  }
+  const auto clean_sum = warm.window_sum(
+      telemetry::metric_id(kNodes.front(), kChannel), kWindow, 10);
+  flippy.set_plan(faultfs::FaultPlan().flip_bits_on_reads_from(
+      flippy.stats().read_ops, 7));
+
+  // The warm store never touches the faulted disk: full results, zero
+  // degradation, every block a cache hit.
+  for (const auto& [id, reference] : clean) {
+    store::QueryStats stats;
+    const auto got = warm.query(id, kWindow, &stats);
+    EXPECT_FALSE(stats.degraded());
+    EXPECT_GT(stats.cache_hits, 0u);
+    EXPECT_EQ(stats.cache_misses, 0u);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].t, reference[i].t);
+      EXPECT_EQ(got[i].value, reference[i].value);
+    }
+  }
+  store::QueryStats sum_stats;
+  const auto warm_sum =
+      warm.window_sum(telemetry::metric_id(kNodes.front(), kChannel),
+                      kWindow, 10, nullptr, &sum_stats);
+  EXPECT_FALSE(sum_stats.degraded());
+  EXPECT_EQ(warm_sum.sum, clean_sum.sum);
+  EXPECT_EQ(warm_sum.count, clean_sum.count);
+
+  // The cold store sees the same faults and must degrade loudly.
+  bool degraded = false;
+  for (const auto& [id, reference] : clean) {
+    store::QueryStats stats;
+    const auto got = cold.query(id, kWindow, &stats);
+    EXPECT_TRUE(is_subset(got, reference));
+    degraded = degraded || stats.degraded();
+  }
+  EXPECT_TRUE(degraded);
+}
+
+TEST(DegradedQueries, WindowSumRollsBackDamagedBlocksWhole) {
+  const auto batches = make_batches();
+  const std::string dir = scratch_dir("faults_window_sum");
+  ASSERT_TRUE(feed(dir, batches));
+
+  faultfs::FaultVfs flippy(util::Vfs::real());
+  store::StoreOptions options = small_segments();
+  options.vfs = &flippy;
+  options.cache_bytes = 0;
+  store::Store store = store::Store::open(dir, options);
+  const telemetry::MetricId id = telemetry::metric_id(kNodes[1], kChannel);
+  const auto clean = store.window_sum(id, kWindow, 10);
+
+  flippy.set_plan(faultfs::FaultPlan().flip_bits_on_reads_from(
+      flippy.stats().read_ops, 3));
+  store::QueryStats stats;
+  const auto damaged = store.window_sum(id, kWindow, 10, nullptr, &stats);
+  EXPECT_TRUE(stats.degraded());
+  // Partial sums never leak: every window's contribution is either the
+  // full clean value or absent — here every block fails, so the grid is
+  // all zero (and strictly below the clean totals).
+  for (std::size_t w = 0; w < damaged.size(); ++w) {
+    EXPECT_LE(damaged.count[w], clean.count[w]);
+    if (damaged.count[w] == clean.count[w]) {
+      EXPECT_EQ(damaged.sum[w], clean.sum[w]);
+    } else {
+      EXPECT_LE(std::abs(damaged.sum[w]), std::abs(clean.sum[w]));
+    }
+  }
+
+  // Like query(), window_sum degrades rather than throws even without a
+  // stats out-param — stats only adds attribution.
+  const auto silent = store.window_sum(id, kWindow, 10);
+  EXPECT_EQ(silent.sum, damaged.sum);
+  EXPECT_EQ(silent.count, damaged.count);
+}
+
 // ------------------------------------------------------- degraded queries
 
 TEST(DegradedQueries, LostSegmentShrinksResultsInsteadOfThrowing) {

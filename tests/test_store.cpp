@@ -714,6 +714,220 @@ TEST(QueryMany, ClusterSumMatchesArchiveAggregator) {
   }
 }
 
+// ------------------------------------------------------- block cache
+
+namespace {
+
+store::BlockCache::Columns make_columns(std::size_t events) {
+  auto cols = std::make_shared<telemetry::DecodeScratch>();
+  cols->ids.assign(events, 1);
+  cols->times.assign(events, 0);
+  cols->values.assign(events, 0);
+  return cols;
+}
+
+}  // namespace
+
+TEST(BlockCache, HitMissAndLruEviction) {
+  const auto entry = store::BlockCache::entry_bytes(*make_columns(64));
+  // One shard, room for exactly two entries.
+  store::BlockCache cache(entry * 2, 1);
+  const store::BlockCache::Key a{1, 0, 10};
+  const store::BlockCache::Key b{1, 1, 11};
+  const store::BlockCache::Key c{1, 2, 12};
+
+  EXPECT_EQ(cache.find(a), nullptr);
+  cache.insert(a, make_columns(64));
+  cache.insert(b, make_columns(64));
+  EXPECT_NE(cache.find(a), nullptr);  // refreshes a's recency
+  cache.insert(c, make_columns(64));  // evicts b (LRU), not a
+  EXPECT_NE(cache.find(a), nullptr);
+  EXPECT_EQ(cache.find(b), nullptr);
+  EXPECT_NE(cache.find(c), nullptr);
+
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.entries, 2u);
+  EXPECT_LE(counters.bytes, cache.byte_budget());
+  EXPECT_EQ(counters.evictions, 1u);
+  EXPECT_EQ(counters.insertions, 3u);
+  EXPECT_EQ(counters.hits, 3u);
+  EXPECT_EQ(counters.misses, 2u);
+}
+
+TEST(BlockCache, CrcIsPartOfTheKey) {
+  // Same (segment, block) with a different directory CRC is a different
+  // entry — stale decoded columns can never be served for rewritten
+  // bytes; the old entry just ages out.
+  store::BlockCache cache(1 << 20, 1);
+  cache.insert({7, 3, 0xAAAA}, make_columns(8));
+  EXPECT_EQ(cache.find({7, 3, 0xBBBB}), nullptr);
+  EXPECT_NE(cache.find({7, 3, 0xAAAA}), nullptr);
+}
+
+TEST(BlockCache, OversizedEntryIsNotCached) {
+  store::BlockCache cache(256, 1);
+  cache.insert({1, 0, 1}, make_columns(4096));
+  EXPECT_EQ(cache.find({1, 0, 1}), nullptr);
+  EXPECT_EQ(cache.counters().insertions, 0u);
+  EXPECT_EQ(cache.counters().entries, 0u);
+}
+
+TEST(BlockCache, EvictionKeepsSharedColumnsAlive) {
+  const auto entry = store::BlockCache::entry_bytes(*make_columns(16));
+  store::BlockCache cache(entry, 1);  // room for one entry
+  cache.insert({1, 0, 1}, make_columns(16));
+  const auto held = cache.find({1, 0, 1});
+  ASSERT_NE(held, nullptr);
+  cache.insert({1, 1, 2}, make_columns(16));  // evicts the first entry
+  EXPECT_EQ(cache.find({1, 0, 1}), nullptr);
+  // The shared_ptr we took before the eviction still reads fine.
+  EXPECT_EQ(held->size(), 16u);
+}
+
+TEST(StoreCache, RepeatedQueryIsServedFromCacheBitIdentically) {
+  const auto dir = scratch_dir("store_cache");
+  util::Rng rng(21);
+  store::StoreOptions options;
+  options.segment_events = 500;
+  options.block_events = 64;
+  auto st = store::Store::open(dir, options);
+  for (int b = 0; b < 6; ++b) {
+    st.append(random_batch(rng, {0, util::kDay}, 500, 8));
+  }
+  st.flush();
+  ASSERT_NE(st.block_cache(), nullptr);
+
+  const util::TimeRange range{0, util::kDay};
+  store::QueryStats cold;
+  const auto first = st.query(3, range, &cold);
+  EXPECT_GT(cold.cache_misses, 0u);
+  EXPECT_EQ(cold.cache_hits, 0u);
+
+  store::QueryStats warm;
+  const auto second = st.query(3, range, &warm);
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(sample_eq(first[i], second[i])) << "sample " << i;
+  }
+  EXPECT_GT(st.block_cache()->counters().hits, 0u);
+}
+
+TEST(StoreCache, DisabledCacheMatchesEnabledCache) {
+  const auto dir = scratch_dir("store_cache_off");
+  util::Rng rng(22);
+  store::StoreOptions options;
+  options.segment_events = 400;
+  options.block_events = 64;
+  {
+    auto st = store::Store::open(dir, options);
+    for (int b = 0; b < 5; ++b) {
+      st.append(random_batch(rng, {0, util::kDay}, 400, 8));
+    }
+  }  // destructor flushes
+
+  store::StoreOptions no_cache = options;
+  no_cache.cache_bytes = 0;
+  auto cached = store::Store::open(dir, options);
+  auto uncached = store::Store::open(dir, no_cache);
+  EXPECT_EQ(uncached.block_cache(), nullptr);
+
+  const util::TimeRange range{0, util::kDay};
+  for (const telemetry::MetricId id : cached.metrics()) {
+    // Query the cached store twice so the second pass runs on hits.
+    (void)cached.query(id, range);
+    store::QueryStats warm;
+    store::QueryStats off;
+    const auto a = cached.query(id, range, &warm);
+    const auto b = uncached.query(id, range, &off);
+    EXPECT_GT(warm.cache_hits, 0u) << "metric " << id;
+    EXPECT_EQ(off.cache_hits + off.cache_misses, 0u);
+    ASSERT_EQ(a.size(), b.size()) << "metric " << id;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(sample_eq(a[i], b[i])) << "metric " << id;
+    }
+  }
+}
+
+TEST(StoreCache, TinyBudgetEvictsInsteadOfGrowing) {
+  const auto dir = scratch_dir("store_cache_tiny");
+  util::Rng rng(23);
+  store::StoreOptions options;
+  options.segment_events = 512;
+  options.block_events = 32;
+  // A few KB: single-digit entries across 8 shards — most inserts evict.
+  options.cache_bytes = 8 << 10;
+  auto st = store::Store::open(dir, options);
+  for (int b = 0; b < 8; ++b) {
+    st.append(random_batch(rng, {0, util::kDay}, 512, 4));
+  }
+  st.flush();
+  const util::TimeRange range{0, util::kDay};
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const telemetry::MetricId id : st.metrics()) {
+      (void)st.query(id, range);
+    }
+  }
+  const auto counters = st.block_cache()->counters();
+  EXPECT_GT(counters.evictions, 0u);
+  EXPECT_LE(counters.bytes, st.block_cache()->byte_budget());
+}
+
+// ----------------------------------------------------------- window sum
+
+TEST(WindowSum, MatchesQueryThenBucketReference) {
+  const auto dir = scratch_dir("window_sum");
+  util::Rng rng(24);
+  store::StoreOptions options;
+  options.segment_events = 300;
+  options.block_events = 64;
+  auto st = store::Store::open(dir, options);
+  for (int b = 0; b < 7; ++b) {
+    st.append(random_batch(rng, {0, util::kDay}, 300, 6));
+  }
+  // Leave the last batch unsealed so the mem_ tail path is covered too.
+  st.append(random_batch(rng, {0, util::kDay}, 100, 6));
+
+  const util::TimeRange range{util::kHour, 10 * util::kHour};
+  const util::TimeSec window = 600;
+  util::ThreadPool serial(1);
+  util::ThreadPool wide(4);
+  for (const telemetry::MetricId id : st.metrics()) {
+    const auto ws = st.window_sum(id, range, window, &wide);
+    const auto ws_serial = st.window_sum(id, range, window, &serial);
+    const auto samples = st.query(id, range);
+    ASSERT_EQ(ws.size(),
+              static_cast<std::size_t>((range.duration() + window - 1) /
+                                       window));
+    std::vector<double> ref_sum(ws.size(), 0.0);
+    std::vector<std::uint64_t> ref_count(ws.size(), 0);
+    for (const auto& s : samples) {
+      const auto w = static_cast<std::size_t>((s.t - range.begin) / window);
+      ref_sum[w] += s.value;
+      ++ref_count[w];
+    }
+    for (std::size_t w = 0; w < ws.size(); ++w) {
+      // Bit-equality: sums are exact integers, so thread schedule and
+      // segment grouping must not matter.
+      EXPECT_EQ(ws.sum[w], ref_sum[w]) << "id " << id << " window " << w;
+      EXPECT_EQ(ws.count[w], ref_count[w]);
+      EXPECT_EQ(ws_serial.sum[w], ws.sum[w]);
+      EXPECT_EQ(ws_serial.count[w], ws.count[w]);
+      if (ws.count[w] > 0) {
+        EXPECT_DOUBLE_EQ(ws.mean(w), ref_sum[w] / static_cast<double>(
+                                                      ref_count[w]));
+      }
+    }
+  }
+}
+
+TEST(WindowSum, RejectsNonPositiveWindow) {
+  const auto dir = scratch_dir("window_sum_bad");
+  auto st = store::Store::open(dir);
+  EXPECT_THROW((void)st.window_sum(1, {0, 100}, 0), store::StoreError);
+}
+
 // -------------------------------------------------------- accounting
 
 TEST(Accounting, RawEventBytesIsTheStructSize) {

@@ -13,6 +13,7 @@
 #include "telemetry/pipeline.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/varint.hpp"
 #include "workload/generator.hpp"
 #include "workload/scheduler.hpp"
 
@@ -253,6 +254,272 @@ TEST(Codec, AdversarialMixedBatchFuzz) {
     }
     expect_codec_round_trip(events);
   }
+}
+
+// ----------------------------------------------------------- CodecFastPath
+//
+// The bulk varint tier vs the byte-at-a-time scalar reference: same wire
+// format, bit-identical bytes, identical decode results and identical
+// rejection of damaged streams.
+
+namespace {
+
+/// Sorted tie-free batches so both tiers see the same input order (the
+/// fast tier's is_sorted skip and the scalar tier's std::sort may break
+/// duplicate-(id, t) ties differently; the wire format does not care).
+std::vector<tm::MetricEvent> sorted_fuzz_batch(std::uint64_t seed,
+                                               std::size_t events) {
+  util::Rng rng(seed);
+  std::vector<tm::MetricEvent> batch;
+  batch.reserve(events);
+  for (std::size_t i = 0; i < events; ++i) {
+    batch.push_back(
+        {tm::metric_id(static_cast<machine::NodeId>(rng.uniform_index(64)),
+                       static_cast<int>(rng.uniform_index(100))),
+         static_cast<std::int64_t>(rng.uniform_index(1u << 16)) - (1 << 15),
+         static_cast<std::int32_t>(
+             static_cast<std::int64_t>(rng.uniform_index(1ull << 32)) -
+             (std::int64_t{1} << 31))});
+  }
+  std::sort(batch.begin(), batch.end(),
+            [](const tm::MetricEvent& a, const tm::MetricEvent& b) {
+              return a.id < b.id || (a.id == b.id && a.t < b.t);
+            });
+  batch.erase(std::unique(batch.begin(), batch.end(),
+                          [](const tm::MetricEvent& a,
+                             const tm::MetricEvent& b) {
+                            return a.id == b.id && a.t == b.t;
+                          }),
+              batch.end());
+  return batch;
+}
+
+void expect_events_equal(const std::vector<tm::MetricEvent>& a,
+                         const std::vector<tm::MetricEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].id, b[i].id) << "event " << i;
+    ASSERT_EQ(a[i].t, b[i].t) << "event " << i;
+    ASSERT_EQ(a[i].value, b[i].value) << "event " << i;
+  }
+}
+
+}  // namespace
+
+TEST(CodecFastPath, GoldenBytesArePinned) {
+  // Hand-assembled expectation for a tiny tie-free batch — this pins the
+  // wire format itself. If this test breaks, the change is a format
+  // change, not an optimisation.
+  const std::vector<tm::MetricEvent> events = {
+      {5, 100, 7}, {5, 101, 7}, {5, 103, 9}, {9, 50, -3}};
+  const std::vector<std::uint8_t> expected = {
+      0x04,              // 4 events
+      0x05, 0x03,        // id delta 5, run of 3
+      0xC8, 0x01, 0x01,  // dt 100 (zigzag 200), dt-run 1
+      0x0E,              // value delta +7
+      0x02, 0x01, 0x00,  // dt 1, run 1, value delta 0
+      0x04, 0x01, 0x04,  // dt 2, run 1, value delta +2
+      0x04, 0x01,        // id delta 4, run of 1
+      0x64, 0x01, 0x05,  // dt 50, run 1, value delta -3 (zigzag 5)
+  };
+  EXPECT_EQ(tm::encode_events(events).bytes, expected);
+  EXPECT_EQ(tm::encode_events_scalar(events).bytes, expected);
+  EXPECT_EQ(tm::encode_events_sorted(events).bytes, expected);
+}
+
+TEST(CodecFastPath, TiersBitIdenticalOnFuzzedBatches) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const auto batch = sorted_fuzz_batch(seed, 300);
+    const auto fast = tm::encode_events(batch);
+    const auto scalar = tm::encode_events_scalar(batch);
+    ASSERT_EQ(fast.bytes, scalar.bytes) << "seed " << seed;
+    ASSERT_EQ(fast.events, scalar.events) << "seed " << seed;
+    expect_events_equal(tm::decode_events(fast),
+                        tm::decode_events_scalar(fast));
+  }
+}
+
+TEST(CodecFastPath, TiersAgreeOnStructuralEdgeCases) {
+  std::vector<std::vector<tm::MetricEvent>> cases;
+  // Long dt-RLE runs: one metric, constant cadence and value.
+  cases.emplace_back();
+  for (int t = 0; t < 10000; ++t) {
+    cases.back().push_back({tm::metric_id(1, 0), t, 500});
+  }
+  // Single-event runs: every metric appears exactly once.
+  cases.emplace_back();
+  for (int n = 0; n < 500; ++n) {
+    cases.back().push_back({tm::metric_id(n, 0), 42, n - 250});
+  }
+  // Negative time deltas within a run are impossible (sorted), but the
+  // first delta of each run can be hugely negative; alternate extremes.
+  const std::int64_t far = std::int64_t{1} << 60;
+  cases.push_back({{1, -far, 10}, {1, 0, -10}, {1, far, 10}, {2, -1, -100}});
+  // Maximal value swings exercise the widest value varints.
+  cases.emplace_back();
+  for (int t = 0; t < 64; ++t) {
+    cases.back().push_back({3, t, (t % 2) == 0
+                                      ? std::numeric_limits<std::int32_t>::min()
+                                      : std::numeric_limits<std::int32_t>::max()});
+  }
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    const auto fast = tm::encode_events(cases[c]);
+    const auto scalar = tm::encode_events_scalar(cases[c]);
+    ASSERT_EQ(fast.bytes, scalar.bytes) << "case " << c;
+    expect_events_equal(tm::decode_events(fast),
+                        tm::decode_events_scalar(fast));
+  }
+}
+
+TEST(CodecFastPath, SortedInputSkipsTheCopyAndSort) {
+  // encode_events on pre-sorted input, encode_events_sorted, and the
+  // scalar tier must all emit the same bytes; the unsorted path must too
+  // (tie-free input, so sorting is deterministic).
+  auto batch = sorted_fuzz_batch(7, 200);
+  const auto sorted_bytes = tm::encode_events_sorted(batch).bytes;
+  EXPECT_EQ(tm::encode_events(batch).bytes, sorted_bytes);
+  std::reverse(batch.begin(), batch.end());
+  EXPECT_EQ(tm::encode_events(batch).bytes, sorted_bytes);
+}
+
+TEST(CodecFastPath, EncodeSortedRejectsUnsortedInput) {
+  EXPECT_THROW((void)tm::encode_events_sorted(
+                   std::vector<tm::MetricEvent>{{2, 5, 1}, {1, 5, 1}}),
+               util::CheckError);
+  EXPECT_THROW((void)tm::encode_events_sorted(
+                   std::vector<tm::MetricEvent>{{1, 9, 1}, {1, 5, 1}}),
+               util::CheckError);
+}
+
+TEST(CodecFastPath, DecodeIntoReusesScratchAcrossBlocks) {
+  tm::DecodeScratch scratch;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto batch = sorted_fuzz_batch(seed, 400);
+    const auto block = tm::encode_events(batch);
+    tm::decode_events_into(block, scratch);
+    const auto reference = tm::decode_events(block);
+    ASSERT_EQ(scratch.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(scratch.ids[i], reference[i].id);
+      ASSERT_EQ(scratch.times[i], reference[i].t);
+      ASSERT_EQ(scratch.values[i], reference[i].value);
+    }
+    EXPECT_GT(scratch.footprint_bytes(), 0u);
+  }
+}
+
+TEST(CodecFastPath, DecodeFilterMatchesDecodeThenFilter) {
+  const auto batch = sorted_fuzz_batch(11, 600);
+  const auto block = tm::encode_events(batch);
+  const tm::MetricId want = batch[batch.size() / 2].id;
+  const util::TimeRange range{-2000, 2000};
+  std::vector<ts::Sample> fused;
+  EXPECT_EQ(tm::decode_filter_into(block, want, range, fused), batch.size());
+  std::vector<ts::Sample> reference;
+  for (const auto& ev : tm::decode_events(block)) {
+    if (ev.id == want && range.contains(ev.t)) {
+      reference.push_back({ev.t, static_cast<double>(ev.value)});
+    }
+  }
+  ASSERT_EQ(fused.size(), reference.size());
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(fused[i].t, reference[i].t);
+    EXPECT_EQ(fused[i].value, reference[i].value);
+  }
+}
+
+TEST(CodecFastPath, DecodeSumMatchesDecodeThenBucket) {
+  const auto batch = sorted_fuzz_batch(12, 600);
+  const auto block = tm::encode_events(batch);
+  const tm::MetricId want = batch.front().id;
+  const util::TimeRange range{-1000, 1000};
+  const util::TimeSec window = 25;
+  const std::size_t n = 80;
+  std::vector<double> sums(n, 0.0);
+  std::vector<std::uint64_t> counts(n, 0);
+  EXPECT_EQ(tm::decode_sum_into(block, want, range, window, sums, counts),
+            batch.size());
+  std::vector<double> ref_sums(n, 0.0);
+  std::vector<std::uint64_t> ref_counts(n, 0);
+  for (const auto& ev : tm::decode_events(block)) {
+    if (ev.id != want || !range.contains(ev.t)) continue;
+    const auto w = static_cast<std::size_t>((ev.t - range.begin) / window);
+    ref_sums[w] += static_cast<double>(ev.value);
+    ++ref_counts[w];
+  }
+  EXPECT_EQ(sums, ref_sums);
+  EXPECT_EQ(counts, ref_counts);
+}
+
+TEST(CodecFastPath, TruncationAtEveryPrefixThrows) {
+  const auto batch = sorted_fuzz_batch(21, 120);
+  const auto block = tm::encode_events(batch);
+  for (std::size_t len = 0; len < block.bytes.size(); ++len) {
+    tm::EncodedBlock cut;
+    cut.events = block.events;
+    cut.bytes.assign(block.bytes.begin(),
+                     block.bytes.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW((void)tm::decode_events(cut), util::CheckError)
+        << "prefix " << len;
+    EXPECT_THROW((void)tm::decode_events_scalar(cut), util::CheckError)
+        << "prefix " << len;
+    tm::DecodeScratch scratch;
+    EXPECT_THROW(tm::decode_events_into(cut, scratch), util::CheckError)
+        << "prefix " << len;
+  }
+}
+
+TEST(CodecFastPath, BitFlipsNeverDivergeTheTiers) {
+  // Adversarial mutation sweep: flip one bit at every byte position. The
+  // decoder may throw (CheckError) or may produce a still-plausible
+  // stream — but both tiers must always agree, and nothing may crash
+  // (this file runs under ASan/UBSan in the sanitized build).
+  const auto batch = sorted_fuzz_batch(31, 80);
+  const auto block = tm::encode_events(batch);
+  for (std::size_t pos = 0; pos < block.bytes.size(); ++pos) {
+    for (const int bit : {0, 3, 7}) {
+      tm::EncodedBlock mutated = block;
+      mutated.bytes[pos] ^= static_cast<std::uint8_t>(1u << bit);
+      std::vector<tm::MetricEvent> fast;
+      std::vector<tm::MetricEvent> scalar;
+      bool fast_threw = false;
+      bool scalar_threw = false;
+      try {
+        fast = tm::decode_events(mutated);
+      } catch (const util::CheckError&) {
+        fast_threw = true;
+      }
+      try {
+        scalar = tm::decode_events_scalar(mutated);
+      } catch (const util::CheckError&) {
+        scalar_threw = true;
+      }
+      ASSERT_EQ(fast_threw, scalar_threw)
+          << "byte " << pos << " bit " << bit;
+      if (!fast_threw) expect_events_equal(fast, scalar);
+    }
+  }
+}
+
+TEST(CodecFastPath, ValueEscapingInt32FailsLoudly) {
+  // Hand-built stream whose value track accumulates past INT32_MAX: one
+  // event whose zigzag value delta decodes to 2^32. Before the narrowing
+  // fix this silently truncated; now every tier throws.
+  tm::EncodedBlock evil;
+  evil.events = 1;
+  util::varint_encode(1, evil.bytes);                       // total
+  util::varint_encode(1, evil.bytes);                       // id delta
+  util::varint_encode(1, evil.bytes);                       // run len
+  util::varint_encode(util::zigzag_encode(0), evil.bytes);  // dt
+  util::varint_encode(1, evil.bytes);                       // dt run
+  util::varint_encode(util::zigzag_encode(std::int64_t{1} << 32),
+                      evil.bytes);                          // value delta
+  // The event-count sanity bound (total <= bytes) is satisfied: 1 <= 8.
+  EXPECT_THROW((void)tm::decode_events(evil), util::CheckError);
+  EXPECT_THROW((void)tm::decode_events_scalar(evil), util::CheckError);
+  std::vector<ts::Sample> sink;
+  EXPECT_THROW((void)tm::decode_filter_into(evil, 1, {-10, 10}, sink),
+               util::CheckError);
 }
 
 // ---------------------------------------------------------------- Archive

@@ -244,6 +244,88 @@ TEST(Varint, ZigzagRoundTrip) {
   EXPECT_LE(util::zigzag_encode(-3), 8u);
 }
 
+TEST(VarintBulk, WriterBytesMatchScalarEncoder) {
+  util::Rng rng(99);
+  std::vector<std::uint64_t> values = {0, 1, 127, 128, 16383, 16384,
+                                       ~0ULL, 1ULL << 63};
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(rng.next() >> (rng.next() % 64));
+  }
+  std::vector<std::uint8_t> scalar;
+  for (auto v : values) util::varint_encode(v, scalar);
+  std::vector<std::uint8_t> bulk;
+  {
+    util::VarintWriter w(bulk);
+    for (auto v : values) w.write(v);
+    w.finish();
+    EXPECT_EQ(w.size(), bulk.size());
+  }
+  EXPECT_EQ(bulk, scalar);
+}
+
+TEST(VarintBulk, WriterAppendsAfterExistingBytes) {
+  std::vector<std::uint8_t> buf = {0xAA, 0xBB};
+  {
+    util::VarintWriter w(buf);
+    w.write(300);
+  }  // destructor finishes
+  EXPECT_EQ(buf[0], 0xAA);
+  EXPECT_EQ(buf[1], 0xBB);
+  std::size_t pos = 2;
+  std::uint64_t out = 0;
+  ASSERT_TRUE(util::varint_decode(buf, pos, out));
+  EXPECT_EQ(out, 300u);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintBulk, ReaderMatchesScalarDecoderIncludingTail) {
+  // The reader's fast path needs >= 10 bytes of slack; the last few
+  // varints of any buffer exercise the checked tail fall-back. Mix sizes
+  // so both paths run.
+  util::Rng rng(7);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(rng.next() >> (rng.next() % 64));
+  }
+  std::vector<std::uint8_t> buf;
+  for (auto v : values) util::varint_encode(v, buf);
+  util::VarintReader r(buf);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::uint64_t out = 0;
+    ASSERT_TRUE(r.read(out)) << "varint " << i;
+    EXPECT_EQ(out, values[i]) << "varint " << i;
+  }
+  EXPECT_TRUE(r.done());
+}
+
+TEST(VarintBulk, ReaderRejectsTruncationAndOverlong) {
+  // Truncated max-length varint (tail path).
+  std::vector<std::uint8_t> buf;
+  util::varint_encode(~0ULL, buf);
+  EXPECT_EQ(buf.size(), util::kMaxVarintBytes);
+  buf.pop_back();
+  std::uint64_t out = 0;
+  EXPECT_FALSE(util::VarintReader(buf).read(out));
+  // Overlong: 11 continuation bytes, plenty of slack for the fast path.
+  const std::vector<std::uint8_t> overlong(16, 0x80);
+  EXPECT_FALSE(util::VarintReader(overlong).read(out));
+  std::size_t pos = 0;
+  EXPECT_FALSE(util::varint_decode(overlong, pos, out));
+  // Ten bytes ending clean is the longest acceptable encoding — both
+  // tiers accept it and agree on the value.
+  std::vector<std::uint8_t> max_len;
+  util::varint_encode(~0ULL, max_len);
+  util::VarintReader r(max_len);
+  std::uint64_t fast = 0;
+  ASSERT_TRUE(r.read(fast));
+  EXPECT_TRUE(r.done());
+  pos = 0;
+  std::uint64_t scalar = 0;
+  ASSERT_TRUE(util::varint_decode(max_len, pos, scalar));
+  EXPECT_EQ(fast, scalar);
+  EXPECT_EQ(fast, ~0ULL);
+}
+
 TEST(ThreadPool, RunsAllTasks) {
   util::ThreadPool pool(4);
   std::atomic<int> counter{0};
