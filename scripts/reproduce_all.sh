@@ -29,11 +29,18 @@ grep -q "cache-hit repeated query: .* MET" bench_store_output.txt
 ./build/bench/bench_codec 2>&1 | tee bench_codec_output.txt
 grep -q "decode fast path: .* MET" bench_codec_output.txt
 
+# Network query service: serving the warm store over loopback TCP must
+# sustain at least the machine's own 462,600 events/s production rate as
+# decoded read volume across concurrent scan clients.
+./build/bench/bench_net 2>&1 | tee bench_net_output.txt
+grep -q "net read: MET" bench_net_output.txt
+
 # Machine-readable artifacts for trend tracking.
 test -s BENCH_store.json
 test -s BENCH_codec.json
+test -s BENCH_net.json
 
 for b in build/bench/*; do
-  case "$b" in *bench_stream_ingest|*bench_store|*bench_codec) continue ;; esac
+  case "$b" in *bench_stream_ingest|*bench_store|*bench_codec|*bench_net) continue ;; esac
   [ -x "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt

@@ -1,0 +1,282 @@
+#include "net/event_loop.hpp"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace exawatt::net {
+
+EventLoop::EventLoop(TcpListener listener, Callbacks callbacks,
+                     LoopOptions options)
+    : listener_(std::move(listener)),
+      callbacks_(std::move(callbacks)),
+      options_(options) {}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::stop() {
+  {
+    std::lock_guard lk(mail_mu_);
+    stop_requested_ = true;
+  }
+  wake_.notify();
+}
+
+bool EventLoop::send(ConnId conn, std::vector<std::uint8_t> frame_bytes) {
+  {
+    std::lock_guard lk(mail_mu_);
+    if (!live_.contains(conn)) return false;
+    mailbox_.push_back({conn, std::move(frame_bytes)});
+  }
+  wake_.notify();
+  return true;
+}
+
+void EventLoop::close_after_flush(ConnId conn) {
+  {
+    std::lock_guard lk(mail_mu_);
+    if (!live_.contains(conn)) return;
+    mailbox_.push_back({conn, {}});
+  }
+  wake_.notify();
+}
+
+void EventLoop::pause_accept() {
+  std::lock_guard lk(mail_mu_);
+  accept_paused_ = true;
+}
+
+std::size_t EventLoop::open_connections() const {
+  std::lock_guard lk(mail_mu_);
+  return live_.size();
+}
+
+bool EventLoop::output_idle() const {
+  {
+    std::lock_guard lk(mail_mu_);
+    if (!mailbox_.empty()) return false;
+  }
+  for (const auto& [id, conn] : conns_) {
+    if (!conn.outbox.empty()) return false;
+  }
+  return true;
+}
+
+LoopStats EventLoop::stats() const {
+  std::lock_guard lk(mail_mu_);
+  return stats_;
+}
+
+void EventLoop::drain_mailbox() {
+  std::vector<Mail> mail;
+  {
+    std::lock_guard lk(mail_mu_);
+    mail.swap(mailbox_);
+  }
+  for (Mail& m : mail) {
+    const auto it = conns_.find(m.conn);
+    if (it == conns_.end()) continue;  // raced with a close; drop
+    if (m.bytes.empty()) {
+      it->second.closing = true;
+      continue;
+    }
+    it->second.pending_bytes += m.bytes.size();
+    it->second.outbox.push_back(std::move(m.bytes));
+    {
+      std::lock_guard lk(mail_mu_);
+      ++stats_.frames_out;
+    }
+    if (it->second.pending_bytes > options_.max_pending_write_bytes) {
+      // The peer stopped consuming; unbounded buffering is the real
+      // hazard, so the slow consumer loses its connection.
+      {
+        std::lock_guard lk(mail_mu_);
+        ++stats_.backpressure_closes;
+      }
+      close_conn(it->first);
+    }
+  }
+}
+
+void EventLoop::accept_ready() {
+  for (;;) {
+    TcpStream stream = listener_.accept();
+    if (!stream.valid()) return;
+    const ConnId id = next_id_++;
+    Conn conn;
+    conn.stream = std::move(stream);
+    conns_.emplace(id, std::move(conn));
+    {
+      std::lock_guard lk(mail_mu_);
+      live_.insert(id);
+      ++stats_.accepted;
+    }
+    if (callbacks_.on_open) callbacks_.on_open(id);
+  }
+}
+
+void EventLoop::fail_protocol(ConnId id, Conn& conn, const FrameError& err) {
+  {
+    std::lock_guard lk(mail_mu_);
+    ++stats_.protocol_errors;
+  }
+  if (callbacks_.on_protocol_error) callbacks_.on_protocol_error(id, err);
+  // Best-effort goodbye so a buggy (rather than hostile) client learns
+  // why it was cut off; then close once it flushes.
+  const std::string reason = err.what();
+  auto bytes = encode_frame(
+      FrameType::kGoodbye, 0,
+      {reinterpret_cast<const std::uint8_t*>(reason.data()), reason.size()});
+  conn.pending_bytes += bytes.size();
+  conn.outbox.push_back(std::move(bytes));
+  conn.closing = true;
+}
+
+void EventLoop::read_ready(ConnId id, Conn& conn) {
+  std::vector<std::uint8_t> chunk(options_.read_chunk);
+  for (;;) {
+    const IoResult r = conn.stream.read_some(chunk.data(), chunk.size());
+    if (r.status == IoStatus::kWouldBlock) return;
+    if (r.status == IoStatus::kClosed || r.status == IoStatus::kError) {
+      close_conn(id);
+      return;
+    }
+    {
+      std::lock_guard lk(mail_mu_);
+      stats_.bytes_in += r.n;
+    }
+    if (conn.closing) continue;  // discard input while flushing a goodbye
+    try {
+      conn.decoder.feed({chunk.data(), r.n});
+    } catch (const FrameError& err) {
+      fail_protocol(id, conn, err);
+      return;
+    }
+    Frame frame;
+    while (conn.decoder.next(frame)) {
+      {
+        std::lock_guard lk(mail_mu_);
+        ++stats_.frames_in;
+      }
+      if (callbacks_.on_frame) callbacks_.on_frame(id, std::move(frame));
+      if (!conns_.contains(id)) return;  // callback closed the connection
+    }
+    if (r.n < chunk.size()) return;  // likely drained the socket
+  }
+}
+
+bool EventLoop::write_ready(ConnId id, Conn& conn) {
+  while (!conn.outbox.empty()) {
+    const std::vector<std::uint8_t>& front = conn.outbox.front();
+    const IoResult r = conn.stream.write_some(
+        front.data() + conn.outbox_offset, front.size() - conn.outbox_offset);
+    if (r.status == IoStatus::kWouldBlock) return true;
+    if (r.status != IoStatus::kOk) {
+      close_conn(id);
+      return false;
+    }
+    {
+      std::lock_guard lk(mail_mu_);
+      stats_.bytes_out += r.n;
+    }
+    conn.outbox_offset += r.n;
+    conn.pending_bytes -= r.n;
+    if (conn.outbox_offset == front.size()) {
+      conn.outbox.pop_front();
+      conn.outbox_offset = 0;
+    }
+  }
+  if (conn.closing) {
+    close_conn(id);
+    return false;
+  }
+  return true;
+}
+
+void EventLoop::close_conn(ConnId id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  conns_.erase(it);
+  {
+    std::lock_guard lk(mail_mu_);
+    live_.erase(id);
+    ++stats_.closed;
+  }
+  if (callbacks_.on_close) callbacks_.on_close(id);
+}
+
+bool EventLoop::run_once(int timeout_ms) {
+  bool paused;
+  {
+    std::lock_guard lk(mail_mu_);
+    if (stop_requested_) return false;
+    paused = accept_paused_;
+  }
+  drain_mailbox();
+
+  std::vector<pollfd> fds;
+  std::vector<ConnId> ids;  // parallel to fds, 0 for non-connection slots
+  fds.push_back({wake_.read_fd(), POLLIN, 0});
+  ids.push_back(0);
+  if (listener_.valid() && !paused) {
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    ids.push_back(0);
+  }
+  for (auto& [id, conn] : conns_) {
+    short events = POLLIN;
+    if (!conn.outbox.empty()) events |= POLLOUT;
+    fds.push_back({conn.stream.fd(), events, 0});
+    ids.push_back(id);
+  }
+
+  const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (rc < 0 && errno != EINTR) {
+    throw NetError(std::string("poll: ") + std::strerror(errno));
+  }
+  wake_.drain();
+  drain_mailbox();  // apply sends that triggered the wake before I/O
+
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    const short got = fds[i].revents;
+    if (got == 0) continue;
+    if (fds[i].fd == wake_.read_fd()) continue;
+    if (listener_.valid() && fds[i].fd == listener_.fd()) {
+      accept_ready();
+      continue;
+    }
+    const ConnId id = ids[i];
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;  // closed earlier this round
+    if ((got & (POLLERR | POLLNVAL)) != 0) {
+      close_conn(id);
+      continue;
+    }
+    if ((got & POLLOUT) != 0 && !write_ready(id, it->second)) continue;
+    it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    if ((got & (POLLIN | POLLHUP)) != 0) read_ready(id, it->second);
+  }
+
+  // Flush connections whose outbox was filled by the mailbox this round
+  // but that did not poll writable yet (common for small responses: the
+  // socket buffer is empty, write succeeds immediately).
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    const ConnId id = it->first;
+    Conn& conn = it->second;
+    ++it;  // write_ready may erase this element; map iterators elsewhere stay valid
+    if (!conn.outbox.empty() || conn.closing) {
+      (void)write_ready(id, conn);
+    }
+  }
+
+  std::lock_guard lk(mail_mu_);
+  return !stop_requested_;
+}
+
+void EventLoop::run() {
+  while (run_once(-1)) {
+  }
+}
+
+}  // namespace exawatt::net

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace exawatt::net {
+
+/// Stable identity of one accepted connection (never reused within a
+/// loop's lifetime, so a late completion can't address a new peer).
+using ConnId = std::uint64_t;
+
+struct LoopOptions {
+  /// A connection whose unsent outbound queue exceeds this is closed:
+  /// the consumer stopped reading (or is reading adversarially slowly)
+  /// and unbounded buffering is the real denial-of-service.
+  std::size_t max_pending_write_bytes = std::size_t{64} << 20;
+  /// Read chunk per readiness event.
+  std::size_t read_chunk = 64 << 10;
+};
+
+/// Lifetime counters of one loop (loop thread reads/writes; `snapshot`
+/// is safe from other threads).
+struct LoopStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t backpressure_closes = 0;
+};
+
+/// poll(2)-driven single-threaded reactor over one listener: accepts
+/// connections, decodes frames with the adversarial-input FrameDecoder,
+/// and writes queued responses with backpressure (POLLOUT only while a
+/// connection has pending bytes). Worker threads hand finished responses
+/// back with `send()`, which is thread-safe and wakes the poller through
+/// a self-pipe; everything else runs on the loop thread.
+class EventLoop {
+ public:
+  struct Callbacks {
+    /// A validated frame arrived. Runs on the loop thread — hand real
+    /// work to a pool and return.
+    std::function<void(ConnId, Frame&&)> on_frame;
+    /// Framing violated: a goodbye frame with the fault text has already
+    /// been queued; the connection closes once it flushes (or next poll).
+    std::function<void(ConnId, const FrameError&)> on_protocol_error;
+    std::function<void(ConnId)> on_open;
+    /// Fires exactly once per accepted connection, on the loop thread —
+    /// the cancellation hook for in-flight work of that peer.
+    std::function<void(ConnId)> on_close;
+  };
+
+  EventLoop(TcpListener listener, Callbacks callbacks, LoopOptions options = {});
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// One poll + dispatch round; `timeout_ms < 0` blocks until activity.
+  /// Returns false once `stop()` has been consumed (loop should exit).
+  bool run_once(int timeout_ms);
+  /// run_once until stop().
+  void run();
+
+  /// Thread-safe: request the loop to exit its run()/run_once cycle.
+  void stop();
+
+  /// Thread-safe: queue an already-encoded frame for `conn`. Returns
+  /// false when the connection is gone (the bytes are dropped — the
+  /// caller's cancel token fires via on_close, never silently for a live
+  /// peer). Wakes the poller.
+  bool send(ConnId conn, std::vector<std::uint8_t> frame_bytes);
+
+  /// Thread-safe: close `conn` after flushing everything queued so far.
+  void close_after_flush(ConnId conn);
+
+  /// Stop accepting new connections (drain mode); existing ones live on.
+  void pause_accept();
+
+  /// Loop-thread only: true when nothing is waiting to be written — the
+  /// cross-thread mailbox is empty and every connection outbox flushed.
+  /// Drain sequences spin run_once until this holds.
+  [[nodiscard]] bool output_idle() const;
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.local_port(); }
+  [[nodiscard]] std::size_t open_connections() const;
+  [[nodiscard]] LoopStats stats() const;
+
+ private:
+  struct Conn {
+    TcpStream stream;
+    FrameDecoder decoder;
+    std::deque<std::vector<std::uint8_t>> outbox;  ///< loop-thread owned
+    std::size_t outbox_offset = 0;  ///< sent bytes of outbox.front()
+    std::size_t pending_bytes = 0;
+    bool closing = false;  ///< close once the outbox flushes
+  };
+
+  void accept_ready();
+  void read_ready(ConnId id, Conn& conn);
+  bool write_ready(ConnId id, Conn& conn);  ///< false when conn was closed
+  void fail_protocol(ConnId id, Conn& conn, const FrameError& err);
+  void close_conn(ConnId id);
+  void drain_mailbox();
+
+  TcpListener listener_;
+  Callbacks callbacks_;
+  LoopOptions options_;
+  WakePipe wake_;
+  std::map<ConnId, Conn> conns_;  ///< loop thread only
+  ConnId next_id_ = 1;
+
+  /// Cross-thread state: the mailbox (send()/close_after_flush() land
+  /// here, the loop thread applies them after each poll wake), the live
+  /// connection set mirroring conns_, stats, and the stop/pause flags.
+  mutable std::mutex mail_mu_;
+  struct Mail {
+    ConnId conn = 0;
+    std::vector<std::uint8_t> bytes;  ///< empty => close_after_flush
+  };
+  std::vector<Mail> mailbox_;
+  std::unordered_set<ConnId> live_;
+  bool stop_requested_ = false;
+  bool accept_paused_ = false;
+  LoopStats stats_;
+};
+
+}  // namespace exawatt::net

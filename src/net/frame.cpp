@@ -1,0 +1,165 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+
+namespace exawatt::net {
+
+namespace {
+
+void put_u16(std::uint16_t v, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::uint32_t v, std::vector<std::uint8_t>& out) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::uint64_t v, std::vector<std::uint8_t>& out) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kRequest: return "request";
+    case FrameType::kResponse: return "response";
+    case FrameType::kTick: return "tick";
+    case FrameType::kGoodbye: return "goodbye";
+  }
+  return "unknown";
+}
+
+const char* frame_fault_name(FrameFault fault) {
+  switch (fault) {
+    case FrameFault::kBadMagic: return "bad frame magic";
+    case FrameFault::kBadVersion: return "unsupported protocol version";
+    case FrameFault::kBadType: return "unknown frame type";
+    case FrameFault::kBadReserved: return "nonzero reserved field";
+    case FrameFault::kOversized: return "payload length over limit";
+    case FrameFault::kBadCrc: return "payload CRC mismatch";
+  }
+  return "frame fault";
+}
+
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       std::uint64_t request_id,
+                                       std::span<const std::uint8_t> payload) {
+  EXA_CHECK(payload.size() <= kMaxPayload, "frame payload over limit");
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.insert(out.end(), std::begin(kFrameMagic), std::end(kFrameMagic));
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u16(0, out);
+  put_u64(request_id, out);
+  put_u32(static_cast<std::uint32_t>(payload.size()), out);
+  put_u32(util::crc32(payload), out);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void FrameDecoder::validate_header() {
+  const std::uint8_t* h = buf_.data();
+  if (std::memcmp(h, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    throw FrameError(FrameFault::kBadMagic, "");
+  }
+  if (h[4] != kProtocolVersion) {
+    throw FrameError(FrameFault::kBadVersion,
+                     "got " + std::to_string(int{h[4]}));
+  }
+  const std::uint8_t type = h[5];
+  if (type < static_cast<std::uint8_t>(FrameType::kRequest) ||
+      type > static_cast<std::uint8_t>(FrameType::kGoodbye)) {
+    throw FrameError(FrameFault::kBadType, "got " + std::to_string(int{type}));
+  }
+  if (get_u16(h + 6) != 0) {
+    throw FrameError(FrameFault::kBadReserved, "");
+  }
+  request_id_ = get_u64(h + 8);
+  payload_len_ = get_u32(h + 16);
+  payload_crc_ = get_u32(h + 20);
+  if (payload_len_ > kMaxPayload) {
+    throw FrameError(FrameFault::kOversized,
+                     std::to_string(payload_len_) + " bytes");
+  }
+  type_ = static_cast<FrameType>(type);
+  header_valid_ = true;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  EXA_CHECK(!poisoned_, "frame decoder used after a protocol violation");
+  std::size_t i = 0;
+  const auto take_into = [&](std::size_t target) {
+    const std::size_t take = std::min(target - buf_.size(), bytes.size() - i);
+    buf_.insert(buf_.end(), bytes.begin() + static_cast<std::ptrdiff_t>(i),
+                bytes.begin() + static_cast<std::ptrdiff_t>(i + take));
+    i += take;
+    return buf_.size() == target;
+  };
+  try {
+    for (;;) {
+      if (!header_valid_) {
+        if (!take_into(kFrameHeaderBytes)) break;
+        validate_header();
+        // Payload buffering is sized only after the header validated, so
+        // a hostile length can never drive the allocation below.
+        buf_.clear();
+        buf_.reserve(payload_len_);
+      }
+      if (!take_into(payload_len_)) break;
+      if (util::crc32(buf_) != payload_crc_) {
+        throw FrameError(FrameFault::kBadCrc, "");
+      }
+      Frame frame;
+      frame.type = type_;
+      frame.request_id = request_id_;
+      frame.payload = std::move(buf_);
+      ready_bytes_ += frame.payload.size() + kFrameHeaderBytes;
+      ready_.push_back(std::move(frame));
+      buf_ = {};
+      header_valid_ = false;
+    }
+  } catch (const FrameError&) {
+    poisoned_ = true;
+    throw;
+  }
+}
+
+bool FrameDecoder::next(Frame& out) {
+  if (ready_.empty()) return false;
+  out = std::move(ready_.front());
+  ready_.pop_front();
+  ready_bytes_ -= out.payload.size() + kFrameHeaderBytes;
+  return true;
+}
+
+std::size_t FrameDecoder::buffered_bytes() const {
+  return buf_.size() + ready_bytes_;
+}
+
+}  // namespace exawatt::net

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace exawatt::net {
+
+/// Wire framing of the query service (all integers little-endian):
+///
+///   [4]  magic "EXWN"
+///   [1]  u8  protocol version (1)
+///   [1]  u8  frame type (FrameType)
+///   [2]  u16 reserved (must be 0)
+///   [8]  u64 request id (echoed on responses/ticks of that request)
+///   [4]  u32 payload length (bounded by kMaxPayload)
+///   [4]  u32 CRC-32 of the payload (util::crc32, the store's checksum)
+///   [..] payload
+///
+/// The decoder treats the wire as adversarial: every field is validated
+/// before a single payload byte is trusted, lengths are bounded before
+/// buffering, and any violation surfaces as a typed FrameError — the
+/// server answers with a goodbye frame and closes, it never crashes.
+inline constexpr std::uint8_t kFrameMagic[4] = {'E', 'X', 'W', 'N'};
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+/// Generous for any sane response (a day of 10 s windows is ~70 KB) but
+/// small enough that a hostile length can't balloon server memory.
+inline constexpr std::size_t kMaxPayload = std::size_t{32} << 20;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,   ///< client -> server; payload is a wire::Request
+  kResponse = 2,  ///< server -> client; payload is a wire::Response
+  kTick = 3,      ///< server -> client subscription push; wire::Tick
+  kGoodbye = 4,   ///< connection-fatal notice; payload is a reason string
+};
+
+[[nodiscard]] const char* frame_type_name(FrameType type);
+
+/// Why a frame (or stream) was rejected.
+enum class FrameFault : std::uint8_t {
+  kBadMagic = 0,
+  kBadVersion,
+  kBadType,
+  kBadReserved,
+  kOversized,  ///< declared payload length exceeds kMaxPayload
+  kBadCrc,
+};
+
+[[nodiscard]] const char* frame_fault_name(FrameFault fault);
+
+/// Protocol-level framing violation. Once framing is lost there is no
+/// way to resynchronize a byte stream, so every FrameFault is
+/// connection-fatal (answered with kGoodbye, then close).
+class FrameError : public std::runtime_error {
+ public:
+  FrameError(FrameFault fault, const std::string& detail)
+      : std::runtime_error(std::string(frame_fault_name(fault)) +
+                           (detail.empty() ? "" : ": " + detail)),
+        fault_(fault) {}
+  [[nodiscard]] FrameFault fault() const { return fault_; }
+
+ private:
+  FrameFault fault_;
+};
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize one frame (header + CRC + payload).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    FrameType type, std::uint64_t request_id,
+    std::span<const std::uint8_t> payload);
+
+/// Incremental, bounds-checked frame parser. Feed arbitrary byte chunks
+/// (as the socket delivers them — possibly one byte at a time, the
+/// slow-loris case); complete validated frames pop out of `next()`.
+/// Header fields are validated as soon as the header is complete, so a
+/// hostile length is rejected *before* any buffering is sized from it.
+class FrameDecoder {
+ public:
+  /// Append bytes from the wire. Throws FrameError on any violation;
+  /// after a throw the decoder is poisoned and must be discarded (the
+  /// stream cannot be resynchronized).
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Pop the next complete frame; false when more bytes are needed.
+  [[nodiscard]] bool next(Frame& out);
+
+  /// Bytes buffered but not yet popped (partial frame + queued frames).
+  [[nodiscard]] std::size_t buffered_bytes() const;
+
+ private:
+  void validate_header();
+
+  std::vector<std::uint8_t> buf_;  ///< header + payload of the open frame
+  std::deque<Frame> ready_;
+  std::size_t ready_bytes_ = 0;
+  bool header_valid_ = false;
+  bool poisoned_ = false;
+  FrameType type_ = FrameType::kRequest;
+  std::uint64_t request_id_ = 0;
+  std::uint32_t payload_len_ = 0;
+  std::uint32_t payload_crc_ = 0;
+};
+
+}  // namespace exawatt::net

@@ -1,0 +1,106 @@
+#include "server/server.hpp"
+
+namespace exawatt::server {
+
+Server::Server(const store::Store& store, ServerOptions options)
+    : service_(store, options.service) {
+  net::EventLoop::Callbacks callbacks;
+  callbacks.on_frame = [this](net::ConnId conn, net::Frame&& frame) {
+    on_frame(conn, std::move(frame));
+  };
+  callbacks.on_open = [this](net::ConnId conn) { on_open(conn); };
+  callbacks.on_close = [this](net::ConnId conn) { on_close(conn); };
+  loop_ = std::make_unique<net::EventLoop>(
+      net::TcpListener::bind(options.port, options.loopback_only),
+      std::move(callbacks), options.loop);
+}
+
+void Server::on_open(net::ConnId conn) {
+  std::lock_guard lk(mu_);
+  tokens_.emplace(conn, make_cancel_token());
+}
+
+void Server::on_close(net::ConnId conn) {
+  CancelToken token;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = tokens_.find(conn);
+    if (it == tokens_.end()) return;
+    token = std::move(it->second);
+    tokens_.erase(it);
+  }
+  // Everything this peer still has queued or streaming is now pointless;
+  // workers observe the trip before (or between ticks of) execution.
+  token->store(true, std::memory_order_relaxed);
+}
+
+CancelToken Server::token_of(net::ConnId conn) {
+  std::lock_guard lk(mu_);
+  const auto it = tokens_.find(conn);
+  return it != tokens_.end() ? it->second : make_cancel_token();
+}
+
+void Server::on_frame(net::ConnId conn, net::Frame&& frame) {
+  if (frame.type != net::FrameType::kRequest) {
+    // Clients must only ever send requests; anything else is a protocol
+    // violation at the message layer — goodbye and close.
+    loop_->send(conn,
+                net::encode_frame(
+                    net::FrameType::kGoodbye, frame.request_id,
+                    {reinterpret_cast<const std::uint8_t*>("unexpected frame "
+                                                           "type"),
+                     21}));
+    loop_->close_after_flush(conn);
+    return;
+  }
+  const std::uint64_t request_id = frame.request_id;
+  wire::Request request;
+  try {
+    request = wire::decode_request(frame.payload);
+  } catch (const wire::WireError& e) {
+    // Framing is intact (magic/CRC passed), so the connection survives a
+    // malformed request body; only this request is rejected.
+    wire::Response resp;
+    resp.status = wire::Status::kInvalidArgument;
+    resp.message = e.what();
+    loop_->send(conn, net::encode_frame(net::FrameType::kResponse, request_id,
+                                        wire::encode_response(resp)));
+    return;
+  }
+
+  // Completion + ticks hop back to the loop thread via the mailbox; a
+  // send to a vanished connection is a no-op (its token is tripped).
+  auto emit = [this, conn, request_id](const wire::Tick& tick) {
+    loop_->send(conn, net::encode_frame(net::FrameType::kTick, request_id,
+                                        wire::encode_tick(tick)));
+  };
+  auto done = [this, conn, request_id](wire::Response&& resp) {
+    loop_->send(conn, net::encode_frame(net::FrameType::kResponse, request_id,
+                                        wire::encode_response(resp)));
+  };
+  service_.submit(std::move(request), token_of(conn), std::move(emit),
+                  std::move(done));
+}
+
+void Server::run(const std::function<bool()>& until, int tick_ms) {
+  if (!until) {
+    loop_->run();
+    return;
+  }
+  while (!until()) {
+    if (!loop_->run_once(tick_ms)) return;
+  }
+}
+
+void Server::shutdown() { loop_->stop(); }
+
+void Server::drain(int max_flush_ms) {
+  loop_->pause_accept();
+  service_.drain();
+  for (int waited = 0; waited < max_flush_ms && !loop_->output_idle();
+       waited += 20) {
+    if (!loop_->run_once(20)) break;
+  }
+}
+
+}  // namespace exawatt::server

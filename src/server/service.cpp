@@ -1,0 +1,247 @@
+#include "server/service.hpp"
+
+#include "stream/replay.hpp"
+#include "util/check.hpp"
+
+namespace exawatt::server {
+
+QueryService::QueryService(const store::Store& store, ServiceOptions options)
+    : store_(store),
+      options_(options),
+      pool_(options.pool != nullptr ? *options.pool
+                                    : util::ThreadPool::global()),
+      clock_(options.clock != nullptr ? *options.clock
+                                      : util::Clock::steady()),
+      lat_p50_(0.5),
+      lat_p99_(0.99) {
+  EXA_CHECK(options_.queue_limit > 0, "admission queue must hold something");
+}
+
+void QueryService::set_subscribe_source(SubscribeSource source) {
+  std::lock_guard lk(mu_);
+  subscribe_ = std::move(source);
+}
+
+wire::Response QueryService::execute(const wire::Request& request) const {
+  wire::Response resp;
+  resp.method = request.method;
+  switch (request.method) {
+    case wire::Method::kPing:
+      break;
+    case wire::Method::kWindowSum: {
+      if (request.window <= 0) {
+        resp.status = wire::Status::kInvalidArgument;
+        resp.message = "window must be positive";
+        break;
+      }
+      if (request.range.duration() < 0 ||
+          request.range.duration() / request.window >
+              static_cast<util::TimeSec>(1) << 24) {
+        resp.status = wire::Status::kInvalidArgument;
+        resp.message = "window grid too large";
+        break;
+      }
+      resp.window_sum = store_.window_sum(request.metric, request.range,
+                                          request.window, nullptr,
+                                          &resp.stats);
+      break;
+    }
+    case wire::Method::kScan: {
+      if (request.metrics.empty() || request.metrics.size() > 4096) {
+        resp.status = wire::Status::kInvalidArgument;
+        resp.message = "scan wants 1..4096 metric ids";
+        break;
+      }
+      resp.runs = store_.query_many(request.metrics, request.range, nullptr,
+                                    &resp.stats);
+      break;
+    }
+    case wire::Method::kClusterSum: {
+      if (request.nodes.empty() || request.window <= 0) {
+        resp.status = wire::Status::kInvalidArgument;
+        resp.message = "cluster_sum wants nodes and a positive window";
+        break;
+      }
+      resp.series =
+          store::cluster_sum(store_, request.nodes, request.channel,
+                             request.range, request.window, &resp.counts,
+                             nullptr, &resp.stats);
+      break;
+    }
+    case wire::Method::kPueRollup: {
+      if (request.nodes.empty()) {
+        resp.status = wire::Status::kInvalidArgument;
+        resp.message = "pue_rollup wants nodes";
+        break;
+      }
+      stream::EngineOptions opts;
+      opts.range = request.range;
+      opts.window = request.window > 0 ? request.window : 10;
+      opts.rollup.edge_node_count =
+          static_cast<double>(request.nodes.size());
+      stream::RollupReplay replay =
+          stream::replay_rollup(store_, request.nodes, opts, {}, &resp.stats);
+      resp.series = std::move(replay.power);
+      resp.pue = std::move(replay.pue);
+      break;
+    }
+    case wire::Method::kSubscribe:
+      // Reached only via execute() in tests; the admitted path routes
+      // subscriptions to the installed source instead.
+      resp.status = wire::Status::kUnimplemented;
+      resp.message = "subscribe needs a streaming endpoint";
+      break;
+    case wire::Method::kServerStats: {
+      const ServiceMetrics m = metrics();
+      resp.server.accepted = m.accepted;
+      resp.server.served = m.served;
+      resp.server.shed = m.shed;
+      resp.server.deadline_exceeded = m.deadline_exceeded;
+      resp.server.cancelled = m.cancelled;
+      resp.server.failed = m.failed;
+      resp.server.queue_depth = m.queue_depth;
+      resp.server.queue_limit = options_.queue_limit;
+      resp.server.p50_ms = m.p50_ms;
+      resp.server.p99_ms = m.p99_ms;
+      break;
+    }
+  }
+  return resp;
+}
+
+void QueryService::finish(std::int64_t admitted_us, wire::Response&& response,
+                          const Done& done) {
+  const double latency_ms =
+      static_cast<double>(clock_.now_us() - admitted_us) / 1000.0;
+  {
+    std::lock_guard lk(mu_);
+    --depth_;
+    switch (response.status) {
+      case wire::Status::kOk: ++served_; break;
+      case wire::Status::kDeadlineExceeded: ++deadline_exceeded_; break;
+      case wire::Status::kCancelled: ++cancelled_; break;
+      case wire::Status::kInternal: ++failed_; break;
+      default: break;
+    }
+    lat_p50_.add(latency_ms);
+    lat_p99_.add(latency_ms);
+    if (depth_ == 0) idle_cv_.notify_all();
+  }
+  done(std::move(response));
+}
+
+void QueryService::submit(wire::Request request, CancelToken cancel,
+                          Emit emit, Done done) {
+  SubscribeSource subscribe;
+  {
+    std::lock_guard lk(mu_);
+    if (draining_) {
+      wire::Response resp;
+      resp.method = request.method;
+      resp.status = wire::Status::kUnavailable;
+      resp.message = "server is draining";
+      done(std::move(resp));
+      return;
+    }
+    if (depth_ >= options_.queue_limit) {
+      // The explicit shed: the client learns immediately instead of
+      // waiting on a queue the server cannot work off in time.
+      ++shed_;
+      wire::Response resp;
+      resp.method = request.method;
+      resp.status = wire::Status::kResourceExhausted;
+      resp.message = "admission queue full (" +
+                     std::to_string(options_.queue_limit) + ")";
+      done(std::move(resp));
+      return;
+    }
+    ++depth_;
+    ++accepted_;
+    subscribe = subscribe_;
+  }
+
+  const std::int64_t admitted_us = clock_.now_us();
+  const std::uint32_t deadline_ms = request.deadline_ms != 0
+                                        ? request.deadline_ms
+                                        : options_.default_deadline_ms;
+  const std::int64_t deadline_us =
+      deadline_ms != 0
+          ? admitted_us + static_cast<std::int64_t>(deadline_ms) * 1000
+          : 0;
+
+  pool_.submit([this, request = std::move(request),
+                cancel = std::move(cancel), emit = std::move(emit),
+                done = std::move(done), subscribe = std::move(subscribe),
+                admitted_us, deadline_us] {
+    wire::Response resp;
+    resp.method = request.method;
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      // The peer is gone; its queued work is void, not executed.
+      resp.status = wire::Status::kCancelled;
+      resp.message = "client disconnected while queued";
+      finish(admitted_us, std::move(resp), done);
+      return;
+    }
+    if (deadline_us != 0 && clock_.now_us() > deadline_us) {
+      // Expired work is never started — running it would only delay
+      // requests that can still make their deadlines.
+      resp.status = wire::Status::kDeadlineExceeded;
+      resp.message = "deadline expired before execution";
+      finish(admitted_us, std::move(resp), done);
+      return;
+    }
+    try {
+      if (request.method == wire::Method::kSubscribe) {
+        if (!subscribe) {
+          resp.status = wire::Status::kUnimplemented;
+          resp.message = "no subscription source";
+        } else {
+          subscribe(request, cancel, emit);
+          if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+            resp.status = wire::Status::kCancelled;
+            resp.message = "subscriber disconnected";
+          }
+        }
+      } else {
+        resp = execute(request);
+        if (deadline_us != 0 && clock_.now_us() > deadline_us) {
+          // Finished too late to be useful; report it as such so the
+          // latency SLO accounting reflects what the client saw.
+          resp = {};
+          resp.method = request.method;
+          resp.status = wire::Status::kDeadlineExceeded;
+          resp.message = "deadline expired during execution";
+        }
+      }
+    } catch (const std::exception& e) {
+      resp = {};
+      resp.method = request.method;
+      resp.status = wire::Status::kInternal;
+      resp.message = e.what();
+    }
+    finish(admitted_us, std::move(resp), done);
+  });
+}
+
+ServiceMetrics QueryService::metrics() const {
+  std::lock_guard lk(mu_);
+  ServiceMetrics m;
+  m.accepted = accepted_;
+  m.served = served_;
+  m.shed = shed_;
+  m.deadline_exceeded = deadline_exceeded_;
+  m.cancelled = cancelled_;
+  m.failed = failed_;
+  m.queue_depth = depth_;
+  m.p50_ms = lat_p50_.count() > 0 ? lat_p50_.value() : 0.0;
+  m.p99_ms = lat_p99_.count() > 0 ? lat_p99_.value() : 0.0;
+  return m;
+}
+
+void QueryService::drain() {
+  std::unique_lock lk(mu_);
+  draining_ = true;
+  idle_cv_.wait(lk, [this] { return depth_ == 0; });
+}
+
+}  // namespace exawatt::server

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "server/wire.hpp"
+#include "store/store.hpp"
+#include "stream/quantile.hpp"
+#include "util/sim_time.hpp"
+#include "util/thread_pool.hpp"
+
+namespace exawatt::server {
+
+/// Cooperative cancellation: the server trips one token per connection
+/// when the peer disconnects; queued work observes it before starting,
+/// streaming work between ticks.
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
+[[nodiscard]] inline CancelToken make_cancel_token() {
+  return std::make_shared<std::atomic<bool>>(false);
+}
+
+struct ServiceOptions {
+  /// Bounded admission queue: requests beyond this many queued-or-running
+  /// are shed with an explicit RESOURCE_EXHAUSTED response — the
+  /// overloaded server stays predictable instead of building an unbounded
+  /// backlog of work it will finish after every deadline has passed.
+  std::size_t queue_limit = 256;
+  /// Executor; nullptr selects the process-global pool.
+  util::ThreadPool* pool = nullptr;
+  /// Deadline/latency clock; nullptr selects the steady wall clock.
+  /// Tests install a util::ManualClock to make expiry deterministic.
+  util::Clock* clock = nullptr;
+  /// Applied when a request carries no deadline; 0 = unbounded.
+  std::uint32_t default_deadline_ms = 0;
+};
+
+/// Snapshot of the service counters (also serialized as kServerStats).
+struct ServiceMetrics {
+  std::uint64_t accepted = 0;           ///< admitted into the queue
+  std::uint64_t served = 0;             ///< finished with kOk
+  std::uint64_t shed = 0;               ///< RESOURCE_EXHAUSTED at admission
+  std::uint64_t deadline_exceeded = 0;  ///< expired before/while executing
+  std::uint64_t cancelled = 0;          ///< peer vanished first
+  std::uint64_t failed = 0;             ///< execution threw (kInternal)
+  std::uint64_t queue_depth = 0;        ///< queued or running right now
+  double p50_ms = 0.0;                  ///< admission->completion latency
+  double p99_ms = 0.0;
+};
+
+/// The RPC service over one Store: stateless query execution behind a
+/// deadline-aware bounded admission queue on the shared thread pool.
+///
+/// Threading contract: `submit` may be called from any thread (the
+/// server calls it from the event-loop thread). The `done` callback is
+/// invoked exactly once — inline for shed/drain rejections, on a pool
+/// thread otherwise. `emit` (subscription ticks) fires zero or more
+/// times strictly before `done`, always on the pool thread.
+class QueryService {
+ public:
+  using Emit = std::function<void(const wire::Tick&)>;
+  using Done = std::function<void(wire::Response&&)>;
+
+  /// Subscription executor installed by the endpoint (the serve command
+  /// wires a store replay here). Must honor `cancel` between ticks and
+  /// return when it fires; runs entirely on a pool thread.
+  using SubscribeSource = std::function<void(
+      const wire::Request&, const CancelToken&, const Emit&)>;
+
+  QueryService(const store::Store& store, ServiceOptions options = {});
+
+  /// No subscription source installed => kSubscribe gets kUnimplemented.
+  void set_subscribe_source(SubscribeSource source);
+
+  void submit(wire::Request request, CancelToken cancel, Emit emit,
+              Done done);
+
+  [[nodiscard]] ServiceMetrics metrics() const;
+  [[nodiscard]] std::size_t queue_limit() const {
+    return options_.queue_limit;
+  }
+
+  /// Graceful shutdown: stop admitting (new requests get kUnavailable)
+  /// and block until every queued/running request has completed.
+  void drain();
+
+  /// Execute one request body against the store, bypassing admission —
+  /// the single code path the admitted worker and the in-process tests
+  /// share, so over-the-wire results are the store's results by
+  /// construction.
+  [[nodiscard]] wire::Response execute(const wire::Request& request) const;
+
+ private:
+  void finish(std::int64_t admitted_us, wire::Response&& response,
+              const Done& done);
+
+  const store::Store& store_;
+  ServiceOptions options_;
+  util::ThreadPool& pool_;
+  util::Clock& clock_;
+  SubscribeSource subscribe_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  bool draining_ = false;
+  std::uint64_t depth_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t served_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t deadline_exceeded_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t failed_ = 0;
+  stream::P2Quantile lat_p50_;
+  stream::P2Quantile lat_p99_;
+};
+
+}  // namespace exawatt::server

@@ -1,0 +1,454 @@
+#include "server/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace exawatt::server::wire {
+
+namespace {
+
+/// Bounded little-endian writer/reader pair. Every read checks the
+/// remaining byte count first — a response decoded by the client and a
+/// request decoded by the server both treat the payload as adversarial.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void doubles(std::span<const double> v) {
+    u64(v.size());
+    for (const double x : v) f64(x);
+  }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> in) : in_(in) {}
+
+  [[nodiscard]] std::size_t remaining() const { return in_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+  std::uint8_t u8() {
+    need(1);
+    return in_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  /// Element count declared for `elem_bytes`-sized items; rejected when
+  /// it exceeds what the remaining payload can physically hold, so a
+  /// hostile count can never size an allocation.
+  std::size_t count(std::size_t elem_bytes) {
+    const std::uint64_t n = u64();
+    if (n > remaining() / elem_bytes) {
+      throw WireError("declared count exceeds payload");
+    }
+    return static_cast<std::size_t>(n);
+  }
+  std::vector<double> doubles() {
+    const std::size_t n = count(8);
+    std::vector<double> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) v.push_back(f64());
+    return v;
+  }
+
+ private:
+  void need(std::size_t n) {
+    if (remaining() < n) throw WireError("truncated payload");
+  }
+
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+};
+
+void write_series(Writer& w, const ts::Series& s) {
+  w.i64(s.start());
+  w.i64(s.dt());
+  w.doubles(s.values());
+}
+
+ts::Series read_series(Reader& r) {
+  const util::TimeSec start = r.i64();
+  const util::TimeSec dt = r.i64();
+  std::vector<double> values = r.doubles();
+  if (values.empty()) return {};
+  if (dt <= 0) throw WireError("series dt must be positive");
+  return ts::Series(start, dt, std::move(values));
+}
+
+void write_stats(Writer& w, const store::QueryStats& s) {
+  w.u64(s.lost_segments);
+  w.u64(s.lost_blocks);
+  w.u64(s.cache_hits);
+  w.u64(s.cache_misses);
+}
+
+store::QueryStats read_stats(Reader& r) {
+  store::QueryStats s;
+  s.lost_segments = static_cast<std::size_t>(r.u64());
+  s.lost_blocks = static_cast<std::size_t>(r.u64());
+  s.cache_hits = static_cast<std::size_t>(r.u64());
+  s.cache_misses = static_cast<std::size_t>(r.u64());
+  return s;
+}
+
+Method read_method(Reader& r) {
+  const std::uint8_t m = r.u8();
+  if (m > static_cast<std::uint8_t>(Method::kServerStats)) {
+    throw WireError("unknown method " + std::to_string(int{m}));
+  }
+  return static_cast<Method>(m);
+}
+
+}  // namespace
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kPing: return "ping";
+    case Method::kWindowSum: return "window_sum";
+    case Method::kScan: return "scan";
+    case Method::kClusterSum: return "cluster_sum";
+    case Method::kPueRollup: return "pue_rollup";
+    case Method::kSubscribe: return "subscribe";
+    case Method::kServerStats: return "server_stats";
+  }
+  return "unknown";
+}
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Status::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case Status::kCancelled: return "CANCELLED";
+    case Status::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::kUnimplemented: return "UNIMPLEMENTED";
+    case Status::kInternal: return "INTERNAL";
+    case Status::kUnavailable: return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<std::uint8_t> encode_request(const Request& req) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(req.method));
+  w.u32(req.deadline_ms);
+  switch (req.method) {
+    case Method::kPing:
+    case Method::kServerStats:
+      break;
+    case Method::kWindowSum:
+      w.u32(req.metric);
+      w.i64(req.range.begin);
+      w.i64(req.range.end);
+      w.i64(req.window);
+      break;
+    case Method::kScan:
+      w.u64(req.metrics.size());
+      for (const telemetry::MetricId id : req.metrics) w.u32(id);
+      w.i64(req.range.begin);
+      w.i64(req.range.end);
+      break;
+    case Method::kClusterSum:
+    case Method::kPueRollup:
+      w.u64(req.nodes.size());
+      for (const machine::NodeId n : req.nodes) w.u32(static_cast<std::uint32_t>(n));
+      w.u32(static_cast<std::uint32_t>(req.channel));
+      w.i64(req.range.begin);
+      w.i64(req.range.end);
+      w.i64(req.window);
+      break;
+    case Method::kSubscribe:
+      w.u8(req.subscribe_mask);
+      break;
+  }
+  return w.take();
+}
+
+Request decode_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  Request req;
+  req.method = read_method(r);
+  req.deadline_ms = r.u32();
+  switch (req.method) {
+    case Method::kPing:
+    case Method::kServerStats:
+      break;
+    case Method::kWindowSum:
+      req.metric = r.u32();
+      req.range.begin = r.i64();
+      req.range.end = r.i64();
+      req.window = r.i64();
+      break;
+    case Method::kScan: {
+      const std::size_t n = r.count(4);
+      req.metrics.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) req.metrics.push_back(r.u32());
+      req.range.begin = r.i64();
+      req.range.end = r.i64();
+      break;
+    }
+    case Method::kClusterSum:
+    case Method::kPueRollup: {
+      const std::size_t n = r.count(4);
+      req.nodes.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        req.nodes.push_back(static_cast<machine::NodeId>(r.u32()));
+      }
+      req.channel = static_cast<int>(r.u32());
+      req.range.begin = r.i64();
+      req.range.end = r.i64();
+      req.window = r.i64();
+      break;
+    }
+    case Method::kSubscribe:
+      req.subscribe_mask = r.u8();
+      break;
+  }
+  if (!r.done()) throw WireError("trailing bytes after request");
+  return req;
+}
+
+std::vector<std::uint8_t> encode_response(const Response& resp) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(resp.status));
+  w.u8(static_cast<std::uint8_t>(resp.method));
+  if (resp.status != Status::kOk) {
+    w.str(resp.message);
+    return w.take();
+  }
+  switch (resp.method) {
+    case Method::kPing:
+      break;
+    case Method::kWindowSum:
+      w.i64(resp.window_sum.start);
+      w.i64(resp.window_sum.window);
+      w.doubles(resp.window_sum.sum);
+      w.u64(resp.window_sum.count.size());
+      for (const std::uint64_t c : resp.window_sum.count) w.u64(c);
+      write_stats(w, resp.stats);
+      break;
+    case Method::kScan:
+      w.u64(resp.runs.size());
+      for (const store::MetricRun& run : resp.runs) {
+        w.u32(run.id);
+        w.u64(run.samples.size());
+        for (const ts::Sample& s : run.samples) {
+          w.i64(s.t);
+          w.f64(s.value);
+        }
+      }
+      write_stats(w, resp.stats);
+      break;
+    case Method::kClusterSum:
+      write_series(w, resp.series);
+      w.doubles(resp.counts);
+      write_stats(w, resp.stats);
+      break;
+    case Method::kPueRollup:
+      write_series(w, resp.series);
+      write_series(w, resp.pue);
+      write_stats(w, resp.stats);
+      break;
+    case Method::kSubscribe:
+      // The OK response just acknowledges the subscription; ticks follow
+      // as separate frames with the same request id.
+      break;
+    case Method::kServerStats:
+      w.u64(resp.server.accepted);
+      w.u64(resp.server.served);
+      w.u64(resp.server.shed);
+      w.u64(resp.server.deadline_exceeded);
+      w.u64(resp.server.cancelled);
+      w.u64(resp.server.failed);
+      w.u64(resp.server.queue_depth);
+      w.u64(resp.server.queue_limit);
+      w.f64(resp.server.p50_ms);
+      w.f64(resp.server.p99_ms);
+      break;
+  }
+  return w.take();
+}
+
+Response decode_response(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  Response resp;
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(Status::kUnavailable)) {
+    throw WireError("unknown status " + std::to_string(int{status}));
+  }
+  resp.status = static_cast<Status>(status);
+  resp.method = read_method(r);
+  if (resp.status != Status::kOk) {
+    resp.message = r.str();
+    if (!r.done()) throw WireError("trailing bytes after error response");
+    return resp;
+  }
+  switch (resp.method) {
+    case Method::kPing:
+      break;
+    case Method::kWindowSum: {
+      resp.window_sum.start = r.i64();
+      resp.window_sum.window = r.i64();
+      resp.window_sum.sum = r.doubles();
+      const std::size_t n = r.count(8);
+      resp.window_sum.count.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) resp.window_sum.count.push_back(r.u64());
+      if (resp.window_sum.count.size() != resp.window_sum.sum.size()) {
+        throw WireError("window_sum sum/count length mismatch");
+      }
+      resp.stats = read_stats(r);
+      break;
+    }
+    case Method::kScan: {
+      const std::size_t n_runs = r.count(12);
+      resp.runs.reserve(n_runs);
+      for (std::size_t i = 0; i < n_runs; ++i) {
+        store::MetricRun run;
+        run.id = r.u32();
+        const std::size_t n = r.count(16);
+        run.samples.reserve(n);
+        for (std::size_t j = 0; j < n; ++j) {
+          ts::Sample s;
+          s.t = r.i64();
+          s.value = r.f64();
+          run.samples.push_back(s);
+        }
+        resp.runs.push_back(std::move(run));
+      }
+      resp.stats = read_stats(r);
+      break;
+    }
+    case Method::kClusterSum:
+      resp.series = read_series(r);
+      resp.counts = r.doubles();
+      resp.stats = read_stats(r);
+      break;
+    case Method::kPueRollup:
+      resp.series = read_series(r);
+      resp.pue = read_series(r);
+      resp.stats = read_stats(r);
+      break;
+    case Method::kSubscribe:
+      break;
+    case Method::kServerStats:
+      resp.server.accepted = r.u64();
+      resp.server.served = r.u64();
+      resp.server.shed = r.u64();
+      resp.server.deadline_exceeded = r.u64();
+      resp.server.cancelled = r.u64();
+      resp.server.failed = r.u64();
+      resp.server.queue_depth = r.u64();
+      resp.server.queue_limit = r.u64();
+      resp.server.p50_ms = r.f64();
+      resp.server.p99_ms = r.f64();
+      break;
+  }
+  if (!r.done()) throw WireError("trailing bytes after response");
+  return resp;
+}
+
+std::vector<std::uint8_t> encode_tick(const Tick& tick) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(tick.kind));
+  switch (tick.kind) {
+    case TickKind::kWindow:
+      w.u64(tick.index);
+      w.i64(tick.t);
+      w.f64(tick.power_w);
+      w.f64(tick.pue);
+      w.f64(tick.nodes_reporting);
+      break;
+    case TickKind::kAlert:
+      w.u8(static_cast<std::uint8_t>(tick.alert.kind));
+      w.u8(tick.alert.raised ? 1 : 0);
+      w.i64(tick.alert.t);
+      w.i64(tick.alert.node);
+      w.f64(tick.alert.value);
+      break;
+    case TickKind::kEnd:
+      break;
+  }
+  return w.take();
+}
+
+Tick decode_tick(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  Tick tick;
+  const std::uint8_t kind = r.u8();
+  switch (kind) {
+    case static_cast<std::uint8_t>(TickKind::kWindow):
+      tick.kind = TickKind::kWindow;
+      tick.index = r.u64();
+      tick.t = r.i64();
+      tick.power_w = r.f64();
+      tick.pue = r.f64();
+      tick.nodes_reporting = r.f64();
+      break;
+    case static_cast<std::uint8_t>(TickKind::kAlert): {
+      tick.kind = TickKind::kAlert;
+      const std::uint8_t akind = r.u8();
+      if (akind > static_cast<std::uint8_t>(stream::AlertKind::kIngestDrops)) {
+        throw WireError("unknown alert kind");
+      }
+      tick.alert.kind = static_cast<stream::AlertKind>(akind);
+      tick.alert.raised = r.u8() != 0;
+      tick.alert.t = r.i64();
+      tick.alert.node = static_cast<machine::NodeId>(r.i64());
+      tick.alert.value = r.f64();
+      break;
+    }
+    case static_cast<std::uint8_t>(TickKind::kEnd):
+      tick.kind = TickKind::kEnd;
+      break;
+    default:
+      throw WireError("unknown tick kind");
+  }
+  if (!r.done()) throw WireError("trailing bytes after tick");
+  return tick;
+}
+
+std::uint64_t response_event_volume(const Response& resp) {
+  if (resp.status != Status::kOk) return 0;
+  std::uint64_t volume = 0;
+  for (const std::uint64_t c : resp.window_sum.count) volume += c;
+  for (const store::MetricRun& run : resp.runs) volume += run.samples.size();
+  volume += resp.series.size();
+  volume += resp.pue.size();
+  return volume;
+}
+
+}  // namespace exawatt::server::wire

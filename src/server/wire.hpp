@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "machine/topology.hpp"
+#include "store/format.hpp"
+#include "store/store.hpp"
+#include "stream/alerts.hpp"
+#include "ts/series.hpp"
+
+namespace exawatt::server::wire {
+
+/// Malformed request/response payload inside a structurally valid frame.
+/// Unlike a framing fault this is NOT connection-fatal on the server: the
+/// stream is still in sync, so the offender gets INVALID_ARGUMENT back
+/// and the connection lives on.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Query methods of the service (payload byte 0 of a request frame).
+enum class Method : std::uint8_t {
+  kPing = 0,        ///< liveness / RTT probe; echoes an empty OK
+  kWindowSum = 1,   ///< Store::window_sum of one metric
+  kScan = 2,        ///< metric-range scan (Store::query_many)
+  kClusterSum = 3,  ///< store::cluster_sum power roll-up across nodes
+  kPueRollup = 4,   ///< streaming replay: cluster power + facility PUE
+  kSubscribe = 5,   ///< stream of coarse ticks / alerts (Tick frames)
+  kServerStats = 6, ///< server-side metrics counters snapshot
+};
+
+[[nodiscard]] const char* method_name(Method m);
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kResourceExhausted = 1,  ///< admission queue full — explicit shed
+  kDeadlineExceeded = 2,   ///< expired before execution finished/started
+  kCancelled = 3,          ///< client disconnected while queued/running
+  kInvalidArgument = 4,    ///< malformed or out-of-contract request
+  kUnimplemented = 5,      ///< method not served by this endpoint
+  kInternal = 6,           ///< execution threw
+  kUnavailable = 7,        ///< server is draining for shutdown
+};
+
+[[nodiscard]] const char* status_name(Status s);
+
+/// One decoded request. A tagged union flattened into optional fields —
+/// `method` says which ones are meaningful (mirrors the encoders below).
+struct Request {
+  Method method = Method::kPing;
+  /// Relative deadline; 0 = none. The server stamps an absolute deadline
+  /// at admission and refuses to *start* expired work.
+  std::uint32_t deadline_ms = 0;
+
+  telemetry::MetricId metric = 0;              // kWindowSum
+  std::vector<telemetry::MetricId> metrics;    // kScan
+  std::vector<machine::NodeId> nodes;          // kClusterSum / kPueRollup
+  int channel = 0;                             // kClusterSum
+  util::TimeRange range{0, 0};
+  util::TimeSec window = 10;
+
+  /// kSubscribe: bitmask of TickKind values the client wants.
+  std::uint8_t subscribe_mask = 0x3;
+};
+
+/// Server-side service counters (kServerStats response payload).
+struct ServerStatsWire {
+  std::uint64_t accepted = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_limit = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// One decoded response. `status != kOk` carries only `message`. The
+/// method is echoed in the payload so the decoder knows which fields
+/// follow without out-of-band context.
+struct Response {
+  Status status = Status::kOk;
+  Method method = Method::kPing;
+  std::string message;
+
+  store::WindowSum window_sum;          // kWindowSum
+  std::vector<store::MetricRun> runs;   // kScan
+  ts::Series series;                    // kClusterSum / kPueRollup power
+  std::vector<double> counts;           // kClusterSum contributing nodes
+  ts::Series pue;                       // kPueRollup
+  store::QueryStats stats;              // loss/cache accounting, kOk reads
+  ServerStatsWire server;               // kServerStats
+};
+
+enum class TickKind : std::uint8_t {
+  kWindow = 1,  ///< one closed cluster roll-up window
+  kAlert = 2,   ///< one alert engine transition
+  kEnd = 4,     ///< subscription finished (replay reached range end)
+};
+
+/// One subscription push (payload of a Tick frame).
+struct Tick {
+  TickKind kind = TickKind::kWindow;
+  // kWindow
+  std::uint64_t index = 0;
+  util::TimeSec t = 0;
+  double power_w = 0.0;
+  double pue = 0.0;
+  double nodes_reporting = 0.0;
+  // kAlert
+  stream::Alert alert;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const Request& req);
+/// Throws WireError on malformed/truncated payload or absurd counts.
+[[nodiscard]] Request decode_request(std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_response(const Response& resp);
+[[nodiscard]] Response decode_response(std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_tick(const Tick& tick);
+[[nodiscard]] Tick decode_tick(std::span<const std::uint8_t> payload);
+
+/// Sum of events carried by a response (scan sample counts / window_sum
+/// event counts / roll-up windows) — the loadgen's "read volume" unit.
+[[nodiscard]] std::uint64_t response_event_volume(const Response& resp);
+
+}  // namespace exawatt::server::wire

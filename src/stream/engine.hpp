@@ -51,6 +51,12 @@ class Engine {
   /// End of stream: flush every operator through the range end.
   void finish();
 
+  /// Observe every finalized cluster window as it closes (forwarded to
+  /// the roll-up; install before the first ingest/advance).
+  void set_window_sink(ClusterRollup::WindowSink sink) {
+    rollup_.set_sink(std::move(sink));
+  }
+
   [[nodiscard]] const EngineOptions& options() const { return options_; }
   [[nodiscard]] util::TimeSec now() const { return now_; }
   [[nodiscard]] std::uint64_t events_ingested() const { return events_; }

@@ -4,9 +4,10 @@
 
 namespace exawatt::stream {
 
-ts::Series replay_power_rollup(const store::Store& store,
-                               const std::vector<machine::NodeId>& nodes,
-                               EngineOptions options) {
+RollupReplay replay_rollup(const store::Store& store,
+                           const std::vector<machine::NodeId>& nodes,
+                           EngineOptions options, const ReplaySinks& sinks,
+                           store::QueryStats* stats) {
   const int channel =
       telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
   std::vector<telemetry::MetricId> ids;
@@ -14,7 +15,7 @@ ts::Series replay_power_rollup(const store::Store& store,
   for (const machine::NodeId n : nodes) {
     ids.push_back(telemetry::metric_id(n, channel));
   }
-  const auto runs = store.query_many(ids, options.range);
+  const auto runs = store.query_many(ids, options.range, nullptr, stats);
 
   struct Replayed {
     util::TimeSec t;
@@ -34,10 +35,30 @@ ts::Series replay_power_rollup(const store::Store& store,
     return a.t < b.t || (a.t == b.t && a.id < b.id);
   });
 
+  RollupReplay out;
   Engine engine(options);
+  if (sinks.on_window) {
+    engine.set_window_sink(sinks.on_window);
+  }
+  // Alerts have no native sink; new log entries are forwarded after every
+  // clock step, which preserves transition order relative to windows of
+  // the same second.
+  std::size_t alerts_seen = 0;
+  const auto pump_alerts = [&] {
+    if (!sinks.on_alert) return;
+    const auto& log = engine.alerts().log();
+    for (; alerts_seen < log.size(); ++alerts_seen) {
+      sinks.on_alert(log[alerts_seen]);
+    }
+  };
+
   std::size_t i = 0;
   for (util::TimeSec now = options.range.begin; now < options.range.end;
        ++now) {
+    if (sinks.cancelled && sinks.cancelled()) {
+      out.cancelled = true;
+      break;
+    }
     while (i < feed.size() && feed[i].t <= now) {
       telemetry::Collector::Arrival arrival;
       arrival.event.id = feed[i].id;
@@ -48,9 +69,23 @@ ts::Series replay_power_rollup(const store::Store& store,
       ++i;
     }
     engine.advance_to(now);
+    pump_alerts();
   }
-  engine.finish();
-  return engine.rollup().power_series();
+  if (!out.cancelled) {
+    engine.finish();
+    pump_alerts();
+  }
+  out.power = engine.rollup().power_series();
+  out.pue = engine.rollup().pue_series();
+  out.events = engine.events_ingested();
+  out.windows = engine.rollup().closed_windows();
+  return out;
+}
+
+ts::Series replay_power_rollup(const store::Store& store,
+                               const std::vector<machine::NodeId>& nodes,
+                               EngineOptions options) {
+  return replay_rollup(store, nodes, std::move(options)).power;
 }
 
 }  // namespace exawatt::stream

@@ -40,6 +40,7 @@ PipelineStats Pipeline::run(util::TimeRange range, util::TimeSec flush_every) {
   std::vector<MetricEvent> batch;
   std::vector<Collector::Arrival> second_arrivals;
   for (util::TimeSec t = range.begin; t < range.end; ++t) {
+    if (stop_.load(std::memory_order_relaxed)) break;
     second_arrivals.clear();
     for (std::size_t i = 0; i < samplers.size(); ++i) {
       const NodeSampler::Readings r = samplers[i].sample(t);

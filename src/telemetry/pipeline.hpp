@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <span>
 #include <vector>
@@ -59,6 +60,14 @@ class Pipeline {
   /// per `flush_every` seconds into archive blocks.
   PipelineStats run(util::TimeRange range, util::TimeSec flush_every = 60);
 
+  /// Thread/signal-safe early stop: run() finishes the current simulated
+  /// second, flushes the partial batch, and returns with whatever was
+  /// produced so far. Stats remain valid for the truncated window.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] const Archive& archive() const { return archive_; }
   [[nodiscard]] Archive& archive() { return archive_; }
   /// Transport-layer access (loss injection, outage registration).
@@ -75,6 +84,7 @@ class Pipeline {
   Archive archive_;
   ArrivalTap tap_;
   BatchSink batch_sink_;
+  std::atomic<bool> stop_{false};
 };
 
 }  // namespace exawatt::telemetry

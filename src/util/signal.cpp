@@ -1,0 +1,65 @@
+#include "util/signal.hpp"
+
+#include <csignal>
+
+#include "util/check.hpp"
+
+namespace exawatt::util {
+
+namespace {
+
+// Signal handlers may only touch lock-free atomics; everything here is.
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_signum{0};
+std::atomic<bool> g_installed{false};
+
+struct sigaction g_prev_int;
+struct sigaction g_prev_term;
+
+void handle(int signum) {
+  if (g_stop.exchange(true, std::memory_order_relaxed)) {
+    // Second signal: the operator wants out now. Restore the default
+    // disposition and re-raise so the process dies with the right code.
+    ::signal(signum, SIG_DFL);
+    ::raise(signum);
+    return;
+  }
+  g_signum.store(signum, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+SignalTrap::SignalTrap() {
+  EXA_CHECK(!g_installed.exchange(true, std::memory_order_acq_rel),
+            "only one SignalTrap may be alive at a time");
+  g_stop.store(false, std::memory_order_relaxed);
+  g_signum.store(0, std::memory_order_relaxed);
+  struct sigaction sa = {};
+  sa.sa_handler = handle;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: poll/read must wake to see the flag
+  ::sigaction(SIGINT, &sa, &g_prev_int);
+  ::sigaction(SIGTERM, &sa, &g_prev_term);
+}
+
+SignalTrap::~SignalTrap() {
+  ::sigaction(SIGINT, &g_prev_int, nullptr);
+  ::sigaction(SIGTERM, &g_prev_term, nullptr);
+  g_installed.store(false, std::memory_order_release);
+}
+
+bool SignalTrap::stop_requested() const {
+  return g_stop.load(std::memory_order_relaxed);
+}
+
+int SignalTrap::signal_number() const {
+  return g_signum.load(std::memory_order_relaxed);
+}
+
+void SignalTrap::simulate(int signum) {
+  if (!g_stop.exchange(true, std::memory_order_relaxed)) {
+    g_signum.store(signum, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace exawatt::util

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <atomic>
+
+namespace exawatt::util {
+
+/// Process-wide SIGINT/SIGTERM trap for long-running commands. Installing
+/// it replaces the default die-immediately disposition with a latched
+/// flag the main loop polls, so `serve` and `stream` can drain and print
+/// final stats instead of losing in-flight work. A second signal while
+/// the flag is already set restores the default disposition and re-raises
+/// — an operator who presses Ctrl-C twice means it.
+///
+/// Only one trap may be alive at a time (it owns the process-global
+/// handlers); the destructor restores the previous dispositions.
+class SignalTrap {
+ public:
+  SignalTrap();
+  ~SignalTrap();
+
+  SignalTrap(const SignalTrap&) = delete;
+  SignalTrap& operator=(const SignalTrap&) = delete;
+
+  /// True once SIGINT or SIGTERM has been received.
+  [[nodiscard]] bool stop_requested() const;
+  /// The signal number that tripped the trap (0 if none yet).
+  [[nodiscard]] int signal_number() const;
+
+  /// Testing hook: trip the trap as if a signal had arrived.
+  static void simulate(int signum);
+};
+
+}  // namespace exawatt::util

@@ -1,0 +1,667 @@
+// src/net + src/server: adversarial framing, wire-codec round-trips,
+// deadline-aware admission control (deterministic via util::ManualClock),
+// and loopback client/server integration. The framing tests treat the
+// wire as hostile: truncated frames, oversized length claims, corrupt
+// magic/version/CRC, and slow-loris byte-at-a-time delivery must all be
+// survived — rejected with a typed error or simply waited out, never a
+// crash (CI runs this suite under ASan/UBSan).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <thread>
+
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "server/service.hpp"
+#include "server/wire.hpp"
+#include "store/store.hpp"
+#include "util/check.hpp"
+#include "util/sim_time.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace exawatt;
+namespace fs = std::filesystem;
+
+// --- framing -------------------------------------------------------------
+
+std::vector<std::uint8_t> payload_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Frame, RoundTripsThroughDecoder) {
+  const auto bytes = net::encode_frame(net::FrameType::kResponse, 42,
+                                       payload_of("hello wire"));
+  net::FrameDecoder decoder;
+  decoder.feed(bytes);
+  net::Frame frame;
+  ASSERT_TRUE(decoder.next(frame));
+  EXPECT_EQ(frame.type, net::FrameType::kResponse);
+  EXPECT_EQ(frame.request_id, 42u);
+  EXPECT_EQ(frame.payload, payload_of("hello wire"));
+  EXPECT_FALSE(decoder.next(frame));
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(Frame, EmptyPayloadAndBackToBackFrames) {
+  auto bytes = net::encode_frame(net::FrameType::kGoodbye, 1, {});
+  const auto second =
+      net::encode_frame(net::FrameType::kTick, 2, payload_of("x"));
+  bytes.insert(bytes.end(), second.begin(), second.end());
+  net::FrameDecoder decoder;
+  decoder.feed(bytes);
+  net::Frame frame;
+  ASSERT_TRUE(decoder.next(frame));
+  EXPECT_EQ(frame.type, net::FrameType::kGoodbye);
+  EXPECT_TRUE(frame.payload.empty());
+  ASSERT_TRUE(decoder.next(frame));
+  EXPECT_EQ(frame.type, net::FrameType::kTick);
+  EXPECT_EQ(frame.request_id, 2u);
+}
+
+TEST(Frame, SlowLorisByteAtATimeStillDecodes) {
+  const auto bytes = net::encode_frame(net::FrameType::kRequest, 7,
+                                       payload_of("one byte at a time"));
+  net::FrameDecoder decoder;
+  net::Frame frame;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.feed({&bytes[i], 1});
+    EXPECT_FALSE(decoder.next(frame)) << "frame complete too early at " << i;
+  }
+  decoder.feed({&bytes[bytes.size() - 1], 1});
+  ASSERT_TRUE(decoder.next(frame));
+  EXPECT_EQ(frame.payload, payload_of("one byte at a time"));
+}
+
+TEST(Frame, TruncatedFrameNeverSurfaces) {
+  const auto bytes =
+      net::encode_frame(net::FrameType::kRequest, 9, payload_of("cut off"));
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    net::FrameDecoder decoder;
+    decoder.feed({bytes.data(), keep});
+    net::Frame frame;
+    EXPECT_FALSE(decoder.next(frame)) << "incomplete prefix of " << keep;
+    EXPECT_LE(decoder.buffered_bytes(), keep);
+  }
+}
+
+void expect_fault(std::vector<std::uint8_t> bytes, net::FrameFault fault) {
+  net::FrameDecoder decoder;
+  try {
+    decoder.feed(bytes);
+    FAIL() << "corrupt frame accepted";
+  } catch (const net::FrameError& e) {
+    EXPECT_EQ(e.fault(), fault) << e.what();
+  }
+  // Poisoned: even a pristine frame is refused afterwards (the stream
+  // cannot be resynchronized, so reuse is a programming error).
+  const auto clean = net::encode_frame(net::FrameType::kRequest, 1, {});
+  EXPECT_THROW(decoder.feed(clean), util::CheckError);
+}
+
+TEST(Frame, RejectsBadMagic) {
+  auto bytes = net::encode_frame(net::FrameType::kRequest, 3, {});
+  bytes[0] = 'H';  // "HXWN" — say, an HTTP client dialled the wrong port
+  expect_fault(std::move(bytes), net::FrameFault::kBadMagic);
+}
+
+TEST(Frame, RejectsBadVersion) {
+  auto bytes = net::encode_frame(net::FrameType::kRequest, 3, {});
+  bytes[4] = 99;
+  expect_fault(std::move(bytes), net::FrameFault::kBadVersion);
+}
+
+TEST(Frame, RejectsBadType) {
+  auto bytes = net::encode_frame(net::FrameType::kRequest, 3, {});
+  bytes[5] = 0;
+  expect_fault(bytes, net::FrameFault::kBadType);
+  bytes[5] = 250;
+  expect_fault(std::move(bytes), net::FrameFault::kBadType);
+}
+
+TEST(Frame, RejectsReservedBits) {
+  auto bytes = net::encode_frame(net::FrameType::kRequest, 3, {});
+  bytes[6] = 1;
+  expect_fault(std::move(bytes), net::FrameFault::kBadReserved);
+}
+
+TEST(Frame, RejectsOversizedLengthFromHeaderAlone) {
+  // A hostile 4 GB length claim must be rejected from the 24 header
+  // bytes, before any buffer is sized from it.
+  auto bytes = net::encode_frame(net::FrameType::kRequest, 3, {});
+  bytes[16] = bytes[17] = bytes[18] = bytes[19] = 0xff;
+  bytes.resize(net::kFrameHeaderBytes);  // no payload follows — irrelevant
+  expect_fault(std::move(bytes), net::FrameFault::kOversized);
+}
+
+TEST(Frame, RejectsCorruptPayloadCrc) {
+  auto bytes = net::encode_frame(net::FrameType::kRequest, 3,
+                                 payload_of("checksummed"));
+  bytes.back() ^= 0x01;  // flip one payload bit
+  expect_fault(std::move(bytes), net::FrameFault::kBadCrc);
+}
+
+// --- wire codec ----------------------------------------------------------
+
+TEST(Wire, RequestRoundTripsEveryMethod) {
+  server::wire::Request req;
+  req.method = server::wire::Method::kClusterSum;
+  req.deadline_ms = 250;
+  req.nodes = {0, 3, 7};
+  req.channel = 12;
+  req.range = {100, 700};
+  req.window = 10;
+  const auto back = server::wire::decode_request(server::wire::encode_request(req));
+  EXPECT_EQ(back.method, req.method);
+  EXPECT_EQ(back.deadline_ms, req.deadline_ms);
+  EXPECT_EQ(back.nodes, req.nodes);
+  EXPECT_EQ(back.channel, req.channel);
+  EXPECT_EQ(back.range.begin, req.range.begin);
+  EXPECT_EQ(back.range.end, req.range.end);
+  EXPECT_EQ(back.window, req.window);
+
+  server::wire::Request scan;
+  scan.method = server::wire::Method::kScan;
+  scan.metrics = {5, 6, 1000000};
+  scan.range = {0, 60};
+  const auto scan_back =
+      server::wire::decode_request(server::wire::encode_request(scan));
+  EXPECT_EQ(scan_back.metrics, scan.metrics);
+
+  server::wire::Request sub;
+  sub.method = server::wire::Method::kSubscribe;
+  sub.nodes = {1, 2};
+  sub.subscribe_mask = 0x7;
+  const auto sub_back =
+      server::wire::decode_request(server::wire::encode_request(sub));
+  EXPECT_EQ(sub_back.subscribe_mask, 0x7);
+}
+
+TEST(Wire, ResponseRoundTripsBitIdentically) {
+  server::wire::Response resp;
+  resp.method = server::wire::Method::kScan;
+  resp.runs.resize(2);
+  resp.runs[0].id = 11;
+  resp.runs[0].samples = {{0, 1.5}, {1, -2.25}, {2, 1e-300}};
+  resp.runs[1].id = 12;
+  resp.runs[1].samples = {{5, 42.0}};
+  resp.stats.lost_segments = 1;
+  resp.stats.cache_hits = 9;
+  const auto back =
+      server::wire::decode_response(server::wire::encode_response(resp));
+  ASSERT_EQ(back.runs.size(), 2u);
+  EXPECT_EQ(back.runs[0].id, 11u);
+  ASSERT_EQ(back.runs[0].samples.size(), 3u);
+  // Doubles cross the wire as raw bits: exact equality is the contract.
+  EXPECT_EQ(back.runs[0].samples[2].value, 1e-300);
+  EXPECT_EQ(back.stats.lost_segments, 1u);
+  EXPECT_EQ(back.stats.cache_hits, 9u);
+
+  server::wire::Response err;
+  err.status = server::wire::Status::kResourceExhausted;
+  err.method = server::wire::Method::kPing;
+  err.message = "admission queue full (256)";
+  const auto err_back =
+      server::wire::decode_response(server::wire::encode_response(err));
+  EXPECT_EQ(err_back.status, server::wire::Status::kResourceExhausted);
+  EXPECT_EQ(err_back.message, err.message);
+}
+
+TEST(Wire, TickRoundTrips) {
+  server::wire::Tick tick;
+  tick.kind = server::wire::TickKind::kAlert;
+  tick.t = 777;
+  tick.alert.kind = stream::AlertKind::kThermal;
+  tick.alert.raised = true;
+  tick.alert.node = 13;
+  tick.alert.value = 3.5;
+  const auto back = server::wire::decode_tick(server::wire::encode_tick(tick));
+  EXPECT_EQ(back.kind, server::wire::TickKind::kAlert);
+  EXPECT_EQ(back.alert.kind, stream::AlertKind::kThermal);
+  EXPECT_EQ(back.alert.node, 13);
+  EXPECT_EQ(back.alert.value, 3.5);
+}
+
+TEST(Wire, EveryTruncationIsRejectedNotCrashed) {
+  server::wire::Request req;
+  req.method = server::wire::Method::kScan;
+  req.metrics = {1, 2, 3, 4};
+  req.range = {0, 600};
+  const auto req_bytes = server::wire::encode_request(req);
+  for (std::size_t keep = 0; keep < req_bytes.size(); ++keep) {
+    EXPECT_THROW(
+        (void)server::wire::decode_request({req_bytes.data(), keep}),
+        server::wire::WireError)
+        << "request prefix " << keep;
+  }
+
+  server::wire::Response resp;
+  resp.method = server::wire::Method::kClusterSum;
+  resp.series = ts::Series(0, 10, {1.0, 2.0, 3.0});
+  resp.counts = {3.0, 3.0, 2.0};
+  const auto resp_bytes = server::wire::encode_response(resp);
+  for (std::size_t keep = 0; keep < resp_bytes.size(); ++keep) {
+    EXPECT_THROW(
+        (void)server::wire::decode_response({resp_bytes.data(), keep}),
+        server::wire::WireError)
+        << "response prefix " << keep;
+  }
+}
+
+TEST(Wire, HostileElementCountIsRejectedBeforeAllocation) {
+  // A scan request claiming 2^31 metric ids in a 30-byte payload must be
+  // rejected by the count-vs-remaining-bytes check, not attempted.
+  server::wire::Request req;
+  req.method = server::wire::Method::kScan;
+  req.metrics = {1};
+  auto bytes = server::wire::encode_request(req);
+  // The metric count is the u32 right after method(1)+deadline(4)+
+  // range(16)+window(8) = byte 29 in the scan layout; rather than
+  // hard-code that, just splat a huge count over every u32-aligned spot
+  // and require *some* WireError (never a bad_alloc / crash).
+  for (std::size_t at = 1; at + 4 <= bytes.size(); ++at) {
+    auto evil = bytes;
+    evil[at] = 0xff;
+    evil[at + 1] = 0xff;
+    evil[at + 2] = 0xff;
+    evil[at + 3] = 0x7f;
+    try {
+      (void)server::wire::decode_request(evil);
+    } catch (const server::wire::WireError&) {
+      // expected for the count offset; harmless elsewhere
+    }
+  }
+}
+
+// --- admission control (deterministic, no sockets) -----------------------
+
+std::string store_dir(const char* leaf) {
+  return (fs::temp_directory_path() / "exawatt_test_net" / leaf).string();
+}
+
+/// A small store: 4 metrics at 1 Hz for 120 s.
+store::Store make_store(const std::string& dir) {
+  fs::remove_all(dir);
+  store::Store st = store::Store::open(dir);
+  std::vector<telemetry::MetricEvent> batch;
+  for (util::TimeSec t = 0; t < 120; ++t) {
+    for (std::uint32_t m = 0; m < 4; ++m) {
+      batch.push_back({m, t, static_cast<std::int32_t>(500 + m + t % 7)});
+    }
+  }
+  st.append(batch);
+  st.flush();
+  return st;
+}
+
+struct ServiceFixture {
+  store::Store store;
+  util::ThreadPool pool{1};  ///< single worker => deterministic queueing
+  util::ManualClock clock;
+  server::QueryService service;
+
+  ServiceFixture(std::size_t queue_limit, const char* leaf)
+      : store(make_store(store_dir(leaf))),
+        service(store, {.queue_limit = queue_limit,
+                        .pool = &pool,
+                        .clock = &clock}) {}
+
+  /// Occupy the single pool thread until `release` is satisfied.
+  std::future<void> block_pool(std::shared_future<void> release) {
+    auto running = std::make_shared<std::promise<void>>();
+    auto started = running->get_future();
+    service.set_subscribe_source(
+        [release, running](const server::wire::Request&,
+                           const server::CancelToken&,
+                           const server::QueryService::Emit&) {
+          running->set_value();
+          release.wait();
+        });
+    server::wire::Request req;
+    req.method = server::wire::Method::kSubscribe;
+    service.submit(req, server::make_cancel_token(),
+                   [](const server::wire::Tick&) {},
+                   [](server::wire::Response&&) {});
+    return started;
+  }
+};
+
+server::QueryService::Done capture(std::promise<server::wire::Response>& p) {
+  return [&p](server::wire::Response&& resp) { p.set_value(std::move(resp)); };
+}
+
+TEST(Admission, FullQueueShedsWithResourceExhausted) {
+  ServiceFixture fx(/*queue_limit=*/2, "shed");
+  std::promise<void> release;
+  fx.block_pool(release.get_future().share()).wait();
+
+  // Depth 1 (the blocker). One more fits...
+  std::promise<server::wire::Response> queued;
+  server::wire::Request req;
+  req.method = server::wire::Method::kPing;
+  fx.service.submit(req, server::make_cancel_token(), {}, capture(queued));
+
+  // ...and the third is shed inline, with an explicit status — never a
+  // silent drop.
+  std::promise<server::wire::Response> shed;
+  fx.service.submit(req, server::make_cancel_token(), {}, capture(shed));
+  auto shed_resp = shed.get_future().get();
+  EXPECT_EQ(shed_resp.status, server::wire::Status::kResourceExhausted);
+  EXPECT_NE(shed_resp.message.find("queue full"), std::string::npos);
+  EXPECT_EQ(fx.service.metrics().shed, 1u);
+
+  release.set_value();
+  EXPECT_EQ(queued.get_future().get().status, server::wire::Status::kOk);
+  const auto m = fx.service.metrics();
+  EXPECT_EQ(m.accepted, 2u);  // blocker + queued ping; shed not admitted
+  EXPECT_EQ(m.queue_depth, 0u);
+}
+
+TEST(Admission, ExpiredDeadlineIsNeverExecuted) {
+  ServiceFixture fx(8, "deadline");
+  std::promise<void> release;
+  fx.block_pool(release.get_future().share()).wait();
+
+  std::promise<server::wire::Response> late;
+  server::wire::Request req;
+  req.method = server::wire::Method::kWindowSum;
+  req.metric = 0;
+  req.range = {0, 120};
+  req.window = 10;
+  req.deadline_ms = 50;
+  fx.service.submit(req, server::make_cancel_token(), {}, capture(late));
+
+  // The deadline passes while the request is still queued behind the
+  // blocker; when the worker finally picks it up it must refuse to run.
+  fx.clock.advance_us(51'000);
+  release.set_value();
+  const auto resp = late.get_future().get();
+  EXPECT_EQ(resp.status, server::wire::Status::kDeadlineExceeded);
+  EXPECT_NE(resp.message.find("before execution"), std::string::npos);
+  EXPECT_TRUE(resp.window_sum.sum.empty()) << "expired work was executed";
+  EXPECT_EQ(fx.service.metrics().deadline_exceeded, 1u);
+}
+
+TEST(Admission, MetDeadlineExecutesNormally) {
+  ServiceFixture fx(8, "deadline_ok");
+  std::promise<server::wire::Response> done;
+  server::wire::Request req;
+  req.method = server::wire::Method::kWindowSum;
+  req.metric = 1;
+  req.range = {0, 120};
+  req.window = 10;
+  req.deadline_ms = 1000;  // ManualClock never advances: always in budget
+  fx.service.submit(req, server::make_cancel_token(), {}, capture(done));
+  const auto resp = done.get_future().get();
+  EXPECT_EQ(resp.status, server::wire::Status::kOk);
+  EXPECT_EQ(resp.window_sum.sum.size(), 12u);
+}
+
+TEST(Admission, DisconnectCancelsQueuedWork) {
+  ServiceFixture fx(8, "cancel");
+  std::promise<void> release;
+  fx.block_pool(release.get_future().share()).wait();
+
+  auto token = server::make_cancel_token();
+  std::promise<server::wire::Response> doomed;
+  server::wire::Request req;
+  req.method = server::wire::Method::kPing;
+  fx.service.submit(req, token, {}, capture(doomed));
+
+  token->store(true);  // the peer vanished while the request was queued
+  release.set_value();
+  const auto resp = doomed.get_future().get();
+  EXPECT_EQ(resp.status, server::wire::Status::kCancelled);
+  EXPECT_EQ(fx.service.metrics().cancelled, 1u);
+}
+
+TEST(Admission, DrainRejectsNewWorkAndWaitsForOld) {
+  ServiceFixture fx(8, "drain");
+  std::promise<server::wire::Response> ok;
+  server::wire::Request req;
+  req.method = server::wire::Method::kPing;
+  fx.service.submit(req, server::make_cancel_token(), {}, capture(ok));
+  EXPECT_EQ(ok.get_future().get().status, server::wire::Status::kOk);
+
+  fx.service.drain();  // queue empty: returns once depth hits zero
+  std::promise<server::wire::Response> rejected;
+  fx.service.submit(req, server::make_cancel_token(), {}, capture(rejected));
+  EXPECT_EQ(rejected.get_future().get().status,
+            server::wire::Status::kUnavailable);
+}
+
+TEST(Admission, SubscriptionEmitsTicksBeforeDone) {
+  ServiceFixture fx(8, "subticks");
+  fx.service.set_subscribe_source(
+      [](const server::wire::Request&, const server::CancelToken&,
+         const server::QueryService::Emit& emit) {
+        for (std::uint64_t i = 0; i < 3; ++i) {
+          server::wire::Tick tick;
+          tick.kind = server::wire::TickKind::kWindow;
+          tick.index = i;
+          emit(tick);
+        }
+      });
+  std::vector<std::uint64_t> seen;
+  std::promise<server::wire::Response> done;
+  server::wire::Request req;
+  req.method = server::wire::Method::kSubscribe;
+  fx.service.submit(req, server::make_cancel_token(),
+                    [&](const server::wire::Tick& t) {
+                      seen.push_back(t.index);
+                    },
+                    capture(done));
+  EXPECT_EQ(done.get_future().get().status, server::wire::Status::kOk);
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+// --- loopback integration ------------------------------------------------
+
+struct LoopbackFixture {
+  store::Store store;
+  server::Server server;
+  std::thread loop;
+
+  explicit LoopbackFixture(const char* leaf)
+      : store(make_store(store_dir(leaf))), server(store, {}) {
+    loop = std::thread([this] { server.run(); });
+  }
+  ~LoopbackFixture() {
+    server.shutdown();
+    loop.join();
+    server.drain();
+  }
+
+  server::ClientOptions client_options() const {
+    server::ClientOptions copts;
+    copts.port = server.port();
+    return copts;
+  }
+};
+
+TEST(Loopback, ResponsesAreBitIdenticalToDirectCalls) {
+  LoopbackFixture fx("loopback");
+  server::Client client(fx.client_options());
+
+  server::wire::Request req;
+  req.method = server::wire::Method::kWindowSum;
+  req.metric = 2;
+  req.range = {0, 120};
+  req.window = 10;
+  const auto wire_resp = client.call(req);
+  const auto direct = fx.server.service().execute(req);
+  ASSERT_EQ(wire_resp.status, server::wire::Status::kOk);
+  EXPECT_EQ(wire_resp.window_sum.start, direct.window_sum.start);
+  EXPECT_EQ(wire_resp.window_sum.sum, direct.window_sum.sum);
+  EXPECT_EQ(wire_resp.window_sum.count, direct.window_sum.count);
+
+  req = {};
+  req.method = server::wire::Method::kServerStats;
+  const auto stats = client.call(req);
+  ASSERT_EQ(stats.status, server::wire::Status::kOk);
+  EXPECT_GE(stats.server.accepted, 1u);
+  EXPECT_EQ(stats.server.queue_limit, 256u);
+}
+
+TEST(Loopback, MalformedRequestBodyKeepsConnectionAlive) {
+  LoopbackFixture fx("badbody");
+  auto stream = net::TcpStream::connect("127.0.0.1", fx.server.port(), 2000);
+  // Structurally valid frame, garbage payload: per-request error only.
+  const auto bad = net::encode_frame(net::FrameType::kRequest, 5,
+                                     payload_of("\xff\xff not a request"));
+  stream.write_all(bad.data(), bad.size(), 2000);
+
+  net::FrameDecoder decoder;
+  net::Frame frame;
+  std::uint8_t chunk[4096];
+  while (!decoder.next(frame)) {
+    ASSERT_TRUE(stream.wait_readable(2000));
+    const auto r = stream.read_some(chunk, sizeof(chunk));
+    ASSERT_EQ(r.status, net::IoStatus::kOk);
+    decoder.feed({chunk, r.n});
+  }
+  EXPECT_EQ(frame.type, net::FrameType::kResponse);
+  EXPECT_EQ(frame.request_id, 5u);
+  const auto resp = server::wire::decode_response(frame.payload);
+  EXPECT_EQ(resp.status, server::wire::Status::kInvalidArgument);
+
+  // Same connection still serves a well-formed request afterwards.
+  server::wire::Request ping;
+  ping.method = server::wire::Method::kPing;
+  const auto good = net::encode_frame(net::FrameType::kRequest, 6,
+                                      server::wire::encode_request(ping));
+  stream.write_all(good.data(), good.size(), 2000);
+  while (!decoder.next(frame)) {
+    ASSERT_TRUE(stream.wait_readable(2000));
+    const auto r = stream.read_some(chunk, sizeof(chunk));
+    ASSERT_EQ(r.status, net::IoStatus::kOk);
+    decoder.feed({chunk, r.n});
+  }
+  EXPECT_EQ(frame.request_id, 6u);
+  EXPECT_EQ(server::wire::decode_response(frame.payload).status,
+            server::wire::Status::kOk);
+}
+
+TEST(Loopback, GarbageBytesGetGoodbyeAndCloseButServerSurvives) {
+  LoopbackFixture fx("garbage");
+  {
+    auto stream =
+        net::TcpStream::connect("127.0.0.1", fx.server.port(), 2000);
+    const std::string junk = "GET / HTTP/1.1\r\nHost: summit\r\n\r\n";
+    stream.write_all(reinterpret_cast<const std::uint8_t*>(junk.data()),
+                     junk.size(), 2000);
+    // The server must answer with a goodbye frame and close; reading to
+    // EOF must not hang.
+    net::FrameDecoder decoder;
+    net::Frame frame;
+    bool got_goodbye = false;
+    bool closed = false;
+    std::uint8_t chunk[4096];
+    while (!closed && stream.wait_readable(5000)) {
+      const auto r = stream.read_some(chunk, sizeof(chunk));
+      if (r.status == net::IoStatus::kClosed) {
+        closed = true;
+        break;
+      }
+      ASSERT_EQ(r.status, net::IoStatus::kOk);
+      decoder.feed({chunk, r.n});
+      while (decoder.next(frame)) {
+        if (frame.type == net::FrameType::kGoodbye) got_goodbye = true;
+      }
+    }
+    EXPECT_TRUE(got_goodbye);
+    EXPECT_TRUE(closed);
+  }
+  EXPECT_GE(fx.server.loop_stats().protocol_errors, 1u);
+
+  // A fresh, polite client is served as if nothing happened.
+  server::Client client(fx.client_options());
+  server::wire::Request ping;
+  ping.method = server::wire::Method::kPing;
+  EXPECT_EQ(client.call(ping).status, server::wire::Status::kOk);
+}
+
+TEST(Loopback, SlowLorisRequestIsAnsweredOnceComplete) {
+  LoopbackFixture fx("loris");
+  auto stream = net::TcpStream::connect("127.0.0.1", fx.server.port(), 2000);
+  server::wire::Request ping;
+  ping.method = server::wire::Method::kPing;
+  const auto bytes = net::encode_frame(net::FrameType::kRequest, 11,
+                                       server::wire::encode_request(ping));
+  // Dribble the frame a few bytes at a time; the server must neither
+  // time out internally nor misparse across chunk boundaries.
+  for (std::size_t i = 0; i < bytes.size(); i += 3) {
+    const std::size_t n = std::min<std::size_t>(3, bytes.size() - i);
+    stream.write_all(bytes.data() + i, n, 2000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  net::FrameDecoder decoder;
+  net::Frame frame;
+  std::uint8_t chunk[4096];
+  while (!decoder.next(frame)) {
+    ASSERT_TRUE(stream.wait_readable(5000));
+    const auto r = stream.read_some(chunk, sizeof(chunk));
+    ASSERT_EQ(r.status, net::IoStatus::kOk);
+    decoder.feed({chunk, r.n});
+  }
+  EXPECT_EQ(frame.request_id, 11u);
+  EXPECT_EQ(server::wire::decode_response(frame.payload).status,
+            server::wire::Status::kOk);
+}
+
+TEST(Loopback, SubscriptionStreamsAndDisconnectCancels) {
+  LoopbackFixture fx("subscribe");
+  std::atomic<bool> saw_cancel{false};
+  fx.server.service().set_subscribe_source(
+      [&](const server::wire::Request&, const server::CancelToken& cancel,
+          const server::QueryService::Emit& emit) {
+        for (std::uint64_t i = 0; i < 1000; ++i) {
+          if (cancel != nullptr && cancel->load()) {
+            saw_cancel.store(true);
+            return;
+          }
+          server::wire::Tick tick;
+          tick.kind = server::wire::TickKind::kWindow;
+          tick.index = i;
+          emit(tick);
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+  {
+    server::wire::Request req;
+    req.method = server::wire::Method::kSubscribe;
+    server::Subscription sub(fx.client_options(), req);
+    // Take a few ticks, then vanish without so much as a FIN wave.
+    for (int i = 0; i < 3; ++i) {
+      const auto tick = sub.next(5000);
+      ASSERT_TRUE(tick.has_value());
+      EXPECT_EQ(tick->kind, server::wire::TickKind::kWindow);
+    }
+    sub.close();
+  }
+  // The server-side replay must notice the tripped token and stop early.
+  for (int spins = 0; spins < 500 && !saw_cancel.load(); ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(saw_cancel.load());
+}
+
+TEST(Loopback, ClientReconnectsAfterServerSideClose) {
+  LoopbackFixture fx("reconnect");
+  server::Client client(fx.client_options());
+  server::wire::Request ping;
+  ping.method = server::wire::Method::kPing;
+  ASSERT_EQ(client.call(ping).status, server::wire::Status::kOk);
+  client.disconnect();  // simulate a dropped connection
+  EXPECT_EQ(client.call(ping).status, server::wire::Status::kOk);
+}
+
+}  // namespace

@@ -1,0 +1,221 @@
+// loadgen — multi-threaded load generator for `exawatt_sim serve`.
+//
+//   loadgen --port 4626 --threads 8 --seconds 10 --nodes 32
+//       [--deadline MS] [--range-begin S --range-end S] [--subscribe]
+//
+// Each thread owns one connection and issues a mixed read workload
+// (window-sum, metric scans, cluster roll-ups, pings) as fast as the
+// server answers, with an optional per-request deadline. Prints the
+// status breakdown, achieved request and event-read rates, and a
+// latency histogram with p50/p90/p99. Exit code is non-zero when no
+// request succeeded — so the tool doubles as a connectivity probe.
+//
+// The default --nodes/--range match `exawatt_sim simulate --store`'s
+// defaults (32 instrumented nodes, 30 minutes at 1 Hz).
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.hpp"
+#include "telemetry/metric.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+using namespace exawatt;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kBuckets = 22;  ///< 2^k us buckets: 1 us .. ~4 s
+
+std::size_t bucket_of(double us) {
+  if (us < 1.0) return 0;
+  const auto b = static_cast<std::size_t>(std::log2(us));
+  return std::min(b, kBuckets - 1);
+}
+
+struct WorkerStats {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline = 0;
+  std::uint64_t other = 0;
+  std::uint64_t transport_errors = 0;
+  std::uint64_t events = 0;  ///< response_event_volume sum
+  std::vector<double> latencies_us;
+  std::array<std::uint64_t, kBuckets> histogram{};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  server::ClientOptions copts;
+  copts.host = flags.get("host", "127.0.0.1");
+  copts.port = static_cast<std::uint16_t>(flags.get_int("port", 4626));
+  const auto threads =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, flags.get_int("threads", 8)));
+  const double seconds = flags.get_number("seconds", 10.0);
+  const auto n_nodes = static_cast<int>(flags.get_int("nodes", 32));
+  const auto deadline_ms =
+      static_cast<std::uint32_t>(flags.get_int("deadline", 0));
+  const util::TimeRange range{flags.get_int("range-begin", 0),
+                              flags.get_int("range-end", 30 * 60)};
+
+  const int channel =
+      telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
+  std::vector<machine::NodeId> nodes(static_cast<std::size_t>(n_nodes));
+  for (int i = 0; i < n_nodes; ++i) nodes[static_cast<std::size_t>(i)] = i;
+
+  std::printf("loadgen: %zu threads x %.1f s against %s:%u (%d nodes, "
+              "range [%lld, %lld), deadline %u ms)\n",
+              threads, seconds, copts.host.c_str(), copts.port, n_nodes,
+              static_cast<long long>(range.begin),
+              static_cast<long long>(range.end), deadline_ms);
+
+  const auto t0 = Clock::now();
+  const auto until = t0 + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(seconds));
+  std::vector<WorkerStats> per_thread(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      WorkerStats& stats = per_thread[w];
+      util::Rng rng(0x10adULL + w);
+      server::Client client(copts);
+      while (Clock::now() < until) {
+        server::wire::Request req;
+        req.deadline_ms = deadline_ms;
+        req.range = range;
+        req.window = 10;
+        const double pick = rng.uniform();
+        if (pick < 0.45) {
+          req.method = server::wire::Method::kWindowSum;
+          req.metric = telemetry::metric_id(
+              nodes[rng.uniform_index(nodes.size())], channel);
+        } else if (pick < 0.75) {
+          req.method = server::wire::Method::kScan;
+          const std::size_t want = 1 + rng.uniform_index(8);
+          for (std::size_t i = 0; i < want; ++i) {
+            req.metrics.push_back(telemetry::metric_id(
+                nodes[rng.uniform_index(nodes.size())], channel));
+          }
+        } else if (pick < 0.9) {
+          req.method = server::wire::Method::kClusterSum;
+          req.nodes = nodes;
+          req.channel = channel;
+        } else {
+          req.method = server::wire::Method::kPing;
+        }
+
+        const auto sent_at = Clock::now();
+        ++stats.sent;
+        try {
+          const auto resp = client.call(req);
+          const double us =
+              std::chrono::duration<double, std::micro>(Clock::now() -
+                                                        sent_at)
+                  .count();
+          stats.latencies_us.push_back(us);
+          ++stats.histogram[bucket_of(us)];
+          switch (resp.status) {
+            case server::wire::Status::kOk:
+              ++stats.ok;
+              stats.events += server::wire::response_event_volume(resp);
+              break;
+            case server::wire::Status::kResourceExhausted:
+              ++stats.shed;
+              break;
+            case server::wire::Status::kDeadlineExceeded:
+              ++stats.deadline;
+              break;
+            default:
+              ++stats.other;
+              break;
+          }
+        } catch (const net::NetError&) {
+          ++stats.transport_errors;
+          if (!client.connected()) {
+            // Server gone (or drained); keep trying until the clock runs
+            // out so a restart mid-run is measured, not fatal.
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  WorkerStats total;
+  for (const auto& s : per_thread) {
+    total.sent += s.sent;
+    total.ok += s.ok;
+    total.shed += s.shed;
+    total.deadline += s.deadline;
+    total.other += s.other;
+    total.transport_errors += s.transport_errors;
+    total.events += s.events;
+    total.latencies_us.insert(total.latencies_us.end(),
+                              s.latencies_us.begin(), s.latencies_us.end());
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      total.histogram[b] += s.histogram[b];
+    }
+  }
+
+  std::printf(
+      "\nsent %llu: %llu ok, %llu shed, %llu deadline-exceeded, %llu "
+      "other, %llu transport errors\n",
+      static_cast<unsigned long long>(total.sent),
+      static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.shed),
+      static_cast<unsigned long long>(total.deadline),
+      static_cast<unsigned long long>(total.other),
+      static_cast<unsigned long long>(total.transport_errors));
+  std::printf("rates: %s, %s read back\n",
+              util::fmt_si(static_cast<double>(total.sent) / elapsed,
+                           "req/s", 2)
+                  .c_str(),
+              util::fmt_si(static_cast<double>(total.events) / elapsed,
+                           "events/s", 2)
+                  .c_str());
+
+  if (!total.latencies_us.empty()) {
+    std::sort(total.latencies_us.begin(), total.latencies_us.end());
+    const auto pct = [&](double q) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(total.latencies_us.size() - 1));
+      return total.latencies_us[idx] / 1000.0;
+    };
+    std::printf("latency: p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, max "
+                "%.3f ms\n\n",
+                pct(0.5), pct(0.9), pct(0.99),
+                total.latencies_us.back() / 1000.0);
+
+    std::uint64_t peak = 1;
+    for (const auto c : total.histogram) peak = std::max(peak, c);
+    std::printf("latency histogram:\n");
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (total.histogram[b] == 0) continue;
+      const double lo_ms = (b == 0 ? 0.0 : std::exp2(static_cast<double>(b))) / 1000.0;
+      const double hi_ms = std::exp2(static_cast<double>(b + 1)) / 1000.0;
+      const auto width = static_cast<std::size_t>(
+          40.0 * static_cast<double>(total.histogram[b]) /
+          static_cast<double>(peak));
+      std::printf("  [%9.3f, %9.3f) ms |%-40s| %llu\n", lo_ms, hi_ms,
+                  std::string(std::max<std::size_t>(width, 1), '#').c_str(),
+                  static_cast<unsigned long long>(total.histogram[b]));
+    }
+  }
+  return total.ok > 0 ? 0 : 1;
+}
