@@ -35,7 +35,14 @@ void set_nodelay(int fd) {
 
 IoResult classify_io(ssize_t n, bool is_read) {
   if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
-  if (n == 0 && is_read) return {IoStatus::kClosed, 0};
+  if (n == 0) {
+    // A zero read is orderly EOF. A zero write accepted no bytes but is
+    // not an error, and errno is stale either way — report would-block
+    // and let the caller wait for POLLOUT rather than acting on leftover
+    // errno from an unrelated call.
+    return is_read ? IoResult{IoStatus::kClosed, 0}
+                   : IoResult{IoStatus::kWouldBlock, 0};
+  }
   if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
     return {IoStatus::kWouldBlock, 0};
   }

@@ -1,9 +1,46 @@
 #include "server/service.hpp"
 
+#include <limits>
+
 #include "stream/replay.hpp"
 #include "util/check.hpp"
 
 namespace exawatt::server {
+
+namespace {
+
+/// Wire-supplied time grids are adversarial. Reject any (range, window)
+/// pair whose window count cannot be computed without signed overflow or
+/// whose grid would demand an absurd allocation (the store's round-up is
+/// `(duration + window - 1) / window` doubles), before the request
+/// reaches that arithmetic. Bounds every grid to 2^24 windows, matching
+/// what a year of 1 Hz data can legitimately need.
+bool grid_ok(util::TimeRange range, util::TimeSec window, std::string* why) {
+  if (range.begin > range.end) {
+    *why = "range begin > end";
+    return false;
+  }
+  const util::TimeSec duration = range.duration();
+  if (duration < 0) {  // wider than INT64_MAX seconds (unsigned wrap)
+    *why = "range too wide";
+    return false;
+  }
+  if (window <= 0) {
+    *why = "window must be positive";
+    return false;
+  }
+  if (window - 1 > std::numeric_limits<util::TimeSec>::max() - duration) {
+    *why = "window too large";  // duration + window - 1 would overflow
+    return false;
+  }
+  if (duration / window > static_cast<util::TimeSec>(1) << 24) {
+    *why = "window grid too large";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 QueryService::QueryService(const store::Store& store, ServiceOptions options)
     : store_(store),
@@ -22,23 +59,19 @@ void QueryService::set_subscribe_source(SubscribeSource source) {
   subscribe_ = std::move(source);
 }
 
-wire::Response QueryService::execute(const wire::Request& request) const {
+wire::Response QueryService::execute(const wire::Request& request,
+                                     const CancelToken& cancel,
+                                     std::int64_t deadline_us) const {
   wire::Response resp;
   resp.method = request.method;
+  std::string why;
   switch (request.method) {
     case wire::Method::kPing:
       break;
     case wire::Method::kWindowSum: {
-      if (request.window <= 0) {
+      if (!grid_ok(request.range, request.window, &why)) {
         resp.status = wire::Status::kInvalidArgument;
-        resp.message = "window must be positive";
-        break;
-      }
-      if (request.range.duration() < 0 ||
-          request.range.duration() / request.window >
-              static_cast<util::TimeSec>(1) << 24) {
-        resp.status = wire::Status::kInvalidArgument;
-        resp.message = "window grid too large";
+        resp.message = std::move(why);
         break;
       }
       resp.window_sum = store_.window_sum(request.metric, request.range,
@@ -52,14 +85,24 @@ wire::Response QueryService::execute(const wire::Request& request) const {
         resp.message = "scan wants 1..4096 metric ids";
         break;
       }
+      if (request.range.begin > request.range.end) {
+        resp.status = wire::Status::kInvalidArgument;
+        resp.message = "range begin > end";
+        break;
+      }
       resp.runs = store_.query_many(request.metrics, request.range, nullptr,
                                     &resp.stats);
       break;
     }
     case wire::Method::kClusterSum: {
-      if (request.nodes.empty() || request.window <= 0) {
+      if (request.nodes.empty()) {
         resp.status = wire::Status::kInvalidArgument;
-        resp.message = "cluster_sum wants nodes and a positive window";
+        resp.message = "cluster_sum wants nodes";
+        break;
+      }
+      if (!grid_ok(request.range, request.window, &why)) {
+        resp.status = wire::Status::kInvalidArgument;
+        resp.message = std::move(why);
         break;
       }
       resp.series =
@@ -74,13 +117,45 @@ wire::Response QueryService::execute(const wire::Request& request) const {
         resp.message = "pue_rollup wants nodes";
         break;
       }
+      if (request.range.begin > request.range.end) {
+        resp.status = wire::Status::kInvalidArgument;
+        resp.message = "range begin > end";
+        break;
+      }
+      // The replay walks its range one simulated second at a time, so a
+      // wire-supplied range must not outlive the data: there is nothing
+      // to replay outside the store's bounds.
+      const util::TimeRange range = request.range.clamp(store_.bounds());
+      const util::TimeSec window = request.window > 0 ? request.window : 10;
+      if (!grid_ok(range, window, &why)) {
+        resp.status = wire::Status::kInvalidArgument;
+        resp.message = std::move(why);
+        break;
+      }
       stream::EngineOptions opts;
-      opts.range = request.range;
-      opts.window = request.window > 0 ? request.window : 10;
+      opts.range = range;
+      opts.window = window;
       opts.rollup.edge_node_count =
           static_cast<double>(request.nodes.size());
-      stream::RollupReplay replay =
-          stream::replay_rollup(store_, request.nodes, opts, {}, &resp.stats);
+      stream::ReplaySinks sinks;
+      sinks.cancelled = [&] {
+        return (cancel != nullptr &&
+                cancel->load(std::memory_order_relaxed)) ||
+               (deadline_us != 0 && clock_.now_us() > deadline_us);
+      };
+      stream::RollupReplay replay = stream::replay_rollup(
+          store_, request.nodes, opts, sinks, &resp.stats);
+      if (replay.cancelled) {
+        // Abandoned mid-replay; a partial series is not the answer the
+        // client asked for, so report why the work stopped instead.
+        const bool peer_gone =
+            cancel != nullptr && cancel->load(std::memory_order_relaxed);
+        resp.status = peer_gone ? wire::Status::kCancelled
+                                : wire::Status::kDeadlineExceeded;
+        resp.message = peer_gone ? "client disconnected during replay"
+                                 : "deadline expired during replay";
+        break;
+      }
       resp.series = std::move(replay.power);
       resp.pue = std::move(replay.pue);
       break;
@@ -203,7 +278,7 @@ void QueryService::submit(wire::Request request, CancelToken cancel,
           }
         }
       } else {
-        resp = execute(request);
+        resp = execute(request, cancel, deadline_us);
         if (deadline_us != 0 && clock_.now_us() > deadline_us) {
           // Finished too late to be useful; report it as such so the
           // latency SLO accounting reflects what the client saw.

@@ -91,7 +91,18 @@ class QueryService {
   /// the single code path the admitted worker and the in-process tests
   /// share, so over-the-wire results are the store's results by
   /// construction.
-  [[nodiscard]] wire::Response execute(const wire::Request& request) const;
+  [[nodiscard]] wire::Response execute(const wire::Request& request) const {
+    return execute(request, nullptr, 0);
+  }
+
+  /// Same, with cooperative interruption: long-running bodies (the PUE
+  /// roll-up replay walks its range second by second) poll `cancel` and
+  /// `deadline_us` (absolute clock microseconds, 0 = none) and abandon
+  /// the work with kCancelled / kDeadlineExceeded instead of occupying a
+  /// pool thread past the point anyone wants the answer.
+  [[nodiscard]] wire::Response execute(const wire::Request& request,
+                                       const CancelToken& cancel,
+                                       std::int64_t deadline_us) const;
 
  private:
   void finish(std::int64_t admitted_us, wire::Response&& response,

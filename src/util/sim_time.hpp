@@ -24,7 +24,15 @@ struct TimeRange {
   TimeSec begin = 0;
   TimeSec end = 0;
 
-  [[nodiscard]] TimeSec duration() const { return end - begin; }
+  /// Width of the interval. Computed in unsigned arithmetic so hostile
+  /// wire-supplied endpoints (e.g. INT64_MIN..INT64_MAX) are defined
+  /// behavior: any range wider than INT64_MAX seconds wraps negative,
+  /// which the grid validation guards already reject. Callers must still
+  /// check begin <= end — an inverted range can wrap positive.
+  [[nodiscard]] TimeSec duration() const {
+    return static_cast<TimeSec>(static_cast<std::uint64_t>(end) -
+                                static_cast<std::uint64_t>(begin));
+  }
   [[nodiscard]] bool contains(TimeSec t) const { return t >= begin && t < end; }
   [[nodiscard]] bool overlaps(const TimeRange& o) const {
     return begin < o.end && o.begin < end;

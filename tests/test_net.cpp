@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <future>
+#include <limits>
 #include <thread>
 
 #include "net/event_loop.hpp"
@@ -22,6 +24,7 @@
 #include "server/service.hpp"
 #include "server/wire.hpp"
 #include "store/store.hpp"
+#include "stream/replay.hpp"
 #include "util/check.hpp"
 #include "util/sim_time.hpp"
 #include "util/thread_pool.hpp"
@@ -461,6 +464,111 @@ TEST(Admission, SubscriptionEmitsTicksBeforeDone) {
                     capture(done));
   EXPECT_EQ(done.get_future().get().status, server::wire::Status::kOk);
   EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+// --- adversarial request bodies ------------------------------------------
+// Valid frames can still carry hostile query parameters: ranges and
+// windows are attacker-chosen i64s, and none of them may reach the
+// store's grid arithmetic (allocation size, signed round-up) unchecked.
+
+TEST(Execute, ClusterSumHugeGridIsRejectedNotAllocated) {
+  ServiceFixture fx(4, "hostile_cluster");
+  server::wire::Request req;
+  req.method = server::wire::Method::kClusterSum;
+  req.nodes = {0};
+  // 2^40 seconds at window=1 asks for a multi-terabyte zero-filled grid.
+  req.range = {0, static_cast<util::TimeSec>(1) << 40};
+  req.window = 1;
+  EXPECT_EQ(fx.service.execute(req).status,
+            server::wire::Status::kInvalidArgument);
+}
+
+TEST(Execute, InvertedAndOverflowingRangesAreRejected) {
+  ServiceFixture fx(4, "hostile_range");
+  server::wire::Request req;
+  req.method = server::wire::Method::kWindowSum;
+  req.window = 10;
+
+  req.range = {10, 0};  // inverted
+  EXPECT_EQ(fx.service.execute(req).status,
+            server::wire::Status::kInvalidArgument);
+
+  // end - begin overflows i64; duration() must stay defined under UBSan
+  // and the request must still be rejected.
+  req.range = {std::numeric_limits<util::TimeSec>::min(),
+               std::numeric_limits<util::TimeSec>::max()};
+  EXPECT_EQ(fx.service.execute(req).status,
+            server::wire::Status::kInvalidArgument);
+
+  // Inverted by 2^64 - 1: the unsigned wrap makes duration() == +1, so
+  // the begin > end check has to catch it, not the width check.
+  req.range = {std::numeric_limits<util::TimeSec>::max(),
+               std::numeric_limits<util::TimeSec>::min()};
+  EXPECT_EQ(fx.service.execute(req).status,
+            server::wire::Status::kInvalidArgument);
+
+  req.method = server::wire::Method::kScan;
+  req.metrics = {0};
+  req.range = {10, 0};
+  EXPECT_EQ(fx.service.execute(req).status,
+            server::wire::Status::kInvalidArgument);
+}
+
+TEST(Execute, HugeWindowCannotOverflowTheRoundUp) {
+  ServiceFixture fx(4, "hostile_window");
+  server::wire::Request req;
+  req.method = server::wire::Method::kWindowSum;
+  req.range = {0, 100};
+  // duration + window - 1 would overflow i64 inside the store.
+  req.window = std::numeric_limits<util::TimeSec>::max();
+  EXPECT_EQ(fx.service.execute(req).status,
+            server::wire::Status::kInvalidArgument);
+
+  req.method = server::wire::Method::kClusterSum;
+  req.nodes = {0};
+  EXPECT_EQ(fx.service.execute(req).status,
+            server::wire::Status::kInvalidArgument);
+}
+
+TEST(Execute, PueRollupClampsHostileRangeToStoreBounds) {
+  ServiceFixture fx(4, "hostile_pue");
+  server::wire::Request req;
+  req.method = server::wire::Method::kPueRollup;
+  req.nodes = {0};
+  // A 2^60-second replay at one iteration per simulated second would
+  // occupy a pool thread for eons; clamped to the data it is 120 steps.
+  req.range = {0, static_cast<util::TimeSec>(1) << 60};
+  req.window = 10;
+  const auto resp = fx.service.execute(req);
+  EXPECT_EQ(resp.status, server::wire::Status::kOk);
+
+  stream::EngineOptions opts;
+  opts.range = fx.store.bounds();
+  opts.window = 10;
+  opts.rollup.edge_node_count = 1.0;
+  const auto direct = stream::replay_rollup(fx.store, req.nodes, opts);
+  EXPECT_EQ(resp.series.start(), direct.power.start());
+  EXPECT_TRUE(std::ranges::equal(resp.series.values(),
+                                 direct.power.values()));
+  EXPECT_TRUE(std::ranges::equal(resp.pue.values(), direct.pue.values()));
+}
+
+TEST(Execute, PueRollupHonorsCancelAndDeadline) {
+  ServiceFixture fx(4, "pue_interrupt");
+  server::wire::Request req;
+  req.method = server::wire::Method::kPueRollup;
+  req.nodes = {0};
+  req.range = {0, 120};
+  req.window = 10;
+
+  auto cancel = server::make_cancel_token();
+  cancel->store(true);
+  EXPECT_EQ(fx.service.execute(req, cancel, 0).status,
+            server::wire::Status::kCancelled);
+
+  fx.clock.advance_us(1000);  // deadline already in the past
+  EXPECT_EQ(fx.service.execute(req, nullptr, 500).status,
+            server::wire::Status::kDeadlineExceeded);
 }
 
 // --- loopback integration ------------------------------------------------

@@ -773,8 +773,16 @@ server::QueryService::SubscribeSource make_replay_source(
     using server::wire::TickKind;
     std::vector<machine::NodeId> nodes = request.nodes;
     if (nodes.empty()) nodes = power_nodes(store);
+    // The wire range is adversarial: an inverted or empty range means
+    // "everything", and anything else is clamped to the stored data — the
+    // replay walks its range second by second, so it must never outlive
+    // the store just because a subscriber asked for end = 2^60.
     util::TimeRange range = request.range;
-    if (range.duration() <= 0) range = store.bounds();
+    if (range.begin >= range.end) {
+      range = store.bounds();
+    } else {
+      range = range.clamp(store.bounds());
+    }
 
     stream::EngineOptions options;
     options.range = range;
