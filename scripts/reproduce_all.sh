@@ -35,12 +35,19 @@ grep -q "decode fast path: .* MET" bench_codec_output.txt
 ./build/bench/bench_net 2>&1 | tee bench_net_output.txt
 grep -q "net read: MET" bench_net_output.txt
 
+# Sharded cluster: scatter-gather reads across 3 shard servers through
+# the coordinator must sustain the same 462,600 events/s of merged read
+# volume — sharding for capacity must not cost real-time serving.
+./build/bench/bench_cluster 2>&1 | tee bench_cluster_output.txt
+grep -q "cluster read: MET" bench_cluster_output.txt
+
 # Machine-readable artifacts for trend tracking.
 test -s BENCH_store.json
 test -s BENCH_codec.json
 test -s BENCH_net.json
+test -s BENCH_cluster.json
 
 for b in build/bench/*; do
-  case "$b" in *bench_stream_ingest|*bench_store|*bench_codec|*bench_net) continue ;; esac
+  case "$b" in *bench_stream_ingest|*bench_store|*bench_codec|*bench_net|*bench_cluster) continue ;; esac
   [ -x "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt

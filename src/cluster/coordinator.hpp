@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server/service.hpp"
+#include "server/wire.hpp"
+#include "util/sim_time.hpp"
+
+namespace exawatt::cluster {
+
+namespace wire = server::wire;
+
+/// One shard's address as the coordinator dials it.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct CoordinatorOptions {
+  std::vector<Endpoint> shards;
+  /// Per-shard client budgets (each scatter leg is one Client::call).
+  int connect_timeout_ms = 2000;
+  int request_timeout_ms = 5000;
+  int max_reconnects = 1;
+  /// Deadline clock; nullptr = steady wall clock (match the fronting
+  /// service's clock so inherited deadlines agree).
+  util::Clock* clock = nullptr;
+  /// Skip shards whose cached directory proves they hold nothing in the
+  /// query range. Correct for a quiesced cluster (directories refresh on
+  /// first contact and via refresh_directories()); turn off when shards
+  /// ingest concurrently and staleness could hide fresh data.
+  bool prune = true;
+};
+
+/// Per-shard health/traffic counters, as reported by shard_stats().
+struct ShardStats {
+  std::string endpoint;
+  bool up = true;                       ///< last contact succeeded
+  std::uint64_t calls = 0;              ///< scatter legs attempted
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;               ///< RESOURCE_EXHAUSTED answers
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t other_errors = 0;       ///< remaining non-OK statuses
+  std::uint64_t transport_errors = 0;   ///< NetError after client retries
+  std::uint64_t reconnect_attempts = 0;
+  std::uint64_t reconnect_successes = 0;
+  std::uint64_t latency_us_total = 0;   ///< over completed legs (any status)
+  std::uint64_t latency_us_max = 0;
+
+  [[nodiscard]] double mean_latency_ms() const {
+    const std::uint64_t legs = ok + shed + deadline_exceeded + other_errors;
+    return legs == 0 ? 0.0
+                     : static_cast<double>(latency_us_total) /
+                           static_cast<double>(legs) / 1000.0;
+  }
+};
+
+/// Scatter-gather front-end over N shard query servers. Plans each read
+/// against cached per-shard segment directories (time-range pruning),
+/// scatters sub-queries concurrently through one `server::Client` per
+/// shard with the parent's remaining deadline, and merges partials back
+/// into the single-store answer shapes — bit-identical to one Store
+/// holding the union of the shards (the `clustercheck` gate).
+///
+/// Degraded reads: a shard that is down, times out, or sheds does not
+/// fail the query. Its would-have-been contribution is charged to
+/// `QueryStats::lost_segments` (the cached directory's overlap count, or
+/// 1 when the directory was never seen) and the merge proceeds with the
+/// shards that answered — partial results with honest accounting, never
+/// wrong values, mirroring the store's damaged-segment contract.
+///
+/// Thread-safe: concurrent execute() calls are fine; each shard link
+/// serializes its connection behind a mutex (one request in flight per
+/// connection is the Client's contract).
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Serve one request against the cluster. Honors `cancel` and the
+  /// absolute `deadline_us` (0 = none) between scatter phases; in-flight
+  /// legs are bounded by the inherited per-shard deadline instead.
+  [[nodiscard]] wire::Response execute(const wire::Request& request,
+                                       const server::CancelToken& cancel,
+                                       std::int64_t deadline_us);
+
+  /// Adapter: run this coordinator behind a QueryService — the same
+  /// admission queue, deadline policy and counters a shard server has.
+  /// The coordinator must outlive the service.
+  [[nodiscard]] server::QueryService::Executor executor();
+  /// Companion for QueryService::set_stats_augment: fills the
+  /// shard/reconnect fields of a kServerStats response.
+  void augment_stats(wire::ServerStatsWire& server) const;
+
+  /// Re-fetch every shard's directory now (e.g. after ingest/flush).
+  /// Unreachable shards keep their stale directory for loss accounting.
+  void refresh_directories();
+
+  /// Point one shard at a new address (restart/failover); drops the
+  /// connection and cached directory, keeps the traffic counters.
+  void set_endpoint(std::size_t shard, Endpoint endpoint);
+
+  [[nodiscard]] std::size_t shards() const { return links_.size(); }
+  [[nodiscard]] std::vector<ShardStats> shard_stats() const;
+
+  /// Hull of the shard bounds (shards holding no events are skipped) —
+  /// the cluster analogue of Store::bounds(), used to clamp pue_rollup
+  /// replays exactly the way a single store would.
+  [[nodiscard]] util::TimeRange bounds();
+
+ private:
+  struct Link;
+
+  [[nodiscard]] wire::Response call_shard(Link& link, wire::Request request,
+                                          std::int64_t deadline_us);
+  void ensure_directory(Link& link, std::int64_t deadline_us);
+  [[nodiscard]] std::uint64_t lost_cost(const Link& link,
+                                        util::TimeRange range) const;
+  [[nodiscard]] bool may_hold(const Link& link, util::TimeRange range) const;
+
+  /// Scatter `sub` to every shard that may hold data in `range`, merge
+  /// degradation accounting into `stats`, and return the OK responses.
+  [[nodiscard]] std::vector<wire::Response> scatter(
+      const wire::Request& sub, util::TimeRange range,
+      std::int64_t deadline_us, store::QueryStats* stats);
+
+  CoordinatorOptions options_;
+  util::Clock& clock_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace exawatt::cluster

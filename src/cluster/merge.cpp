@@ -1,0 +1,50 @@
+#include "cluster/merge.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace exawatt::cluster {
+
+void merge_window_sum(store::WindowSum& into, const store::WindowSum& from) {
+  if (into.sum.empty()) {
+    into = from;
+    return;
+  }
+  if (from.sum.empty()) return;
+  EXA_CHECK(into.start == from.start && into.window == from.window &&
+                into.size() == from.size(),
+            "window_sum grids disagree — shards answered different grids");
+  for (std::size_t w = 0; w < into.size(); ++w) {
+    into.sum[w] += from.sum[w];
+    into.count[w] += from.count[w];
+  }
+}
+
+std::vector<store::MetricRun> merge_runs(
+    std::span<const telemetry::MetricId> ids,
+    std::span<const std::vector<store::MetricRun>* const> parts) {
+  std::unordered_map<telemetry::MetricId, std::size_t> index;
+  index.reserve(ids.size());
+  std::vector<store::MetricRun> out(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    out[i].id = ids[i];
+    index.emplace(ids[i], i);
+  }
+  for (const std::vector<store::MetricRun>* part : parts) {
+    if (part == nullptr) continue;
+    for (const store::MetricRun& run : *part) {
+      const auto it = index.find(run.id);
+      if (it == index.end()) continue;  // shard answered an id we dropped
+      auto& samples = out[it->second].samples;
+      samples.insert(samples.end(), run.samples.begin(), run.samples.end());
+    }
+  }
+  for (store::MetricRun& run : out) {
+    std::sort(run.samples.begin(), run.samples.end(), store::sample_less);
+  }
+  return out;
+}
+
+}  // namespace exawatt::cluster

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "store/store.hpp"
+#include "telemetry/metric.hpp"
+
+namespace exawatt::cluster {
+
+/// Elementwise-add `from` into `into`. Window sums are exact
+/// integer-valued doubles (the store's WindowSum contract), so addition
+/// order cannot perturb the result: merging any shard partition of the
+/// same events bit-matches the unsharded grid. `into` and `from` must
+/// share (start, window, size); an empty `into` adopts `from`'s grid.
+void merge_window_sum(store::WindowSum& into, const store::WindowSum& from);
+
+/// Merge per-shard scan results back into the single-store shape:
+/// one run per requested id, in `ids` order, samples re-sorted by
+/// `store::sample_less`. Because that order is a pure function of the
+/// sample multiset, the merged runs are the identical vectors
+/// `Store::query_many` would have produced on the union of the shards.
+[[nodiscard]] std::vector<store::MetricRun> merge_runs(
+    std::span<const telemetry::MetricId> ids,
+    std::span<const std::vector<store::MetricRun>* const> parts);
+
+}  // namespace exawatt::cluster

@@ -1,0 +1,293 @@
+#include "cluster/rebalance.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "store/manifest.hpp"
+#include "store/segment.hpp"
+#include "util/crc32.hpp"
+
+namespace exawatt::cluster {
+
+namespace {
+
+constexpr const char* kMagicLine = "exawatt-migration 1";
+
+/// Lines whose value may contain spaces (filesystem roots) carry the
+/// value as the whole rest of the line after "<tag> ".
+[[nodiscard]] std::string rest_of(const std::string& line,
+                                  const std::string& tag) {
+  const std::string prefix = tag + " ";
+  if (line.size() <= prefix.size() || line.compare(0, prefix.size(), prefix) != 0) {
+    throw store::StoreError("migration journal: malformed line: " + line);
+  }
+  return line.substr(prefix.size());
+}
+
+void finish_migration(const MigrationJournal& j, util::Vfs& fs) {
+  // Roll the committed move forward. Every step checks before acting so
+  // a crash anywhere inside replays cleanly; the ORDER is the safety
+  // argument: the source stops owning the segment (file gone, manifest
+  // saved) strictly before the destination starts (rename to `.seg`
+  // visibility, manifest saved) — at no instant do two manifests list
+  // the same events, and the flipped journal guarantees at least one
+  // will once this function has run.
+  const std::string src_file = j.from_root + "/" + j.meta.file;
+  if (fs.exists(src_file)) fs.remove(src_file);
+
+  store::Manifest src;
+  if (store::Manifest::load(j.from_root, src, &fs)) {
+    bool changed = false;
+    for (auto it = src.segments.begin(); it != src.segments.end(); ++it) {
+      if (it->file == j.meta.file) {
+        src.segments.erase(it);
+        changed = true;
+        break;
+      }
+    }
+    if (changed) src.save(j.from_root, &fs);
+  }
+
+  const std::string incoming = j.to_root + "/" + j.to_file + ".incoming";
+  const std::string final_path = j.to_root + "/" + j.to_file;
+  if (fs.exists(incoming)) fs.rename(incoming, final_path);
+
+  store::Manifest dst;
+  (void)store::Manifest::load(j.to_root, dst, &fs);
+  bool listed = false;
+  for (const auto& s : dst.segments) {
+    if (s.file == j.to_file) {
+      listed = true;
+      break;
+    }
+  }
+  if (!listed) {
+    store::SegmentMeta moved = j.meta;
+    moved.file = j.to_file;
+    dst.segments.push_back(std::move(moved));
+    dst.save(j.to_root, &fs);
+  }
+
+  fs.remove(journal_path(j.to_root));
+}
+
+void rollback_migration(const MigrationJournal& j, util::Vfs& fs) {
+  // The move never committed: discard the (possibly partial) copy and
+  // the journal. The source was never touched, so nothing is lost.
+  const std::string incoming = j.to_root + "/" + j.to_file + ".incoming";
+  if (fs.exists(incoming)) fs.remove(incoming);
+  if (fs.exists(journal_path(j.to_root))) {
+    fs.remove(journal_path(j.to_root));
+  }
+}
+
+}  // namespace
+
+std::string MigrationJournal::encode() const {
+  std::ostringstream body;
+  body << kMagicLine << '\n';
+  body << "from " << from_root << '\n';
+  body << "to " << to_root << '\n';
+  body << "to_file " << to_file << '\n';
+  body << "meta " << meta.file << ' ' << meta.day << ' ' << meta.events
+       << ' ' << meta.bytes << ' ' << meta.t_min << ' ' << meta.t_max
+       << '\n';
+  body << "state " << (state == State::kFlipped ? "flipped" : "copying")
+       << '\n';
+  const std::string payload = body.str();
+  char crc_line[32];
+  std::snprintf(crc_line, sizeof(crc_line), "crc %08" PRIx32 "\n",
+                util::crc32(payload));
+  return payload + crc_line;
+}
+
+MigrationJournal MigrationJournal::decode(const std::string& text) {
+  const std::size_t crc_pos = text.rfind("crc ");
+  if (crc_pos == std::string::npos || crc_pos == 0 ||
+      text[crc_pos - 1] != '\n') {
+    throw store::StoreError("migration journal: missing crc line");
+  }
+  const std::string payload = text.substr(0, crc_pos);
+  std::uint32_t want = 0;
+  if (std::sscanf(text.c_str() + crc_pos, "crc %" SCNx32, &want) != 1 ||
+      util::crc32(payload) != want) {
+    throw store::StoreError("migration journal: checksum mismatch");
+  }
+  std::istringstream in(payload);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagicLine) {
+    throw store::StoreError("migration journal: bad magic line");
+  }
+  MigrationJournal j;
+  if (!std::getline(in, line)) {
+    throw store::StoreError("migration journal: truncated");
+  }
+  j.from_root = rest_of(line, "from");
+  if (!std::getline(in, line)) {
+    throw store::StoreError("migration journal: truncated");
+  }
+  j.to_root = rest_of(line, "to");
+  if (!std::getline(in, line)) {
+    throw store::StoreError("migration journal: truncated");
+  }
+  j.to_file = rest_of(line, "to_file");
+  if (!std::getline(in, line)) {
+    throw store::StoreError("migration journal: truncated");
+  }
+  {
+    std::istringstream fields(line);
+    std::string tag;
+    if (!(fields >> tag >> j.meta.file >> j.meta.day >> j.meta.events >>
+          j.meta.bytes >> j.meta.t_min >> j.meta.t_max) ||
+        tag != "meta") {
+      throw store::StoreError("migration journal: malformed meta: " + line);
+    }
+  }
+  if (!std::getline(in, line)) {
+    throw store::StoreError("migration journal: truncated");
+  }
+  const std::string state = rest_of(line, "state");
+  if (state == "copying") {
+    j.state = State::kCopying;
+  } else if (state == "flipped") {
+    j.state = State::kFlipped;
+  } else {
+    throw store::StoreError("migration journal: unknown state: " + state);
+  }
+  return j;
+}
+
+void MigrationJournal::save(util::Vfs& fs) const {
+  const std::string path = journal_path(to_root);
+  const std::string tmp = path + ".tmp";
+  auto out = fs.create(tmp);
+  out->write_text(encode());
+  out->close();
+  fs.rename(tmp, path);
+}
+
+RebalanceReport rebalance_segment(const std::string& from_root,
+                                  const std::string& to_root,
+                                  const std::string& segment_file,
+                                  util::Vfs* vfs) {
+  util::Vfs& fs = vfs != nullptr ? *vfs : util::Vfs::real();
+  if (fs.exists(journal_path(from_root)) ||
+      fs.exists(journal_path(to_root))) {
+    throw store::StoreError(
+        "rebalance: unfinished migration journal present — run "
+        "recover_migrations first");
+  }
+  store::Manifest src;
+  if (!store::Manifest::load(from_root, src, &fs)) {
+    throw store::StoreError("rebalance: source has no manifest: " +
+                            from_root);
+  }
+  const store::SegmentMeta* entry = nullptr;
+  for (const auto& s : src.segments) {
+    if (s.file == segment_file) {
+      entry = &s;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    throw store::StoreError("rebalance: segment not in source manifest: " +
+                            segment_file);
+  }
+
+  fs.mkdirs(to_root);
+  store::Manifest dst;
+  (void)store::Manifest::load(to_root, dst, &fs);
+  const auto taken = [&](const std::string& name) {
+    if (fs.exists(to_root + "/" + name) ||
+        fs.exists(to_root + "/" + name + ".incoming")) {
+      return true;
+    }
+    for (const auto& s : dst.segments) {
+      if (s.file == name) return true;
+    }
+    return false;
+  };
+  // Collisions are resolved by name, not by renumbering: a non-"segNNN"
+  // prefix never perturbs the destination store's next_seq counter, and
+  // orphan adoption cares only about the `.seg` suffix.
+  std::string to_file = segment_file;
+  while (taken(to_file)) to_file = "m" + to_file;
+
+  MigrationJournal j;
+  j.from_root = from_root;
+  j.to_root = to_root;
+  j.to_file = to_file;
+  j.meta = *entry;
+
+  const std::string incoming = to_root + "/" + to_file + ".incoming";
+  bool journaled = false;
+  try {
+    j.save(fs);
+    journaled = true;
+    const std::vector<std::uint8_t> bytes =
+        fs.read_all(from_root + "/" + segment_file);
+    auto out = fs.create(incoming);
+    out->write(bytes);
+    out->close();
+    // Full validation pass before the commit: the copy must be a
+    // readable segment carrying exactly the events the manifest claims,
+    // or the move never happens.
+    store::SegmentReader reader(incoming, &fs);
+    if (reader.events() != j.meta.events) {
+      throw store::StoreError("rebalance: copied segment event count " +
+                              std::to_string(reader.events()) +
+                              " != manifest " +
+                              std::to_string(j.meta.events));
+    }
+    j.state = MigrationJournal::State::kFlipped;
+    j.save(fs);  // THE commit point — the shard-map flip of this segment
+  } catch (...) {
+    // Under a scripted crash every later write fails too; rollback here
+    // is best effort and recover_migrations replays it from the journal.
+    try {
+      if (fs.exists(incoming)) fs.remove(incoming);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+    try {
+      if (journaled && fs.exists(journal_path(to_root))) {
+        fs.remove(journal_path(to_root));
+      }
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+    throw;
+  }
+  finish_migration(j, fs);
+
+  RebalanceReport report;
+  report.from_file = segment_file;
+  report.to_file = to_file;
+  report.events = j.meta.events;
+  report.bytes = j.meta.bytes;
+  return report;
+}
+
+std::size_t recover_migrations(const std::vector<std::string>& roots,
+                               util::Vfs* vfs) {
+  util::Vfs& fs = vfs != nullptr ? *vfs : util::Vfs::real();
+  std::size_t resolved = 0;
+  for (const std::string& root : roots) {
+    // A torn journal write can only leave the tmp file behind (the
+    // rename is atomic); sweep it.
+    const std::string tmp = journal_path(root) + ".tmp";
+    if (fs.exists(tmp)) fs.remove(tmp);
+    if (!fs.exists(journal_path(root))) continue;
+    const std::vector<std::uint8_t> bytes = fs.read_all(journal_path(root));
+    const MigrationJournal j =
+        MigrationJournal::decode(std::string(bytes.begin(), bytes.end()));
+    if (j.state == MigrationJournal::State::kFlipped) {
+      finish_migration(j, fs);
+    } else {
+      rollback_migration(j, fs);
+    }
+    ++resolved;
+  }
+  return resolved;
+}
+
+}  // namespace exawatt::cluster

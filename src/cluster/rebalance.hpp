@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/format.hpp"
+#include "util/vfs.hpp"
+
+namespace exawatt::cluster {
+
+/// The write-ahead record of one segment migration, persisted in the
+/// DESTINATION shard root as `MIGRATION` (checksummed text, replaced
+/// only by atomic rename — the manifest idiom). Its `state` flip from
+/// kCopying to kFlipped is the commit point of the move: recovery rolls
+/// a kCopying journal back (destination copy discarded, source intact)
+/// and a kFlipped journal forward (source retired, destination adopted),
+/// so a kill at ANY write leaves the committed events in exactly one
+/// shard's manifest — never zero, never two.
+struct MigrationJournal {
+  enum class State { kCopying = 0, kFlipped = 1 };
+
+  std::string from_root;
+  std::string to_root;
+  std::string to_file;  ///< final name in the destination root
+  store::SegmentMeta meta;  ///< the source manifest entry being moved
+  State state = State::kCopying;
+
+  [[nodiscard]] std::string encode() const;
+  /// Throws store::StoreError on bad magic/CRC/malformed lines.
+  [[nodiscard]] static MigrationJournal decode(const std::string& text);
+  void save(util::Vfs& fs) const;  ///< atomic, at journal_path(to_root)
+};
+
+[[nodiscard]] inline std::string journal_path(const std::string& root) {
+  return root + "/MIGRATION";
+}
+
+/// What one rebalance step did.
+struct RebalanceReport {
+  std::string from_file;  ///< source segment file name
+  std::string to_file;    ///< (possibly renamed) destination file name
+  std::uint64_t events = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Move one sealed segment `segment_file` from shard root `from_root` to
+/// shard root `to_root`. Both stores must be CLOSED (no Store has the
+/// roots open) — this is offline rebalancing, the cluster analogue of
+/// the store's own crash-safe seal. The copy lands as `<name>.incoming`
+/// (invisible to Store recovery, which only adopts `*.seg`), is
+/// validated by a full SegmentReader pass, and only then does the
+/// journal flip commit the move; a name collision in the destination is
+/// resolved by prefixing `m` until free. Throws store::StoreError /
+/// util::VfsError on failure — after which `recover_migrations` (or the
+/// internal rollback) restores the single-owner invariant.
+RebalanceReport rebalance_segment(const std::string& from_root,
+                                  const std::string& to_root,
+                                  const std::string& segment_file,
+                                  util::Vfs* vfs = nullptr);
+
+/// Crash recovery for interrupted migrations: scan every root for a
+/// `MIGRATION` journal and roll it back or forward. MUST run before the
+/// shard stores are opened — Store recovery does not understand
+/// journals, and a rolled-forward destination file must be in its
+/// manifest before the store looks. Returns the number of journals
+/// resolved. Idempotent: every finish step checks before acting.
+std::size_t recover_migrations(const std::vector<std::string>& roots,
+                               util::Vfs* vfs = nullptr);
+
+}  // namespace exawatt::cluster

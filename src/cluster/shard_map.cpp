@@ -1,0 +1,135 @@
+#include "cluster/shard_map.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+
+namespace exawatt::cluster {
+
+namespace {
+constexpr const char* kMagicLine = "exawatt-shardmap 1";
+}
+
+ShardMap ShardMap::uniform(std::size_t shards) {
+  EXA_CHECK(shards > 0 && shards <= kSlots,
+            "shard count must be in [1, kSlots]");
+  ShardMap map;
+  map.shards_ = shards;
+  for (std::size_t slot = 0; slot < kSlots; ++slot) {
+    map.slot_to_shard_[slot] = static_cast<std::uint16_t>(slot % shards);
+  }
+  return map;
+}
+
+void ShardMap::assign_slot(std::size_t slot, std::size_t shard) {
+  EXA_CHECK(slot < kSlots, "slot out of range");
+  EXA_CHECK(shard < shards_, "shard out of range");
+  slot_to_shard_[slot] = static_cast<std::uint16_t>(shard);
+  ++version_;
+}
+
+std::vector<std::vector<telemetry::MetricEvent>> ShardMap::split(
+    std::span<const telemetry::MetricEvent> events) const {
+  std::vector<std::vector<telemetry::MetricEvent>> out(shards_);
+  for (const telemetry::MetricEvent& e : events) {
+    out[shard_of(e.id)].push_back(e);
+  }
+  return out;
+}
+
+std::string ShardMap::encode() const {
+  std::ostringstream body;
+  body << kMagicLine << '\n';
+  body << "shards " << shards_ << '\n';
+  body << "version " << version_ << '\n';
+  body << "slots";
+  for (std::size_t slot = 0; slot < kSlots; ++slot) {
+    body << ' ' << slot_to_shard_[slot];
+  }
+  body << '\n';
+  const std::string payload = body.str();
+  char crc_line[32];
+  std::snprintf(crc_line, sizeof(crc_line), "crc %08" PRIx32 "\n",
+                util::crc32(payload));
+  return payload + crc_line;
+}
+
+ShardMap ShardMap::decode(const std::string& text) {
+  const std::size_t crc_pos = text.rfind("crc ");
+  if (crc_pos == std::string::npos || crc_pos == 0 ||
+      text[crc_pos - 1] != '\n') {
+    throw store::StoreError("shard map: missing crc line");
+  }
+  const std::string payload = text.substr(0, crc_pos);
+  std::uint32_t want = 0;
+  if (std::sscanf(text.c_str() + crc_pos, "crc %" SCNx32, &want) != 1 ||
+      util::crc32(payload) != want) {
+    throw store::StoreError(
+        "shard map: checksum mismatch (torn or edited file)");
+  }
+
+  std::istringstream in(payload);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagicLine) {
+    throw store::StoreError("shard map: bad magic line");
+  }
+  ShardMap map;
+  std::string tag;
+  std::istringstream shards_line, version_line;
+  if (!std::getline(in, line)) {
+    throw store::StoreError("shard map: missing shards line");
+  }
+  shards_line.str(line);
+  if (!(shards_line >> tag >> map.shards_) || tag != "shards" ||
+      map.shards_ == 0 || map.shards_ > kSlots) {
+    throw store::StoreError("shard map: malformed shards line: " + line);
+  }
+  if (!std::getline(in, line)) {
+    throw store::StoreError("shard map: missing version line");
+  }
+  version_line.str(line);
+  if (!(version_line >> tag >> map.version_) || tag != "version") {
+    throw store::StoreError("shard map: malformed version line: " + line);
+  }
+  if (!std::getline(in, line)) {
+    throw store::StoreError("shard map: missing slots line");
+  }
+  std::istringstream slots_line(line);
+  if (!(slots_line >> tag) || tag != "slots") {
+    throw store::StoreError("shard map: malformed slots line: " + line);
+  }
+  for (std::size_t slot = 0; slot < kSlots; ++slot) {
+    std::uint32_t shard = 0;
+    if (!(slots_line >> shard) || shard >= map.shards_) {
+      throw store::StoreError("shard map: bad slot assignment");
+    }
+    map.slot_to_shard_[slot] = static_cast<std::uint16_t>(shard);
+  }
+  std::uint32_t extra = 0;
+  if (slots_line >> extra) {
+    throw store::StoreError("shard map: too many slot assignments");
+  }
+  return map;
+}
+
+void ShardMap::save(const std::string& path, util::Vfs* vfs) const {
+  util::Vfs& fs = vfs != nullptr ? *vfs : util::Vfs::real();
+  const std::string tmp = path + ".tmp";
+  auto out = fs.create(tmp);
+  out->write_text(encode());
+  out->close();
+  fs.rename(tmp, path);
+}
+
+bool ShardMap::load(const std::string& path, ShardMap& out, util::Vfs* vfs) {
+  util::Vfs& fs = vfs != nullptr ? *vfs : util::Vfs::real();
+  if (!fs.exists(path)) return false;
+  const std::vector<std::uint8_t> bytes = fs.read_all(path);
+  out = decode(std::string(bytes.begin(), bytes.end()));
+  return true;
+}
+
+}  // namespace exawatt::cluster

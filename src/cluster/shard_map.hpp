@@ -1,0 +1,70 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/format.hpp"
+#include "telemetry/metric.hpp"
+#include "util/vfs.hpp"
+
+namespace exawatt::cluster {
+
+/// Mixes a metric id into a hash slot. splitmix64's finalizer: cheap,
+/// well-distributed, and frozen forever — the placement of every sealed
+/// segment depends on it, so changing it is a data migration.
+[[nodiscard]] constexpr std::uint64_t slot_hash(telemetry::MetricId id) {
+  std::uint64_t x = static_cast<std::uint64_t>(id) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The cluster's partitioning contract: 256 hash slots, each assigned to
+/// one shard. Ingest routes every event by `shard_of(metric id)`; reads
+/// do NOT trust the map (rebalancing moves sealed segments wherever load
+/// demands), they scatter by per-shard directories instead. The map is
+/// persisted in the manifest idiom — checksummed text replaced only by
+/// atomic rename — and carries a version so a rebalance flip is a
+/// visible, ordered event.
+class ShardMap {
+ public:
+  static constexpr std::size_t kSlots = 256;
+
+  /// Round-robin slot assignment over `shards` shards (the default map).
+  [[nodiscard]] static ShardMap uniform(std::size_t shards);
+
+  [[nodiscard]] std::size_t shard_of(telemetry::MetricId id) const {
+    return slot_to_shard_[slot_hash(id) % kSlots];
+  }
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// Reassign one slot (a targeted rebalance step); bumps the version.
+  void assign_slot(std::size_t slot, std::size_t shard);
+
+  /// Partition a batch into per-shard batches, preserving input order
+  /// within each shard — the router's ingest path.
+  [[nodiscard]] std::vector<std::vector<telemetry::MetricEvent>> split(
+      std::span<const telemetry::MetricEvent> events) const;
+
+  [[nodiscard]] std::string encode() const;
+  /// Throws store::StoreError on bad magic/CRC/shape.
+  [[nodiscard]] static ShardMap decode(const std::string& text);
+
+  /// Atomic save to `path` (tmp + rename) through the Vfs seam.
+  void save(const std::string& path, util::Vfs* vfs = nullptr) const;
+  /// Returns false (untouched out) when `path` does not exist; throws
+  /// store::StoreError when it exists but is corrupt.
+  static bool load(const std::string& path, ShardMap& out,
+                   util::Vfs* vfs = nullptr);
+
+ private:
+  std::size_t shards_ = 1;
+  std::uint64_t version_ = 1;
+  std::array<std::uint16_t, kSlots> slot_to_shard_{};
+};
+
+}  // namespace exawatt::cluster

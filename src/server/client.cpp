@@ -28,9 +28,14 @@ void Client::disconnect() {
 
 void Client::ensure_connected() {
   if (stream_.valid()) return;
+  const bool reconnecting = ever_connected_;
+  if (reconnecting) ++stats_.reconnect_attempts;
   stream_ = net::TcpStream::connect(options_.host, options_.port,
                                     options_.connect_timeout_ms);
   decoder_ = {};
+  ever_connected_ = true;
+  ++stats_.connects;
+  if (reconnecting) ++stats_.reconnect_successes;
 }
 
 void Client::send_request(const wire::Request& request, std::uint64_t id) {
@@ -83,6 +88,7 @@ net::Frame Client::read_frame_for(std::uint64_t id, int timeout_ms) {
 wire::Response Client::call(const wire::Request& request) {
   EXA_CHECK(request.method != wire::Method::kSubscribe,
             "use Subscription for kSubscribe");
+  ++stats_.calls;
   std::string last_error = "unreachable";
   for (int attempt = 0; attempt <= options_.max_reconnects; ++attempt) {
     try {
@@ -102,6 +108,7 @@ wire::Response Client::call(const wire::Request& request) {
         throw net::NetError(std::string("bad response payload: ") + e.what());
       }
     } catch (const net::NetError& e) {
+      ++stats_.transport_errors;
       last_error = e.what();
       disconnect();
       // Reconnect-and-retry: reads are idempotent, and the broken

@@ -22,6 +22,17 @@ struct ClientOptions {
   int max_reconnects = 1;
 };
 
+/// Lifetime link-health counters of one Client. A reconnect is any
+/// connection attempt after the client has been connected at least once
+/// — the signal that distinguishes a flapping link from first use.
+struct ClientStats {
+  std::uint64_t connects = 0;             ///< successful connections
+  std::uint64_t reconnect_attempts = 0;   ///< re-dials after a drop
+  std::uint64_t reconnect_successes = 0;
+  std::uint64_t calls = 0;                ///< call() invocations
+  std::uint64_t transport_errors = 0;     ///< NetError per attempt
+};
+
 /// Synchronous client for the query service: one connection, one request
 /// in flight. call() blocks until the matching response or throws
 /// net::NetError (transport loss / timeout). Response status is returned
@@ -40,6 +51,7 @@ class Client {
   void disconnect();
 
   [[nodiscard]] const ClientOptions& options() const { return options_; }
+  [[nodiscard]] const ClientStats& stats() const { return stats_; }
 
  private:
   friend class Subscription;
@@ -52,6 +64,8 @@ class Client {
   net::TcpStream stream_;
   net::FrameDecoder decoder_;
   std::uint64_t next_id_ = 1;
+  bool ever_connected_ = false;
+  ClientStats stats_;
 };
 
 /// A server-push subscription: issues kSubscribe on a dedicated

@@ -3,7 +3,18 @@
 namespace exawatt::server {
 
 Server::Server(const store::Store& store, ServerOptions options)
-    : service_(store, options.service) {
+    : owned_service_(
+          std::make_unique<QueryService>(store, options.service)),
+      service_(*owned_service_) {
+  init_loop(options);
+}
+
+Server::Server(QueryService& service, ServerOptions options)
+    : service_(service) {
+  init_loop(options);
+}
+
+void Server::init_loop(const ServerOptions& options) {
   net::EventLoop::Callbacks callbacks;
   callbacks.on_frame = [this](net::ConnId conn, net::Frame&& frame) {
     on_frame(conn, std::move(frame));

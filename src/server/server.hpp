@@ -26,6 +26,11 @@ struct ServerOptions {
 class Server {
  public:
   Server(const store::Store& store, ServerOptions options = {});
+  /// Front an externally owned service (the cluster coordinator builds
+  /// its own executor-backed QueryService). `service` must outlive the
+  /// Server; `options.service` is ignored — the service was already
+  /// configured by whoever built it.
+  Server(QueryService& service, ServerOptions options = {});
 
   [[nodiscard]] QueryService& service() { return service_; }
   [[nodiscard]] std::uint16_t port() const { return loop_->port(); }
@@ -49,12 +54,16 @@ class Server {
   void drain(int max_flush_ms = 5000);
 
  private:
+  void init_loop(const ServerOptions& options);
   void on_frame(net::ConnId conn, net::Frame&& frame);
   void on_open(net::ConnId conn);
   void on_close(net::ConnId conn);
   [[nodiscard]] CancelToken token_of(net::ConnId conn);
 
-  QueryService service_;
+  /// Present only when this Server built its own service (store ctor);
+  /// `service_` is the single access path either way.
+  std::unique_ptr<QueryService> owned_service_;
+  QueryService& service_;
   std::unique_ptr<net::EventLoop> loop_;
 
   std::mutex mu_;

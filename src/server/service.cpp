@@ -7,14 +7,9 @@
 
 namespace exawatt::server {
 
-namespace {
-
-/// Wire-supplied time grids are adversarial. Reject any (range, window)
-/// pair whose window count cannot be computed without signed overflow or
-/// whose grid would demand an absurd allocation (the store's round-up is
-/// `(duration + window - 1) / window` doubles), before the request
-/// reaches that arithmetic. Bounds every grid to 2^24 windows, matching
-/// what a year of 1 Hz data can legitimately need.
+// Rejects before the store's round-up arithmetic
+// (`(duration + window - 1) / window` doubles) can overflow or demand
+// an absurd allocation.
 bool grid_ok(util::TimeRange range, util::TimeSec window, std::string* why) {
   if (range.begin > range.end) {
     *why = "range begin > end";
@@ -40,28 +35,13 @@ bool grid_ok(util::TimeRange range, util::TimeSec window, std::string* why) {
   return true;
 }
 
-}  // namespace
+namespace {
 
-QueryService::QueryService(const store::Store& store, ServiceOptions options)
-    : store_(store),
-      options_(options),
-      pool_(options.pool != nullptr ? *options.pool
-                                    : util::ThreadPool::global()),
-      clock_(options.clock != nullptr ? *options.clock
-                                      : util::Clock::steady()),
-      lat_p50_(0.5),
-      lat_p99_(0.99) {
-  EXA_CHECK(options_.queue_limit > 0, "admission queue must hold something");
-}
-
-void QueryService::set_subscribe_source(SubscribeSource source) {
-  std::lock_guard lk(mu_);
-  subscribe_ = std::move(source);
-}
-
-wire::Response QueryService::execute(const wire::Request& request,
-                                     const CancelToken& cancel,
-                                     std::int64_t deadline_us) const {
+wire::Response execute_on_store(const store::Store& store,
+                                util::Clock& clock,
+                                const wire::Request& request,
+                                const CancelToken& cancel,
+                                std::int64_t deadline_us) {
   wire::Response resp;
   resp.method = request.method;
   std::string why;
@@ -74,9 +54,9 @@ wire::Response QueryService::execute(const wire::Request& request,
         resp.message = std::move(why);
         break;
       }
-      resp.window_sum = store_.window_sum(request.metric, request.range,
-                                          request.window, nullptr,
-                                          &resp.stats);
+      resp.window_sum = store.window_sum(request.metric, request.range,
+                                         request.window, nullptr,
+                                         &resp.stats);
       break;
     }
     case wire::Method::kScan: {
@@ -90,8 +70,8 @@ wire::Response QueryService::execute(const wire::Request& request,
         resp.message = "range begin > end";
         break;
       }
-      resp.runs = store_.query_many(request.metrics, request.range, nullptr,
-                                    &resp.stats);
+      resp.runs = store.query_many(request.metrics, request.range, nullptr,
+                                   &resp.stats);
       break;
     }
     case wire::Method::kClusterSum: {
@@ -106,7 +86,7 @@ wire::Response QueryService::execute(const wire::Request& request,
         break;
       }
       resp.series =
-          store::cluster_sum(store_, request.nodes, request.channel,
+          store::cluster_sum(store, request.nodes, request.channel,
                              request.range, request.window, &resp.counts,
                              nullptr, &resp.stats);
       break;
@@ -125,7 +105,7 @@ wire::Response QueryService::execute(const wire::Request& request,
       // The replay walks its range one simulated second at a time, so a
       // wire-supplied range must not outlive the data: there is nothing
       // to replay outside the store's bounds.
-      const util::TimeRange range = request.range.clamp(store_.bounds());
+      const util::TimeRange range = request.range.clamp(store.bounds());
       const util::TimeSec window = request.window > 0 ? request.window : 10;
       if (!grid_ok(range, window, &why)) {
         resp.status = wire::Status::kInvalidArgument;
@@ -141,10 +121,10 @@ wire::Response QueryService::execute(const wire::Request& request,
       sinks.cancelled = [&] {
         return (cancel != nullptr &&
                 cancel->load(std::memory_order_relaxed)) ||
-               (deadline_us != 0 && clock_.now_us() > deadline_us);
+               (deadline_us != 0 && clock.now_us() > deadline_us);
       };
       stream::RollupReplay replay = stream::replay_rollup(
-          store_, request.nodes, opts, sinks, &resp.stats);
+          store, request.nodes, opts, sinks, &resp.stats);
       if (replay.cancelled) {
         // Abandoned mid-replay; a partial series is not the answer the
         // client asked for, so report why the work stopped instead.
@@ -166,22 +146,87 @@ wire::Response QueryService::execute(const wire::Request& request,
       resp.status = wire::Status::kUnimplemented;
       resp.message = "subscribe needs a streaming endpoint";
       break;
-    case wire::Method::kServerStats: {
-      const ServiceMetrics m = metrics();
-      resp.server.accepted = m.accepted;
-      resp.server.served = m.served;
-      resp.server.shed = m.shed;
-      resp.server.deadline_exceeded = m.deadline_exceeded;
-      resp.server.cancelled = m.cancelled;
-      resp.server.failed = m.failed;
-      resp.server.queue_depth = m.queue_depth;
-      resp.server.queue_limit = options_.queue_limit;
-      resp.server.p50_ms = m.p50_ms;
-      resp.server.p99_ms = m.p99_ms;
+    case wire::Method::kDirectory:
+      resp.directory.total_events = store.total_events();
+      resp.directory.buffered_events = store.buffered_events();
+      resp.directory.bounds = store.bounds();
+      resp.directory.segments = store.directory();
       break;
-    }
+    case wire::Method::kServerStats:
+      // Handled by QueryService::execute before the executor is reached.
+      break;
   }
   return resp;
+}
+
+}  // namespace
+
+QueryService::Executor make_store_executor(const store::Store& store,
+                                           util::Clock* clock) {
+  util::Clock* resolved =
+      clock != nullptr ? clock : &util::Clock::steady();
+  return [&store, resolved](const wire::Request& request,
+                            const CancelToken& cancel,
+                            std::int64_t deadline_us) {
+    return execute_on_store(store, *resolved, request, cancel, deadline_us);
+  };
+}
+
+QueryService::QueryService(const store::Store& store, ServiceOptions options)
+    : QueryService(make_store_executor(store, options.clock), options) {}
+
+QueryService::QueryService(Executor executor, ServiceOptions options)
+    : executor_(std::move(executor)),
+      options_(options),
+      pool_(options.pool != nullptr ? *options.pool
+                                    : util::ThreadPool::global()),
+      clock_(options.clock != nullptr ? *options.clock
+                                      : util::Clock::steady()),
+      lat_p50_(0.5),
+      lat_p99_(0.99) {
+  EXA_CHECK(options_.queue_limit > 0, "admission queue must hold something");
+  EXA_CHECK(executor_ != nullptr, "service needs an executor");
+}
+
+void QueryService::set_subscribe_source(SubscribeSource source) {
+  std::lock_guard lk(mu_);
+  subscribe_ = std::move(source);
+}
+
+void QueryService::set_stats_augment(StatsAugment augment) {
+  std::lock_guard lk(mu_);
+  stats_augment_ = std::move(augment);
+}
+
+wire::Response QueryService::execute(const wire::Request& request,
+                                     const CancelToken& cancel,
+                                     std::int64_t deadline_us) const {
+  if (request.method == wire::Method::kServerStats) {
+    // The counters are the service's own, so stats never defer to the
+    // executor — a coordinator augments the snapshot with its link
+    // health instead of replacing it.
+    wire::Response resp;
+    resp.method = request.method;
+    const ServiceMetrics m = metrics();
+    resp.server.accepted = m.accepted;
+    resp.server.served = m.served;
+    resp.server.shed = m.shed;
+    resp.server.deadline_exceeded = m.deadline_exceeded;
+    resp.server.cancelled = m.cancelled;
+    resp.server.failed = m.failed;
+    resp.server.queue_depth = m.queue_depth;
+    resp.server.queue_limit = options_.queue_limit;
+    resp.server.p50_ms = m.p50_ms;
+    resp.server.p99_ms = m.p99_ms;
+    StatsAugment augment;
+    {
+      std::lock_guard lk(mu_);
+      augment = stats_augment_;
+    }
+    if (augment) augment(resp.server);
+    return resp;
+  }
+  return executor_(request, cancel, deadline_us);
 }
 
 void QueryService::finish(std::int64_t admitted_us, wire::Response&& response,

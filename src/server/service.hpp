@@ -38,6 +38,15 @@ struct ServiceOptions {
   std::uint32_t default_deadline_ms = 0;
 };
 
+/// Wire-supplied time grids are adversarial. Accepts only (range, window)
+/// pairs whose window count can be computed without signed overflow and
+/// whose grid stays under 2^24 windows (what a year of 1 Hz data can
+/// legitimately need); on rejection `*why` explains. Shared by the
+/// store-backed executor and the cluster coordinator so both ends of a
+/// scatter agree on what a valid grid is.
+[[nodiscard]] bool grid_ok(util::TimeRange range, util::TimeSec window,
+                           std::string* why);
+
 /// Snapshot of the service counters (also serialized as kServerStats).
 struct ServiceMetrics {
   std::uint64_t accepted = 0;           ///< admitted into the queue
@@ -70,10 +79,27 @@ class QueryService {
   using SubscribeSource = std::function<void(
       const wire::Request&, const CancelToken&, const Emit&)>;
 
+  /// Produces the response body for one admitted request — the seam that
+  /// lets a cluster coordinator sit behind the same admission queue,
+  /// deadline policy and counters as a plain store shard. Must poll
+  /// `cancel` and the absolute `deadline_us` (0 = none) in long bodies.
+  /// kServerStats never reaches the executor: the service answers it
+  /// itself (the counters are its own).
+  using Executor = std::function<wire::Response(
+      const wire::Request&, const CancelToken&, std::int64_t)>;
+
+  /// Hook appending endpoint-specific fields to a kServerStats response
+  /// (a coordinator fills the shard/reconnect counters here).
+  using StatsAugment = std::function<void(wire::ServerStatsWire&)>;
+
+  /// Store-backed service: executor = `make_store_executor(store, ...)`.
   QueryService(const store::Store& store, ServiceOptions options = {});
+  /// Custom-executor service (the cluster coordinator front-end).
+  QueryService(Executor executor, ServiceOptions options = {});
 
   /// No subscription source installed => kSubscribe gets kUnimplemented.
   void set_subscribe_source(SubscribeSource source);
+  void set_stats_augment(StatsAugment augment);
 
   void submit(wire::Request request, CancelToken cancel, Emit emit,
               Done done);
@@ -108,11 +134,12 @@ class QueryService {
   void finish(std::int64_t admitted_us, wire::Response&& response,
               const Done& done);
 
-  const store::Store& store_;
+  Executor executor_;
   ServiceOptions options_;
   util::ThreadPool& pool_;
   util::Clock& clock_;
   SubscribeSource subscribe_;
+  StatsAugment stats_augment_;
 
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;
@@ -127,5 +154,12 @@ class QueryService {
   stream::P2Quantile lat_p50_;
   stream::P2Quantile lat_p99_;
 };
+
+/// The canonical store-backed executor: every non-stats method of the
+/// wire protocol evaluated against one Store. `clock` drives deadline
+/// polling in long bodies (nullptr = steady wall clock) and should match
+/// the owning service's clock so ManualClock tests stay deterministic.
+[[nodiscard]] QueryService::Executor make_store_executor(
+    const store::Store& store, util::Clock* clock = nullptr);
 
 }  // namespace exawatt::server

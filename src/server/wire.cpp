@@ -127,7 +127,7 @@ store::QueryStats read_stats(Reader& r) {
 
 Method read_method(Reader& r) {
   const std::uint8_t m = r.u8();
-  if (m > static_cast<std::uint8_t>(Method::kServerStats)) {
+  if (m > static_cast<std::uint8_t>(Method::kDirectory)) {
     throw WireError("unknown method " + std::to_string(int{m}));
   }
   return static_cast<Method>(m);
@@ -144,6 +144,7 @@ const char* method_name(Method m) {
     case Method::kPueRollup: return "pue_rollup";
     case Method::kSubscribe: return "subscribe";
     case Method::kServerStats: return "server_stats";
+    case Method::kDirectory: return "directory";
   }
   return "unknown";
 }
@@ -169,6 +170,7 @@ std::vector<std::uint8_t> encode_request(const Request& req) {
   switch (req.method) {
     case Method::kPing:
     case Method::kServerStats:
+    case Method::kDirectory:
       break;
     case Method::kWindowSum:
       w.u32(req.metric);
@@ -206,6 +208,7 @@ Request decode_request(std::span<const std::uint8_t> payload) {
   switch (req.method) {
     case Method::kPing:
     case Method::kServerStats:
+    case Method::kDirectory:
       break;
     case Method::kWindowSum:
       req.metric = r.u32();
@@ -298,6 +301,25 @@ std::vector<std::uint8_t> encode_response(const Response& resp) {
       w.u64(resp.server.queue_limit);
       w.f64(resp.server.p50_ms);
       w.f64(resp.server.p99_ms);
+      w.u64(resp.server.reconnects_attempted);
+      w.u64(resp.server.reconnects_succeeded);
+      w.u64(resp.server.shards_total);
+      w.u64(resp.server.shards_down);
+      break;
+    case Method::kDirectory:
+      w.u64(resp.directory.total_events);
+      w.u64(resp.directory.buffered_events);
+      w.i64(resp.directory.bounds.begin);
+      w.i64(resp.directory.bounds.end);
+      w.u64(resp.directory.segments.size());
+      for (const store::SegmentMeta& s : resp.directory.segments) {
+        w.str(s.file);
+        w.i64(s.day);
+        w.u64(s.events);
+        w.u64(s.bytes);
+        w.i64(s.t_min);
+        w.i64(s.t_max);
+      }
       break;
   }
   return w.take();
@@ -375,7 +397,32 @@ Response decode_response(std::span<const std::uint8_t> payload) {
       resp.server.queue_limit = r.u64();
       resp.server.p50_ms = r.f64();
       resp.server.p99_ms = r.f64();
+      resp.server.reconnects_attempted = r.u64();
+      resp.server.reconnects_succeeded = r.u64();
+      resp.server.shards_total = r.u64();
+      resp.server.shards_down = r.u64();
       break;
+    case Method::kDirectory: {
+      resp.directory.total_events = r.u64();
+      resp.directory.buffered_events = r.u64();
+      resp.directory.bounds.begin = r.i64();
+      resp.directory.bounds.end = r.i64();
+      // 44 = the fixed bytes of one entry (4-byte name length + 5 ints);
+      // a hostile count can never size an allocation past the payload.
+      const std::size_t n = r.count(44);
+      resp.directory.segments.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        store::SegmentMeta s;
+        s.file = r.str();
+        s.day = r.i64();
+        s.events = r.u64();
+        s.bytes = r.u64();
+        s.t_min = r.i64();
+        s.t_max = r.i64();
+        resp.directory.segments.push_back(std::move(s));
+      }
+      break;
+    }
   }
   if (!r.done()) throw WireError("trailing bytes after response");
   return resp;

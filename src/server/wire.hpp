@@ -32,6 +32,7 @@ enum class Method : std::uint8_t {
   kPueRollup = 4,   ///< streaming replay: cluster power + facility PUE
   kSubscribe = 5,   ///< stream of coarse ticks / alerts (Tick frames)
   kServerStats = 6, ///< server-side metrics counters snapshot
+  kDirectory = 7,   ///< sealed-segment directory (cluster query planning)
 };
 
 [[nodiscard]] const char* method_name(Method m);
@@ -80,6 +81,24 @@ struct ServerStatsWire {
   std::uint64_t queue_limit = 0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  /// Upstream-link health. A plain shard server reports zeros; a cluster
+  /// coordinator front-end fills these from its shard `Client`s so
+  /// coordinator-to-shard flapping is visible to any stats consumer.
+  std::uint64_t reconnects_attempted = 0;
+  std::uint64_t reconnects_succeeded = 0;
+  std::uint64_t shards_total = 0;
+  std::uint64_t shards_down = 0;
+};
+
+/// kDirectory response payload: the store's sealed-segment directory
+/// plus its live totals — everything a coordinator needs to plan a
+/// scatter query (time-range pruning) and to account a dead shard's
+/// overlap as `lost_segments` instead of guessing.
+struct DirectoryWire {
+  std::uint64_t total_events = 0;
+  std::uint64_t buffered_events = 0;
+  util::TimeRange bounds{0, 0};
+  std::vector<store::SegmentMeta> segments;
 };
 
 /// One decoded response. `status != kOk` carries only `message`. The
@@ -97,6 +116,7 @@ struct Response {
   ts::Series pue;                       // kPueRollup
   store::QueryStats stats;              // loss/cache accounting, kOk reads
   ServerStatsWire server;               // kServerStats
+  DirectoryWire directory;              // kDirectory
 };
 
 enum class TickKind : std::uint8_t {

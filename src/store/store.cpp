@@ -13,10 +13,6 @@ namespace exawatt::store {
 
 namespace {
 
-bool sample_less(const ts::Sample& a, const ts::Sample& b) {
-  return a.t < b.t || (a.t == b.t && a.value < b.value);
-}
-
 /// Parse the sequence number out of "seg%08llu_day%05lld.seg"-style names.
 bool parse_seq(const std::string& name, std::uint64_t& seq) {
   return std::sscanf(name.c_str(), "seg%" SCNu64, &seq) == 1;
@@ -383,6 +379,13 @@ std::vector<telemetry::MetricId> Store::metrics() const {
   return {ids.begin(), ids.end()};
 }
 
+std::vector<SegmentMeta> Store::directory() const {
+  std::vector<SegmentMeta> out;
+  out.reserve(segments_.size());
+  for (const auto& seg : segments_) out.push_back(seg.meta);
+  return out;
+}
+
 util::TimeRange Store::bounds() const {
   util::TimeRange hull{0, 0};
   bool first = true;
@@ -417,16 +420,30 @@ double Store::compression_ratio() const {
                    static_cast<double>(stored_bytes_);
 }
 
+ts::Series reduce_cluster_sum(std::span<const ts::StatSeries> per_node,
+                              util::TimeRange range, util::TimeSec window,
+                              std::vector<double>* counts) {
+  const auto n_windows =
+      static_cast<std::size_t>((range.duration() + window - 1) / window);
+  std::vector<double> sum(n_windows, 0.0);
+  std::vector<double> cnt(n_windows, 0.0);
+  for (const auto& stat : per_node) {
+    for (std::size_t w = 0; w < stat.size() && w < n_windows; ++w) {
+      if (stat[w].count > 0) {
+        sum[w] += stat[w].mean;
+        cnt[w] += 1.0;
+      }
+    }
+  }
+  if (counts != nullptr) *counts = std::move(cnt);
+  return ts::Series(range.begin, window, std::move(sum));
+}
+
 ts::Series cluster_sum(const Store& store,
                        const std::vector<machine::NodeId>& nodes, int channel,
                        util::TimeRange range, util::TimeSec window,
                        std::vector<double>* counts, util::ThreadPool* pool,
                        QueryStats* stats) {
-  const auto n_windows =
-      static_cast<std::size_t>((range.duration() + window - 1) / window);
-  std::vector<double> sum(n_windows, 0.0);
-  std::vector<double> cnt(n_windows, 0.0);
-
   struct NodeScan {
     ts::StatSeries stat;
     QueryStats stats;
@@ -445,18 +462,13 @@ ts::Series cluster_sum(const Store& store,
         return scan;
       },
       pool != nullptr ? *pool : util::ThreadPool::global());
-  for (const auto& scan : per_node) {
+  std::vector<ts::StatSeries> stats_only;
+  stats_only.reserve(per_node.size());
+  for (auto& scan : per_node) {
     if (stats != nullptr) stats->merge(scan.stats);
-    const auto& stat = scan.stat;
-    for (std::size_t w = 0; w < stat.size() && w < n_windows; ++w) {
-      if (stat[w].count > 0) {
-        sum[w] += stat[w].mean;
-        cnt[w] += 1.0;
-      }
-    }
+    stats_only.push_back(std::move(scan.stat));
   }
-  if (counts != nullptr) *counts = std::move(cnt);
-  return ts::Series(range.begin, window, std::move(sum));
+  return reduce_cluster_sum(stats_only, range, window, counts);
 }
 
 }  // namespace exawatt::store

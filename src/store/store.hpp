@@ -64,6 +64,15 @@ struct MetricRun {
   std::vector<ts::Sample> samples;
 };
 
+/// The sort order of every query result: by time, value-tiebroken so the
+/// sorted sequence is a pure function of the sample multiset — merging
+/// any regrouping of the same samples (segments, threads, or cluster
+/// shards) and re-sorting reproduces the identical vector.
+[[nodiscard]] inline bool sample_less(const ts::Sample& a,
+                                      const ts::Sample& b) {
+  return a.t < b.t || (a.t == b.t && a.value < b.value);
+}
+
 /// Event-weighted window grid from `Store::window_sum`: for window w
 /// (covering [start + w*window, start + (w+1)*window)), `sum[w]` is the
 /// exact sum of every stored value in it and `count[w]` the event count.
@@ -142,6 +151,11 @@ class Store {
 
   /// Distinct metric ids present (sealed + buffered), ascending.
   [[nodiscard]] std::vector<telemetry::MetricId> metrics() const;
+  /// The sealed-segment directory (manifest view): one SegmentMeta per
+  /// live segment, in manifest order. This is what a cluster coordinator
+  /// plans scatter queries against — and what it charges to
+  /// `lost_segments` when this store's shard stops answering.
+  [[nodiscard]] std::vector<SegmentMeta> directory() const;
   /// Half-open hull of every stored event time; {0,0} when empty.
   [[nodiscard]] util::TimeRange bounds() const;
 
@@ -196,6 +210,17 @@ class Store {
   std::uint64_t buffered_events_ = 0;
   std::uint64_t stored_bytes_ = 0;
 };
+
+/// The serial reduction step of every cluster_sum flavor: per-node
+/// coarsened stats accumulate onto the window grid in the order given
+/// (floating addition is order-sensitive, so the node order IS the
+/// contract). Shared by `store::cluster_sum` and the cluster
+/// coordinator's scatter-gather path — bit-parity between the sharded
+/// and unsharded roll-up holds because both run exactly this code on
+/// identical per-node stats.
+[[nodiscard]] ts::Series reduce_cluster_sum(
+    std::span<const ts::StatSeries> per_node, util::TimeRange range,
+    util::TimeSec window, std::vector<double>* counts = nullptr);
 
 /// Cluster-level roll-up of one channel across nodes, read from the store
 /// — the disk-backed twin of `telemetry::cluster_sum` (bit-identical on

@@ -16,7 +16,12 @@ RollupReplay replay_rollup(const store::Store& store,
     ids.push_back(telemetry::metric_id(n, channel));
   }
   const auto runs = store.query_many(ids, options.range, nullptr, stats);
+  return replay_rollup_runs(runs, std::move(options), sinks);
+}
 
+RollupReplay replay_rollup_runs(const std::vector<store::MetricRun>& runs,
+                                EngineOptions options,
+                                const ReplaySinks& sinks) {
   struct Replayed {
     util::TimeSec t;
     telemetry::MetricId id;

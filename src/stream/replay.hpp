@@ -44,6 +44,16 @@ struct RollupReplay {
                                          const ReplaySinks& sinks = {},
                                          store::QueryStats* stats = nullptr);
 
+/// The replay body on already-fetched per-metric runs: flatten, sort by
+/// (emit time, metric id), drive the engine second-by-second. The store
+/// overload above delegates here after its query_many, and the cluster
+/// coordinator feeds it runs gathered over the wire — both roll-up
+/// flavors literally execute this one function, so sharded and unsharded
+/// answers agree bit-for-bit by construction, not by luck.
+[[nodiscard]] RollupReplay replay_rollup_runs(
+    const std::vector<store::MetricRun>& runs, EngineOptions options,
+    const ReplaySinks& sinks = {});
+
 /// The original power-only entry point: replay_rollup with no sinks,
 /// returning just the closed cluster power series. On the same event
 /// stream it must be bit-identical to `telemetry::cluster_sum` /

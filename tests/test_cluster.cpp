@@ -1,0 +1,618 @@
+// src/cluster suite: shard-map codec and routing, the fan_out scatter
+// primitive, the merge algebra (window-sum grids, metric runs, query
+// stats), partition-parity properties — any shard partition of a feed
+// must answer bit-identically to one store holding the union, including
+// with one shard dropped — and the rebalance protocol, including a
+// crash-at-every-write-point sweep that must never lose or duplicate a
+// committed event.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/coordinator.hpp"
+#include "cluster/merge.hpp"
+#include "cluster/rebalance.hpp"
+#include "cluster/shard_map.hpp"
+#include "faultfs/fault.hpp"
+#include "net/fanout.hpp"
+#include "store/store.hpp"
+#include "telemetry/metric.hpp"
+#include "ts/series.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/vfs.hpp"
+
+namespace {
+
+using namespace exawatt;
+namespace fs = std::filesystem;
+
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("exawatt_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+const int kPowerChannel =
+    telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
+
+/// Deterministic random feed on the input-power channel of `n_nodes`
+/// nodes: out-of-order timestamps and duplicate instants included, since
+/// the merge algebra must be a pure function of the sample multiset.
+std::vector<telemetry::MetricEvent> make_events(std::uint64_t seed,
+                                                int n_nodes,
+                                                std::size_t count,
+                                                util::TimeRange span) {
+  util::Rng rng(seed);
+  std::vector<telemetry::MetricEvent> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto node =
+        static_cast<machine::NodeId>(rng.uniform_index(
+            static_cast<std::size_t>(n_nodes)));
+    const auto t = span.begin + static_cast<util::TimeSec>(rng.uniform_index(
+                                    static_cast<std::size_t>(span.duration())));
+    events.push_back({telemetry::metric_id(node, kPowerChannel), t,
+                      static_cast<std::int32_t>(rng.uniform_index(50'000))});
+  }
+  return events;
+}
+
+store::StoreOptions small_segments(std::size_t events_per_segment = 512) {
+  store::StoreOptions options;
+  options.segment_events = events_per_segment;
+  return options;
+}
+
+/// Append `events` in pipeline-sized batches and seal.
+void fill_store(store::Store& store,
+                const std::vector<telemetry::MetricEvent>& events) {
+  std::vector<telemetry::MetricEvent> batch;
+  for (const auto& ev : events) {
+    batch.push_back(ev);
+    if (batch.size() == 256) {
+      store.append(std::move(batch));
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) store.append(std::move(batch));
+  store.flush();
+}
+
+bool runs_equal(const std::vector<store::MetricRun>& a,
+                const std::vector<store::MetricRun>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].samples.size() != b[i].samples.size()) {
+      return false;
+    }
+    for (std::size_t j = 0; j < a[i].samples.size(); ++j) {
+      if (a[i].samples[j].t != b[i].samples[j].t ||
+          a[i].samples[j].value != b[i].samples[j].value) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ shard map
+
+TEST(ShardMap, UniformCoversEveryShard) {
+  const auto map = cluster::ShardMap::uniform(3);
+  EXPECT_EQ(map.shards(), 3u);
+  std::vector<std::size_t> owned(3, 0);
+  for (int node = 0; node < 512; ++node) {
+    const std::size_t shard =
+        map.shard_of(telemetry::metric_id(node, kPowerChannel));
+    ASSERT_LT(shard, 3u);
+    ++owned[shard];
+  }
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_GT(owned[s], 0u) << "shard " << s << " owns no traffic";
+  }
+}
+
+TEST(ShardMap, RoutingIsDeterministic) {
+  const auto a = cluster::ShardMap::uniform(4);
+  const auto b = cluster::ShardMap::uniform(4);
+  for (int node = 0; node < 64; ++node) {
+    const auto id = telemetry::metric_id(node, kPowerChannel);
+    EXPECT_EQ(a.shard_of(id), b.shard_of(id));
+  }
+}
+
+TEST(ShardMap, RejectsDegenerateShardCounts) {
+  EXPECT_THROW((void)cluster::ShardMap::uniform(0), util::CheckError);
+  EXPECT_THROW(
+      (void)cluster::ShardMap::uniform(cluster::ShardMap::kSlots + 1),
+      util::CheckError);
+}
+
+TEST(ShardMap, AssignSlotMovesTrafficAndBumpsVersion) {
+  auto map = cluster::ShardMap::uniform(2);
+  const std::uint64_t v0 = map.version();
+  for (std::size_t slot = 0; slot < cluster::ShardMap::kSlots; ++slot) {
+    map.assign_slot(slot, 1);
+  }
+  EXPECT_EQ(map.version(), v0 + cluster::ShardMap::kSlots);
+  for (int node = 0; node < 64; ++node) {
+    EXPECT_EQ(map.shard_of(telemetry::metric_id(node, kPowerChannel)), 1u);
+  }
+}
+
+TEST(ShardMap, RoundTripsThroughDisk) {
+  const std::string dir = scratch_dir("shardmap_roundtrip");
+  auto map = cluster::ShardMap::uniform(5);
+  map.assign_slot(7, 2);
+  map.save(dir + "/SHARDMAP");
+  cluster::ShardMap loaded;
+  ASSERT_TRUE(cluster::ShardMap::load(dir + "/SHARDMAP", loaded));
+  EXPECT_EQ(loaded.encode(), map.encode());
+  EXPECT_EQ(loaded.shards(), 5u);
+  EXPECT_EQ(loaded.version(), map.version());
+}
+
+TEST(ShardMap, LoadMissingReturnsFalse) {
+  const std::string dir = scratch_dir("shardmap_missing");
+  cluster::ShardMap out;
+  EXPECT_FALSE(cluster::ShardMap::load(dir + "/SHARDMAP", out));
+}
+
+TEST(ShardMap, CorruptionIsDetected) {
+  const std::string dir = scratch_dir("shardmap_corrupt");
+  const std::string path = dir + "/SHARDMAP";
+  cluster::ShardMap::uniform(3).save(path);
+  auto bytes = util::Vfs::real().read_all(path);
+  bytes[bytes.size() / 2] ^= 0x01;
+  auto out = util::Vfs::real().create(path);
+  out->write(bytes);
+  out->close();
+  cluster::ShardMap loaded;
+  EXPECT_THROW((void)cluster::ShardMap::load(path, loaded),
+               store::StoreError);
+}
+
+TEST(ShardMap, SplitRoutesEveryEventToItsShard) {
+  const auto map = cluster::ShardMap::uniform(3);
+  const auto events = make_events(0x51u, 12, 2'000, {0, 600});
+  const auto parts = map.split(events);
+  ASSERT_EQ(parts.size(), 3u);
+  std::size_t routed = 0;
+  for (std::size_t shard = 0; shard < parts.size(); ++shard) {
+    routed += parts[shard].size();
+    for (const auto& ev : parts[shard]) {
+      EXPECT_EQ(map.shard_of(ev.id), shard);
+    }
+  }
+  EXPECT_EQ(routed, events.size());
+  // Replaying the input through the routing must walk each shard's part
+  // in order — split is a pure, order-preserving partition (the store's
+  // append contract is order-sensitive for day-partition assignment).
+  std::vector<std::size_t> cursor(parts.size(), 0);
+  for (const auto& ev : events) {
+    const std::size_t shard = map.shard_of(ev.id);
+    const auto& got = parts[shard][cursor[shard]++];
+    ASSERT_EQ(got.id, ev.id);
+    ASSERT_EQ(got.t, ev.t);
+    ASSERT_EQ(got.value, ev.value);
+  }
+}
+
+// -------------------------------------------------------------- fan_out
+
+TEST(FanOut, CollectsEveryResultInOrder) {
+  const auto results =
+      net::fan_out(8, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(results.size(), 8u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok);
+    EXPECT_EQ(results[i].value, i * i);
+  }
+}
+
+TEST(FanOut, CapturesExceptionsPerTask) {
+  const auto results = net::fan_out(6, [](std::size_t i) -> int {
+    if (i % 2 == 1) throw std::runtime_error("boom " + std::to_string(i));
+    return static_cast<int>(i);
+  });
+  ASSERT_EQ(results.size(), 6u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i % 2 == 1) {
+      EXPECT_FALSE(results[i].ok);
+      EXPECT_EQ(results[i].error, "boom " + std::to_string(i));
+    } else {
+      EXPECT_TRUE(results[i].ok);
+      EXPECT_EQ(results[i].value, static_cast<int>(i));
+    }
+  }
+}
+
+TEST(FanOut, ZeroTasksIsEmpty) {
+  EXPECT_TRUE(net::fan_out(0, [](std::size_t) { return 0; }).empty());
+}
+
+// ---------------------------------------------------------------- merge
+
+TEST(Merge, WindowSumEmptyTargetAdoptsSource) {
+  store::WindowSum from;
+  from.start = 100;
+  from.window = 10;
+  from.sum = {1.0, 2.0};
+  from.count = {1, 2};
+  store::WindowSum into;
+  cluster::merge_window_sum(into, from);
+  EXPECT_EQ(into.start, 100);
+  EXPECT_EQ(into.sum, from.sum);
+  EXPECT_EQ(into.count, from.count);
+}
+
+TEST(Merge, WindowSumAddsElementwise) {
+  store::WindowSum a;
+  a.start = 0;
+  a.window = 10;
+  a.sum = {1.0, 0.0, 4.0};
+  a.count = {1, 0, 2};
+  store::WindowSum b = a;
+  b.sum = {2.0, 8.0, 0.0};
+  b.count = {3, 4, 0};
+  cluster::merge_window_sum(a, b);
+  EXPECT_EQ(a.sum, (std::vector<double>{3.0, 8.0, 4.0}));
+  EXPECT_EQ(a.count, (std::vector<std::uint64_t>{4, 4, 2}));
+}
+
+TEST(Merge, WindowSumRejectsMismatchedGrids) {
+  store::WindowSum a;
+  a.start = 0;
+  a.window = 10;
+  a.sum = {1.0};
+  a.count = {1};
+  store::WindowSum b = a;
+  b.window = 20;
+  EXPECT_THROW(cluster::merge_window_sum(a, b), util::CheckError);
+}
+
+TEST(Merge, QueryStatsMergeIsAdditive) {
+  store::QueryStats a;
+  a.lost_segments = 2;
+  a.lost_blocks = 1;
+  a.cache_hits = 10;
+  a.cache_misses = 3;
+  store::QueryStats b;
+  b.lost_segments = 1;
+  b.cache_misses = 4;
+  a.merge(b);
+  EXPECT_EQ(a.lost_segments, 3u);
+  EXPECT_EQ(a.lost_blocks, 1u);
+  EXPECT_EQ(a.cache_hits, 10u);
+  EXPECT_EQ(a.cache_misses, 7u);
+  EXPECT_TRUE(a.degraded());
+}
+
+// ----------------------------------------------- partition parity props
+
+/// Any partition of a feed across `n_shards` stores must answer every
+/// query shape bit-identically to one store holding the union.
+void check_partition_parity(std::uint64_t seed, std::size_t n_shards) {
+  SCOPED_TRACE("seed " + std::to_string(seed) + ", shards " +
+               std::to_string(n_shards));
+  const std::string dir = scratch_dir(
+      "partition_" + std::to_string(seed) + "_" + std::to_string(n_shards));
+  const int n_nodes = 10;
+  const util::TimeRange span{0, 900};
+  const auto events = make_events(seed, n_nodes, 6'000, span);
+  const auto map = cluster::ShardMap::uniform(n_shards);
+
+  store::Store full = store::Store::open(dir + "/full", small_segments());
+  fill_store(full, events);
+  std::vector<std::optional<store::Store>> shards;
+  {
+    const auto parts = map.split(events);
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      shards.emplace_back(
+          store::Store::open(dir + "/shard" + std::to_string(s),
+                             small_segments()));
+      fill_store(*shards.back(), parts[s]);
+    }
+  }
+
+  const std::vector<telemetry::MetricId> ids = full.metrics();
+  ASSERT_FALSE(ids.empty());
+  const util::TimeRange range{100, 800};
+  const util::TimeSec window = 10;
+
+  // Scan: per-shard runs reassemble into the unsharded answer.
+  std::vector<std::vector<store::MetricRun>> shard_runs;
+  shard_runs.reserve(n_shards);
+  for (const auto& shard : shards) {
+    shard_runs.push_back(shard->query_many(ids, range));
+  }
+  std::vector<const std::vector<store::MetricRun>*> parts;
+  for (const auto& r : shard_runs) parts.push_back(&r);
+  EXPECT_TRUE(
+      runs_equal(cluster::merge_runs(ids, parts), full.query_many(ids, range)));
+
+  // Window-sum grids: elementwise sums are exact, so shard grouping must
+  // not perturb a single bit.
+  for (const telemetry::MetricId id : ids) {
+    const store::WindowSum direct = full.window_sum(id, range, window);
+    store::WindowSum merged;
+    for (const auto& shard : shards) {
+      cluster::merge_window_sum(merged, shard->window_sum(id, range, window));
+    }
+    EXPECT_EQ(merged.start, direct.start);
+    EXPECT_EQ(merged.window, direct.window);
+    EXPECT_EQ(merged.sum, direct.sum);
+    EXPECT_EQ(merged.count, direct.count);
+  }
+
+  // Cluster roll-up via the coordinator's reduction path: raw scans,
+  // merge, coarsen per node, reduce in node order.
+  std::vector<machine::NodeId> nodes;
+  for (const telemetry::MetricId id : ids) {
+    nodes.push_back(telemetry::metric_node(id));
+  }
+  std::vector<double> want_counts;
+  const ts::Series want = store::cluster_sum(full, nodes, kPowerChannel,
+                                             range, window, &want_counts);
+  const auto merged_runs = cluster::merge_runs(ids, parts);
+  std::vector<ts::StatSeries> per_node;
+  per_node.reserve(merged_runs.size());
+  for (const auto& run : merged_runs) {
+    per_node.push_back(ts::coarsen(run.samples, window, range));
+  }
+  std::vector<double> got_counts;
+  const ts::Series got =
+      store::reduce_cluster_sum(per_node, range, window, &got_counts);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t w = 0; w < want.size(); ++w) {
+    EXPECT_EQ(got[w], want[w]) << "window " << w;
+  }
+  EXPECT_EQ(got_counts, want_counts);
+}
+
+TEST(PartitionParity, TwoShards) { check_partition_parity(0xA1, 2); }
+TEST(PartitionParity, ThreeShards) { check_partition_parity(0xB2, 3); }
+TEST(PartitionParity, FiveShards) { check_partition_parity(0xC3, 5); }
+TEST(PartitionParity, SingleShardDegenerate) {
+  check_partition_parity(0xD4, 1);
+}
+
+TEST(PartitionParity, OneShardDownIsPartialNeverWrong) {
+  // Drop shard 1 from a 3-way partition: the merge over the survivors
+  // must bit-match a store built from exactly the surviving events —
+  // degraded reads lose data, they never invent it.
+  const std::string dir = scratch_dir("partition_degraded");
+  const auto events = make_events(0xE5, 9, 5'000, {0, 600});
+  const auto map = cluster::ShardMap::uniform(3);
+  const auto parts = map.split(events);
+
+  std::vector<telemetry::MetricEvent> survivors_feed;
+  for (const auto& ev : parts[0]) survivors_feed.push_back(ev);
+  for (const auto& ev : parts[2]) survivors_feed.push_back(ev);
+
+  store::Store survivors =
+      store::Store::open(dir + "/survivors", small_segments());
+  fill_store(survivors, survivors_feed);
+  store::Store shard0 = store::Store::open(dir + "/shard0", small_segments());
+  fill_store(shard0, parts[0]);
+  store::Store shard2 = store::Store::open(dir + "/shard2", small_segments());
+  fill_store(shard2, parts[2]);
+
+  const std::vector<telemetry::MetricId> ids = survivors.metrics();
+  const util::TimeRange range{0, 600};
+  const auto r0 = shard0.query_many(ids, range);
+  const auto r2 = shard2.query_many(ids, range);
+  const std::vector<const std::vector<store::MetricRun>*> two = {&r0, &r2};
+  EXPECT_TRUE(runs_equal(cluster::merge_runs(ids, two),
+                         survivors.query_many(ids, range)));
+
+  for (const telemetry::MetricId id : ids) {
+    const store::WindowSum direct = survivors.window_sum(id, range, 10);
+    store::WindowSum merged;
+    cluster::merge_window_sum(merged, shard0.window_sum(id, range, 10));
+    cluster::merge_window_sum(merged, shard2.window_sum(id, range, 10));
+    EXPECT_EQ(merged.sum, direct.sum);
+    EXPECT_EQ(merged.count, direct.count);
+  }
+}
+
+// ------------------------------------------------------------ rebalance
+
+struct RebalanceRig {
+  std::string dir;
+  std::string root_a;
+  std::string root_b;
+  std::vector<telemetry::MetricEvent> feed_a;
+  std::vector<telemetry::MetricEvent> feed_b;
+  std::vector<store::MetricRun> reference;
+  std::vector<telemetry::MetricId> ids;
+  util::TimeRange range{0, 600};
+};
+
+/// Two populated stores plus the unsharded reference answer over their
+/// union — what every post-rebalance layout must still produce.
+RebalanceRig make_rebalance_rig(const std::string& name) {
+  RebalanceRig rig;
+  rig.dir = scratch_dir(name);
+  rig.root_a = rig.dir + "/a";
+  rig.root_b = rig.dir + "/b";
+  rig.feed_a = make_events(0xAA, 6, 2'000, rig.range);
+  rig.feed_b = make_events(0xBB, 6, 1'000, rig.range);
+  {
+    store::Store a = store::Store::open(rig.root_a, small_segments());
+    fill_store(a, rig.feed_a);
+    store::Store b = store::Store::open(rig.root_b, small_segments());
+    fill_store(b, rig.feed_b);
+  }
+  std::vector<telemetry::MetricEvent> all = rig.feed_a;
+  all.insert(all.end(), rig.feed_b.begin(), rig.feed_b.end());
+  store::Store full = store::Store::open(rig.dir + "/full", small_segments());
+  fill_store(full, all);
+  rig.ids = full.metrics();
+  rig.reference = full.query_many(rig.ids, rig.range);
+  return rig;
+}
+
+/// Reopen both roots and require the union to bit-match the reference.
+void expect_union_parity(const RebalanceRig& rig) {
+  store::Store a = store::Store::open(rig.root_a, small_segments());
+  store::Store b = store::Store::open(rig.root_b, small_segments());
+  EXPECT_TRUE(a.recovery().clean());
+  EXPECT_TRUE(b.recovery().clean());
+  const auto ra = a.query_many(rig.ids, rig.range);
+  const auto rb = b.query_many(rig.ids, rig.range);
+  const std::vector<const std::vector<store::MetricRun>*> parts = {&ra, &rb};
+  EXPECT_TRUE(runs_equal(cluster::merge_runs(rig.ids, parts), rig.reference));
+}
+
+TEST(Rebalance, MovesASegmentPreservingUnionParity) {
+  auto rig = make_rebalance_rig("rebalance_move");
+  std::vector<store::SegmentMeta> dir_a;
+  std::uint64_t before_a = 0;
+  std::uint64_t before_b = 0;
+  {
+    store::Store a = store::Store::open(rig.root_a, small_segments());
+    store::Store b = store::Store::open(rig.root_b, small_segments());
+    dir_a = a.directory();
+    before_a = a.total_events();
+    before_b = b.total_events();
+  }
+  ASSERT_GE(dir_a.size(), 2u) << "need sealed segments to move";
+
+  const auto report =
+      cluster::rebalance_segment(rig.root_a, rig.root_b, dir_a[0].file);
+  EXPECT_EQ(report.events, dir_a[0].events);
+  EXPECT_EQ(cluster::recover_migrations({rig.root_a, rig.root_b}), 0u);
+
+  store::Store a = store::Store::open(rig.root_a, small_segments());
+  store::Store b = store::Store::open(rig.root_b, small_segments());
+  EXPECT_EQ(a.total_events(), before_a - dir_a[0].events);
+  EXPECT_EQ(b.total_events(), before_b + dir_a[0].events);
+  expect_union_parity(rig);
+}
+
+TEST(Rebalance, ResolvesSegmentNameCollisions) {
+  auto rig = make_rebalance_rig("rebalance_collision");
+  std::string victim;
+  {
+    store::Store a = store::Store::open(rig.root_a, small_segments());
+    store::Store b = store::Store::open(rig.root_b, small_segments());
+    // Both stores start numbering at seg0; the first segment names clash.
+    for (const auto& seg_a : a.directory()) {
+      for (const auto& seg_b : b.directory()) {
+        if (seg_a.file == seg_b.file) victim = seg_a.file;
+      }
+    }
+  }
+  ASSERT_FALSE(victim.empty()) << "fixture should produce a name clash";
+  const auto report =
+      cluster::rebalance_segment(rig.root_a, rig.root_b, victim);
+  EXPECT_NE(report.to_file, report.from_file);
+  EXPECT_EQ(report.to_file, "m" + report.from_file);
+  expect_union_parity(rig);
+}
+
+TEST(Rebalance, RefusesSegmentsTheSourceDoesNotOwn) {
+  const auto rig = make_rebalance_rig("rebalance_unknown");
+  EXPECT_THROW((void)cluster::rebalance_segment(rig.root_a, rig.root_b,
+                                                "no_such.seg"),
+               store::StoreError);
+}
+
+TEST(Rebalance, RefusesToStartOverAPendingJournal) {
+  const auto rig = make_rebalance_rig("rebalance_pending");
+  std::string victim;
+  {
+    store::Store a = store::Store::open(rig.root_a, small_segments());
+    victim = a.directory().front().file;
+  }
+  cluster::MigrationJournal j;
+  j.from_root = rig.root_a;
+  j.to_root = rig.root_b;
+  j.to_file = "stale.seg";
+  j.meta.file = "stale.seg";
+  j.save(util::Vfs::real());
+  EXPECT_THROW(
+      (void)cluster::rebalance_segment(rig.root_a, rig.root_b, victim),
+      store::StoreError);
+  // recover_migrations clears the copying-state journal; the move then
+  // proceeds.
+  EXPECT_EQ(cluster::recover_migrations({rig.root_a, rig.root_b}), 1u);
+  (void)cluster::rebalance_segment(rig.root_a, rig.root_b, victim);
+  expect_union_parity(rig);
+}
+
+TEST(MigrationJournal, RoundTripsAndRejectsCorruption) {
+  cluster::MigrationJournal j;
+  j.from_root = "/data/shard 0";  // spaces in roots must survive
+  j.to_root = "/data/shard 2";
+  j.to_file = "mseg00000003_day00001.seg";
+  j.meta = {"seg00000003_day00001.seg", 1, 4096, 12345, 86400, 90000};
+  j.state = cluster::MigrationJournal::State::kFlipped;
+  const auto decoded = cluster::MigrationJournal::decode(j.encode());
+  EXPECT_EQ(decoded.encode(), j.encode());
+  EXPECT_EQ(decoded.from_root, j.from_root);
+  EXPECT_EQ(decoded.to_file, j.to_file);
+  EXPECT_EQ(decoded.meta.events, 4096u);
+  EXPECT_TRUE(decoded.state == cluster::MigrationJournal::State::kFlipped);
+
+  std::string text = j.encode();
+  text[text.size() / 3] ^= 0x01;
+  EXPECT_THROW((void)cluster::MigrationJournal::decode(text),
+               store::StoreError);
+}
+
+TEST(Rebalance, CrashAtEveryWritePointNeverLosesACommittedEvent) {
+  // Rehearse once to count the write points of a full move, then crash
+  // at each in turn. After recover_migrations (the "next process start"),
+  // the union of both stores must bit-match the reference — the move
+  // either rolled back or completed, and no event was lost or duplicated
+  // at any crash site.
+  std::string victim;
+  std::uint64_t write_points = 0;
+  {
+    auto rig = make_rebalance_rig("rebalance_rehearsal");
+    {
+      store::Store a = store::Store::open(rig.root_a, small_segments());
+      victim = a.directory().front().file;
+    }
+    faultfs::FaultVfs counter(util::Vfs::real());
+    (void)cluster::rebalance_segment(rig.root_a, rig.root_b, victim,
+                                     &counter);
+    write_points = counter.stats().write_ops;
+    expect_union_parity(rig);
+  }
+  ASSERT_GT(write_points, 0u);
+
+  for (std::uint64_t k = 0; k < write_points; ++k) {
+    SCOPED_TRACE("crash at write op " + std::to_string(k));
+    auto rig = make_rebalance_rig("rebalance_crash");
+    faultfs::FaultVfs chaos(util::Vfs::real(),
+                            faultfs::FaultPlan().crash_at_write(k));
+    bool died = false;
+    try {
+      (void)cluster::rebalance_segment(rig.root_a, rig.root_b, victim,
+                                       &chaos);
+    } catch (const std::exception&) {
+      died = true;
+    }
+    ASSERT_TRUE(died);
+    (void)cluster::recover_migrations({rig.root_a, rig.root_b});
+    EXPECT_FALSE(
+        util::Vfs::real().exists(cluster::journal_path(rig.root_a)));
+    EXPECT_FALSE(
+        util::Vfs::real().exists(cluster::journal_path(rig.root_b)));
+    expect_union_parity(rig);
+  }
+}
+
+}  // namespace

@@ -47,15 +47,37 @@
 //       bit-identical to the direct in-process store call, subscription
 //       ticks to match the streaming replay, and a damaged store to
 //       report its losses over the wire.
+//
+//   exawatt_sim cluster --shards 4701,4702,4703 --port 4700
+//       scatter-gather coordinator front-end: serve the full query
+//       protocol over a set of shard servers (started with `serve`),
+//       merging partials and degrading — never erroring — when a shard
+//       is down. Ctrl-C drains and prints the per-shard breakdown.
+//
+//   exawatt_sim clustercheck --nodes 9 --minutes 5 --store DIR
+//       cluster parity gate (the `cluster_roundtrip` ctest): shard one
+//       telemetry feed across 3 loopback shard servers and require every
+//       coordinator answer to be bit-identical to the single-store
+//       answer; kill a shard mid-run and require partial results with
+//       exact lost-segment accounting; rebalance a sealed segment
+//       between shards and require parity again on both sides of the
+//       flip.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <thread>
 
+#include "cluster/coordinator.hpp"
+#include "cluster/merge.hpp"
+#include "cluster/rebalance.hpp"
+#include "cluster/shard_map.hpp"
 #include "core/edges.hpp"
 #include "faultfs/fault.hpp"
 #include "core/failure_analysis.hpp"
@@ -76,6 +98,7 @@
 #include "util/flags.hpp"
 #include "util/signal.hpp"
 #include "util/text_table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -97,7 +120,14 @@ int usage() {
       "  serve    --store DIR --port P [--queue N --deadline MS]\n"
       "                                                   TCP query service\n"
       "  servecheck --nodes N --minutes M --store DIR     loopback wire-parity"
-      " gate\n");
+      " gate\n"
+      "  cluster  --shards P1,P2,.. --port P [--queue N --deadline MS]\n"
+      "                                                   scatter-gather"
+      " coordinator\n"
+      "  clustercheck --nodes N --minutes M --store DIR   3-shard cluster"
+      " parity gate\n"
+      "  analyze  --endpoint HOST:PORT                    server_stats over"
+      " the wire\n");
   return 2;
 }
 
@@ -332,7 +362,83 @@ int analyze_store(const std::string& dir) {
   return identical == nw && nw > 0 ? 0 : 1;
 }
 
+/// "PORT" or "HOST:PORT" → Endpoint (bare ports dial loopback).
+cluster::Endpoint parse_endpoint(const std::string& spec) {
+  cluster::Endpoint ep;
+  const std::size_t colon = spec.rfind(':');
+  const std::string port_text =
+      colon == std::string::npos ? spec : spec.substr(colon + 1);
+  if (colon != std::string::npos && colon > 0) ep.host = spec.substr(0, colon);
+  const long port = std::strtol(port_text.c_str(), nullptr, 10);
+  if (port <= 0 || port > 65535) {
+    throw std::runtime_error("bad endpoint (want PORT or HOST:PORT): " + spec);
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+/// Comma-separated endpoint list, e.g. "4701,4702" or "10.0.0.2:4701,...".
+std::vector<cluster::Endpoint> parse_endpoints(const std::string& list) {
+  std::vector<cluster::Endpoint> eps;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    std::size_t end = list.find(',', begin);
+    if (end == std::string::npos) end = list.size();
+    const std::string part = list.substr(begin, end - begin);
+    if (!part.empty()) eps.push_back(parse_endpoint(part));
+    begin = end + 1;
+  }
+  return eps;
+}
+
+/// `analyze --endpoint HOST:PORT`: read the kServerStats counters off a
+/// live server — a shard reports its service metrics; a coordinator
+/// front-end additionally reports upstream-link health (reconnects and
+/// down shards) via the stats-augment hook.
+int analyze_endpoint(const std::string& spec) {
+  const cluster::Endpoint ep = parse_endpoint(spec);
+  server::ClientOptions copts;
+  copts.host = ep.host;
+  copts.port = ep.port;
+  server::Client client(copts);
+  server::wire::Request req;
+  req.method = server::wire::Method::kServerStats;
+  const auto resp = client.call(req);
+  if (resp.status != server::wire::Status::kOk) {
+    std::printf("server_stats on %s:%u returned %s\n", ep.host.c_str(),
+                ep.port, server::wire::status_name(resp.status));
+    return 1;
+  }
+  const auto& s = resp.server;
+  std::printf("server %s:%u\n", ep.host.c_str(), ep.port);
+  std::printf(
+      "service: %llu accepted, %llu served, %llu shed, %llu deadline-"
+      "exceeded, %llu cancelled, %llu failed | depth %llu / limit %llu | "
+      "latency p50 %.2f ms p99 %.2f ms\n",
+      static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.served),
+      static_cast<unsigned long long>(s.shed),
+      static_cast<unsigned long long>(s.deadline_exceeded),
+      static_cast<unsigned long long>(s.cancelled),
+      static_cast<unsigned long long>(s.failed),
+      static_cast<unsigned long long>(s.queue_depth),
+      static_cast<unsigned long long>(s.queue_limit), s.p50_ms, s.p99_ms);
+  if (s.shards_total > 0) {
+    std::printf("upstream: %llu shard(s), %llu down | reconnects %llu "
+                "attempted / %llu succeeded\n",
+                static_cast<unsigned long long>(s.shards_total),
+                static_cast<unsigned long long>(s.shards_down),
+                static_cast<unsigned long long>(s.reconnects_attempted),
+                static_cast<unsigned long long>(s.reconnects_succeeded));
+  } else {
+    std::printf("upstream: none (single-store server)\n");
+  }
+  return 0;
+}
+
 int cmd_analyze(const util::Flags& flags) {
+  const std::string endpoint = flags.get("endpoint");
+  if (!endpoint.empty()) return analyze_endpoint(endpoint);
   const std::string store_dir = flags.get("store");
   if (!store_dir.empty()) return analyze_store(store_dir);
   const std::string dir = flags.get("data", "traces");
@@ -1142,6 +1248,433 @@ int cmd_servecheck(const util::Flags& flags) {
   return violations == 0 ? 0 : 1;
 }
 
+void print_shard_table(const std::vector<cluster::ShardStats>& shards) {
+  util::TextTable t({"shard", "endpoint", "up", "calls", "ok", "shed",
+                     "deadline", "errors", "transport", "reconnects",
+                     "mean ms", "max ms"});
+  const auto ms = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return std::string(buf);
+  };
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const cluster::ShardStats& s = shards[i];
+    t.add_row({std::to_string(i), s.endpoint, s.up ? "yes" : "DOWN",
+               std::to_string(s.calls), std::to_string(s.ok),
+               std::to_string(s.shed), std::to_string(s.deadline_exceeded),
+               std::to_string(s.other_errors),
+               std::to_string(s.transport_errors),
+               std::to_string(s.reconnect_attempts) + "/" +
+                   std::to_string(s.reconnect_successes),
+               ms(s.mean_latency_ms()),
+               ms(static_cast<double>(s.latency_us_max) / 1000.0)});
+  }
+  std::printf("%s", t.str().c_str());
+}
+
+int cmd_cluster(const util::Flags& flags) {
+  const std::string shard_list = flags.get("shards");
+  if (shard_list.empty()) {
+    std::fprintf(stderr, "cluster: --shards P1,P2,... is required (start "
+                         "each shard with `exawatt_sim serve --port P`)\n");
+    return 2;
+  }
+  cluster::CoordinatorOptions copts;
+  copts.shards = parse_endpoints(shard_list);
+  cluster::Coordinator coordinator(std::move(copts));
+
+  server::ServiceOptions sopts;
+  sopts.queue_limit = static_cast<std::size_t>(flags.get_int("queue", 256));
+  sopts.default_deadline_ms =
+      static_cast<std::uint32_t>(flags.get_int("deadline", 0));
+  server::QueryService service(coordinator.executor(), sopts);
+  service.set_stats_augment([&](server::wire::ServerStatsWire& s) {
+    coordinator.augment_stats(s);
+  });
+
+  server::ServerOptions options;
+  options.port = static_cast<std::uint16_t>(flags.get_int("port", 4700));
+  server::Server server(service, options);
+
+  util::SignalTrap trap;
+  std::printf("coordinating %zu shard(s) on 127.0.0.1:%u (queue %zu, "
+              "default deadline %u ms) — Ctrl-C drains\n",
+              coordinator.shards(), server.port(), sopts.queue_limit,
+              sopts.default_deadline_ms);
+  server.run([&] { return trap.stop_requested(); });
+  if (trap.stop_requested()) {
+    std::printf("\nsignal %d: draining — no new connections, letting "
+                "%llu in-flight request(s) finish...\n",
+                trap.signal_number(),
+                static_cast<unsigned long long>(
+                    service.metrics().queue_depth));
+  }
+  server.drain();
+  print_service_report(service.metrics(), server.loop_stats());
+  print_shard_table(coordinator.shard_stats());
+  return 0;
+}
+
+/// The `cluster_roundtrip` ctest gate: shard one telemetry feed across 3
+/// loopback shard servers and require every coordinator answer to be
+/// bit-identical to a single store holding the union; kill a shard and
+/// require honest partial results (exact lost-segment accounting, never
+/// wrong values); rebalance a sealed segment between shards and require
+/// parity again after the flip.
+int cmd_clustercheck(const util::Flags& flags) {
+  const auto n = static_cast<int>(flags.get_int("nodes", 9));
+  const double minutes = flags.get_number("minutes", 5.0);
+  const std::string dir = flags.get("store", "clustercheck_data");
+  std::filesystem::remove_all(dir);
+  constexpr std::size_t kShards = 3;
+
+  const util::TimeSec start = util::kHour;
+  const util::TimeRange window{
+      start, start + static_cast<util::TimeSec>(minutes * 60.0)};
+  core::SimulationConfig config;
+  config.scale = machine::MachineScale::small(n);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  config.range = {0, window.end + util::kHour};
+  core::Simulation sim(config);
+  TelemetryRig rig(sim, config, window, config.scale.nodes);
+
+  // Capture the feed once so the reference store and the shards ingest
+  // the exact same batches.
+  std::vector<std::vector<telemetry::MetricEvent>> batches;
+  rig.pipeline.set_batch_sink(
+      [&](const std::vector<telemetry::MetricEvent>& batch) {
+        batches.push_back(batch);
+      });
+  rig.pipeline.run(window);
+
+  std::size_t violations = 0;
+  util::Vfs& fs = util::Vfs::real();
+  fs.mkdirs(dir);
+
+  // Shard map: durable round-trip plus routing sanity on a real batch.
+  const cluster::ShardMap map = cluster::ShardMap::uniform(kShards);
+  map.save(dir + "/SHARDMAP");
+  cluster::ShardMap loaded;
+  if (!cluster::ShardMap::load(dir + "/SHARDMAP", loaded) ||
+      loaded.encode() != map.encode()) {
+    std::printf("FAIL: shard map did not round-trip through disk\n");
+    ++violations;
+  }
+  if (!batches.empty()) {
+    const auto parts = map.split(batches.front());
+    std::size_t routed = 0;
+    bool misrouted = false;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      routed += parts[i].size();
+      for (const telemetry::MetricEvent& ev : parts[i]) {
+        if (map.shard_of(ev.id) != i) misrouted = true;
+      }
+    }
+    if (misrouted || routed != batches.front().size()) {
+      std::printf("FAIL: split() dropped or misrouted events\n");
+      ++violations;
+    }
+  }
+
+  // Ingest: one reference store with everything, kShards stores with the
+  // hash-routed partition. Small segments so rebalance has material.
+  store::StoreOptions store_options;
+  store_options.segment_events = 1 << 13;
+  const std::string ref_dir = dir + "/ref";
+  std::vector<std::string> roots;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    roots.push_back(dir + "/shard" + std::to_string(i));
+  }
+  {
+    store::Store ref = store::Store::open(ref_dir, store_options);
+    std::vector<store::Store> writers;
+    for (const std::string& root : roots) {
+      writers.push_back(store::Store::open(root, store_options));
+    }
+    for (const auto& batch : batches) {
+      ref.append(batch);
+      const auto parts = map.split(batch);
+      for (std::size_t i = 0; i < kShards; ++i) {
+        if (!parts[i].empty()) writers[i].append(parts[i]);
+      }
+    }
+    ref.flush();
+    for (auto& w : writers) w.flush();
+  }
+
+  store::Store ref = store::Store::open(ref_dir, store_options);
+  std::vector<std::optional<store::Store>> shards;
+  for (const std::string& root : roots) {
+    shards.emplace_back(store::Store::open(root, store_options));
+  }
+
+  struct ShardServer {
+    std::unique_ptr<server::Server> server;
+    std::thread loop;
+  };
+  // Every in-process service would otherwise share the process-global
+  // worker pool; on a small machine a coordinator leg parked there would
+  // starve the very shard services it is waiting on. Give each service
+  // its own pool, as separate server processes naturally have.
+  std::vector<std::unique_ptr<util::ThreadPool>> pools;
+  const auto start_shard = [&pools](store::Store& st) {
+    ShardServer s;
+    pools.push_back(std::make_unique<util::ThreadPool>(1));
+    server::ServerOptions opts;
+    opts.service.pool = pools.back().get();
+    s.server = std::make_unique<server::Server>(st, opts);
+    s.loop = std::thread([srv = s.server.get()] { srv->run(); });
+    return s;
+  };
+  const auto stop_shard = [](ShardServer& s) {
+    if (!s.server) return;
+    s.server->shutdown();
+    s.loop.join();
+    s.server->drain();
+    s.server.reset();
+  };
+  std::vector<ShardServer> servers;
+  for (auto& st : shards) servers.push_back(start_shard(*st));
+
+  cluster::CoordinatorOptions copts;
+  for (const ShardServer& s : servers) {
+    copts.shards.push_back({"127.0.0.1", s.server->port()});
+  }
+  cluster::Coordinator coordinator(std::move(copts));
+  util::ThreadPool front_pool(2);
+  server::ServiceOptions front_options;
+  front_options.pool = &front_pool;
+  server::QueryService front(coordinator.executor(), front_options);
+  front.set_stats_augment([&](server::wire::ServerStatsWire& s) {
+    coordinator.augment_stats(s);
+  });
+  server::Server front_server(front, {});
+  std::thread front_loop([&] { front_server.run(); });
+  server::ClientOptions client_options;
+  client_options.port = front_server.port();
+  server::Client client(client_options);
+
+  const std::vector<machine::NodeId> nodes = power_nodes(ref);
+  const int channel =
+      telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
+  std::vector<telemetry::MetricId> power_ids;
+  for (const machine::NodeId node : nodes) {
+    power_ids.push_back(telemetry::metric_id(node, channel));
+  }
+
+  const auto bit_same = [](const ts::Series& a, const ts::Series& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  };
+  const auto runs_same = [](const std::vector<store::MetricRun>& a,
+                            const std::vector<store::MetricRun>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].id != b[i].id || a[i].samples.size() != b[i].samples.size()) {
+        return false;
+      }
+      for (std::size_t j = 0; j < a[i].samples.size(); ++j) {
+        if (a[i].samples[j].t != b[i].samples[j].t ||
+            a[i].samples[j].value != b[i].samples[j].value) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  // The parity suite: every coordinator answer vs the single reference
+  // store, bitwise. Runs three times — fresh, after a shard restart, and
+  // after a rebalance — and must hold identically each time.
+  const auto check_parity = [&](const char* tag) {
+    std::size_t bad = 0;
+    server::wire::Request req;
+
+    std::size_t ws_same = 0;
+    for (const telemetry::MetricId id : power_ids) {
+      req = {};
+      req.method = server::wire::Method::kWindowSum;
+      req.metric = id;
+      req.range = window;
+      req.window = 10;
+      const auto resp = client.call(req);
+      const auto direct = ref.window_sum(id, window, 10);
+      if (resp.status == server::wire::Status::kOk &&
+          resp.window_sum.start == direct.start &&
+          resp.window_sum.sum == direct.sum &&
+          resp.window_sum.count == direct.count) {
+        ++ws_same;
+      }
+    }
+    if (ws_same != power_ids.size()) ++bad;
+
+    req = {};
+    req.method = server::wire::Method::kScan;
+    req.metrics = power_ids;
+    req.range = window;
+    bool scan_ok = false;
+    {
+      const auto resp = client.call(req);
+      const auto direct = ref.query_many(power_ids, window);
+      scan_ok = resp.status == server::wire::Status::kOk &&
+                !resp.stats.degraded() && runs_same(resp.runs, direct);
+      if (!scan_ok) ++bad;
+    }
+
+    req = {};
+    req.method = server::wire::Method::kClusterSum;
+    req.nodes = nodes;
+    req.channel = channel;
+    req.range = window;
+    req.window = 10;
+    bool sum_ok = false;
+    {
+      const auto resp = client.call(req);
+      std::vector<double> counts;
+      const auto direct =
+          store::cluster_sum(ref, nodes, channel, window, 10, &counts);
+      sum_ok = resp.status == server::wire::Status::kOk &&
+               bit_same(resp.series, direct) && resp.counts == counts;
+      if (!sum_ok) ++bad;
+    }
+
+    stream::EngineOptions options;
+    options.range = window;
+    options.rollup.edge_node_count = static_cast<double>(nodes.size());
+    const auto offline = stream::replay_rollup(ref, nodes, options);
+    req = {};
+    req.method = server::wire::Method::kPueRollup;
+    req.nodes = nodes;
+    req.range = window;
+    req.window = 10;
+    bool pue_ok = false;
+    {
+      const auto resp = client.call(req);
+      pue_ok = resp.status == server::wire::Status::kOk &&
+               bit_same(resp.series, offline.power) &&
+               bit_same(resp.pue, offline.pue);
+      if (!pue_ok) ++bad;
+    }
+
+    req = {};
+    req.method = server::wire::Method::kDirectory;
+    bool dir_ok = false;
+    {
+      const auto resp = client.call(req);
+      dir_ok = resp.status == server::wire::Status::kOk &&
+               resp.directory.total_events == ref.total_events() &&
+               resp.directory.bounds.begin == ref.bounds().begin &&
+               resp.directory.bounds.end == ref.bounds().end;
+      if (!dir_ok) ++bad;
+    }
+
+    std::printf("[%s] parity: window_sum %zu/%zu, scan %s, cluster_sum %s, "
+                "pue_rollup %s, directory %s\n",
+                tag, ws_same, power_ids.size(),
+                scan_ok ? "bit-identical" : "DIVERGED",
+                sum_ok ? "bit-identical" : "DIVERGED",
+                pue_ok ? "bit-identical" : "DIVERGED",
+                dir_ok ? "matches" : "DIVERGED");
+    return bad;
+  };
+
+  violations += check_parity("3 shards");
+
+  // Degraded phase: kill shard 1's server (its store stays alive — only
+  // the endpoint dies). The coordinator must keep answering with partial
+  // results and charge exactly shard 1's overlap as lost segments.
+  stop_shard(servers[1]);
+  {
+    std::uint64_t overlap = 0;
+    for (const store::SegmentMeta& seg : shards[1]->directory()) {
+      if (seg.t_min < window.end && window.begin <= seg.t_max) ++overlap;
+    }
+    const std::uint64_t expected_lost = std::max<std::uint64_t>(overlap, 1);
+
+    server::wire::Request req;
+    req.method = server::wire::Method::kScan;
+    req.metrics = power_ids;
+    req.range = window;
+    const auto resp = client.call(req);
+
+    const auto r0 = shards[0]->query_many(power_ids, window);
+    const auto r2 = shards[2]->query_many(power_ids, window);
+    const std::vector<store::MetricRun>* parts[] = {&r0, &r2};
+    const auto survivors = cluster::merge_runs(power_ids, parts);
+
+    const bool ok = resp.status == server::wire::Status::kOk &&
+                    resp.stats.lost_segments == expected_lost &&
+                    runs_same(resp.runs, survivors);
+    std::printf("[degraded] shard 1 down: status %s, lost %zu segment(s) "
+                "(expected %llu), survivor data %s\n",
+                server::wire::status_name(resp.status),
+                resp.stats.lost_segments,
+                static_cast<unsigned long long>(expected_lost),
+                ok ? "bit-identical" : "DIVERGED");
+    if (!ok) ++violations;
+  }
+
+  // Restart shard 1 on a fresh port and repoint the coordinator; full
+  // parity must come back without touching the client.
+  servers[1] = start_shard(*shards[1]);
+  coordinator.set_endpoint(1, {"127.0.0.1", servers[1].server->port()});
+  violations += check_parity("restarted");
+
+  // Rebalance phase: move shard 0's first sealed segment to shard 2 with
+  // everything quiesced, replay recovery (a no-op on a clean move), and
+  // demand the same answers from the new layout.
+  const std::vector<store::SegmentMeta> shard0_dir = shards[0]->directory();
+  if (shard0_dir.empty()) {
+    std::printf("FAIL: shard 0 sealed no segments to rebalance\n");
+    ++violations;
+  } else {
+    for (auto& s : servers) stop_shard(s);
+    shards.clear();  // release the stores before touching their roots
+
+    const std::string victim = shard0_dir.front().file;
+    const cluster::RebalanceReport moved =
+        cluster::rebalance_segment(roots[0], roots[2], victim);
+    const std::size_t resolved = cluster::recover_migrations(roots);
+    std::printf("[rebalance] moved %s (%llu events) shard0 -> shard2 as %s; "
+                "recovery replayed %zu journal(s)\n",
+                moved.from_file.c_str(),
+                static_cast<unsigned long long>(moved.events),
+                moved.to_file.c_str(), resolved);
+    if (resolved != 0) ++violations;
+
+    std::uint64_t reopened_events = 0;
+    bool clean = true;
+    for (const std::string& root : roots) {
+      shards.emplace_back(store::Store::open(root, store_options));
+      clean = clean && shards.back()->recovery().clean();
+      reopened_events += shards.back()->total_events();
+    }
+    if (!clean || reopened_events != ref.total_events()) {
+      std::printf("FAIL: post-rebalance reopen lost events (%llu vs %llu) "
+                  "or needed repair\n",
+                  static_cast<unsigned long long>(reopened_events),
+                  static_cast<unsigned long long>(ref.total_events()));
+      ++violations;
+    }
+    for (std::size_t i = 0; i < kShards; ++i) {
+      servers[i] = start_shard(*shards[i]);
+      coordinator.set_endpoint(i, {"127.0.0.1", servers[i].server->port()});
+    }
+    violations += check_parity("rebalanced");
+  }
+
+  front_server.shutdown();
+  front_loop.join();
+  front_server.drain();
+  for (auto& s : servers) stop_shard(s);
+
+  std::printf("clustercheck: %s\n", violations == 0 ? "PASS" : "FAIL");
+  return violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1155,6 +1688,8 @@ int main(int argc, char** argv) {
     if (flags.command() == "faultcheck") return cmd_faultcheck(flags);
     if (flags.command() == "serve") return cmd_serve(flags);
     if (flags.command() == "servecheck") return cmd_servecheck(flags);
+    if (flags.command() == "cluster") return cmd_cluster(flags);
+    if (flags.command() == "clustercheck") return cmd_clustercheck(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -2,13 +2,21 @@
 //
 //   loadgen --port 4626 --threads 8 --seconds 10 --nodes 32
 //       [--deadline MS] [--range-begin S --range-end S] [--subscribe]
+//   loadgen --cluster 4701,4702,4703 --threads 8 --seconds 10
 //
 // Each thread owns one connection and issues a mixed read workload
 // (window-sum, metric scans, cluster roll-ups, pings) as fast as the
 // server answers, with an optional per-request deadline. Prints the
-// status breakdown, achieved request and event-read rates, and a
+// status breakdown — shed (RESOURCE_EXHAUSTED) is admission control
+// doing its job and is counted apart from transport errors, which are
+// broken links — plus achieved request and event-read rates and a
 // latency histogram with p50/p90/p99. Exit code is non-zero when no
 // request succeeded — so the tool doubles as a connectivity probe.
+//
+// --cluster PORTS (or HOST:PORT,...) drives a scatter-gather
+// coordinator over the listed shard servers instead of one server: all
+// threads share the coordinator, and the report adds a per-shard
+// latency/status breakdown so a slow or flapping shard is visible.
 //
 // The default --nodes/--range match `exawatt_sim simulate --store`'s
 // defaults (32 instrumented nodes, 30 minutes at 1 Hz).
@@ -18,15 +26,21 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cluster/coordinator.hpp"
 #include "server/client.hpp"
 #include "telemetry/metric.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
+#include "util/sim_time.hpp"
 #include "util/text_table.hpp"
 
 namespace {
@@ -54,6 +68,58 @@ struct WorkerStats {
   std::array<std::uint64_t, kBuckets> histogram{};
 };
 
+/// "P" or "HOST:P", comma-separated, into coordinator endpoints.
+std::vector<exawatt::cluster::Endpoint> parse_endpoints(
+    const std::string& list) {
+  std::vector<exawatt::cluster::Endpoint> eps;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    std::size_t end = list.find(',', begin);
+    if (end == std::string::npos) end = list.size();
+    const std::string part = list.substr(begin, end - begin);
+    begin = end + 1;
+    if (part.empty()) continue;
+    exawatt::cluster::Endpoint ep;
+    const std::size_t colon = part.rfind(':');
+    const std::string port_text =
+        colon == std::string::npos ? part : part.substr(colon + 1);
+    if (colon != std::string::npos && colon > 0) ep.host = part.substr(0, colon);
+    const long port = std::strtol(port_text.c_str(), nullptr, 10);
+    if (port <= 0 || port > 65535) {
+      throw std::runtime_error("bad endpoint (want PORT or HOST:PORT): " +
+                               part);
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+    eps.push_back(std::move(ep));
+  }
+  return eps;
+}
+
+void print_shard_breakdown(
+    const std::vector<exawatt::cluster::ShardStats>& shards) {
+  exawatt::util::TextTable t({"shard", "endpoint", "up", "calls", "ok",
+                              "shed", "deadline", "errors", "transport",
+                              "reconnects", "mean ms", "max ms"});
+  const auto ms = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return std::string(buf);
+  };
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const exawatt::cluster::ShardStats& s = shards[i];
+    t.add_row({std::to_string(i), s.endpoint, s.up ? "yes" : "DOWN",
+               std::to_string(s.calls), std::to_string(s.ok),
+               std::to_string(s.shed), std::to_string(s.deadline_exceeded),
+               std::to_string(s.other_errors),
+               std::to_string(s.transport_errors),
+               std::to_string(s.reconnect_attempts) + "/" +
+                   std::to_string(s.reconnect_successes),
+               ms(s.mean_latency_ms()),
+               ms(static_cast<double>(s.latency_us_max) / 1000.0)});
+  }
+  std::printf("\nper-shard breakdown:\n%s", t.str().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -75,11 +141,29 @@ int main(int argc, char** argv) {
   std::vector<machine::NodeId> nodes(static_cast<std::size_t>(n_nodes));
   for (int i = 0; i < n_nodes; ++i) nodes[static_cast<std::size_t>(i)] = i;
 
-  std::printf("loadgen: %zu threads x %.1f s against %s:%u (%d nodes, "
-              "range [%lld, %lld), deadline %u ms)\n",
-              threads, seconds, copts.host.c_str(), copts.port, n_nodes,
-              static_cast<long long>(range.begin),
-              static_cast<long long>(range.end), deadline_ms);
+  const std::string cluster_list = flags.get("cluster");
+  std::unique_ptr<cluster::Coordinator> coordinator;
+  if (!cluster_list.empty()) {
+    cluster::CoordinatorOptions cluster_options;
+    cluster_options.shards = parse_endpoints(cluster_list);
+    coordinator =
+        std::make_unique<cluster::Coordinator>(std::move(cluster_options));
+  }
+
+  if (coordinator != nullptr) {
+    std::printf("loadgen: %zu threads x %.1f s against a %zu-shard cluster "
+                "[%s] (%d nodes, range [%lld, %lld), deadline %u ms)\n",
+                threads, seconds, coordinator->shards(),
+                cluster_list.c_str(), n_nodes,
+                static_cast<long long>(range.begin),
+                static_cast<long long>(range.end), deadline_ms);
+  } else {
+    std::printf("loadgen: %zu threads x %.1f s against %s:%u (%d nodes, "
+                "range [%lld, %lld), deadline %u ms)\n",
+                threads, seconds, copts.host.c_str(), copts.port, n_nodes,
+                static_cast<long long>(range.begin),
+                static_cast<long long>(range.end), deadline_ms);
+  }
 
   const auto t0 = Clock::now();
   const auto until = t0 + std::chrono::duration_cast<Clock::duration>(
@@ -91,7 +175,12 @@ int main(int argc, char** argv) {
     pool.emplace_back([&, w] {
       WorkerStats& stats = per_thread[w];
       util::Rng rng(0x10adULL + w);
-      server::Client client(copts);
+      // Cluster mode drives the shared coordinator in-process (it is
+      // thread-safe and serializes each shard link itself); single-server
+      // mode keeps one connection per worker.
+      std::optional<server::Client> client;
+      if (coordinator == nullptr) client.emplace(copts);
+      const server::CancelToken no_cancel;
       while (Clock::now() < until) {
         server::wire::Request req;
         req.deadline_ms = deadline_ms;
@@ -120,7 +209,16 @@ int main(int argc, char** argv) {
         const auto sent_at = Clock::now();
         ++stats.sent;
         try {
-          const auto resp = client.call(req);
+          const auto resp =
+              coordinator != nullptr
+                  ? coordinator->execute(
+                        req, no_cancel,
+                        deadline_ms == 0
+                            ? 0
+                            : util::Clock::steady().now_us() +
+                                  static_cast<std::int64_t>(deadline_ms) *
+                                      1000)
+                  : client->call(req);
           const double us =
               std::chrono::duration<double, std::micro>(Clock::now() -
                                                         sent_at)
@@ -144,7 +242,7 @@ int main(int argc, char** argv) {
           }
         } catch (const net::NetError&) {
           ++stats.transport_errors;
-          if (!client.connected()) {
+          if (client.has_value() && !client->connected()) {
             // Server gone (or drained); keep trying until the clock runs
             // out so a restart mid-run is measured, not fatal.
             std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -173,15 +271,34 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Shed is the server protecting itself (RESOURCE_EXHAUSTED at
+  // admission) — a healthy signal under overload; transport errors are
+  // broken links. The two must never be conflated in the report.
   std::printf(
-      "\nsent %llu: %llu ok, %llu shed, %llu deadline-exceeded, %llu "
-      "other, %llu transport errors\n",
+      "\nsent %llu: %llu ok, %llu shed (RESOURCE_EXHAUSTED), %llu "
+      "deadline-exceeded, %llu other, %llu transport errors\n",
       static_cast<unsigned long long>(total.sent),
       static_cast<unsigned long long>(total.ok),
       static_cast<unsigned long long>(total.shed),
       static_cast<unsigned long long>(total.deadline),
       static_cast<unsigned long long>(total.other),
       static_cast<unsigned long long>(total.transport_errors));
+  if (coordinator != nullptr) {
+    // A degraded scatter still answers kOk, so shard-level shedding and
+    // outages hide inside "ok" above; sum the per-shard legs here.
+    std::uint64_t leg_shed = 0;
+    std::uint64_t leg_transport = 0;
+    const auto shards = coordinator->shard_stats();
+    for (const auto& s : shards) {
+      leg_shed += s.shed;
+      leg_transport += s.transport_errors;
+    }
+    std::printf("scatter legs: %llu shed (RESOURCE_EXHAUSTED), %llu "
+                "transport errors across %zu shard(s)\n",
+                static_cast<unsigned long long>(leg_shed),
+                static_cast<unsigned long long>(leg_transport),
+                shards.size());
+  }
   std::printf("rates: %s, %s read back\n",
               util::fmt_si(static_cast<double>(total.sent) / elapsed,
                            "req/s", 2)
@@ -216,6 +333,9 @@ int main(int argc, char** argv) {
                   std::string(std::max<std::size_t>(width, 1), '#').c_str(),
                   static_cast<unsigned long long>(total.histogram[b]));
     }
+  }
+  if (coordinator != nullptr) {
+    print_shard_breakdown(coordinator->shard_stats());
   }
   return total.ok > 0 ? 0 : 1;
 }
