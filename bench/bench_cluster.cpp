@@ -115,6 +115,7 @@ void print_artifact() {
     loops.emplace_back([srv = servers.back().get()] { srv->run(); });
     copts.shards.push_back({"127.0.0.1", servers.back()->port()});
   }
+  copts.prune = true;  // shards are sealed before the drive starts
   cluster::Coordinator coordinator(copts);
   coordinator.refresh_directories();
 

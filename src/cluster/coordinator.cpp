@@ -38,10 +38,8 @@ constexpr std::size_t kMaxScanIds = 4096;
   return s.t_min < range.end && range.begin <= s.t_max;
 }
 
-[[nodiscard]] std::vector<telemetry::MetricId> power_ids(
-    const std::vector<machine::NodeId>& nodes) {
-  const int channel =
-      telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
+[[nodiscard]] std::vector<telemetry::MetricId> channel_ids(
+    const std::vector<machine::NodeId>& nodes, int channel) {
   std::vector<telemetry::MetricId> ids;
   ids.reserve(nodes.size());
   for (const machine::NodeId n : nodes) {
@@ -266,7 +264,11 @@ wire::Response Coordinator::execute(const wire::Request& request,
         resp.message = std::move(why);
         break;
       }
-      const std::vector<telemetry::MetricId> ids = power_ids(request.nodes);
+      // The scan ids carry the requested channel, exactly as the
+      // store-backed executor hands request.channel to store::cluster_sum
+      // — a GPU-temperature roll-up must never come back as input power.
+      const std::vector<telemetry::MetricId> ids =
+          channel_ids(request.nodes, request.channel);
       wire::Request sub;
       sub.method = wire::Method::kScan;
       sub.deadline_ms = request.deadline_ms;
@@ -315,7 +317,12 @@ wire::Response Coordinator::execute(const wire::Request& request,
         resp.message = std::move(why);
         break;
       }
-      const std::vector<telemetry::MetricId> ids = power_ids(request.nodes);
+      // The PUE replay always rolls up node input power (that is what
+      // replay_rollup reads on the unsharded path), so the channel is
+      // fixed here rather than taken from the request.
+      const std::vector<telemetry::MetricId> ids = channel_ids(
+          request.nodes,
+          telemetry::channel_of(telemetry::MetricKind::kInputPower, 0));
       wire::Request sub;
       sub.method = wire::Method::kScan;
       sub.deadline_ms = request.deadline_ms;

@@ -31,10 +31,13 @@ struct CoordinatorOptions {
   /// service's clock so inherited deadlines agree).
   util::Clock* clock = nullptr;
   /// Skip shards whose cached directory proves they hold nothing in the
-  /// query range. Correct for a quiesced cluster (directories refresh on
-  /// first contact and via refresh_directories()); turn off when shards
-  /// ingest concurrently and staleness could hide fresh data.
-  bool prune = true;
+  /// query range. Off by default: directories are cached at first
+  /// contact and only refreshed via refresh_directories(), so a shard
+  /// that ingests or seals after its snapshot could be wrongly pruned —
+  /// fresh data silently omitted without even a lost_segments charge.
+  /// Opt in only for a quiesced cluster (no concurrent ingest), and
+  /// refresh_directories() after any flush/rebalance.
+  bool prune = false;
 };
 
 /// Per-shard health/traffic counters, as reported by shard_stats().

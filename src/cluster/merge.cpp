@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/check.hpp"
 
@@ -28,21 +29,34 @@ std::vector<store::MetricRun> merge_runs(
   std::unordered_map<telemetry::MetricId, std::size_t> index;
   index.reserve(ids.size());
   std::vector<store::MetricRun> out(ids.size());
+  // Duplicate requested ids merge once into the first slot, then the
+  // finished run is copied to the rest — Store::query_many answers every
+  // duplicate with the full run, and parity says we must too.
+  std::vector<std::pair<std::size_t, std::size_t>> duplicates;
   for (std::size_t i = 0; i < ids.size(); ++i) {
     out[i].id = ids[i];
-    index.emplace(ids[i], i);
+    const auto [it, fresh] = index.emplace(ids[i], i);
+    if (!fresh) duplicates.emplace_back(i, it->second);
   }
+  std::unordered_set<telemetry::MetricId> seen;
   for (const std::vector<store::MetricRun>* part : parts) {
     if (part == nullptr) continue;
+    seen.clear();
     for (const store::MetricRun& run : *part) {
       const auto it = index.find(run.id);
       if (it == index.end()) continue;  // shard answered an id we dropped
+      // A duplicate-id sub-query makes the shard answer the same full
+      // run twice; folding both copies in would double-count.
+      if (!seen.insert(run.id).second) continue;
       auto& samples = out[it->second].samples;
       samples.insert(samples.end(), run.samples.begin(), run.samples.end());
     }
   }
   for (store::MetricRun& run : out) {
     std::sort(run.samples.begin(), run.samples.end(), store::sample_less);
+  }
+  for (const auto& [slot, canonical] : duplicates) {
+    out[slot].samples = out[canonical].samples;
   }
   return out;
 }

@@ -16,10 +16,12 @@ namespace exawatt::cluster {
 void merge_window_sum(store::WindowSum& into, const store::WindowSum& from);
 
 /// Merge per-shard scan results back into the single-store shape:
-/// one run per requested id, in `ids` order, samples re-sorted by
-/// `store::sample_less`. Because that order is a pure function of the
-/// sample multiset, the merged runs are the identical vectors
-/// `Store::query_many` would have produced on the union of the shards.
+/// one run per requested id, in `ids` order (duplicate ids each carry
+/// the full run, as `Store::query_many` answers them), samples
+/// re-sorted by `store::sample_less`. Because that order is a pure
+/// function of the sample multiset, the merged runs are the identical
+/// vectors `Store::query_many` would have produced on the union of the
+/// shards.
 [[nodiscard]] std::vector<store::MetricRun> merge_runs(
     std::span<const telemetry::MetricId> ids,
     std::span<const std::vector<store::MetricRun>* const> parts);

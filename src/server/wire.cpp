@@ -301,6 +301,12 @@ std::vector<std::uint8_t> encode_response(const Response& resp) {
       w.u64(resp.server.queue_limit);
       w.f64(resp.server.p50_ms);
       w.f64(resp.server.p99_ms);
+      // Count-prefixed extension block: new u64 counters append here, so
+      // a mixed-version rollout degrades gracefully instead of throwing
+      // transport-looking WireErrors — an old decoder skips fields it
+      // does not know, a new decoder zero-fills fields an old server
+      // never sent.
+      w.u64(4);
       w.u64(resp.server.reconnects_attempted);
       w.u64(resp.server.reconnects_succeeded);
       w.u64(resp.server.shards_total);
@@ -386,7 +392,7 @@ Response decode_response(std::span<const std::uint8_t> payload) {
       break;
     case Method::kSubscribe:
       break;
-    case Method::kServerStats:
+    case Method::kServerStats: {
       resp.server.accepted = r.u64();
       resp.server.served = r.u64();
       resp.server.shed = r.u64();
@@ -397,11 +403,24 @@ Response decode_response(std::span<const std::uint8_t> payload) {
       resp.server.queue_limit = r.u64();
       resp.server.p50_ms = r.f64();
       resp.server.p99_ms = r.f64();
-      resp.server.reconnects_attempted = r.u64();
-      resp.server.reconnects_succeeded = r.u64();
-      resp.server.shards_total = r.u64();
-      resp.server.shards_down = r.u64();
+      // Extension block (see encoder): absent on pre-cluster servers
+      // (fields stay zero), and counters this decoder does not know yet
+      // are consumed and ignored rather than tripping "trailing bytes".
+      if (!r.done()) {
+        const std::size_t n_ext = r.count(8);
+        for (std::size_t i = 0; i < n_ext; ++i) {
+          const std::uint64_t v = r.u64();
+          switch (i) {
+            case 0: resp.server.reconnects_attempted = v; break;
+            case 1: resp.server.reconnects_succeeded = v; break;
+            case 2: resp.server.shards_total = v; break;
+            case 3: resp.server.shards_down = v; break;
+            default: break;  // newer peer's counter — skip
+          }
+        }
+      }
       break;
+    }
     case Method::kDirectory: {
       resp.directory.total_events = r.u64();
       resp.directory.buffered_events = r.u64();

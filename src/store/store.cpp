@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "store/manifest.hpp"
@@ -282,12 +283,22 @@ std::vector<MetricRun> Store::query_many(
 
   std::vector<MetricRun> out;
   out.reserve(ids.size());
+  // A duplicate requested id gets the full run again (copied from its
+  // first slot), exactly as per-id query() calls would answer — not the
+  // moved-from leftovers of the first occurrence.
+  std::unordered_map<telemetry::MetricId, std::size_t> first_slot;
+  first_slot.reserve(ids.size());
   for (const telemetry::MetricId id : ids) {
     MetricRun run;
     run.id = id;
-    auto it = merged.find(id);
-    if (it != merged.end()) run.samples = std::move(it->second);
-    std::sort(run.samples.begin(), run.samples.end(), sample_less);
+    const auto [slot, fresh] = first_slot.emplace(id, out.size());
+    if (!fresh) {
+      run.samples = out[slot->second].samples;
+    } else {
+      auto it = merged.find(id);
+      if (it != merged.end()) run.samples = std::move(it->second);
+      std::sort(run.samples.begin(), run.samples.end(), sample_less);
+    }
     out.push_back(std::move(run));
   }
   if (stats != nullptr) stats->merge(local);

@@ -131,8 +131,10 @@ class Store {
 
   /// Fan-out query: segment scans run across `pool` (nullptr selects the
   /// process-global pool), results merge into one time-sorted run per
-  /// requested metric, in the order of `ids`. Same degradation contract
-  /// as `query`; `stats` aggregates losses across all scanned segments.
+  /// requested metric, in the order of `ids` (a duplicate id receives
+  /// the full run again, as per-id `query` calls would). Same degradation
+  /// contract as `query`; `stats` aggregates losses across all scanned
+  /// segments.
   [[nodiscard]] std::vector<MetricRun> query_many(
       std::span<const telemetry::MetricId> ids, util::TimeRange range,
       util::ThreadPool* pool = nullptr, QueryStats* stats = nullptr) const;

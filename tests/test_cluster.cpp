@@ -280,6 +280,38 @@ TEST(Merge, WindowSumRejectsMismatchedGrids) {
   EXPECT_THROW(cluster::merge_window_sum(a, b), util::CheckError);
 }
 
+TEST(Merge, DuplicateIdsEachGetTheFullRun) {
+  // Store::query_many answers every duplicate requested id with the full
+  // run; the clustered merge must match, not starve later duplicates.
+  const std::string dir = scratch_dir("merge_duplicates");
+  const auto events = make_events(0xF6, 4, 1'500, {0, 300});
+  store::Store full = store::Store::open(dir + "/full", small_segments());
+  fill_store(full, events);
+  const auto map = cluster::ShardMap::uniform(2);
+  std::vector<std::optional<store::Store>> shards;
+  {
+    const auto parts = map.split(events);
+    for (std::size_t s = 0; s < 2; ++s) {
+      shards.emplace_back(store::Store::open(
+          dir + "/shard" + std::to_string(s), small_segments()));
+      fill_store(*shards.back(), parts[s]);
+    }
+  }
+  std::vector<telemetry::MetricId> ids = full.metrics();
+  ASSERT_GE(ids.size(), 2u);
+  ids.push_back(ids[0]);  // duplicate the first and last requested ids
+  ids.push_back(ids[ids.size() - 2]);
+  const util::TimeRange range{0, 300};
+  std::vector<std::vector<store::MetricRun>> shard_runs;
+  for (const auto& shard : shards) {
+    shard_runs.push_back(shard->query_many(ids, range));
+  }
+  std::vector<const std::vector<store::MetricRun>*> parts;
+  for (const auto& r : shard_runs) parts.push_back(&r);
+  EXPECT_TRUE(runs_equal(cluster::merge_runs(ids, parts),
+                         full.query_many(ids, range)));
+}
+
 TEST(Merge, QueryStatsMergeIsAdditive) {
   store::QueryStats a;
   a.lost_segments = 2;

@@ -218,6 +218,50 @@ TEST(Wire, ResponseRoundTripsBitIdentically) {
   EXPECT_EQ(err_back.message, err.message);
 }
 
+TEST(Wire, ServerStatsToleratesVersionSkew) {
+  server::wire::Response resp;
+  resp.method = server::wire::Method::kServerStats;
+  resp.server.accepted = 10;
+  resp.server.served = 9;
+  resp.server.queue_limit = 256;
+  resp.server.p99_ms = 1.5;
+  resp.server.reconnects_attempted = 3;
+  resp.server.reconnects_succeeded = 2;
+  resp.server.shards_total = 5;
+  resp.server.shards_down = 1;
+  const auto bytes = server::wire::encode_response(resp);
+
+  // Same-version round trip carries every counter.
+  const auto back = server::wire::decode_response(bytes);
+  EXPECT_EQ(back.server.accepted, 10u);
+  EXPECT_EQ(back.server.reconnects_attempted, 3u);
+  EXPECT_EQ(back.server.reconnects_succeeded, 2u);
+  EXPECT_EQ(back.server.shards_total, 5u);
+  EXPECT_EQ(back.server.shards_down, 1u);
+
+  // Pre-extension server: the payload stops before the extension block
+  // (count u64 + 4 counters = 40 bytes). A new client must zero-fill,
+  // not throw a transport-looking truncation error.
+  ASSERT_GT(bytes.size(), 40u);
+  const auto from_old =
+      server::wire::decode_response({bytes.data(), bytes.size() - 40});
+  EXPECT_EQ(from_old.server.accepted, 10u);
+  EXPECT_EQ(from_old.server.p99_ms, 1.5);
+  EXPECT_EQ(from_old.server.reconnects_attempted, 0u);
+  EXPECT_EQ(from_old.server.shards_total, 0u);
+  EXPECT_EQ(from_old.server.shards_down, 0u);
+
+  // Newer server: a fifth extension counter this decoder has never heard
+  // of is consumed and ignored, not reported as trailing bytes.
+  auto future = bytes;
+  future.at(future.size() - 40) = 5;  // extension count 4 -> 5 (LE low byte)
+  for (int i = 0; i < 8; ++i) future.push_back(0xEE);
+  const auto from_new = server::wire::decode_response(future);
+  EXPECT_EQ(from_new.server.accepted, 10u);
+  EXPECT_EQ(from_new.server.reconnects_attempted, 3u);
+  EXPECT_EQ(from_new.server.shards_down, 1u);
+}
+
 TEST(Wire, TickRoundTrips) {
   server::wire::Tick tick;
   tick.kind = server::wire::TickKind::kAlert;

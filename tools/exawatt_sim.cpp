@@ -1440,6 +1440,10 @@ int cmd_clustercheck(const util::Flags& flags) {
   for (const ShardServer& s : servers) {
     copts.shards.push_back({"127.0.0.1", s.server->port()});
   }
+  // The check cluster is quiesced (all stores flushed before serving),
+  // so directory pruning is safe — and this gate is what keeps the
+  // pruned planning path exercised.
+  copts.prune = true;
   cluster::Coordinator coordinator(std::move(copts));
   util::ThreadPool front_pool(2);
   server::ServiceOptions front_options;
@@ -1457,6 +1461,8 @@ int cmd_clustercheck(const util::Flags& flags) {
   const std::vector<machine::NodeId> nodes = power_nodes(ref);
   const int channel =
       telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
+  const int alt_channel =
+      telemetry::channel_of(telemetry::MetricKind::kGpuCoreTemp, 0);
   std::vector<telemetry::MetricId> power_ids;
   for (const machine::NodeId node : nodes) {
     power_ids.push_back(telemetry::metric_id(node, channel));
@@ -1541,6 +1547,26 @@ int cmd_clustercheck(const util::Flags& flags) {
       if (!sum_ok) ++bad;
     }
 
+    // Non-default channel: the coordinator must scan the requested
+    // channel's ids, not assume input power — a GPU-temperature roll-up
+    // answered with power data would be wrong values, not degraded ones.
+    req = {};
+    req.method = server::wire::Method::kClusterSum;
+    req.nodes = nodes;
+    req.channel = alt_channel;
+    req.range = window;
+    req.window = 10;
+    bool alt_sum_ok = false;
+    {
+      const auto resp = client.call(req);
+      std::vector<double> counts;
+      const auto direct =
+          store::cluster_sum(ref, nodes, alt_channel, window, 10, &counts);
+      alt_sum_ok = resp.status == server::wire::Status::kOk &&
+                   bit_same(resp.series, direct) && resp.counts == counts;
+      if (!alt_sum_ok) ++bad;
+    }
+
     stream::EngineOptions options;
     options.range = window;
     options.rollup.edge_node_count = static_cast<double>(nodes.size());
@@ -1571,11 +1597,12 @@ int cmd_clustercheck(const util::Flags& flags) {
       if (!dir_ok) ++bad;
     }
 
-    std::printf("[%s] parity: window_sum %zu/%zu, scan %s, cluster_sum %s, "
-                "pue_rollup %s, directory %s\n",
+    std::printf("[%s] parity: window_sum %zu/%zu, scan %s, cluster_sum %s "
+                "(gpu temp %s), pue_rollup %s, directory %s\n",
                 tag, ws_same, power_ids.size(),
                 scan_ok ? "bit-identical" : "DIVERGED",
                 sum_ok ? "bit-identical" : "DIVERGED",
+                alt_sum_ok ? "bit-identical" : "DIVERGED",
                 pue_ok ? "bit-identical" : "DIVERGED",
                 dir_ok ? "matches" : "DIVERGED");
     return bad;
