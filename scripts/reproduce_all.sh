@@ -41,13 +41,20 @@ grep -q "net read: MET" bench_net_output.txt
 ./build/bench/bench_cluster 2>&1 | tee bench_cluster_output.txt
 grep -q "cluster read: MET" bench_cluster_output.txt
 
+# What-if scenario service: a 32-variant counterfactual sweep must
+# re-feed the stored trace at >= 462,600 events/s summed across its
+# variant legs — planning sweeps must stay interactive.
+./build/bench/bench_scenario 2>&1 | tee bench_scenario_output.txt
+grep -q "scenario sweep read: MET" bench_scenario_output.txt
+
 # Machine-readable artifacts for trend tracking.
 test -s BENCH_store.json
 test -s BENCH_codec.json
 test -s BENCH_net.json
 test -s BENCH_cluster.json
+test -s BENCH_scenario.json
 
 for b in build/bench/*; do
-  case "$b" in *bench_stream_ingest|*bench_store|*bench_codec|*bench_net|*bench_cluster) continue ;; esac
+  case "$b" in *bench_stream_ingest|*bench_store|*bench_codec|*bench_net|*bench_cluster|*bench_scenario) continue ;; esac
   [ -x "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt

@@ -190,7 +190,8 @@ std::vector<wire::Response> Coordinator::scatter(const wire::Request& sub,
 
 wire::Response Coordinator::execute(const wire::Request& request,
                                     const server::CancelToken& cancel,
-                                    std::int64_t deadline_us) {
+                                    std::int64_t deadline_us,
+                                    const server::QueryService::Emit& emit) {
   wire::Response resp;
   resp.method = request.method;
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
@@ -396,6 +397,32 @@ wire::Response Coordinator::execute(const wire::Request& request,
       // Answered by the fronting QueryService (its own counters plus
       // augment_stats); a bare Coordinator has no admission queue.
       break;
+    case wire::Method::kScenario:
+    case wire::Method::kScenarioSweep: {
+      stream::EngineOptions opts;
+      if (!server::scenario_request_ok(request, bounds(), &opts, &resp)) {
+        break;
+      }
+      // Gather the input-power runs through the same shard scatter the
+      // clustered pue_rollup uses, then run the identical scenario body
+      // the store executor runs — sharding cannot perturb a digit.
+      const std::vector<telemetry::MetricId> ids = channel_ids(
+          request.nodes,
+          telemetry::channel_of(telemetry::MetricKind::kInputPower, 0));
+      wire::Request sub;
+      sub.method = wire::Method::kScan;
+      sub.deadline_ms = request.deadline_ms;
+      sub.metrics = ids;
+      sub.range = opts.range;
+      const auto oks = scatter(sub, opts.range, deadline_us, &resp.stats);
+      std::vector<const std::vector<store::MetricRun>*> parts;
+      parts.reserve(oks.size());
+      for (const wire::Response& ok : oks) parts.push_back(&ok.runs);
+      const std::vector<store::MetricRun> runs = merge_runs(ids, parts);
+      server::run_scenario_request(request, runs, opts, cancel, deadline_us,
+                                   clock_, emit, &resp);
+      break;
+    }
   }
   return resp;
 }
@@ -403,8 +430,9 @@ wire::Response Coordinator::execute(const wire::Request& request,
 server::QueryService::Executor Coordinator::executor() {
   return [this](const wire::Request& request,
                 const server::CancelToken& cancel,
-                std::int64_t deadline_us) {
-    return execute(request, cancel, deadline_us);
+                std::int64_t deadline_us,
+                const server::QueryService::Emit& emit) {
+    return execute(request, cancel, deadline_us, emit);
   };
 }
 

@@ -91,9 +91,11 @@ class Coordinator {
   /// Serve one request against the cluster. Honors `cancel` and the
   /// absolute `deadline_us` (0 = none) between scatter phases; in-flight
   /// legs are bounded by the inherited per-shard deadline instead.
-  [[nodiscard]] wire::Response execute(const wire::Request& request,
-                                       const server::CancelToken& cancel,
-                                       std::int64_t deadline_us);
+  /// `emit` is the optional tick channel (kScenarioSweep streaming).
+  [[nodiscard]] wire::Response execute(
+      const wire::Request& request, const server::CancelToken& cancel,
+      std::int64_t deadline_us,
+      const server::QueryService::Emit& emit = nullptr);
 
   /// Adapter: run this coordinator behind a QueryService — the same
   /// admission queue, deadline policy and counters a shard server has.

@@ -1,0 +1,79 @@
+#include "scenario/spec.hpp"
+
+#include <cmath>
+
+namespace exawatt::scenario {
+
+namespace {
+
+[[nodiscard]] bool finite(double v) { return std::isfinite(v); }
+
+[[nodiscard]] bool cooling_ok(const facility::CoolingParams& p,
+                              std::string* why) {
+  const auto positive = [&](double v, const char* what) {
+    if (finite(v) && v > 0.0) return true;
+    *why = std::string("cooling ") + what + " must be positive";
+    return false;
+  };
+  const auto non_negative = [&](double v, const char* what) {
+    if (finite(v) && v >= 0.0) return true;
+    *why = std::string("cooling ") + what + " must be >= 0";
+    return false;
+  };
+  return finite(p.mtw_supply_setpoint_c) && finite(p.tower_approach_c) &&
+         positive(p.tower_fade_band_c, "tower_fade_band_c") &&
+         positive(p.stage_up_tau_s, "stage_up_tau_s") &&
+         positive(p.stage_down_tau_s, "stage_down_tau_s") &&
+         positive(p.supply_tau_s, "supply_tau_s") &&
+         positive(p.loop_w_per_c, "loop_w_per_c") &&
+         non_negative(static_cast<double>(p.return_delay_s),
+                      "return_delay_s") &&
+         p.return_delay_s <= 86400 &&
+         non_negative(p.pump_power_w, "pump_power_w") &&
+         non_negative(p.distribution_loss_frac, "distribution_loss_frac") &&
+         non_negative(p.tower_fan_w_per_w, "tower_fan_w_per_w") &&
+         non_negative(p.chiller_w_per_w, "chiller_w_per_w");
+}
+
+}  // namespace
+
+bool ScenarioSpec::is_identity() const {
+  return power_cap_w <= 0.0 && wet_bulb_offset_c == 0.0 &&
+         !force_chillers && !has_weather_seed && !has_cooling;
+}
+
+bool ScenarioSpec::valid(std::string* why) const {
+  if (!finite(power_cap_w) || power_cap_w < 0.0) {
+    *why = "power cap must be finite and >= 0";
+    return false;
+  }
+  if (!finite(wet_bulb_offset_c) || std::abs(wet_bulb_offset_c) > 60.0) {
+    *why = "wet-bulb offset must be finite and within +-60 degC";
+    return false;
+  }
+  if (has_cooling && !cooling_ok(cooling, why)) return false;
+  if (!why->empty()) why->clear();
+  return true;
+}
+
+void ScenarioSpec::apply(stream::EngineOptions& opts) const {
+  if (has_cooling) opts.rollup.cooling = cooling;
+  if (has_weather_seed) opts.rollup.weather_seed = weather_seed;
+  if (power_cap_w > 0.0) {
+    const double cap = power_cap_w;
+    opts.rollup.power_override = [cap](util::TimeSec, double power) {
+      return power > cap ? cap : power;
+    };
+  }
+  if (wet_bulb_offset_c != 0.0) {
+    const double offset = wet_bulb_offset_c;
+    opts.rollup.wet_bulb_override = [offset](util::TimeSec, double wb) {
+      return wb + offset;
+    };
+  }
+  if (force_chillers) {
+    opts.rollup.force_chillers = [](util::TimeSec) { return true; };
+  }
+}
+
+}  // namespace exawatt::scenario

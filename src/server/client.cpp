@@ -95,8 +95,13 @@ wire::Response Client::call(const wire::Request& request) {
       ensure_connected();
       const std::uint64_t id = next_id_++;
       send_request(request, id);
-      const net::Frame frame =
-          read_frame_for(id, options_.request_timeout_ms);
+      net::Frame frame = read_frame_for(id, options_.request_timeout_ms);
+      // A call()er may receive ticks ahead of its response (a sweep
+      // whose mask asked for streaming); they are skipped, not a
+      // protocol violation — Subscription is the API that wants them.
+      while (frame.type == net::FrameType::kTick) {
+        frame = read_frame_for(id, options_.request_timeout_ms);
+      }
       if (frame.type != net::FrameType::kResponse) {
         disconnect();
         throw net::NetError("unexpected frame type from server");
@@ -123,8 +128,10 @@ wire::Response Client::call(const wire::Request& request) {
 Subscription::Subscription(ClientOptions options,
                            const wire::Request& request)
     : client_(std::move(options)) {
-  EXA_CHECK(request.method == wire::Method::kSubscribe,
-            "Subscription wants a kSubscribe request");
+  EXA_CHECK(request.method == wire::Method::kSubscribe ||
+                request.method == wire::Method::kScenarioSweep,
+            "Subscription wants a streaming method (kSubscribe / "
+            "kScenarioSweep)");
   client_.ensure_connected();
   id_ = client_.next_id_++;
   client_.send_request(request, id_);

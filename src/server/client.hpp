@@ -68,12 +68,14 @@ class Client {
   ClientStats stats_;
 };
 
-/// A server-push subscription: issues kSubscribe on a dedicated
-/// connection and iterates Tick frames. Ends when the server sends a
-/// kEnd tick, the final response arrives, or the connection drops.
+/// A server-push subscription: issues a streaming request (kSubscribe,
+/// or kScenarioSweep with the window bit set in `subscribe_mask`) on a
+/// dedicated connection and iterates Tick frames. Ends when the server
+/// sends a kEnd tick, the final response arrives, or the connection
+/// drops.
 class Subscription {
  public:
-  /// `request.method` must be kSubscribe.
+  /// `request.method` must be kSubscribe or kScenarioSweep.
   Subscription(ClientOptions options, const wire::Request& request);
 
   /// Next tick, or nullopt when the stream ended (kEnd consumed, final

@@ -1,8 +1,11 @@
 #include "server/service.hpp"
 
 #include <limits>
+#include <thread>
 
+#include "scenario/engine.hpp"
 #include "stream/replay.hpp"
+#include "telemetry/metric.hpp"
 #include "util/check.hpp"
 
 namespace exawatt::server {
@@ -35,13 +38,131 @@ bool grid_ok(util::TimeRange range, util::TimeSec window, std::string* why) {
   return true;
 }
 
+bool scenario_request_ok(const wire::Request& request,
+                         util::TimeRange bounds,
+                         stream::EngineOptions* opts,
+                         wire::Response* resp) {
+  const auto invalid = [&](std::string why) {
+    resp->status = wire::Status::kInvalidArgument;
+    resp->message = std::move(why);
+    return false;
+  };
+  if (request.nodes.empty()) return invalid("scenario wants nodes");
+  if (request.nodes.size() > 4096) {
+    return invalid("too many nodes for a scenario replay");
+  }
+  const std::size_t max_specs =
+      request.method == wire::Method::kScenario ? 1 : wire::kMaxSweepVariants;
+  if (request.scenarios.empty() || request.scenarios.size() > max_specs) {
+    return invalid(request.method == wire::Method::kScenario
+                       ? "scenario wants exactly one spec"
+                       : "sweep wants 1..64 specs");
+  }
+  std::string why;
+  for (const scenario::ScenarioSpec& spec : request.scenarios) {
+    if (!spec.valid(&why)) {
+      return invalid("scenario '" + spec.name + "': " + why);
+    }
+  }
+  if (request.range.begin > request.range.end) {
+    return invalid("range begin > end");
+  }
+  // Like pue_rollup: the replay walks its range second by second, so a
+  // wire-supplied range must not outlive the data.
+  const util::TimeRange range = request.range.clamp(bounds);
+  const util::TimeSec window = request.window > 0 ? request.window : 10;
+  if (!grid_ok(range, window, &why)) return invalid(std::move(why));
+  opts->range = range;
+  opts->window = window;
+  opts->rollup.edge_node_count = static_cast<double>(request.nodes.size());
+  return true;
+}
+
+void run_scenario_request(const wire::Request& request,
+                          const std::vector<store::MetricRun>& runs,
+                          const stream::EngineOptions& opts,
+                          const CancelToken& cancel,
+                          std::int64_t deadline_us, util::Clock& clock,
+                          const QueryService::Emit& emit,
+                          wire::Response* resp) {
+  const auto cancelled = [&cancel, deadline_us, &clock] {
+    return (cancel != nullptr && cancel->load(std::memory_order_relaxed)) ||
+           (deadline_us != 0 && clock.now_us() > deadline_us);
+  };
+  bool abandoned = false;
+  if (request.method == wire::Method::kScenario) {
+    stream::ReplaySinks sinks;
+    sinks.cancelled = cancelled;
+    scenario::ScenarioResult r = scenario::run_scenario_runs(
+        runs, opts, request.scenarios.front(), sinks);
+    abandoned = r.cancelled;
+    if (!abandoned) {
+      resp->scenarios.push_back(
+          scenario::summarize(r, request.scenarios.front().name,
+                              opts.window));
+      resp->series = std::move(r.power);
+      resp->pue = std::move(r.pue);
+      resp->baseline_power = std::move(r.baseline_power);
+      resp->baseline_pue = std::move(r.baseline_pue);
+    }
+  } else {
+    scenario::SweepOptions sweep;
+    sweep.cancelled = cancelled;
+    if (emit != nullptr &&
+        (request.subscribe_mask &
+         static_cast<std::uint8_t>(wire::TickKind::kWindow)) != 0) {
+      sweep.on_window = [&emit](std::size_t variant,
+                                const stream::ClusterWindow& w) {
+        wire::Tick tick;
+        tick.kind = wire::TickKind::kVariantWindow;
+        tick.variant = static_cast<std::uint32_t>(variant);
+        tick.index = w.index;
+        tick.t = w.t;
+        tick.power_w = w.power_w;
+        tick.pue = w.cooling.pue;
+        tick.nodes_reporting = w.nodes_reporting;
+        emit(tick);
+      };
+    }
+    if (request.scenarios.size() > 1) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      sweep.threads = std::min<std::size_t>(request.scenarios.size(),
+                                            hw > 0 ? hw : 2);
+    }
+    const std::vector<scenario::ScenarioResult> results =
+        scenario::run_sweep(runs, opts, request.scenarios, sweep);
+    for (const scenario::ScenarioResult& r : results) {
+      abandoned = abandoned || r.cancelled;
+    }
+    if (!abandoned) {
+      resp->scenarios.reserve(results.size());
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        resp->scenarios.push_back(scenario::summarize(
+            results[i], request.scenarios[i].name, opts.window));
+      }
+    }
+  }
+  if (abandoned) {
+    // Same verdict shape as an abandoned pue_rollup: a partial sweep is
+    // not the answer, so report why the work stopped.
+    const bool peer_gone =
+        cancel != nullptr && cancel->load(std::memory_order_relaxed);
+    resp->scenarios.clear();
+    resp->status = peer_gone ? wire::Status::kCancelled
+                             : wire::Status::kDeadlineExceeded;
+    resp->message = peer_gone ? "client disconnected during replay"
+                              : "deadline expired during replay";
+  }
+}
+
 namespace {
 
 wire::Response execute_on_store(const store::Store& store,
                                 util::Clock& clock,
                                 const wire::Request& request,
                                 const CancelToken& cancel,
-                                std::int64_t deadline_us) {
+                                std::int64_t deadline_us,
+                                const QueryService::Emit& emit) {
   wire::Response resp;
   resp.method = request.method;
   std::string why;
@@ -155,6 +276,25 @@ wire::Response execute_on_store(const store::Store& store,
     case wire::Method::kServerStats:
       // Handled by QueryService::execute before the executor is reached.
       break;
+    case wire::Method::kScenario:
+    case wire::Method::kScenarioSweep: {
+      stream::EngineOptions opts;
+      if (!scenario_request_ok(request, store.bounds(), &opts, &resp)) {
+        break;
+      }
+      const int channel =
+          telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
+      std::vector<telemetry::MetricId> ids;
+      ids.reserve(request.nodes.size());
+      for (const machine::NodeId n : request.nodes) {
+        ids.push_back(telemetry::metric_id(n, channel));
+      }
+      const auto runs =
+          store.query_many(ids, opts.range, nullptr, &resp.stats);
+      run_scenario_request(request, runs, opts, cancel, deadline_us, clock,
+                           emit, &resp);
+      break;
+    }
   }
   return resp;
 }
@@ -167,8 +307,10 @@ QueryService::Executor make_store_executor(const store::Store& store,
       clock != nullptr ? clock : &util::Clock::steady();
   return [&store, resolved](const wire::Request& request,
                             const CancelToken& cancel,
-                            std::int64_t deadline_us) {
-    return execute_on_store(store, *resolved, request, cancel, deadline_us);
+                            std::int64_t deadline_us,
+                            const QueryService::Emit& emit) {
+    return execute_on_store(store, *resolved, request, cancel, deadline_us,
+                            emit);
   };
 }
 
@@ -200,7 +342,8 @@ void QueryService::set_stats_augment(StatsAugment augment) {
 
 wire::Response QueryService::execute(const wire::Request& request,
                                      const CancelToken& cancel,
-                                     std::int64_t deadline_us) const {
+                                     std::int64_t deadline_us,
+                                     const Emit& emit) const {
   if (request.method == wire::Method::kServerStats) {
     // The counters are the service's own, so stats never defer to the
     // executor — a coordinator augments the snapshot with its link
@@ -226,7 +369,7 @@ wire::Response QueryService::execute(const wire::Request& request,
     if (augment) augment(resp.server);
     return resp;
   }
-  return executor_(request, cancel, deadline_us);
+  return executor_(request, cancel, deadline_us, emit);
 }
 
 void QueryService::finish(std::int64_t admitted_us, wire::Response&& response,
@@ -323,7 +466,7 @@ void QueryService::submit(wire::Request request, CancelToken cancel,
           }
         }
       } else {
-        resp = execute(request, cancel, deadline_us);
+        resp = execute(request, cancel, deadline_us, emit);
         if (deadline_us != 0 && clock_.now_us() > deadline_us) {
           // Finished too late to be useful; report it as such so the
           // latency SLO accounting reflects what the client saw.

@@ -47,6 +47,17 @@ struct ServiceOptions {
 [[nodiscard]] bool grid_ok(util::TimeRange range, util::TimeSec window,
                            std::string* why);
 
+/// Validate a kScenario/kScenarioSweep request against the data hull
+/// (`bounds`: Store::bounds() or the cluster hull) and produce the
+/// clamped engine options both executors replay with. On rejection fills
+/// `*resp` with INVALID_ARGUMENT and returns false. Shared by the
+/// store-backed executor and the cluster coordinator so a sweep is valid
+/// on one exactly when it is valid on the other.
+[[nodiscard]] bool scenario_request_ok(const wire::Request& request,
+                                       util::TimeRange bounds,
+                                       stream::EngineOptions* opts,
+                                       wire::Response* resp);
+
 /// Snapshot of the service counters (also serialized as kServerStats).
 struct ServiceMetrics {
   std::uint64_t accepted = 0;           ///< admitted into the queue
@@ -83,10 +94,14 @@ class QueryService {
   /// lets a cluster coordinator sit behind the same admission queue,
   /// deadline policy and counters as a plain store shard. Must poll
   /// `cancel` and the absolute `deadline_us` (0 = none) in long bodies.
+  /// The `Emit` is the request's tick channel (null when the caller
+  /// cannot stream): kScenarioSweep pushes per-variant windows through
+  /// it ahead of the summary response, every other method ignores it.
   /// kServerStats never reaches the executor: the service answers it
   /// itself (the counters are its own).
   using Executor = std::function<wire::Response(
-      const wire::Request&, const CancelToken&, std::int64_t)>;
+      const wire::Request&, const CancelToken&, std::int64_t,
+      const Emit&)>;
 
   /// Hook appending endpoint-specific fields to a kServerStats response
   /// (a coordinator fills the shard/reconnect counters here).
@@ -118,7 +133,7 @@ class QueryService {
   /// share, so over-the-wire results are the store's results by
   /// construction.
   [[nodiscard]] wire::Response execute(const wire::Request& request) const {
-    return execute(request, nullptr, 0);
+    return execute(request, nullptr, 0, nullptr);
   }
 
   /// Same, with cooperative interruption: long-running bodies (the PUE
@@ -128,7 +143,16 @@ class QueryService {
   /// pool thread past the point anyone wants the answer.
   [[nodiscard]] wire::Response execute(const wire::Request& request,
                                        const CancelToken& cancel,
-                                       std::int64_t deadline_us) const;
+                                       std::int64_t deadline_us) const {
+    return execute(request, cancel, deadline_us, nullptr);
+  }
+
+  /// Full form with the tick channel (sweep streaming); `emit` may be
+  /// null, in which case streaming methods answer without ticks.
+  [[nodiscard]] wire::Response execute(const wire::Request& request,
+                                       const CancelToken& cancel,
+                                       std::int64_t deadline_us,
+                                       const Emit& emit) const;
 
  private:
   void finish(std::int64_t admitted_us, wire::Response&& response,
@@ -161,5 +185,21 @@ class QueryService {
 /// the owning service's clock so ManualClock tests stay deterministic.
 [[nodiscard]] QueryService::Executor make_store_executor(
     const store::Store& store, util::Clock* clock = nullptr);
+
+/// The scenario body on already-fetched input-power runs: replay the
+/// baseline plus every requested variant (a sweep fans variants out over
+/// dedicated worker threads), stream kVariantWindow ticks through `emit`
+/// when the request's subscribe mask asks for them, and fill `*resp`
+/// with series/summaries — or the kCancelled / kDeadlineExceeded verdict
+/// when a leg was abandoned. The store executor and the cluster
+/// coordinator both run exactly this function, differing only in where
+/// the runs came from (local query_many vs shard scatter).
+void run_scenario_request(const wire::Request& request,
+                          const std::vector<store::MetricRun>& runs,
+                          const stream::EngineOptions& opts,
+                          const CancelToken& cancel,
+                          std::int64_t deadline_us, util::Clock& clock,
+                          const QueryService::Emit& emit,
+                          wire::Response* resp);
 
 }  // namespace exawatt::server

@@ -127,10 +127,104 @@ store::QueryStats read_stats(Reader& r) {
 
 Method read_method(Reader& r) {
   const std::uint8_t m = r.u8();
-  if (m > static_cast<std::uint8_t>(Method::kDirectory)) {
+  if (m > static_cast<std::uint8_t>(Method::kScenarioSweep)) {
     throw WireError("unknown method " + std::to_string(int{m}));
   }
   return static_cast<Method>(m);
+}
+
+/// ScenarioSpec travels with its cooling override as a count-prefixed
+/// double block (same mixed-version posture as the kServerStats
+/// extension block): a decoder fills the tunables it knows by position
+/// and skips the rest, so adding a CoolingParams field is not a protocol
+/// break.
+void write_spec(Writer& w, const scenario::ScenarioSpec& spec) {
+  w.str(spec.name);
+  std::uint32_t flags = 0;
+  if (spec.force_chillers) flags |= 1u;
+  if (spec.has_weather_seed) flags |= 2u;
+  if (spec.has_cooling) flags |= 4u;
+  w.u32(flags);
+  w.f64(spec.power_cap_w);
+  w.f64(spec.wet_bulb_offset_c);
+  w.u64(spec.weather_seed);
+  if (!spec.has_cooling) {
+    w.u64(0);
+    return;
+  }
+  const facility::CoolingParams& c = spec.cooling;
+  const double cooling[] = {
+      c.mtw_supply_setpoint_c, c.tower_approach_c,  c.tower_fade_band_c,
+      c.stage_up_tau_s,        c.stage_down_tau_s,  c.supply_tau_s,
+      c.loop_w_per_c,          static_cast<double>(c.return_delay_s),
+      c.pump_power_w,          c.distribution_loss_frac,
+      c.tower_fan_w_per_w,     c.chiller_w_per_w,
+  };
+  w.doubles(cooling);
+}
+
+scenario::ScenarioSpec read_spec(Reader& r) {
+  scenario::ScenarioSpec spec;
+  spec.name = r.str();
+  const std::uint32_t flags = r.u32();
+  spec.force_chillers = (flags & 1u) != 0;
+  spec.has_weather_seed = (flags & 2u) != 0;
+  spec.has_cooling = (flags & 4u) != 0;
+  spec.power_cap_w = r.f64();
+  spec.wet_bulb_offset_c = r.f64();
+  spec.weather_seed = r.u64();
+  const std::size_t n = r.count(8);
+  facility::CoolingParams& c = spec.cooling;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = r.f64();
+    switch (i) {
+      case 0: c.mtw_supply_setpoint_c = v; break;
+      case 1: c.tower_approach_c = v; break;
+      case 2: c.tower_fade_band_c = v; break;
+      case 3: c.stage_up_tau_s = v; break;
+      case 4: c.stage_down_tau_s = v; break;
+      case 5: c.supply_tau_s = v; break;
+      case 6: c.loop_w_per_c = v; break;
+      case 7: c.return_delay_s = static_cast<util::TimeSec>(v); break;
+      case 8: c.pump_power_w = v; break;
+      case 9: c.distribution_loss_frac = v; break;
+      case 10: c.tower_fan_w_per_w = v; break;
+      case 11: c.chiller_w_per_w = v; break;
+      default: break;  // newer peer's tunable — skip
+    }
+  }
+  if (spec.has_cooling && n == 0) {
+    throw WireError("cooling override flagged but no tunables sent");
+  }
+  return spec;
+}
+
+void write_summary(Writer& w, const scenario::ScenarioSummary& s) {
+  w.str(s.name);
+  w.u64(s.windows);
+  w.f64(s.energy_j);
+  w.f64(s.baseline_energy_j);
+  w.f64(s.mean_pue);
+  w.f64(s.baseline_mean_pue);
+  w.f64(s.peak_power_w);
+  w.f64(s.baseline_peak_power_w);
+  w.f64(s.max_power_delta_w);
+  w.f64(s.max_pue_delta);
+}
+
+scenario::ScenarioSummary read_summary(Reader& r) {
+  scenario::ScenarioSummary s;
+  s.name = r.str();
+  s.windows = r.u64();
+  s.energy_j = r.f64();
+  s.baseline_energy_j = r.f64();
+  s.mean_pue = r.f64();
+  s.baseline_mean_pue = r.f64();
+  s.peak_power_w = r.f64();
+  s.baseline_peak_power_w = r.f64();
+  s.max_power_delta_w = r.f64();
+  s.max_pue_delta = r.f64();
+  return s;
 }
 
 }  // namespace
@@ -145,6 +239,8 @@ const char* method_name(Method m) {
     case Method::kSubscribe: return "subscribe";
     case Method::kServerStats: return "server_stats";
     case Method::kDirectory: return "directory";
+    case Method::kScenario: return "scenario";
+    case Method::kScenarioSweep: return "scenario_sweep";
   }
   return "unknown";
 }
@@ -196,6 +292,19 @@ std::vector<std::uint8_t> encode_request(const Request& req) {
     case Method::kSubscribe:
       w.u8(req.subscribe_mask);
       break;
+    case Method::kScenario:
+    case Method::kScenarioSweep:
+      w.u64(req.nodes.size());
+      for (const machine::NodeId n : req.nodes) w.u32(static_cast<std::uint32_t>(n));
+      w.i64(req.range.begin);
+      w.i64(req.range.end);
+      w.i64(req.window);
+      w.u8(req.subscribe_mask);
+      w.u64(req.scenarios.size());
+      for (const scenario::ScenarioSpec& spec : req.scenarios) {
+        write_spec(w, spec);
+      }
+      break;
   }
   return w.take();
 }
@@ -240,6 +349,26 @@ Request decode_request(std::span<const std::uint8_t> payload) {
     case Method::kSubscribe:
       req.subscribe_mask = r.u8();
       break;
+    case Method::kScenario:
+    case Method::kScenarioSweep: {
+      const std::size_t n = r.count(4);
+      req.nodes.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        req.nodes.push_back(static_cast<machine::NodeId>(r.u32()));
+      }
+      req.range.begin = r.i64();
+      req.range.end = r.i64();
+      req.window = r.i64();
+      req.subscribe_mask = r.u8();
+      // 40 = the fixed bytes of one spec (4-byte name length + flags +
+      // two doubles + seed + cooling count) — bounds the allocation.
+      const std::size_t n_specs = r.count(40);
+      req.scenarios.reserve(n_specs);
+      for (std::size_t i = 0; i < n_specs; ++i) {
+        req.scenarios.push_back(read_spec(r));
+      }
+      break;
+    }
   }
   if (!r.done()) throw WireError("trailing bytes after request");
   return req;
@@ -326,6 +455,26 @@ std::vector<std::uint8_t> encode_response(const Response& resp) {
         w.i64(s.t_min);
         w.i64(s.t_max);
       }
+      break;
+    case Method::kScenario:
+      write_series(w, resp.series);
+      write_series(w, resp.pue);
+      write_series(w, resp.baseline_power);
+      write_series(w, resp.baseline_pue);
+      w.u64(resp.scenarios.size());
+      for (const scenario::ScenarioSummary& s : resp.scenarios) {
+        write_summary(w, s);
+      }
+      write_stats(w, resp.stats);
+      break;
+    case Method::kScenarioSweep:
+      // Summaries only: a sweep's full series fan back as kVariantWindow
+      // ticks when the client asked for them, not as an N-fold response.
+      w.u64(resp.scenarios.size());
+      for (const scenario::ScenarioSummary& s : resp.scenarios) {
+        write_summary(w, s);
+      }
+      write_stats(w, resp.stats);
       break;
   }
   return w.take();
@@ -442,6 +591,30 @@ Response decode_response(std::span<const std::uint8_t> payload) {
       }
       break;
     }
+    case Method::kScenario: {
+      resp.series = read_series(r);
+      resp.pue = read_series(r);
+      resp.baseline_power = read_series(r);
+      resp.baseline_pue = read_series(r);
+      // 76 = fixed bytes of one summary (4-byte name length + the window
+      // count + 8 doubles).
+      const std::size_t n = r.count(76);
+      resp.scenarios.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        resp.scenarios.push_back(read_summary(r));
+      }
+      resp.stats = read_stats(r);
+      break;
+    }
+    case Method::kScenarioSweep: {
+      const std::size_t n = r.count(76);
+      resp.scenarios.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        resp.scenarios.push_back(read_summary(r));
+      }
+      resp.stats = read_stats(r);
+      break;
+    }
   }
   if (!r.done()) throw WireError("trailing bytes after response");
   return resp;
@@ -466,6 +639,14 @@ std::vector<std::uint8_t> encode_tick(const Tick& tick) {
       w.f64(tick.alert.value);
       break;
     case TickKind::kEnd:
+      break;
+    case TickKind::kVariantWindow:
+      w.u32(tick.variant);
+      w.u64(tick.index);
+      w.i64(tick.t);
+      w.f64(tick.power_w);
+      w.f64(tick.pue);
+      w.f64(tick.nodes_reporting);
       break;
   }
   return w.take();
@@ -500,6 +681,15 @@ Tick decode_tick(std::span<const std::uint8_t> payload) {
     case static_cast<std::uint8_t>(TickKind::kEnd):
       tick.kind = TickKind::kEnd;
       break;
+    case static_cast<std::uint8_t>(TickKind::kVariantWindow):
+      tick.kind = TickKind::kVariantWindow;
+      tick.variant = r.u32();
+      tick.index = r.u64();
+      tick.t = r.i64();
+      tick.power_w = r.f64();
+      tick.pue = r.f64();
+      tick.nodes_reporting = r.f64();
+      break;
     default:
       throw WireError("unknown tick kind");
   }
@@ -514,6 +704,13 @@ std::uint64_t response_event_volume(const Response& resp) {
   for (const store::MetricRun& run : resp.runs) volume += run.samples.size();
   volume += resp.series.size();
   volume += resp.pue.size();
+  volume += resp.baseline_power.size();
+  volume += resp.baseline_pue.size();
+  for (const scenario::ScenarioSummary& s : resp.scenarios) {
+    // A sweep response carries aggregates; the replayed windows behind
+    // them are its read volume (two legs: baseline + variant).
+    if (resp.method == Method::kScenarioSweep) volume += 2 * s.windows;
+  }
   return volume;
 }
 

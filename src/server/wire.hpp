@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "machine/topology.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/spec.hpp"
 #include "store/format.hpp"
 #include "store/store.hpp"
 #include "stream/alerts.hpp"
@@ -33,7 +35,14 @@ enum class Method : std::uint8_t {
   kSubscribe = 5,   ///< stream of coarse ticks / alerts (Tick frames)
   kServerStats = 6, ///< server-side metrics counters snapshot
   kDirectory = 7,   ///< sealed-segment directory (cluster query planning)
+  kScenario = 8,       ///< counterfactual replay of one ScenarioSpec
+  kScenarioSweep = 9,  ///< N-variant scenario fan-out (summaries back)
 };
+
+/// A sweep request is bounded so one frame cannot demand unbounded
+/// server CPU; the executor rejects larger fan-outs with
+/// INVALID_ARGUMENT (split the sweep client-side instead).
+inline constexpr std::size_t kMaxSweepVariants = 64;
 
 [[nodiscard]] const char* method_name(Method m);
 
@@ -65,8 +74,14 @@ struct Request {
   util::TimeRange range{0, 0};
   util::TimeSec window = 10;
 
-  /// kSubscribe: bitmask of TickKind values the client wants.
+  /// kSubscribe: bitmask of TickKind values the client wants. Also
+  /// honored by kScenarioSweep: set the kWindow bit to stream every
+  /// variant's closed windows as kVariantWindow ticks ahead of the
+  /// summary response (plain call()ers leave it 0 on sweeps).
   std::uint8_t subscribe_mask = 0x3;
+
+  /// kScenario (exactly one) / kScenarioSweep (1..kMaxSweepVariants).
+  std::vector<scenario::ScenarioSpec> scenarios;
 };
 
 /// Server-side service counters (kServerStats response payload).
@@ -112,28 +127,39 @@ struct Response {
   store::WindowSum window_sum;          // kWindowSum
   std::vector<store::MetricRun> runs;   // kScan
   ts::Series series;                    // kClusterSum / kPueRollup power
+                                        // (kScenario: variant power)
   std::vector<double> counts;           // kClusterSum contributing nodes
-  ts::Series pue;                       // kPueRollup
+  ts::Series pue;                       // kPueRollup / kScenario variant
   store::QueryStats stats;              // loss/cache accounting, kOk reads
   ServerStatsWire server;               // kServerStats
   DirectoryWire directory;              // kDirectory
+  ts::Series baseline_power;            // kScenario un-intervened legs
+  ts::Series baseline_pue;
+  /// kScenario (one entry) / kScenarioSweep (one per requested variant,
+  /// in request order — full series travel only for single scenarios).
+  std::vector<scenario::ScenarioSummary> scenarios;
 };
 
 enum class TickKind : std::uint8_t {
   kWindow = 1,  ///< one closed cluster roll-up window
   kAlert = 2,   ///< one alert engine transition
   kEnd = 4,     ///< subscription finished (replay reached range end)
+  /// One closed window of one sweep variant (kScenarioSweep streaming;
+  /// `variant` says which). Sent only to peers that asked for window
+  /// ticks on a sweep, so an old peer never sees the unknown kind.
+  kVariantWindow = 8,
 };
 
 /// One subscription push (payload of a Tick frame).
 struct Tick {
   TickKind kind = TickKind::kWindow;
-  // kWindow
+  // kWindow / kVariantWindow
   std::uint64_t index = 0;
   util::TimeSec t = 0;
   double power_w = 0.0;
   double pue = 0.0;
   double nodes_reporting = 0.0;
+  std::uint32_t variant = 0;  ///< kVariantWindow: index into the sweep
   // kAlert
   stream::Alert alert;
 };

@@ -49,8 +49,16 @@ void ClusterRollup::close_up_to(util::TimeSec watermark) {
     const std::size_t w = closed_;
     const util::TimeSec t =
         range_.begin + window_ * static_cast<util::TimeSec>(w);
-    const double power = sums_[w] * options_.power_scale;
-    const double wet_bulb = weather_.wet_bulb_c(t);
+    double power = sums_[w] * options_.power_scale;
+    if (options_.power_override) {
+      power = options_.power_override(t, power);
+    }
+    double wet_bulb = weather_.wet_bulb_c(t);
+    if (options_.wet_bulb_override) {
+      wet_bulb = options_.wet_bulb_override(t, wet_bulb);
+    }
+    const bool force =
+        options_.force_chillers && options_.force_chillers(t);
     if (!plant_primed_) {
       // Steady-state start avoids a cold-plant PUE transient at the
       // stream head (mirrors the batch cep simulation's reset).
@@ -58,7 +66,7 @@ void ClusterRollup::close_up_to(util::TimeSec watermark) {
       plant_primed_ = true;
     }
     const facility::CoolingState& state =
-        plant_.step(window_, power, wet_bulb);
+        plant_.step(window_, power, wet_bulb, force);
     closed_power_w_.push_back(power);
     closed_pue_.push_back(state.pue);
     latest_power_w_ = power;

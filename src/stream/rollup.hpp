@@ -29,6 +29,19 @@ struct RollupOptions {
   core::EdgeOptions edge_options = {};
   facility::CoolingParams cooling = {};
   std::uint64_t weather_seed = 7;
+
+  /// Counterfactual intervention hooks (installed by src/scenario). All
+  /// default to null, in which case close_up_to runs exactly the
+  /// historical pipeline — the identity scenario is bit-identical to a
+  /// plain roll-up by construction, not by tolerance.
+  /// Maps (window start, rolled-up machine power W) -> power fed to the
+  /// cooling plant and the power series (e.g. a cluster power cap).
+  std::function<double(util::TimeSec, double)> power_override;
+  /// Maps (window start, weather wet-bulb degC) -> wet-bulb seen by the
+  /// plant (e.g. a season offset).
+  std::function<double(util::TimeSec, double)> wet_bulb_override;
+  /// True while trim chillers must carry the full load (tower outage).
+  std::function<bool(util::TimeSec)> force_chillers;
 };
 
 /// One finalized cluster window.

@@ -328,6 +328,163 @@ TEST(Wire, HostileElementCountIsRejectedBeforeAllocation) {
   }
 }
 
+TEST(Wire, ScenarioSweepRequestRoundTripsEveryField) {
+  server::wire::Request req;
+  req.method = server::wire::Method::kScenarioSweep;
+  req.deadline_ms = 750;
+  req.nodes = {0, 5, 9};
+  req.range = {100, 700};
+  req.window = 10;
+  req.subscribe_mask =
+      static_cast<std::uint8_t>(server::wire::TickKind::kWindow);
+
+  scenario::ScenarioSpec cap;
+  cap.name = "cap-18MW";
+  cap.power_cap_w = 1.8e7;
+  scenario::ScenarioSpec summer;
+  summer.name = "hot-summer";
+  summer.wet_bulb_offset_c = 6.5;
+  summer.has_weather_seed = true;
+  summer.weather_seed = 99;
+  scenario::ScenarioSpec outage;
+  outage.name = "feb-outage";
+  outage.force_chillers = true;
+  outage.has_cooling = true;
+  outage.cooling.tower_approach_c = 4.25;
+  outage.cooling.chiller_w_per_w = 0.31;
+  outage.cooling.return_delay_s = 90;
+  req.scenarios = {cap, summer, outage};
+
+  const auto back =
+      server::wire::decode_request(server::wire::encode_request(req));
+  EXPECT_EQ(back.method, server::wire::Method::kScenarioSweep);
+  EXPECT_EQ(back.nodes, req.nodes);
+  EXPECT_EQ(back.range.begin, 100);
+  EXPECT_EQ(back.range.end, 700);
+  EXPECT_EQ(back.subscribe_mask,
+            static_cast<std::uint8_t>(server::wire::TickKind::kWindow));
+  ASSERT_EQ(back.scenarios.size(), 3u);
+  EXPECT_EQ(back.scenarios[0].name, "cap-18MW");
+  EXPECT_EQ(back.scenarios[0].power_cap_w, 1.8e7);
+  EXPECT_FALSE(back.scenarios[0].has_cooling);
+  EXPECT_EQ(back.scenarios[1].wet_bulb_offset_c, 6.5);
+  EXPECT_TRUE(back.scenarios[1].has_weather_seed);
+  EXPECT_EQ(back.scenarios[1].weather_seed, 99u);
+  EXPECT_TRUE(back.scenarios[2].force_chillers);
+  ASSERT_TRUE(back.scenarios[2].has_cooling);
+  // Cooling tunables cross as raw double bits: exact equality.
+  EXPECT_EQ(back.scenarios[2].cooling.tower_approach_c, 4.25);
+  EXPECT_EQ(back.scenarios[2].cooling.chiller_w_per_w, 0.31);
+  EXPECT_EQ(back.scenarios[2].cooling.return_delay_s, 90);
+}
+
+TEST(Wire, ScenarioSummariesAndVariantTicksRoundTrip) {
+  server::wire::Response resp;
+  resp.method = server::wire::Method::kScenarioSweep;
+  resp.scenarios.resize(2);
+  resp.scenarios[0].name = "cap-18MW";
+  resp.scenarios[0].windows = 360;
+  resp.scenarios[0].energy_j = 4.5e12;
+  resp.scenarios[0].baseline_energy_j = 4.9e12;
+  resp.scenarios[0].mean_pue = 1.12;
+  resp.scenarios[0].baseline_mean_pue = 1.11;
+  resp.scenarios[0].peak_power_w = 1.8e7;
+  resp.scenarios[0].baseline_peak_power_w = 2.4e7;
+  resp.scenarios[0].max_power_delta_w = -6.0e6;
+  resp.scenarios[0].max_pue_delta = 1e-300;
+  resp.scenarios[1].name = "feb-outage";
+  resp.scenarios[1].windows = 360;
+  resp.scenarios[1].max_pue_delta = 0.19;
+  const auto back =
+      server::wire::decode_response(server::wire::encode_response(resp));
+  ASSERT_EQ(back.scenarios.size(), 2u);
+  EXPECT_EQ(back.scenarios[0].name, "cap-18MW");
+  EXPECT_EQ(back.scenarios[0].windows, 360u);
+  EXPECT_EQ(back.scenarios[0].max_power_delta_w, -6.0e6);
+  EXPECT_EQ(back.scenarios[0].max_pue_delta, 1e-300);
+  EXPECT_EQ(back.scenarios[1].name, "feb-outage");
+  EXPECT_EQ(back.scenarios[1].max_pue_delta, 0.19);
+
+  server::wire::Tick tick;
+  tick.kind = server::wire::TickKind::kVariantWindow;
+  tick.index = 35;
+  tick.t = 350;
+  tick.power_w = 1.7e7;
+  tick.pue = 1.13;
+  tick.nodes_reporting = 12.0;
+  tick.variant = 63;  // the last slot of a maximal sweep
+  const auto tick_back =
+      server::wire::decode_tick(server::wire::encode_tick(tick));
+  EXPECT_EQ(tick_back.kind, server::wire::TickKind::kVariantWindow);
+  EXPECT_EQ(tick_back.index, 35u);
+  EXPECT_EQ(tick_back.t, 350);
+  EXPECT_EQ(tick_back.power_w, 1.7e7);
+  EXPECT_EQ(tick_back.pue, 1.13);
+  EXPECT_EQ(tick_back.variant, 63u);
+}
+
+TEST(Wire, ScenarioTruncationsAndHostileSpecsAreRejected) {
+  server::wire::Request req;
+  req.method = server::wire::Method::kScenarioSweep;
+  req.nodes = {1, 2};
+  req.range = {0, 600};
+  scenario::ScenarioSpec cap;
+  cap.name = "cap";
+  cap.power_cap_w = 1e7;
+  scenario::ScenarioSpec tuned;
+  tuned.name = "tuned";
+  tuned.has_cooling = true;
+  req.scenarios = {cap, tuned};
+  const auto req_bytes = server::wire::encode_request(req);
+  for (std::size_t keep = 0; keep < req_bytes.size(); ++keep) {
+    EXPECT_THROW(
+        (void)server::wire::decode_request({req_bytes.data(), keep}),
+        server::wire::WireError)
+        << "sweep request prefix " << keep;
+  }
+
+  server::wire::Response resp;
+  resp.method = server::wire::Method::kScenarioSweep;
+  resp.scenarios.resize(1);
+  resp.scenarios[0].name = "cap";
+  resp.scenarios[0].windows = 10;
+  const auto resp_bytes = server::wire::encode_response(resp);
+  for (std::size_t keep = 0; keep < resp_bytes.size(); ++keep) {
+    EXPECT_THROW(
+        (void)server::wire::decode_response({resp_bytes.data(), keep}),
+        server::wire::WireError)
+        << "sweep response prefix " << keep;
+  }
+
+  // A spec whose cooling-override flag is set but whose count-prefixed
+  // tunable block is empty is a contract violation, not a zero-fill:
+  // find the flags byte (the only byte force_chillers toggles) and set
+  // the has_cooling bit on an encoding that carried no tunables.
+  server::wire::Request plain;
+  plain.method = server::wire::Method::kScenario;
+  plain.nodes = {1};
+  plain.range = {0, 600};
+  scenario::ScenarioSpec spec;
+  spec.name = "x";
+  plain.scenarios = {spec};
+  const auto without = server::wire::encode_request(plain);
+  plain.scenarios[0].force_chillers = true;
+  const auto with = server::wire::encode_request(plain);
+  ASSERT_EQ(without.size(), with.size());
+  std::size_t flag_at = without.size();
+  for (std::size_t i = 0; i < without.size(); ++i) {
+    if (without[i] != with[i]) {
+      ASSERT_EQ(flag_at, without.size()) << "flags must differ in one byte";
+      flag_at = i;
+    }
+  }
+  ASSERT_LT(flag_at, without.size());
+  auto evil = without;
+  evil[flag_at] |= 4u;  // has_cooling, with a zero-count tunable block
+  EXPECT_THROW((void)server::wire::decode_request(evil),
+               server::wire::WireError);
+}
+
 // --- admission control (deterministic, no sockets) -----------------------
 
 std::string store_dir(const char* leaf) {
@@ -698,6 +855,53 @@ TEST(Loopback, MalformedRequestBodyKeepsConnectionAlive) {
     decoder.feed({chunk, r.n});
   }
   EXPECT_EQ(frame.request_id, 6u);
+  EXPECT_EQ(server::wire::decode_response(frame.payload).status,
+            server::wire::Status::kOk);
+}
+
+TEST(Loopback, UnknownFutureMethodIsTypedErrorNotConnectionFatal) {
+  // Mixed-version skew: a newer client speaking a method id this server
+  // has never heard of (the slot after kScenarioSweep) must get a typed
+  // per-request error back, and the connection must keep serving.
+  server::wire::Request ping;
+  ping.method = server::wire::Method::kPing;
+  auto payload = server::wire::encode_request(ping);
+  payload[0] = 10;  // one past the known method range
+  EXPECT_THROW((void)server::wire::decode_request(payload),
+               server::wire::WireError);
+
+  LoopbackFixture fx("futuremethod");
+  auto stream = net::TcpStream::connect("127.0.0.1", fx.server.port(), 2000);
+  const auto skewed =
+      net::encode_frame(net::FrameType::kRequest, 21, payload);
+  stream.write_all(skewed.data(), skewed.size(), 2000);
+
+  net::FrameDecoder decoder;
+  net::Frame frame;
+  std::uint8_t chunk[4096];
+  while (!decoder.next(frame)) {
+    ASSERT_TRUE(stream.wait_readable(2000));
+    const auto r = stream.read_some(chunk, sizeof(chunk));
+    ASSERT_EQ(r.status, net::IoStatus::kOk);
+    decoder.feed({chunk, r.n});
+  }
+  EXPECT_EQ(frame.type, net::FrameType::kResponse);
+  EXPECT_EQ(frame.request_id, 21u);
+  const auto resp = server::wire::decode_response(frame.payload);
+  EXPECT_EQ(resp.status, server::wire::Status::kInvalidArgument);
+  EXPECT_NE(resp.message.find("method"), std::string::npos);
+
+  // Same connection, same-version request afterwards: still served.
+  const auto good = net::encode_frame(net::FrameType::kRequest, 22,
+                                      server::wire::encode_request(ping));
+  stream.write_all(good.data(), good.size(), 2000);
+  while (!decoder.next(frame)) {
+    ASSERT_TRUE(stream.wait_readable(2000));
+    const auto r = stream.read_some(chunk, sizeof(chunk));
+    ASSERT_EQ(r.status, net::IoStatus::kOk);
+    decoder.feed({chunk, r.n});
+  }
+  EXPECT_EQ(frame.request_id, 22u);
   EXPECT_EQ(server::wire::decode_response(frame.payload).status,
             server::wire::Status::kOk);
 }

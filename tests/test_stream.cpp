@@ -18,6 +18,7 @@
 #include "stream/engine.hpp"
 #include "stream/ingest.hpp"
 #include "stream/quantile.hpp"
+#include "stream/replay.hpp"
 #include "stream/rollup.hpp"
 #include "telemetry/aggregator.hpp"
 #include "telemetry/pipeline.hpp"
@@ -699,6 +700,128 @@ TEST(Engine, LockStepRunMatchesBatchAndRendersPanel) {
   const auto panel = engine.render();
   EXPECT_NE(panel.find("live stream dashboard"), std::string::npos);
   EXPECT_NE(panel.find("watermark"), std::string::npos);
+}
+
+// ------------------------------------------------------------ ReplaySinks
+
+/// 1 Hz input-power runs for `nodes` nodes with a square pulse over
+/// [120, 180) — a returned edge large enough to page mid-replay.
+std::vector<store::MetricRun> replay_step_runs(int nodes, util::TimeSec span) {
+  const int channel = tm::channel_of(tm::MetricKind::kInputPower, 0);
+  std::vector<store::MetricRun> runs;
+  for (int n = 0; n < nodes; ++n) {
+    store::MetricRun run;
+    run.id = tm::metric_id(n, channel);
+    for (util::TimeSec t = 0; t < span; ++t) {
+      const double watts = (t >= 120 && t < 180) ? 60000.0 : 2000.0;
+      run.samples.push_back({t, watts});
+    }
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+TEST(ReplaySinks, WindowsAndAlertsArriveInStreamOrder) {
+  const auto runs = replay_step_runs(4, 300);
+  stream::EngineOptions opt;
+  opt.range = {0, 300};
+  opt.rollup.edge_node_count = 4.0;
+  opt.alerts.power_swing_w = 1.0e5;  // the 232 kW pulse qualifies
+
+  struct Seen {
+    bool window;
+    std::size_t index;
+    util::TimeSec t;
+    double value;
+  };
+  std::vector<Seen> merged;
+  stream::ReplaySinks sinks;
+  sinks.on_window = [&](const stream::ClusterWindow& w) {
+    merged.push_back({true, w.index, w.t, w.power_w});
+  };
+  sinks.on_alert = [&](const stream::Alert& a) {
+    merged.push_back({false, 0, a.t, a.value});
+  };
+  const auto replay = stream::replay_rollup_runs(runs, opt, sinks);
+
+  EXPECT_FALSE(replay.cancelled);
+  EXPECT_EQ(replay.events, 4u * 300u);
+
+  // Windows arrive as 0, 1, 2, ... on the 10 s grid, and the streamed
+  // values are the same doubles the finished series reports.
+  std::size_t windows = 0;
+  for (const auto& s : merged) {
+    if (!s.window) continue;
+    EXPECT_EQ(s.index, windows);
+    EXPECT_EQ(s.t, static_cast<util::TimeSec>(windows) * 10);
+    ASSERT_LT(windows, replay.power.size());
+    EXPECT_EQ(s.value, replay.power[windows]);
+    ++windows;
+  }
+  EXPECT_EQ(windows, replay.windows);
+  EXPECT_EQ(windows, replay.power.size());
+
+  // The pulse closes a qualifying returned edge mid-stream; its alert
+  // must be interleaved with the windows, not batched after the last one.
+  std::vector<std::size_t> alert_pos;
+  std::size_t last_window_pos = 0;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (merged[i].window) {
+      last_window_pos = i;
+    } else {
+      alert_pos.push_back(i);
+    }
+  }
+  ASSERT_FALSE(alert_pos.empty());
+  EXPECT_LT(alert_pos.front(), last_window_pos);
+
+  // Stream order: alert transitions replay in log order (non-decreasing
+  // t), and any window delivered after an alert can only have closed at a
+  // watermark past the alert's second.
+  util::TimeSec prev_alert_t = 0;
+  for (std::size_t i : alert_pos) {
+    EXPECT_GE(merged[i].t, prev_alert_t);
+    prev_alert_t = merged[i].t;
+    for (std::size_t j = i + 1; j < merged.size(); ++j) {
+      if (!merged[j].window) continue;
+      EXPECT_GT(merged[j].t + 10, merged[i].t - opt.allowed_lateness_s);
+    }
+  }
+}
+
+TEST(ReplaySinks, CancelMidReplayKeepsEmittedWindowsAndSetsFlag) {
+  const auto runs = replay_step_runs(4, 300);
+  stream::EngineOptions opt;
+  opt.range = {0, 300};
+  opt.rollup.edge_node_count = 4.0;
+
+  const auto full = stream::replay_rollup_runs(runs, opt);
+  ASSERT_EQ(full.windows, 30u);
+  ASSERT_FALSE(full.cancelled);
+
+  std::vector<double> emitted;
+  stream::ReplaySinks sinks;
+  sinks.on_window = [&](const stream::ClusterWindow& w) {
+    emitted.push_back(w.power_w);
+  };
+  // Trip the per-second poll once 8 windows have streamed — the shape of
+  // a subscriber disconnecting mid-sweep.
+  sinks.cancelled = [&] { return emitted.size() >= 8; };
+  const auto part = stream::replay_rollup_runs(runs, opt, sinks);
+
+  EXPECT_TRUE(part.cancelled);
+  EXPECT_EQ(part.windows, 8u);
+  EXPECT_EQ(emitted.size(), 8u);
+  ASSERT_EQ(part.power.size(), 8u);
+  ASSERT_EQ(part.pue.size(), 8u);
+  // Everything emitted before the trip stands, bit-identical to the
+  // uncancelled replay's prefix.
+  for (std::size_t w = 0; w < emitted.size(); ++w) {
+    EXPECT_EQ(part.power[w], emitted[w]);
+    EXPECT_EQ(part.power[w], full.power[w]);
+    EXPECT_EQ(part.pue[w], full.pue[w]);
+  }
+  EXPECT_LT(part.events, full.events);
 }
 
 }  // namespace

@@ -62,11 +62,29 @@
 //       exact lost-segment accounting; rebalance a sealed segment
 //       between shards and require parity again on both sides of the
 //       flip.
+//
+//   exawatt_sim scenario --store DIR --cap-mw 18 [--force-chillers]
+//       counterfactual what-if: replay the stored trace with a declared
+//       intervention (cluster power cap, wet-bulb offset, forced trim
+//       chillers, replaced weather year) next to the un-intervened
+//       baseline and print the energy/PUE deltas. --endpoint HOST:PORT
+//       runs the same replay on a live server (kScenario RPC);
+//       --sweep-caps 14,16,18 fans one variant per cap (kScenarioSweep).
+//
+//   exawatt_sim scenariocheck --nodes 12 --minutes 6 --store DIR
+//       scenario gate (the `scenario_roundtrip` ctest): the identity
+//       scenario must be bit-identical to pue_rollup both store-backed
+//       and over loopback RPC, a capped replay must never exceed the
+//       baseline power, a forced chiller outage must never beat the
+//       baseline PUE, and a sweep whose client disconnects mid-stream
+//       must free its admission slot (checked via server_stats).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -87,6 +105,8 @@
 #include "core/simulation.hpp"
 #include "datasets/export.hpp"
 #include "datasets/import.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/spec.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
 #include "store/store.hpp"
@@ -126,6 +146,12 @@ int usage() {
       " coordinator\n"
       "  clustercheck --nodes N --minutes M --store DIR   3-shard cluster"
       " parity gate\n"
+      "  scenario --store DIR | --endpoint HOST:PORT [--cap-mw MW]\n"
+      "           [--wet-bulb-offset C --force-chillers --weather-seed S]\n"
+      "           [--sweep-caps MW1,MW2,...]              counterfactual"
+      " replay\n"
+      "  scenariocheck --nodes N --minutes M --store DIR  scenario parity"
+      " gate\n"
       "  analyze  --endpoint HOST:PORT                    server_stats over"
       " the wire\n");
   return 2;
@@ -1702,6 +1728,427 @@ int cmd_clustercheck(const util::Flags& flags) {
   return violations == 0 ? 0 : 1;
 }
 
+/// One ScenarioSpec from the intervention flags (--cap-mw,
+/// --wet-bulb-offset, --force-chillers, --weather-seed).
+scenario::ScenarioSpec spec_from(const util::Flags& flags) {
+  scenario::ScenarioSpec spec;
+  spec.name = flags.get("name", "scenario");
+  spec.power_cap_w = flags.get_number("cap-mw", 0.0) * 1e6;
+  spec.wet_bulb_offset_c = flags.get_number("wet-bulb-offset", 0.0);
+  spec.force_chillers = flags.has("force-chillers");
+  if (flags.has("weather-seed")) {
+    spec.has_weather_seed = true;
+    spec.weather_seed =
+        static_cast<std::uint64_t>(flags.get_int("weather-seed", 7));
+  }
+  return spec;
+}
+
+void print_scenario_summaries(
+    const std::vector<scenario::ScenarioSummary>& rows) {
+  util::TextTable t({"scenario", "windows", "energy", "Δenergy", "mean PUE",
+                     "ΔPUE", "peak", "max Δpower"});
+  for (const scenario::ScenarioSummary& s : rows) {
+    t.add_row({s.name, std::to_string(s.windows),
+               util::fmt_si(s.energy_j, "J"),
+               util::fmt_si(s.energy_j - s.baseline_energy_j, "J"),
+               util::fmt_double(s.mean_pue, 4),
+               util::fmt_double(s.mean_pue - s.baseline_mean_pue, 4),
+               util::fmt_si(s.peak_power_w, "W").c_str(),
+               util::fmt_si(s.max_power_delta_w, "W").c_str()});
+  }
+  std::printf("%s", t.str().c_str());
+}
+
+/// `scenario`: replay a counterfactual against a store (in-process) or a
+/// live server (kScenario / kScenarioSweep over the wire). Both paths
+/// build the same wire request, so the flags mean the same thing either
+/// way; --sweep-caps MW1,MW2,... fans one variant per cap.
+int cmd_scenario(const util::Flags& flags) {
+  const std::string endpoint = flags.get("endpoint");
+  const std::string dir = flags.get("store", "telemetry_store");
+
+  std::vector<scenario::ScenarioSpec> specs;
+  const std::string sweep_caps = flags.get("sweep-caps");
+  if (!sweep_caps.empty()) {
+    std::size_t begin = 0;
+    while (begin <= sweep_caps.size()) {
+      std::size_t end = sweep_caps.find(',', begin);
+      if (end == std::string::npos) end = sweep_caps.size();
+      const std::string part = sweep_caps.substr(begin, end - begin);
+      begin = end + 1;
+      if (part.empty()) continue;
+      scenario::ScenarioSpec spec = spec_from(flags);
+      spec.power_cap_w = std::strtod(part.c_str(), nullptr) * 1e6;
+      spec.name = "cap-" + part + "MW";
+      specs.push_back(std::move(spec));
+    }
+  } else {
+    specs.push_back(spec_from(flags));
+  }
+  if (specs.empty() || specs.size() > server::wire::kMaxSweepVariants) {
+    std::fprintf(stderr, "scenario: want 1..%zu variants, got %zu\n",
+                 server::wire::kMaxSweepVariants, specs.size());
+    return 2;
+  }
+
+  server::wire::Request req;
+  req.method = specs.size() == 1 ? server::wire::Method::kScenario
+                                 : server::wire::Method::kScenarioSweep;
+  req.scenarios = specs;
+  req.window = flags.get_int("window", 10);
+  // An inverted default range clamps to the data hull server-side, the
+  // same "everything" idiom kSubscribe uses.
+  req.range = {flags.get_int("range-begin", 0),
+               flags.get_int("range-end",
+                             std::numeric_limits<util::TimeSec>::max())};
+  req.subscribe_mask = 0;  // summaries, not per-window tick streaming
+
+  server::wire::Response resp;
+  if (!endpoint.empty()) {
+    const cluster::Endpoint ep = parse_endpoint(endpoint);
+    const auto n_nodes = flags.get_int("nodes", 32);
+    for (std::int64_t i = 0; i < n_nodes; ++i) {
+      req.nodes.push_back(static_cast<machine::NodeId>(i));
+    }
+    server::ClientOptions copts;
+    copts.host = ep.host;
+    copts.port = ep.port;
+    copts.request_timeout_ms =
+        static_cast<int>(flags.get_int("timeout", 30000));
+    server::Client client(copts);
+    resp = client.call(req);
+  } else {
+    store::Store store = store::Store::open(dir);
+    req.nodes = power_nodes(store);
+    if (req.nodes.empty()) {
+      std::fprintf(stderr,
+                   "scenario: store %s holds no input-power channels\n",
+                   dir.c_str());
+      return 1;
+    }
+    server::QueryService service(store);
+    resp = service.execute(req);
+  }
+
+  if (resp.status != server::wire::Status::kOk) {
+    std::fprintf(stderr, "scenario: %s (%s)\n",
+                 server::wire::status_name(resp.status),
+                 resp.message.c_str());
+    return 1;
+  }
+  print_scenario_summaries(resp.scenarios);
+  if (resp.method == server::wire::Method::kScenario &&
+      !resp.series.values().empty()) {
+    std::printf("baseline: %s\n",
+                core::sparkline(resp.baseline_power, 72).c_str());
+    std::printf("variant:  %s\n", core::sparkline(resp.series, 72).c_str());
+  }
+  return 0;
+}
+
+/// The `scenario_roundtrip` ctest gate: the identity scenario must be
+/// bit-identical to a plain pue_rollup — store-backed AND over loopback
+/// RPC — a capped replay must never exceed the baseline power, a forced
+/// trim-chiller outage must never beat the baseline PUE, and a sweep
+/// whose client vanishes must free its admission slot (server_stats).
+int cmd_scenariocheck(const util::Flags& flags) {
+  const auto n = static_cast<int>(flags.get_int("nodes", 12));
+  const double minutes = flags.get_number("minutes", 6.0);
+  const std::string dir = flags.get("store", "scenariocheck_data");
+  std::filesystem::remove_all(dir);
+
+  const util::TimeSec start = util::kHour;
+  const util::TimeRange window{
+      start, start + static_cast<util::TimeSec>(minutes * 60.0)};
+  core::SimulationConfig config;
+  config.scale = machine::MachineScale::small(n);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  config.range = {0, window.end + util::kHour};
+  core::Simulation sim(config);
+  TelemetryRig rig(sim, config, window, config.scale.nodes);
+
+  store::StoreOptions store_options;
+  store_options.segment_events = 1 << 14;
+  {
+    store::Store store = store::Store::open(dir, store_options);
+    rig.pipeline.set_batch_sink(
+        [&](const std::vector<telemetry::MetricEvent>& batch) {
+          store.append(batch);
+        });
+    rig.pipeline.run(window);
+    store.flush();
+  }
+
+  std::size_t violations = 0;
+  const auto bit_same = [](const ts::Series& a, const ts::Series& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  };
+
+  store::Store store = store::Store::open(dir, store_options);
+  const std::vector<machine::NodeId> nodes = power_nodes(store);
+
+  stream::EngineOptions options;
+  options.range = window;
+  options.rollup.edge_node_count = static_cast<double>(nodes.size());
+  const auto offline = stream::replay_rollup(store, nodes, options);
+  if (offline.windows == 0) {
+    std::printf("FAIL: replay closed no windows — nothing to gate on\n");
+    ++violations;
+  }
+
+  // Identity parity, store-backed: a default spec installs no hooks, so
+  // every one of its four series must be bit-identical to the replay.
+  {
+    scenario::ScenarioSpec identity;
+    identity.name = "identity";
+    const auto r = scenario::run_scenario(store, nodes, options, identity);
+    const bool ok = !r.cancelled && bit_same(r.power, offline.power) &&
+                    bit_same(r.pue, offline.pue) &&
+                    bit_same(r.baseline_power, offline.power) &&
+                    bit_same(r.baseline_pue, offline.pue);
+    std::printf("identity scenario vs pue_rollup (store-backed): %s "
+                "(%zu windows)\n",
+                ok ? "bit-identical" : "DIVERGED", offline.windows);
+    if (!ok) ++violations;
+  }
+
+  double baseline_peak = 0.0;
+  for (std::size_t i = 0; i < offline.power.size(); ++i) {
+    baseline_peak = std::max(baseline_peak, offline.power[i]);
+  }
+
+  // Wire phases: identity parity, cap monotonicity and the chiller
+  // outage, all through a loopback server — the same frames a remote
+  // operator's what-if would ride.
+  {
+    server::Server server(store, {});
+    std::thread loop([&] { server.run(); });
+    server::ClientOptions copts;
+    copts.port = server.port();
+    server::Client client(copts);
+
+    server::wire::Request req;
+    req.method = server::wire::Method::kScenario;
+    req.nodes = nodes;
+    req.range = window;
+    req.window = 10;
+    req.subscribe_mask = 0;
+    req.scenarios.resize(1);
+    req.scenarios.front().name = "identity";
+    {
+      const auto resp = client.call(req);
+      const bool ok = resp.status == server::wire::Status::kOk &&
+                      bit_same(resp.series, offline.power) &&
+                      bit_same(resp.pue, offline.pue) &&
+                      bit_same(resp.baseline_power, offline.power) &&
+                      bit_same(resp.baseline_pue, offline.pue) &&
+                      resp.scenarios.size() == 1 &&
+                      resp.scenarios.front().windows == offline.windows;
+      std::printf("identity scenario vs pue_rollup (loopback RPC): %s\n",
+                  ok ? "bit-identical" : "DIVERGED");
+      if (!ok) ++violations;
+    }
+
+    // A cap at 60% of the observed peak must bind somewhere, and the
+    // capped series must never exceed the baseline anywhere.
+    {
+      req.scenarios.front() = {};
+      req.scenarios.front().name = "cap";
+      req.scenarios.front().power_cap_w = 0.6 * baseline_peak;
+      const auto resp = client.call(req);
+      std::size_t over = 0;
+      std::size_t bound = 0;
+      const std::size_t nw =
+          std::min(resp.series.size(), offline.power.size());
+      for (std::size_t i = 0; i < nw; ++i) {
+        if (resp.series[i] > offline.power[i]) ++over;
+        if (resp.series[i] < offline.power[i]) ++bound;
+      }
+      const bool ok = resp.status == server::wire::Status::kOk &&
+                      nw == offline.power.size() && over == 0 && bound > 0;
+      std::printf("power cap at 60%% of peak: %zu/%zu windows above "
+                  "baseline, %zu clamped — %s\n",
+                  over, nw, bound, ok ? "capped ≤ baseline" : "VIOLATED");
+      if (!ok) ++violations;
+    }
+
+    // Trim chillers forced on for the whole range: strictly worse
+    // facility overhead, so the variant PUE may never beat the baseline.
+    {
+      req.scenarios.front() = {};
+      req.scenarios.front().name = "chiller-outage";
+      req.scenarios.front().force_chillers = true;
+      const auto resp = client.call(req);
+      std::size_t better = 0;
+      double mean_delta = 0.0;
+      const std::size_t nw = std::min(resp.pue.size(), offline.pue.size());
+      for (std::size_t i = 0; i < nw; ++i) {
+        if (resp.pue[i] < offline.pue[i]) ++better;
+        mean_delta += resp.pue[i] - offline.pue[i];
+      }
+      if (nw > 0) mean_delta /= static_cast<double>(nw);
+      const bool ok = resp.status == server::wire::Status::kOk &&
+                      nw == offline.pue.size() && better == 0 &&
+                      mean_delta > 0.0;
+      std::printf("forced trim chillers: PUE beats baseline in %zu/%zu "
+                  "windows (mean ΔPUE %+0.4f) — %s\n",
+                  better, nw, mean_delta,
+                  ok ? "outage never wins" : "VIOLATED");
+      if (!ok) ++violations;
+    }
+
+    // Sweep coherence: tighter caps may only shrink replayed energy, and
+    // every summary must land at its request index.
+    {
+      req.method = server::wire::Method::kScenarioSweep;
+      req.scenarios.clear();
+      for (const double frac : {0.4, 0.6, 0.8, 1.2}) {
+        scenario::ScenarioSpec spec;
+        spec.name = "cap-" + util::fmt_double(frac, 1);
+        spec.power_cap_w = frac * baseline_peak;
+        req.scenarios.push_back(std::move(spec));
+      }
+      const auto resp = client.call(req);
+      bool ordered = resp.scenarios.size() == req.scenarios.size();
+      bool monotone = ordered;
+      for (std::size_t i = 0; ordered && i < resp.scenarios.size(); ++i) {
+        ordered = resp.scenarios[i].name == req.scenarios[i].name;
+        if (i > 0 && resp.scenarios[i].energy_j <
+                         resp.scenarios[i - 1].energy_j) {
+          monotone = false;
+        }
+      }
+      const bool ok = resp.status == server::wire::Status::kOk && ordered &&
+                      monotone;
+      std::printf("4-cap sweep: %zu summaries, request order %s, energy "
+                  "monotone in the cap %s — %s\n",
+                  resp.scenarios.size(), ordered ? "kept" : "LOST",
+                  monotone ? "yes" : "NO", ok ? "coherent" : "VIOLATED");
+      if (!ok) ++violations;
+    }
+
+    server.shutdown();
+    loop.join();
+    server.drain();
+  }
+
+  // Cancelled sweep frees its admission slot. A 1-thread pool pins sweep
+  // A on the only worker; sweep B queues behind it; B's client vanishes
+  // while A streams. When the worker reaches B its cancel token has long
+  // been tripped, so B must resolve kCancelled — and the service
+  // counters, read over the wire as server_stats, must show the slot
+  // returned (depth 0) with the cancellation accounted.
+  {
+    util::ThreadPool pool(1);
+    server::ServerOptions sopts;
+    sopts.service.pool = &pool;
+    store::Store fresh = store::Store::open(dir, store_options);
+    server::Server server(fresh, sopts);
+    std::thread loop([&] { server.run(); });
+    server::ClientOptions copts;
+    copts.port = server.port();
+
+    server::wire::Request req;
+    req.method = server::wire::Method::kScenarioSweep;
+    req.nodes = nodes;
+    req.range = window;
+    req.window = 10;
+    req.subscribe_mask =
+        static_cast<std::uint8_t>(server::wire::TickKind::kWindow);
+    for (int i = 0; i < 8; ++i) {
+      scenario::ScenarioSpec spec;
+      spec.name = "sweep-" + std::to_string(i);
+      spec.power_cap_w = (0.3 + 0.1 * i) * baseline_peak;
+      req.scenarios.push_back(std::move(spec));
+    }
+
+    server::Subscription running(copts, req);
+    // First variant tick: sweep A is live on the pool's only thread.
+    std::optional<server::wire::Tick> first;
+    try {
+      first = running.next(30000);
+    } catch (const net::NetError&) {
+    }
+    if (!first.has_value() ||
+        first->kind != server::wire::TickKind::kVariantWindow) {
+      std::printf("FAIL: sweep streamed no variant-window tick\n");
+      ++violations;
+    }
+
+    req.subscribe_mask = 0;
+    server::Subscription doomed(copts, req);  // queues behind A
+    doomed.close();                           // ...and its peer vanishes
+
+    // Drain A: every variant must close every window, and the final
+    // response must carry all 8 summaries.
+    std::vector<std::size_t> per_variant(req.scenarios.size(), 0);
+    if (first.has_value()) ++per_variant[first->variant];
+    try {
+      while (const auto tick = running.next(30000)) {
+        if (tick->kind == server::wire::TickKind::kVariantWindow &&
+            tick->variant < per_variant.size()) {
+          ++per_variant[tick->variant];
+        }
+      }
+    } catch (const net::NetError&) {
+    }
+    bool streamed_all = running.result().has_value() &&
+                        running.result()->status ==
+                            server::wire::Status::kOk &&
+                        running.result()->scenarios.size() ==
+                            req.scenarios.size();
+    for (const std::size_t count : per_variant) {
+      streamed_all = streamed_all && count == offline.windows;
+    }
+    std::printf("streaming sweep: %zu variants x %zu windows ticked, "
+                "final response %s\n",
+                per_variant.size(), offline.windows,
+                streamed_all ? "OK with all summaries" : "BROKEN");
+    if (!streamed_all) ++violations;
+
+    // The abandoned sweep must leave no queued ghost behind: the
+    // cancellation counted and every admitted slot accounted for. The
+    // stats probe occupies a slot while it snapshots itself, so the
+    // reported depth legitimately includes it — the conservation law is
+    // accepted == finished buckets + whatever is still in flight.
+    server::Client probe(copts);
+    server::wire::Request stats_req;
+    stats_req.method = server::wire::Method::kServerStats;
+    server::wire::ServerStatsWire s;
+    bool freed = false;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      const auto resp = probe.call(stats_req);
+      if (resp.status != server::wire::Status::kOk) break;
+      s = resp.server;
+      freed = s.queue_depth <= 1 && s.cancelled >= 1 &&
+              s.accepted == s.served + s.shed + s.deadline_exceeded +
+                                s.cancelled + s.failed + s.queue_depth;
+      if (freed) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::printf("cancelled sweep: server_stats depth %llu (the probe "
+                "itself), cancelled %llu, accepted %llu all accounted — "
+                "%s\n",
+                static_cast<unsigned long long>(s.queue_depth),
+                static_cast<unsigned long long>(s.cancelled),
+                static_cast<unsigned long long>(s.accepted),
+                freed ? "slot freed" : "SLOT LEAKED");
+    if (!freed) ++violations;
+
+    server.shutdown();
+    loop.join();
+    server.drain();
+  }
+
+  std::printf("scenariocheck: %s\n", violations == 0 ? "PASS" : "FAIL");
+  return violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1717,6 +2164,8 @@ int main(int argc, char** argv) {
     if (flags.command() == "servecheck") return cmd_servecheck(flags);
     if (flags.command() == "cluster") return cmd_cluster(flags);
     if (flags.command() == "clustercheck") return cmd_clustercheck(flags);
+    if (flags.command() == "scenario") return cmd_scenario(flags);
+    if (flags.command() == "scenariocheck") return cmd_scenariocheck(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

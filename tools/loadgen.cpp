@@ -2,6 +2,7 @@
 //
 //   loadgen --port 4626 --threads 8 --seconds 10 --nodes 32
 //       [--deadline MS] [--range-begin S --range-end S] [--subscribe]
+//       [--scenario]
 //   loadgen --cluster 4701,4702,4703 --threads 8 --seconds 10
 //
 // Each thread owns one connection and issues a mixed read workload
@@ -12,6 +13,13 @@
 // broken links — plus achieved request and event-read rates and a
 // latency histogram with p50/p90/p99. Exit code is non-zero when no
 // request succeeded — so the tool doubles as a connectivity probe.
+//
+// --scenario folds counterfactual replays into the mix: 10% kScenario
+// (a random power cap or forced-chiller outage) and 5% kScenarioSweep
+// (four cap variants, summaries only). These are the service's most
+// CPU-heavy, cache-hostile requests — every one replays the whole range
+// twice or more — so they shift the load from the wire to the pool and
+// are the right stressor for admission control and deadline policy.
 //
 // --cluster PORTS (or HOST:PORT,...) drives a scatter-gather
 // coordinator over the listed shard servers instead of one server: all
@@ -36,6 +44,7 @@
 #include <vector>
 
 #include "cluster/coordinator.hpp"
+#include "scenario/spec.hpp"
 #include "server/client.hpp"
 #include "telemetry/metric.hpp"
 #include "util/flags.hpp"
@@ -133,6 +142,7 @@ int main(int argc, char** argv) {
   const auto n_nodes = static_cast<int>(flags.get_int("nodes", 32));
   const auto deadline_ms =
       static_cast<std::uint32_t>(flags.get_int("deadline", 0));
+  const bool scenarios = flags.has("scenario");
   const util::TimeRange range{flags.get_int("range-begin", 0),
                               flags.get_int("range-end", 30 * 60)};
 
@@ -152,17 +162,19 @@ int main(int argc, char** argv) {
 
   if (coordinator != nullptr) {
     std::printf("loadgen: %zu threads x %.1f s against a %zu-shard cluster "
-                "[%s] (%d nodes, range [%lld, %lld), deadline %u ms)\n",
+                "[%s] (%d nodes, range [%lld, %lld), deadline %u ms%s)\n",
                 threads, seconds, coordinator->shards(),
                 cluster_list.c_str(), n_nodes,
                 static_cast<long long>(range.begin),
-                static_cast<long long>(range.end), deadline_ms);
+                static_cast<long long>(range.end), deadline_ms,
+                scenarios ? ", 15% scenario replays" : "");
   } else {
     std::printf("loadgen: %zu threads x %.1f s against %s:%u (%d nodes, "
-                "range [%lld, %lld), deadline %u ms)\n",
+                "range [%lld, %lld), deadline %u ms%s)\n",
                 threads, seconds, copts.host.c_str(), copts.port, n_nodes,
                 static_cast<long long>(range.begin),
-                static_cast<long long>(range.end), deadline_ms);
+                static_cast<long long>(range.end), deadline_ms,
+                scenarios ? ", 15% scenario replays" : "");
   }
 
   const auto t0 = Clock::now();
@@ -187,7 +199,36 @@ int main(int argc, char** argv) {
         req.range = range;
         req.window = 10;
         const double pick = rng.uniform();
-        if (pick < 0.45) {
+        if (scenarios && pick >= 0.85 && pick < 0.95) {
+          // 10% single counterfactual: a cap drawn around the plausible
+          // cluster power, or the forced-chiller outage.
+          req.method = server::wire::Method::kScenario;
+          req.nodes = nodes;
+          req.subscribe_mask = 0;
+          scenario::ScenarioSpec spec;
+          if (rng.uniform() < 0.5) {
+            spec.name = "loadgen-cap";
+            spec.power_cap_w =
+                (0.3 + 0.6 * rng.uniform()) * 3000.0 *
+                static_cast<double>(n_nodes);
+          } else {
+            spec.name = "loadgen-outage";
+            spec.force_chillers = true;
+          }
+          req.scenarios.push_back(std::move(spec));
+        } else if (scenarios && pick >= 0.95) {
+          // 5% sweep: four caps fanned server-side, summaries back.
+          req.method = server::wire::Method::kScenarioSweep;
+          req.nodes = nodes;
+          req.subscribe_mask = 0;
+          for (int v = 0; v < 4; ++v) {
+            scenario::ScenarioSpec spec;
+            spec.name = "loadgen-sweep-" + std::to_string(v);
+            spec.power_cap_w = (0.4 + 0.2 * v) * 3000.0 *
+                               static_cast<double>(n_nodes);
+            req.scenarios.push_back(std::move(spec));
+          }
+        } else if (pick < 0.45) {
           req.method = server::wire::Method::kWindowSum;
           req.metric = telemetry::metric_id(
               nodes[rng.uniform_index(nodes.size())], channel);
