@@ -7,12 +7,16 @@
 // event rate crossing the wire; then google-benchmark timings of the
 // framing and wire-codec primitives underneath.
 
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <thread>
 
 #include "bench_common.hpp"
+#include "net/socket.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
 #include "store/store.hpp"
@@ -50,6 +54,89 @@ std::vector<std::vector<telemetry::MetricEvent>> synth_feed(
     batches.push_back(std::move(batch));
   }
   return batches;
+}
+
+/// Lift the fd soft cap toward `want` (10k idle sockets plus overhead);
+/// returns the cap actually in force.
+rlim_t raise_nofile(rlim_t want) {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) return 1024;
+  if (lim.rlim_cur < want) {
+    rlimit raised = lim;
+    raised.rlim_cur = std::min<rlim_t>(want, lim.rlim_max);
+    if (setrlimit(RLIMIT_NOFILE, &raised) == 0) lim = raised;
+  }
+  return lim.rlim_cur;
+}
+
+/// Idle-heavy soak: herds of mostly-idle connections at growing counts,
+/// measuring the ping p99 a *working* client sees through each herd. The
+/// epoll loop's promise is O(ready) dispatch — the curve should be near
+/// flat, and the gate holds p99 at 1024 connections to within 3x of the
+/// 16-connection baseline (plus a 250 us jitter floor so a sub-100 us
+/// baseline doesn't turn scheduler noise into a failure).
+struct SoakPoint {
+  std::size_t connections;
+  double p99_ms;
+};
+
+std::vector<SoakPoint> connection_soak(const store::Store& store,
+                                       bool full_scale) {
+  const rlim_t fd_cap = raise_nofile(32'768);
+  std::vector<std::size_t> counts = {16, 256, 1024};
+  if (full_scale) counts.push_back(10'000);
+  server::Server server(store, {});
+  std::thread loop([&] { server.run(); });
+
+  server::ClientOptions copts;
+  copts.port = server.port();
+  server::Client pinger(copts);
+  server::wire::Request ping;
+  ping.method = server::wire::Method::kPing;
+
+  std::vector<net::TcpStream> idlers;
+  std::vector<SoakPoint> curve;
+  for (const std::size_t want : counts) {
+    if (want + 128 > fd_cap) {
+      std::printf("soak: skipping %zu connections (fd cap %llu)\n", want,
+                  static_cast<unsigned long long>(fd_cap));
+      continue;
+    }
+    while (idlers.size() + 1 < want) {
+      idlers.push_back(
+          net::TcpStream::connect("127.0.0.1", server.port(), 2000));
+    }
+    // Let the accept wave drain before timing anything.
+    while (server.loop_stats().accepted <
+           idlers.size() - server.loop_stats().closed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::vector<double> lat_ms;
+    lat_ms.reserve(400);
+    for (int i = 0; i < 400; ++i) {
+      const auto t0 = Clock::now();
+      const auto resp = pinger.call(ping);
+      if (resp.status == server::wire::Status::kOk) {
+        lat_ms.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count());
+      }
+    }
+    std::sort(lat_ms.begin(), lat_ms.end());
+    const double p99 =
+        lat_ms.empty()
+            ? 0.0
+            : lat_ms[static_cast<std::size_t>(
+                  0.99 * static_cast<double>(lat_ms.size() - 1))];
+    std::printf("soak: %5zu connections held, ping p99 %.3f ms\n", want,
+                p99);
+    curve.push_back({want, p99});
+  }
+  idlers.clear();
+  server.shutdown();
+  loop.join();
+  server.drain();
+  return curve;
 }
 
 void print_artifact() {
@@ -145,6 +232,20 @@ void print_artifact() {
   std::printf("net read: %s (%.2fx the 462,600 events/s feed)\n\n",
               rate >= target ? "MET" : "NOT MET", rate / target);
 
+  const auto curve = connection_soak(store, bench::full_scale_requested());
+  double p99_16 = 0.0;
+  double p99_1024 = 0.0;
+  for (const auto& pt : curve) {
+    if (pt.connections == 16) p99_16 = pt.p99_ms;
+    if (pt.connections == 1024) p99_1024 = pt.p99_ms;
+  }
+  const double soak_limit = std::max(3.0 * p99_16, p99_16 + 0.25);
+  const bool soak_met =
+      p99_16 > 0.0 && p99_1024 > 0.0 && p99_1024 <= soak_limit;
+  std::printf("soak gate: p99@1024 %.3f ms vs limit %.3f ms (3x the "
+              "16-connection %.3f ms) — %s\n\n",
+              p99_1024, soak_limit, p99_16, soak_met ? "MET" : "NOT MET");
+
   bench::JsonObject json;
   json.add("clients", static_cast<std::uint64_t>(clients));
   json.add("drive_seconds", elapsed);
@@ -154,6 +255,12 @@ void print_artifact() {
   json.add("net_read_met", rate >= target);
   json.add("p50_ms", m.p50_ms);
   json.add("p99_ms", m.p99_ms);
+  for (const auto& pt : curve) {
+    json.add("soak_ping_p99_ms_c" + std::to_string(pt.connections),
+             pt.p99_ms);
+  }
+  json.add("soak_p99_limit_ms", soak_limit);
+  json.add("soak_gate_met", soak_met);
   json.write("BENCH_net.json");
 
   fs::remove_all(dir);

@@ -91,6 +91,13 @@ wire::Response Coordinator::call_shard(Link& link, wire::Request request,
     request.deadline_ms = static_cast<std::uint32_t>(
         std::clamp<std::int64_t>(left_ms, 1, 0xffffffffLL));
   }
+  // Scan legs stream back chunked (unless the caller already chose a
+  // size): results are identical byte-for-byte, the shard just never
+  // materializes the leg. Old shards trigger the Client's downgrade.
+  if (request.method == wire::Method::kScan &&
+      options_.leg_chunk_bytes != 0 && request.chunk_bytes == 0) {
+    request.chunk_bytes = options_.leg_chunk_bytes;
+  }
   ++link.stats.calls;
   const std::int64_t t0 = clock_.now_us();
   wire::Response resp;
@@ -431,7 +438,11 @@ server::QueryService::Executor Coordinator::executor() {
   return [this](const wire::Request& request,
                 const server::CancelToken& cancel,
                 std::int64_t deadline_us,
-                const server::QueryService::Emit& emit) {
+                const server::QueryService::Emit& emit,
+                server::ChunkWriter* /*stream*/) {
+    // The coordinator's merged responses materialize (merge needs every
+    // leg); the fronting Server chunks them at the wire when the client
+    // negotiated it, so `stream` needs no handling here.
     return execute(request, cancel, deadline_us, emit);
   };
 }

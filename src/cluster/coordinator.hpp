@@ -38,6 +38,11 @@ struct CoordinatorOptions {
   /// Opt in only for a quiesced cluster (no concurrent ingest), and
   /// refresh_directories() after any flush/rebalance.
   bool prune = false;
+  /// Scatter kScan legs as chunked streams of about this payload size,
+  /// so a shard's scan flows through its stream gate instead of
+  /// materializing per leg. 0 = classic single-frame legs. Safe against
+  /// old shards: the Client's per-connection downgrade retries plain.
+  std::uint32_t leg_chunk_bytes = 256 << 10;
 };
 
 /// Per-shard health/traffic counters, as reported by shard_stats().

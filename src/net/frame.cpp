@@ -1,5 +1,6 @@
 #include "net/frame.hpp"
 
+#include <bit>
 #include <cstring>
 
 #include "util/check.hpp"
@@ -59,9 +60,13 @@ const char* frame_fault_name(FrameFault fault) {
     case FrameFault::kBadMagic: return "bad frame magic";
     case FrameFault::kBadVersion: return "unsupported protocol version";
     case FrameFault::kBadType: return "unknown frame type";
-    case FrameFault::kBadReserved: return "nonzero reserved field";
+    case FrameFault::kBadReserved: return "undefined flag bits set";
     case FrameFault::kOversized: return "payload length over limit";
     case FrameFault::kBadCrc: return "payload CRC mismatch";
+    case FrameFault::kBadChunkFlags: return "invalid chunk flags";
+    case FrameFault::kChunkInterleaved: return "chunk stream interleaved";
+    case FrameFault::kChunkTruncated: return "chunk stream truncated";
+    case FrameFault::kChunkOversized: return "assembled stream over limit";
   }
   return "frame fault";
 }
@@ -69,13 +74,24 @@ const char* frame_fault_name(FrameFault fault) {
 std::vector<std::uint8_t> encode_frame(FrameType type,
                                        std::uint64_t request_id,
                                        std::span<const std::uint8_t> payload) {
+  return encode_frame(type, request_id, payload, 0);
+}
+
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       std::uint64_t request_id,
+                                       std::span<const std::uint8_t> payload,
+                                       std::uint16_t flags) {
   EXA_CHECK(payload.size() <= kMaxPayload, "frame payload over limit");
+  EXA_CHECK((flags & ~kFrameFlagMask) == 0, "undefined frame flags");
+  EXA_CHECK(flags == 0 || type == FrameType::kResponse,
+            "chunk flags on a non-response frame");
+  EXA_CHECK(std::popcount(flags) <= 1, "conflicting chunk flags");
   std::vector<std::uint8_t> out;
   out.reserve(kFrameHeaderBytes + payload.size());
   out.insert(out.end(), std::begin(kFrameMagic), std::end(kFrameMagic));
   out.push_back(kProtocolVersion);
   out.push_back(static_cast<std::uint8_t>(type));
-  put_u16(0, out);
+  put_u16(flags, out);
   put_u64(request_id, out);
   put_u32(static_cast<std::uint32_t>(payload.size()), out);
   put_u32(util::crc32(payload), out);
@@ -97,9 +113,17 @@ void FrameDecoder::validate_header() {
       type > static_cast<std::uint8_t>(FrameType::kGoodbye)) {
     throw FrameError(FrameFault::kBadType, "got " + std::to_string(int{type}));
   }
-  if (get_u16(h + 6) != 0) {
+  const std::uint16_t flags = get_u16(h + 6);
+  if ((flags & ~kFrameFlagMask) != 0) {
     throw FrameError(FrameFault::kBadReserved, "");
   }
+  if (flags != 0 && (static_cast<FrameType>(type) != FrameType::kResponse ||
+                     std::popcount(flags) != 1)) {
+    throw FrameError(FrameFault::kBadChunkFlags,
+                     "flags " + std::to_string(flags) + " on " +
+                         frame_type_name(static_cast<FrameType>(type)));
+  }
+  flags_ = flags;
   request_id_ = get_u64(h + 8);
   payload_len_ = get_u32(h + 16);
   payload_crc_ = get_u32(h + 20);
@@ -138,6 +162,7 @@ void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
       Frame frame;
       frame.type = type_;
       frame.request_id = request_id_;
+      frame.flags = flags_;
       frame.payload = std::move(buf_);
       ready_bytes_ += frame.payload.size() + kFrameHeaderBytes;
       ready_.push_back(std::move(frame));
@@ -160,6 +185,60 @@ bool FrameDecoder::next(Frame& out) {
 
 std::size_t FrameDecoder::buffered_bytes() const {
   return buf_.size() + ready_bytes_;
+}
+
+bool ChunkAssembler::feed(Frame& frame) {
+  if (frame.flags == 0) {
+    // Ticks and responses for *other* requests may legally interleave
+    // with an open chunk stream (the server's per-connection mailbox
+    // orders frames from many in-flight requests). A flag-less response
+    // for the stream's own id, though, means its kFinal is never coming.
+    if (open_ && frame.type == FrameType::kResponse &&
+        frame.request_id == stream_id_) {
+      throw FrameError(FrameFault::kChunkTruncated,
+                       "unchunked response closed an open chunk stream");
+    }
+    return true;
+  }
+  // Decoder validation guarantees: kResponse, exactly one flag set.
+  if (open_ && frame.request_id != stream_id_) {
+    throw FrameError(FrameFault::kChunkInterleaved,
+                     "request " + std::to_string(frame.request_id) +
+                         " inside stream " + std::to_string(stream_id_));
+  }
+  if (frame.flags == kFrameFlagAbort) {
+    // The abort payload is a complete error response replacing every
+    // fragment streamed so far.
+    buf_.clear();
+    open_ = false;
+    frame.flags = 0;
+    return true;
+  }
+  if (!open_) {
+    open_ = true;
+    stream_id_ = frame.request_id;
+    buf_.clear();
+  }
+  if (buf_.size() + frame.payload.size() > max_bytes_) {
+    throw FrameError(FrameFault::kChunkOversized,
+                     std::to_string(buf_.size() + frame.payload.size()) +
+                         " bytes assembled");
+  }
+  buf_.insert(buf_.end(), frame.payload.begin(), frame.payload.end());
+  if (frame.flags == kFrameFlagChunk) return false;
+  // kFrameFlagFinal: hand the reassembled logical response back.
+  frame.payload = std::move(buf_);
+  frame.flags = 0;
+  buf_ = {};
+  open_ = false;
+  return true;
+}
+
+void ChunkAssembler::finish() const {
+  if (open_) {
+    throw FrameError(FrameFault::kChunkTruncated,
+                     "connection ended inside a chunk stream");
+  }
 }
 
 }  // namespace exawatt::net

@@ -1,0 +1,73 @@
+#include "server/chunk.hpp"
+
+#include <utility>
+
+#include "net/frame.hpp"
+#include "util/check.hpp"
+
+namespace exawatt::server {
+
+ChunkWriter::ChunkWriter(std::uint64_t request_id, std::uint32_t chunk_bytes,
+                         Sink sink, std::function<bool()> cancelled)
+    : request_id_(request_id),
+      chunk_bytes_(chunk_bytes),
+      sink_(std::move(sink)),
+      cancelled_(std::move(cancelled)) {
+  EXA_CHECK(chunk_bytes_ > 0, "chunk_bytes must be positive");
+  EXA_CHECK(chunk_bytes_ <= net::kMaxPayload, "chunk_bytes over frame limit");
+}
+
+bool ChunkWriter::flush(std::span<const std::uint8_t> payload,
+                        std::uint16_t flags) {
+  auto frame =
+      net::encode_frame(net::FrameType::kResponse, request_id_, payload, flags);
+  // Budget covers the frame as it sits in the connection outbox: header
+  // included, released by the loop as the bytes reach the socket.
+  if (flags != net::kFrameFlagAbort) {
+    if (!sink_.acquire || !sink_.acquire(frame.size(), cancelled_)) {
+      terminated_ = true;
+      return false;
+    }
+  }
+  if (!sink_.send || !sink_.send(std::move(frame))) {
+    terminated_ = true;
+    return false;
+  }
+  ++chunks_;
+  return true;
+}
+
+bool ChunkWriter::write(std::span<const std::uint8_t> bytes) {
+  if (terminated_) return false;
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  // Flush whole chunks, keep the tail buffered: the final slice must
+  // travel as kFinal and we cannot know it is final until finish().
+  std::size_t off = 0;
+  while (buf_.size() - off > chunk_bytes_) {
+    if (!flush({buf_.data() + off, chunk_bytes_}, net::kFrameFlagChunk)) {
+      return false;
+    }
+    off += chunk_bytes_;
+  }
+  if (off != 0) buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off));
+  return true;
+}
+
+bool ChunkWriter::finish() {
+  if (terminated_) return false;
+  const bool ok = flush(buf_, net::kFrameFlagFinal);
+  buf_.clear();
+  terminated_ = true;
+  return ok;
+}
+
+bool ChunkWriter::abort(const wire::Response& error) {
+  if (terminated_) return false;
+  buf_.clear();
+  const auto payload = wire::encode_response(error);
+  const bool ok = flush(payload, net::kFrameFlagAbort);
+  terminated_ = true;
+  return ok;
+}
+
+}  // namespace exawatt::server

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "server/wire.hpp"
+
+namespace exawatt::server {
+
+/// Server-side producer of one chunked response stream: executors write
+/// encoded response bytes into it as they are produced (a scan run at a
+/// time), it slices them into ~chunk_bytes kChunk frames and pushes each
+/// through the sink — acquiring stream-gate budget first, so a peer that
+/// stops draining pauses the producing scan right here instead of
+/// ballooning server memory. `finish()` flushes the tail as kFinal;
+/// `abort()` replaces everything streamed so far with one error
+/// response (the kAbort frame), which is how a deadline or cancel that
+/// fires mid-stream is surfaced without a protocol break.
+///
+/// The Sink seam exists so unit tests can drive backpressure
+/// deterministically with no sockets: production wires `acquire` to
+/// StreamGate::acquire and `send` to EventLoop::send(conn, ..., gated).
+class ChunkWriter {
+ public:
+  struct Sink {
+    /// Reserve budget for `n` outbound bytes; blocks under backpressure.
+    /// False = stream is dead (peer closed or request cancelled).
+    std::function<bool(std::size_t n, const std::function<bool()>& cancelled)>
+        acquire;
+    /// Hand one encoded frame to the transport. False = peer gone.
+    std::function<bool(std::vector<std::uint8_t>&& frame_bytes)> send;
+  };
+
+  ChunkWriter(std::uint64_t request_id, std::uint32_t chunk_bytes, Sink sink,
+              std::function<bool()> cancelled);
+
+  ChunkWriter(const ChunkWriter&) = delete;
+  ChunkWriter& operator=(const ChunkWriter&) = delete;
+
+  /// Append response bytes; every full chunk_bytes slice is flushed as a
+  /// kChunk frame. False = stream died (further writes are no-ops).
+  bool write(std::span<const std::uint8_t> bytes);
+
+  /// Flush the remainder as the kFinal frame (sent even when empty — the
+  /// stream needs its terminator). False = stream died.
+  bool finish();
+
+  /// Disown everything streamed so far: send `error` as the kAbort
+  /// frame's payload. The abort bypasses the budget gate — it must get
+  /// out even when the gate is saturated, and it is small by contract.
+  bool abort(const wire::Response& error);
+
+  /// True once any frame of this stream reached the sink — the point of
+  /// no return for answering with a plain (unchunked) response.
+  [[nodiscard]] bool streamed() const { return chunks_ != 0; }
+  /// True once the stream ended (finished, aborted, or died).
+  [[nodiscard]] bool terminated() const { return terminated_; }
+  [[nodiscard]] std::uint64_t chunks() const { return chunks_; }
+  [[nodiscard]] std::uint32_t chunk_bytes() const { return chunk_bytes_; }
+
+ private:
+  bool flush(std::span<const std::uint8_t> payload, std::uint16_t flags);
+
+  std::uint64_t request_id_;
+  std::uint32_t chunk_bytes_;
+  Sink sink_;
+  std::function<bool()> cancelled_;
+  std::vector<std::uint8_t> buf_;
+  std::uint64_t chunks_ = 0;
+  bool terminated_ = false;
+};
+
+}  // namespace exawatt::server

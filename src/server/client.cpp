@@ -24,6 +24,7 @@ Client::Client(ClientOptions options) : options_(std::move(options)) {}
 void Client::disconnect() {
   stream_.close();
   decoder_ = {};
+  assembler_ = net::ChunkAssembler(options_.max_response_bytes);
 }
 
 void Client::ensure_connected() {
@@ -33,6 +34,7 @@ void Client::ensure_connected() {
   stream_ = net::TcpStream::connect(options_.host, options_.port,
                                     options_.connect_timeout_ms);
   decoder_ = {};
+  assembler_ = net::ChunkAssembler(options_.max_response_bytes);
   ever_connected_ = true;
   ++stats_.connects;
   if (reconnecting) ++stats_.reconnect_successes;
@@ -51,6 +53,16 @@ net::Frame Client::read_frame_for(std::uint64_t id, int timeout_ms) {
   for (;;) {
     net::Frame frame;
     while (decoder_.next(frame)) {
+      // Chunked responses reassemble here, transparently: callers only
+      // ever see complete logical frames. A stream-contract violation is
+      // connection-fatal — the byte stream cannot be trusted past it.
+      try {
+        if (!assembler_.feed(frame)) continue;
+      } catch (const net::FrameError& e) {
+        disconnect();
+        throw net::NetError(std::string("chunk stream violation: ") +
+                            e.what());
+      }
       if (frame.type == net::FrameType::kGoodbye) {
         disconnect();
         throw net::NetError(
@@ -90,11 +102,14 @@ wire::Response Client::call(const wire::Request& request) {
             "use Subscription for kSubscribe");
   ++stats_.calls;
   std::string last_error = "unreachable";
+  bool downgrade_retried = false;
   for (int attempt = 0; attempt <= options_.max_reconnects; ++attempt) {
     try {
       ensure_connected();
+      wire::Request effective = request;
+      if (peer_no_chunks_) effective.chunk_bytes = 0;
       const std::uint64_t id = next_id_++;
-      send_request(request, id);
+      send_request(effective, id);
       net::Frame frame = read_frame_for(id, options_.request_timeout_ms);
       // A call()er may receive ticks ahead of its response (a sweep
       // whose mask asked for streaming); they are skipped, not a
@@ -106,12 +121,28 @@ wire::Response Client::call(const wire::Request& request) {
         disconnect();
         throw net::NetError("unexpected frame type from server");
       }
+      wire::Response resp;
       try {
-        return wire::decode_response(frame.payload);
+        resp = wire::decode_response(frame.payload);
       } catch (const wire::WireError& e) {
         disconnect();
         throw net::NetError(std::string("bad response payload: ") + e.what());
       }
+      if (effective.chunk_bytes != 0 &&
+          resp.status == wire::Status::kInvalidArgument &&
+          resp.message.find("trailing bytes") != std::string::npos) {
+        // Mixed-version negotiation: a pre-chunking server rejects the
+        // chunk_bytes extension as trailing bytes. Downgrade (sticky for
+        // this connection's lifetime) and retry once without burning a
+        // reconnect attempt — the connection itself is healthy.
+        peer_no_chunks_ = true;
+        if (!downgrade_retried) {
+          downgrade_retried = true;
+          --attempt;
+          continue;
+        }
+      }
+      return resp;
     } catch (const net::NetError& e) {
       ++stats_.transport_errors;
       last_error = e.what();

@@ -20,6 +20,9 @@ struct ClientOptions {
   /// call() gives up (every method here is an idempotent read, so a
   /// retried request can at worst repeat work, never corrupt state).
   int max_reconnects = 1;
+  /// Cap on one reassembled chunked response (kChunkOversized past it) —
+  /// the client-side bound on what a hostile server can make it buffer.
+  std::size_t max_response_bytes = net::kMaxAssembledResponse;
 };
 
 /// Lifetime link-health counters of one Client. A reconnect is any
@@ -63,8 +66,13 @@ class Client {
   ClientOptions options_;
   net::TcpStream stream_;
   net::FrameDecoder decoder_;
+  net::ChunkAssembler assembler_;
   std::uint64_t next_id_ = 1;
   bool ever_connected_ = false;
+  /// Sticky downgrade: the peer rejected the chunk_bytes extension
+  /// ("trailing bytes..." INVALID_ARGUMENT), so it predates chunking —
+  /// every later request is sent plain, no repeated probe round-trips.
+  bool peer_no_chunks_ = false;
   ClientStats stats_;
 };
 

@@ -1,6 +1,20 @@
 #include "server/server.hpp"
 
+#include <algorithm>
+
+#include "server/chunk.hpp"
+
 namespace exawatt::server {
+
+namespace {
+
+/// Negotiated chunk payload clamp: small enough that one chunk never
+/// monopolizes a gate budget, large enough that framing overhead stays
+/// negligible. The client asked for *about* this much per frame.
+constexpr std::uint32_t kMinChunkBytes = 512;
+constexpr std::uint32_t kMaxChunkBytes = 1u << 20;
+
+}  // namespace
 
 Server::Server(const store::Store& store, ServerOptions options)
     : owned_service_(
@@ -24,6 +38,15 @@ void Server::init_loop(const ServerOptions& options) {
   loop_ = std::make_unique<net::EventLoop>(
       net::TcpListener::bind(options.port, options.loopback_only),
       std::move(callbacks), options.loop);
+  // Chained after whatever augment the service owner installed (a
+  // coordinator adds shard health first; both run).
+  service_.set_stats_augment([this](wire::ServerStatsWire& s) {
+    s.streams += streams_.load(std::memory_order_relaxed);
+    s.stream_chunks += stream_chunks_.load(std::memory_order_relaxed);
+    const net::LoopStats ls = loop_->stats();
+    s.stream_pauses += ls.stream_pauses;
+    s.stream_resumes += ls.stream_resumes;
+  });
 }
 
 void Server::on_open(net::ConnId conn) {
@@ -79,18 +102,69 @@ void Server::on_frame(net::ConnId conn, net::Frame&& frame) {
     return;
   }
 
+  const CancelToken token = token_of(conn);
+
+  // Chunked streaming, when the request negotiated it: the writer slices
+  // encoded response bytes into kChunk/kFinal frames whose budget it
+  // acquires from this connection's stream gate — a peer that stops
+  // draining pauses the producing worker instead of ballooning memory.
+  std::shared_ptr<ChunkWriter> writer;
+  if (request.chunk_bytes != 0) {
+    const std::shared_ptr<net::StreamGate> gate = loop_->gate_of(conn);
+    if (gate != nullptr) {
+      ChunkWriter::Sink sink;
+      sink.acquire = [gate](std::size_t n,
+                            const std::function<bool()>& cancelled) {
+        return gate->acquire(n, cancelled);
+      };
+      sink.send = [this, conn](std::vector<std::uint8_t>&& bytes) {
+        return loop_->send(conn, std::move(bytes), /*gated=*/true);
+      };
+      writer = std::make_shared<ChunkWriter>(
+          request_id,
+          std::clamp(request.chunk_bytes, kMinChunkBytes, kMaxChunkBytes),
+          std::move(sink),
+          [token] { return token->load(std::memory_order_relaxed); });
+      streams_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   // Completion + ticks hop back to the loop thread via the mailbox; a
   // send to a vanished connection is a no-op (its token is tripped).
   auto emit = [this, conn, request_id](const wire::Tick& tick) {
     loop_->send(conn, net::encode_frame(net::FrameType::kTick, request_id,
                                         wire::encode_tick(tick)));
   };
-  auto done = [this, conn, request_id](wire::Response&& resp) {
+  auto done = [this, conn, request_id, writer](wire::Response&& resp) {
+    if (writer != nullptr) {
+      if (!writer->terminated()) {
+        if (resp.status == wire::Status::kOk) {
+          // Materialized-but-chunked path (executor body that ignores
+          // the stream): runs on a pool thread, so blocking on the gate
+          // here is the intended backpressure. A streaming body already
+          // terminated the writer and never reaches this.
+          const auto payload = wire::encode_response(resp);
+          if (writer->write(payload)) (void)writer->finish();
+        } else if (writer->streamed()) {
+          // Failure after fragments went out: disown them with kAbort.
+          (void)writer->abort(resp);
+        } else {
+          // Nothing streamed yet, and error dones can run inline on the
+          // loop thread (shed/drain/invalid) — a plain ungated frame
+          // must not block on the gate that very thread drains.
+          loop_->send(conn,
+                      net::encode_frame(net::FrameType::kResponse, request_id,
+                                        wire::encode_response(resp)));
+        }
+      }
+      stream_chunks_.fetch_add(writer->chunks(), std::memory_order_relaxed);
+      return;
+    }
     loop_->send(conn, net::encode_frame(net::FrameType::kResponse, request_id,
                                         wire::encode_response(resp)));
   };
-  service_.submit(std::move(request), token_of(conn), std::move(emit),
-                  std::move(done));
+  service_.submit(std::move(request), token, std::move(emit),
+                  std::move(done), writer.get());
 }
 
 void Server::run(const std::function<bool()>& until, int tick_ms) {

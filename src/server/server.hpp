@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -65,6 +66,11 @@ class Server {
   std::unique_ptr<QueryService> owned_service_;
   QueryService& service_;
   std::unique_ptr<net::EventLoop> loop_;
+
+  /// Chunked-streaming counters, surfaced via the kServerStats augment
+  /// (pause/resume counts come from the loop's stream gates).
+  std::atomic<std::uint64_t> streams_{0};
+  std::atomic<std::uint64_t> stream_chunks_{0};
 
   std::mutex mu_;
   std::map<net::ConnId, CancelToken> tokens_;

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "scenario/engine.hpp"
+#include "server/chunk.hpp"
 #include "stream/replay.hpp"
 #include "telemetry/metric.hpp"
 #include "util/check.hpp"
@@ -162,7 +163,8 @@ wire::Response execute_on_store(const store::Store& store,
                                 const wire::Request& request,
                                 const CancelToken& cancel,
                                 std::int64_t deadline_us,
-                                const QueryService::Emit& emit) {
+                                const QueryService::Emit& emit,
+                                ChunkWriter* stream) {
   wire::Response resp;
   resp.method = request.method;
   std::string why;
@@ -191,8 +193,59 @@ wire::Response execute_on_store(const store::Store& store,
         resp.message = "range begin > end";
         break;
       }
-      resp.runs = store.query_many(request.metrics, request.range, nullptr,
-                                   &resp.stats);
+      if (stream == nullptr) {
+        resp.runs = store.query_many(request.metrics, request.range, nullptr,
+                                     &resp.stats);
+        break;
+      }
+      // Chunked path: runs flow one at a time from the decoded-block
+      // cache through the ChunkWriter into the connection's gated
+      // outbox — peak resident bytes are one run plus the stream
+      // budget, not the result size. The concatenated stream encoding
+      // is byte-identical to encode_response of the materialized
+      // result; resp.runs stays empty (already on the wire).
+      bool expired = false;
+      std::vector<std::uint8_t> buf;
+      wire::scan_stream_begin(request.metrics.size(), &buf);
+      bool alive = stream->write(buf);
+      if (alive) {
+        alive = store.scan(
+            request.metrics, request.range,
+            [&](store::MetricRun&& run) {
+              if (deadline_us != 0 && clock.now_us() > deadline_us) {
+                expired = true;
+                return false;
+              }
+              if (cancel != nullptr &&
+                  cancel->load(std::memory_order_relaxed)) {
+                return false;
+              }
+              buf.clear();
+              wire::scan_stream_run(run, &buf);
+              return stream->write(buf);
+            },
+            &resp.stats);
+      }
+      if (alive) {
+        buf.clear();
+        wire::scan_stream_end(resp.stats, &buf);
+        if (!stream->write(buf) || !stream->finish()) {
+          resp.status = wire::Status::kCancelled;
+          resp.message = "stream died mid-scan";
+        }
+        break;
+      }
+      // The scan stopped early: deadline, cancel, or a dead stream. The
+      // fragments already sent are disowned by the kAbort frame carrying
+      // this error response.
+      const bool peer_gone =
+          cancel != nullptr && cancel->load(std::memory_order_relaxed);
+      resp.status = expired ? wire::Status::kDeadlineExceeded
+                            : wire::Status::kCancelled;
+      resp.message = expired ? "deadline expired during scan"
+                             : (peer_gone ? "client disconnected during scan"
+                                          : "stream died mid-scan");
+      if (!stream->terminated()) stream->abort(resp);
       break;
     }
     case wire::Method::kClusterSum: {
@@ -308,9 +361,10 @@ QueryService::Executor make_store_executor(const store::Store& store,
   return [&store, resolved](const wire::Request& request,
                             const CancelToken& cancel,
                             std::int64_t deadline_us,
-                            const QueryService::Emit& emit) {
+                            const QueryService::Emit& emit,
+                            ChunkWriter* stream) {
     return execute_on_store(store, *resolved, request, cancel, deadline_us,
-                            emit);
+                            emit, stream);
   };
 }
 
@@ -337,13 +391,14 @@ void QueryService::set_subscribe_source(SubscribeSource source) {
 
 void QueryService::set_stats_augment(StatsAugment augment) {
   std::lock_guard lk(mu_);
-  stats_augment_ = std::move(augment);
+  stats_augments_.push_back(std::move(augment));
 }
 
 wire::Response QueryService::execute(const wire::Request& request,
                                      const CancelToken& cancel,
                                      std::int64_t deadline_us,
-                                     const Emit& emit) const {
+                                     const Emit& emit,
+                                     ChunkWriter* stream) const {
   if (request.method == wire::Method::kServerStats) {
     // The counters are the service's own, so stats never defer to the
     // executor — a coordinator augments the snapshot with its link
@@ -361,15 +416,15 @@ wire::Response QueryService::execute(const wire::Request& request,
     resp.server.queue_limit = options_.queue_limit;
     resp.server.p50_ms = m.p50_ms;
     resp.server.p99_ms = m.p99_ms;
-    StatsAugment augment;
+    std::vector<StatsAugment> augments;
     {
       std::lock_guard lk(mu_);
-      augment = stats_augment_;
+      augments = stats_augments_;
     }
-    if (augment) augment(resp.server);
+    for (const StatsAugment& augment : augments) augment(resp.server);
     return resp;
   }
-  return executor_(request, cancel, deadline_us, emit);
+  return executor_(request, cancel, deadline_us, emit, stream);
 }
 
 void QueryService::finish(std::int64_t admitted_us, wire::Response&& response,
@@ -394,7 +449,7 @@ void QueryService::finish(std::int64_t admitted_us, wire::Response&& response,
 }
 
 void QueryService::submit(wire::Request request, CancelToken cancel,
-                          Emit emit, Done done) {
+                          Emit emit, Done done, ChunkWriter* stream) {
   SubscribeSource subscribe;
   {
     std::lock_guard lk(mu_);
@@ -435,7 +490,7 @@ void QueryService::submit(wire::Request request, CancelToken cancel,
   pool_.submit([this, request = std::move(request),
                 cancel = std::move(cancel), emit = std::move(emit),
                 done = std::move(done), subscribe = std::move(subscribe),
-                admitted_us, deadline_us] {
+                stream, admitted_us, deadline_us] {
     wire::Response resp;
     resp.method = request.method;
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
@@ -466,7 +521,7 @@ void QueryService::submit(wire::Request request, CancelToken cancel,
           }
         }
       } else {
-        resp = execute(request, cancel, deadline_us, emit);
+        resp = execute(request, cancel, deadline_us, emit, stream);
         if (deadline_us != 0 && clock_.now_us() > deadline_us) {
           // Finished too late to be useful; report it as such so the
           // latency SLO accounting reflects what the client saw.

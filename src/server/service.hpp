@@ -14,6 +14,8 @@
 
 namespace exawatt::server {
 
+class ChunkWriter;
+
 /// Cooperative cancellation: the server trips one token per connection
 /// when the peer disconnects; queued work observes it before starting,
 /// streaming work between ticks.
@@ -98,13 +100,21 @@ class QueryService {
   /// cannot stream): kScenarioSweep pushes per-variant windows through
   /// it ahead of the summary response, every other method ignores it.
   /// kServerStats never reaches the executor: the service answers it
-  /// itself (the counters are its own).
+  /// itself (the counters are its own). `stream` (null when the request
+  /// did not negotiate chunking) is the chunked response channel: a
+  /// streaming-aware body writes encoded response bytes through it as
+  /// they are produced — pausing under backpressure inside
+  /// ChunkWriter — and returns a kOk response with `streamed` data left
+  /// empty; a body that ignores it is materialized and chunked by the
+  /// server afterwards.
   using Executor = std::function<wire::Response(
-      const wire::Request&, const CancelToken&, std::int64_t,
-      const Emit&)>;
+      const wire::Request&, const CancelToken&, std::int64_t, const Emit&,
+      ChunkWriter*)>;
 
   /// Hook appending endpoint-specific fields to a kServerStats response
-  /// (a coordinator fills the shard/reconnect counters here).
+  /// (a coordinator fills the shard/reconnect counters, the server its
+  /// streaming counters). Augments chain: each registered hook runs in
+  /// registration order over the same snapshot.
   using StatsAugment = std::function<void(wire::ServerStatsWire&)>;
 
   /// Store-backed service: executor = `make_store_executor(store, ...)`.
@@ -114,10 +124,13 @@ class QueryService {
 
   /// No subscription source installed => kSubscribe gets kUnimplemented.
   void set_subscribe_source(SubscribeSource source);
+  /// Appends (does not replace): augments accumulate and run in order.
   void set_stats_augment(StatsAugment augment);
 
+  /// `stream` must outlive the request (the server keeps its shared_ptr
+  /// alive in `done`); null = the request did not negotiate chunking.
   void submit(wire::Request request, CancelToken cancel, Emit emit,
-              Done done);
+              Done done, ChunkWriter* stream = nullptr);
 
   [[nodiscard]] ServiceMetrics metrics() const;
   [[nodiscard]] std::size_t queue_limit() const {
@@ -133,7 +146,7 @@ class QueryService {
   /// share, so over-the-wire results are the store's results by
   /// construction.
   [[nodiscard]] wire::Response execute(const wire::Request& request) const {
-    return execute(request, nullptr, 0, nullptr);
+    return execute(request, nullptr, 0, nullptr, nullptr);
   }
 
   /// Same, with cooperative interruption: long-running bodies (the PUE
@@ -144,15 +157,17 @@ class QueryService {
   [[nodiscard]] wire::Response execute(const wire::Request& request,
                                        const CancelToken& cancel,
                                        std::int64_t deadline_us) const {
-    return execute(request, cancel, deadline_us, nullptr);
+    return execute(request, cancel, deadline_us, nullptr, nullptr);
   }
 
-  /// Full form with the tick channel (sweep streaming); `emit` may be
-  /// null, in which case streaming methods answer without ticks.
+  /// Full form with the tick channel (sweep streaming) and the chunked
+  /// response channel; both may be null, in which case streaming methods
+  /// answer without ticks and results materialize in the Response.
   [[nodiscard]] wire::Response execute(const wire::Request& request,
                                        const CancelToken& cancel,
                                        std::int64_t deadline_us,
-                                       const Emit& emit) const;
+                                       const Emit& emit,
+                                       ChunkWriter* stream = nullptr) const;
 
  private:
   void finish(std::int64_t admitted_us, wire::Response&& response,
@@ -163,7 +178,7 @@ class QueryService {
   util::ThreadPool& pool_;
   util::Clock& clock_;
   SubscribeSource subscribe_;
-  StatsAugment stats_augment_;
+  std::vector<StatsAugment> stats_augments_;
 
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;

@@ -306,6 +306,15 @@ std::vector<std::uint8_t> encode_request(const Request& req) {
       }
       break;
   }
+  // Trailing (tag,value) extension block, written only when a non-default
+  // option is set: a peer that predates it sees "trailing bytes after
+  // request" (per-request INVALID_ARGUMENT, connection intact) and the
+  // Client falls back to a plain request — never a silent misparse.
+  if (req.chunk_bytes != 0) {
+    w.u32(1);  // extension count
+    w.u32(1);  // tag 1: chunk_bytes
+    w.u32(req.chunk_bytes);
+  }
   return w.take();
 }
 
@@ -368,6 +377,22 @@ Request decode_request(std::span<const std::uint8_t> payload) {
         req.scenarios.push_back(read_spec(r));
       }
       break;
+    }
+  }
+  if (!r.done()) {
+    // (tag,value) extensions appended by newer clients; unknown tags are
+    // skipped so this decoder stays forward-compatible.
+    const std::uint32_t n_ext = r.u32();
+    if (n_ext > r.remaining() / 8) {
+      throw WireError("declared count exceeds payload");
+    }
+    for (std::uint32_t i = 0; i < n_ext; ++i) {
+      const std::uint32_t tag = r.u32();
+      const std::uint32_t value = r.u32();
+      switch (tag) {
+        case 1: req.chunk_bytes = value; break;
+        default: break;  // newer peer's option — skip
+      }
     }
   }
   if (!r.done()) throw WireError("trailing bytes after request");
@@ -435,11 +460,15 @@ std::vector<std::uint8_t> encode_response(const Response& resp) {
       // transport-looking WireErrors — an old decoder skips fields it
       // does not know, a new decoder zero-fills fields an old server
       // never sent.
-      w.u64(4);
+      w.u64(8);
       w.u64(resp.server.reconnects_attempted);
       w.u64(resp.server.reconnects_succeeded);
       w.u64(resp.server.shards_total);
       w.u64(resp.server.shards_down);
+      w.u64(resp.server.streams);
+      w.u64(resp.server.stream_chunks);
+      w.u64(resp.server.stream_pauses);
+      w.u64(resp.server.stream_resumes);
       break;
     case Method::kDirectory:
       w.u64(resp.directory.total_events);
@@ -564,6 +593,10 @@ Response decode_response(std::span<const std::uint8_t> payload) {
             case 1: resp.server.reconnects_succeeded = v; break;
             case 2: resp.server.shards_total = v; break;
             case 3: resp.server.shards_down = v; break;
+            case 4: resp.server.streams = v; break;
+            case 5: resp.server.stream_chunks = v; break;
+            case 6: resp.server.stream_pauses = v; break;
+            case 7: resp.server.stream_resumes = v; break;
             default: break;  // newer peer's counter — skip
           }
         }
@@ -618,6 +651,36 @@ Response decode_response(std::span<const std::uint8_t> payload) {
   }
   if (!r.done()) throw WireError("trailing bytes after response");
   return resp;
+}
+
+void scan_stream_begin(std::size_t n_runs, std::vector<std::uint8_t>* out) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Status::kOk));
+  w.u8(static_cast<std::uint8_t>(Method::kScan));
+  w.u64(n_runs);
+  const auto bytes = w.take();
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+void scan_stream_run(const store::MetricRun& run,
+                     std::vector<std::uint8_t>* out) {
+  Writer w;
+  w.u32(run.id);
+  w.u64(run.samples.size());
+  for (const ts::Sample& s : run.samples) {
+    w.i64(s.t);
+    w.f64(s.value);
+  }
+  const auto bytes = w.take();
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+void scan_stream_end(const store::QueryStats& stats,
+                     std::vector<std::uint8_t>* out) {
+  Writer w;
+  write_stats(w, stats);
+  const auto bytes = w.take();
+  out->insert(out->end(), bytes.begin(), bytes.end());
 }
 
 std::vector<std::uint8_t> encode_tick(const Tick& tick) {

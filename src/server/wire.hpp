@@ -82,6 +82,15 @@ struct Request {
 
   /// kScenario (exactly one) / kScenarioSweep (1..kMaxSweepVariants).
   std::vector<scenario::ScenarioSpec> scenarios;
+
+  /// Nonzero opts this request into chunked streaming responses: the
+  /// server may answer with kChunk/kFinal continuation frames of about
+  /// this payload size instead of one materialized response. Travels as
+  /// a trailing (tag,value) extension block — a pre-chunking server
+  /// rejects it with INVALID_ARGUMENT ("trailing bytes"), which the
+  /// Client treats as "peer too old" and transparently retries without
+  /// it, so mixed-version fleets keep working.
+  std::uint32_t chunk_bytes = 0;
 };
 
 /// Server-side service counters (kServerStats response payload).
@@ -103,6 +112,12 @@ struct ServerStatsWire {
   std::uint64_t reconnects_succeeded = 0;
   std::uint64_t shards_total = 0;
   std::uint64_t shards_down = 0;
+  /// Chunked-streaming health: responses streamed, chunk frames sent,
+  /// and producer pauses/resumes at the per-connection stream gate.
+  std::uint64_t streams = 0;
+  std::uint64_t stream_chunks = 0;
+  std::uint64_t stream_pauses = 0;
+  std::uint64_t stream_resumes = 0;
 };
 
 /// kDirectory response payload: the store's sealed-segment directory
@@ -173,6 +188,18 @@ struct Tick {
 
 [[nodiscard]] std::vector<std::uint8_t> encode_tick(const Tick& tick);
 [[nodiscard]] Tick decode_tick(std::span<const std::uint8_t> payload);
+
+/// Chunked-scan streaming encoders. A streamed kScan response is built
+/// as begin (status, method, run count), one `run` block per metric in
+/// request order, and end (the QueryStats tail); the concatenation is
+/// byte-identical to `encode_response` of the materialized response —
+/// bit-parity by construction, so the client-side reassembler needs no
+/// streaming-aware decoder. All three append to `*out`.
+void scan_stream_begin(std::size_t n_runs, std::vector<std::uint8_t>* out);
+void scan_stream_run(const store::MetricRun& run,
+                     std::vector<std::uint8_t>* out);
+void scan_stream_end(const store::QueryStats& stats,
+                     std::vector<std::uint8_t>* out);
 
 /// Sum of events carried by a response (scan sample counts / window_sum
 /// event counts / roll-up windows) — the loadgen's "read volume" unit.

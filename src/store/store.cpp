@@ -305,6 +305,65 @@ std::vector<MetricRun> Store::query_many(
   return out;
 }
 
+bool Store::scan(std::span<const telemetry::MetricId> ids,
+                 util::TimeRange range,
+                 const std::function<bool(MetricRun&&)>& sink,
+                 QueryStats* stats) const {
+  std::vector<const LiveSegment*> relevant;
+  for (const auto& seg : segments_) {
+    if (seg.reader.bounds().overlaps(range)) relevant.push_back(&seg);
+  }
+
+  // Parity bookkeeping against query_many: a vanished segment is charged
+  // once per segment (per-id scans would re-charge it for every id), and
+  // a duplicate requested id reuses its first run instead of re-scanning
+  // (which would double-charge that metric's damaged blocks).
+  std::vector<bool> segment_charged(relevant.size(), false);
+  std::unordered_map<telemetry::MetricId, std::size_t> want_count;
+  for (const telemetry::MetricId id : ids) ++want_count[id];
+  std::unordered_map<telemetry::MetricId, std::vector<ts::Sample>> dup_runs;
+
+  QueryStats total;
+  bool completed = true;
+  for (const telemetry::MetricId id : ids) {
+    MetricRun run;
+    run.id = id;
+    const auto dup = dup_runs.find(id);
+    if (dup != dup_runs.end()) {
+      run.samples = dup->second;
+    } else {
+      for (std::size_t si = 0; si < relevant.size(); ++si) {
+        QueryStats local;
+        relevant[si]->reader.scan(id, range, run.samples, &local,
+                                  cache_.get());
+        if (local.lost_segments != 0) {
+          if (segment_charged[si]) {
+            local.lost_segments = 0;
+          } else {
+            segment_charged[si] = true;
+          }
+        }
+        total.merge(local);
+      }
+      for (const auto& [day, buf] : mem_) {
+        for (const auto& ev : buf) {
+          if (ev.id == id && range.contains(ev.t)) {
+            run.samples.push_back({ev.t, static_cast<double>(ev.value)});
+          }
+        }
+      }
+      std::sort(run.samples.begin(), run.samples.end(), sample_less);
+      if (want_count[id] > 1) dup_runs.emplace(id, run.samples);
+    }
+    if (!sink(std::move(run))) {
+      completed = false;
+      break;
+    }
+  }
+  if (stats != nullptr) stats->merge(total);
+  return completed;
+}
+
 WindowSum Store::window_sum(telemetry::MetricId id, util::TimeRange range,
                             util::TimeSec window, util::ThreadPool* pool,
                             QueryStats* stats) const {

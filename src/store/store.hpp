@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
@@ -138,6 +139,19 @@ class Store {
   [[nodiscard]] std::vector<MetricRun> query_many(
       std::span<const telemetry::MetricId> ids, util::TimeRange range,
       util::ThreadPool* pool = nullptr, QueryStats* stats = nullptr) const;
+
+  /// Streaming variant of `query_many` for chunked serving: runs are
+  /// produced one requested id at a time and handed to `sink` instead of
+  /// being materialized together, so peak memory is one run, not the
+  /// result set. The sink returning false stops the scan (backpressure
+  /// cancel); returns false iff stopped early. Results and loss
+  /// accounting are identical to `query_many` over the same ids —
+  /// duplicates get the full run again, a vanished segment charges
+  /// `lost_segments` once per segment (not once per id), and damaged
+  /// blocks charge once since each block belongs to one metric.
+  bool scan(std::span<const telemetry::MetricId> ids, util::TimeRange range,
+            const std::function<bool(MetricRun&&)>& sink,
+            QueryStats* stats = nullptr) const;
 
   /// Fused decode-aggregate query: the exact per-window sum and event
   /// count of `id` over `range`, computed without materializing samples —

@@ -1179,6 +1179,56 @@ int cmd_servecheck(const util::Flags& flags) {
       if (!ok) ++violations;
     }
 
+    // Chunked transport: the same scan and pue_rollup negotiated as a
+    // kChunk/kFinal stream (4 KiB slices through the connection's
+    // stream gate) must reassemble to the identical answers — the
+    // streaming path is transport, never semantics.
+    req = {};
+    req.method = server::wire::Method::kScan;
+    for (const machine::NodeId node : nodes) {
+      req.metrics.push_back(telemetry::metric_id(node, channel));
+    }
+    req.range = window;
+    req.chunk_bytes = 4096;
+    {
+      const auto resp = client.call(req);
+      const auto direct = store.query_many(req.metrics, window);
+      const bool ok = resp.status == server::wire::Status::kOk &&
+                      runs_same(resp.runs, direct);
+      std::printf("chunked scan wire parity: %s (%zu runs)\n",
+                  ok ? "bit-identical" : "DIVERGED", direct.size());
+      if (!ok) ++violations;
+    }
+    req = {};
+    req.method = server::wire::Method::kPueRollup;
+    req.nodes = nodes;
+    req.range = window;
+    req.window = 10;
+    req.chunk_bytes = 4096;
+    {
+      const auto resp = client.call(req);
+      const bool ok = resp.status == server::wire::Status::kOk &&
+                      bit_same(resp.series, offline.power) &&
+                      bit_same(resp.pue, offline.pue);
+      std::printf("chunked pue_rollup wire parity: %s (%zu windows)\n",
+                  ok ? "bit-identical" : "DIVERGED", offline.power.size());
+      if (!ok) ++violations;
+    }
+    req = {};
+    req.method = server::wire::Method::kServerStats;
+    {
+      const auto resp = client.call(req);
+      const bool ok = resp.status == server::wire::Status::kOk &&
+                      resp.server.streams >= 2 &&
+                      resp.server.stream_chunks >= 2;
+      std::printf("chunked transport: %llu streams, %llu chunk frames "
+                  "reported — %s\n",
+                  static_cast<unsigned long long>(resp.server.streams),
+                  static_cast<unsigned long long>(resp.server.stream_chunks),
+                  ok ? "streamed" : "NOT STREAMED");
+      if (!ok) ++violations;
+    }
+
     // Subscription: window ticks must match the offline replay series.
     req = {};
     req.method = server::wire::Method::kSubscribe;

@@ -2,7 +2,7 @@
 //
 //   loadgen --port 4626 --threads 8 --seconds 10 --nodes 32
 //       [--deadline MS] [--range-begin S --range-end S] [--subscribe]
-//       [--scenario]
+//       [--scenario] [--connections N]
 //   loadgen --cluster 4701,4702,4703 --threads 8 --seconds 10
 //
 // Each thread owns one connection and issues a mixed read workload
@@ -21,6 +21,15 @@
 // twice or more — so they shift the load from the wire to the pool and
 // are the right stressor for admission control and deadline policy.
 //
+// --connections N adds an idle-heavy open-loop herd on top of the
+// worker mix: N extra connections are opened and *held* for the whole
+// run, each pinged once per --idle-every seconds on a fixed schedule
+// (open loop: the schedule never adapts to response times, so a server
+// that slows down accumulates lag instead of hiding it). This is the
+// many-connection soak — dashboards and collectors that sit connected
+// doing almost nothing — and the herd's ping latency is reported apart
+// from the busy workers' percentiles. Raises RLIMIT_NOFILE as needed.
+//
 // --cluster PORTS (or HOST:PORT,...) drives a scatter-gather
 // coordinator over the listed shard servers instead of one server: all
 // threads share the coordinator, and the report adds a per-shard
@@ -28,6 +37,8 @@
 //
 // The default --nodes/--range match `exawatt_sim simulate --store`'s
 // defaults (32 instrumented nodes, 30 minutes at 1 Hz).
+
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <array>
@@ -104,6 +115,27 @@ std::vector<exawatt::cluster::Endpoint> parse_endpoints(
   return eps;
 }
 
+/// Best-effort soft-cap raise for the idle herd; returns the cap now in
+/// force so the caller can refuse an impossible --connections ask.
+rlim_t raise_nofile(rlim_t want) {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) return 1024;
+  if (lim.rlim_cur < want) {
+    rlimit raised = lim;
+    raised.rlim_cur = std::min<rlim_t>(want, lim.rlim_max);
+    if (setrlimit(RLIMIT_NOFILE, &raised) == 0) lim = raised;
+  }
+  return lim.rlim_cur;
+}
+
+/// The idle herd: `herd.size()` held-open connections, each pinged once
+/// per `every_s` on a fixed stagger. Returns ping latencies (ms).
+struct IdleHerdReport {
+  std::uint64_t pings = 0;
+  std::uint64_t errors = 0;
+  std::vector<double> latency_ms;
+};
+
 void print_shard_breakdown(
     const std::vector<exawatt::cluster::ShardStats>& shards) {
   exawatt::util::TextTable t({"shard", "endpoint", "up", "calls", "ok",
@@ -145,6 +177,10 @@ int main(int argc, char** argv) {
   const bool scenarios = flags.has("scenario");
   const util::TimeRange range{flags.get_int("range-begin", 0),
                               flags.get_int("range-end", 30 * 60)};
+  const auto idle_connections = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, flags.get_int("connections", 0)));
+  const double idle_every =
+      std::max(0.5, flags.get_number("idle-every", 5.0));
 
   const int channel =
       telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
@@ -177,9 +213,75 @@ int main(int argc, char** argv) {
                 scenarios ? ", 15% scenario replays" : "");
   }
 
+  // The idle-heavy herd opens before the clock starts so the workers
+  // below measure a server already holding every connection.
+  std::vector<std::unique_ptr<server::Client>> herd;
+  IdleHerdReport herd_report;
+  if (idle_connections > 0 && coordinator == nullptr) {
+    const rlim_t cap =
+        raise_nofile(static_cast<rlim_t>(idle_connections) + 256);
+    if (idle_connections + 128 > cap) {
+      std::fprintf(stderr,
+                   "loadgen: --connections %zu exceeds the fd cap (%llu); "
+                   "raise ulimit -n\n",
+                   idle_connections, static_cast<unsigned long long>(cap));
+      return 1;
+    }
+    server::wire::Request ping;
+    ping.method = server::wire::Method::kPing;
+    herd.reserve(idle_connections);
+    for (std::size_t i = 0; i < idle_connections; ++i) {
+      herd.push_back(std::make_unique<server::Client>(copts));
+      try {
+        (void)herd.back()->call(ping);  // establish the connection now
+      } catch (const net::NetError&) {
+        ++herd_report.errors;  // lazily retried by the caretaker below
+      }
+    }
+    std::printf("idle herd: %zu connections held, one ping each per "
+                "%.1f s (open loop)\n",
+                herd.size(), idle_every);
+  }
+
   const auto t0 = Clock::now();
   const auto until = t0 + std::chrono::duration_cast<Clock::duration>(
                               std::chrono::duration<double>(seconds));
+
+  // Caretaker: walks the herd on a fixed stagger — the schedule never
+  // adapts to response times (open loop), so server slowdowns surface as
+  // lag in the herd's own latency numbers.
+  std::thread caretaker;
+  if (!herd.empty()) {
+    caretaker = std::thread([&] {
+      server::wire::Request ping;
+      ping.method = server::wire::Method::kPing;
+      const auto step = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(idle_every /
+                                        static_cast<double>(herd.size())));
+      auto next_at = Clock::now();
+      std::size_t i = 0;
+      while (Clock::now() < until) {
+        std::this_thread::sleep_until(next_at);
+        next_at += step;
+        if (Clock::now() >= until) break;
+        const auto sent_at = Clock::now();
+        try {
+          const auto resp = herd[i]->call(ping);
+          ++herd_report.pings;
+          if (resp.status == server::wire::Status::kOk) {
+            herd_report.latency_ms.push_back(
+                std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          sent_at)
+                    .count());
+          }
+        } catch (const net::NetError&) {
+          ++herd_report.errors;
+        }
+        i = (i + 1) % herd.size();
+      }
+    });
+  }
+
   std::vector<WorkerStats> per_thread(threads);
   std::vector<std::thread> pool;
   pool.reserve(threads);
@@ -293,6 +395,7 @@ int main(int argc, char** argv) {
     });
   }
   for (auto& t : pool) t.join();
+  if (caretaker.joinable()) caretaker.join();
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - t0).count();
 
@@ -374,6 +477,20 @@ int main(int argc, char** argv) {
                   std::string(std::max<std::size_t>(width, 1), '#').c_str(),
                   static_cast<unsigned long long>(total.histogram[b]));
     }
+  }
+  if (!herd.empty()) {
+    auto& lat = herd_report.latency_ms;
+    std::sort(lat.begin(), lat.end());
+    const auto pct = [&](double q) {
+      return lat.empty() ? 0.0
+                         : lat[static_cast<std::size_t>(
+                               q * static_cast<double>(lat.size() - 1))];
+    };
+    std::printf("idle herd: %llu pings (%llu errors), p50 %.3f ms, "
+                "p99 %.3f ms\n",
+                static_cast<unsigned long long>(herd_report.pings),
+                static_cast<unsigned long long>(herd_report.errors),
+                pct(0.5), pct(0.99));
   }
   if (coordinator != nullptr) {
     print_shard_breakdown(coordinator->shard_stats());
