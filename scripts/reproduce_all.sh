@@ -18,11 +18,24 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 grep -q "sustained: MET" bench_stream_output.txt
 
 # On-disk store next: persisting the same feed must beat sim-real-time
-# (>= 462,600 events/s written through seal+fsync-free path), and the
-# decoded-block cache must make repeated queries >= 5x cheaper.
+# (>= 462,600 events/s written through seal+fsync-free path), the
+# decoded-block cache must make repeated queries >= 5x cheaper, the mmap
+# warm tier must beat buffered cold reads >= 1.3x, and the zero-copy
+# chunked scan must keep its staged bytes flat (<= one chunk) regardless
+# of archive size.
 ./build/bench/bench_store 2>&1 | tee bench_store_output.txt
 grep -q "store write: MET" bench_store_output.txt
 grep -q "cache-hit repeated query: .* MET" bench_store_output.txt
+grep -q "warm-tier scan: .* -- MET" bench_store_output.txt
+grep -q "stream peak staged: .* -- MET" bench_store_output.txt
+grep -q "compaction: " bench_store_output.txt
+
+# The compaction crash sweep doubles as a runnable artifact: every write
+# point of a merge+retention pass must recover without losing a
+# committed event.
+./build/tools/exawatt_sim compactcheck --nodes 6 --minutes 4 \
+    --store build/compactcheck_repro | tee compactcheck_output.txt
+grep -q "compactcheck: PASS" compactcheck_output.txt
 
 # Codec fast path: the bulk varint decode tier must be >= 2x the scalar
 # reference on the smooth-telemetry batch (bit-identical bytes).

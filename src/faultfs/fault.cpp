@@ -274,6 +274,52 @@ std::vector<std::uint8_t> FaultVfs::read_all(const std::string& path) {
   return out;
 }
 
+namespace {
+
+// A mapping backed by an owned byte vector — used when a read fault
+// corrupted the mapped view, so the damage stays private to this
+// mapping and never touches the base file or other readers.
+class CopyMapping final : public util::VfsMapping {
+ public:
+  explicit CopyMapping(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const override {
+    return bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace
+
+std::shared_ptr<util::VfsMapping> FaultVfs::map(const std::string& path) {
+  const auto due = next_read_op();
+  for (const auto& f : due) {
+    if (f.kind == FaultKind::kFailRead) {
+      throw util::VfsError("faultfs: injected map failure: " + path,
+                           f.transient);
+    }
+  }
+  for (const auto& f : due) {
+    if (f.kind == FaultKind::kDelayRead) {
+      clock_->sleep_us(static_cast<std::int64_t>(f.arg));
+    }
+  }
+  auto mapping = base_.map(path);
+  if (mapping == nullptr) return nullptr;
+  const bool flips = std::any_of(
+      due.begin(), due.end(),
+      [](const Fault& f) { return f.kind == FaultKind::kFlipBit; });
+  if (flips) {
+    const auto view = mapping->bytes();
+    std::vector<std::uint8_t> copy(view.begin(), view.end());
+    apply_read_faults(due, path, copy);
+    return std::make_shared<CopyMapping>(std::move(copy));
+  }
+  return mapping;
+}
+
 std::uint64_t FaultVfs::size(const std::string& path) {
   return base_.size(path);
 }

@@ -109,6 +109,12 @@ class FaultVfs final : public util::Vfs {
   void remove(const std::string& path) override;
   void mkdirs(const std::string& path) override;
   [[nodiscard]] std::vector<std::string> list(const std::string& dir) override;
+  /// Mapping claims one read-side op: fail-read faults make the map
+  /// attempt throw (callers fall back to buffered reads), flip-bit
+  /// faults return a mapping backed by a corrupted private copy (so
+  /// CRC checks downstream see the damage), delay-read sleeps.
+  [[nodiscard]] std::shared_ptr<util::VfsMapping> map(
+      const std::string& path) override;
 
   [[nodiscard]] FaultStats stats() const;
   /// Swap the schedule mid-run (op counters keep counting) — used to arm

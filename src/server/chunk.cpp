@@ -39,17 +39,35 @@ bool ChunkWriter::flush(std::span<const std::uint8_t> payload,
 
 bool ChunkWriter::write(std::span<const std::uint8_t> bytes) {
   if (terminated_) return false;
-  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
-  // Flush whole chunks, keep the tail buffered: the final slice must
-  // travel as kFinal and we cannot know it is final until finish().
+  // Zero-copy forwarding: top the buffered tail up to one full chunk,
+  // then flush whole chunks straight from the caller's span — a large
+  // write (an encoded block sliced from a mapped segment) never
+  // round-trips through buf_. Only the sub-chunk remainder is copied:
+  // it must wait, because the final slice travels as kFinal and we
+  // cannot know it is final until finish(). Chunk payloads are exactly
+  // chunk_bytes and buf_ never exceeds chunk_bytes, same as the
+  // copy-through encoding this replaces (byte-identical stream).
   std::size_t off = 0;
-  while (buf_.size() - off > chunk_bytes_) {
-    if (!flush({buf_.data() + off, chunk_bytes_}, net::kFrameFlagChunk)) {
+  if (!buf_.empty()) {
+    if (buf_.size() + bytes.size() <= chunk_bytes_) {
+      buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+      return true;
+    }
+    const std::size_t take = chunk_bytes_ - buf_.size();
+    buf_.insert(buf_.end(), bytes.begin(),
+                bytes.begin() + static_cast<std::ptrdiff_t>(take));
+    off = take;
+    if (!flush(buf_, net::kFrameFlagChunk)) return false;
+    buf_.clear();
+  }
+  while (bytes.size() - off > chunk_bytes_) {
+    if (!flush(bytes.subspan(off, chunk_bytes_), net::kFrameFlagChunk)) {
       return false;
     }
     off += chunk_bytes_;
   }
-  if (off != 0) buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off));
+  buf_.insert(buf_.end(), bytes.begin() + static_cast<std::ptrdiff_t>(off),
+              bytes.end());
   return true;
 }
 

@@ -59,6 +59,10 @@ class ChunkWriter {
   [[nodiscard]] bool terminated() const { return terminated_; }
   [[nodiscard]] std::uint64_t chunks() const { return chunks_; }
   [[nodiscard]] std::uint32_t chunk_bytes() const { return chunk_bytes_; }
+  /// Bytes currently staged for the next frame — never exceeds
+  /// chunk_bytes, which is what makes the streaming path's peak memory
+  /// independent of archive size (the stream-flat benchmark gate).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size(); }
 
  private:
   bool flush(std::span<const std::uint8_t> payload, std::uint16_t flags);

@@ -107,7 +107,10 @@ wire::Response Client::call(const wire::Request& request) {
     try {
       ensure_connected();
       wire::Request effective = request;
-      if (peer_no_chunks_) effective.chunk_bytes = 0;
+      if (peer_no_chunks_) {
+        effective.chunk_bytes = 0;
+        effective.want_scan_blocks = false;  // tag 2 is trailing bytes too
+      }
       const std::uint64_t id = next_id_++;
       send_request(effective, id);
       net::Frame frame = read_frame_for(id, options_.request_timeout_ms);
@@ -128,7 +131,7 @@ wire::Response Client::call(const wire::Request& request) {
         disconnect();
         throw net::NetError(std::string("bad response payload: ") + e.what());
       }
-      if (effective.chunk_bytes != 0 &&
+      if ((effective.chunk_bytes != 0 || effective.want_scan_blocks) &&
           resp.status == wire::Status::kInvalidArgument &&
           resp.message.find("trailing bytes") != std::string::npos) {
         // Mixed-version negotiation: a pre-chunking server rejects the

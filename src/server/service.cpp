@@ -206,29 +206,76 @@ wire::Response execute_on_store(const store::Store& store,
       // result; resp.runs stays empty (already on the wire).
       bool expired = false;
       std::vector<std::uint8_t> buf;
-      wire::scan_stream_begin(request.metrics.size(), &buf);
-      bool alive = stream->write(buf);
-      if (alive) {
-        alive = store.scan(
-            request.metrics, request.range,
-            [&](store::MetricRun&& run) {
-              if (deadline_us != 0 && clock.now_us() > deadline_us) {
-                expired = true;
-                return false;
-              }
-              if (cancel != nullptr &&
-                  cancel->load(std::memory_order_relaxed)) {
-                return false;
-              }
-              buf.clear();
-              wire::scan_stream_run(run, &buf);
-              return stream->write(buf);
-            },
-            &resp.stats);
+      bool alive = true;
+      auto check_liveness = [&] {
+        if (deadline_us != 0 && clock.now_us() > deadline_us) {
+          expired = true;
+          return false;
+        }
+        return cancel == nullptr || !cancel->load(std::memory_order_relaxed);
+      };
+      if (request.want_scan_blocks) {
+        // Block form: whole-in-range blocks ship still encoded, sliced
+        // straight from the mapped segment through the ChunkWriter —
+        // the serving path never decodes or re-encodes them. The
+        // response method flips to kScanBlocks so the peer knows to
+        // decode pieces (it opted in, so it can).
+        resp.method = wire::Method::kScanBlocks;
+        buf.clear();
+        wire::scan_blocks_begin(request.metrics.size(), &buf);
+        alive = stream->write(buf);
+        if (alive) {
+          store::RawScanSink sink;
+          sink.begin_run = [&](telemetry::MetricId id) {
+            if (!check_liveness()) return false;
+            buf.clear();
+            wire::scan_blocks_run_begin(id, &buf);
+            return stream->write(buf);
+          };
+          sink.block = [&](std::span<const std::uint8_t> bytes,
+                           std::uint32_t events) {
+            if (!check_liveness()) return false;
+            buf.clear();
+            wire::scan_blocks_block_header(
+                static_cast<std::uint32_t>(bytes.size()), events, &buf);
+            return stream->write(buf) && stream->write(bytes);
+          };
+          sink.samples = [&](std::span<const ts::Sample> samples) {
+            if (!check_liveness()) return false;
+            buf.clear();
+            wire::scan_blocks_samples(samples, &buf);
+            return stream->write(buf);
+          };
+          sink.end_run = [&] {
+            buf.clear();
+            wire::scan_blocks_run_end(&buf);
+            return stream->write(buf);
+          };
+          alive = store.scan_encoded(request.metrics, request.range, sink,
+                                     &resp.stats);
+        }
+      } else {
+        wire::scan_stream_begin(request.metrics.size(), &buf);
+        alive = stream->write(buf);
+        if (alive) {
+          alive = store.scan(
+              request.metrics, request.range,
+              [&](store::MetricRun&& run) {
+                if (!check_liveness()) return false;
+                buf.clear();
+                wire::scan_stream_run(run, &buf);
+                return stream->write(buf);
+              },
+              &resp.stats);
+        }
       }
       if (alive) {
         buf.clear();
-        wire::scan_stream_end(resp.stats, &buf);
+        if (request.want_scan_blocks) {
+          wire::scan_blocks_end(resp.stats, &buf);
+        } else {
+          wire::scan_stream_end(resp.stats, &buf);
+        }
         if (!stream->write(buf) || !stream->finish()) {
           resp.status = wire::Status::kCancelled;
           resp.message = "stream died mid-scan";

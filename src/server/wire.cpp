@@ -1,7 +1,12 @@
 #include "server/wire.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
+#include <limits>
+
+#include "telemetry/codec.hpp"
+#include "util/check.hpp"
 
 namespace exawatt::server::wire {
 
@@ -67,6 +72,13 @@ class Reader {
     pos_ += n;
     return s;
   }
+  /// View of the next n raw bytes (no copy; valid while the payload is).
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    need(n);
+    const std::span<const std::uint8_t> v = in_.subspan(pos_, n);
+    pos_ += n;
+    return v;
+  }
   /// Element count declared for `elem_bytes`-sized items; rejected when
   /// it exceeds what the remaining payload can physically hold, so a
   /// hostile count can never size an allocation.
@@ -127,7 +139,7 @@ store::QueryStats read_stats(Reader& r) {
 
 Method read_method(Reader& r) {
   const std::uint8_t m = r.u8();
-  if (m > static_cast<std::uint8_t>(Method::kScenarioSweep)) {
+  if (m > static_cast<std::uint8_t>(Method::kScanBlocks)) {
     throw WireError("unknown method " + std::to_string(int{m}));
   }
   return static_cast<Method>(m);
@@ -241,6 +253,7 @@ const char* method_name(Method m) {
     case Method::kDirectory: return "directory";
     case Method::kScenario: return "scenario";
     case Method::kScenarioSweep: return "scenario_sweep";
+    case Method::kScanBlocks: return "scan_blocks";
   }
   return "unknown";
 }
@@ -305,15 +318,25 @@ std::vector<std::uint8_t> encode_request(const Request& req) {
         write_spec(w, spec);
       }
       break;
+    case Method::kScanBlocks:
+      throw WireError("scan_blocks is response-only (request as kScan)");
   }
   // Trailing (tag,value) extension block, written only when a non-default
   // option is set: a peer that predates it sees "trailing bytes after
   // request" (per-request INVALID_ARGUMENT, connection intact) and the
   // Client falls back to a plain request — never a silent misparse.
-  if (req.chunk_bytes != 0) {
-    w.u32(1);  // extension count
-    w.u32(1);  // tag 1: chunk_bytes
-    w.u32(req.chunk_bytes);
+  const std::uint32_t n_ext = (req.chunk_bytes != 0 ? 1u : 0u) +
+                              (req.want_scan_blocks ? 1u : 0u);
+  if (n_ext != 0) {
+    w.u32(n_ext);  // extension count
+    if (req.chunk_bytes != 0) {
+      w.u32(1);  // tag 1: chunk_bytes
+      w.u32(req.chunk_bytes);
+    }
+    if (req.want_scan_blocks) {
+      w.u32(2);  // tag 2: answer a kScan in block form
+      w.u32(1);
+    }
   }
   return w.take();
 }
@@ -378,6 +401,8 @@ Request decode_request(std::span<const std::uint8_t> payload) {
       }
       break;
     }
+    case Method::kScanBlocks:
+      throw WireError("scan_blocks is response-only (request as kScan)");
   }
   if (!r.done()) {
     // (tag,value) extensions appended by newer clients; unknown tags are
@@ -391,6 +416,7 @@ Request decode_request(std::span<const std::uint8_t> payload) {
       const std::uint32_t value = r.u32();
       switch (tag) {
         case 1: req.chunk_bytes = value; break;
+        case 2: req.want_scan_blocks = value != 0; break;
         default: break;  // newer peer's option — skip
       }
     }
@@ -502,6 +528,23 @@ std::vector<std::uint8_t> encode_response(const Response& resp) {
       w.u64(resp.scenarios.size());
       for (const scenario::ScenarioSummary& s : resp.scenarios) {
         write_summary(w, s);
+      }
+      write_stats(w, resp.stats);
+      break;
+    case Method::kScanBlocks:
+      // Materialized fallback (roundtrip tests, abort paths): each run
+      // travels as one loose-sample batch. Byte-compatible with the
+      // streamed form, which mixes raw block pieces in.
+      w.u64(resp.runs.size());
+      for (const store::MetricRun& run : resp.runs) {
+        w.u32(run.id);
+        w.u8(0);
+        w.u64(run.samples.size());
+        for (const ts::Sample& s : run.samples) {
+          w.i64(s.t);
+          w.f64(s.value);
+        }
+        w.u8(2);
       }
       write_stats(w, resp.stats);
       break;
@@ -648,6 +691,60 @@ Response decode_response(std::span<const std::uint8_t> payload) {
       resp.stats = read_stats(r);
       break;
     }
+    case Method::kScanBlocks: {
+      // Block-form scan: decode raw codec blocks right here so callers
+      // see the same MetricRuns a kScan response carries. Per-run
+      // re-sort with sample_less reproduces the kScan byte order —
+      // the sorted run is a pure function of the sample multiset.
+      const std::size_t n_runs = r.count(5);  // u32 id + end marker
+      resp.runs.reserve(n_runs);
+      for (std::size_t i = 0; i < n_runs; ++i) {
+        store::MetricRun run;
+        run.id = r.u32();
+        for (;;) {
+          const std::uint8_t piece = r.u8();
+          if (piece == 2) break;
+          if (piece == 0) {
+            const std::size_t n = r.count(16);
+            run.samples.reserve(run.samples.size() + n);
+            for (std::size_t j = 0; j < n; ++j) {
+              ts::Sample s;
+              s.t = r.i64();
+              s.value = r.f64();
+              run.samples.push_back(s);
+            }
+            continue;
+          }
+          if (piece != 1) throw WireError("scan_blocks: unknown piece tag");
+          const std::uint32_t n_bytes = r.u32();
+          const std::uint32_t n_events = r.u32();
+          const std::span<const std::uint8_t> raw = r.bytes(n_bytes);
+          const std::size_t before = run.samples.size();
+          std::size_t total = 0;
+          try {
+            total = telemetry::decode_filter_into(
+                telemetry::EncodedView{raw, n_events}, run.id,
+                {std::numeric_limits<util::TimeSec>::min(),
+                 std::numeric_limits<util::TimeSec>::max()},
+                run.samples);
+          } catch (const util::CheckError& e) {
+            throw WireError(std::string("scan_blocks: damaged block: ") +
+                            e.what());
+          }
+          // A whole block belongs to one metric and ships uncut, so the
+          // decode must account for every declared event.
+          if (total != n_events ||
+              run.samples.size() - before != n_events) {
+            throw WireError("scan_blocks: block event count mismatch");
+          }
+        }
+        std::sort(run.samples.begin(), run.samples.end(),
+                  store::sample_less);
+        resp.runs.push_back(std::move(run));
+      }
+      resp.stats = read_stats(r);
+      break;
+    }
   }
   if (!r.done()) throw WireError("trailing bytes after response");
   return resp;
@@ -676,6 +773,58 @@ void scan_stream_run(const store::MetricRun& run,
 }
 
 void scan_stream_end(const store::QueryStats& stats,
+                     std::vector<std::uint8_t>* out) {
+  Writer w;
+  write_stats(w, stats);
+  const auto bytes = w.take();
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+void scan_blocks_begin(std::size_t n_runs, std::vector<std::uint8_t>* out) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Status::kOk));
+  w.u8(static_cast<std::uint8_t>(Method::kScanBlocks));
+  w.u64(n_runs);
+  const auto bytes = w.take();
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+void scan_blocks_run_begin(telemetry::MetricId id,
+                           std::vector<std::uint8_t>* out) {
+  Writer w;
+  w.u32(id);
+  const auto bytes = w.take();
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+void scan_blocks_block_header(std::uint32_t n_bytes, std::uint32_t n_events,
+                              std::vector<std::uint8_t>* out) {
+  Writer w;
+  w.u8(1);  // piece: raw encoded block (bytes follow, written separately)
+  w.u32(n_bytes);
+  w.u32(n_events);
+  const auto bytes = w.take();
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+void scan_blocks_samples(std::span<const ts::Sample> samples,
+                         std::vector<std::uint8_t>* out) {
+  Writer w;
+  w.u8(0);  // piece: loose time-sorted samples
+  w.u64(samples.size());
+  for (const ts::Sample& s : samples) {
+    w.i64(s.t);
+    w.f64(s.value);
+  }
+  const auto bytes = w.take();
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+void scan_blocks_run_end(std::vector<std::uint8_t>* out) {
+  out->push_back(2);  // piece: end of run
+}
+
+void scan_blocks_end(const store::QueryStats& stats,
                      std::vector<std::uint8_t>* out) {
   Writer w;
   write_stats(w, stats);

@@ -37,6 +37,14 @@ enum class Method : std::uint8_t {
   kDirectory = 7,   ///< sealed-segment directory (cluster query planning)
   kScenario = 8,       ///< counterfactual replay of one ScenarioSpec
   kScenarioSweep = 9,  ///< N-variant scenario fan-out (summaries back)
+  /// Response-only: a kScan answered in block form. Runs arrive as raw
+  /// still-encoded codec blocks (sliced zero-copy from mapped segments
+  /// server-side) plus loose boundary samples; the client decodes and
+  /// re-sorts into the identical MetricRuns a kScan would carry. Opted
+  /// into per-request via extension tag 2 on a kScan — a server that
+  /// predates it ignores the tag and answers classic kScan, so the
+  /// decoder must accept either method back.
+  kScanBlocks = 10,
 };
 
 /// A sweep request is bounded so one frame cannot demand unbounded
@@ -91,6 +99,13 @@ struct Request {
   /// Client treats as "peer too old" and transparently retries without
   /// it, so mixed-version fleets keep working.
   std::uint32_t chunk_bytes = 0;
+
+  /// On a chunked kScan, asks the server to answer in kScanBlocks form
+  /// (raw encoded blocks instead of decoded samples — the zero-copy
+  /// scan-to-wire path). Travels as extension tag 2; servers that
+  /// predate it skip the tag and answer classic kScan, so setting this
+  /// is always safe. Meaningful only together with `chunk_bytes`.
+  bool want_scan_blocks = false;
 };
 
 /// Server-side service counters (kServerStats response payload).
@@ -199,6 +214,25 @@ void scan_stream_begin(std::size_t n_runs, std::vector<std::uint8_t>* out);
 void scan_stream_run(const store::MetricRun& run,
                      std::vector<std::uint8_t>* out);
 void scan_stream_end(const store::QueryStats& stats,
+                     std::vector<std::uint8_t>* out);
+
+/// Block-form streaming encoders (a kScanBlocks response). Layout after
+/// the (status, method, run count) header: per run, a u32 metric id then
+/// tagged pieces — 0 = one time-sorted loose-sample batch, 1 = one raw
+/// encoded block (u32 byte count + u32 event count, bytes follow), 2 =
+/// end of run — then the QueryStats tail. `scan_blocks_block_header`
+/// writes only the 9-byte piece header: the executor hands the block
+/// bytes themselves straight to the ChunkWriter, which forwards whole
+/// chunks without copying them through a response buffer.
+void scan_blocks_begin(std::size_t n_runs, std::vector<std::uint8_t>* out);
+void scan_blocks_run_begin(telemetry::MetricId id,
+                           std::vector<std::uint8_t>* out);
+void scan_blocks_block_header(std::uint32_t n_bytes, std::uint32_t n_events,
+                              std::vector<std::uint8_t>* out);
+void scan_blocks_samples(std::span<const ts::Sample> samples,
+                         std::vector<std::uint8_t>* out);
+void scan_blocks_run_end(std::vector<std::uint8_t>* out);
+void scan_blocks_end(const store::QueryStats& stats,
                      std::vector<std::uint8_t>* out);
 
 /// Sum of events carried by a response (scan sample counts / window_sum

@@ -68,6 +68,13 @@ struct QueryStats {
   /// Purely informational — does not affect degraded().
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  /// Read-tier attribution: blocks whose bytes came from an mmap'd
+  /// segment view (warm) vs a buffered `read_range` (cold). A cache hit
+  /// increments neither — no bytes were read. Local-only: the wire
+  /// stats block stays the four counters above, so these never leave
+  /// the process.
+  std::size_t warm_blocks = 0;
+  std::size_t cold_blocks = 0;
 
   [[nodiscard]] bool degraded() const {
     return lost_segments + lost_blocks > 0;
@@ -77,6 +84,8 @@ struct QueryStats {
     lost_blocks += o.lost_blocks;
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
+    warm_blocks += o.warm_blocks;
+    cold_blocks += o.cold_blocks;
   }
 };
 

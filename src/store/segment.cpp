@@ -133,7 +133,7 @@ SegmentMeta SegmentWriter::seal() {
 
 // ---------------------------------------------------------- SegmentReader
 
-SegmentReader::SegmentReader(std::string path, util::Vfs* vfs)
+SegmentReader::SegmentReader(std::string path, util::Vfs* vfs, bool map_file)
     : path_(std::move(path)),
       vfs_(vfs != nullptr ? vfs : &util::Vfs::real()) {
   std::uint64_t footer_bytes = 0;
@@ -193,6 +193,22 @@ SegmentReader::SegmentReader(std::string path, util::Vfs* vfs)
   bounds_ = first ? util::TimeRange{0, 0} : util::TimeRange{lo, hi + 1};
   cache_segment_id_ = fnv1a64(path_);
 
+  if (map_file) {
+    // Warm tier opt-in. Mapping is an optimization: refusal (a Vfs with
+    // no mmap support, an injected map fault) falls back to buffered
+    // reads rather than failing the open. A mapping shorter than the
+    // validated file (concurrent truncation) is also refused — spans
+    // handed out later must never run off the view.
+    try {
+      auto m = vfs_->map(path_);
+      if (m != nullptr && m->bytes().size() >= file_bytes_) {
+        mapping_ = std::move(m);
+      }
+    } catch (const util::VfsError&) {
+      // fall back to buffered reads
+    }
+  }
+
   // Per-metric lookup index: directory indices stably sorted by metric id
   // (sealed segments already group blocks by metric, so this is usually a
   // no-op permutation). Scans binary-search this instead of walking every
@@ -219,21 +235,45 @@ std::span<const std::uint32_t> SegmentReader::blocks_of(
           static_cast<std::size_t>(hi - lo)};
 }
 
+std::span<const std::uint8_t> SegmentReader::block_span(
+    const BlockMeta& block, std::vector<std::uint8_t>& scratch,
+    QueryStats* stats) const {
+  std::span<const std::uint8_t> bytes;
+  if (mapping_ != nullptr) {
+    // Warm tier: slice the mapped view. The constructor bounds-checked
+    // every directory entry against the file and the mapping covers the
+    // whole file, so the subspan cannot run off the view.
+    bytes = mapping_->bytes().subspan(block.offset, block.size);
+    if (stats != nullptr) ++stats->warm_blocks;
+  } else {
+    try {
+      scratch = vfs_->read_range(path_, block.offset, block.size);
+    } catch (const util::VfsError& e) {
+      throw StoreError("segment: block read at offset " +
+                       std::to_string(block.offset) + " failed (" + e.what() +
+                       "): " + path_);
+    }
+    bytes = scratch;
+    if (stats != nullptr) ++stats->cold_blocks;
+  }
+  if (util::crc32(bytes) != block.crc) {
+    throw StoreError("segment: block CRC mismatch (metric " +
+                     std::to_string(block.id) + ", offset " +
+                     std::to_string(block.offset) + "): " + path_);
+  }
+  return bytes;
+}
+
 telemetry::EncodedBlock SegmentReader::read_block_bytes(
     const BlockMeta& block) const {
   telemetry::EncodedBlock encoded;
   encoded.events = block.events;
-  try {
-    encoded.bytes = vfs_->read_range(path_, block.offset, block.size);
-  } catch (const util::VfsError& e) {
-    throw StoreError("segment: block read at offset " +
-                     std::to_string(block.offset) + " failed (" + e.what() +
-                     "): " + path_);
-  }
-  if (util::crc32(encoded.bytes) != block.crc) {
-    throw StoreError("segment: block CRC mismatch (metric " +
-                     std::to_string(block.id) + ", offset " +
-                     std::to_string(block.offset) + "): " + path_);
+  std::vector<std::uint8_t> scratch;
+  const auto bytes = block_span(block, scratch, nullptr);
+  if (!scratch.empty()) {
+    encoded.bytes = std::move(scratch);
+  } else {
+    encoded.bytes.assign(bytes.begin(), bytes.end());
   }
   return encoded;
 }
@@ -267,7 +307,9 @@ BlockCache::Columns SegmentReader::cached_block(BlockCache& cache,
     return hit;
   }
   if (stats != nullptr) ++stats->cache_misses;
-  const telemetry::EncodedBlock encoded = read_block_bytes(block);
+  std::vector<std::uint8_t> scratch;
+  const telemetry::EncodedView encoded{block_span(block, scratch, stats),
+                                       block.events};
   auto cols = std::make_shared<telemetry::DecodeScratch>();
   try {
     telemetry::decode_events_into(encoded, *cols);
@@ -283,6 +325,9 @@ BlockCache::Columns SegmentReader::cached_block(BlockCache& cache,
 }
 
 bool SegmentReader::note_if_vanished(QueryStats& stats) const {
+  // A mapped segment cannot vanish: the view outlives an unlink of the
+  // path, which is exactly how compaction retires inputs under readers.
+  if (mapping_ != nullptr) return false;
   if (vfs_->exists(path_)) return false;
   ++stats.lost_segments;
   return true;
@@ -299,7 +344,9 @@ void SegmentReader::scan_block_into(std::size_t index, util::TimeRange range,
       append_columns(*cached_block(*cache, index, stats), range, out);
       return;
     }
-    const telemetry::EncodedBlock encoded = read_block_bytes(block);
+    std::vector<std::uint8_t> scratch;
+    const telemetry::EncodedView encoded{block_span(block, scratch, stats),
+                                         block.events};
     std::size_t decoded = 0;
     try {
       decoded = telemetry::decode_filter_into(encoded, block.id, range, out);
@@ -396,7 +443,9 @@ void SegmentReader::scan_sum(telemetry::MetricId id, util::TimeRange range,
         block_sum.assign(n_windows, 0.0);
         block_cnt.assign(n_windows, 0);
       }
-      const telemetry::EncodedBlock encoded = read_block_bytes(b);
+      std::vector<std::uint8_t> scratch;
+      const telemetry::EncodedView encoded{block_span(b, scratch, stats),
+                                           b.events};
       std::size_t decoded = 0;
       try {
         decoded = telemetry::decode_sum_into(encoded, b.id, range, window,
@@ -424,6 +473,42 @@ void SegmentReader::scan_sum(telemetry::MetricId id, util::TimeRange range,
       ++stats->lost_blocks;
     }
   }
+}
+
+bool SegmentReader::scan_pieces(
+    telemetry::MetricId id, util::TimeRange range,
+    const std::function<bool(std::span<const std::uint8_t>, std::uint32_t)>&
+        on_raw,
+    std::vector<ts::Sample>& loose, QueryStats* stats,
+    std::vector<std::uint8_t>& scratch) const {
+  if (stats != nullptr && note_if_vanished(*stats)) return true;
+  for (const std::uint32_t i : blocks_of(id)) {
+    const BlockMeta& b = blocks_[i];
+    if (!block_overlaps(b, range)) continue;
+    // A block entirely inside the half-open range keeps every event, so
+    // its encoded bytes can ship as-is; boundary blocks must decode and
+    // filter. Damaged raw candidates fall back through the loose path's
+    // degradation contract rather than duplicating it here.
+    const bool whole = b.t_min >= range.begin && b.t_max < range.end;
+    if (whole) {
+      bool ok = true;
+      std::span<const std::uint8_t> bytes;
+      try {
+        bytes = block_span(b, scratch, stats);
+      } catch (const StoreError&) {
+        if (stats == nullptr) throw;
+        ++stats->lost_blocks;
+        ok = false;
+      }
+      if (ok) {
+        if (!on_raw(bytes, b.events)) return false;
+        continue;
+      }
+      continue;
+    }
+    scan_block_into(i, range, loose, stats, nullptr);
+  }
+  return true;
 }
 
 }  // namespace exawatt::store

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_set>
@@ -55,11 +57,21 @@ class SegmentWriter {
 /// so one reader can serve parallel queries.
 class SegmentReader {
  public:
-  explicit SegmentReader(std::string path, util::Vfs* vfs = nullptr);
+  /// With `map_file`, the reader asks the Vfs for an mmap'd view of the
+  /// whole segment and serves every block read from it (the warm tier):
+  /// zero-copy spans, no per-block open/seek, and immunity to a
+  /// concurrent unlink (the compactor retires inputs under live
+  /// queries). Mapping failure — unsupported Vfs or a VfsError — falls
+  /// back to buffered reads silently; the tier is an optimization, not
+  /// a correctness surface.
+  explicit SegmentReader(std::string path, util::Vfs* vfs = nullptr,
+                         bool map_file = false);
 
   [[nodiscard]] const std::vector<BlockMeta>& blocks() const {
     return blocks_;
   }
+  /// True when block reads are served from an mmap'd view (warm tier).
+  [[nodiscard]] bool mapped() const { return mapping_ != nullptr; }
   [[nodiscard]] std::uint64_t events() const { return events_; }
   [[nodiscard]] std::uint64_t file_bytes() const { return file_bytes_; }
   /// Half-open [min event time, max event time + 1).
@@ -101,6 +113,24 @@ class SegmentReader {
                 std::span<std::uint64_t> counts, QueryStats* stats = nullptr,
                 BlockCache* cache = nullptr) const;
 
+  /// Zero-copy piece scan for the wire path: `id`'s overlapping blocks
+  /// in time order, each emitted either *raw* — a CRC-verified span of
+  /// still-encoded bytes plus its event count, handed to `on_raw` — or
+  /// *loose* — decoded samples appended to `loose`. A block goes raw
+  /// only when it lies entirely inside `range` (every event survives
+  /// the filter, so re-encoding is pure waste); boundary blocks decode
+  /// through the normal filter into `loose`. `scratch` backs the raw
+  /// span for cold (unmapped) reads — valid until the next emission.
+  /// `on_raw` returning false stops the scan (returns false). Damage
+  /// follows the scan() contract: strict throw without `stats`, skip
+  /// and count with.
+  bool scan_pieces(
+      telemetry::MetricId id, util::TimeRange range,
+      const std::function<bool(std::span<const std::uint8_t>, std::uint32_t)>&
+          on_raw,
+      std::vector<ts::Sample>& loose, QueryStats* stats,
+      std::vector<std::uint8_t>& scratch) const;
+
  private:
   [[nodiscard]] bool block_overlaps(const BlockMeta& b,
                                     util::TimeRange range) const {
@@ -113,6 +143,15 @@ class SegmentReader {
   /// Raw encoded bytes of one block, CRC-verified (no decode).
   [[nodiscard]] telemetry::EncodedBlock read_block_bytes(
       const BlockMeta& block) const;
+
+  /// Tier-dispatching raw block access: a zero-copy slice of the mapped
+  /// view (warm) or a buffered read into `scratch` (cold), CRC-verified
+  /// either way, with the matching QueryStats tier counter bumped.
+  /// Throws StoreError on damage. The span is valid while `scratch` and
+  /// the mapping are.
+  [[nodiscard]] std::span<const std::uint8_t> block_span(
+      const BlockMeta& block, std::vector<std::uint8_t>& scratch,
+      QueryStats* stats) const;
 
   /// Scan one block (by directory index) into `out`, honoring the
   /// degradation contract: on damage the partial append is rolled back,
@@ -136,6 +175,7 @@ class SegmentReader {
 
   std::string path_;
   util::Vfs* vfs_;
+  std::shared_ptr<util::VfsMapping> mapping_;  ///< non-null = warm tier
   std::vector<BlockMeta> blocks_;
   /// Directory indices sorted by (metric id, directory order) — the
   /// per-metric lookup index behind `blocks_of`.

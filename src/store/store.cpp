@@ -27,7 +27,9 @@ Store::Store(std::string root, StoreOptions options)
       vfs_(options.vfs != nullptr ? options.vfs : &util::Vfs::real()),
       clock_(options.clock != nullptr ? options.clock
                                       : &util::Clock::steady()),
-      retry_rng_(options.retry_seed) {
+      retry_rng_(options.retry_seed),
+      mu_(std::make_unique<std::mutex>()),
+      compact_mu_(std::make_unique<std::mutex>()) {
   if (options_.segment_events == 0 || options_.block_events == 0) {
     throw StoreError("store: segment_events/block_events must be positive");
   }
@@ -43,18 +45,30 @@ Store Store::open(const std::string& root, StoreOptions options) {
 }
 
 Store::~Store() {
+  if (mu_ == nullptr) return;  // moved-from shell
   try {
     flush();
   } catch (...) {
     // Destructor flush is best-effort; data not sealed here is exactly the
     // "unsealed tail" the crash-safety contract already allows losing.
   }
+  try {
+    reap();
+  } catch (...) {
+    // Likewise: an undeleted retired file is re-reaped next open.
+  }
 }
 
-void Store::adopt(SegmentMeta meta, SegmentReader reader) {
+Store::SegmentSnapshot Store::snapshot() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return segments_;
+}
+
+void Store::adopt_locked(SegmentMeta meta, SegmentReader reader) {
   sealed_events_ += meta.events;
   stored_bytes_ += meta.bytes;
-  segments_.push_back({std::move(meta), std::move(reader)});
+  segments_.push_back(std::make_shared<const LiveSegment>(
+      LiveSegment{std::move(meta), std::move(reader)}));
 }
 
 void Store::recover() {
@@ -63,6 +77,12 @@ void Store::recover() {
   } catch (const util::VfsError& e) {
     throw StoreError("store: cannot create root " + root_ + ": " + e.what());
   }
+
+  // Crashed compactions replay first: a rolled-forward output must retire
+  // its inputs before the manifest loop and orphan sweep run, or the same
+  // events would be adopted twice (inputs from the manifest, output as an
+  // orphan).
+  recover_compactions();
 
   // Best-effort quarantine of a damaged segment; never escalates — a
   // set-aside that fails just leaves the corrupt file for the next sweep.
@@ -85,6 +105,7 @@ void Store::recover() {
     changed = true;
   }
 
+  std::lock_guard<std::mutex> lock(*mu_);
   std::set<std::string> listed;
   for (auto& meta : manifest.segments) {
     const std::string path = root_ + "/" + meta.file;
@@ -95,12 +116,12 @@ void Store::recover() {
       continue;
     }
     try {
-      SegmentReader reader(path, vfs_);
+      SegmentReader reader(path, vfs_, options_.mmap_segments);
       if (reader.events() != meta.events ||
           reader.file_bytes() != meta.bytes) {
         throw StoreError("segment disagrees with manifest: " + path);
       }
-      adopt(std::move(meta), std::move(reader));
+      adopt_locked(std::move(meta), std::move(reader));
     } catch (const StoreError&) {
       ++recovery_.dropped_corrupt;
       changed = true;
@@ -123,7 +144,7 @@ void Store::recover() {
     if (!name.ends_with(".seg") || listed.count(name) > 0) continue;
     const std::string path = root_ + "/" + name;
     try {
-      SegmentReader reader(path, vfs_);
+      SegmentReader reader(path, vfs_, options_.mmap_segments);
       SegmentMeta meta;
       meta.file = name;
       meta.day = reader.blocks().empty()
@@ -133,7 +154,7 @@ void Store::recover() {
       meta.bytes = reader.file_bytes();
       meta.t_min = reader.bounds().begin;
       meta.t_max = reader.bounds().end - 1;
-      adopt(std::move(meta), std::move(reader));
+      adopt_locked(std::move(meta), std::move(reader));
       ++recovery_.adopted_orphans;
       changed = true;
     } catch (const StoreError&) {
@@ -144,17 +165,18 @@ void Store::recover() {
   }
 
   std::sort(segments_.begin(), segments_.end(),
-            [](const LiveSegment& a, const LiveSegment& b) {
-              return a.meta.file < b.meta.file;
+            [](const std::shared_ptr<const LiveSegment>& a,
+               const std::shared_ptr<const LiveSegment>& b) {
+              return a->meta.file < b->meta.file;
             });
   recovery_.segments = segments_.size();
-  if (changed || !have_manifest) save_manifest();
+  if (changed || !have_manifest) save_manifest_locked();
 }
 
-void Store::save_manifest() const {
+void Store::save_manifest_locked() const {
   Manifest manifest;
   manifest.segments.reserve(segments_.size());
-  for (const auto& s : segments_) manifest.segments.push_back(s.meta);
+  for (const auto& s : segments_) manifest.segments.push_back(s->meta);
   try {
     util::retry_transient(options_.retry, *clock_, retry_rng_,
                           [&] { manifest.save(root_, vfs_); });
@@ -186,7 +208,11 @@ void Store::append(std::vector<telemetry::MetricEvent> events) {
 void Store::seal_day(std::int64_t day) {
   auto it = mem_.find(day);
   if (it == mem_.end() || it->second.empty()) return;
-  const std::string name = next_segment_name(day);
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    name = next_segment_name(day);
+  }
   SegmentWriter writer(root_ + "/" + name, day, options_.block_events, vfs_);
   buffered_events_ -= it->second.size();
   writer.add(std::move(it->second));
@@ -204,13 +230,78 @@ void Store::seal_day(std::int64_t day) {
   meta.file = name;
   // Re-open through the validating reader: the segment must be readable
   // before the manifest is allowed to point at it.
-  SegmentReader reader(root_ + "/" + name, vfs_);
-  adopt(std::move(meta), std::move(reader));
-  save_manifest();
+  SegmentReader reader(root_ + "/" + name, vfs_, options_.mmap_segments);
+  std::lock_guard<std::mutex> lock(*mu_);
+  adopt_locked(std::move(meta), std::move(reader));
+  save_manifest_locked();
 }
 
 void Store::flush() {
   while (!mem_.empty()) seal_day(mem_.begin()->first);
+  reap();
+}
+
+std::size_t Store::reap() {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return reap_locked();
+}
+
+std::size_t Store::reap_locked() {
+  std::size_t deleted = 0;
+  std::vector<std::string> freed_journals;
+  for (auto it = graveyard_.begin(); it != graveyard_.end();) {
+    // use_count == 1 means only the graveyard pins this segment: every
+    // query snapshot that held it has drained, so the file can go.
+    if (it->seg.use_count() > 1) {
+      ++it;
+      continue;
+    }
+    try {
+      if (vfs_->exists(it->path)) vfs_->remove(it->path);
+    } catch (const util::VfsError&) {
+      // Leave the entry; a later reap (or the next open's journal
+      // replay) finishes the sweep.
+      ++it;
+      continue;
+    }
+    ++deleted;
+    if (!it->journal.empty()) freed_journals.push_back(it->journal);
+    it = graveyard_.erase(it);
+  }
+  // A journal may only disappear after every victim it names is gone —
+  // it is what recovery uses to finish deleting them after a crash.
+  for (const auto& journal : freed_journals) {
+    const bool still_referenced = std::any_of(
+        graveyard_.begin(), graveyard_.end(),
+        [&](const Grave& g) { return g.journal == journal; });
+    if (still_referenced) continue;
+    try {
+      if (vfs_->exists(journal)) vfs_->remove(journal);
+    } catch (const util::VfsError&) {
+      // Recovery tolerates a stale journal: replaying it is idempotent.
+    }
+  }
+  return deleted;
+}
+
+std::size_t Store::graveyard_size() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return graveyard_.size();
+}
+
+std::size_t Store::sealed_segments() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return segments_.size();
+}
+
+std::uint64_t Store::total_events() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return sealed_events_ + buffered_events_;
+}
+
+std::uint64_t Store::stored_bytes() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return stored_bytes_;
 }
 
 std::vector<ts::Sample> Store::query(telemetry::MetricId id,
@@ -218,9 +309,10 @@ std::vector<ts::Sample> Store::query(telemetry::MetricId id,
                                      QueryStats* stats) const {
   std::vector<ts::Sample> out;
   QueryStats local;
-  for (const auto& seg : segments_) {
-    if (!seg.reader.bounds().overlaps(range)) continue;
-    seg.reader.scan(id, range, out, &local, cache_.get());
+  const SegmentSnapshot segs = snapshot();
+  for (const auto& seg : segs) {
+    if (!seg->reader.bounds().overlaps(range)) continue;
+    seg->reader.scan(id, range, out, &local, cache_.get());
   }
   for (const auto& [day, buf] : mem_) {
     for (const auto& ev : buf) {
@@ -238,18 +330,20 @@ std::vector<MetricRun> Store::query_many(
     std::span<const telemetry::MetricId> ids, util::TimeRange range,
     util::ThreadPool* pool, QueryStats* stats) const {
   const std::unordered_set<telemetry::MetricId> want(ids.begin(), ids.end());
+  util::ThreadPool& fan = pool != nullptr ? *pool : util::ThreadPool::global();
 
+  const SegmentSnapshot segs = snapshot();
   std::vector<const LiveSegment*> relevant;
-  for (const auto& seg : segments_) {
-    if (seg.reader.bounds().overlaps(range)) relevant.push_back(&seg);
+  for (const auto& seg : segs) {
+    if (seg->reader.bounds().overlaps(range)) relevant.push_back(seg.get());
   }
 
   struct Part {
     std::map<telemetry::MetricId, std::vector<ts::Sample>> samples;
     QueryStats stats;
   };
-  // One task per segment: decode is the expensive part, and segments are
-  // independent files, so this is the natural fan-out grain.
+  // Phase A — one task per segment: decode is the expensive part, and
+  // segments are independent files, so this is the natural fan-out grain.
   auto parts = util::parallel_map(
       relevant.size(),
       [&](std::size_t i) {
@@ -258,46 +352,81 @@ std::vector<MetricRun> Store::query_many(
                                      cache_.get());
         return part;
       },
-      pool != nullptr ? *pool : util::ThreadPool::global());
+      fan);
 
-  std::map<telemetry::MetricId, std::vector<ts::Sample>> merged;
   QueryStats local;
-  for (auto& part : parts) {
-    local.merge(part.stats);
-    for (auto& [id, samples] : part.samples) {
-      auto& dst = merged[id];
-      if (dst.empty()) {
-        dst = std::move(samples);
-      } else {
-        dst.insert(dst.end(), samples.begin(), samples.end());
-      }
-    }
-  }
+  for (const auto& part : parts) local.merge(part.stats);
+
+  // The unsealed tail, staged per metric so phase B can splice it in.
+  std::unordered_map<telemetry::MetricId, std::vector<ts::Sample>> tail;
   for (const auto& [day, buf] : mem_) {
     for (const auto& ev : buf) {
       if (range.contains(ev.t) && want.count(ev.id) > 0) {
-        merged[ev.id].push_back({ev.t, static_cast<double>(ev.value)});
+        tail[ev.id].push_back({ev.t, static_cast<double>(ev.value)});
       }
     }
   }
 
-  std::vector<MetricRun> out;
-  out.reserve(ids.size());
-  // A duplicate requested id gets the full run again (copied from its
-  // first slot), exactly as per-id query() calls would answer — not the
-  // moved-from leftovers of the first occurrence.
+  // Phase B — one task per distinct metric: concatenate that metric's
+  // per-segment pieces and sort the run. This is where the serial
+  // version spent its time (the merge memcpy plus thousands of per-id
+  // sorts ran on one thread after the cheap parallel scans); distinct
+  // ids touch disjoint vectors, so the whole merge+sort fans out.
+  std::vector<telemetry::MetricId> uniq;
+  uniq.reserve(ids.size());
   std::unordered_map<telemetry::MetricId, std::size_t> first_slot;
   first_slot.reserve(ids.size());
   for (const telemetry::MetricId id : ids) {
+    if (first_slot.emplace(id, uniq.size()).second) uniq.push_back(id);
+  }
+
+  auto runs = util::parallel_map(
+      uniq.size(),
+      [&](std::size_t k) {
+        const telemetry::MetricId id = uniq[k];
+        std::vector<ts::Sample> samples;
+        std::size_t total = 0;
+        for (const auto& part : parts) {
+          const auto it = part.samples.find(id);
+          if (it != part.samples.end()) total += it->second.size();
+        }
+        const auto t = tail.find(id);
+        if (t != tail.end()) total += t->second.size();
+        samples.reserve(total);
+        for (auto& part : parts) {
+          const auto it = part.samples.find(id);
+          if (it == part.samples.end()) continue;
+          if (samples.empty()) {
+            samples = std::move(it->second);
+            samples.reserve(total);
+          } else {
+            samples.insert(samples.end(), it->second.begin(),
+                           it->second.end());
+          }
+        }
+        if (t != tail.end()) {
+          samples.insert(samples.end(), t->second.begin(), t->second.end());
+        }
+        std::sort(samples.begin(), samples.end(), sample_less);
+        return samples;
+      },
+      fan);
+
+  // Phase C — assemble in request order. A duplicate requested id gets
+  // the full run again (copied from its first slot), exactly as per-id
+  // query() calls would answer.
+  std::vector<MetricRun> out;
+  out.reserve(ids.size());
+  std::unordered_map<telemetry::MetricId, std::size_t> emitted;
+  emitted.reserve(ids.size());
+  for (const telemetry::MetricId id : ids) {
     MetricRun run;
     run.id = id;
-    const auto [slot, fresh] = first_slot.emplace(id, out.size());
+    const auto [slot, fresh] = emitted.emplace(id, out.size());
     if (!fresh) {
       run.samples = out[slot->second].samples;
     } else {
-      auto it = merged.find(id);
-      if (it != merged.end()) run.samples = std::move(it->second);
-      std::sort(run.samples.begin(), run.samples.end(), sample_less);
+      run.samples = std::move(runs[first_slot[id]]);
     }
     out.push_back(std::move(run));
   }
@@ -309,9 +438,10 @@ bool Store::scan(std::span<const telemetry::MetricId> ids,
                  util::TimeRange range,
                  const std::function<bool(MetricRun&&)>& sink,
                  QueryStats* stats) const {
+  const SegmentSnapshot segs = snapshot();
   std::vector<const LiveSegment*> relevant;
-  for (const auto& seg : segments_) {
-    if (seg.reader.bounds().overlaps(range)) relevant.push_back(&seg);
+  for (const auto& seg : segs) {
+    if (seg->reader.bounds().overlaps(range)) relevant.push_back(seg.get());
   }
 
   // Parity bookkeeping against query_many: a vanished segment is charged
@@ -364,6 +494,62 @@ bool Store::scan(std::span<const telemetry::MetricId> ids,
   return completed;
 }
 
+bool Store::scan_encoded(std::span<const telemetry::MetricId> ids,
+                         util::TimeRange range, const RawScanSink& sink,
+                         QueryStats* stats) const {
+  const SegmentSnapshot segs = snapshot();
+  std::vector<const LiveSegment*> relevant;
+  for (const auto& seg : segs) {
+    if (seg->reader.bounds().overlaps(range)) relevant.push_back(seg.get());
+  }
+
+  std::vector<bool> segment_charged(relevant.size(), false);
+  std::unordered_set<telemetry::MetricId> seen;
+  seen.reserve(ids.size());
+
+  QueryStats total;
+  std::vector<ts::Sample> loose;
+  std::vector<std::uint8_t> scratch;
+  for (const telemetry::MetricId id : ids) {
+    // A repeated id re-emits the same pieces but with throwaway loss
+    // accounting — raw spans cannot be stashed like sample runs, and
+    // query_many charges each damaged block once per *distinct* metric.
+    const bool first_visit = seen.insert(id).second;
+    if (sink.begin_run != nullptr && !sink.begin_run(id)) return false;
+    loose.clear();
+    for (std::size_t si = 0; si < relevant.size(); ++si) {
+      QueryStats local;
+      const bool keep_going = relevant[si]->reader.scan_pieces(
+          id, range,
+          [&](std::span<const std::uint8_t> bytes, std::uint32_t events) {
+            return sink.block == nullptr || sink.block(bytes, events);
+          },
+          loose, &local, scratch);
+      if (local.lost_segments != 0) {
+        if (segment_charged[si]) {
+          local.lost_segments = 0;
+        } else {
+          segment_charged[si] = true;
+        }
+      }
+      if (first_visit) total.merge(local);
+      if (!keep_going) return false;
+    }
+    for (const auto& [day, buf] : mem_) {
+      for (const auto& ev : buf) {
+        if (ev.id == id && range.contains(ev.t)) {
+          loose.push_back({ev.t, static_cast<double>(ev.value)});
+        }
+      }
+    }
+    std::sort(loose.begin(), loose.end(), sample_less);
+    if (sink.samples != nullptr && !sink.samples(loose)) return false;
+    if (sink.end_run != nullptr && !sink.end_run()) return false;
+  }
+  if (stats != nullptr) stats->merge(total);
+  return true;
+}
+
 WindowSum Store::window_sum(telemetry::MetricId id, util::TimeRange range,
                             util::TimeSec window, util::ThreadPool* pool,
                             QueryStats* stats) const {
@@ -378,9 +564,10 @@ WindowSum Store::window_sum(telemetry::MetricId id, util::TimeRange range,
   out.sum.assign(n_windows, 0.0);
   out.count.assign(n_windows, 0);
 
+  const SegmentSnapshot segs = snapshot();
   std::vector<const LiveSegment*> relevant;
-  for (const auto& seg : segments_) {
-    if (seg.reader.bounds().overlaps(range)) relevant.push_back(&seg);
+  for (const auto& seg : segs) {
+    if (seg->reader.bounds().overlaps(range)) relevant.push_back(seg.get());
   }
 
   QueryStats local;
@@ -440,8 +627,9 @@ WindowSum Store::window_sum(telemetry::MetricId id, util::TimeRange range,
 
 std::vector<telemetry::MetricId> Store::metrics() const {
   std::set<telemetry::MetricId> ids;
-  for (const auto& seg : segments_) {
-    for (const auto& b : seg.reader.blocks()) ids.insert(b.id);
+  const SegmentSnapshot segs = snapshot();
+  for (const auto& seg : segs) {
+    for (const auto& b : seg->reader.blocks()) ids.insert(b.id);
   }
   for (const auto& [day, buf] : mem_) {
     for (const auto& ev : buf) ids.insert(ev.id);
@@ -450,9 +638,10 @@ std::vector<telemetry::MetricId> Store::metrics() const {
 }
 
 std::vector<SegmentMeta> Store::directory() const {
+  std::lock_guard<std::mutex> lock(*mu_);
   std::vector<SegmentMeta> out;
   out.reserve(segments_.size());
-  for (const auto& seg : segments_) out.push_back(seg.meta);
+  for (const auto& seg : segments_) out.push_back(seg->meta);
   return out;
 }
 
@@ -464,8 +653,9 @@ util::TimeRange Store::bounds() const {
     hull.end = first ? hi : std::max(hull.end, hi);
     first = false;
   };
-  for (const auto& seg : segments_) {
-    grow(seg.reader.bounds().begin, seg.reader.bounds().end);
+  const SegmentSnapshot segs = snapshot();
+  for (const auto& seg : segs) {
+    grow(seg->reader.bounds().begin, seg->reader.bounds().end);
   }
   for (const auto& [day, buf] : mem_) {
     for (const auto& ev : buf) grow(ev.t, ev.t + 1);
@@ -475,7 +665,8 @@ util::TimeRange Store::bounds() const {
 
 std::size_t Store::day_partitions() const {
   std::set<std::int64_t> days;
-  for (const auto& seg : segments_) days.insert(seg.meta.day);
+  const SegmentSnapshot segs = snapshot();
+  for (const auto& seg : segs) days.insert(seg->meta.day);
   for (const auto& [day, buf] : mem_) {
     if (!buf.empty()) days.insert(day);
   }
@@ -483,6 +674,7 @@ std::size_t Store::day_partitions() const {
 }
 
 double Store::compression_ratio() const {
+  std::lock_guard<std::mutex> lock(*mu_);
   return stored_bytes_ == 0
              ? 0.0
              : static_cast<double>(sealed_events_ *

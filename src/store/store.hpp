@@ -3,10 +3,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "store/compactor.hpp"
 #include "store/segment.hpp"
 #include "ts/series.hpp"
 #include "util/retry.hpp"
@@ -40,6 +42,12 @@ struct StoreOptions {
   /// windows skip disk + CRC + varint decode. Sized in decoded bytes:
   /// the default holds roughly four million events.
   std::size_t cache_bytes = std::size_t{64} << 20;
+  /// Warm read tier: open sealed segments through `Vfs::map()` and serve
+  /// block reads as zero-copy slices of the mapped view (no per-block
+  /// open/seek, and readers survive the compactor unlinking their file).
+  /// Off by default — mapping claims read-fault ops, which would shift
+  /// the op numbering existing fault schedules aim at.
+  bool mmap_segments = false;
 };
 
 /// What `Store::open` found and fixed. A crash mid-write loses at most
@@ -52,6 +60,12 @@ struct RecoveryReport {
   std::size_t dropped_corrupt = 0;   ///< truncated / CRC-failed, set aside
   std::size_t dropped_missing = 0;   ///< manifest entries with no file
   bool manifest_rebuilt = false;
+  /// Compaction journals replayed at open: `flipped` journals rolled
+  /// forward (output adopted, inputs retired), `copying` ones rolled
+  /// back (inputs stay authoritative). Not part of `clean()` — a
+  /// replayed compaction loses nothing.
+  std::size_t compactions_finished = 0;
+  std::size_t compactions_rolled_back = 0;
 
   [[nodiscard]] bool clean() const {
     return adopted_orphans == 0 && dropped_corrupt == 0 &&
@@ -63,6 +77,21 @@ struct RecoveryReport {
 struct MetricRun {
   telemetry::MetricId id = 0;
   std::vector<ts::Sample> samples;
+};
+
+/// Consumer of `Store::scan_encoded`: per requested id, `begin_run`,
+/// then any mix of still-encoded whole blocks (`block` — CRC-verified
+/// codec bytes plus their event count, valid only for the duration of
+/// the call) and one time-sorted batch of loose samples (`samples` —
+/// range-boundary block slices plus the unsealed tail), then `end_run`.
+/// Any callback returning false stops the scan. The union of decoded
+/// blocks and loose samples is exactly the sample multiset `query`
+/// would return — re-sorting with `sample_less` reproduces its vector.
+struct RawScanSink {
+  std::function<bool(telemetry::MetricId)> begin_run;
+  std::function<bool(std::span<const std::uint8_t>, std::uint32_t)> block;
+  std::function<bool(std::span<const ts::Sample>)> samples;
+  std::function<bool()> end_run;
 };
 
 /// The sort order of every query result: by time, value-tiebroken so the
@@ -153,6 +182,38 @@ class Store {
             const std::function<bool(MetricRun&&)>& sink,
             QueryStats* stats = nullptr) const;
 
+  /// Zero-copy streaming scan: blocks that lie entirely inside `range`
+  /// are handed to the sink still encoded (sliced straight from the
+  /// mapped segment on the warm tier), so the serving path never
+  /// re-encodes them; only range-boundary blocks and the unsealed tail
+  /// decode into loose samples. Loss accounting matches `scan` —
+  /// except that duplicate requested ids re-emit by re-scanning (raw
+  /// spans cannot be cached) without re-charging their losses. Returns
+  /// false iff a sink callback stopped the scan.
+  bool scan_encoded(std::span<const telemetry::MetricId> ids,
+                    util::TimeRange range, const RawScanSink& sink,
+                    QueryStats* stats = nullptr) const;
+
+  /// One synchronous compaction pass over the sealed population: drops
+  /// aged-out segments whole, merges each day's small segments into one
+  /// re-sorted retention-filtered segment through a journaled
+  /// `.incoming` + flip protocol (crash anywhere loses no committed
+  /// event — `compactcheck` sweeps every write point). Passes are
+  /// mutually exclusive with each other but run concurrently with
+  /// queries: in-flight readers keep serving from retired segments
+  /// until `reap` finds them unreferenced. Safe to call from a
+  /// background pool thread.
+  CompactionReport compact(const CompactionOptions& opts);
+
+  /// Delete retired segment files whose last reader is gone (and the
+  /// compaction journals that guarded them). Called automatically by
+  /// `compact`, `flush` and the destructor; exposed so tests and tools
+  /// can force the sweep. Returns files actually deleted.
+  std::size_t reap();
+  /// Retired segments still pinned by in-flight readers (or pending
+  /// deletion): the compactor's graveyard depth.
+  [[nodiscard]] std::size_t graveyard_size() const;
+
   /// Fused decode-aggregate query: the exact per-window sum and event
   /// count of `id` over `range`, computed without materializing samples —
   /// segment scans run the codec's decode-sum kernel (or accumulate from
@@ -177,18 +238,14 @@ class Store {
 
   [[nodiscard]] const std::string& root() const { return root_; }
   [[nodiscard]] const RecoveryReport& recovery() const { return recovery_; }
-  [[nodiscard]] std::size_t sealed_segments() const {
-    return segments_.size();
-  }
+  [[nodiscard]] std::size_t sealed_segments() const;
   [[nodiscard]] std::size_t day_partitions() const;
-  [[nodiscard]] std::uint64_t total_events() const {
-    return sealed_events_ + buffered_events_;
-  }
+  [[nodiscard]] std::uint64_t total_events() const;
   [[nodiscard]] std::uint64_t buffered_events() const {
     return buffered_events_;
   }
   /// On-disk footprint of the sealed segment files (incl. framing).
-  [[nodiscard]] std::uint64_t stored_bytes() const { return stored_bytes_; }
+  [[nodiscard]] std::uint64_t stored_bytes() const;
   /// Raw event bytes / stored bytes over the sealed population.
   [[nodiscard]] double compression_ratio() const;
   /// The decoded-block cache, or nullptr when `cache_bytes == 0`.
@@ -203,11 +260,34 @@ class Store {
     SegmentMeta meta;
     SegmentReader reader;
   };
+  /// A retired segment awaiting deletion: the shared_ptr pins the file's
+  /// reader for any query snapshot still holding it; `journal` (when
+  /// non-empty) is the compaction journal that must outlive this file —
+  /// removed only once every victim it names is gone, so a crash during
+  /// the sweep always replays to a single copy of every event.
+  struct Grave {
+    std::shared_ptr<const LiveSegment> seg;
+    std::string path;
+    std::string journal;
+  };
+  /// Immutable view of the sealed population, shared with in-flight
+  /// queries: the vector is copied under the lock, the segments are
+  /// refcounted, so the compactor swapping `segments_` never invalidates
+  /// a running scan.
+  using SegmentSnapshot = std::vector<std::shared_ptr<const LiveSegment>>;
 
   void recover();
-  void adopt(SegmentMeta meta, SegmentReader reader);
+  /// Replay `<output>.compact` journals left by a crashed compaction —
+  /// runs before the manifest loads so a rolled-forward output is never
+  /// double-counted against its still-listed inputs. Defined in
+  /// compactor.cpp next to the forward path it mirrors.
+  void recover_compactions();
+  [[nodiscard]] SegmentSnapshot snapshot() const;
+  /// Callers of the *_locked helpers hold *mu_.
+  void adopt_locked(SegmentMeta meta, SegmentReader reader);
+  void save_manifest_locked() const;
+  std::size_t reap_locked();
   void seal_day(std::int64_t day);
-  void save_manifest() const;
   [[nodiscard]] std::string next_segment_name(std::int64_t day);
 
   std::string root_;
@@ -219,7 +299,16 @@ class Store {
   std::unique_ptr<BlockCache> cache_;
   mutable util::Rng retry_rng_;
   RecoveryReport recovery_;
-  std::vector<LiveSegment> segments_;
+  /// Guards segments_, graveyard_, the sealed counters, next_seq_ and
+  /// manifest writes (mutate + save happen under one continuous hold so
+  /// concurrent savers cannot publish each other's entries away).
+  /// Behind unique_ptr to keep Store movable.
+  std::unique_ptr<std::mutex> mu_;
+  /// Serializes whole compaction passes (each is long-running and owns
+  /// the plan it computed); never held together with queries.
+  std::unique_ptr<std::mutex> compact_mu_;
+  SegmentSnapshot segments_;
+  std::vector<Grave> graveyard_;
   std::map<std::int64_t, std::vector<telemetry::MetricEvent>> mem_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t sealed_events_ = 0;

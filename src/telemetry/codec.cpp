@@ -92,7 +92,7 @@ EncodedBlock encode_sorted_impl(std::span<const MetricEvent> events) {
 /// columnar sinks replace eight lambda calls with straight-line
 /// (vectorizable) stores. Returns the total.
 template <typename OnTotal, typename Emit, typename Emit8>
-std::size_t decode_stream(const EncodedBlock& block, OnTotal&& on_total,
+std::size_t decode_stream(const EncodedView& block, OnTotal&& on_total,
                           Emit&& emit, Emit8&& emit8) {
   util::VarintReader r(block.bytes);
   std::uint64_t total = 0;
@@ -185,7 +185,7 @@ std::size_t decode_stream(const EncodedBlock& block, OnTotal&& on_total,
 
 /// Per-event-sink overload: the SWAR batches fan back out to `emit`.
 template <typename OnTotal, typename Emit>
-std::size_t decode_stream(const EncodedBlock& block, OnTotal&& on_total,
+std::size_t decode_stream(const EncodedView& block, OnTotal&& on_total,
                           Emit&& emit) {
   return decode_stream(
       block, on_total, emit,
@@ -211,7 +211,7 @@ EncodedBlock encode_events_sorted(std::span<const MetricEvent> events) {
   return encode_sorted_impl(events);
 }
 
-std::vector<MetricEvent> decode_events(const EncodedBlock& block) {
+std::vector<MetricEvent> decode_events(const EncodedView& block) {
   // reserve + push_back, not resize + cursor: resize value-initializes
   // the whole vector only for every byte to be overwritten — measurably
   // double write traffic on multi-MB blocks.
@@ -224,7 +224,7 @@ std::vector<MetricEvent> decode_events(const EncodedBlock& block) {
   return events;
 }
 
-void decode_events_into(const EncodedBlock& block, DecodeScratch& out) {
+void decode_events_into(const EncodedView& block, DecodeScratch& out) {
   // Raw cursors into no-init columns: one size check per column per
   // block, no per-event capacity branches, and no resize memset.
   out.clear();
@@ -280,7 +280,7 @@ void decode_events_into(const EncodedBlock& block, DecodeScratch& out) {
 #endif
 }
 
-std::size_t decode_filter_into(const EncodedBlock& block, MetricId want,
+std::size_t decode_filter_into(const EncodedView& block, MetricId want,
                                util::TimeRange range,
                                std::vector<ts::Sample>& out) {
   return decode_stream(
@@ -292,7 +292,7 @@ std::size_t decode_filter_into(const EncodedBlock& block, MetricId want,
       });
 }
 
-std::size_t decode_sum_into(const EncodedBlock& block, MetricId want,
+std::size_t decode_sum_into(const EncodedView& block, MetricId want,
                             util::TimeRange range, util::TimeSec window,
                             std::span<double> sums,
                             std::span<std::uint64_t> counts) {

@@ -44,6 +44,23 @@ struct EncodedBlock {
   }
 };
 
+/// Non-owning view of encoded block bytes — the decode-side twin of
+/// `EncodedBlock`. The warm (mmap) tier hands decode kernels spans that
+/// point straight into a mapped segment; an `EncodedBlock` converts
+/// implicitly, so owning and zero-copy callers share every entry point.
+/// The caller keeps the backing bytes alive across the decode call.
+struct EncodedView {
+  std::span<const std::uint8_t> bytes;
+  std::size_t events = 0;
+
+  EncodedView() = default;
+  EncodedView(std::span<const std::uint8_t> bytes_in, std::size_t events_in)
+      : bytes(bytes_in), events(events_in) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): deliberate implicit hop.
+  EncodedView(const EncodedBlock& block)
+      : bytes(block.bytes), events(block.events) {}
+};
+
 /// Encode a batch. Already (metric, time)-sorted input — the common case:
 /// aggregator output and sealed segment buffers — is detected and encoded
 /// in place; anything else is sorted first. Note the key is (id, t) only:
@@ -58,7 +75,7 @@ struct EncodedBlock {
     std::span<const MetricEvent> events);
 
 /// Decode back to events sorted by (metric, time). Exact inverse.
-[[nodiscard]] std::vector<MetricEvent> decode_events(const EncodedBlock& block);
+[[nodiscard]] std::vector<MetricEvent> decode_events(const EncodedView& block);
 
 /// Column of a trivial type that grows *without* value-initialization:
 /// `resize_for_overwrite` hands back uninitialized storage the decode
@@ -124,13 +141,13 @@ struct DecodeScratch {
 
 /// Columnar decode: clears and fills `out` (capacity is reused across
 /// calls). Same events, same order as `decode_events`.
-void decode_events_into(const EncodedBlock& block, DecodeScratch& out);
+void decode_events_into(const EncodedView& block, DecodeScratch& out);
 
 /// Fused decode + filter: append samples of metric `want` with t in
 /// `range` to `out`, never materializing events. Returns the block's
 /// total decoded event count (callers cross-check it against directory
 /// metadata). Appended order matches `decode_events` order.
-std::size_t decode_filter_into(const EncodedBlock& block, MetricId want,
+std::size_t decode_filter_into(const EncodedView& block, MetricId want,
                                util::TimeRange range,
                                std::vector<ts::Sample>& out);
 
@@ -140,7 +157,7 @@ std::size_t decode_filter_into(const EncodedBlock& block, MetricId want,
 /// in decode order (event-weighted, no sample-and-hold). Both spans must
 /// hold ceil(range.duration() / window) entries. Returns the block's
 /// total decoded event count.
-std::size_t decode_sum_into(const EncodedBlock& block, MetricId want,
+std::size_t decode_sum_into(const EncodedView& block, MetricId want,
                             util::TimeRange range, util::TimeSec window,
                             std::span<double> sums,
                             std::span<std::uint64_t> counts);

@@ -1,6 +1,13 @@
 #include "util/vfs.hpp"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -33,6 +40,36 @@ class RealFile final : public VfsFile {
  private:
   std::string path_;
   std::ofstream out_;
+};
+
+// mmap(2)-backed mapping. The fd is closed right after mapping — the
+// kernel keeps the pages valid until munmap, including across an
+// unlink of the path.
+class RealMapping final : public VfsMapping {
+ public:
+  RealMapping(void* addr, std::size_t len) : addr_(addr), len_(len) {}
+  RealMapping(const RealMapping&) = delete;
+  RealMapping& operator=(const RealMapping&) = delete;
+  ~RealMapping() override {
+    if (addr_ != nullptr) ::munmap(addr_, len_);
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const override {
+    return {static_cast<const std::uint8_t*>(addr_), len_};
+  }
+
+ private:
+  void* addr_;
+  std::size_t len_;
+};
+
+// Empty files cannot be mmap'd (mmap rejects length 0); an empty span
+// with no backing pages serves the same contract.
+class EmptyMapping final : public VfsMapping {
+ public:
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const override {
+    return {};
+  }
 };
 
 }  // namespace
@@ -103,6 +140,34 @@ std::vector<std::string> RealVfs::list(const std::string& dir) {
   if (ec) throw VfsError("vfs: list " + dir + ": " + ec.message());
   std::sort(names.begin(), names.end());
   return names;
+}
+
+std::shared_ptr<VfsMapping> RealVfs::map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw VfsError("vfs: cannot open for mapping " + path + ": " +
+                   std::strerror(errno));
+  }
+  struct ::stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw VfsError("vfs: cannot stat for mapping " + path + ": " +
+                   std::strerror(err));
+  }
+  const auto len = static_cast<std::size_t>(st.st_size);
+  if (len == 0) {
+    ::close(fd);
+    return std::make_shared<EmptyMapping>();
+  }
+  void* addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int err = errno;
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    throw VfsError("vfs: mmap failed for " + path + ": " +
+                   std::strerror(err));
+  }
+  return std::make_shared<RealMapping>(addr, len);
 }
 
 Vfs& Vfs::real() {

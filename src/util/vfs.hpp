@@ -40,6 +40,18 @@ class VfsFile {
   }
 };
 
+/// A read-only byte view of a whole file, alive for as long as the
+/// mapping object is. Real mappings are mmap(2)-backed, so the view
+/// survives a concurrent unlink of the path — the property the store's
+/// compactor relies on to retire segments under in-flight queries.
+/// The bytes are a snapshot of the file at `map()` time; the seam makes
+/// no promise about concurrent writers (sealed segments are immutable).
+class VfsMapping {
+ public:
+  virtual ~VfsMapping() = default;
+  [[nodiscard]] virtual std::span<const std::uint8_t> bytes() const = 0;
+};
+
 /// Minimal virtual-filesystem seam the on-disk store does all its I/O
 /// through. Production uses `Vfs::real()`; tests wrap it in a
 /// `faultfs::FaultVfs` to inject short writes, ENOSPC, bit flips,
@@ -66,6 +78,17 @@ class Vfs {
   [[nodiscard]] virtual std::vector<std::string> list(
       const std::string& dir) = 0;
 
+  /// Map the whole file read-only. Returns nullptr when this Vfs does
+  /// not support mapping (callers must fall back to `read_range`) and
+  /// throws VfsError when mapping was attempted and failed. The default
+  /// is "unsupported" so decorators and test doubles stay buffered
+  /// unless they opt in.
+  [[nodiscard]] virtual std::shared_ptr<VfsMapping> map(
+      const std::string& path) {
+    (void)path;
+    return nullptr;
+  }
+
   /// The process-global passthrough to the actual filesystem.
   static Vfs& real();
 };
@@ -88,6 +111,8 @@ class RealVfs final : public Vfs {
   void remove(const std::string& path) override;
   void mkdirs(const std::string& path) override;
   [[nodiscard]] std::vector<std::string> list(const std::string& dir) override;
+  [[nodiscard]] std::shared_ptr<VfsMapping> map(
+      const std::string& path) override;
 };
 
 }  // namespace exawatt::util

@@ -535,4 +535,137 @@ TEST(IngestDropAlert, RaisesOnFirstSheddingAndClearsWhenStable) {
   EXPECT_EQ(engine.log().back().value, 3.0);
 }
 
+// ------------------------------------------------------- warm-tier faults
+
+// SegmentReader ctor read-side op numbering: header (0), trailer (1),
+// footer (2), then the map attempt (3) when map_file is set.
+constexpr std::uint64_t kMapOp = 3;
+
+TEST(WarmTierFaults, MapFailureFallsBackToBufferedReads) {
+  const auto batches = make_batches();
+  const std::string dir = scratch_dir("faults_map_fail");
+  ASSERT_TRUE(feed(dir, batches));
+  std::string seg;
+  {
+    store::Store st = store::Store::open(dir, small_segments());
+    ASSERT_FALSE(st.directory().empty());
+    seg = dir + "/" + st.directory().front().file;
+  }
+  store::SegmentReader clean(seg, nullptr, /*map_file=*/true);
+  ASSERT_TRUE(clean.mapped());
+
+  faultfs::FaultVfs vfs(util::Vfs::real(),
+                        faultfs::FaultPlan().fail_read(kMapOp));
+  store::SegmentReader reader(seg, &vfs, /*map_file=*/true);
+  EXPECT_FALSE(reader.mapped());  // the tier refused, the open did not
+  EXPECT_GE(vfs.stats().injected, 1u);
+  for (const auto& b : reader.blocks()) {
+    // Buffered fallback serves the identical events the mapping would.
+    const auto got = reader.read_block(b);
+    const auto want = clean.read_block(b);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id);
+      EXPECT_EQ(got[i].t, want[i].t);
+      EXPECT_EQ(got[i].value, want[i].value);
+    }
+  }
+}
+
+TEST(WarmTierFaults, BitFlipOnMappedViewIsCaughtByBlockCrc) {
+  const auto batches = make_batches();
+  const std::string dir = scratch_dir("faults_map_flip");
+  ASSERT_TRUE(feed(dir, batches));
+  std::string seg;
+  {
+    store::Store st = store::Store::open(dir, small_segments());
+    ASSERT_FALSE(st.directory().empty());
+    seg = dir + "/" + st.directory().front().file;
+  }
+  store::SegmentReader probe(seg);  // clean, to aim the flip
+  ASSERT_FALSE(probe.blocks().empty());
+  const store::BlockMeta target = probe.blocks().front();
+
+  // Flip the first bit of the first block inside the mapped copy: the
+  // mapping succeeds, but every read of that block must fail its CRC.
+  faultfs::FaultVfs vfs(
+      util::Vfs::real(),
+      faultfs::FaultPlan().flip_bit_on_read(kMapOp, target.offset * 8));
+  store::SegmentReader reader(seg, &vfs, /*map_file=*/true);
+  ASSERT_TRUE(reader.mapped());
+  EXPECT_THROW((void)reader.read_block(target), store::StoreError);
+
+  // The degraded path skips the damaged block, counts it, and still
+  // attributes the read to the warm tier.
+  store::QueryStats stats;
+  std::vector<ts::Sample> out;
+  reader.scan(target.id, reader.bounds(), out, &stats);
+  EXPECT_GE(stats.lost_blocks, 1u);
+  EXPECT_GE(stats.warm_blocks, 1u);
+  EXPECT_EQ(stats.cold_blocks, 0u);
+  std::vector<ts::Sample> full;
+  probe.scan(target.id, probe.bounds(), full);
+  EXPECT_TRUE(is_subset(out, full));
+  EXPECT_LT(out.size(), full.size());  // the damaged block is missing
+
+  // The flip lived only in the mapping's private copy — the base file is
+  // intact and a fresh reader serves the block clean.
+  store::SegmentReader fresh(seg);
+  EXPECT_EQ(fresh.read_block(target).size(), target.events);
+}
+
+// ------------------------------------------------------ compaction faults
+
+TEST(CompactionFaults, CrashEitherSideOfTheFlipLosesNoCommittedEvent) {
+  const auto batches = make_batches();
+  const auto reference = make_reference(batches);
+  const std::string dir = scratch_dir("faults_compact_crash");
+
+  auto compact_through = [&](util::Vfs* vfs) {
+    store::StoreOptions options = small_segments();
+    options.vfs = vfs;
+    store::Store st = store::Store::open(dir, options);
+    store::CompactionOptions copts;
+    copts.small_segment_events = 1 << 20;  // merge everything
+    return st.compact(copts);
+  };
+
+  // Rehearsal numbers the compaction's write points on a clean copy.
+  ASSERT_TRUE(feed(dir, batches));
+  faultfs::FaultVfs rehearsal(util::Vfs::real());
+  const auto clean_report = compact_through(&rehearsal);
+  ASSERT_GE(clean_report.rounds, 1u);
+  const auto journal = rehearsal.write_journal();
+  const auto incoming_write = find_op(journal, "write ", ".incoming");
+  const auto flip_rename = find_op(journal, "rename ", ".incoming",
+                                   /*last=*/true);
+
+  // Crash mid-copy (before the flip): the journal is still `copying`,
+  // recovery rolls back, and every event is where it was.
+  ASSERT_TRUE(feed(dir, batches));
+  faultfs::FaultVfs chaos_copy(
+      util::Vfs::real(),
+      faultfs::FaultPlan().crash_at_write(incoming_write));
+  EXPECT_THROW((void)compact_through(&chaos_copy), store::StoreError);
+  {
+    store::Store st = store::Store::open(dir, small_segments());
+    EXPECT_EQ(st.recovery().compactions_rolled_back, 1u);
+    EXPECT_EQ(st.recovery().compactions_finished, 0u);
+  }
+  EXPECT_EQ(verify_recovery(dir, reference), 2400u);
+
+  // Crash at the incoming→final rename (just past the flip): the journal
+  // committed, recovery rolls forward to the merged output.
+  ASSERT_TRUE(feed(dir, batches));
+  faultfs::FaultVfs chaos_flip(
+      util::Vfs::real(), faultfs::FaultPlan().crash_at_write(flip_rename));
+  EXPECT_THROW((void)compact_through(&chaos_flip), store::StoreError);
+  {
+    store::Store st = store::Store::open(dir, small_segments());
+    EXPECT_EQ(st.recovery().compactions_finished, 1u);
+    EXPECT_EQ(st.recovery().compactions_rolled_back, 0u);
+  }
+  EXPECT_EQ(verify_recovery(dir, reference), 2400u);
+}
+
 }  // namespace

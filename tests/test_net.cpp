@@ -28,6 +28,7 @@
 #include "server/wire.hpp"
 #include "store/store.hpp"
 #include "stream/replay.hpp"
+#include "telemetry/codec.hpp"
 #include "util/check.hpp"
 #include "util/sim_time.hpp"
 #include "util/thread_pool.hpp"
@@ -905,7 +906,7 @@ TEST(Loopback, UnknownFutureMethodIsTypedErrorNotConnectionFatal) {
   server::wire::Request ping;
   ping.method = server::wire::Method::kPing;
   auto payload = server::wire::encode_request(ping);
-  payload[0] = 10;  // one past the known method range
+  payload[0] = 11;  // one past the known method range (10 = kScanBlocks)
   EXPECT_THROW((void)server::wire::decode_request(payload),
                server::wire::WireError);
 
@@ -1738,5 +1739,167 @@ INSTANTIATE_TEST_SUITE_P(
       return "w" + std::to_string(info.param.workers) + "_c" +
              std::to_string(info.param.connections);
     });
+
+// --- scan_blocks wire form ------------------------------------------------
+
+TEST(ScanBlocksWire, RequestExtensionRoundTrips) {
+  server::wire::Request req;
+  req.method = server::wire::Method::kScan;
+  req.metrics = {1, 2};
+  req.range = {0, 120};
+  req.chunk_bytes = 4096;
+  req.want_scan_blocks = true;
+  const auto both =
+      server::wire::decode_request(server::wire::encode_request(req));
+  EXPECT_EQ(both.method, server::wire::Method::kScan);
+  EXPECT_EQ(both.chunk_bytes, 4096u);
+  EXPECT_TRUE(both.want_scan_blocks);
+
+  // The block form negotiates independently of chunking.
+  req.chunk_bytes = 0;
+  const auto lone =
+      server::wire::decode_request(server::wire::encode_request(req));
+  EXPECT_EQ(lone.chunk_bytes, 0u);
+  EXPECT_TRUE(lone.want_scan_blocks);
+
+  // kScanBlocks is a response-only method: a request asks with kScan
+  // plus the extension, never with the method itself.
+  server::wire::Request bad;
+  bad.method = server::wire::Method::kScanBlocks;
+  EXPECT_THROW((void)server::wire::encode_request(bad),
+               server::wire::WireError);
+}
+
+TEST(ScanBlocksWire, MaterializedResponseRoundTrips) {
+  server::wire::Response resp;
+  resp.status = server::wire::Status::kOk;
+  resp.method = server::wire::Method::kScanBlocks;
+  store::MetricRun a;
+  a.id = 7;
+  a.samples = {{1, 4.0}, {2, 5.0}, {2, 6.0}};
+  store::MetricRun b;
+  b.id = 9;  // empty run: begin + end, no pieces
+  resp.runs = {a, b};
+  resp.stats.lost_blocks = 1;
+  resp.stats.cache_misses = 3;
+
+  const auto back =
+      server::wire::decode_response(server::wire::encode_response(resp));
+  EXPECT_EQ(back.status, server::wire::Status::kOk);
+  EXPECT_EQ(back.method, server::wire::Method::kScanBlocks);
+  ASSERT_EQ(back.runs.size(), 2u);
+  EXPECT_EQ(back.runs[0].id, 7u);
+  ASSERT_EQ(back.runs[0].samples.size(), 3u);
+  EXPECT_EQ(back.runs[0].samples[1].t, 2);
+  EXPECT_EQ(back.runs[0].samples[1].value, 5.0);
+  EXPECT_EQ(back.runs[1].id, 9u);
+  EXPECT_TRUE(back.runs[1].samples.empty());
+  EXPECT_EQ(back.stats.lost_blocks, 1u);
+  EXPECT_EQ(back.stats.cache_misses, 3u);
+}
+
+TEST(ScanBlocksWire, StreamedRawBlockDecodesToSamples) {
+  // Assemble the exact byte stream the streaming service produces: one
+  // run carrying a still-encoded codec block plus a loose tail sample.
+  std::vector<telemetry::MetricEvent> events;
+  for (int i = 0; i < 64; ++i) {
+    events.push_back({5, 10 + i, 100 - i});
+  }
+  const telemetry::EncodedBlock block = telemetry::encode_events(events);
+
+  std::vector<std::uint8_t> bytes;
+  server::wire::scan_blocks_begin(1, &bytes);
+  server::wire::scan_blocks_run_begin(5, &bytes);
+  server::wire::scan_blocks_block_header(
+      static_cast<std::uint32_t>(block.bytes.size()), 64, &bytes);
+  bytes.insert(bytes.end(), block.bytes.begin(), block.bytes.end());
+  const ts::Sample loose{200, 1.0};
+  server::wire::scan_blocks_samples({&loose, 1}, &bytes);
+  server::wire::scan_blocks_run_end(&bytes);
+  store::QueryStats stats;
+  stats.cache_misses = 2;
+  server::wire::scan_blocks_end(stats, &bytes);
+
+  const auto resp = server::wire::decode_response(bytes);
+  EXPECT_EQ(resp.method, server::wire::Method::kScanBlocks);
+  ASSERT_EQ(resp.runs.size(), 1u);
+  const auto& run = resp.runs[0];
+  EXPECT_EQ(run.id, 5u);
+  ASSERT_EQ(run.samples.size(), 65u);  // 64 decoded + 1 loose, sorted
+  EXPECT_EQ(run.samples.front().t, 10);
+  EXPECT_EQ(run.samples.front().value, 100.0);
+  EXPECT_EQ(run.samples.back().t, 200);
+  EXPECT_TRUE(std::is_sorted(run.samples.begin(), run.samples.end(),
+                             store::sample_less));
+  EXPECT_EQ(resp.stats.cache_misses, 2u);
+
+  // A block whose declared event count disagrees with its payload is a
+  // protocol violation, not a silent miscount.
+  std::vector<std::uint8_t> tampered;
+  server::wire::scan_blocks_begin(1, &tampered);
+  server::wire::scan_blocks_run_begin(5, &tampered);
+  server::wire::scan_blocks_block_header(
+      static_cast<std::uint32_t>(block.bytes.size()), 63, &tampered);
+  tampered.insert(tampered.end(), block.bytes.begin(), block.bytes.end());
+  server::wire::scan_blocks_run_end(&tampered);
+  server::wire::scan_blocks_end(stats, &tampered);
+  EXPECT_THROW((void)server::wire::decode_response(tampered),
+               server::wire::WireError);
+
+  // So is an unknown piece tag.
+  std::vector<std::uint8_t> unknown;
+  server::wire::scan_blocks_begin(1, &unknown);
+  server::wire::scan_blocks_run_begin(5, &unknown);
+  unknown.push_back(7);
+  server::wire::scan_blocks_end(stats, &unknown);
+  EXPECT_THROW((void)server::wire::decode_response(unknown),
+               server::wire::WireError);
+}
+
+TEST(ChunkedLoopback, BlockFormScanMatchesClassicRunForRun) {
+  LoopbackFixture fx("scan_blocks");
+  server::Client client(fx.client_options());
+
+  // Full-range: every block lies wholly inside, so the server ships raw
+  // encoded blocks and the client decodes them. Partial range: boundary
+  // blocks decode server-side into loose samples. Both must reproduce
+  // the classic scan exactly.
+  for (const util::TimeRange range :
+       {util::TimeRange{0, 120}, util::TimeRange{30, 90}}) {
+    server::wire::Request req;
+    req.method = server::wire::Method::kScan;
+    req.metrics = {0, 1, 2, 3};
+    req.range = range;
+    const auto classic = client.call(req);
+    ASSERT_EQ(classic.status, server::wire::Status::kOk);
+
+    req.chunk_bytes = 600;
+    req.want_scan_blocks = true;
+    const auto blocks = client.call(req);
+    ASSERT_EQ(blocks.status, server::wire::Status::kOk);
+    EXPECT_EQ(blocks.method, server::wire::Method::kScanBlocks);
+    ASSERT_EQ(blocks.runs.size(), classic.runs.size());
+    for (std::size_t i = 0; i < classic.runs.size(); ++i) {
+      EXPECT_EQ(blocks.runs[i].id, classic.runs[i].id);
+      ASSERT_EQ(blocks.runs[i].samples.size(),
+                classic.runs[i].samples.size())
+          << "run " << i << " range [" << range.begin << ", " << range.end
+          << ")";
+      for (std::size_t j = 0; j < classic.runs[i].samples.size(); ++j) {
+        EXPECT_EQ(blocks.runs[i].samples[j].t, classic.runs[i].samples[j].t);
+        EXPECT_EQ(blocks.runs[i].samples[j].value,
+                  classic.runs[i].samples[j].value);
+      }
+    }
+    EXPECT_EQ(blocks.stats.lost_segments, 0u);
+    EXPECT_EQ(blocks.stats.lost_blocks, 0u);
+  }
+
+  server::wire::Request stats_req;
+  stats_req.method = server::wire::Method::kServerStats;
+  const auto stats = client.call(stats_req);
+  ASSERT_EQ(stats.status, server::wire::Status::kOk);
+  EXPECT_GE(stats.server.streams, 2u);
+}
 
 }  // namespace

@@ -942,4 +942,414 @@ TEST(Accounting, RawEventBytesIsTheStructSize) {
                        static_cast<double>(archive.compressed_bytes()));
 }
 
+// ------------------------------------------------------------ warm tier
+
+TEST(WarmTier, MmapParityWithBufferedReadsOnEveryMetric) {
+  const auto dir = scratch_dir("warm_parity");
+  util::Rng rng(71);
+  store::StoreOptions options;
+  options.segment_events = 700;
+  options.block_events = 96;
+  options.cache_bytes = 0;  // every block read hits the tier under test
+  {
+    auto st = store::Store::open(dir, options);
+    for (int b = 0; b < 9; ++b) {
+      st.append(random_batch(rng, {0, 2 * util::kDay}, 700, 5));
+    }
+    st.flush();
+  }
+
+  auto cold = store::Store::open(dir, options);
+  store::StoreOptions warm_options = options;
+  warm_options.mmap_segments = true;
+  auto warm = store::Store::open(dir, warm_options);
+
+  const util::TimeRange range{0, 2 * util::kDay};
+  store::QueryStats cold_stats, warm_stats;
+  for (const telemetry::MetricId id : cold.metrics()) {
+    expect_same_samples(warm.query(id, range, &warm_stats),
+                        cold.query(id, range, &cold_stats),
+                        "warm/cold tier, metric " + std::to_string(id));
+  }
+  // Tier attribution: the mapped store reads every block zero-copy, the
+  // buffered one never maps. Both read the same number of blocks.
+  EXPECT_FALSE(warm_stats.degraded());
+  EXPECT_FALSE(cold_stats.degraded());
+  EXPECT_GT(warm_stats.warm_blocks, 0u);
+  EXPECT_EQ(warm_stats.cold_blocks, 0u);
+  EXPECT_EQ(cold_stats.warm_blocks, 0u);
+  EXPECT_GT(cold_stats.cold_blocks, 0u);
+  EXPECT_EQ(warm_stats.warm_blocks, cold_stats.cold_blocks);
+}
+
+TEST(WarmTier, MappedReaderSurvivesUnlink) {
+  const auto dir = scratch_dir("warm_unlink");
+  util::Rng rng(72);
+  store::StoreOptions options;
+  options.segment_events = 400;
+  options.block_events = 64;
+  auto st = store::Store::open(dir, options);
+  st.append(random_batch(rng, {0, util::kDay}, 400, 3));
+  st.flush();
+  const auto directory = st.directory();
+  ASSERT_FALSE(directory.empty());
+  const std::string seg_path = dir + "/" + directory.front().file;
+
+  store::SegmentReader reader(seg_path, nullptr, /*map_file=*/true);
+  ASSERT_TRUE(reader.mapped());
+  std::uint64_t before = 0;
+  for (const auto& b : reader.blocks()) before += reader.read_block(b).size();
+
+  // The compactor's retirement shape: the file vanishes under a reader
+  // that is still serving queries. The mapping keeps the bytes alive.
+  fs::remove(seg_path);
+  std::uint64_t after = 0;
+  for (const auto& b : reader.blocks()) after += reader.read_block(b).size();
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(after, reader.events());
+}
+
+// ----------------------------------------------------------- compaction
+
+TEST(Compaction, PlanMergesSmallsDropsAgedAndForcesStraddlers) {
+  auto meta = [](const char* file, std::int64_t day, std::uint64_t events,
+                 util::TimeSec t_min, util::TimeSec t_max) {
+    store::SegmentMeta m;
+    m.file = file;
+    m.day = day;
+    m.events = events;
+    m.t_min = t_min;
+    m.t_max = t_max;
+    return m;
+  };
+  const std::vector<store::SegmentMeta> directory{
+      meta("aged.seg", 0, 5000, 0, 999),          // wholly expired
+      meta("small_a.seg", 1, 100, 90000, 90500),  // merge pair...
+      meta("small_b.seg", 1, 120, 90200, 90900),  // ...same day
+      meta("lone.seg", 2, 80, 180000, 180500),    // lone small: untouched
+      meta("big.seg", 3, 9000, 259300, 260000),   // big: untouched
+      meta("straddle.seg", 0, 9000, 500, 2000),   // big but crosses cutoff
+  };
+  store::CompactionOptions opts;
+  opts.retention.drop_before = 1000;
+  opts.small_segment_events = 1000;
+  opts.min_merge_inputs = 2;
+
+  const auto plan = store::plan_compaction(directory, opts);
+  ASSERT_EQ(plan.drop.size(), 1u);
+  EXPECT_EQ(plan.drop[0], "aged.seg");
+  ASSERT_EQ(plan.rounds.size(), 2u);  // day 0 (forced) and day 1 (pair)
+  EXPECT_EQ(plan.rounds[0].day, 0);
+  EXPECT_EQ(plan.rounds[0].inputs, std::vector<std::string>{"straddle.seg"});
+  EXPECT_EQ(plan.rounds[1].day, 1);
+  EXPECT_EQ(plan.rounds[1].inputs,
+            (std::vector<std::string>{"small_a.seg", "small_b.seg"}));
+
+  // Without retention pressure the straddler is just a big segment and
+  // the lone small still is not worth a rewrite.
+  store::CompactionOptions keep_all = opts;
+  keep_all.retention.drop_before = 0;
+  const auto plan2 = store::plan_compaction(directory, keep_all);
+  EXPECT_TRUE(plan2.drop.empty());
+  ASSERT_EQ(plan2.rounds.size(), 1u);
+  EXPECT_EQ(plan2.rounds[0].day, 1);
+}
+
+TEST(Compaction, MergeIsLosslessAndIdempotent) {
+  const auto dir = scratch_dir("compact_merge");
+  util::Rng rng(73);
+  store::StoreOptions options;
+  options.segment_events = 250;
+  options.block_events = 64;
+  auto st = store::Store::open(dir, options);
+  for (int b = 0; b < 12; ++b) {
+    st.append(random_batch(rng, {0, util::kDay}, 250, 4));
+  }
+  st.flush();
+  const auto before_segments = st.sealed_segments();
+  ASSERT_GE(before_segments, 4u);
+  const util::TimeRange range{0, util::kDay};
+  std::map<telemetry::MetricId, std::vector<ts::Sample>> reference;
+  for (const telemetry::MetricId id : st.metrics()) {
+    reference[id] = st.query(id, range);
+  }
+
+  store::CompactionOptions copts;
+  copts.small_segment_events = 1 << 20;  // everything is "small"
+  const auto report = st.compact(copts);
+  EXPECT_EQ(report.rounds, 1u);
+  EXPECT_EQ(report.merged_inputs, before_segments);
+  EXPECT_EQ(report.events_in, report.events_out);
+  EXPECT_EQ(report.events_expired, 0u);
+  EXPECT_EQ(st.sealed_segments(), 1u);
+  EXPECT_EQ(st.graveyard_size(), 0u);  // no reader pinned the victims
+  for (const auto& [id, samples] : reference) {
+    expect_same_samples(st.query(id, range), samples,
+                        "post-compaction, metric " + std::to_string(id));
+  }
+
+  // A second pass finds one big segment and nothing to do.
+  const auto again = st.compact(copts);
+  EXPECT_EQ(again.rounds, 0u);
+  EXPECT_EQ(again.dropped_segments, 0u);
+  EXPECT_EQ(st.sealed_segments(), 1u);
+
+  // And the merged store reopens clean, with identical answers.
+  auto reopened = store::Store::open(dir, options);
+  EXPECT_TRUE(reopened.recovery().clean());
+  for (const auto& [id, samples] : reference) {
+    expect_same_samples(reopened.query(id, range), samples,
+                        "reopen post-compaction, metric " +
+                            std::to_string(id));
+  }
+}
+
+TEST(Compaction, RetentionDropsWholeSegmentsAndFiltersStraddlers) {
+  const auto dir = scratch_dir("compact_retention");
+  util::Rng rng(74);
+  store::StoreOptions options;
+  options.segment_events = 300;
+  options.block_events = 64;
+  auto st = store::Store::open(dir, options);
+  // Two day-partitions: day 0 ages out entirely, day 1 straddles.
+  for (int b = 0; b < 4; ++b) {
+    st.append(random_batch(rng, {0, util::kDay}, 300, 4));
+    st.append(random_batch(rng, {util::kDay, 2 * util::kDay}, 300, 4));
+  }
+  st.flush();
+  const util::TimeRange all{0, 2 * util::kDay};
+  const util::TimeSec cutoff = util::kDay + util::kHour;
+  std::map<telemetry::MetricId, std::vector<ts::Sample>> survivors;
+  const std::uint64_t total_before = st.total_events();
+  for (const telemetry::MetricId id : st.metrics()) {
+    auto samples = st.query(id, all);
+    std::erase_if(samples,
+                  [&](const ts::Sample& s) { return s.t < cutoff; });
+    survivors[id] = std::move(samples);
+  }
+
+  store::CompactionOptions copts;
+  copts.retention.drop_before = cutoff;
+  copts.small_segment_events = 1 << 20;
+  const auto report = st.compact(copts);
+  EXPECT_GT(report.dropped_segments, 0u);  // the day-0 population
+  EXPECT_EQ(report.rounds, 1u);            // day 1 rewrote
+  EXPECT_GT(report.events_expired, 0u);
+  EXPECT_EQ(report.events_out, report.events_in - report.events_expired);
+
+  std::uint64_t total_after = 0;
+  for (const auto& [id, keep] : survivors) {
+    expect_same_samples(st.query(id, all), keep,
+                        "retention survivor, metric " + std::to_string(id));
+    total_after += keep.size();
+  }
+  EXPECT_EQ(st.total_events(), total_after);
+  EXPECT_LT(total_after, total_before);
+  EXPECT_GE(st.bounds().begin, cutoff);
+}
+
+TEST(Compaction, ConcurrentQueryKeepsItsSnapshotWhileSegmentsRetire) {
+  const auto dir = scratch_dir("compact_concurrent");
+  util::Rng rng(75);
+  store::StoreOptions options;
+  options.segment_events = 200;
+  options.block_events = 64;
+  auto st = store::Store::open(dir, options);
+  for (int b = 0; b < 10; ++b) {
+    st.append(random_batch(rng, {0, util::kDay}, 200, 3));
+  }
+  st.flush();
+  ASSERT_GE(st.sealed_segments(), 4u);
+  const util::TimeRange range{0, util::kDay};
+  const auto ids = st.metrics();
+  std::map<telemetry::MetricId, std::vector<ts::Sample>> reference;
+  for (const telemetry::MetricId id : ids) reference[id] = st.query(id, range);
+
+  // Compact from inside a running scan: the scan's snapshot pins the
+  // retired inputs (graveyard holds them), and its results must still be
+  // the full pre-compaction answer.
+  store::CompactionOptions copts;
+  copts.small_segment_events = 1 << 20;
+  bool compacted = false;
+  std::size_t graveyard_during = 0;
+  std::map<telemetry::MetricId, std::vector<ts::Sample>> scanned;
+  const bool completed = st.scan(
+      ids, range,
+      [&](store::MetricRun&& run) {
+        if (!compacted) {
+          compacted = true;
+          const auto report = st.compact(copts);
+          EXPECT_EQ(report.rounds, 1u);
+          graveyard_during = st.graveyard_size();
+        }
+        scanned[run.id] = std::move(run.samples);
+        return true;
+      });
+  ASSERT_TRUE(completed);
+  EXPECT_GT(graveyard_during, 0u);  // victims pinned by the live scan
+  for (const auto& [id, samples] : reference) {
+    expect_same_samples(scanned[id], samples,
+                        "scan across compaction, metric " +
+                            std::to_string(id));
+  }
+  // The scan is done; its snapshot died with it, so the reap drains.
+  EXPECT_GT(st.reap(), 0u);
+  EXPECT_EQ(st.graveyard_size(), 0u);
+  for (const auto& [id, samples] : reference) {
+    expect_same_samples(st.query(id, range), samples,
+                        "post-reap, metric " + std::to_string(id));
+  }
+}
+
+// -------------------------------------------------- compaction recovery
+
+TEST(CompactionJournal, EncodeDecodeRoundTripAndCrcTamper) {
+  store::CompactionJournal j;
+  j.state = store::CompactionJournal::State::kFlipped;
+  j.day = 17;
+  j.output = "seg00000042_day00017.seg";
+  j.drop_before = 12345;
+  j.inputs = {"seg00000001_day00017.seg", "seg00000002_day00017.seg"};
+
+  const std::string text = j.encode();
+  const auto back = store::CompactionJournal::decode(text);
+  EXPECT_EQ(back.state, j.state);
+  EXPECT_EQ(back.day, j.day);
+  EXPECT_EQ(back.output, j.output);
+  EXPECT_EQ(back.drop_before, j.drop_before);
+  EXPECT_EQ(back.inputs, j.inputs);
+
+  std::string tampered = text;
+  tampered[tampered.find("flipped")] = 'F';
+  EXPECT_THROW((void)store::CompactionJournal::decode(tampered),
+               store::StoreError);
+  EXPECT_THROW((void)store::CompactionJournal::decode("not a journal"),
+               store::StoreError);
+
+  EXPECT_EQ(store::CompactionJournal::path_for("/r", j.output),
+            "/r/" + j.output + ".compact");
+}
+
+TEST(CompactionRecovery, CopyingJournalRollsBackWithoutDataLoss) {
+  const auto dir = scratch_dir("compact_rollback");
+  util::Rng rng(76);
+  store::StoreOptions options;
+  options.segment_events = 300;
+  options.block_events = 64;
+  std::map<telemetry::MetricId, std::vector<ts::Sample>> reference;
+  std::vector<std::string> inputs;
+  {
+    auto st = store::Store::open(dir, options);
+    for (int b = 0; b < 4; ++b) {
+      st.append(random_batch(rng, {0, util::kDay}, 300, 4));
+    }
+    st.flush();
+    for (const telemetry::MetricId id : st.metrics()) {
+      reference[id] = st.query(id, {0, util::kDay});
+    }
+    for (const auto& m : st.directory()) inputs.push_back(m.file);
+  }
+
+  // A pass that died mid-copy: a copying journal plus a torn .incoming.
+  store::CompactionJournal j;
+  j.state = store::CompactionJournal::State::kCopying;
+  j.day = 0;
+  j.output = "seg00000099_day00000.seg";
+  j.inputs = inputs;
+  {
+    const std::string text = j.encode();
+    std::ofstream out(store::CompactionJournal::path_for(dir, j.output),
+                      std::ios::binary);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  }
+  write_file(dir + "/" + j.output + ".incoming", {0xDE, 0xAD, 0xBE, 0xEF});
+  // Plus a torn journal save that never got renamed in.
+  write_file(dir + "/" + j.output + ".compact.tmp", {0x00});
+
+  auto st = store::Store::open(dir, options);
+  EXPECT_EQ(st.recovery().compactions_rolled_back, 1u);
+  EXPECT_EQ(st.recovery().compactions_finished, 0u);
+  EXPECT_TRUE(st.recovery().clean());  // the inputs were untouched
+  for (const auto& [id, samples] : reference) {
+    expect_same_samples(st.query(id, {0, util::kDay}), samples,
+                        "post-rollback, metric " + std::to_string(id));
+  }
+  EXPECT_FALSE(fs::exists(dir + "/" + j.output + ".incoming"));
+  EXPECT_FALSE(fs::exists(dir + "/" + j.output + ".compact"));
+  EXPECT_FALSE(fs::exists(dir + "/" + j.output + ".compact.tmp"));
+}
+
+TEST(CompactionRecovery, FlippedJournalRollsForwardToTheOutput) {
+  const auto dir = scratch_dir("compact_forward");
+  util::Rng rng(77);
+  store::StoreOptions options;
+  options.segment_events = 300;
+  options.block_events = 64;
+  std::map<telemetry::MetricId, std::vector<ts::Sample>> reference;
+  std::vector<std::string> inputs;
+  std::vector<telemetry::MetricEvent> merged;
+  {
+    auto st = store::Store::open(dir, options);
+    for (int b = 0; b < 4; ++b) {
+      st.append(random_batch(rng, {0, util::kDay}, 300, 4));
+    }
+    st.flush();
+    for (const telemetry::MetricId id : st.metrics()) {
+      reference[id] = st.query(id, {0, util::kDay});
+    }
+    for (const auto& m : st.directory()) {
+      inputs.push_back(m.file);
+      store::SegmentReader r(dir + "/" + m.file);
+      for (const auto& b : r.blocks()) {
+        const auto evs = r.read_block(b);
+        merged.insert(merged.end(), evs.begin(), evs.end());
+      }
+    }
+  }
+
+  // Reconstruct the exact pre-crash state one op past the commit point:
+  // a validated .incoming and a flipped journal, rename not yet done.
+  const std::string output = "seg00000099_day00000.seg";
+  {
+    store::SegmentWriter writer(dir + "/" + output + ".incoming", 0, 64);
+    writer.add(merged);
+    (void)writer.seal();
+  }
+  store::CompactionJournal j;
+  j.state = store::CompactionJournal::State::kFlipped;
+  j.day = 0;
+  j.output = output;
+  j.inputs = inputs;
+  {
+    const std::string text = j.encode();
+    std::ofstream out(store::CompactionJournal::path_for(dir, output),
+                      std::ios::binary);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  }
+
+  auto st = store::Store::open(dir, options);
+  EXPECT_EQ(st.recovery().compactions_finished, 1u);
+  EXPECT_EQ(st.recovery().compactions_rolled_back, 0u);
+  // Roll-forward replaced the listed inputs with the unlisted output, so
+  // the manifest sweep adopts the orphan and drops the missing entries.
+  EXPECT_EQ(st.recovery().adopted_orphans, 1u);
+  EXPECT_EQ(st.recovery().dropped_missing, inputs.size());
+  EXPECT_EQ(st.sealed_segments(), 1u);
+  for (const auto& in : inputs) {
+    EXPECT_FALSE(fs::exists(dir + "/" + in)) << in;
+  }
+  EXPECT_FALSE(fs::exists(dir + "/" + output + ".compact"));
+  EXPECT_TRUE(fs::exists(dir + "/" + output));
+  for (const auto& [id, samples] : reference) {
+    expect_same_samples(st.query(id, {0, util::kDay}), samples,
+                        "post-roll-forward, metric " + std::to_string(id));
+  }
+
+  // A second open has nothing left to replay.
+  auto again = store::Store::open(dir, options);
+  EXPECT_EQ(again.recovery().compactions_finished, 0u);
+  EXPECT_EQ(again.recovery().compactions_rolled_back, 0u);
+  EXPECT_TRUE(again.recovery().clean());
+}
+
 }  // namespace

@@ -137,6 +137,12 @@ int usage() {
       "  faultcheck --nodes N --minutes M --store DIR [--stride K]\n"
       "                                                   crash-at-every-write"
       " gate\n"
+      "  compact  --store DIR [--drop-before T --small-events N]\n"
+      "                                                   merge + retention"
+      " pass\n"
+      "  compactcheck --nodes N --minutes M --store DIR [--stride K]\n"
+      "                                                   compaction crash"
+      " gate\n"
       "  serve    --store DIR --port P [--queue N --deadline MS]\n"
       "                                                   TCP query service\n"
       "  servecheck --nodes N --minutes M --store DIR     loopback wire-parity"
@@ -887,6 +893,220 @@ int cmd_faultcheck(const util::Flags& flags) {
   }
 
   std::printf("faultcheck: %s\n", violations == 0 ? "PASS" : "FAIL");
+  return violations == 0 ? 0 : 1;
+}
+
+/// Operator command: one synchronous compaction pass over an existing
+/// store. `--drop-before T` moves the retention cutoff (absolute seconds;
+/// 0 keeps everything), `--small-events N` sets the merge-candidate
+/// threshold.
+int cmd_compact(const util::Flags& flags) {
+  const std::string dir = flags.get("store", "");
+  if (dir.empty()) {
+    std::printf("compact needs --store DIR\n");
+    return 1;
+  }
+  store::CompactionOptions opts;
+  opts.retention.drop_before =
+      static_cast<util::TimeSec>(flags.get_int("drop-before", 0));
+  opts.small_segment_events = static_cast<std::uint64_t>(
+      flags.get_int("small-events", 1 << 18));
+  store::Store store = store::Store::open(dir);
+  const std::size_t before = store.sealed_segments();
+  const auto report = store.compact(opts);
+  std::printf(
+      "compacted %s: %zu -> %zu segments (%zu dropped whole, %zu rounds "
+      "merged %zu inputs, %zu skipped)\n",
+      dir.c_str(), before, store.sealed_segments(),
+      report.dropped_segments, report.rounds, report.merged_inputs,
+      report.rounds_skipped);
+  std::printf(
+      "events: %llu in, %llu out, %llu expired by retention "
+      "(drop_before=%lld)\n",
+      static_cast<unsigned long long>(report.events_in),
+      static_cast<unsigned long long>(report.events_out),
+      static_cast<unsigned long long>(report.events_expired),
+      static_cast<long long>(opts.retention.drop_before));
+  return 0;
+}
+
+/// The `compact_lifecycle` ctest gate: crash-at-every-write sweep over
+/// the compaction path. A store is fed and flushed cleanly once; then a
+/// retention-filtered merge pass runs with a simulated process death at
+/// each of its write points in turn. Every survivor must reopen (which
+/// replays the compaction journal) to a store whose samples are a subset
+/// of the reference feed AND a superset of the reference's retained tail
+/// — a crash may resurrect expired data but must never lose a committed
+/// live event — and whose cluster roll-up bit-matches a sub-archive of
+/// exactly the surviving events. Exits non-zero on any violation.
+int cmd_compactcheck(const util::Flags& flags) {
+  const auto n = static_cast<int>(flags.get_int("nodes", 6));
+  const double minutes = flags.get_number("minutes", 4.0);
+  const std::string dir = flags.get("store", "compactcheck_data");
+  const std::string pristine = dir + ".pristine";
+  const auto stride = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, flags.get_int("stride", 1)));
+
+  const util::TimeSec start = util::kHour;
+  const util::TimeRange window{
+      start, start + static_cast<util::TimeSec>(minutes * 60.0)};
+  // Retention cutoff one third into the window: rounds see expired
+  // events to shed, straddling segments to force-rewrite, and a live
+  // tail that must survive every crash.
+  const util::TimeSec cut = window.begin + (window.end - window.begin) / 3;
+  core::SimulationConfig config;
+  config.scale = machine::MachineScale::small(n);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  config.range = {0, window.end + util::kHour};
+  core::Simulation sim(config);
+  TelemetryRig rig(sim, config, window, config.scale.nodes);
+
+  store::StoreOptions base_options;
+  base_options.segment_events = 1 << 13;  // several merge inputs at N=6
+
+  // One clean feed into the pristine copy; every sweep iteration starts
+  // from a byte-identical restore of it, so the compaction pass is the
+  // only variable.
+  std::filesystem::remove_all(pristine);
+  {
+    store::Store store = store::Store::open(pristine, base_options);
+    rig.pipeline.set_batch_sink(
+        [&](const std::vector<telemetry::MetricEvent>& batch) {
+          store.append(batch);
+        });
+    const auto stats = rig.pipeline.run(window);
+    store.flush();
+    std::printf("reference feed: %llu events in %zu segments, retention "
+                "cutoff t=%lld\n",
+                static_cast<unsigned long long>(stats.events),
+                store.sealed_segments(), static_cast<long long>(cut));
+  }
+  const auto& archive = rig.pipeline.archive();
+  const int channel =
+      telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
+  const util::TimeRange tail{cut, window.end};
+
+  auto restore = [&] {
+    std::filesystem::remove_all(dir);
+    std::filesystem::copy(pristine, dir);
+  };
+
+  store::CompactionOptions copts;
+  copts.retention.drop_before = cut;
+  copts.small_segment_events = std::uint64_t{1} << 20;  // merge everything
+  copts.min_merge_inputs = 2;
+
+  // Run one compaction pass through `vfs`; false when an injected fault
+  // killed it (simulated process death — recovery happens at reopen).
+  auto lifecycle = [&](util::Vfs& vfs) {
+    store::StoreOptions opts = base_options;
+    opts.vfs = &vfs;
+    try {
+      store::Store store = store::Store::open(dir, opts);
+      (void)store.compact(copts);
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+
+  // Verify one survivor store on the real filesystem (reopen = journal
+  // replay). `expect_exact` tightens the gate for fault-free runs: the
+  // survivors must then be exactly the retained tail.
+  auto verify_survivor = [&](const std::string& what, bool expect_exact) {
+    std::size_t bad = 0;
+    store::Store store = store::Store::open(dir, base_options);
+    telemetry::Archive sub;
+    std::map<std::int64_t, std::vector<telemetry::MetricEvent>> by_day;
+    for (const telemetry::MetricId id : store.metrics()) {
+      const auto disk = store.query(id, window);
+      const auto ref = archive.query(id, window);
+      const auto ref_tail = archive.query(id, tail);
+      if (!is_subset(disk, ref)) {
+        std::printf("FAIL %s: metric %u has samples the feed never "
+                    "produced\n",
+                    what.c_str(), id);
+        ++bad;
+      }
+      if (!is_subset(ref_tail, disk)) {
+        std::printf("FAIL %s: metric %u lost committed live events\n",
+                    what.c_str(), id);
+        ++bad;
+      }
+      if (expect_exact && disk.size() != ref_tail.size()) {
+        std::printf("FAIL %s: metric %u kept %zu samples, expected the "
+                    "%zu-sample retained tail\n",
+                    what.c_str(), id, disk.size(), ref_tail.size());
+        ++bad;
+      }
+      for (const auto& s : disk) {
+        by_day[s.t / util::kDay].push_back(
+            {id, s.t, static_cast<std::int32_t>(s.value)});
+      }
+    }
+    for (auto& [day, events] : by_day) sub.append(std::move(events));
+    const auto disk_sum =
+        store::cluster_sum(store, rig.nodes, channel, window);
+    const auto sub_sum =
+        telemetry::cluster_sum(sub, rig.nodes, channel, window);
+    const auto [same, nw] = parity(sub_sum, disk_sum);
+    if (same != nw || disk_sum.size() != sub_sum.size()) {
+      std::printf("FAIL %s: cluster_sum diverges from the surviving "
+                  "events (%zu/%zu windows)\n",
+                  what.c_str(), same, nw);
+      ++bad;
+    }
+    // Recovery must be idempotent and must leave no lifecycle litter.
+    store::Store again = store::Store::open(dir, base_options);
+    if (again.recovery().compactions_finished != 0 ||
+        again.recovery().compactions_rolled_back != 0) {
+      std::printf("FAIL %s: second reopen replayed journals again\n",
+                  what.c_str());
+      ++bad;
+    }
+    for (const std::string& name : util::Vfs::real().list(dir)) {
+      if (name.ends_with(".compact") || name.ends_with(".incoming") ||
+          name.ends_with(".compact.tmp")) {
+        std::printf("FAIL %s: lifecycle litter survived recovery: %s\n",
+                    what.c_str(), name.c_str());
+        ++bad;
+      }
+    }
+    return bad;
+  };
+
+  // Rehearsal: a fault-free pass through the counting FaultVfs measures
+  // the write points and must verify clean (and exact).
+  restore();
+  faultfs::FaultVfs counter(util::Vfs::real(), {});
+  if (!lifecycle(counter)) {
+    std::printf("FAIL: fault-free compaction rehearsal threw\n");
+    return 1;
+  }
+  const std::uint64_t write_points = counter.stats().write_ops;
+  std::size_t violations = verify_survivor("rehearsal", true);
+  std::printf("rehearsal: %llu compaction write points\n",
+              static_cast<unsigned long long>(write_points));
+
+  // The sweep: simulated process death at compaction write point k —
+  // journal save, .incoming writes, the flip, the rename, manifest
+  // replace, input deletion — then reopen-and-verify on the real fs.
+  std::size_t crashes = 0;
+  for (std::uint64_t k = 0; k < write_points; k += stride) {
+    restore();
+    faultfs::FaultVfs chaos(util::Vfs::real(),
+                            faultfs::FaultPlan().crash_at_write(k));
+    if (!lifecycle(chaos)) ++crashes;
+    violations += verify_survivor(
+        "crash@" + std::to_string(static_cast<unsigned long long>(k)),
+        false);
+  }
+  std::printf("compaction crash sweep: %zu kill points fired (of %llu, "
+              "stride %llu), %zu violations\n",
+              crashes, static_cast<unsigned long long>(write_points),
+              static_cast<unsigned long long>(stride), violations);
+
+  std::printf("compactcheck: %s\n", violations == 0 ? "PASS" : "FAIL");
   return violations == 0 ? 0 : 1;
 }
 
@@ -2210,6 +2430,8 @@ int main(int argc, char** argv) {
     if (flags.command() == "stream") return cmd_stream(flags);
     if (flags.command() == "storecheck") return cmd_storecheck(flags);
     if (flags.command() == "faultcheck") return cmd_faultcheck(flags);
+    if (flags.command() == "compact") return cmd_compact(flags);
+    if (flags.command() == "compactcheck") return cmd_compactcheck(flags);
     if (flags.command() == "serve") return cmd_serve(flags);
     if (flags.command() == "servecheck") return cmd_servecheck(flags);
     if (flags.command() == "cluster") return cmd_cluster(flags);
