@@ -60,14 +60,23 @@ grep -q "cluster read: MET" bench_cluster_output.txt
 ./build/bench/bench_scenario 2>&1 | tee bench_scenario_output.txt
 grep -q "scenario sweep read: MET" bench_scenario_output.txt
 
+# Multi-tenant QoS: a mixed-method open-loop flood at 10x measured
+# capacity must keep interactive p99 within its bound while batch work
+# keeps flowing, and admission pricing must calibrate exactly against
+# measured block counts. Runs after bench_codec so the cost model picks
+# up this machine's own decode rate from BENCH_codec.json.
+./build/bench/bench_qos 2>&1 | tee bench_qos_output.txt
+grep -q "qos overload gate: MET" bench_qos_output.txt
+
 # Machine-readable artifacts for trend tracking.
 test -s BENCH_store.json
 test -s BENCH_codec.json
 test -s BENCH_net.json
 test -s BENCH_cluster.json
 test -s BENCH_scenario.json
+test -s BENCH_qos.json
 
 for b in build/bench/*; do
-  case "$b" in *bench_stream_ingest|*bench_store|*bench_codec|*bench_net|*bench_cluster|*bench_scenario) continue ;; esac
+  case "$b" in *bench_stream_ingest|*bench_store|*bench_codec|*bench_net|*bench_cluster|*bench_scenario|*bench_qos) continue ;; esac
   [ -x "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt

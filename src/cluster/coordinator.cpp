@@ -280,6 +280,11 @@ wire::Response Coordinator::execute(const wire::Request& request,
       wire::Request sub;
       sub.method = wire::Method::kScan;
       sub.deadline_ms = request.deadline_ms;
+      // Scatter legs inherit the caller's QoS identity: a batch tenant's
+      // fan-out must compete as that tenant on every shard, not as an
+      // anonymous normal-class coordinator.
+      sub.qos_class = request.qos_class;
+      sub.tenant = request.tenant;
       sub.metrics = ids;
       sub.range = request.range;
       const auto oks = scatter(sub, request.range, deadline_us, &resp.stats);
@@ -334,6 +339,8 @@ wire::Response Coordinator::execute(const wire::Request& request,
       wire::Request sub;
       sub.method = wire::Method::kScan;
       sub.deadline_ms = request.deadline_ms;
+      sub.qos_class = request.qos_class;  // legs inherit QoS identity
+      sub.tenant = request.tenant;
       sub.metrics = ids;
       sub.range = range;
       const auto oks = scatter(sub, range, deadline_us, &resp.stats);
@@ -371,6 +378,8 @@ wire::Response Coordinator::execute(const wire::Request& request,
       wire::Request sub;
       sub.method = wire::Method::kDirectory;
       sub.deadline_ms = request.deadline_ms;
+      sub.qos_class = request.qos_class;  // legs inherit QoS identity
+      sub.tenant = request.tenant;
       const util::TimeRange everything{
           std::numeric_limits<util::TimeSec>::min(),
           std::numeric_limits<util::TimeSec>::max()};
@@ -419,6 +428,8 @@ wire::Response Coordinator::execute(const wire::Request& request,
       wire::Request sub;
       sub.method = wire::Method::kScan;
       sub.deadline_ms = request.deadline_ms;
+      sub.qos_class = request.qos_class;  // legs inherit QoS identity
+      sub.tenant = request.tenant;
       sub.metrics = ids;
       sub.range = opts.range;
       const auto oks = scatter(sub, opts.range, deadline_us, &resp.stats);

@@ -1,0 +1,67 @@
+#include "qos/autoscale.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace exawatt::qos {
+
+AutoScaler::AutoScaler(AutoScalerOptions options) : options_(options) {
+  if (options_.max_workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    options_.max_workers = 2 * (hw > 0 ? hw : 2);
+  }
+  EXA_CHECK(options_.min_workers > 0, "autoscaler wants at least one worker");
+  options_.max_workers = std::max(options_.max_workers, options_.min_workers);
+  EXA_CHECK(options_.eval_interval_us > 0, "eval interval must be positive");
+}
+
+std::size_t AutoScaler::decide(const ScaleSignals& s) {
+  const auto clamp = [this](std::size_t n) {
+    return std::clamp(n, options_.min_workers, options_.max_workers);
+  };
+  const std::size_t keep = clamp(s.workers);
+
+  // The idle timer tracks continuous underwork; any observation of a
+  // fully busy pool or queued work restarts it, independent of the
+  // decision rate limit below (a shrink must be earned by *every*
+  // observation in the window, not just the sampled ones).
+  const bool underworked = s.queued == 0 && s.busy < s.workers;
+  if (!underworked) {
+    idle_tracked_ = false;
+  } else if (!idle_tracked_) {
+    idle_tracked_ = true;
+    idle_since_us_ = s.now_us;
+  }
+
+  if (evaluated_ && s.now_us - last_eval_us_ < options_.eval_interval_us) {
+    return keep;
+  }
+
+  const bool behind =
+      s.queued > 0 &&
+      (s.oldest_wait_us >= options_.grow_wait_us ||
+       s.backlog_cost_us >= options_.backlog_per_worker_us * s.workers);
+  if (behind) {
+    evaluated_ = true;
+    last_eval_us_ = s.now_us;
+    idle_tracked_ = false;
+    return clamp(s.workers + std::max<std::size_t>(1, s.workers / 2));
+  }
+
+  if (underworked && idle_tracked_ &&
+      s.now_us - idle_since_us_ >= options_.shrink_after_idle_us &&
+      s.workers > options_.min_workers) {
+    evaluated_ = true;
+    last_eval_us_ = s.now_us;
+    // Restart the window: the next single-worker shrink needs another
+    // full stretch of underwork.
+    idle_since_us_ = s.now_us;
+    return clamp(s.workers - 1);
+  }
+
+  return keep;
+}
+
+}  // namespace exawatt::qos

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace exawatt::qos {
+
+struct AutoScalerOptions {
+  std::size_t min_workers = 1;
+  /// 0 = 2 * hardware_concurrency, resolved by the WorkerPool.
+  std::size_t max_workers = 0;
+  /// Decisions are rate-limited to one per interval so a burst of
+  /// signals cannot stack multiplicative growth in one instant.
+  std::int64_t eval_interval_us = 10'000;
+  /// Queue-delay growth trigger: grow when the oldest queued item has
+  /// waited this long.
+  std::int64_t grow_wait_us = 2'000;
+  /// Cost-backlog growth trigger: grow when the estimated queued cost
+  /// exceeds this much per current worker (i.e. more than this much
+  /// work ahead of the newest arrival even at perfect utilization).
+  std::uint64_t backlog_per_worker_us = 100'000;
+  /// Shrink only after the pool has been continuously underworked this
+  /// long, and then only one worker per further interval — growth is
+  /// multiplicative, shrink is linear, so an oscillating load settles
+  /// high instead of flapping.
+  std::int64_t shrink_after_idle_us = 500'000;
+};
+
+/// Everything a scaling decision sees, snapshotted by the caller. Time
+/// is a field, not a clock read: the controller is a pure state machine
+/// over (signals -> target), deterministic under ManualClock tests.
+struct ScaleSignals {
+  std::int64_t now_us = 0;
+  std::size_t queued = 0;
+  std::int64_t oldest_wait_us = 0;
+  std::uint64_t backlog_cost_us = 0;
+  std::size_t workers = 0;
+  std::size_t busy = 0;
+};
+
+/// Control law: grow by half the current pool (at least one) when work
+/// is waiting and either delay or cost-backlog says the pool is behind;
+/// shrink by one after sustained underwork. Hysteresis comes from the
+/// idle timer resetting on every busy observation and from the
+/// asymmetric step sizes.
+class AutoScaler {
+ public:
+  explicit AutoScaler(AutoScalerOptions options);
+
+  /// Returns the desired worker count given `s` (== s.workers when no
+  /// change is warranted). Clamped to [min_workers, max_workers].
+  [[nodiscard]] std::size_t decide(const ScaleSignals& s);
+
+  [[nodiscard]] const AutoScalerOptions& options() const { return options_; }
+
+ private:
+  AutoScalerOptions options_;
+  bool evaluated_ = false;
+  std::int64_t last_eval_us_ = 0;
+  bool idle_tracked_ = false;
+  std::int64_t idle_since_us_ = 0;
+};
+
+}  // namespace exawatt::qos

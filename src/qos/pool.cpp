@@ -1,0 +1,127 @@
+#include "qos/pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/check.hpp"
+
+namespace exawatt::qos {
+
+WorkerPool::WorkerPool(Scheduler* sched, WorkerPoolOptions options,
+                       util::Clock* clock)
+    : sched_(*sched),
+      options_(options),
+      clock_(clock != nullptr ? *clock : util::Clock::steady()),
+      scaler_(options.autoscaler) {
+  EXA_CHECK(sched != nullptr, "worker pool needs a scheduler");
+  std::lock_guard lk(mu_);
+  apply_target_locked(scaler_.options().min_workers);
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+void WorkerPool::notify() {
+  {
+    std::lock_guard lk(mu_);
+    if (stop_) return;
+    maybe_scale_locked();
+  }
+  cv_.notify_all();
+}
+
+void WorkerPool::maybe_scale_locked() {
+  if (stop_) return;  // never spawn into a stopping pool
+  const std::int64_t now = clock_.now_us();
+  const SchedulerSnapshot q = sched_.snapshot(now);
+  ScaleSignals s;
+  s.now_us = now;
+  s.queued = q.queued;
+  s.oldest_wait_us = q.oldest_wait_us;
+  s.backlog_cost_us = q.backlog_cost_us;
+  s.workers = target_;
+  s.busy = busy_;
+  const std::size_t want = scaler_.decide(s);
+  if (want != target_) apply_target_locked(want);
+}
+
+void WorkerPool::apply_target_locked(std::size_t target) {
+  target_ = target;
+  while (slots_.size() < target_) slots_.emplace_back();
+  for (std::size_t i = 0; i < target_; ++i) {
+    Slot& slot = slots_[i];
+    if (!slot.exited) continue;
+    // A retired worker's thread object lingers in its slot until the
+    // slot is re-grown (or stop()); joining here is cheap — the thread
+    // finished when it marked the slot exited.
+    if (slot.thread.joinable()) slot.thread.join();
+    slot.exited = false;
+    ++live_;
+    slot.thread = std::thread([this, i] { worker_loop(i); });
+  }
+  // Shrink is lazy: workers with index >= target_ observe it and exit.
+}
+
+void WorkerPool::worker_loop(std::size_t index) {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (stop_ || index >= target_) break;
+    PopLimits limits;
+    const std::size_t reserve =
+        target_ > 1 ? std::min(options_.interactive_reserve, target_ - 1)
+                    : 0;
+    const std::size_t cap = target_ - reserve;
+    const std::size_t noninteractive =
+        running_[static_cast<std::size_t>(Class::kNormal)] +
+        running_[static_cast<std::size_t>(Class::kBatch)];
+    limits.allow_normal = noninteractive < cap;
+    limits.allow_batch = noninteractive < cap;
+    std::optional<Item> item = sched_.pop(clock_.now_us(), limits);
+    if (!item) {
+      // Timed wait doubles as the idle-shrink heartbeat: a sleeping pool
+      // still feeds the autoscaler observations.
+      cv_.wait_for(lk, std::chrono::milliseconds(50));
+      maybe_scale_locked();
+      continue;
+    }
+    ++busy_;
+    ++running_[static_cast<std::size_t>(item->cls)];
+    lk.unlock();
+    item->run();
+    lk.lock();
+    --busy_;
+    --running_[static_cast<std::size_t>(item->cls)];
+    maybe_scale_locked();
+    // A completion can open a class-cap or fairness slot for a waiting
+    // sibling; wake the pool to re-check.
+    cv_.notify_all();
+  }
+  slots_[index].exited = true;
+  --live_;
+  cv_.notify_all();
+}
+
+void WorkerPool::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (Slot& slot : slots_) {
+    // slots_ never shrinks once stop_ is set, so iterating without the
+    // lock is safe; join needs the lock released for workers to finish.
+    if (slot.thread.joinable()) slot.thread.join();
+  }
+}
+
+std::size_t WorkerPool::workers() const {
+  std::lock_guard lk(mu_);
+  return live_;
+}
+
+std::size_t WorkerPool::busy() const {
+  std::lock_guard lk(mu_);
+  return busy_;
+}
+
+}  // namespace exawatt::qos

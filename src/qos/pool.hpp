@@ -1,0 +1,69 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "qos/autoscale.hpp"
+#include "qos/scheduler.hpp"
+#include "util/sim_time.hpp"
+
+namespace exawatt::qos {
+
+struct WorkerPoolOptions {
+  AutoScalerOptions autoscaler;
+  /// Workers kept clear of normal/batch work: concurrent non-interactive
+  /// items are capped at workers - reserve (floor 1), so a pool full of
+  /// long replays still has an open lane for the next health check —
+  /// priority alone cannot help a ping that arrives after every worker
+  /// has already committed to a minute of batch work.
+  std::size_t interactive_reserve = 1;
+};
+
+/// The execution half of the QoS subsystem: a grow/shrinkable set of
+/// worker threads pulling from one Scheduler, scaled by the AutoScaler
+/// on every push and completion. The pool never owns queued work — on
+/// stop(), unstarted items remain in the Scheduler for the owner to
+/// drain and shed.
+class WorkerPool {
+ public:
+  WorkerPool(Scheduler* sched, WorkerPoolOptions options, util::Clock* clock);
+  ~WorkerPool();
+
+  /// Call after Scheduler::push: wakes a worker and re-evaluates scale.
+  void notify();
+  /// Stop pulling, join every worker. Running items finish first.
+  void stop();
+
+  [[nodiscard]] std::size_t workers() const;
+  [[nodiscard]] std::size_t busy() const;
+
+ private:
+  void worker_loop(std::size_t index);
+  void maybe_scale_locked();
+  /// Spawn/retire threads toward `target`; caller holds mu_.
+  void apply_target_locked(std::size_t target);
+
+  Scheduler& sched_;
+  WorkerPoolOptions options_;
+  util::Clock& clock_;
+  AutoScaler scaler_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  struct Slot {
+    std::thread thread;
+    bool exited = true;
+  };
+  std::deque<Slot> slots_;  ///< index-stable; slot i belongs to worker i
+  std::size_t target_ = 0;
+  std::size_t live_ = 0;
+  std::size_t busy_ = 0;
+  /// Running items per class — the source of the PopLimits caps.
+  std::array<std::size_t, kClassCount> running_{};
+  bool stop_ = false;
+};
+
+}  // namespace exawatt::qos

@@ -1,0 +1,250 @@
+#include "qos/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace exawatt::qos {
+
+const char* class_name(Class c) {
+  switch (c) {
+    case Class::kInteractive: return "interactive";
+    case Class::kNormal: return "normal";
+    case Class::kBatch: return "batch";
+  }
+  return "?";
+}
+
+Class class_from_wire(std::uint32_t v) {
+  if (v == 0) return Class::kInteractive;
+  if (v == 1) return Class::kNormal;
+  return Class::kBatch;
+}
+
+Scheduler::Scheduler(SchedulerOptions options) : options_(options) {
+  EXA_CHECK(options_.max_queue > 0, "scheduler queue must hold something");
+  EXA_CHECK(options_.quantum_us > 0, "DRR quantum must be positive");
+  EXA_CHECK(options_.promote_stride > 0, "promote stride must be positive");
+}
+
+PushResult Scheduler::push(Item item, std::int64_t now_us) {
+  PushResult result;
+  std::lock_guard lk(mu_);
+  item.enqueued_us = now_us;
+  item.seq = seq_++;
+  if (item.cost_us == 0) item.cost_us = 1;
+
+  const bool over_count = queued_ + 1 > options_.max_queue;
+  const bool over_cost =
+      options_.max_backlog_cost_us != 0 &&
+      backlog_cost_us_ + item.cost_us > options_.max_backlog_cost_us;
+  if (over_count || over_cost) {
+    // Shed the cheapest-to-refuse: the worst (class, cost, age) item in
+    // the whole queue, the incoming one included. Refusing an expensive
+    // batch sweep costs its tenant one retry; refusing a cheap
+    // interactive ping costs someone their health check — so class
+    // outranks cost outranks age, compared worst-first.
+    const auto worse = [](Class ac, std::uint64_t acost, std::uint64_t aseq,
+                          Class bc, std::uint64_t bcost, std::uint64_t bseq) {
+      if (ac != bc) return ac > bc;        // lower priority first
+      if (acost != bcost) return acost > bcost;  // pricier first
+      return aseq > bseq;                  // younger first
+    };
+    std::size_t vc = static_cast<std::size_t>(item.cls);
+    std::map<std::uint64_t, TenantQueue>::iterator vt;
+    std::deque<Item>::iterator vi;
+    bool victim_is_incoming = true;
+    Class best_c = item.cls;
+    std::uint64_t best_cost = item.cost_us;
+    std::uint64_t best_seq = item.seq;
+    for (std::size_t c = 0; c < kClassCount; ++c) {
+      for (auto t = classes_[c].tenants.begin();
+           t != classes_[c].tenants.end(); ++t) {
+        for (auto i = t->second.items.begin(); i != t->second.items.end();
+             ++i) {
+          if (worse(i->cls, i->cost_us, i->seq, best_c, best_cost,
+                    best_seq)) {
+            best_c = i->cls;
+            best_cost = i->cost_us;
+            best_seq = i->seq;
+            vc = c;
+            vt = t;
+            vi = i;
+            victim_is_incoming = false;
+          }
+        }
+      }
+    }
+    if (victim_is_incoming) {
+      result.admitted = false;
+      result.evicted = std::move(item);
+      return result;
+    }
+    result.evicted = std::move(*vi);
+    vt->second.items.erase(vi);
+    --classes_[vc].queued;
+    --queued_;
+    backlog_cost_us_ -= result.evicted->cost_us;
+    // The emptied tenant's ring entry is dropped lazily at pop.
+  }
+
+  ClassState& cs = classes_[static_cast<std::size_t>(item.cls)];
+  TenantQueue& tq = cs.tenants[item.tenant];
+  if (!tq.in_ring) {
+    cs.ring.push_back(item.tenant);
+    tq.in_ring = true;
+    tq.deficit_us = 0;  // no banking credit across idle periods
+  }
+  backlog_cost_us_ += item.cost_us;
+  tq.items.push_back(std::move(item));
+  ++cs.queued;
+  ++queued_;
+  result.admitted = true;
+  return result;
+}
+
+std::optional<Scheduler::HeadKey> Scheduler::oldest_head_locked(
+    const ClassState& cs) const {
+  std::optional<HeadKey> oldest;
+  for (const auto& [tenant, tq] : cs.tenants) {
+    if (tq.items.empty()) continue;
+    const HeadKey head{tq.items.front().enqueued_us,
+                       tq.items.front().seq};
+    if (!oldest || head.older_than(*oldest)) oldest = head;
+  }
+  return oldest;
+}
+
+std::optional<Item> Scheduler::pop_class_locked(ClassState& cs) {
+  // Deficit round-robin over the tenant ring. When no active tenant has
+  // banked enough deficit for its head, every active tenant is granted
+  // the same whole number of quanta in one step (the minimum that lets
+  // someone run) — identical proportions to spinning the ring, without
+  // ever looping cost/quantum times on a single expensive head.
+  for (int round = 0; round < 2; ++round) {
+    std::size_t seen = 0;
+    const std::size_t ring_size = cs.ring.size();
+    while (seen < ring_size && !cs.ring.empty()) {
+      const std::uint64_t tenant = cs.ring.front();
+      auto it = cs.tenants.find(tenant);
+      if (it == cs.tenants.end() || it->second.items.empty()) {
+        cs.ring.pop_front();  // went idle (or was shed empty) — drop
+        if (it != cs.tenants.end()) cs.tenants.erase(it);
+        continue;
+      }
+      TenantQueue& tq = it->second;
+      if (tq.deficit_us >= tq.items.front().cost_us) {
+        Item item = std::move(tq.items.front());
+        tq.items.pop_front();
+        tq.deficit_us -= item.cost_us;
+        --cs.queued;
+        --queued_;
+        backlog_cost_us_ -= item.cost_us;
+        // Rotate: the tenant goes to the back whether or not it has
+        // more queued (round-robin turn taken).
+        cs.ring.pop_front();
+        if (tq.items.empty()) {
+          cs.tenants.erase(it);
+        } else {
+          cs.ring.push_back(tenant);
+        }
+        return item;
+      }
+      cs.ring.pop_front();
+      cs.ring.push_back(tenant);
+      ++seen;
+    }
+    if (cs.ring.empty()) return std::nullopt;
+    // Nobody qualified: top up every active tenant by the minimal whole
+    // number of quanta that unblocks the cheapest-to-unblock head.
+    std::uint64_t min_rounds = 0;
+    bool first = true;
+    for (const std::uint64_t tenant : cs.ring) {
+      const TenantQueue& tq = cs.tenants.at(tenant);
+      const std::uint64_t need = tq.items.front().cost_us - tq.deficit_us;
+      const std::uint64_t rounds =
+          (need + options_.quantum_us - 1) / options_.quantum_us;
+      if (first || rounds < min_rounds) min_rounds = rounds;
+      first = false;
+    }
+    for (const std::uint64_t tenant : cs.ring) {
+      cs.tenants.at(tenant).deficit_us += min_rounds * options_.quantum_us;
+    }
+  }
+  return std::nullopt;  // unreachable: the top-up guarantees a qualifier
+}
+
+std::optional<Item> Scheduler::pop(std::int64_t now_us, PopLimits limits) {
+  std::lock_guard lk(mu_);
+  if (queued_ == 0) return std::nullopt;
+  const std::array<bool, kClassCount> allowed = {true, limits.allow_normal,
+                                                 limits.allow_batch};
+
+  // Pick the class: highest priority non-empty by default, overridden by
+  // the two promotion rules so lower classes always drain (header doc).
+  int chosen = -1;
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    if (allowed[c] && classes_[c].queued > 0) {
+      chosen = static_cast<int>(c);
+      break;
+    }
+  }
+  if (chosen < 0) return std::nullopt;  // only capped classes have work
+
+  ++pops_;
+  int oldest_class = -1;
+  HeadKey oldest_head{};
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    if (!allowed[c] || classes_[c].queued == 0) continue;
+    const auto head = oldest_head_locked(classes_[c]);
+    if (head && (oldest_class < 0 || head->older_than(oldest_head))) {
+      oldest_class = static_cast<int>(c);
+      oldest_head = *head;
+    }
+  }
+  const bool aged = oldest_class > chosen &&
+                    now_us - oldest_head.t >= options_.promote_after_us;
+  const bool stride = oldest_class > chosen &&
+                      pops_ % options_.promote_stride == 0;
+  if (aged || stride) chosen = oldest_class;
+
+  return pop_class_locked(classes_[static_cast<std::size_t>(chosen)]);
+}
+
+std::vector<Item> Scheduler::drain_all() {
+  std::lock_guard lk(mu_);
+  std::vector<Item> out;
+  out.reserve(queued_);
+  for (ClassState& cs : classes_) {
+    for (auto& [tenant, tq] : cs.tenants) {
+      for (Item& item : tq.items) out.push_back(std::move(item));
+    }
+    cs.tenants.clear();
+    cs.ring.clear();
+    cs.queued = 0;
+  }
+  queued_ = 0;
+  backlog_cost_us_ = 0;
+  std::sort(out.begin(), out.end(),
+            [](const Item& a, const Item& b) { return a.seq < b.seq; });
+  return out;
+}
+
+SchedulerSnapshot Scheduler::snapshot(std::int64_t now_us) const {
+  std::lock_guard lk(mu_);
+  SchedulerSnapshot s;
+  s.queued = queued_;
+  s.backlog_cost_us = backlog_cost_us_;
+  std::optional<HeadKey> oldest;
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    s.queued_by_class[c] = classes_[c].queued;
+    const auto head = oldest_head_locked(classes_[c]);
+    if (head && (!oldest || head->older_than(*oldest))) oldest = head;
+  }
+  if (oldest) {
+    s.oldest_wait_us = std::max<std::int64_t>(0, now_us - oldest->t);
+  }
+  return s;
+}
+
+}  // namespace exawatt::qos

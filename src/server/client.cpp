@@ -109,7 +109,9 @@ wire::Response Client::call(const wire::Request& request) {
       wire::Request effective = request;
       if (peer_no_chunks_) {
         effective.chunk_bytes = 0;
-        effective.want_scan_blocks = false;  // tag 2 is trailing bytes too
+        effective.want_scan_blocks = false;  // tags 2..4 are trailing
+        effective.qos_class = 1;             // bytes to an old peer too
+        effective.tenant = 0;
       }
       const std::uint64_t id = next_id_++;
       send_request(effective, id);
@@ -131,13 +133,14 @@ wire::Response Client::call(const wire::Request& request) {
         disconnect();
         throw net::NetError(std::string("bad response payload: ") + e.what());
       }
-      if ((effective.chunk_bytes != 0 || effective.want_scan_blocks) &&
+      if ((effective.chunk_bytes != 0 || effective.want_scan_blocks ||
+           effective.qos_class != 1 || effective.tenant != 0) &&
           resp.status == wire::Status::kInvalidArgument &&
           resp.message.find("trailing bytes") != std::string::npos) {
-        // Mixed-version negotiation: a pre-chunking server rejects the
-        // chunk_bytes extension as trailing bytes. Downgrade (sticky for
-        // this connection's lifetime) and retry once without burning a
-        // reconnect attempt — the connection itself is healthy.
+        // Mixed-version negotiation: a pre-extension server rejects the
+        // tagged trailer (chunking or qos) as trailing bytes. Downgrade
+        // (sticky for this connection's lifetime) and retry once without
+        // burning a reconnect attempt — the connection itself is healthy.
         peer_no_chunks_ = true;
         if (!downgrade_retried) {
           downgrade_retried = true;

@@ -415,20 +415,57 @@ QueryService::Executor make_store_executor(const store::Store& store,
   };
 }
 
+namespace {
+
+/// The store-backed constructor defaults the QoS block counter to its
+/// own store — pricing and execution then read the same directory.
+ServiceOptions with_store_counter(const store::Store& store,
+                                  ServiceOptions options) {
+  if (options.qos && !options.qos->blocks) {
+    options.qos->blocks = qos::store_block_counter(store);
+  }
+  return options;
+}
+
+}  // namespace
+
 QueryService::QueryService(const store::Store& store, ServiceOptions options)
-    : QueryService(make_store_executor(store, options.clock), options) {}
+    : QueryService(make_store_executor(store, options.clock),
+                   with_store_counter(store, std::move(options))) {}
 
 QueryService::QueryService(Executor executor, ServiceOptions options)
     : executor_(std::move(executor)),
-      options_(options),
-      pool_(options.pool != nullptr ? *options.pool
-                                    : util::ThreadPool::global()),
-      clock_(options.clock != nullptr ? *options.clock
-                                      : util::Clock::steady()),
+      options_(std::move(options)),
+      pool_(options_.pool != nullptr ? *options_.pool
+                                     : util::ThreadPool::global()),
+      clock_(options_.clock != nullptr ? *options_.clock
+                                       : util::Clock::steady()),
       lat_p50_(0.5),
-      lat_p99_(0.99) {
+      lat_p99_(0.99),
+      class_p99_{stream::P2Quantile(0.99), stream::P2Quantile(0.99),
+                 stream::P2Quantile(0.99)} {
   EXA_CHECK(options_.queue_limit > 0, "admission queue must hold something");
   EXA_CHECK(executor_ != nullptr, "service needs an executor");
+  if (options_.qos) {
+    qos_cost_ = std::make_unique<qos::CostModel>(options_.qos->cost,
+                                                 options_.qos->blocks);
+    qos::SchedulerOptions sched = options_.qos->scheduler;
+    sched.max_queue = options_.queue_limit;
+    qos_sched_ = std::make_unique<qos::Scheduler>(sched);
+    qos_pool_ = std::make_unique<qos::WorkerPool>(
+        qos_sched_.get(), options_.qos->pool, options_.clock);
+  }
+}
+
+QueryService::~QueryService() {
+  if (qos_pool_ != nullptr) qos_pool_->stop();
+  if (qos_sched_ != nullptr) {
+    // Unstarted items at teardown are shed, not leaked: their done
+    // callbacks still fire exactly once.
+    for (qos::Item& item : qos_sched_->drain_all()) {
+      if (item.shed) item.shed();
+    }
+  }
 }
 
 void QueryService::set_subscribe_source(SubscribeSource source) {
@@ -463,6 +500,14 @@ wire::Response QueryService::execute(const wire::Request& request,
     resp.server.queue_limit = options_.queue_limit;
     resp.server.p50_ms = m.p50_ms;
     resp.server.p99_ms = m.p99_ms;
+    resp.server.qos_workers = m.qos_workers;
+    resp.server.qos_backlog_cost_us = m.qos_backlog_cost_us;
+    for (std::size_t c = 0; c < qos::kClassCount; ++c) {
+      resp.server.qos_served[c] = m.class_served[c];
+      resp.server.qos_shed[c] = m.class_shed[c];
+      resp.server.qos_p99_us[c] =
+          static_cast<std::uint64_t>(m.class_p99_ms[c] * 1000.0);
+    }
     std::vector<StatsAugment> augments;
     {
       std::lock_guard lk(mu_);
@@ -474,8 +519,9 @@ wire::Response QueryService::execute(const wire::Request& request,
   return executor_(request, cancel, deadline_us, emit, stream);
 }
 
-void QueryService::finish(std::int64_t admitted_us, wire::Response&& response,
-                          const Done& done) {
+void QueryService::finish(std::int64_t admitted_us,
+                          std::optional<qos::Class> cls,
+                          wire::Response&& response, const Done& done) {
   const double latency_ms =
       static_cast<double>(clock_.now_us() - admitted_us) / 1000.0;
   {
@@ -490,13 +536,78 @@ void QueryService::finish(std::int64_t admitted_us, wire::Response&& response,
     }
     lat_p50_.add(latency_ms);
     lat_p99_.add(latency_ms);
+    if (cls) {
+      const auto c = static_cast<std::size_t>(*cls);
+      if (response.status == wire::Status::kOk) ++class_served_[c];
+      class_p99_[c].add(latency_ms);
+    }
     if (depth_ == 0) idle_cv_.notify_all();
   }
   done(std::move(response));
 }
 
+void QueryService::run_admitted(const std::shared_ptr<Admitted>& a,
+                                bool count_class) {
+  const std::optional<qos::Class> cls =
+      count_class ? std::optional<qos::Class>(a->cls) : std::nullopt;
+  wire::Response resp;
+  resp.method = a->request.method;
+  if (a->cancel != nullptr && a->cancel->load(std::memory_order_relaxed)) {
+    // The peer is gone; its queued work is void, not executed.
+    resp.status = wire::Status::kCancelled;
+    resp.message = "client disconnected while queued";
+    finish(a->admitted_us, cls, std::move(resp), a->done);
+    return;
+  }
+  if (a->deadline_us != 0 && clock_.now_us() > a->deadline_us) {
+    // Expired work is never started — running it would only delay
+    // requests that can still make their deadlines.
+    resp.status = wire::Status::kDeadlineExceeded;
+    resp.message = "deadline expired before execution";
+    finish(a->admitted_us, cls, std::move(resp), a->done);
+    return;
+  }
+  try {
+    if (a->request.method == wire::Method::kSubscribe) {
+      if (!a->subscribe) {
+        resp.status = wire::Status::kUnimplemented;
+        resp.message = "no subscription source";
+      } else {
+        a->subscribe(a->request, a->cancel, a->emit);
+        if (a->cancel != nullptr &&
+            a->cancel->load(std::memory_order_relaxed)) {
+          resp.status = wire::Status::kCancelled;
+          resp.message = "subscriber disconnected";
+        }
+      }
+    } else {
+      resp = execute(a->request, a->cancel, a->deadline_us, a->emit,
+                     a->stream);
+      if (a->deadline_us != 0 && clock_.now_us() > a->deadline_us) {
+        // Finished too late to be useful; report it as such so the
+        // latency SLO accounting reflects what the client saw.
+        resp = {};
+        resp.method = a->request.method;
+        resp.status = wire::Status::kDeadlineExceeded;
+        resp.message = "deadline expired during execution";
+      }
+    }
+  } catch (const std::exception& e) {
+    resp = {};
+    resp.method = a->request.method;
+    resp.status = wire::Status::kInternal;
+    resp.message = e.what();
+  }
+  finish(a->admitted_us, cls, std::move(resp), a->done);
+}
+
 void QueryService::submit(wire::Request request, CancelToken cancel,
                           Emit emit, Done done, ChunkWriter* stream) {
+  if (qos_sched_ != nullptr) {
+    submit_qos(std::move(request), std::move(cancel), std::move(emit),
+               std::move(done), stream);
+    return;
+  }
   SubscribeSource subscribe;
   {
     std::lock_guard lk(mu_);
@@ -529,68 +640,166 @@ void QueryService::submit(wire::Request request, CancelToken cancel,
   const std::uint32_t deadline_ms = request.deadline_ms != 0
                                         ? request.deadline_ms
                                         : options_.default_deadline_ms;
-  const std::int64_t deadline_us =
+
+  auto a = std::make_shared<Admitted>();
+  a->request = std::move(request);
+  a->cancel = std::move(cancel);
+  a->emit = std::move(emit);
+  a->done = std::move(done);
+  a->stream = stream;
+  a->subscribe = std::move(subscribe);
+  a->admitted_us = admitted_us;
+  a->deadline_us =
       deadline_ms != 0
           ? admitted_us + static_cast<std::int64_t>(deadline_ms) * 1000
           : 0;
+  pool_.submit([this, a] { run_admitted(a, /*count_class=*/false); });
+}
 
-  pool_.submit([this, request = std::move(request),
-                cancel = std::move(cancel), emit = std::move(emit),
-                done = std::move(done), subscribe = std::move(subscribe),
-                stream, admitted_us, deadline_us] {
+void QueryService::submit_qos(wire::Request request, CancelToken cancel,
+                              Emit emit, Done done, ChunkWriter* stream) {
+  // Everything the worker needs travels in one shared Admitted record:
+  // the run and shed closures alias it instead of copying the request.
+  const bool qos_tagged = request.qos_class != 1 || request.tenant != 0;
+  const qos::Class cls = qos::class_from_wire(request.qos_class);
+  const std::uint32_t tenant = request.tenant;
+  const std::uint64_t cost_us = qos_cost_->price(request);
+
+  const std::int64_t admitted_us = clock_.now_us();
+  const std::uint32_t deadline_ms = request.deadline_ms != 0
+                                        ? request.deadline_ms
+                                        : options_.default_deadline_ms;
+  auto a = std::make_shared<Admitted>();
+  a->request = std::move(request);
+  a->cancel = std::move(cancel);
+  a->emit = std::move(emit);
+  a->done = std::move(done);
+  a->stream = stream;
+  a->admitted_us = admitted_us;
+  a->deadline_us =
+      deadline_ms != 0
+          ? admitted_us + static_cast<std::int64_t>(deadline_ms) * 1000
+          : 0;
+  a->cls = cls;
+  a->qos_tagged = qos_tagged;
+  a->cost_us = cost_us;
+
+  qos::Item item;
+  item.cls = cls;
+  item.tenant = tenant;
+  item.cost_us = cost_us;
+  item.run = [this, a] {
+    {
+      std::lock_guard lk(mu_);
+      a->subscribe = subscribe_;
+    }
+    run_admitted(a, /*count_class=*/true);
+  };
+  item.shed = [this, a] {
+    {
+      std::lock_guard lk(mu_);
+      --depth_;
+      ++shed_;
+      ++class_shed_[static_cast<std::size_t>(a->cls)];
+      if (depth_ == 0) idle_cv_.notify_all();
+    }
     wire::Response resp;
-    resp.method = request.method;
-    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
-      // The peer is gone; its queued work is void, not executed.
-      resp.status = wire::Status::kCancelled;
-      resp.message = "client disconnected while queued";
-      finish(admitted_us, std::move(resp), done);
+    resp.method = a->request.method;
+    resp.status = wire::Status::kResourceExhausted;
+    resp.message = "queue overloaded: request shed (estimated cost " +
+                   std::to_string(a->cost_us) + " us)";
+    // The cost hint is a response extension old decoders reject, so it
+    // rides only to peers that proved themselves new by tagging the
+    // request.
+    if (a->qos_tagged) resp.shed_cost_hint_us = a->cost_us;
+    a->done(std::move(resp));
+  };
+
+  {
+    std::lock_guard lk(mu_);
+    if (draining_) {
+      wire::Response resp;
+      resp.method = a->request.method;
+      resp.status = wire::Status::kUnavailable;
+      resp.message = "server is draining";
+      a->done(std::move(resp));
       return;
     }
-    if (deadline_us != 0 && clock_.now_us() > deadline_us) {
-      // Expired work is never started — running it would only delay
-      // requests that can still make their deadlines.
-      resp.status = wire::Status::kDeadlineExceeded;
-      resp.message = "deadline expired before execution";
-      finish(admitted_us, std::move(resp), done);
+    // Count before push: a worker may pop and finish the item before
+    // push even returns, and finish() expects depth_ to include it.
+    ++depth_;
+    ++accepted_;
+  }
+  qos::PushResult r = qos_sched_->push(std::move(item), clock_.now_us());
+  if (!r.admitted) {
+    // The incoming request itself was refused: undo its admission (the
+    // shed callback below settles depth_ and the shed counters).
+    std::lock_guard lk(mu_);
+    --accepted_;
+  }
+  if (r.evicted) {
+    // Invoked outside every lock — the shed closure takes mu_ itself.
+    r.evicted->shed();
+  }
+  if (r.admitted) qos_pool_->notify();
+}
+
+void QueryService::submit_internal(qos::Class cls, std::uint64_t cost_us,
+                                   std::function<void()> work,
+                                   std::function<void()> dropped) {
+  if (qos_sched_ == nullptr) {
+    pool_.submit(std::move(work));
+    return;
+  }
+  {
+    std::unique_lock lk(mu_);
+    if (draining_) {
+      lk.unlock();  // user callback never runs under mu_
+      if (dropped) dropped();
       return;
     }
+    ++depth_;  // internal work is not `accepted_` — it is not a request
+  }
+  auto settle = [this] {
+    std::lock_guard lk(mu_);
+    --depth_;
+    if (depth_ == 0) idle_cv_.notify_all();
+  };
+  qos::Item item;
+  item.cls = cls;
+  item.tenant = 0;
+  item.cost_us = cost_us;
+  item.run = [work = std::move(work), settle] {
     try {
-      if (request.method == wire::Method::kSubscribe) {
-        if (!subscribe) {
-          resp.status = wire::Status::kUnimplemented;
-          resp.message = "no subscription source";
-        } else {
-          subscribe(request, cancel, emit);
-          if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
-            resp.status = wire::Status::kCancelled;
-            resp.message = "subscriber disconnected";
-          }
-        }
-      } else {
-        resp = execute(request, cancel, deadline_us, emit, stream);
-        if (deadline_us != 0 && clock_.now_us() > deadline_us) {
-          // Finished too late to be useful; report it as such so the
-          // latency SLO accounting reflects what the client saw.
-          resp = {};
-          resp.method = request.method;
-          resp.status = wire::Status::kDeadlineExceeded;
-          resp.message = "deadline expired during execution";
-        }
-      }
-    } catch (const std::exception& e) {
-      resp = {};
-      resp.method = request.method;
-      resp.status = wire::Status::kInternal;
-      resp.message = e.what();
+      work();
+    } catch (...) {
+      // Internal work failing must not take the worker thread with it.
     }
-    finish(admitted_us, std::move(resp), done);
-  });
+    settle();
+  };
+  // Shed under pressure: the work simply does not run this round — the
+  // caller's cadence retries once `dropped` releases its latch.
+  item.shed = [settle, dropped = std::move(dropped)] {
+    settle();
+    if (dropped) dropped();
+  };
+  qos::PushResult r = qos_sched_->push(std::move(item), clock_.now_us());
+  if (r.evicted) r.evicted->shed();
+  if (r.admitted) qos_pool_->notify();
 }
 
 ServiceMetrics QueryService::metrics() const {
-  std::lock_guard lk(mu_);
   ServiceMetrics m;
+  // Pool and scheduler snapshots are taken outside mu_ — each has its
+  // own lock, and the ordering here (no lock held while asking) keeps
+  // the three lock domains acyclic.
+  if (qos_pool_ != nullptr) {
+    m.qos = true;
+    m.qos_workers = qos_pool_->workers();
+    m.qos_backlog_cost_us =
+        qos_sched_->snapshot(clock_.now_us()).backlog_cost_us;
+  }
+  std::lock_guard lk(mu_);
   m.accepted = accepted_;
   m.served = served_;
   m.shed = shed_;
@@ -600,6 +809,12 @@ ServiceMetrics QueryService::metrics() const {
   m.queue_depth = depth_;
   m.p50_ms = lat_p50_.count() > 0 ? lat_p50_.value() : 0.0;
   m.p99_ms = lat_p99_.count() > 0 ? lat_p99_.value() : 0.0;
+  for (std::size_t c = 0; c < qos::kClassCount; ++c) {
+    m.class_served[c] = class_served_[c];
+    m.class_shed[c] = class_shed_[c];
+    m.class_p99_ms[c] =
+        class_p99_[c].count() > 0 ? class_p99_[c].value() : 0.0;
+  }
   return m;
 }
 

@@ -1,11 +1,16 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 
+#include "qos/cost.hpp"
+#include "qos/pool.hpp"
+#include "qos/scheduler.hpp"
 #include "server/wire.hpp"
 #include "store/store.hpp"
 #include "stream/quantile.hpp"
@@ -25,19 +30,45 @@ using CancelToken = std::shared_ptr<std::atomic<bool>>;
   return std::make_shared<std::atomic<bool>>(false);
 }
 
+/// Enables the multi-tenant QoS path: cost-model admission, per-class
+/// per-tenant fair scheduling and an autoscaled worker pool replace the
+/// single FIFO on the shared thread pool.
+struct QosOptions {
+  /// Unit costs behind admission pricing; calibrate with
+  /// qos::CostProfile::from_bench_json when a BENCH_codec.json exists.
+  qos::CostProfile cost;
+  /// max_queue is overridden with ServiceOptions::queue_limit so the
+  /// service keeps one admission knob in both modes.
+  qos::SchedulerOptions scheduler;
+  qos::WorkerPoolOptions pool;
+  /// Block counter behind the cost model. Defaulted to the service's
+  /// own Store in the store-backed constructor; a custom-executor
+  /// front-end may leave it null (structure-only pricing) or install a
+  /// directory-based one.
+  qos::BlockCounter blocks;
+};
+
 struct ServiceOptions {
   /// Bounded admission queue: requests beyond this many queued-or-running
   /// are shed with an explicit RESOURCE_EXHAUSTED response — the
   /// overloaded server stays predictable instead of building an unbounded
   /// backlog of work it will finish after every deadline has passed.
+  /// (In QoS mode the bound applies to the scheduler's queued set and
+  /// shedding is cost-based: the worst (class, cost, age) item goes, not
+  /// the newest arrival.)
   std::size_t queue_limit = 256;
-  /// Executor; nullptr selects the process-global pool.
+  /// Executor; nullptr selects the process-global pool. Unused by the
+  /// QoS path, which runs its own autoscaled workers.
   util::ThreadPool* pool = nullptr;
   /// Deadline/latency clock; nullptr selects the steady wall clock.
   /// Tests install a util::ManualClock to make expiry deterministic.
   util::Clock* clock = nullptr;
   /// Applied when a request carries no deadline; 0 = unbounded.
   std::uint32_t default_deadline_ms = 0;
+  /// Engaged = QoS mode. Disengaged (the default) keeps the classic
+  /// bounded FIFO byte-for-byte, so existing embedders and class-less
+  /// clients see identical behavior.
+  std::optional<QosOptions> qos;
 };
 
 /// Wire-supplied time grids are adversarial. Accepts only (range, window)
@@ -71,6 +102,13 @@ struct ServiceMetrics {
   std::uint64_t queue_depth = 0;        ///< queued or running right now
   double p50_ms = 0.0;                  ///< admission->completion latency
   double p99_ms = 0.0;
+  /// QoS-mode extras; all zero on a classic-FIFO service.
+  bool qos = false;
+  std::uint64_t qos_workers = 0;          ///< live worker threads
+  std::uint64_t qos_backlog_cost_us = 0;  ///< estimated queued cost
+  std::array<std::uint64_t, qos::kClassCount> class_served{};
+  std::array<std::uint64_t, qos::kClassCount> class_shed{};
+  std::array<double, qos::kClassCount> class_p99_ms{};
 };
 
 /// The RPC service over one Store: stateless query execution behind a
@@ -118,9 +156,11 @@ class QueryService {
   using StatsAugment = std::function<void(wire::ServerStatsWire&)>;
 
   /// Store-backed service: executor = `make_store_executor(store, ...)`.
+  /// In QoS mode the cost model's block counter defaults to this store.
   QueryService(const store::Store& store, ServiceOptions options = {});
   /// Custom-executor service (the cluster coordinator front-end).
   QueryService(Executor executor, ServiceOptions options = {});
+  ~QueryService();
 
   /// No subscription source installed => kSubscribe gets kUnimplemented.
   void set_subscribe_source(SubscribeSource source);
@@ -140,6 +180,21 @@ class QueryService {
   /// Graceful shutdown: stop admitting (new requests get kUnavailable)
   /// and block until every queued/running request has completed.
   void drain();
+
+  /// Enqueue endpoint-internal work (background compaction) as a QoS
+  /// citizen of `cls`: it waits its class turn, can be shed under
+  /// pressure (it simply does not run — the caller's cadence retries),
+  /// and drain() waits for it. Falls back to the plain pool when QoS is
+  /// off. `cost_us` is the caller's estimate for backlog accounting and
+  /// shed ordering. `dropped` (optional) fires instead of `work` when
+  /// the item is shed or refused at admission (draining included), so
+  /// callers can release an in-flight latch.
+  void submit_internal(qos::Class cls, std::uint64_t cost_us,
+                       std::function<void()> work,
+                       std::function<void()> dropped = nullptr);
+
+  /// True when this service runs the QoS scheduler (vs the classic FIFO).
+  [[nodiscard]] bool qos_enabled() const { return qos_sched_ != nullptr; }
 
   /// Execute one request body against the store, bypassing admission —
   /// the single code path the admitted worker and the in-process tests
@@ -170,8 +225,29 @@ class QueryService {
                                        ChunkWriter* stream = nullptr) const;
 
  private:
-  void finish(std::int64_t admitted_us, wire::Response&& response,
-              const Done& done);
+  /// Everything one admitted request carries through the queue; shared
+  /// between the run and shed closures (exactly one of which fires).
+  struct Admitted {
+    wire::Request request;
+    CancelToken cancel;
+    Emit emit;
+    Done done;
+    ChunkWriter* stream = nullptr;
+    SubscribeSource subscribe;
+    std::int64_t admitted_us = 0;
+    std::int64_t deadline_us = 0;
+    qos::Class cls = qos::kDefaultClass;
+    bool qos_tagged = false;     ///< peer sent a qos extension tag
+    std::uint64_t cost_us = 0;   ///< admission estimate
+  };
+
+  void submit_qos(wire::Request request, CancelToken cancel, Emit emit,
+                  Done done, ChunkWriter* stream);
+  /// The admitted execution body both the FIFO and QoS paths share:
+  /// cancel/deadline gates, subscribe routing, executor call, finish.
+  void run_admitted(const std::shared_ptr<Admitted>& a, bool count_class);
+  void finish(std::int64_t admitted_us, std::optional<qos::Class> cls,
+              wire::Response&& response, const Done& done);
 
   Executor executor_;
   ServiceOptions options_;
@@ -192,6 +268,16 @@ class QueryService {
   std::uint64_t failed_ = 0;
   stream::P2Quantile lat_p50_;
   stream::P2Quantile lat_p99_;
+  /// QoS-mode state (null in classic FIFO mode). Per-class counters are
+  /// guarded by mu_ like the totals above. The pool is declared last so
+  /// it is destroyed (stopping its workers) before the scheduler and
+  /// cost model they pull from.
+  std::array<std::uint64_t, qos::kClassCount> class_served_{};
+  std::array<std::uint64_t, qos::kClassCount> class_shed_{};
+  std::array<stream::P2Quantile, qos::kClassCount> class_p99_;
+  std::unique_ptr<qos::CostModel> qos_cost_;
+  std::unique_ptr<qos::Scheduler> qos_sched_;
+  std::unique_ptr<qos::WorkerPool> qos_pool_;
 };
 
 /// The canonical store-backed executor: every non-stats method of the

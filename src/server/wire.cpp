@@ -326,7 +326,9 @@ std::vector<std::uint8_t> encode_request(const Request& req) {
   // request" (per-request INVALID_ARGUMENT, connection intact) and the
   // Client falls back to a plain request — never a silent misparse.
   const std::uint32_t n_ext = (req.chunk_bytes != 0 ? 1u : 0u) +
-                              (req.want_scan_blocks ? 1u : 0u);
+                              (req.want_scan_blocks ? 1u : 0u) +
+                              (req.qos_class != 1 ? 1u : 0u) +
+                              (req.tenant != 0 ? 1u : 0u);
   if (n_ext != 0) {
     w.u32(n_ext);  // extension count
     if (req.chunk_bytes != 0) {
@@ -336,6 +338,14 @@ std::vector<std::uint8_t> encode_request(const Request& req) {
     if (req.want_scan_blocks) {
       w.u32(2);  // tag 2: answer a kScan in block form
       w.u32(1);
+    }
+    if (req.qos_class != 1) {
+      w.u32(3);  // tag 3: QoS priority class
+      w.u32(req.qos_class);
+    }
+    if (req.tenant != 0) {
+      w.u32(4);  // tag 4: tenant id (per-tenant fair queueing)
+      w.u32(req.tenant);
     }
   }
   return w.take();
@@ -417,6 +427,8 @@ Request decode_request(std::span<const std::uint8_t> payload) {
       switch (tag) {
         case 1: req.chunk_bytes = value; break;
         case 2: req.want_scan_blocks = value != 0; break;
+        case 3: req.qos_class = value; break;
+        case 4: req.tenant = value; break;
         default: break;  // newer peer's option — skip
       }
     }
@@ -431,6 +443,14 @@ std::vector<std::uint8_t> encode_response(const Response& resp) {
   w.u8(static_cast<std::uint8_t>(resp.method));
   if (resp.status != Status::kOk) {
     w.str(resp.message);
+    // Count-prefixed u64 extension block; index 0 = shed cost hint. A
+    // pre-QoS decoder throws "trailing bytes after error response" on
+    // it, so the service only sets the hint for peers whose request
+    // carried a qos tag (see Response::shed_cost_hint_us).
+    if (resp.shed_cost_hint_us != 0) {
+      w.u64(1);
+      w.u64(resp.shed_cost_hint_us);
+    }
     return w.take();
   }
   switch (resp.method) {
@@ -486,7 +506,7 @@ std::vector<std::uint8_t> encode_response(const Response& resp) {
       // transport-looking WireErrors — an old decoder skips fields it
       // does not know, a new decoder zero-fills fields an old server
       // never sent.
-      w.u64(8);
+      w.u64(19);
       w.u64(resp.server.reconnects_attempted);
       w.u64(resp.server.reconnects_succeeded);
       w.u64(resp.server.shards_total);
@@ -495,6 +515,11 @@ std::vector<std::uint8_t> encode_response(const Response& resp) {
       w.u64(resp.server.stream_chunks);
       w.u64(resp.server.stream_pauses);
       w.u64(resp.server.stream_resumes);
+      w.u64(resp.server.qos_workers);
+      w.u64(resp.server.qos_backlog_cost_us);
+      for (const std::uint64_t v : resp.server.qos_served) w.u64(v);
+      for (const std::uint64_t v : resp.server.qos_shed) w.u64(v);
+      for (const std::uint64_t v : resp.server.qos_p99_us) w.u64(v);
       break;
     case Method::kDirectory:
       w.u64(resp.directory.total_events);
@@ -563,6 +588,19 @@ Response decode_response(std::span<const std::uint8_t> payload) {
   resp.method = read_method(r);
   if (resp.status != Status::kOk) {
     resp.message = r.str();
+    if (!r.done()) {
+      // Count-prefixed extension (shed cost hint and whatever a newer
+      // server appends after it) — same skip-unknown contract as the
+      // server-stats block.
+      const std::size_t n_ext = r.count(8);
+      for (std::size_t i = 0; i < n_ext; ++i) {
+        const std::uint64_t v = r.u64();
+        switch (i) {
+          case 0: resp.shed_cost_hint_us = v; break;
+          default: break;  // newer peer's field — skip
+        }
+      }
+    }
     if (!r.done()) throw WireError("trailing bytes after error response");
     return resp;
   }
@@ -640,6 +678,17 @@ Response decode_response(std::span<const std::uint8_t> payload) {
             case 5: resp.server.stream_chunks = v; break;
             case 6: resp.server.stream_pauses = v; break;
             case 7: resp.server.stream_resumes = v; break;
+            case 8: resp.server.qos_workers = v; break;
+            case 9: resp.server.qos_backlog_cost_us = v; break;
+            case 10: case 11: case 12:
+              resp.server.qos_served[i - 10] = v;
+              break;
+            case 13: case 14: case 15:
+              resp.server.qos_shed[i - 13] = v;
+              break;
+            case 16: case 17: case 18:
+              resp.server.qos_p99_us[i - 16] = v;
+              break;
             default: break;  // newer peer's counter — skip
           }
         }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -106,6 +107,18 @@ struct Request {
   /// predate it skip the tag and answer classic kScan, so setting this
   /// is always safe. Meaningful only together with `chunk_bytes`.
   bool want_scan_blocks = false;
+
+  /// QoS priority class: 0 interactive, 1 normal, 2 batch (the decoder
+  /// demotes unknown future values to batch — a tier this server does
+  /// not know must never jump the interactive lane). Travels as
+  /// extension tag 3, written only when non-default, so a class-less
+  /// legacy client's bytes are unchanged and lands in `normal`.
+  std::uint32_t qos_class = 1;
+
+  /// Tenant id for per-tenant fair queueing inside a class; 0 (the
+  /// default) is the anonymous tenant every legacy client shares.
+  /// Extension tag 4.
+  std::uint32_t tenant = 0;
 };
 
 /// Server-side service counters (kServerStats response payload).
@@ -133,6 +146,16 @@ struct ServerStatsWire {
   std::uint64_t stream_chunks = 0;
   std::uint64_t stream_pauses = 0;
   std::uint64_t stream_resumes = 0;
+  /// QoS health (zeros when the endpoint runs the classic FIFO): live
+  /// worker count, estimated queued cost, and per-class counters indexed
+  /// by qos::Class (0 interactive / 1 normal / 2 batch). p99 in whole
+  /// microseconds — a latency histogram does not need sub-us precision
+  /// and u64 keeps the extension block uniform.
+  std::uint64_t qos_workers = 0;
+  std::uint64_t qos_backlog_cost_us = 0;
+  std::array<std::uint64_t, 3> qos_served{};
+  std::array<std::uint64_t, 3> qos_shed{};
+  std::array<std::uint64_t, 3> qos_p99_us{};
 };
 
 /// kDirectory response payload: the store's sealed-segment directory
@@ -153,6 +176,15 @@ struct Response {
   Status status = Status::kOk;
   Method method = Method::kPing;
   std::string message;
+
+  /// On a QoS shed (RESOURCE_EXHAUSTED), the refused request's estimated
+  /// cost in microseconds — the client-side hint for backoff/splitting.
+  /// Travels as a count-prefixed u64 block after the error message, and
+  /// ONLY to peers whose request carried a qos extension tag (proof the
+  /// peer is new enough): an old decoder throws on trailing bytes after
+  /// an error response, so the server never volunteers the block to a
+  /// peer that did not implicitly opt in.
+  std::uint64_t shed_cost_hint_us = 0;
 
   store::WindowSum window_sum;          // kWindowSum
   std::vector<store::MetricRun> runs;   // kScan

@@ -235,6 +235,15 @@ std::span<const std::uint32_t> SegmentReader::blocks_of(
           static_cast<std::size_t>(hi - lo)};
 }
 
+std::uint64_t SegmentReader::count_blocks(telemetry::MetricId id,
+                                          util::TimeRange range) const {
+  std::uint64_t n = 0;
+  for (const std::uint32_t i : blocks_of(id)) {
+    if (block_overlaps(blocks_[i], range)) ++n;
+  }
+  return n;
+}
+
 std::span<const std::uint8_t> SegmentReader::block_span(
     const BlockMeta& block, std::vector<std::uint8_t>& scratch,
     QueryStats* stats) const {

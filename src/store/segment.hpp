@@ -82,6 +82,13 @@ class SegmentReader {
   [[nodiscard]] std::vector<telemetry::MetricEvent> read_block(
       const BlockMeta& block) const;
 
+  /// Blocks of `id` whose [t_min, t_max] intersects `range` — exactly
+  /// the blocks `scan` of the same (id, range) would read. Pure
+  /// directory arithmetic (no I/O): the deterministic unit the QoS cost
+  /// model prices admission with.
+  [[nodiscard]] std::uint64_t count_blocks(telemetry::MetricId id,
+                                           util::TimeRange range) const;
+
   /// Append samples of `id` with t in `range` to `out`, in time order
   /// (blocks of one metric are laid out time-sorted). Only blocks whose
   /// [t_min, t_max] intersects `range` are read — the predicate pushdown.

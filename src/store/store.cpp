@@ -645,6 +645,21 @@ std::vector<SegmentMeta> Store::directory() const {
   return out;
 }
 
+std::uint64_t Store::estimate_blocks(
+    std::span<const telemetry::MetricId> ids, util::TimeRange range) const {
+  if (ids.empty() || range.begin >= range.end) return 0;
+  const std::unordered_set<telemetry::MetricId> want(ids.begin(), ids.end());
+  std::uint64_t blocks = 0;
+  const SegmentSnapshot segs = snapshot();
+  for (const auto& seg : segs) {
+    if (!seg->reader.bounds().overlaps(range)) continue;
+    for (const telemetry::MetricId id : want) {
+      blocks += seg->reader.count_blocks(id, range);
+    }
+  }
+  return blocks;
+}
+
 util::TimeRange Store::bounds() const {
   util::TimeRange hull{0, 0};
   bool first = true;

@@ -236,6 +236,17 @@ class Store {
   /// Half-open hull of every stored event time; {0,0} when empty.
   [[nodiscard]] util::TimeRange bounds() const;
 
+  /// Sealed codec blocks a query of exactly (ids, range) will touch:
+  /// per distinct id, the blocks whose [t_min, t_max] intersects the
+  /// range, summed over the sealed population. Pure directory
+  /// arithmetic (binary searches over in-memory block indexes, no I/O)
+  /// — the QoS cost model prices admission with it, and a cached read
+  /// of the same shape reports exactly this many cache_hits +
+  /// cache_misses (duplicates collapse, as `query_many` collapses
+  /// them). The unsealed tail decodes nothing and counts nothing.
+  [[nodiscard]] std::uint64_t estimate_blocks(
+      std::span<const telemetry::MetricId> ids, util::TimeRange range) const;
+
   [[nodiscard]] const std::string& root() const { return root_; }
   [[nodiscard]] const RecoveryReport& recovery() const { return recovery_; }
   [[nodiscard]] std::size_t sealed_segments() const;

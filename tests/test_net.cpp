@@ -253,6 +253,11 @@ TEST(Wire, ServerStatsToleratesVersionSkew) {
   resp.server.stream_chunks = 70;
   resp.server.stream_pauses = 2;
   resp.server.stream_resumes = 2;
+  resp.server.qos_workers = 6;
+  resp.server.qos_backlog_cost_us = 123456;
+  resp.server.qos_served = {100, 200, 300};
+  resp.server.qos_shed = {1, 2, 3};
+  resp.server.qos_p99_us = {900, 9000, 90000};
   const auto bytes = server::wire::encode_response(resp);
 
   // Same-version round trip carries every counter.
@@ -266,40 +271,60 @@ TEST(Wire, ServerStatsToleratesVersionSkew) {
   EXPECT_EQ(back.server.stream_chunks, 70u);
   EXPECT_EQ(back.server.stream_pauses, 2u);
   EXPECT_EQ(back.server.stream_resumes, 2u);
+  EXPECT_EQ(back.server.qos_workers, 6u);
+  EXPECT_EQ(back.server.qos_backlog_cost_us, 123456u);
+  EXPECT_EQ(back.server.qos_served[1], 200u);
+  EXPECT_EQ(back.server.qos_shed[2], 3u);
+  EXPECT_EQ(back.server.qos_p99_us[0], 900u);
 
   // Pre-extension server: the payload stops before the extension block
-  // (count u64 + 8 counters = 72 bytes). A new client must zero-fill,
+  // (count u64 + 19 counters = 160 bytes). A new client must zero-fill,
   // not throw a transport-looking truncation error.
-  ASSERT_GT(bytes.size(), 72u);
+  ASSERT_GT(bytes.size(), 160u);
   const auto from_old =
-      server::wire::decode_response({bytes.data(), bytes.size() - 72});
+      server::wire::decode_response({bytes.data(), bytes.size() - 160});
   EXPECT_EQ(from_old.server.accepted, 10u);
   EXPECT_EQ(from_old.server.p99_ms, 1.5);
   EXPECT_EQ(from_old.server.reconnects_attempted, 0u);
   EXPECT_EQ(from_old.server.shards_total, 0u);
   EXPECT_EQ(from_old.server.shards_down, 0u);
   EXPECT_EQ(from_old.server.streams, 0u);
+  EXPECT_EQ(from_old.server.qos_workers, 0u);
 
-  // Mid-version server (shard counters but no stream counters): the
-  // count it wrote is honored and the newer fields zero-fill.
+  // Mid-version server (shard counters but no stream or qos counters):
+  // the count it wrote is honored and the newer fields zero-fill.
   auto mid = bytes;
-  mid.resize(mid.size() - 32);   // drop the 4 stream counters...
+  mid.resize(mid.size() - 120);  // drop stream + qos counters (15)...
   mid.at(mid.size() - 40) = 4;   // ...and declare count 4 (LE low byte)
   const auto from_mid = server::wire::decode_response(mid);
   EXPECT_EQ(from_mid.server.reconnects_attempted, 3u);
   EXPECT_EQ(from_mid.server.shards_down, 1u);
   EXPECT_EQ(from_mid.server.streams, 0u);
   EXPECT_EQ(from_mid.server.stream_chunks, 0u);
+  EXPECT_EQ(from_mid.server.qos_backlog_cost_us, 0u);
 
-  // Newer server: a ninth extension counter this decoder has never heard
-  // of is consumed and ignored, not reported as trailing bytes.
+  // Stream-era server (everything but the qos counters): stream fields
+  // arrive, qos fields zero-fill.
+  auto stream_era = bytes;
+  stream_era.resize(stream_era.size() - 88);  // drop the 11 qos counters...
+  stream_era.at(stream_era.size() - 72) = 8;  // ...and declare count 8
+  const auto from_stream = server::wire::decode_response(stream_era);
+  EXPECT_EQ(from_stream.server.streams, 7u);
+  EXPECT_EQ(from_stream.server.stream_resumes, 2u);
+  EXPECT_EQ(from_stream.server.qos_workers, 0u);
+  EXPECT_EQ(from_stream.server.qos_served[0], 0u);
+  EXPECT_EQ(from_stream.server.qos_p99_us[2], 0u);
+
+  // Newer server: a twentieth extension counter this decoder has never
+  // heard of is consumed and ignored, not reported as trailing bytes.
   auto future = bytes;
-  future.at(future.size() - 72) = 9;  // extension count 8 -> 9 (LE low byte)
+  future.at(future.size() - 160) = 20;  // count 19 -> 20 (LE low byte)
   for (int i = 0; i < 8; ++i) future.push_back(0xEE);
   const auto from_new = server::wire::decode_response(future);
   EXPECT_EQ(from_new.server.accepted, 10u);
   EXPECT_EQ(from_new.server.reconnects_attempted, 3u);
   EXPECT_EQ(from_new.server.shards_down, 1u);
+  EXPECT_EQ(from_new.server.qos_p99_us[2], 90000u);
 }
 
 TEST(Wire, TickRoundTrips) {

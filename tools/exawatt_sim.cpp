@@ -105,6 +105,8 @@
 #include "core/simulation.hpp"
 #include "datasets/export.hpp"
 #include "datasets/import.hpp"
+#include "qos/cost.hpp"
+#include "qos/scheduler.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/spec.hpp"
 #include "server/client.hpp"
@@ -144,8 +146,11 @@ int usage() {
       "                                                   compaction crash"
       " gate\n"
       "  serve    --store DIR --port P [--queue N --deadline MS]\n"
-      "                                                   TCP query service\n"
+      "           [--no-qos --min-workers N --max-workers N]\n"
+      "           [--auto-compact --compact-interval S]    TCP query service\n"
       "  servecheck --nodes N --minutes M --store DIR     loopback wire-parity"
+      " gate\n"
+      "  qoscheck --nodes N --minutes M --store DIR       multi-tenant QoS"
       " gate\n"
       "  cluster  --shards P1,P2,.. --port P [--queue N --deadline MS]\n"
       "                                                   scatter-gather"
@@ -464,6 +469,24 @@ int analyze_endpoint(const std::string& spec) {
                 static_cast<unsigned long long>(s.reconnects_succeeded));
   } else {
     std::printf("upstream: none (single-store server)\n");
+  }
+  // A classic-FIFO (or pre-QoS) server reports all-zero QoS counters;
+  // printing them would only mislead.
+  std::uint64_t qos_activity = s.qos_workers;
+  for (std::size_t c = 0; c < qos::kClassCount; ++c) {
+    qos_activity += s.qos_served[c] + s.qos_shed[c];
+  }
+  if (qos_activity > 0) {
+    std::printf("qos: %llu worker(s), backlog %llu us estimated\n",
+                static_cast<unsigned long long>(s.qos_workers),
+                static_cast<unsigned long long>(s.qos_backlog_cost_us));
+    for (std::size_t c = 0; c < qos::kClassCount; ++c) {
+      std::printf("  %-11s %llu served, %llu shed, p99 %.2f ms\n",
+                  qos::class_name(static_cast<qos::Class>(c)),
+                  static_cast<unsigned long long>(s.qos_served[c]),
+                  static_cast<unsigned long long>(s.qos_shed[c]),
+                  static_cast<double>(s.qos_p99_us[c]) / 1000.0);
+    }
   }
   return 0;
 }
@@ -1194,6 +1217,18 @@ void print_service_report(const server::ServiceMetrics& m,
       static_cast<unsigned long long>(m.cancelled),
       static_cast<unsigned long long>(m.failed),
       static_cast<unsigned long long>(m.queue_depth), m.p50_ms, m.p99_ms);
+  if (m.qos) {
+    std::printf("qos: %llu worker(s), backlog %llu us estimated\n",
+                static_cast<unsigned long long>(m.qos_workers),
+                static_cast<unsigned long long>(m.qos_backlog_cost_us));
+    for (std::size_t c = 0; c < qos::kClassCount; ++c) {
+      std::printf("  %-11s %llu served, %llu shed, p99 %.2f ms\n",
+                  qos::class_name(static_cast<qos::Class>(c)),
+                  static_cast<unsigned long long>(m.class_served[c]),
+                  static_cast<unsigned long long>(m.class_shed[c]),
+                  m.class_p99_ms[c]);
+    }
+  }
   std::printf(
       "transport: %llu conns (%llu closed), %llu frames in / %llu out, "
       "%llu B in / %llu B out, %llu protocol errors, %llu backpressure "
@@ -1223,15 +1258,67 @@ int cmd_serve(const util::Flags& flags) {
       static_cast<std::size_t>(flags.get_int("queue", 256));
   options.service.default_deadline_ms =
       static_cast<std::uint32_t>(flags.get_int("deadline", 0));
+  const bool qos_on = !flags.has("no-qos");
+  if (qos_on) {
+    server::QosOptions q;
+    // Calibrate unit costs from the codec bench when its JSON is around;
+    // defaults otherwise — pricing only needs to be proportionate.
+    q.cost = qos::CostProfile::from_bench_json(
+        flags.get("bench-codec", "BENCH_codec.json"));
+    q.pool.autoscaler.min_workers =
+        static_cast<std::size_t>(flags.get_int("min-workers", 1));
+    q.pool.autoscaler.max_workers =
+        static_cast<std::size_t>(flags.get_int("max-workers", 0));
+    options.service.qos = std::move(q);
+  }
   server::Server server(store, options);
   server.service().set_subscribe_source(make_replay_source(store));
 
   util::SignalTrap trap;
-  std::printf("serving on 127.0.0.1:%u (queue %zu, default deadline %u ms) "
-              "— Ctrl-C drains\n",
+  std::printf("serving on 127.0.0.1:%u (queue %zu, default deadline %u ms, "
+              "qos %s) — Ctrl-C drains\n",
               server.port(), options.service.queue_limit,
-              options.service.default_deadline_ms);
-  server.run([&] { return trap.stop_requested(); });
+              options.service.default_deadline_ms, qos_on ? "on" : "off");
+
+  // --auto-compact: periodic store compaction rides the QoS queue as a
+  // batch-class citizen — it waits its class turn behind paying traffic
+  // and may be shed under overload (the next tick simply retries).
+  const bool auto_compact = flags.has("auto-compact");
+  const auto compact_every = static_cast<std::int64_t>(
+      flags.get_int("compact-interval", 30));
+  auto compacting = std::make_shared<std::atomic<bool>>(false);
+  std::int64_t last_compact_us = util::Clock::steady().now_us();
+  if (auto_compact) {
+    std::printf("auto-compact: every %llds as a batch-class task\n",
+                static_cast<long long>(compact_every));
+  }
+  server.run([&] {
+    if (auto_compact && !trap.stop_requested()) {
+      const std::int64_t now_us = util::Clock::steady().now_us();
+      bool expected = false;
+      if (now_us - last_compact_us >= compact_every * 1'000'000 &&
+          compacting->compare_exchange_strong(expected, true)) {
+        last_compact_us = now_us;
+        // Cost estimate: a merge pass decodes at most the sealed
+        // population once — price it like a scan of every sealed block.
+        const std::uint64_t cost_us =
+            20'000 + 1'000 * static_cast<std::uint64_t>(
+                                 store.sealed_segments());
+        server.service().submit_internal(
+            qos::Class::kBatch, cost_us,
+            [&store, compacting] {
+              const auto report = store.compact({});
+              std::printf("auto-compact: %zu rounds merged %zu inputs, "
+                          "%zu dropped whole\n",
+                          report.rounds, report.merged_inputs,
+                          report.dropped_segments);
+              compacting->store(false);
+            },
+            /*dropped=*/[compacting] { compacting->store(false); });
+      }
+    }
+    return trap.stop_requested();
+  });
   if (trap.stop_requested()) {
     std::printf("\nsignal %d: draining — no new connections, letting "
                 "%llu in-flight request(s) finish...\n",
@@ -1307,7 +1394,12 @@ int cmd_servecheck(const util::Flags& flags) {
     const std::vector<machine::NodeId> nodes = power_nodes(store);
     const int channel =
         telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
-    server::Server server(store, {});
+    // QoS on: a class-less client over the QoS scheduler must stay
+    // bit-identical to the direct store call — the parity sweep below is
+    // the proof that enabling QoS changes nothing for legacy traffic.
+    server::ServerOptions sopts;
+    sopts.service.qos.emplace();
+    server::Server server(store, sopts);
     server.service().set_subscribe_source(make_replay_source(store));
     std::thread loop([&] { server.run(); });
 
@@ -1508,7 +1600,9 @@ int cmd_servecheck(const util::Flags& flags) {
       const std::vector<machine::NodeId> nodes = power_nodes(store);
       const int channel =
           telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
-      server::Server server(store, {});
+      server::ServerOptions sopts;
+      sopts.service.qos.emplace();  // degraded reads through QoS too
+      server::Server server(store, sopts);
       std::thread loop([&] { server.run(); });
       server::ClientOptions copts;
       copts.port = server.port();
@@ -1718,6 +1812,9 @@ int cmd_clustercheck(const util::Flags& flags) {
     pools.push_back(std::make_unique<util::ThreadPool>(1));
     server::ServerOptions opts;
     opts.service.pool = pools.back().get();
+    // Shards run the QoS scheduler: coordinator parity below doubles as
+    // proof that class-less scatter legs through QoS stay bit-identical.
+    opts.service.qos.emplace();
     s.server = std::make_unique<server::Server>(st, opts);
     s.loop = std::thread([srv = s.server.get()] { srv->run(); });
     return s;
@@ -1995,6 +2092,339 @@ int cmd_clustercheck(const util::Flags& flags) {
   for (auto& s : servers) stop_shard(s);
 
   std::printf("clustercheck: %s\n", violations == 0 ? "PASS" : "FAIL");
+  return violations == 0 ? 0 : 1;
+}
+
+/// The `qos` ctest gate: multi-tenant QoS behavior over real loopback
+/// wire traffic.
+///
+///  1. Class-less parity — a legacy (untagged) client against a QoS
+///     server gets answers bit-identical to the direct store call.
+///  2. Tagged round-trips — per-class served counters in server_stats
+///     account exactly for what each tenant sent.
+///  3. Overload — batch floods from four tenants against one worker and
+///     a tiny queue: interactive requests are NEVER shed (victims are
+///     cheapest-to-refuse = worst class first), every shed response
+///     carries the estimated-cost hint, and the shed counter reconciles.
+///  4. Cluster inheritance — a batch-tagged cluster_sum through the
+///     scatter coordinator lands on every shard as batch-class work.
+int cmd_qoscheck(const util::Flags& flags) {
+  const auto n = static_cast<int>(flags.get_int("nodes", 12));
+  const double minutes = flags.get_number("minutes", 6.0);
+  const std::string dir = flags.get("store", "qoscheck_data");
+  std::filesystem::remove_all(dir);
+
+  const util::TimeSec start = util::kHour;
+  const util::TimeRange window{
+      start, start + static_cast<util::TimeSec>(minutes * 60.0)};
+  core::SimulationConfig config;
+  config.scale = machine::MachineScale::small(n);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  config.range = {0, window.end + util::kHour};
+  core::Simulation sim(config);
+  TelemetryRig rig(sim, config, window, config.scale.nodes);
+
+  std::vector<std::vector<telemetry::MetricEvent>> batches;
+  rig.pipeline.set_batch_sink(
+      [&](const std::vector<telemetry::MetricEvent>& batch) {
+        batches.push_back(batch);
+      });
+  rig.pipeline.run(window);
+
+  store::StoreOptions store_options;
+  store_options.segment_events = 1 << 13;
+  {
+    store::Store store = store::Store::open(dir, store_options);
+    for (const auto& batch : batches) store.append(batch);
+    store.flush();
+  }
+
+  std::size_t violations = 0;
+  store::Store store = store::Store::open(dir, store_options);
+  const std::vector<machine::NodeId> nodes = power_nodes(store);
+  const int channel =
+      telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
+
+  // Phase 1+2+3: one QoS server, deliberately starved — one worker and
+  // a four-deep queue make overload reproducible at tiny request counts.
+  {
+    server::ServerOptions sopts;
+    server::QosOptions q;
+    q.pool.autoscaler.min_workers = 1;
+    q.pool.autoscaler.max_workers = 1;
+    sopts.service.queue_limit = 4;
+    sopts.service.qos = q;
+    server::Server server(store, sopts);
+    server.service().set_subscribe_source(make_replay_source(store));
+    std::thread loop([&] { server.run(); });
+
+    server::ClientOptions copts;
+    copts.port = server.port();
+
+    // Phase 1: class-less parity (scan + window_sum + cluster_sum).
+    {
+      server::Client client(copts);
+      server::wire::Request req;
+      req.method = server::wire::Method::kClusterSum;
+      req.nodes = nodes;
+      req.channel = channel;
+      req.range = window;
+      req.window = 10;
+      const auto wire_resp = client.call(req);
+      const auto direct = server.service().execute(req);
+      bool same = wire_resp.status == server::wire::Status::kOk &&
+                  wire_resp.series.size() == direct.series.size();
+      if (same) {
+        for (std::size_t i = 0; i < direct.series.size(); ++i) {
+          same = same && wire_resp.series[i] == direct.series[i];
+        }
+      }
+      if (!same) {
+        std::printf("FAIL: class-less cluster_sum through QoS is not "
+                    "bit-identical to the direct call\n");
+        ++violations;
+      }
+    }
+
+    // Phase 2: tagged round-trips from 4 tenants across all classes.
+    const std::uint32_t kTenants = 4;
+    const std::size_t kPerTenant = 6;
+    std::uint64_t sent_by_class[qos::kClassCount] = {0, 0, 0};
+    for (std::uint32_t t = 1; t <= kTenants; ++t) {
+      server::Client client(copts);
+      for (std::size_t i = 0; i < kPerTenant; ++i) {
+        server::wire::Request req;
+        req.method = server::wire::Method::kWindowSum;
+        req.metric = telemetry::metric_id(nodes[i % nodes.size()], channel);
+        req.range = window;
+        req.window = 30;
+        req.tenant = t;
+        req.qos_class = static_cast<std::uint32_t>(i % qos::kClassCount);
+        const auto resp = client.call(req);
+        if (resp.status != server::wire::Status::kOk) {
+          std::printf("FAIL: tagged window_sum (tenant %u class %u) "
+                      "returned %s\n",
+                      t, req.qos_class,
+                      server::wire::status_name(resp.status));
+          ++violations;
+        } else {
+          ++sent_by_class[static_cast<std::size_t>(
+              qos::class_from_wire(req.qos_class))];
+        }
+      }
+    }
+    {
+      server::Client client(copts);
+      server::wire::Request req;
+      req.method = server::wire::Method::kServerStats;
+      const auto stats = client.call(req);
+      for (std::size_t c = 0; c < qos::kClassCount; ++c) {
+        if (stats.server.qos_served[c] < sent_by_class[c]) {
+          std::printf("FAIL: class %s served %llu < %llu sent\n",
+                      qos::class_name(static_cast<qos::Class>(c)),
+                      static_cast<unsigned long long>(
+                          stats.server.qos_served[c]),
+                      static_cast<unsigned long long>(sent_by_class[c]));
+          ++violations;
+        }
+      }
+      if (stats.server.qos_workers == 0) {
+        std::printf("FAIL: server_stats reports zero QoS workers\n");
+        ++violations;
+      }
+    }
+
+    // Phase 3: overload. Four batch tenants flood expensive full-range
+    // rollups at a one-worker, four-slot server while one interactive
+    // tenant keeps pinging. Victims are cheapest-to-refuse: the queue
+    // holds only batch work, so an arriving ping always wins a slot.
+    std::atomic<std::uint64_t> batch_ok{0}, batch_shed{0};
+    std::atomic<std::uint64_t> hintless_sheds{0}, odd_status{0};
+    std::vector<std::thread> flood;
+    flood.reserve(kTenants);
+    for (std::uint32_t t = 1; t <= kTenants; ++t) {
+      flood.emplace_back([&, t] {
+        server::Client client(copts);
+        for (int i = 0; i < 8; ++i) {
+          server::wire::Request req;
+          req.method = server::wire::Method::kPueRollup;
+          req.nodes = nodes;
+          req.range = window;
+          req.window = 10;
+          req.tenant = t;
+          req.qos_class = 2;  // batch
+          const auto resp = client.call(req);
+          if (resp.status == server::wire::Status::kOk) {
+            ++batch_ok;
+          } else if (resp.status ==
+                     server::wire::Status::kResourceExhausted) {
+            ++batch_shed;
+            if (resp.shed_cost_hint_us == 0) ++hintless_sheds;
+          } else {
+            ++odd_status;
+          }
+        }
+      });
+    }
+    std::uint64_t ping_shed = 0, ping_ok = 0;
+    {
+      server::Client client(copts);
+      for (int i = 0; i < 40; ++i) {
+        server::wire::Request req;
+        req.method = server::wire::Method::kPing;
+        req.tenant = 9;
+        req.qos_class = 0;  // interactive
+        const auto resp = client.call(req);
+        if (resp.status == server::wire::Status::kOk) ++ping_ok;
+        if (resp.status == server::wire::Status::kResourceExhausted) {
+          ++ping_shed;
+        }
+      }
+    }
+    for (auto& th : flood) th.join();
+    std::printf("[overload] batch %llu ok / %llu shed, interactive %llu "
+                "ok / %llu shed\n",
+                static_cast<unsigned long long>(batch_ok.load()),
+                static_cast<unsigned long long>(batch_shed.load()),
+                static_cast<unsigned long long>(ping_ok),
+                static_cast<unsigned long long>(ping_shed));
+    if (ping_shed != 0) {
+      std::printf("FAIL: interactive requests were shed while batch work "
+                  "sat queued\n");
+      ++violations;
+    }
+    if (batch_ok.load() == 0) {
+      std::printf("FAIL: overload starved batch completely\n");
+      ++violations;
+    }
+    if (hintless_sheds.load() != 0) {
+      std::printf("FAIL: %llu shed response(s) lacked the estimated-cost "
+                  "hint\n",
+                  static_cast<unsigned long long>(hintless_sheds.load()));
+      ++violations;
+    }
+    if (odd_status.load() != 0) {
+      std::printf("FAIL: %llu flood request(s) resolved to a status other "
+                  "than kOk/kResourceExhausted\n",
+                  static_cast<unsigned long long>(odd_status.load()));
+      ++violations;
+    }
+    {
+      server::Client client(copts);
+      server::wire::Request req;
+      req.method = server::wire::Method::kServerStats;
+      const auto stats = client.call(req);
+      if (stats.server.qos_shed[2] < batch_shed.load()) {
+        std::printf("FAIL: batch shed counter %llu < %llu observed\n",
+                    static_cast<unsigned long long>(
+                        stats.server.qos_shed[2]),
+                    static_cast<unsigned long long>(batch_shed.load()));
+        ++violations;
+      }
+      if (stats.server.qos_shed[0] != 0) {
+        std::printf("FAIL: interactive shed counter is nonzero\n");
+        ++violations;
+      }
+    }
+
+    server.shutdown();
+    loop.join();
+    server.drain();
+  }
+
+  // Phase 4: scatter legs inherit tenant and class. Two QoS shards
+  // behind a coordinator; a batch-tagged cluster_sum must land on each
+  // shard's batch counter — the coordinator forwards identity, it does
+  // not launder it.
+  {
+    const cluster::ShardMap map = cluster::ShardMap::uniform(2);
+    std::vector<std::string> roots{dir + "/shard0", dir + "/shard1"};
+    {
+      std::vector<store::Store> writers;
+      for (const std::string& root : roots) {
+        writers.push_back(store::Store::open(root, store_options));
+      }
+      for (const auto& batch : batches) {
+        const auto parts = map.split(batch);
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+          if (!parts[i].empty()) writers[i].append(parts[i]);
+        }
+      }
+      for (auto& w : writers) w.flush();
+    }
+    std::vector<std::optional<store::Store>> shards;
+    for (const std::string& root : roots) {
+      shards.emplace_back(store::Store::open(root, store_options));
+    }
+    struct ShardServer {
+      std::unique_ptr<server::Server> server;
+      std::thread loop;
+    };
+    std::vector<ShardServer> servers;
+    for (auto& st : shards) {
+      ShardServer s;
+      server::ServerOptions opts;
+      opts.service.qos.emplace();
+      s.server = std::make_unique<server::Server>(*st, opts);
+      s.loop = std::thread([srv = s.server.get()] { srv->run(); });
+      servers.push_back(std::move(s));
+    }
+    cluster::CoordinatorOptions copts;
+    for (const ShardServer& s : servers) {
+      copts.shards.push_back({"127.0.0.1", s.server->port()});
+    }
+    cluster::Coordinator coordinator(std::move(copts));
+
+    server::wire::Request req;
+    req.method = server::wire::Method::kClusterSum;
+    req.nodes = nodes;
+    req.channel = channel;
+    req.range = window;
+    req.window = 10;
+    req.tenant = 7;
+    req.qos_class = 2;  // batch
+    const auto resp = coordinator.execute(req, nullptr, 0, nullptr);
+    if (resp.status != server::wire::Status::kOk) {
+      std::printf("FAIL: batch-tagged cluster_sum through coordinator "
+                  "returned %s\n",
+                  server::wire::status_name(resp.status));
+      ++violations;
+    }
+    // Drain before reading counters: a chunk-streamed scan leg hands the
+    // coordinator its bytes before the shard worker books the request,
+    // so the counters lag the response by a hair.
+    for (auto& s : servers) {
+      s.server->shutdown();
+      s.loop.join();
+      s.server->drain();
+    }
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      const auto m = servers[i].server->service().metrics();
+      if (m.class_served[2] == 0) {
+        std::printf("FAIL: shard %zu saw no batch-class work — the "
+                    "scatter leg dropped the QoS identity (accepted %llu "
+                    "served %llu class0 %llu class1 %llu class2 %llu, "
+                    "lost_segments %llu)\n",
+                    i, static_cast<unsigned long long>(m.accepted),
+                    static_cast<unsigned long long>(m.served),
+                    static_cast<unsigned long long>(m.class_served[0]),
+                    static_cast<unsigned long long>(m.class_served[1]),
+                    static_cast<unsigned long long>(m.class_served[2]),
+                    static_cast<unsigned long long>(
+                        resp.stats.lost_segments));
+        ++violations;
+      }
+      if (m.class_served[0] != 0 || m.class_shed[0] != 0) {
+        std::printf("FAIL: shard %zu counted interactive work it was "
+                    "never sent\n",
+                    i);
+        ++violations;
+      }
+    }
+    for (auto& s : servers) s.server.reset();
+  }
+
+  std::printf("qoscheck: %s\n", violations == 0 ? "PASS" : "FAIL");
   return violations == 0 ? 0 : 1;
 }
 
@@ -2434,6 +2864,7 @@ int main(int argc, char** argv) {
     if (flags.command() == "compactcheck") return cmd_compactcheck(flags);
     if (flags.command() == "serve") return cmd_serve(flags);
     if (flags.command() == "servecheck") return cmd_servecheck(flags);
+    if (flags.command() == "qoscheck") return cmd_qoscheck(flags);
     if (flags.command() == "cluster") return cmd_cluster(flags);
     if (flags.command() == "clustercheck") return cmd_clustercheck(flags);
     if (flags.command() == "scenario") return cmd_scenario(flags);

@@ -35,6 +35,21 @@
 // threads share the coordinator, and the report adds a per-shard
 // latency/status breakdown so a slow or flapping shard is visible.
 //
+// --classes turns on multi-tenant QoS traffic: every request carries a
+// tenant id drawn Zipf(--zipf) from --tenants tenants and a priority
+// class tied to its weight — interactive pings/window-sums, normal
+// scans/roll-ups, batch replays — and the report adds a per-class
+// latency table plus the server's own QoS counters (server_stats).
+//
+// --rate R switches the workers from closed-loop ("as fast as the
+// server answers") to an open-loop Poisson process at R req/s total:
+// each worker draws exponential inter-arrival gaps on a fixed schedule
+// that never adapts to response times, and latency is measured from the
+// *scheduled* arrival — a server that falls behind accumulates queueing
+// delay in the numbers instead of quietly slowing the offered load.
+// This is the overload harness: --rate well past capacity with
+// --classes shows whether interactive p99 survives a batch flood.
+//
 // The default --nodes/--range match `exawatt_sim simulate --store`'s
 // defaults (32 instrumented nodes, 30 minutes at 1 Hz).
 
@@ -76,6 +91,10 @@ std::size_t bucket_of(double us) {
   return std::min(b, kBuckets - 1);
 }
 
+constexpr std::size_t kClasses = 3;  ///< interactive / normal / batch
+const char* const kClassNames[kClasses] = {"interactive", "normal",
+                                           "batch"};
+
 struct WorkerStats {
   std::uint64_t sent = 0;
   std::uint64_t ok = 0;
@@ -86,6 +105,31 @@ struct WorkerStats {
   std::uint64_t events = 0;  ///< response_event_volume sum
   std::vector<double> latencies_us;
   std::array<std::uint64_t, kBuckets> histogram{};
+  /// --classes mode: the same outcomes split by priority class.
+  std::array<std::uint64_t, kClasses> class_sent{};
+  std::array<std::uint64_t, kClasses> class_ok{};
+  std::array<std::uint64_t, kClasses> class_shed{};
+  std::array<std::vector<double>, kClasses> class_latencies_us;
+};
+
+/// Zipf(alpha) sampler over tenants 1..n: tenant k with weight k^-alpha,
+/// drawn by inverting the precomputed CDF. The skew is the point — one
+/// or two heavy tenants plus a long tail is what fair queues must tame.
+struct ZipfTenants {
+  std::vector<double> cdf;
+  ZipfTenants(std::uint32_t n, double alpha) {
+    cdf.reserve(n);
+    double total = 0.0;
+    for (std::uint32_t k = 1; k <= n; ++k) {
+      total += std::pow(static_cast<double>(k), -alpha);
+      cdf.push_back(total);
+    }
+    for (double& c : cdf) c /= total;
+  }
+  [[nodiscard]] std::uint32_t draw(double u) const {
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<std::uint32_t>(it - cdf.begin()) + 1;
+  }
 };
 
 /// "P" or "HOST:P", comma-separated, into coordinator endpoints.
@@ -181,6 +225,12 @@ int main(int argc, char** argv) {
       std::max<std::int64_t>(0, flags.get_int("connections", 0)));
   const double idle_every =
       std::max(0.5, flags.get_number("idle-every", 5.0));
+  const bool classes = flags.has("classes");
+  const auto tenants = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, flags.get_int("tenants", 4)));
+  const double zipf_alpha = flags.get_number("zipf", 1.1);
+  const double rate = flags.get_number("rate", 0.0);  // 0 = closed loop
+  const ZipfTenants zipf(tenants, zipf_alpha);
 
   const int channel =
       telemetry::channel_of(telemetry::MetricKind::kInputPower, 0);
@@ -211,6 +261,16 @@ int main(int argc, char** argv) {
                 static_cast<long long>(range.begin),
                 static_cast<long long>(range.end), deadline_ms,
                 scenarios ? ", 15% scenario replays" : "");
+  }
+  if (classes) {
+    std::printf("qos traffic: %u tenants Zipf(%.2f), classes tagged "
+                "(interactive/normal/batch)\n",
+                tenants, zipf_alpha);
+  }
+  if (rate > 0.0) {
+    std::printf("open loop: %.0f req/s offered on a fixed Poisson "
+                "schedule (latency includes queueing-behind-schedule)\n",
+                rate);
   }
 
   // The idle-heavy herd opens before the clock starts so the workers
@@ -295,11 +355,116 @@ int main(int argc, char** argv) {
       std::optional<server::Client> client;
       if (coordinator == nullptr) client.emplace(copts);
       const server::CancelToken no_cancel;
+      // Open loop: this worker's share of the offered rate, drawn as
+      // exponential gaps on an absolute schedule that never adapts.
+      const double worker_rate = rate / static_cast<double>(threads);
+      auto next_arrival = Clock::now();
       while (Clock::now() < until) {
+        auto scheduled_at = Clock::now();
+        if (rate > 0.0) {
+          scheduled_at = next_arrival;
+          const double gap_s =
+              -std::log(std::max(rng.uniform(), 1e-12)) / worker_rate;
+          next_arrival += std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(gap_s));
+          std::this_thread::sleep_until(scheduled_at);
+          if (Clock::now() >= until) break;
+        }
         server::wire::Request req;
         req.deadline_ms = deadline_ms;
         req.range = range;
         req.window = 10;
+        std::size_t cls = 1;
+        if (classes) {
+          // Class drawn first, method tied to it: interactive traffic is
+          // cheap and latency-sensitive, batch is the replay heavyweight.
+          req.tenant = zipf.draw(rng.uniform());
+          const double c = rng.uniform();
+          cls = c < 0.3 ? 0 : (c < 0.8 ? 1 : 2);
+          req.qos_class = static_cast<std::uint32_t>(cls);
+          if (cls == 0) {
+            if (rng.uniform() < 0.5) {
+              req.method = server::wire::Method::kPing;
+            } else {
+              req.method = server::wire::Method::kWindowSum;
+              req.metric = telemetry::metric_id(
+                  nodes[rng.uniform_index(nodes.size())], channel);
+            }
+          } else if (cls == 1) {
+            if (rng.uniform() < 0.6) {
+              req.method = server::wire::Method::kScan;
+              const std::size_t want = 1 + rng.uniform_index(8);
+              for (std::size_t i = 0; i < want; ++i) {
+                req.metrics.push_back(telemetry::metric_id(
+                    nodes[rng.uniform_index(nodes.size())], channel));
+              }
+            } else {
+              req.method = server::wire::Method::kClusterSum;
+              req.nodes = nodes;
+              req.channel = channel;
+            }
+          } else if (scenarios && rng.uniform() < 0.3) {
+            req.method = server::wire::Method::kScenarioSweep;
+            req.nodes = nodes;
+            req.subscribe_mask = 0;
+            for (int v = 0; v < 4; ++v) {
+              scenario::ScenarioSpec spec;
+              spec.name = "loadgen-sweep-" + std::to_string(v);
+              spec.power_cap_w = (0.4 + 0.2 * v) * 3000.0 *
+                                 static_cast<double>(n_nodes);
+              req.scenarios.push_back(std::move(spec));
+            }
+          } else {
+            req.method = server::wire::Method::kPueRollup;
+            req.nodes = nodes;
+          }
+
+          ++stats.sent;
+          ++stats.class_sent[cls];
+          try {
+            const auto resp =
+                coordinator != nullptr
+                    ? coordinator->execute(
+                          req, no_cancel,
+                          deadline_ms == 0
+                              ? 0
+                              : util::Clock::steady().now_us() +
+                                    static_cast<std::int64_t>(deadline_ms) *
+                                        1000)
+                    : client->call(req);
+            // Open loop measures from the *scheduled* arrival: time spent
+            // waiting to even be sent is queueing delay the client felt.
+            const double us = std::chrono::duration<double, std::micro>(
+                                  Clock::now() - scheduled_at)
+                                  .count();
+            stats.latencies_us.push_back(us);
+            ++stats.histogram[bucket_of(us)];
+            stats.class_latencies_us[cls].push_back(us);
+            switch (resp.status) {
+              case server::wire::Status::kOk:
+                ++stats.ok;
+                ++stats.class_ok[cls];
+                stats.events += server::wire::response_event_volume(resp);
+                break;
+              case server::wire::Status::kResourceExhausted:
+                ++stats.shed;
+                ++stats.class_shed[cls];
+                break;
+              case server::wire::Status::kDeadlineExceeded:
+                ++stats.deadline;
+                break;
+              default:
+                ++stats.other;
+                break;
+            }
+          } catch (const net::NetError&) {
+            ++stats.transport_errors;
+            if (client.has_value() && !client->connected()) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            }
+          }
+          continue;
+        }
         const double pick = rng.uniform();
         if (scenarios && pick >= 0.85 && pick < 0.95) {
           // 10% single counterfactual: a cap drawn around the plausible
@@ -349,7 +514,7 @@ int main(int argc, char** argv) {
           req.method = server::wire::Method::kPing;
         }
 
-        const auto sent_at = Clock::now();
+        const auto sent_at = rate > 0.0 ? scheduled_at : Clock::now();
         ++stats.sent;
         try {
           const auto resp =
@@ -412,6 +577,14 @@ int main(int argc, char** argv) {
                               s.latencies_us.begin(), s.latencies_us.end());
     for (std::size_t b = 0; b < kBuckets; ++b) {
       total.histogram[b] += s.histogram[b];
+    }
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      total.class_sent[c] += s.class_sent[c];
+      total.class_ok[c] += s.class_ok[c];
+      total.class_shed[c] += s.class_shed[c];
+      total.class_latencies_us[c].insert(total.class_latencies_us[c].end(),
+                                         s.class_latencies_us[c].begin(),
+                                         s.class_latencies_us[c].end());
     }
   }
 
@@ -476,6 +649,61 @@ int main(int argc, char** argv) {
       std::printf("  [%9.3f, %9.3f) ms |%-40s| %llu\n", lo_ms, hi_ms,
                   std::string(std::max<std::size_t>(width, 1), '#').c_str(),
                   static_cast<unsigned long long>(total.histogram[b]));
+    }
+  }
+  if (classes) {
+    // Per-class latency table — the number the QoS scheduler is judged
+    // on is the interactive row's p99 under a batch flood.
+    util::TextTable t(
+        {"class", "sent", "ok", "shed", "p50 ms", "p99 ms", "max ms"});
+    const auto ms = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f", v / 1000.0);
+      return std::string(buf);
+    };
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      auto& lat = total.class_latencies_us[c];
+      std::sort(lat.begin(), lat.end());
+      const auto pct = [&](double q) {
+        return lat.empty() ? 0.0
+                           : lat[static_cast<std::size_t>(
+                                 q * static_cast<double>(lat.size() - 1))];
+      };
+      t.add_row({kClassNames[c], std::to_string(total.class_sent[c]),
+                 std::to_string(total.class_ok[c]),
+                 std::to_string(total.class_shed[c]), ms(pct(0.5)),
+                 ms(pct(0.99)), ms(lat.empty() ? 0.0 : lat.back())});
+    }
+    std::printf("\nper-class breakdown:\n%s", t.str().c_str());
+    if (coordinator == nullptr) {
+      // The server's own QoS accounting, read over the wire — served /
+      // shed / p99 as the scheduler saw them, plus the autoscaled worker
+      // count and the cost backlog still queued at the end of the run.
+      try {
+        server::Client client(copts);
+        server::wire::Request req;
+        req.method = server::wire::Method::kServerStats;
+        const auto resp = client.call(req);
+        if (resp.status == server::wire::Status::kOk) {
+          std::printf("server qos: %llu worker(s), backlog %llu us",
+                      static_cast<unsigned long long>(
+                          resp.server.qos_workers),
+                      static_cast<unsigned long long>(
+                          resp.server.qos_backlog_cost_us));
+          for (std::size_t c = 0; c < kClasses; ++c) {
+            std::printf(" | %s %llu/%llu p99 %.2f ms", kClassNames[c],
+                        static_cast<unsigned long long>(
+                            resp.server.qos_served[c]),
+                        static_cast<unsigned long long>(
+                            resp.server.qos_shed[c]),
+                        static_cast<double>(resp.server.qos_p99_us[c]) /
+                            1000.0);
+          }
+          std::printf("\n");
+        }
+      } catch (const net::NetError&) {
+        // Server already gone; the client-side table above stands alone.
+      }
     }
   }
   if (!herd.empty()) {
